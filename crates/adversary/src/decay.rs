@@ -1,0 +1,171 @@
+//! The Experiment-3 scenario: a network whose compromised fraction grows
+//! over time.
+//!
+//! The paper initializes 5% of the network as level-0 faulty and converts
+//! a further 5% every 50 events until 75% of the network is compromised.
+//! [`DecaySchedule`] answers, for any event index, how many nodes should
+//! be compromised — the harness flips node behaviors accordingly.
+
+/// A linear compromise schedule.
+///
+/// ```rust
+/// use tibfit_adversary::DecaySchedule;
+///
+/// let s = DecaySchedule::paper(100); // 100-node network
+/// assert_eq!(s.compromised_at(0), 5);    // 5% initially
+/// assert_eq!(s.compromised_at(49), 5);
+/// assert_eq!(s.compromised_at(50), 10);  // +5% after 50 events
+/// assert_eq!(s.compromised_at(10_000), 75); // capped at 75%
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecaySchedule {
+    network_size: usize,
+    initial_fraction: f64,
+    step_fraction: f64,
+    events_per_step: u64,
+    max_fraction: f64,
+}
+
+impl DecaySchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are outside `[0, 1]`, are inconsistent
+    /// (`initial > max`), or `events_per_step == 0`.
+    #[must_use]
+    pub fn new(
+        network_size: usize,
+        initial_fraction: f64,
+        step_fraction: f64,
+        events_per_step: u64,
+        max_fraction: f64,
+    ) -> Self {
+        for (name, f) in [
+            ("initial_fraction", initial_fraction),
+            ("step_fraction", step_fraction),
+            ("max_fraction", max_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{name} must be in [0,1], got {f}");
+        }
+        assert!(
+            initial_fraction <= max_fraction,
+            "initial fraction exceeds maximum"
+        );
+        assert!(events_per_step > 0, "events_per_step must be positive");
+        assert!(network_size > 0, "network must be non-empty");
+        DecaySchedule {
+            network_size,
+            initial_fraction,
+            step_fraction,
+            events_per_step,
+            max_fraction,
+        }
+    }
+
+    /// The paper's Experiment-3 schedule: start at 5%, +5% every 50
+    /// events, cap at 75%.
+    #[must_use]
+    pub fn paper(network_size: usize) -> Self {
+        DecaySchedule::new(network_size, 0.05, 0.05, 50, 0.75)
+    }
+
+    /// Number of compromised nodes in effect when event `event_index`
+    /// (0-based) is processed.
+    #[must_use]
+    pub fn compromised_at(&self, event_index: u64) -> usize {
+        let steps = event_index / self.events_per_step;
+        let fraction = (self.initial_fraction + steps as f64 * self.step_fraction)
+            .min(self.max_fraction);
+        // Round to nearest node count.
+        (fraction * self.network_size as f64).round() as usize
+    }
+
+    /// The compromised *fraction* in effect at an event index.
+    #[must_use]
+    pub fn fraction_at(&self, event_index: u64) -> f64 {
+        self.compromised_at(event_index) as f64 / self.network_size as f64
+    }
+
+    /// First event index at which the maximum compromise level is reached.
+    #[must_use]
+    pub fn saturation_event(&self) -> u64 {
+        let steps_needed =
+            ((self.max_fraction - self.initial_fraction) / self.step_fraction).ceil() as u64;
+        steps_needed * self.events_per_step
+    }
+
+    /// Total events needed to observe the full schedule plus `tail` more
+    /// events at saturation.
+    #[must_use]
+    pub fn total_events(&self, tail: u64) -> u64 {
+        self.saturation_event() + tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_milestones() {
+        let s = DecaySchedule::paper(100);
+        assert_eq!(s.compromised_at(0), 5);
+        assert_eq!(s.compromised_at(99), 10);
+        assert_eq!(s.compromised_at(100), 15);
+        assert_eq!(s.compromised_at(700), 75);
+        assert_eq!(s.compromised_at(100_000), 75);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let s = DecaySchedule::paper(100);
+        let mut prev = 0;
+        for e in 0..2000 {
+            let c = s.compromised_at(e);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn saturation_event_matches_schedule() {
+        let s = DecaySchedule::paper(100);
+        let sat = s.saturation_event();
+        assert_eq!(sat, 700); // (0.75-0.05)/0.05 = 14 steps × 50 events
+        assert_eq!(s.compromised_at(sat), 75);
+        assert!(s.compromised_at(sat - 1) < 75);
+    }
+
+    #[test]
+    fn fraction_at_is_consistent() {
+        let s = DecaySchedule::paper(200);
+        assert!((s.fraction_at(0) - 0.05).abs() < 1e-9);
+        assert!((s.fraction_at(10_000) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_networks_round_sanely() {
+        let s = DecaySchedule::paper(10);
+        assert_eq!(s.compromised_at(0), 1); // round(0.5)
+        assert_eq!(s.compromised_at(100_000), 8); // round(7.5)
+    }
+
+    #[test]
+    fn total_events_adds_tail() {
+        let s = DecaySchedule::paper(100);
+        assert_eq!(s.total_events(50), 750);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_bad_fraction() {
+        let _ = DecaySchedule::new(10, 1.5, 0.05, 50, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn rejects_initial_above_max() {
+        let _ = DecaySchedule::new(10, 0.8, 0.05, 50, 0.75);
+    }
+}

@@ -1,0 +1,407 @@
+//! Smart colluding liars (level 2).
+//!
+//! The paper's strongest adversary: the colluders share an undetectable
+//! side channel and, per event, "all either send the event report for the
+//! same location or do not send". A [`CollusionCoordinator`] draws one
+//! plan per round — a single fabricated location (the true event displaced
+//! by the faulty error model) or collective silence — and every
+//! [`Level2Node`] executes it. The coordinator also runs the same
+//! trust-index hysteresis as level-1 nodes so the gang backs off before
+//! being diagnosed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::behavior::{BehaviorKind, CorrectNode, NodeBehavior, RoundContext, TrustMirror};
+use tibfit_core::trust::{Judgement, TrustParams};
+use tibfit_net::geometry::Point;
+use tibfit_sim::rng::SimRng;
+
+/// The gang's decision for one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Plan {
+    /// Everyone stays silent (collective missed alarm).
+    AllSilent,
+    /// Everyone reports this exact location.
+    AllReport(Point),
+    /// The gang is in its honest phase: members act individually as
+    /// correct nodes.
+    BehaveHonestly,
+}
+
+/// Shared state for a colluding gang.
+///
+/// The coordinator owns its own RNG (the side channel is outside the
+/// network, so its draws must not perturb per-node randomness) and caches
+/// one plan per round number.
+#[derive(Debug)]
+pub struct CollusionCoordinator {
+    rng: SimRng,
+    lie_sigma: f64,
+    silence_prob: f64,
+    min_offset: f64,
+    mirror: TrustMirror,
+    current: Option<(u64, Plan)>,
+}
+
+impl CollusionCoordinator {
+    /// Creates a coordinator.
+    ///
+    /// * `lie_sigma` — standard deviation of the shared fabricated
+    ///   location around the true event (the paper's faulty σ);
+    /// * `silence_prob` — probability the gang collectively suppresses a
+    ///   sensed event instead of mis-reporting it;
+    /// * `min_offset` — the shared lie is rejection-sampled to land at
+    ///   least this far from the truth (a smart gang makes sure its lie
+    ///   is actually misleading; set this to the system's `r_error`);
+    /// * `params`, `lower_ti`, `upper_ti` — the trust mirror / hysteresis,
+    ///   as for level-1 nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `silence_prob` is outside `[0, 1]`, `lie_sigma` or
+    /// `min_offset` is negative, or the thresholds are invalid.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        lie_sigma: f64,
+        silence_prob: f64,
+        min_offset: f64,
+        params: TrustParams,
+        lower_ti: f64,
+        upper_ti: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&silence_prob),
+            "silence_prob must be in [0,1]"
+        );
+        assert!(lie_sigma >= 0.0, "lie_sigma must be non-negative");
+        assert!(min_offset >= 0.0, "min_offset must be non-negative");
+        CollusionCoordinator {
+            rng: SimRng::seed_from(seed),
+            lie_sigma,
+            silence_prob,
+            min_offset,
+            mirror: TrustMirror::new(params, lower_ti, upper_ti),
+            current: None,
+        }
+    }
+
+    /// Paper defaults: hysteresis 0.5 / 0.8, 50-50 silence vs shared lie,
+    /// lie displaced past the localization tolerance `r_error = 5`.
+    #[must_use]
+    pub fn with_paper_thresholds(seed: u64, lie_sigma: f64, params: TrustParams) -> Self {
+        CollusionCoordinator::new(seed, lie_sigma, 0.5, 5.0, params, 0.5, 0.8)
+    }
+
+    /// A gang with the back-off disabled: it subverts every event. The
+    /// rational strategy against the stateless baseline, which cannot
+    /// diagnose or isolate the colluders.
+    #[must_use]
+    pub fn relentless(seed: u64, lie_sigma: f64, params: TrustParams) -> Self {
+        assert!(lie_sigma >= 0.0, "lie_sigma must be non-negative");
+        CollusionCoordinator {
+            rng: SimRng::seed_from(seed),
+            lie_sigma,
+            silence_prob: 0.5,
+            min_offset: 5.0,
+            mirror: TrustMirror::relentless(params),
+            current: None,
+        }
+    }
+
+    /// The gang's (shared) estimated trust index.
+    #[must_use]
+    pub fn estimated_ti(&self) -> f64 {
+        self.mirror.estimated_ti()
+    }
+
+    /// Returns the plan for `round`, drawing it on first request.
+    fn plan_for(&mut self, round: u64, event: Option<Point>) -> Plan {
+        if let Some((r, plan)) = self.current {
+            if r == round {
+                return plan;
+            }
+        }
+        let plan = self.draw_plan(event);
+        self.current = Some((round, plan));
+        plan
+    }
+
+    fn draw_plan(&mut self, event: Option<Point>) -> Plan {
+        if !self.mirror.should_lie() {
+            return Plan::BehaveHonestly;
+        }
+        match event {
+            Some(true_loc) => {
+                if self.rng.chance(self.silence_prob) {
+                    Plan::AllSilent
+                } else {
+                    // Rejection-sample so the shared lie genuinely
+                    // misleads (lands beyond min_offset of the truth).
+                    let sigma = self.lie_sigma.max(1e-6);
+                    let mut dx;
+                    let mut dy;
+                    let mut attempts = 0;
+                    loop {
+                        dx = self.rng.normal(0.0, sigma);
+                        dy = self.rng.normal(0.0, sigma);
+                        attempts += 1;
+                        if (dx * dx + dy * dy).sqrt() > self.min_offset || attempts >= 64 {
+                            break;
+                        }
+                    }
+                    if (dx * dx + dy * dy).sqrt() <= self.min_offset {
+                        // Extremely unlikely fallback: scale out radially.
+                        let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
+                        let scale = (self.min_offset * 1.01) / norm;
+                        dx *= scale;
+                        dy *= scale;
+                    }
+                    Plan::AllReport(true_loc.offset(dx, dy))
+                }
+            }
+            // No event to subvert: staying silent is the undetectable move.
+            None => Plan::AllSilent,
+        }
+    }
+
+    /// Feeds one member's judgement into the shared trust mirror.
+    ///
+    /// Members behave identically, so the gang tracks a single estimate;
+    /// feeding every member's judgement would multiply the penalty, so the
+    /// harness should forward the judgement of one representative member
+    /// per round (see [`Level2Node::observe_judgement`], which handles
+    /// this automatically).
+    pub fn observe(&mut self, judgement: Judgement) {
+        self.mirror.observe(judgement);
+    }
+}
+
+/// A handle to a gang coordinator, shared by its members.
+pub type SharedCoordinator = Rc<RefCell<CollusionCoordinator>>;
+
+/// One member of a colluding gang.
+///
+/// ```rust
+/// use std::{cell::RefCell, rc::Rc};
+/// use tibfit_adversary::{CollusionCoordinator, Level2Node, NodeBehavior, RoundContext};
+/// use tibfit_core::trust::TrustParams;
+/// use tibfit_net::geometry::Point;
+/// use tibfit_net::topology::NodeId;
+/// use tibfit_sim::rng::SimRng;
+///
+/// let coord = Rc::new(RefCell::new(CollusionCoordinator::with_paper_thresholds(
+///     7, 6.0, TrustParams::experiment2(),
+/// )));
+/// let mut a = Level2Node::new(Rc::clone(&coord), 1.6, true);
+/// let mut b = Level2Node::new(Rc::clone(&coord), 1.6, false);
+/// let ctx = |id| RoundContext {
+///     round: 0,
+///     node: NodeId(id),
+///     node_pos: Point::new(50.0, 50.0),
+///     event: Some(Point::new(52.0, 52.0)),
+///     is_event_neighbor: true,
+/// };
+/// let mut rng = SimRng::seed_from(1);
+/// // Both members do the same thing: both silent, or both report the
+/// // same location.
+/// assert_eq!(a.located_action(&ctx(0), &mut rng), b.located_action(&ctx(1), &mut rng));
+/// ```
+#[derive(Debug)]
+pub struct Level2Node {
+    coordinator: SharedCoordinator,
+    honest: CorrectNode,
+    /// Only the gang representative forwards judgements to the shared
+    /// mirror (one feedback per round, not one per member).
+    is_representative: bool,
+}
+
+impl Level2Node {
+    /// Creates a gang member. Exactly one member per gang should be the
+    /// `is_representative` that relays trust feedback.
+    #[must_use]
+    pub fn new(coordinator: SharedCoordinator, honest_sigma: f64, is_representative: bool) -> Self {
+        Level2Node {
+            coordinator,
+            honest: CorrectNode::new(0.0, honest_sigma),
+            is_representative,
+        }
+    }
+}
+
+impl NodeBehavior for Level2Node {
+    fn binary_action(&mut self, ctx: &RoundContext, rng: &mut SimRng) -> bool {
+        match self.coordinator.borrow_mut().plan_for(ctx.round, ctx.event) {
+            Plan::AllSilent => false,
+            Plan::AllReport(_) => ctx.is_event_neighbor,
+            Plan::BehaveHonestly => self.honest.binary_action(ctx, rng),
+        }
+    }
+
+    fn located_action(&mut self, ctx: &RoundContext, rng: &mut SimRng) -> Option<Point> {
+        match self.coordinator.borrow_mut().plan_for(ctx.round, ctx.event) {
+            Plan::AllSilent => None,
+            Plan::AllReport(loc) => ctx.is_event_neighbor.then_some(loc),
+            Plan::BehaveHonestly => self.honest.located_action(ctx, rng),
+        }
+    }
+
+    fn observe_judgement(&mut self, judgement: Judgement) {
+        if self.is_representative {
+            self.coordinator.borrow_mut().observe(judgement);
+        }
+    }
+
+    fn kind(&self) -> BehaviorKind {
+        BehaviorKind::Level2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tibfit_net::topology::NodeId;
+
+    fn gang(n: usize, silence_prob: f64) -> (Vec<Level2Node>, SharedCoordinator) {
+        let coord = Rc::new(RefCell::new(CollusionCoordinator::new(
+            42,
+            6.0,
+            silence_prob,
+            5.0,
+            TrustParams::experiment2(),
+            0.5,
+            0.8,
+        )));
+        let members = (0..n)
+            .map(|i| Level2Node::new(Rc::clone(&coord), 1.6, i == 0))
+            .collect();
+        (members, coord)
+    }
+
+    fn ctx(round: u64, id: usize, event: Option<Point>) -> RoundContext {
+        RoundContext {
+            round,
+            node: NodeId(id),
+            node_pos: Point::new(50.0, 50.0),
+            event,
+            is_event_neighbor: true,
+        }
+    }
+
+    #[test]
+    fn members_act_in_lockstep() {
+        let (mut members, _) = gang(5, 0.5);
+        let mut rng = SimRng::seed_from(1);
+        for round in 0..50 {
+            let event = Some(Point::new(30.0, 30.0));
+            let actions: Vec<Option<Point>> = members
+                .iter_mut()
+                .enumerate()
+                .map(|(i, m)| m.located_action(&ctx(round, i, event), &mut rng))
+                .collect();
+            for a in &actions[1..] {
+                assert_eq!(*a, actions[0], "round {round}: gang split");
+            }
+        }
+    }
+
+    #[test]
+    fn always_silent_with_full_silence_prob() {
+        let (mut members, _) = gang(3, 1.0);
+        let mut rng = SimRng::seed_from(2);
+        for round in 0..20 {
+            for (i, m) in members.iter_mut().enumerate() {
+                assert!(!m.binary_action(&ctx(round, i, Some(Point::new(1.0, 1.0))), &mut rng));
+            }
+        }
+    }
+
+    #[test]
+    fn always_lies_with_zero_silence_prob() {
+        let (mut members, _) = gang(3, 0.0);
+        let mut rng = SimRng::seed_from(3);
+        for round in 0..20 {
+            let event = Point::new(30.0, 30.0);
+            for (i, m) in members.iter_mut().enumerate() {
+                let claim = m.located_action(&ctx(round, i, Some(event)), &mut rng);
+                assert!(claim.is_some(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn silent_on_no_event_rounds() {
+        let (mut members, _) = gang(2, 0.0);
+        let mut rng = SimRng::seed_from(4);
+        for (i, m) in members.iter_mut().enumerate() {
+            assert_eq!(m.located_action(&ctx(0, i, None), &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn only_representative_feeds_mirror() {
+        let (mut members, coord) = gang(4, 0.0);
+        let before = coord.borrow().estimated_ti();
+        // Non-representative members' feedback is ignored.
+        for m in members.iter_mut().skip(1) {
+            m.observe_judgement(Judgement::Faulty);
+        }
+        assert_eq!(coord.borrow().estimated_ti(), before);
+        members[0].observe_judgement(Judgement::Faulty);
+        assert!(coord.borrow().estimated_ti() < before);
+    }
+
+    #[test]
+    fn gang_backs_off_when_trust_decays() {
+        let (mut members, coord) = gang(3, 0.0);
+        let mut rng = SimRng::seed_from(5);
+        // Punish the gang until the shared estimate crosses the threshold.
+        while coord.borrow().estimated_ti() > 0.5 {
+            members[0].observe_judgement(Judgement::Faulty);
+        }
+        // Next round the gang behaves honestly: members report the true
+        // event individually (honest σ noise, independent draws).
+        let event = Point::new(30.0, 30.0);
+        let a = members[0].located_action(&ctx(100, 0, Some(event)), &mut rng);
+        assert!(a.is_some());
+        let claim = a.unwrap();
+        assert!(claim.distance_to(event) < 10.0, "honest claim near truth");
+    }
+
+    #[test]
+    fn non_neighbors_do_not_report_the_lie() {
+        let (mut members, _) = gang(2, 0.0);
+        let mut rng = SimRng::seed_from(6);
+        let mut c = ctx(0, 0, Some(Point::new(30.0, 30.0)));
+        c.is_event_neighbor = false;
+        assert_eq!(members[0].located_action(&c, &mut rng), None);
+    }
+
+    #[test]
+    fn shared_lie_lands_beyond_min_offset() {
+        let (mut members, _) = gang(1, 0.0);
+        let mut rng = SimRng::seed_from(8);
+        let event = Point::new(50.0, 50.0);
+        for round in 0..100 {
+            let claim = members[0]
+                .located_action(&ctx(round, 0, Some(event)), &mut rng)
+                .expect("zero silence prob always reports");
+            assert!(
+                claim.distance_to(event) > 5.0,
+                "round {round}: lie at {claim} is within r_error of the truth"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_stable_within_a_round() {
+        let (mut members, _) = gang(1, 0.5);
+        let mut rng = SimRng::seed_from(7);
+        let event = Some(Point::new(30.0, 30.0));
+        let first = members[0].located_action(&ctx(9, 0, event), &mut rng);
+        for _ in 0..10 {
+            assert_eq!(members[0].located_action(&ctx(9, 0, event), &mut rng), first);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # tibfit-adversary
+//!
+//! The fault and adversary models of the TIBFIT paper (§2.1):
+//!
+//! * [`behavior::CorrectNode`] — honest sensing with a bounded natural
+//!   error rate (NER) and Gaussian localization error;
+//! * [`behavior::Level0Node`] — naive random liar: missed alarms, false
+//!   alarms, large localization error, packet drops, no strategy;
+//! * [`behavior::Level1Node`] — *smart independent* liar: mirrors the
+//!   cluster head's trust arithmetic on itself and stops lying when its
+//!   estimated trust index nears the detection threshold (hysteresis
+//!   between `lower_ti` and `upper_ti`);
+//! * [`level2`] — *smart colluding* liars: a shared coordinator makes all
+//!   colluders report the same fabricated location or all stay silent,
+//!   with the same trust-aware hysteresis;
+//! * [`decay`] — the Experiment-3 scenario controller that converts
+//!   correct nodes into level-0 nodes on a schedule.
+//!
+//! All behaviors implement [`behavior::NodeBehavior`], which the
+//! experiment harness drives once per event round per node.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod decay;
+pub mod level2;
+
+pub use behavior::{
+    BehaviorKind, CorrectNode, Level0Config, Level0Node, Level1Node, NodeBehavior, RoundContext,
+};
+pub use decay::DecaySchedule;
+pub use level2::{CollusionCoordinator, Level2Node};

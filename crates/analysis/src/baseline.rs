@@ -1,0 +1,207 @@
+//! Equations (1)–(3): success probability of the baseline (stateless
+//! majority voting) system.
+//!
+//! Model: `N` event neighbors, `m` of them faulty. Each correct node
+//! reports correctly with probability `p`; each faulty node with
+//! probability `q`. `Z = X + Y` is the total number of correct reports
+//! (`X ~ Bin(N−m, p)`, `Y ~ Bin(m, q)` independent). The event is
+//! identified iff `Z` is a strict majority: `Z ≥ ⌊N/2⌋ + 1`.
+
+use crate::binomial::binomial_pmf;
+
+/// `P(success)` via direct convolution of the two binomials — the clean
+/// equivalent of the paper's equations (1)–(3).
+///
+/// # Panics
+///
+/// Panics if `m > n` or a probability is outside `[0, 1]`.
+///
+/// ```rust
+/// use tibfit_analysis::success_probability;
+/// // Perfect correct nodes, no faulty nodes: always succeeds.
+/// assert!((success_probability(10, 0, 1.0, 0.5) - 1.0).abs() < 1e-12);
+/// // Everyone faulty and never reporting: always fails.
+/// assert!(success_probability(10, 10, 0.99, 0.0) < 1e-12);
+/// ```
+#[must_use]
+pub fn success_probability(n: u64, m: u64, p: f64, q: f64) -> f64 {
+    assert!(m <= n, "faulty count m={m} exceeds N={n}");
+    let majority = n / 2 + 1;
+    let mut total = 0.0;
+    for z in majority..=n {
+        for k in 0..=z {
+            // k correct reports from the N−m correct nodes, z−k from the
+            // m faulty ones.
+            let from_correct = binomial_pmf(n - m, k, p);
+            let from_faulty = binomial_pmf(m, z - k, q);
+            total += from_correct * from_faulty;
+        }
+    }
+    total.min(1.0)
+}
+
+/// `P(success)` written in the paper's split form (equation (2) for
+/// `m ≤ N−m`, equation (3) for `m > N−m`), kept verbatim as a
+/// cross-check of the transcription.
+///
+/// The paper indexes the majority threshold as `⌊N/2⌋ + j` for
+/// `j = 1..⌈N/2⌉` and splits the inner sum by which group contributes `k`
+/// reports; both branches are algebraically the same convolution as
+/// [`success_probability`].
+///
+/// # Panics
+///
+/// Panics if `m > n` or a probability is outside `[0, 1]`.
+#[must_use]
+pub fn success_probability_paper_form(n: u64, m: u64, p: f64, q: f64) -> f64 {
+    assert!(m <= n, "faulty count m={m} exceeds N={n}");
+    let floor_half = n / 2;
+    let ceil_half = n - floor_half; // ⌈N/2⌉
+    let mut total = 0.0;
+    for j in 1..=ceil_half {
+        let z = floor_half + j; // the target total Z = ⌊N/2⌋ + j
+        if z > n {
+            continue;
+        }
+        if m <= n - m {
+            // Equation (2): outer index k runs over correct-node reports.
+            let k_lo = z.saturating_sub(m);
+            let k_hi = z.min(n - m);
+            for k in k_lo..=k_hi {
+                let i = z - k;
+                total += binomial_pmf(n - m, k, p) * binomial_pmf(m, i, q);
+            }
+        } else {
+            // Equation (3): outer index k runs over faulty-node reports.
+            let k_lo = z.saturating_sub(n - m);
+            let k_hi = z.min(m);
+            for k in k_lo..=k_hi {
+                let i = z - k;
+                total += binomial_pmf(m, k, q) * binomial_pmf(n - m, i, p);
+            }
+        }
+    }
+    total.min(1.0)
+}
+
+/// The accuracy-vs-faulty-fraction curve for fixed `n`, `p`, `q`:
+/// `(percent faulty, P(success))` for `m = 0..=n`.
+#[must_use]
+pub fn accuracy_curve(n: u64, p: f64, q: f64) -> Vec<(f64, f64)> {
+    (0..=n)
+        .map(|m| {
+            (
+                100.0 * m as f64 / n as f64,
+                success_probability(n, m, p, q),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faulty_high_p_near_one() {
+        let s = success_probability(10, 0, 0.99, 0.5);
+        assert!(s > 0.99, "got {s}");
+    }
+
+    #[test]
+    fn paper_form_matches_convolution() {
+        for n in [5u64, 10, 11] {
+            for m in 0..=n {
+                for &(p, q) in &[(0.99, 0.5), (0.85, 0.5), (0.9, 0.3), (1.0, 0.0)] {
+                    let a = success_probability(n, m, p, q);
+                    let b = success_probability_paper_form(n, m, p, q);
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "n={n} m={m} p={p} q={q}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn success_decreases_with_faulty_count() {
+        // With q = 0.5 < p, more faulty nodes can only hurt.
+        let mut prev = 2.0;
+        for m in 0..=10 {
+            let s = success_probability(10, m, 0.95, 0.5);
+            assert!(s <= prev + 1e-12, "m={m}: {s} > {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn success_increases_with_p() {
+        for m in 0..=10 {
+            let lo = success_probability(10, m, 0.85, 0.5);
+            let hi = success_probability(10, m, 0.99, 0.5);
+            assert!(hi >= lo - 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn steep_falloff_past_half_network() {
+        // Figure 10's qualitative shape: strong above 50% correct,
+        // collapsing beyond.
+        let at_40 = success_probability(10, 4, 0.95, 0.5);
+        let at_70 = success_probability(10, 7, 0.95, 0.5);
+        assert!(at_40 > 0.9, "40% faulty should mostly succeed: {at_40}");
+        assert!(at_70 < 0.8, "70% faulty should degrade: {at_70}");
+        assert!(at_40 - at_70 > 0.2, "falloff should be steep");
+        // The decline steepens past 50%: the 50→70 drop dwarfs the
+        // 10→30 drop (the paper's "falls off steeply once fifty percent
+        // of the network is compromised").
+        let at_10 = success_probability(10, 1, 0.95, 0.5);
+        let at_30 = success_probability(10, 3, 0.95, 0.5);
+        let at_50 = success_probability(10, 5, 0.95, 0.5);
+        assert!((at_50 - at_70) > 5.0 * (at_10 - at_30));
+    }
+
+    #[test]
+    fn all_faulty_with_coin_flip_reports() {
+        // N=10, all faulty, q=0.5: success = P(Bin(10,0.5) >= 6).
+        let s = success_probability(10, 10, 0.99, 0.5);
+        let expected: f64 = (6..=10)
+            .map(|k| crate::binomial::binomial_pmf(10, k, 0.5))
+            .sum();
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        for m in 0..=10 {
+            for &(p, q) in &[(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.99, 0.01)] {
+                let s = success_probability(10, m, p, q);
+                assert!((0.0..=1.0).contains(&s), "m={m} p={p} q={q}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_has_expected_shape_and_length() {
+        let curve = accuracy_curve(10, 0.99, 0.5);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[10].0, 100.0);
+        assert!(curve[0].1 > curve[10].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn rejects_m_above_n() {
+        let _ = success_probability(5, 6, 0.9, 0.5);
+    }
+
+    #[test]
+    fn odd_n_majority_threshold() {
+        // N=3, majority needs Z >= 2. All correct with p=1 → success 1.
+        assert!((success_probability(3, 0, 1.0, 0.0) - 1.0).abs() < 1e-12);
+        // 2 of 3 faulty never reporting, p=1: Z = 1 always → fail.
+        assert!(success_probability(3, 2, 1.0, 0.0) < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Numerically robust binomial probabilities.
+//!
+//! Evaluated in log space via `ln Γ` so that `N` in the hundreds (well
+//! beyond the paper's `N = 10`) stays exact to double precision.
+
+/// Natural log of `n!` via the Lanczos approximation of `ln Γ(n+1)`.
+///
+/// Exact (to f64 precision) for all `n`; small `n` use a precomputed
+/// table.
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    // Literal ln(n!) values; clippy flags some entries as "approximate
+    // constants" (ln 2 = ln 2!) but they are exactly what we mean.
+    #[allow(clippy::approx_constant, clippy::excessive_precision)]
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+        30.671_860_106_080_672,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n < TABLE.len() as u64 {
+        return TABLE[n as usize];
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7, n = 9); kept at published precision.
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `P{X = k}` for `X ~ Binomial(n, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    // Degenerate endpoints avoid ln(0).
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// `P{X >= k}` for `X ~ Binomial(n, p)` (upper tail, inclusive).
+#[must_use]
+pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
+    (k..=n).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert!((ln_factorial(0) - 0.0).abs() < 1e-14);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn factorial_large_matches_stirling_regime() {
+        // ln(100!) = 363.73937555556349...
+        assert!((ln_factorial(100) - 363.739_375_555_563_5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_identities() {
+        assert!((ln_choose(10, 0) - 0.0).abs() < 1e-12);
+        assert!((ln_choose(10, 10) - 0.0).abs() < 1e-12);
+        assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-11);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (50, 0.99), (7, 0.0), (7, 1.0)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Binomial(4, 0.5): P{X=2} = 6/16.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        // Binomial(10, 0.1): P{X=0} = 0.9^10.
+        assert!((binomial_pmf(10, 0, 0.1) - 0.9f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let n = 20;
+        let p = 0.4;
+        for k in 0..=n {
+            let below: f64 = (0..k).map(|i| binomial_pmf(n, i, p)).sum();
+            assert!((binomial_sf(n, k, p) + below - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_endpoints() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn pmf_rejects_bad_p() {
+        let _ = binomial_pmf(3, 1, 1.2);
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(0.5) = sqrt(π).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,87 @@
+//! The Figure-10 dataset: expected accuracy of the baseline network as the
+//! percentage of faulty nodes increases.
+//!
+//! Paper parameters: `N = 10` event neighbors, faulty nodes report
+//! correctly with `q = 0.5`, correct nodes with
+//! `p ∈ {0.99, 0.95, 0.90, 0.85}`.
+
+use crate::baseline::accuracy_curve;
+
+/// The paper's `p` values, in legend order.
+pub const P_VALUES: [f64; 4] = [0.99, 0.95, 0.90, 0.85];
+
+/// The paper's event-neighbor count.
+pub const N: u64 = 10;
+
+/// The paper's faulty-node report probability.
+pub const Q: f64 = 0.5;
+
+/// One Figure-10 line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Line {
+    /// The correct-node report probability for this line.
+    pub p: f64,
+    /// `(percent faulty, P(success))` points for `m = 0..=N`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Generates all four Figure-10 lines.
+///
+/// ```rust
+/// let lines = tibfit_analysis::fig10::generate();
+/// assert_eq!(lines.len(), 4);
+/// // Accuracy collapses past 50% faulty for every p.
+/// for line in &lines {
+///     let at_80 = line.points.iter().find(|(x, _)| *x == 80.0).unwrap().1;
+///     assert!(at_80 < 0.65);
+/// }
+/// ```
+#[must_use]
+pub fn generate() -> Vec<Fig10Line> {
+    P_VALUES
+        .iter()
+        .map(|&p| Fig10Line {
+            p,
+            points: accuracy_curve(N, p, Q),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_lines_eleven_points_each() {
+        let lines = generate();
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert_eq!(l.points.len(), 11);
+        }
+    }
+
+    #[test]
+    fn lines_ordered_by_p() {
+        // Higher p dominates lower p at every faulty fraction below 100%.
+        let lines = generate();
+        for w in lines.windows(2) {
+            let (hi, lo) = (&w[0], &w[1]);
+            assert!(hi.p > lo.p);
+            for (a, b) in hi.points.iter().zip(&lo.points) {
+                assert!(a.1 >= b.1 - 1e-12, "p={} under p={} at x={}", hi.p, lo.p, a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_matches_paper_figure() {
+        // Near-certain below 40% faulty, steep fall after 50%.
+        for line in generate() {
+            let y = |x: f64| line.points.iter().find(|(px, _)| *px == x).unwrap().1;
+            assert!(y(0.0) > 0.98, "p={}", line.p);
+            assert!(y(30.0) > 0.9, "p={}", line.p);
+            assert!(y(50.0) > y(70.0), "p={}", line.p);
+            assert!(y(90.0) < 0.55, "p={}", line.p);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The Figure-11 analysis: how fast can the network be corrupted while
+//! TIBFIT stays 100% accurate?
+//!
+//! Setting (paper §5): `N` nodes, one additional node corrupted every `k`
+//! events, correct nodes always correct, faulty nodes always wrong
+//! (`f_r → 0`, so each wrong report adds a full 1 to `v` and a node that
+//! has been faulty for `j·k` events has `TI = e^(−j·k·λ)`). For the
+//! correct group to keep winning every vote down to 3 surviving correct
+//! nodes, `k` must satisfy
+//!
+//! ```text
+//! f(k) = e^(−kλ(N−1)) − 2·e^(−kλ) + 1 > 0      (k > 0)
+//! ```
+//!
+//! The positive root of `f` is the minimum tolerable corruption interval;
+//! Figure 11 plots `f(k)` for several λ and reads the root off the x-axis.
+//! The end-game bound — the rounds needed for the 3 remaining good nodes
+//! to absorb one more defection — is `k_max = ln(3)/λ`.
+
+/// The λ values plotted (λ = 0.25 is the one the simulations use).
+pub const LAMBDAS: [f64; 4] = [0.05, 0.1, 0.25, 0.5];
+
+/// Network size used in the paper's derivation.
+pub const N: u64 = 11;
+
+/// The paper's Figure-11 curve value:
+/// `f(k) = e^(−kλ(N−1)) − 2e^(−kλ) + 1`.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0`, `k >= 0`, and `n >= 4`.
+#[must_use]
+pub fn fig11_f(k: f64, lambda: f64, n: u64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(k >= 0.0, "k must be non-negative");
+    assert!(n >= 4, "the derivation needs at least 4 nodes");
+    let x = (-k * lambda).exp();
+    x.powi((n - 1) as i32) - 2.0 * x + 1.0
+}
+
+/// The positive root of [`fig11_f`] in `k`: the minimum number of events
+/// between successive corruptions that TIBFIT tolerates while staying
+/// 100% accurate (until only 3 correct nodes remain). Found by bisection.
+///
+/// # Panics
+///
+/// Panics on invalid `lambda`/`n` (see [`fig11_f`]).
+///
+/// ```rust
+/// use tibfit_analysis::corruption_interval_root;
+/// let k_small_lambda = corruption_interval_root(0.1, 11);
+/// let k_large_lambda = corruption_interval_root(0.5, 11);
+/// // Faster trust decay (larger λ) tolerates faster corruption:
+/// assert!(k_large_lambda < k_small_lambda);
+/// ```
+#[must_use]
+pub fn corruption_interval_root(lambda: f64, n: u64) -> f64 {
+    // f(0) = 0 (trivial root), f < 0 just above 0 for n > 3, f → 1 as
+    // k → ∞: bisect on the sign change in (ε, K].
+    let mut lo = 1e-9;
+    assert!(
+        fig11_f(lo, lambda, n) < 0.0,
+        "expected f negative just above zero (n > 3)"
+    );
+    let mut hi = 1.0;
+    while fig11_f(hi, lambda, n) < 0.0 {
+        hi *= 2.0;
+        assert!(hi < 1e9, "root bracketing failed");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if fig11_f(mid, lambda, n) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The closed-form end-game bound `k_max = ln(3)/λ`: with 3 correct nodes
+/// left (CTI = 3), the rounds needed before the faulty side's CTI decays
+/// below 1 so one more defection can be absorbed (paper: solving
+/// `3·e^(−k·λ) = 1 − ε` as `ε → 0`).
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0`.
+#[must_use]
+pub fn k_max_final(lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    3f64.ln() / lambda
+}
+
+/// Cross-check of the closed form by direct simulation of the §5 CTI
+/// recurrence: corrupt one node every `k` events (correct nodes always
+/// right, faulty always wrong, `f_r = 0`) and check the correct group's
+/// CTI stays strictly ahead until only 2 correct nodes remain (where the
+/// paper stops its analysis).
+///
+/// Returns `true` iff every intermediate vote is won by the correct group.
+///
+/// The paper's `f(k)` threshold is slightly conservative (it budgets an
+/// extra unit of CTI margin for the node in transfer), so the recurrence
+/// can tolerate `k` marginally below the analytic root; the two agree
+/// away from the boundary (see the tests).
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0`, `k >= 1`, and `n >= 4`.
+#[must_use]
+pub fn recurrence_tolerates(k: u64, lambda: f64, n: u64) -> bool {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(k >= 1, "k must be at least one event");
+    assert!(n >= 4, "need at least 4 nodes");
+    // v-counters for each faulty node; correct nodes all have TI = 1.
+    let mut faulty_v: Vec<f64> = Vec::new();
+    let mut correct = n;
+    while correct > 2 {
+        // One more node defects...
+        faulty_v.push(0.0);
+        correct -= 1;
+        // ...then k events elapse; every event the faulty group loses the
+        // vote (if the correct group is ahead) and each faulty node's v
+        // grows by 1 (f_r = 0).
+        for _ in 0..k {
+            let cti_correct = correct as f64;
+            let cti_faulty: f64 = faulty_v.iter().map(|v| (-lambda * v).exp()).sum();
+            if cti_correct <= cti_faulty {
+                return false;
+            }
+            for v in &mut faulty_v {
+                *v += 1.0;
+            }
+        }
+    }
+    true
+}
+
+/// A Figure-11 line: `f(k)` sampled over a `k` grid for one λ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Line {
+    /// The λ of this line.
+    pub lambda: f64,
+    /// `(k, f(k))` samples.
+    pub points: Vec<(f64, f64)>,
+    /// The positive root (x-axis crossing) of this line.
+    pub root: f64,
+}
+
+/// Generates the Figure-11 lines over `k ∈ [0, k_lim]` with the given
+/// sample count.
+///
+/// # Panics
+///
+/// Panics if `samples < 2` or `k_lim <= 0`.
+#[must_use]
+pub fn generate(k_lim: f64, samples: usize) -> Vec<Fig11Line> {
+    assert!(samples >= 2, "need at least two samples");
+    assert!(k_lim > 0.0, "k_lim must be positive");
+    LAMBDAS
+        .iter()
+        .map(|&lambda| {
+            let points = (0..samples)
+                .map(|i| {
+                    let k = k_lim * i as f64 / (samples - 1) as f64;
+                    (k, fig11_f(k, lambda, N))
+                })
+                .collect();
+            Fig11Line {
+                lambda,
+                points,
+                root: corruption_interval_root(lambda, N),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_is_zero_at_origin() {
+        for &l in &LAMBDAS {
+            assert!(fig11_f(0.0, l, N).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f_negative_then_positive() {
+        for &l in &LAMBDAS {
+            let root = corruption_interval_root(l, N);
+            assert!(fig11_f(root * 0.5, l, N) < 0.0);
+            assert!(fig11_f(root * 2.0, l, N) > 0.0);
+            assert!(fig11_f(root, l, N).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn larger_lambda_smaller_root() {
+        let mut prev = f64::INFINITY;
+        for &l in &LAMBDAS {
+            let r = corruption_interval_root(l, N);
+            assert!(r < prev, "λ={l}: root {r} not smaller than {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn root_scales_inversely_with_lambda() {
+        // f depends on k only through kλ, so root(λ) ∝ 1/λ exactly.
+        let r1 = corruption_interval_root(0.1, N);
+        let r2 = corruption_interval_root(0.2, N);
+        assert!((r1 / r2 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_max_closed_form() {
+        assert!((k_max_final(0.25) - 3f64.ln() / 0.25).abs() < 1e-12);
+        assert!((k_max_final(1.0) - 1.0986122886681098).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_agrees_with_root() {
+        for &l in &[0.05, 0.1, 0.25] {
+            let root = corruption_interval_root(l, N);
+            let k_ok = (root * 1.3).ceil() as u64;
+            let k_bad = (root * 0.7).floor().max(1.0) as u64;
+            assert!(
+                recurrence_tolerates(k_ok, l, N),
+                "λ={l}: k={k_ok} should be tolerated (root {root})"
+            );
+            if (k_bad as f64) < root * 0.7 {
+                assert!(
+                    !recurrence_tolerates(k_bad, l, N),
+                    "λ={l}: k={k_bad} should fail (root {root})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_produces_all_lambdas() {
+        let lines = generate(60.0, 121);
+        assert_eq!(lines.len(), LAMBDAS.len());
+        for l in &lines {
+            assert_eq!(l.points.len(), 121);
+            assert!(l.root > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_bad_lambda() {
+        let _ = k_max_final(0.0);
+    }
+
+    #[test]
+    fn recurrence_huge_k_always_tolerates() {
+        assert!(recurrence_tolerates(1000, 0.25, 11));
+    }
+
+    #[test]
+    fn recurrence_k_one_fails_for_small_lambda() {
+        assert!(!recurrence_tolerates(1, 0.05, 11));
+    }
+}

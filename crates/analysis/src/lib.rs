@@ -1,0 +1,31 @@
+//! # tibfit-analysis
+//!
+//! The closed-form analysis of the TIBFIT paper's §5, reproduced exactly:
+//!
+//! * [`binomial`] — numerically robust binomial probabilities (log-space).
+//! * [`baseline`] — equations (1)–(3): the probability that stateless
+//!   majority voting identifies a binary event with `N` event neighbors of
+//!   which `m` are faulty (correct nodes report correctly with probability
+//!   `p`, faulty ones with probability `q`).
+//! * [`fig10`] — the Figure-10 series: `N = 10`, `q = 0.5`,
+//!   `p ∈ {0.99, 0.95, 0.90, 0.85}`, accuracy vs. fraction faulty.
+//! * [`fig11`] — the Figure-11 analysis of TIBFIT under progressive
+//!   corruption: `f(k) = e^(−kλ(N−1)) − 2e^(−kλ) + 1`, whose positive root
+//!   is the minimum number of events `k` between corruptions that TIBFIT
+//!   tolerates with 100% accuracy, plus the closed-form end-game bound
+//!   `k_max = ln(3)/λ`.
+//!
+//! This crate is dependency-free and purely numerical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod binomial;
+pub mod fig10;
+pub mod fig11;
+pub mod trajectory;
+
+pub use baseline::{success_probability, success_probability_paper_form};
+pub use trajectory::{expected_ti_after, hysteresis_duty_cycle, reports_until_diagnosis};
+pub use fig11::{corruption_interval_root, k_max_final, recurrence_tolerates};

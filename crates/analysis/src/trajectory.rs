@@ -1,0 +1,216 @@
+//! Extended theoretical model (the paper's future-work item "develop a
+//! more extensive theoretical model"): deterministic mean-field
+//! trajectories of the trust index, and the steady-state duty cycle of a
+//! level-1 (hysteresis) adversary.
+//!
+//! All quantities are closed-form given the trust parameters `(λ, f_r)`;
+//! the adversary crate's simulated `Level1Node` is cross-checked against
+//! [`hysteresis_duty_cycle`] in the integration tests.
+
+/// The `v`-counter value at which the trust index equals `ti`:
+/// `v = −ln(ti)/λ`.
+///
+/// # Panics
+///
+/// Panics unless `0 < ti <= 1` and `lambda > 0`.
+#[must_use]
+pub fn counter_for_ti(ti: f64, lambda: f64) -> f64 {
+    assert!(ti > 0.0 && ti <= 1.0, "ti must be in (0, 1], got {ti}");
+    assert!(lambda > 0.0, "lambda must be positive");
+    -ti.ln() / lambda
+}
+
+/// Mean-field trust trajectory: the expected trust index after `t`
+/// judged reports for a node erring with probability `error_rate`, under
+/// calibration `(lambda, fault_rate)`.
+///
+/// Per report, `E[Δv] = e·(1−f_r) − (1−e)·f_r`, floored at `v = 0`. For
+/// `e < f_r` the drift is negative and TI sits at 1; for `e > f_r` the
+/// counter grows linearly and TI decays geometrically.
+///
+/// # Panics
+///
+/// Panics unless the probabilities are in `[0, 1)` / `[0, 1]` and
+/// `lambda > 0`.
+#[must_use]
+pub fn expected_ti_after(t: u64, error_rate: f64, lambda: f64, fault_rate: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&error_rate), "error rate required");
+    assert!((0.0..1.0).contains(&fault_rate), "fault rate in [0,1)");
+    assert!(lambda > 0.0, "lambda must be positive");
+    let drift = error_rate * (1.0 - fault_rate) - (1.0 - error_rate) * fault_rate;
+    let v = (drift * t as f64).max(0.0);
+    (-lambda * v).exp()
+}
+
+/// Number of judged reports before a node erring at `error_rate` is
+/// diagnosed (its mean-field TI falls below `threshold`), or `None` if it
+/// never will (drift ≤ 0).
+///
+/// # Panics
+///
+/// Panics on invalid probabilities or `lambda <= 0` (see
+/// [`expected_ti_after`]).
+#[must_use]
+pub fn reports_until_diagnosis(
+    threshold: f64,
+    error_rate: f64,
+    lambda: f64,
+    fault_rate: f64,
+) -> Option<u64> {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold in (0,1)");
+    let drift = error_rate * (1.0 - fault_rate) - (1.0 - error_rate) * fault_rate;
+    if drift <= 0.0 {
+        return None;
+    }
+    let v_needed = counter_for_ti(threshold, lambda);
+    Some((v_needed / drift).ceil() as u64)
+}
+
+/// The steady-state behaviour of a level-1 adversary oscillating between
+/// `lower_ti` and `upper_ti`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Mean judged reports spent in the lying phase per oscillation.
+    pub lying_rounds: f64,
+    /// Mean judged reports spent in the honest phase per oscillation.
+    pub honest_rounds: f64,
+    /// Fraction of time spent lying — the adversary's *effective* attack
+    /// rate under TIBFIT.
+    pub duty: f64,
+}
+
+/// Computes the hysteresis duty cycle of a level-1 adversary.
+///
+/// While lying, each judged report is deemed faulty with probability
+/// `caught_prob` (≈ 1 once the system has state), moving the counter up
+/// by `1 − f_r`, and otherwise down by `f_r`; while honest the node is
+/// (mean-field) always judged correct, moving down by `f_r`. The node
+/// lies from `upper_ti` down to `lower_ti` and recovers back up.
+///
+/// The paper's observation that "the trust index forces the malicious
+/// nodes to lie less frequently" is this duty factor: with the paper's
+/// thresholds (0.5 / 0.8) and `f_r = 0.1`, a fully-caught liar is active
+/// only ~11% of the time.
+///
+/// # Panics
+///
+/// Panics unless `0 < lower_ti < upper_ti <= 1`, probabilities are
+/// valid, `lambda > 0`, and the lying-phase drift is positive (a liar
+/// that is never caught has no cycle).
+#[must_use]
+pub fn hysteresis_duty_cycle(
+    lambda: f64,
+    fault_rate: f64,
+    lower_ti: f64,
+    upper_ti: f64,
+    caught_prob: f64,
+) -> DutyCycle {
+    assert!(
+        0.0 < lower_ti && lower_ti < upper_ti && upper_ti <= 1.0,
+        "require 0 < lower < upper <= 1"
+    );
+    assert!((0.0..=1.0).contains(&caught_prob), "probability required");
+    let v_span = counter_for_ti(lower_ti, lambda) - counter_for_ti(upper_ti, lambda);
+    let lying_drift =
+        caught_prob * (1.0 - fault_rate) - (1.0 - caught_prob) * fault_rate;
+    assert!(
+        lying_drift > 0.0,
+        "an uncaught liar never cycles (drift {lying_drift})"
+    );
+    assert!(fault_rate > 0.0, "recovery requires f_r > 0");
+    let lying_rounds = v_span / lying_drift;
+    let honest_rounds = v_span / fault_rate;
+    DutyCycle {
+        lying_rounds,
+        honest_rounds,
+        duty: lying_rounds / (lying_rounds + honest_rounds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inverts_ti() {
+        let lambda = 0.25;
+        for ti in [1.0, 0.8, 0.5, 0.1] {
+            let v = counter_for_ti(ti, lambda);
+            assert!(((-lambda * v).exp() - ti).abs() < 1e-12);
+        }
+        assert_eq!(counter_for_ti(1.0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn calibrated_node_keeps_full_trust() {
+        // e == f_r ⇒ zero drift ⇒ TI stays 1 in the mean field.
+        for t in [0u64, 10, 1000] {
+            assert_eq!(expected_ti_after(t, 0.1, 0.25, 0.1), 1.0);
+        }
+    }
+
+    #[test]
+    fn liar_trust_decays_geometrically() {
+        // e = 1, f_r = 0: v = t, TI = e^(−λt) — the §5 model.
+        for t in [1u64, 5, 20] {
+            let ti = expected_ti_after(t, 1.0, 0.25, 0.0);
+            assert!((ti - (-0.25 * t as f64).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn better_than_calibration_is_clamped_at_one() {
+        assert_eq!(expected_ti_after(100, 0.01, 0.25, 0.1), 1.0);
+    }
+
+    #[test]
+    fn diagnosis_time_matches_trajectory() {
+        let (thr, e, l, fr) = (0.5, 0.6, 0.25, 0.1);
+        let t = reports_until_diagnosis(thr, e, l, fr).unwrap();
+        assert!(expected_ti_after(t, e, l, fr) <= thr);
+        assert!(expected_ti_after(t - 1, e, l, fr) > thr - 0.05);
+    }
+
+    #[test]
+    fn calibrated_node_never_diagnosed() {
+        assert_eq!(reports_until_diagnosis(0.5, 0.1, 0.25, 0.1), None);
+        assert_eq!(reports_until_diagnosis(0.5, 0.05, 0.25, 0.1), None);
+    }
+
+    #[test]
+    fn paper_duty_cycle_value() {
+        // λ = 0.25, f_r = 0.1, thresholds 0.5/0.8, always caught:
+        // v_span = (ln 0.8 − ln 0.5)/0.25 = 1.88; lying 1.88/0.9 = 2.09
+        // rounds, honest 1.88/0.1 = 18.8 rounds ⇒ duty ≈ 0.10.
+        let dc = hysteresis_duty_cycle(0.25, 0.1, 0.5, 0.8, 1.0);
+        assert!((dc.duty - 0.1).abs() < 0.02, "duty {}", dc.duty);
+        assert!(dc.honest_rounds > dc.lying_rounds * 8.0);
+    }
+
+    #[test]
+    fn weaker_detection_raises_duty() {
+        let strong = hysteresis_duty_cycle(0.25, 0.1, 0.5, 0.8, 1.0);
+        let weak = hysteresis_duty_cycle(0.25, 0.1, 0.5, 0.8, 0.5);
+        assert!(weak.duty > strong.duty);
+    }
+
+    #[test]
+    fn duty_independent_of_lambda() {
+        // λ scales both phases identically, so the duty factor is λ-free.
+        let a = hysteresis_duty_cycle(0.1, 0.1, 0.5, 0.8, 1.0);
+        let b = hysteresis_duty_cycle(0.5, 0.1, 0.5, 0.8, 1.0);
+        assert!((a.duty - b.duty).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "never cycles")]
+    fn uncaught_liar_rejected() {
+        let _ = hysteresis_duty_cycle(0.25, 0.1, 0.5, 0.8, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower < upper")]
+    fn bad_thresholds_rejected() {
+        let _ = hysteresis_duty_cycle(0.25, 0.1, 0.8, 0.5, 1.0);
+    }
+}

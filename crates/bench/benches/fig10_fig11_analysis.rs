@@ -1,0 +1,68 @@
+//! Bench + regeneration harness for the paper's **Figure 10** (expected
+//! baseline accuracy, equations (1)–(3)) and **Figure 11** (tolerable
+//! corruption interval `f(k)` and its roots).
+//!
+//! Prints both analytic figures with the paper's exact parameters, then
+//! times the numeric kernels.
+//!
+//! ```text
+//! cargo bench -p tibfit-bench --bench fig10_fig11_analysis
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tibfit_analysis::{
+    corruption_interval_root, k_max_final, recurrence_tolerates, success_probability,
+};
+
+fn regenerate_figures() {
+    println!("### Figure 10 — expected baseline accuracy (N=10, q=0.5)\n");
+    println!("| % faulty | p=0.99 | p=0.95 | p=0.90 | p=0.85 |");
+    println!("|---|---|---|---|---|");
+    let lines = tibfit_analysis::fig10::generate();
+    for m in 0..=10usize {
+        let row: Vec<String> = lines
+            .iter()
+            .map(|l| format!("{:.4}", l.points[m].1))
+            .collect();
+        println!("| {} | {} |", m * 10, row.join(" | "));
+    }
+    println!("\n### Figure 11 — f(k) roots (N=11)\n");
+    println!("| lambda | root k | k_max = ln(3)/lambda |");
+    println!("|---|---|---|");
+    for line in tibfit_analysis::fig11::generate(60.0, 61) {
+        println!(
+            "| {} | {:.3} | {:.3} |",
+            line.lambda,
+            line.root,
+            k_max_final(line.lambda)
+        );
+    }
+    println!();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    regenerate_figures();
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("success_probability_n10", |b| {
+        b.iter(|| {
+            for m in 0..=10u64 {
+                black_box(success_probability(10, m, 0.95, 0.5));
+            }
+        });
+    });
+    group.bench_function("success_probability_n100", |b| {
+        b.iter(|| black_box(success_probability(100, 60, 0.95, 0.5)));
+    });
+    group.bench_function("fig11_root_bisection", |b| {
+        b.iter(|| black_box(corruption_interval_root(0.25, 11)));
+    });
+    group.bench_function("fig11_recurrence_check", |b| {
+        b.iter(|| black_box(recurrence_tolerates(10, 0.25, 11)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

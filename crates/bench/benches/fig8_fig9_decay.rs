@@ -1,0 +1,39 @@
+//! Bench + regeneration harness for the paper's **Figures 8 and 9**
+//! (Experiment 3): windowed accuracy over time while the compromised
+//! fraction grows linearly from 5% to 75%.
+//!
+//! Prints both decay figures, then times one full 750-event decay run
+//! per engine.
+//!
+//! ```text
+//! cargo bench -p tibfit-bench --bench fig8_fig9_decay
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tibfit_experiments::exp1::EngineKind;
+use tibfit_experiments::exp3::{figure8, figure9, run_exp3, Exp3Config};
+
+fn regenerate_figures() {
+    println!("{}", figure8(2, 42).to_markdown());
+    println!("{}", figure9(2, 42).to_markdown());
+}
+
+fn bench_exp3(c: &mut Criterion) {
+    regenerate_figures();
+
+    let mut group = c.benchmark_group("exp3_decay");
+    group.sample_size(10);
+    group.bench_function("tibfit_full_decay_750_events", |b| {
+        let config = Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit);
+        b.iter(|| black_box(run_exp3(&config, 7)));
+    });
+    group.bench_function("baseline_full_decay_750_events", |b| {
+        let config = Exp3Config::paper(1.6, 4.25, EngineKind::Baseline);
+        b.iter(|| black_box(run_exp3(&config, 7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp3);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Binary event detection (paper §3.1).
+//!
+//! After the first report arrives the cluster head waits `T_out`, then
+//! partitions the event neighbors into reporters `R` and non-reporters
+//! `NR`, compares the cumulative trust of the two groups, and declares the
+//! event if `CTI(R) > CTI(NR)`. Winners gain trust, losers lose it — this
+//! single mechanism provides detection, diagnosis, *and* masking.
+//!
+//! [`decide_binary`] is the pure decision; [`judge_binary`] additionally
+//! derives the per-node [`Judgement`]s the trust table (and a self-watching
+//! smart adversary) consumes.
+
+use crate::trust::Judgement;
+use crate::vote::{run_vote, VoteOutcome, Weighting};
+use tibfit_net::topology::NodeId;
+
+/// Runs the §3.1 binary decision: `R` vs `NR` by cumulative weight.
+///
+/// See [`crate::vote::run_vote`] for the partition rules.
+#[must_use]
+pub fn decide_binary(
+    neighbors: &[NodeId],
+    reporters: &[NodeId],
+    weighting: &Weighting<'_>,
+) -> VoteOutcome {
+    run_vote(neighbors, reporters, weighting)
+}
+
+/// Derives the per-node judgements from a binary decision: members of the
+/// winning group are judged correct, members of the losing group faulty.
+///
+/// ```rust
+/// use tibfit_core::binary::{decide_binary, judge_binary};
+/// use tibfit_core::trust::Judgement;
+/// use tibfit_core::vote::Weighting;
+/// use tibfit_net::topology::NodeId;
+///
+/// let neighbors: Vec<NodeId> = (0..3).map(NodeId).collect();
+/// let out = decide_binary(&neighbors, &[NodeId(0), NodeId(1)], &Weighting::Uniform);
+/// let judgements = judge_binary(&out);
+/// assert_eq!(judgements.len(), 3);
+/// assert!(judgements.contains(&(NodeId(2), Judgement::Faulty)));
+/// ```
+#[must_use]
+pub fn judge_binary(outcome: &VoteOutcome) -> Vec<(NodeId, Judgement)> {
+    let (winners, losers) = if outcome.event_declared {
+        (&outcome.reporters, &outcome.non_reporters)
+    } else {
+        (&outcome.non_reporters, &outcome.reporters)
+    };
+    winners
+        .iter()
+        .map(|&n| (n, Judgement::Correct))
+        .chain(losers.iter().map(|&n| (n, Judgement::Faulty)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trust::{TrustParams, TrustTable};
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn judgements_cover_all_neighbors() {
+        let neighbors = ids(&[0, 1, 2, 3, 4]);
+        let out = decide_binary(&neighbors, &ids(&[0, 1, 2]), &Weighting::Uniform);
+        let j = judge_binary(&out);
+        assert_eq!(j.len(), 5);
+    }
+
+    #[test]
+    fn reporters_correct_when_event_declared() {
+        let neighbors = ids(&[0, 1, 2]);
+        let out = decide_binary(&neighbors, &ids(&[0, 1]), &Weighting::Uniform);
+        assert!(out.event_declared);
+        let j = judge_binary(&out);
+        assert!(j.contains(&(NodeId(0), Judgement::Correct)));
+        assert!(j.contains(&(NodeId(1), Judgement::Correct)));
+        assert!(j.contains(&(NodeId(2), Judgement::Faulty)));
+    }
+
+    #[test]
+    fn reporters_faulty_when_event_rejected() {
+        let neighbors = ids(&[0, 1, 2]);
+        let out = decide_binary(&neighbors, &ids(&[2]), &Weighting::Uniform);
+        assert!(!out.event_declared);
+        let j = judge_binary(&out);
+        assert!(j.contains(&(NodeId(2), Judgement::Faulty)));
+        assert!(j.contains(&(NodeId(0), Judgement::Correct)));
+    }
+
+    #[test]
+    fn trust_feedback_loop_isolates_persistent_liar() {
+        // Drive the full loop: decide → judge → update table, and verify a
+        // node that always lies ends up diagnosed.
+        let params = TrustParams::new(0.25, 0.1);
+        let mut table = TrustTable::new(params, 5).with_isolation_threshold(0.3);
+        let neighbors = ids(&[0, 1, 2, 3, 4]);
+        for _ in 0..30 {
+            // Node 4 false-alarms every round; others stay silent (no event).
+            let out = decide_binary(&neighbors, &ids(&[4]), &Weighting::Trust(&table));
+            assert!(!out.event_declared);
+            table.apply_judgements(&judge_binary(&out));
+        }
+        assert!(table.is_isolated(NodeId(4)));
+        // Honest nodes keep full trust.
+        for i in 0..4 {
+            assert_eq!(table.trust_of(NodeId(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn stateful_vote_survives_majority_compromise() {
+        // Reproduce the paper's core scenario in miniature: nodes fail one
+        // by one; by the time the faulty set is a majority its CTI is too
+        // low to win.
+        let params = TrustParams::new(0.25, 0.0);
+        let mut table = TrustTable::new(params, 5);
+        let neighbors = ids(&[0, 1, 2, 3, 4]);
+        let mut faulty: Vec<usize> = Vec::new();
+        for round in 0..40 {
+            if round % 10 == 0 && faulty.len() < 3 {
+                faulty.push(faulty.len()); // nodes 0,1,2 fail at rounds 0,10,20
+            }
+            // Real event: honest nodes report, faulty nodes miss it.
+            let reporters: Vec<NodeId> = (0..5)
+                .filter(|i| !faulty.contains(i))
+                .map(NodeId)
+                .collect();
+            let out = decide_binary(&neighbors, &reporters, &Weighting::Trust(&table));
+            assert!(
+                out.event_declared,
+                "round {round}: event missed with {} faulty nodes",
+                faulty.len()
+            );
+            table.apply_judgements(&judge_binary(&out));
+        }
+        // 3 of 5 nodes are faulty — a majority — yet detection held.
+        assert_eq!(faulty.len(), 3);
+    }
+}

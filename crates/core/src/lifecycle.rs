@@ -1,0 +1,426 @@
+//! Cluster lifecycle: rotating leadership with trust hand-off and shadow
+//! monitoring (paper §2 + §3.4 end-to-end).
+//!
+//! This module ties the pieces together the way the deployed system would
+//! run them:
+//!
+//! 1. a LEACH-style election picks a cluster head among sufficiently
+//!    trusted nodes, and the two highest-trust one-hop neighbors become
+//!    shadow cluster heads (SCHs);
+//! 2. event rounds are decided by the head using the TIBFIT engine; a
+//!    compromised head may corrupt its conclusion, but the SCHs run the
+//!    same computation on the overheard reports and the base station
+//!    takes a majority over {CH, SCH₁, SCH₂};
+//! 3. an overruled head is demoted (trust penalty + immediate
+//!    re-election);
+//! 4. at the end of a leadership period the head hands the trust table to
+//!    the base station, which seeds the next head ([`ControlMessage::TrustHandoff`]
+//!    message) — in this single-table model the hand-off is the exported
+//!    snapshot.
+//!
+//! Energy is charged per round so leadership rotates realistically.
+
+use crate::engine::{Aggregator, TibfitEngine};
+use crate::location::LocatedReport;
+use crate::shadow::{adjudicate, Adjudication, Conclusion};
+use crate::trust::TrustParams;
+use tibfit_net::energy::{EnergyBudget, EnergyCosts};
+use tibfit_net::leach::{Election, LeachConfig, RoundOutcome};
+use tibfit_net::message::ControlMessage;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+/// Configuration of the lifecycle manager.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleConfig {
+    /// Election parameters (head fraction, trust threshold, SCH count).
+    pub leach: LeachConfig,
+    /// Sensing radius for event-neighbor computation.
+    pub sensing_radius: f64,
+    /// Location agreement tolerance (`r_error`).
+    pub r_error: f64,
+    /// Event rounds per leadership period before rotation.
+    pub rounds_per_period: u64,
+    /// Trust parameters of the TIBFIT engine.
+    pub trust: TrustParams,
+    /// Energy cost model.
+    pub costs: EnergyCosts,
+}
+
+impl LifecycleConfig {
+    /// Paper-flavoured defaults.
+    #[must_use]
+    pub fn paper() -> Self {
+        LifecycleConfig {
+            leach: LeachConfig::paper(),
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            rounds_per_period: 10,
+            trust: TrustParams::experiment2(),
+            costs: EnergyCosts::leach_like(),
+        }
+    }
+}
+
+/// The outcome of one event round under lifecycle management.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleRound {
+    /// The head that served this round.
+    pub head: NodeId,
+    /// What the head *reported* (possibly corrupted).
+    pub ch_conclusion: Conclusion,
+    /// The base station's accepted conclusion after SCH adjudication.
+    pub ruling: Adjudication,
+    /// Whether this round triggered an immediate re-election.
+    pub reelected: bool,
+}
+
+/// Manages election, shadowing, trust hand-off, and energy for one
+/// cluster.
+///
+/// ```rust
+/// use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
+/// use tibfit_core::location::LocatedReport;
+/// use tibfit_net::geometry::Point;
+/// use tibfit_net::topology::Topology;
+/// use tibfit_sim::rng::SimRng;
+///
+/// let topo = Topology::uniform_grid(25, 50.0, 50.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
+/// let head = cluster.current_head(&mut rng);
+/// let event = Point::new(25.0, 25.0);
+/// let reports: Vec<LocatedReport> = cluster
+///     .topology()
+///     .event_neighbors(event, 20.0)
+///     .into_iter()
+///     .map(|n| LocatedReport::new(n, event))
+///     .collect();
+/// let round = cluster.process_event_round(&reports, false, &mut rng);
+/// assert_eq!(round.head, head);
+/// assert!(round.ruling.final_conclusion.declares_event());
+/// ```
+pub struct ClusterLifecycle {
+    config: LifecycleConfig,
+    topo: Topology,
+    election: Election,
+    engine: TibfitEngine,
+    energies: Vec<EnergyBudget>,
+    current: Option<RoundOutcome>,
+    rounds_in_period: u64,
+    overrules: u64,
+    handoffs: Vec<ControlMessage>,
+}
+
+impl ClusterLifecycle {
+    /// Creates a lifecycle manager over a topology, all nodes at full
+    /// energy and full trust.
+    #[must_use]
+    pub fn new(config: LifecycleConfig, topo: Topology) -> Self {
+        let n = topo.len();
+        ClusterLifecycle {
+            election: Election::new(config.leach, n),
+            engine: TibfitEngine::new(config.trust, n),
+            energies: vec![EnergyBudget::new(1000.0); n],
+            current: None,
+            rounds_in_period: 0,
+            overrules: 0,
+            handoffs: Vec::new(),
+            config,
+            topo,
+        }
+    }
+
+    /// The topology under management.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Residual energy of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn energy_of(&self, node: NodeId) -> f64 {
+        self.energies[node.index()].residual()
+    }
+
+    /// Trust index of a node, as the base station sees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn trust_of(&self, node: NodeId) -> f64 {
+        self.engine.table().trust_of(node)
+    }
+
+    /// Number of CH overrules so far.
+    #[must_use]
+    pub fn overrule_count(&self) -> u64 {
+        self.overrules
+    }
+
+    /// Trust hand-off messages produced at period boundaries (most recent
+    /// last).
+    #[must_use]
+    pub fn handoffs(&self) -> &[ControlMessage] {
+        &self.handoffs
+    }
+
+    /// The acting cluster head, electing one if the period rolled over
+    /// (or none was elected yet).
+    pub fn current_head(&mut self, rng: &mut SimRng) -> NodeId {
+        if self.current.is_none() || self.rounds_in_period >= self.config.rounds_per_period {
+            self.rotate(rng);
+        }
+        self.current.as_ref().expect("just elected").head
+    }
+
+    /// The current shadow cluster heads.
+    #[must_use]
+    pub fn current_shadows(&self) -> Vec<NodeId> {
+        self.current
+            .as_ref()
+            .map(|o| o.shadows.clone())
+            .unwrap_or_default()
+    }
+
+    /// Forces an election now (period rollover or CH demotion).
+    fn rotate(&mut self, rng: &mut SimRng) {
+        // Outgoing head hands the trust table to the base station.
+        if let Some(prev) = &self.current {
+            self.handoffs.push(ControlMessage::TrustHandoff {
+                from_head: prev.head,
+                trust: self.engine.table().export(),
+            });
+        }
+        let engine = &self.engine;
+        let outcome = self.election.run_round(
+            &self.topo,
+            &self.energies,
+            |n| engine.table().trust_of(n),
+            rng,
+        );
+        self.current = Some(outcome);
+        self.rounds_in_period = 0;
+    }
+
+    /// Processes one event round.
+    ///
+    /// `reports` are the location reports that reached the head this
+    /// `T_out` window. If `ch_compromised` is set, the head *inverts* its
+    /// conclusion before reporting it to the base station (the worst
+    /// single corruption: suppressing a detected event or fabricating
+    /// one); the SCHs, having overheard the same reports, compute the
+    /// honest conclusion and the base station adjudicates.
+    pub fn process_event_round(
+        &mut self,
+        reports: &[LocatedReport],
+        ch_compromised: bool,
+        rng: &mut SimRng,
+    ) -> LifecycleRound {
+        let head = self.current_head(rng);
+        self.rounds_in_period += 1;
+
+        // Charge energy: members transmit, head receives + leads.
+        for r in reports {
+            self.energies[r.reporter.index()].spend(self.config.costs.transmit);
+            self.energies[head.index()].spend(self.config.costs.receive);
+        }
+        self.energies[head.index()].spend(self.config.costs.lead_round);
+        for budget in &mut self.energies {
+            budget.spend(self.config.costs.idle_round);
+        }
+
+        // The honest computation over the reports (what a correct CH and
+        // every SCH obtains).
+        let round = self.engine.located_round(
+            &self.topo,
+            self.config.sensing_radius,
+            self.config.r_error,
+            reports,
+        );
+        let honest: Conclusion = round
+            .declared_locations()
+            .first()
+            .map(|&p| Conclusion::event_at(p))
+            .unwrap_or_else(Conclusion::no_event);
+
+        // A compromised head reports the inverse of its computation.
+        let ch_conclusion = if ch_compromised {
+            if honest.declares_event() {
+                Conclusion::no_event()
+            } else {
+                // Fabricate an event at the head's own position.
+                Conclusion::event_at(self.topo.position(head))
+            }
+        } else {
+            honest
+        };
+
+        let shadows = self.current_shadows();
+        let shadow_conclusions: Vec<Conclusion> =
+            shadows.iter().map(|_| honest).collect();
+        let ruling = adjudicate(ch_conclusion, &shadow_conclusions, self.config.r_error);
+
+        let mut reelected = false;
+        if ruling.ch_overruled {
+            self.overrules += 1;
+            // The base station reduces the faulty head's trust and
+            // triggers re-election (paper §3.4).
+            self.engine.table_mut().record_faulty(head);
+            self.rotate(rng);
+            reelected = true;
+        }
+
+        LifecycleRound {
+            head,
+            ch_conclusion,
+            ruling,
+            reelected,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterLifecycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterLifecycle")
+            .field("nodes", &self.topo.len())
+            .field("head", &self.current.as_ref().map(|o| o.head))
+            .field("rounds_in_period", &self.rounds_in_period)
+            .field("overrules", &self.overrules)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tibfit_net::geometry::Point;
+
+    fn setup() -> (ClusterLifecycle, SimRng) {
+        let topo = Topology::uniform_grid(25, 50.0, 50.0);
+        (
+            ClusterLifecycle::new(LifecycleConfig::paper(), topo),
+            SimRng::seed_from(7),
+        )
+    }
+
+    fn event_reports(cluster: &ClusterLifecycle, event: Point) -> Vec<LocatedReport> {
+        cluster
+            .topology()
+            .event_neighbors(event, 20.0)
+            .into_iter()
+            .map(|n| LocatedReport::new(n, event))
+            .collect()
+    }
+
+    #[test]
+    fn honest_head_conclusion_accepted() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let round = cluster.process_event_round(&reports, false, &mut rng);
+        assert!(!round.ruling.ch_overruled);
+        assert!(round.ruling.final_conclusion.declares_event());
+        let loc = round.ruling.final_conclusion.location().unwrap();
+        assert!(loc.distance_to(event) < 5.0);
+    }
+
+    #[test]
+    fn compromised_head_is_overruled_and_penalized() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let head_before = cluster.current_head(&mut rng);
+        let trust_before = cluster.trust_of(head_before);
+        let round = cluster.process_event_round(&reports, true, &mut rng);
+        assert!(round.ruling.ch_overruled);
+        assert!(round.reelected);
+        // The suppressed event is still recovered by the SCH majority.
+        assert!(round.ruling.final_conclusion.declares_event());
+        assert!(cluster.trust_of(head_before) < trust_before);
+        assert_eq!(cluster.overrule_count(), 1);
+    }
+
+    #[test]
+    fn compromised_head_fabrication_rejected() {
+        let (mut cluster, mut rng) = setup();
+        // No event: empty reports. A compromised head fabricates one.
+        let round = cluster.process_event_round(&[], true, &mut rng);
+        assert!(round.ch_conclusion.declares_event(), "head fabricated");
+        assert!(round.ruling.ch_overruled);
+        assert!(!round.ruling.final_conclusion.declares_event());
+    }
+
+    #[test]
+    fn leadership_rotates_after_period() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let first = cluster.current_head(&mut rng);
+        let mut heads = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let r = cluster.process_event_round(&reports, false, &mut rng);
+            heads.insert(r.head);
+        }
+        assert!(heads.len() > 1, "leadership never rotated from {first}");
+    }
+
+    #[test]
+    fn handoff_messages_produced_on_rotation() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        for _ in 0..25 {
+            cluster.process_event_round(&reports, false, &mut rng);
+        }
+        assert!(!cluster.handoffs().is_empty());
+        let ControlMessage::TrustHandoff { trust, .. } = &cluster.handoffs()[0] else {
+            panic!("expected a trust hand-off");
+        };
+        assert_eq!(trust.len(), 25);
+    }
+
+    #[test]
+    fn energy_depletes_with_rounds() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let before: f64 = (0..25).map(|i| cluster.energy_of(NodeId(i))).sum();
+        for _ in 0..10 {
+            cluster.process_event_round(&reports, false, &mut rng);
+        }
+        let after: f64 = (0..25).map(|i| cluster.energy_of(NodeId(i))).sum();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn repeatedly_compromised_heads_lose_eligibility() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        // Compromise every head for a long stretch; each gets penalized
+        // and eventually distrusted heads stop being elected... but since
+        // every head is compromised here, just verify the base station
+        // keeps functioning and keeps overruling.
+        for _ in 0..30 {
+            let r = cluster.process_event_round(&reports, true, &mut rng);
+            assert!(r.ruling.final_conclusion.declares_event());
+        }
+        assert_eq!(cluster.overrule_count(), 30);
+    }
+
+    #[test]
+    fn shadows_are_distinct_from_head() {
+        let (mut cluster, mut rng) = setup();
+        let head = cluster.current_head(&mut rng);
+        for s in cluster.current_shadows() {
+            assert_ne!(s, head);
+        }
+        assert_eq!(cluster.current_shadows().len(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Unreliable cluster heads and shadow monitoring (paper §3.4).
+//!
+//! Even though cluster heads are elected among high-trust nodes, a head
+//! can itself be compromised. Two **shadow cluster heads** (SCHs) — the
+//! highest-trust nodes within one hop of the head — overhear all traffic
+//! in and out of the CH and run the same computation. If an SCH's own
+//! conclusion disagrees with the CH's, it escalates to the base station,
+//! which takes a simple majority over {CH, SCH₁, SCH₂}, demotes an
+//! out-voted CH (triggering re-election and a trust penalty), and keeps the
+//! majority conclusion. One faulty head per round is thereby tolerated.
+
+use tibfit_net::geometry::Point;
+
+/// A conclusion some head (CH or SCH) reached for one event round.
+///
+/// `None` means "no event"; `Some(p)` means "event at `p`". Binary-model
+/// rounds use [`Conclusion::binary`], which maps a bool onto this type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conclusion(Option<Point>);
+
+impl Conclusion {
+    /// An "event at `p`" conclusion.
+    #[must_use]
+    pub fn event_at(p: Point) -> Self {
+        Conclusion(Some(p))
+    }
+
+    /// A "no event" conclusion.
+    #[must_use]
+    pub fn no_event() -> Self {
+        Conclusion(None)
+    }
+
+    /// Binary-model conclusion: the location is irrelevant, only
+    /// occurred/not-occurred matters.
+    #[must_use]
+    pub fn binary(occurred: bool) -> Self {
+        if occurred {
+            Conclusion(Some(Point::ORIGIN))
+        } else {
+            Conclusion(None)
+        }
+    }
+
+    /// Whether this conclusion declares an event.
+    #[must_use]
+    pub fn declares_event(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The declared location, if any.
+    #[must_use]
+    pub fn location(&self) -> Option<Point> {
+        self.0
+    }
+
+    /// Two conclusions agree when both are "no event" or both declare
+    /// events within `tolerance` of each other.
+    #[must_use]
+    pub fn agrees_with(&self, other: &Conclusion, tolerance: f64) -> bool {
+        match (self.0, other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.distance_to(b) <= tolerance,
+            _ => false,
+        }
+    }
+}
+
+/// The base station's ruling after comparing CH and SCH conclusions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjudication {
+    /// The conclusion the base station accepts.
+    pub final_conclusion: Conclusion,
+    /// `true` when the CH was out-voted by its shadows — the base station
+    /// demotes it, penalizes its trust, and triggers re-election.
+    pub ch_overruled: bool,
+    /// How many heads (CH + SCHs) backed the final conclusion.
+    pub backing: usize,
+}
+
+/// Runs the base-station majority vote over the CH's conclusion and its
+/// shadows' conclusions (paper §3.4).
+///
+/// Conclusions are grouped by pairwise agreement (within `tolerance`);
+/// the largest group wins, with ties broken in the CH's favour (the CH is
+/// only overruled by a *strict* majority against it, since shadows that
+/// merely disagree with each other are no evidence of CH failure).
+///
+/// ```rust
+/// use tibfit_core::shadow::{adjudicate, Conclusion};
+/// use tibfit_net::geometry::Point;
+///
+/// let ch = Conclusion::no_event(); // compromised CH suppresses the event
+/// let shadows = vec![
+///     Conclusion::event_at(Point::new(10.0, 10.0)),
+///     Conclusion::event_at(Point::new(10.5, 10.2)),
+/// ];
+/// let ruling = adjudicate(ch, &shadows, 5.0);
+/// assert!(ruling.ch_overruled);
+/// assert!(ruling.final_conclusion.declares_event());
+/// ```
+#[must_use]
+pub fn adjudicate(ch: Conclusion, shadows: &[Conclusion], tolerance: f64) -> Adjudication {
+    assert!(
+        tolerance.is_finite() && tolerance >= 0.0,
+        "tolerance must be non-negative"
+    );
+    // Group all conclusions (CH first) by agreement with a representative.
+    let all: Vec<Conclusion> = std::iter::once(ch).chain(shadows.iter().copied()).collect();
+    let mut groups: Vec<(Conclusion, usize)> = Vec::new();
+    for c in &all {
+        match groups
+            .iter_mut()
+            .find(|(repr, _)| repr.agrees_with(c, tolerance))
+        {
+            Some((_, count)) => *count += 1,
+            None => groups.push((*c, 1)),
+        }
+    }
+    let ch_group = groups
+        .iter()
+        .position(|(repr, _)| repr.agrees_with(&ch, tolerance))
+        .expect("CH belongs to some group");
+    let ch_backing = groups[ch_group].1;
+    // The CH is overruled only by a group strictly larger than its own.
+    let (best_idx, _) = groups
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, (_, count))| (*count, usize::from(*i == ch_group)))
+        .expect("at least one group");
+    if best_idx == ch_group || groups[best_idx].1 <= ch_backing {
+        Adjudication {
+            final_conclusion: ch,
+            ch_overruled: false,
+            backing: ch_backing,
+        }
+    } else {
+        Adjudication {
+            final_conclusion: groups[best_idx].0,
+            ch_overruled: true,
+            backing: groups[best_idx].1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn unanimous_agreement_keeps_ch() {
+        let ch = Conclusion::event_at(p(10.0, 10.0));
+        let shadows = vec![
+            Conclusion::event_at(p(10.1, 10.0)),
+            Conclusion::event_at(p(9.9, 10.1)),
+        ];
+        let ruling = adjudicate(ch, &shadows, 5.0);
+        assert!(!ruling.ch_overruled);
+        assert_eq!(ruling.backing, 3);
+        assert_eq!(ruling.final_conclusion, ch);
+    }
+
+    #[test]
+    fn faulty_ch_suppressing_event_is_overruled() {
+        let ch = Conclusion::no_event();
+        let shadows = vec![
+            Conclusion::event_at(p(10.0, 10.0)),
+            Conclusion::event_at(p(10.2, 9.8)),
+        ];
+        let ruling = adjudicate(ch, &shadows, 5.0);
+        assert!(ruling.ch_overruled);
+        assert!(ruling.final_conclusion.declares_event());
+        assert_eq!(ruling.backing, 2);
+    }
+
+    #[test]
+    fn faulty_ch_fabricating_event_is_overruled() {
+        let ch = Conclusion::event_at(p(50.0, 50.0));
+        let shadows = vec![Conclusion::no_event(), Conclusion::no_event()];
+        let ruling = adjudicate(ch, &shadows, 5.0);
+        assert!(ruling.ch_overruled);
+        assert!(!ruling.final_conclusion.declares_event());
+    }
+
+    #[test]
+    fn ch_wins_when_shadows_split() {
+        // One shadow agrees, one dissents: CH group has 2, dissenter 1.
+        let ch = Conclusion::event_at(p(10.0, 10.0));
+        let shadows = vec![Conclusion::event_at(p(10.5, 10.0)), Conclusion::no_event()];
+        let ruling = adjudicate(ch, &shadows, 5.0);
+        assert!(!ruling.ch_overruled);
+        assert_eq!(ruling.backing, 2);
+    }
+
+    #[test]
+    fn ch_kept_on_three_way_tie() {
+        // Every head concludes something different: no strict majority
+        // against the CH, so the CH's conclusion stands (tie-break rule).
+        let ch = Conclusion::event_at(p(0.0, 0.0));
+        let shadows = vec![
+            Conclusion::event_at(p(50.0, 50.0)),
+            Conclusion::no_event(),
+        ];
+        let ruling = adjudicate(ch, &shadows, 1.0);
+        assert!(!ruling.ch_overruled);
+        assert_eq!(ruling.final_conclusion, ch);
+        assert_eq!(ruling.backing, 1);
+    }
+
+    #[test]
+    fn no_shadows_keeps_ch() {
+        let ch = Conclusion::event_at(p(1.0, 1.0));
+        let ruling = adjudicate(ch, &[], 5.0);
+        assert!(!ruling.ch_overruled);
+        assert_eq!(ruling.backing, 1);
+    }
+
+    #[test]
+    fn binary_conclusions() {
+        assert!(Conclusion::binary(true).declares_event());
+        assert!(!Conclusion::binary(false).declares_event());
+        assert!(Conclusion::binary(true).agrees_with(&Conclusion::binary(true), 0.0));
+        assert!(!Conclusion::binary(true).agrees_with(&Conclusion::binary(false), 0.0));
+    }
+
+    #[test]
+    fn location_agreement_respects_tolerance() {
+        let a = Conclusion::event_at(p(0.0, 0.0));
+        let b = Conclusion::event_at(p(3.0, 4.0)); // distance 5
+        assert!(a.agrees_with(&b, 5.0));
+        assert!(!a.agrees_with(&b, 4.9));
+    }
+
+    #[test]
+    fn location_adjudication_picks_shadow_location() {
+        // CH reports a wrong location; shadows agree on the right one.
+        let ch = Conclusion::event_at(p(90.0, 90.0));
+        let right = p(10.0, 10.0);
+        let shadows = vec![Conclusion::event_at(right), Conclusion::event_at(p(10.3, 9.7))];
+        let ruling = adjudicate(ch, &shadows, 5.0);
+        assert!(ruling.ch_overruled);
+        let loc = ruling.final_conclusion.location().unwrap();
+        assert!(loc.distance_to(right) <= 5.0);
+    }
+}

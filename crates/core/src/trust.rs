@@ -1,0 +1,478 @@
+//! The trust-index model (paper §3).
+//!
+//! Each node's trust index is `TI = e^(−λ·v)` where the fault counter `v`
+//! starts at zero (so TI starts at one) and moves on every judged report:
+//!
+//! * report judged **faulty** → `v += 1 − f_r`
+//! * report judged **correct** → `v -= f_r` (floored at zero)
+//!
+//! `f_r` is the *natural error rate* the protocol is calibrated for: a
+//! correct node erring once every `1/f_r` events has `E[Δv] = 0`, so its TI
+//! hovers near one, while a node erring more often drifts down
+//! exponentially. The exponential form penalizes early mistakes heavily and
+//! makes regaining trust slow — the paper argues this beats a linear model
+//! where a 50%-liar still periodically reaches TI = 1.
+
+use tibfit_net::topology::NodeId;
+
+/// Calibration constants of the trust model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustParams {
+    /// The exponential decay constant λ (paper: 0.1 in Experiment 1,
+    /// 0.25 in Experiments 2–3).
+    pub lambda: f64,
+    /// The natural error rate `f_r` the model tolerates. The paper sets it
+    /// equal to the correct nodes' NER in Experiment 1 and to 0.1 in
+    /// Experiment 2 (to absorb wireless-channel losses).
+    pub fault_rate: f64,
+}
+
+impl TrustParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0` and `0 <= fault_rate < 1`.
+    #[must_use]
+    pub fn new(lambda: f64, fault_rate: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite, got {lambda}"
+        );
+        assert!(
+            (0.0..1.0).contains(&fault_rate),
+            "fault_rate must be in [0, 1), got {fault_rate}"
+        );
+        TrustParams { lambda, fault_rate }
+    }
+
+    /// Experiment-1 calibration (λ = 0.1, `f_r` = the given NER).
+    #[must_use]
+    pub fn experiment1(natural_error_rate: f64) -> Self {
+        TrustParams::new(0.1, natural_error_rate)
+    }
+
+    /// Experiment-2/3 calibration (λ = 0.25, `f_r` = 0.1).
+    #[must_use]
+    pub fn experiment2() -> Self {
+        TrustParams::new(0.25, 0.1)
+    }
+
+    /// The increment applied to `v` on a faulty report: `1 − f_r`.
+    #[must_use]
+    pub fn faulty_increment(&self) -> f64 {
+        1.0 - self.fault_rate
+    }
+
+    /// The decrement applied to `v` on a correct report: `f_r`.
+    #[must_use]
+    pub fn correct_decrement(&self) -> f64 {
+        self.fault_rate
+    }
+}
+
+/// The trust state of a single node: the fault counter `v`.
+///
+/// ```rust
+/// use tibfit_core::trust::{TrustIndex, TrustParams};
+/// let params = TrustParams::new(0.25, 0.1);
+/// let mut ti = TrustIndex::new();
+/// assert_eq!(ti.value(&params), 1.0);
+/// ti.record_faulty(&params);
+/// assert!(ti.value(&params) < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrustIndex {
+    v: f64,
+}
+
+impl TrustIndex {
+    /// A fresh index: `v = 0`, `TI = 1`.
+    #[must_use]
+    pub fn new() -> Self {
+        TrustIndex { v: 0.0 }
+    }
+
+    /// The raw fault counter `v`.
+    #[must_use]
+    pub fn counter(&self) -> f64 {
+        self.v
+    }
+
+    /// The trust index `e^(−λ·v)`, always in `(0, 1]`.
+    #[must_use]
+    pub fn value(&self, params: &TrustParams) -> f64 {
+        (-params.lambda * self.v).exp()
+    }
+
+    /// Registers a report the cluster head judged faulty: `v += 1 − f_r`.
+    pub fn record_faulty(&mut self, params: &TrustParams) {
+        self.v += params.faulty_increment();
+    }
+
+    /// Registers a report the cluster head judged correct: `v -= f_r`,
+    /// floored at zero (so TI never exceeds one).
+    pub fn record_correct(&mut self, params: &TrustParams) {
+        self.v = (self.v - params.correct_decrement()).max(0.0);
+    }
+}
+
+/// How the cluster head judged one node's behaviour in a decision round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Judgement {
+    /// The node sided with the winning group.
+    Correct,
+    /// The node sided with the losing group (or reported a bad location).
+    Faulty,
+}
+
+/// The cluster head's per-node trust table, including diagnosis state.
+///
+/// Nodes whose trust index falls below the isolation threshold are
+/// *diagnosed* as faulty and can be removed from the network (paper §3.1:
+/// "the system can identify a faulty node when its TI falls below a certain
+/// threshold. It can then be removed from the network").
+///
+/// ```rust
+/// use tibfit_core::trust::{TrustParams, TrustTable};
+/// use tibfit_net::topology::NodeId;
+///
+/// let mut table = TrustTable::new(TrustParams::new(0.5, 0.1), 3);
+/// assert_eq!(table.trust_of(NodeId(1)), 1.0);
+/// table.record_faulty(NodeId(1));
+/// assert!(table.trust_of(NodeId(1)) < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrustTable {
+    params: TrustParams,
+    entries: Vec<TrustIndex>,
+    isolated: Vec<bool>,
+    isolation_threshold: Option<f64>,
+}
+
+impl TrustTable {
+    /// Creates a table for `n` nodes, all starting at full trust, with
+    /// diagnosis disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(params: TrustParams, n: usize) -> Self {
+        assert!(n > 0, "trust table needs at least one node");
+        TrustTable {
+            params,
+            entries: vec![TrustIndex::new(); n],
+            isolated: vec![false; n],
+            isolation_threshold: None,
+        }
+    }
+
+    /// Enables diagnosis: nodes whose TI drops below `threshold` are
+    /// marked isolated and excluded from future votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1)`.
+    #[must_use]
+    pub fn with_isolation_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "isolation threshold must be in (0, 1), got {threshold}"
+        );
+        self.isolation_threshold = Some(threshold);
+        self
+    }
+
+    /// The calibration parameters.
+    #[must_use]
+    pub fn params(&self) -> &TrustParams {
+        &self.params
+    }
+
+    /// Number of tracked nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table tracks no nodes (not constructible publicly).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The trust index of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn trust_of(&self, node: NodeId) -> f64 {
+        self.entries[node.index()].value(&self.params)
+    }
+
+    /// The raw fault counter of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn counter_of(&self, node: NodeId) -> f64 {
+        self.entries[node.index()].counter()
+    }
+
+    /// Whether diagnosis has isolated this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_isolated(&self, node: NodeId) -> bool {
+        self.isolated[node.index()]
+    }
+
+    /// All currently isolated nodes.
+    #[must_use]
+    pub fn isolated_nodes(&self) -> Vec<NodeId> {
+        self.isolated
+            .iter()
+            .enumerate()
+            .filter(|(_, &iso)| iso)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Cumulative trust index of a group (the paper's CTI).
+    ///
+    /// Isolated nodes contribute zero.
+    #[must_use]
+    pub fn cumulative_trust(&self, group: &[NodeId]) -> f64 {
+        group
+            .iter()
+            .filter(|n| !self.isolated[n.index()])
+            .map(|n| self.trust_of(*n))
+            .sum()
+    }
+
+    /// Records a faulty judgement and runs diagnosis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn record_faulty(&mut self, node: NodeId) {
+        self.entries[node.index()].record_faulty(&self.params);
+        if let Some(th) = self.isolation_threshold {
+            if self.entries[node.index()].value(&self.params) < th {
+                self.isolated[node.index()] = true;
+            }
+        }
+    }
+
+    /// Records a correct judgement.
+    ///
+    /// An isolated node stays isolated (re-admission is not part of the
+    /// paper's protocol), but its counter still improves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn record_correct(&mut self, node: NodeId) {
+        self.entries[node.index()].record_correct(&self.params);
+    }
+
+    /// Applies a batch of judgements from a decision round.
+    pub fn apply_judgements(&mut self, judgements: &[(NodeId, Judgement)]) {
+        for &(node, j) in judgements {
+            match j {
+                Judgement::Correct => self.record_correct(node),
+                Judgement::Faulty => self.record_faulty(node),
+            }
+        }
+    }
+
+    /// Replaces a node's trust state (used when a new cluster head receives
+    /// the table from the base station, or in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `counter` is negative/non-finite.
+    pub fn set_counter(&mut self, node: NodeId, counter: f64) {
+        assert!(
+            counter.is_finite() && counter >= 0.0,
+            "counter must be non-negative and finite"
+        );
+        self.entries[node.index()] = TrustIndex { v: counter };
+    }
+
+    /// Exports `(node, TI)` pairs — the payload of the base-station
+    /// hand-off when leadership rotates.
+    #[must_use]
+    pub fn export(&self) -> Vec<(NodeId, f64)> {
+        (0..self.entries.len())
+            .map(|i| (NodeId(i), self.entries[i].value(&self.params)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TrustParams {
+        TrustParams::new(0.25, 0.1)
+    }
+
+    #[test]
+    fn fresh_index_is_one() {
+        assert_eq!(TrustIndex::new().value(&params()), 1.0);
+    }
+
+    #[test]
+    fn faulty_report_lowers_ti() {
+        let p = params();
+        let mut ti = TrustIndex::new();
+        ti.record_faulty(&p);
+        // v = 0.9, TI = e^(-0.25 * 0.9)
+        let expected = (-0.25f64 * 0.9).exp();
+        assert!((ti.value(&p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_report_cannot_exceed_one() {
+        let p = params();
+        let mut ti = TrustIndex::new();
+        for _ in 0..20 {
+            ti.record_correct(&p);
+        }
+        assert_eq!(ti.value(&p), 1.0);
+        assert_eq!(ti.counter(), 0.0);
+    }
+
+    #[test]
+    fn recovery_is_slower_than_decay() {
+        // One faulty report takes (1 - f_r)/f_r = 9 correct reports to undo.
+        let p = params();
+        let mut ti = TrustIndex::new();
+        ti.record_faulty(&p);
+        let mut steps = 0;
+        while ti.value(&p) < 1.0 - 1e-12 {
+            ti.record_correct(&p);
+            steps += 1;
+            assert!(steps < 100, "never recovered");
+        }
+        assert_eq!(steps, 9);
+    }
+
+    #[test]
+    fn expected_drift_at_natural_error_rate_is_zero() {
+        // E[Δv] = f_r·(1−f_r) − (1−f_r)·f_r = 0: a node erring exactly at
+        // the natural rate keeps its trust in expectation.
+        let p = params();
+        let fr = p.fault_rate;
+        let drift = fr * p.faulty_increment() - (1.0 - fr) * p.correct_decrement();
+        assert!(drift.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ti_formula_matches_paper() {
+        // After k faulty reports with no recovery, v = k(1−f_r) and
+        // TI = e^(−λk(1−f_r)). With f_r → 0 this is the paper's e^(−kλ).
+        let p = TrustParams::new(0.25, 0.0);
+        let mut ti = TrustIndex::new();
+        for _ in 0..4 {
+            ti.record_faulty(&p);
+        }
+        assert!((ti.value(&p) - (-4.0f64 * 0.25).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_nonpositive_lambda() {
+        let _ = TrustParams::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_rate must be in")]
+    fn rejects_fault_rate_of_one() {
+        let _ = TrustParams::new(0.1, 1.0);
+    }
+
+    #[test]
+    fn table_cumulative_trust_sums_members() {
+        let mut t = TrustTable::new(params(), 4);
+        t.record_faulty(NodeId(0));
+        let group = vec![NodeId(0), NodeId(1)];
+        let expected = t.trust_of(NodeId(0)) + 1.0;
+        assert!((t.cumulative_trust(&group) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolation_triggers_below_threshold() {
+        let mut t = TrustTable::new(params(), 2).with_isolation_threshold(0.5);
+        // Drive node 0's TI below 0.5: e^(-0.25 v) < 0.5 → v > 2.77 → 4
+        // faulty reports (v = 3.6).
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        assert!(t.is_isolated(NodeId(0)));
+        assert!(!t.is_isolated(NodeId(1)));
+        assert_eq!(t.isolated_nodes(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn isolated_node_contributes_zero_cti() {
+        let mut t = TrustTable::new(params(), 2).with_isolation_threshold(0.9);
+        t.record_faulty(NodeId(0));
+        assert!(t.is_isolated(NodeId(0)));
+        assert_eq!(t.cumulative_trust(&[NodeId(0)]), 0.0);
+    }
+
+    #[test]
+    fn no_isolation_without_threshold() {
+        let mut t = TrustTable::new(params(), 1);
+        for _ in 0..100 {
+            t.record_faulty(NodeId(0));
+        }
+        assert!(!t.is_isolated(NodeId(0)));
+    }
+
+    #[test]
+    fn apply_judgements_batch() {
+        use Judgement::*;
+        let mut t = TrustTable::new(params(), 3);
+        t.apply_judgements(&[(NodeId(0), Faulty), (NodeId(1), Correct), (NodeId(2), Faulty)]);
+        assert!(t.trust_of(NodeId(0)) < 1.0);
+        assert_eq!(t.trust_of(NodeId(1)), 1.0);
+        assert!(t.trust_of(NodeId(2)) < 1.0);
+    }
+
+    #[test]
+    fn export_round_trips_via_set_counter() {
+        let mut a = TrustTable::new(params(), 3);
+        a.record_faulty(NodeId(1));
+        a.record_faulty(NodeId(1));
+        let mut b = TrustTable::new(params(), 3);
+        for i in 0..3 {
+            b.set_counter(NodeId(i), a.counter_of(NodeId(i)));
+        }
+        for (id, ti) in a.export() {
+            assert!((b.trust_of(id) - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ti_always_in_unit_interval() {
+        let p = params();
+        let mut ti = TrustIndex::new();
+        for i in 0..1000 {
+            if i % 3 == 0 {
+                ti.record_correct(&p);
+            } else {
+                ti.record_faulty(&p);
+            }
+            let v = ti.value(&p);
+            assert!(v > 0.0 && v <= 1.0, "TI out of range: {v}");
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Ablation studies: the "impact of different system parameters on
+//! performance" the paper's conclusion defers to future work.
+//!
+//! Each ablation fixes the Experiment-2 scenario at a stressful operating
+//! point (50% level-appropriate faulty nodes) and sweeps one design
+//! parameter:
+//!
+//! * [`lambda_sweep`] — the trust decay constant λ. Small λ learns too
+//!   slowly; very large λ overreacts to the natural error rate.
+//! * [`fault_rate_sweep`] — the calibration constant `f_r`. Too small
+//!   punishes honest channel losses; too large lets liars recover.
+//! * [`isolation_sweep`] — the diagnosis threshold below which nodes are
+//!   expelled. Aggressive isolation risks expelling honest nodes.
+//! * [`hysteresis_sweep`] — the level-1 adversary's lower back-off
+//!   threshold, measuring how *adversary* tuning moves system accuracy
+//!   (the flip side of the paper's §4.2 discussion).
+//! * [`events_sweep`] — how much history TIBFIT needs before its
+//!   advantage over the baseline materializes (state-buildup curve).
+
+use crate::exp1::EngineKind;
+use crate::exp2::{run_exp2, Exp2Config, FaultLevel};
+use crate::report::FigureData;
+use tibfit_sim::stats::Series;
+
+/// The stressful operating point all ablations share.
+fn base_config() -> Exp2Config {
+    Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit)
+}
+
+/// Percentage of the network compromised during ablations.
+const ABLATION_PCT: f64 = 50.0;
+
+fn averaged_accuracy(config: &Exp2Config, pct: f64, trials: usize, base_seed: u64) -> f64 {
+    let accs: Vec<f64> = crate::harness::run_parallel(
+        crate::harness::trial_seeds(base_seed, trials),
+        |seed| run_exp2(config, pct, seed).accuracy,
+    );
+    accs.iter().sum::<f64>() / accs.len() as f64
+}
+
+/// Sweeps the trust decay constant λ.
+#[must_use]
+pub fn lambda_sweep(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation_lambda",
+        "Ablation — trust decay constant lambda (50% level-0 faulty)",
+        "lambda",
+        "accuracy",
+    );
+    let mut s = Series::new("TIBFIT");
+    for &lambda in &[0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let mut config = base_config();
+        config.lambda = lambda;
+        s.record(lambda, averaged_accuracy(&config, ABLATION_PCT, trials, base_seed));
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Sweeps the calibration fault rate `f_r`.
+#[must_use]
+pub fn fault_rate_sweep(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation_fault_rate",
+        "Ablation — calibration fault rate f_r (50% level-0 faulty)",
+        "f_r",
+        "accuracy",
+    );
+    let mut s = Series::new("TIBFIT");
+    for &fr in &[0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let mut config = base_config();
+        config.fault_rate = fr;
+        s.record(fr, averaged_accuracy(&config, ABLATION_PCT, trials, base_seed));
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Sweeps the number of events (state build-up) and reports the TIBFIT
+/// advantage over the baseline at each history length.
+#[must_use]
+pub fn events_sweep(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation_events",
+        "Ablation — accuracy vs history length (50% level-0 faulty)",
+        "events per simulation",
+        "accuracy",
+    );
+    let mut tibfit = Series::new("TIBFIT");
+    let mut baseline = Series::new("Baseline");
+    for &events in &[25u64, 50, 100, 200, 400] {
+        let mut tc = base_config();
+        tc.events = events;
+        tibfit.record(events as f64, averaged_accuracy(&tc, ABLATION_PCT, trials, base_seed));
+        let mut bc = base_config();
+        bc.engine = EngineKind::Baseline;
+        bc.events = events;
+        baseline.record(events as f64, averaged_accuracy(&bc, ABLATION_PCT, trials, base_seed));
+    }
+    fig.series.push(tibfit);
+    fig.series.push(baseline);
+    fig
+}
+
+/// Sweeps the level-1 adversary's lower hysteresis threshold against the
+/// fixed TIBFIT defense. Uses custom behavior wiring, so it runs its own
+/// mini-harness rather than [`run_exp2`].
+#[must_use]
+pub fn hysteresis_sweep(trials: usize, base_seed: u64) -> FigureData {
+    use crate::network::{ClusterSim, ClusterSimConfig};
+    use tibfit_adversary::behavior::NodeBehavior;
+    use tibfit_adversary::{CorrectNode, Level0Config, Level1Node};
+    use tibfit_core::engine::TibfitEngine;
+    use tibfit_core::trust::TrustParams;
+    use tibfit_net::channel::BernoulliLoss;
+    use tibfit_net::geometry::Point;
+    use tibfit_net::topology::Topology;
+    use tibfit_sim::rng::SimRng;
+
+    let mut fig = FigureData::new(
+        "ablation_hysteresis",
+        "Ablation — level-1 back-off threshold vs system accuracy (50% faulty)",
+        "adversary lower TI threshold",
+        "accuracy",
+    );
+    let mut s = Series::new("TIBFIT vs level-1");
+    let base = base_config();
+    for &lower in &[0.1, 0.3, 0.5, 0.7] {
+        let upper = f64::min(lower + 0.3, 0.99);
+        let run_one = |seed: u64| -> f64 {
+            let params = TrustParams::new(base.lambda, base.fault_rate);
+            let mut rng = SimRng::seed_from(seed);
+            let faulty = rng.choose_indices(base.n_nodes, base.n_nodes / 2);
+            let behaviors: Vec<Box<dyn NodeBehavior>> = (0..base.n_nodes)
+                .map(|i| -> Box<dyn NodeBehavior> {
+                    if faulty.contains(&i) {
+                        Box::new(Level1Node::new(
+                            Level0Config::experiment2(base.faulty_sigma),
+                            base.correct_sigma,
+                            params,
+                            lower,
+                            upper,
+                        ))
+                    } else {
+                        Box::new(CorrectNode::new(0.0, base.correct_sigma))
+                    }
+                })
+                .collect();
+            let topo = Topology::uniform_grid(base.n_nodes, base.field, base.field);
+            let mut event_rng = rng.fork(0xAB);
+            let mut sim = ClusterSim::new(
+                ClusterSimConfig {
+                    sensing_radius: base.sensing_radius,
+                    r_error: base.r_error,
+                    ch_position: Point::new(base.field / 2.0, base.field / 2.0),
+                },
+                topo,
+                behaviors,
+                Box::new(BernoulliLoss::new(base.channel_loss)),
+                Box::new(TibfitEngine::new(params, base.n_nodes)),
+                rng,
+            );
+            let mut hits = 0usize;
+            for _ in 0..base.events {
+                let event = sim.topology().random_event_location(&mut event_rng);
+                hits += sim.run_located_round(&[event]).detected_within(base.r_error);
+            }
+            hits as f64 / base.events as f64
+        };
+        let accs: Vec<f64> =
+            crate::harness::run_parallel(crate::harness::trial_seeds(base_seed, trials), run_one);
+        s.record(lower, accs.iter().sum::<f64>() / accs.len() as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Sweeps the diagnosis/isolation threshold: once a node's TI falls below
+/// it, the node is expelled from all future votes.
+#[must_use]
+pub fn isolation_sweep(trials: usize, base_seed: u64) -> FigureData {
+    use crate::network::{ClusterSim, ClusterSimConfig};
+    use tibfit_adversary::behavior::NodeBehavior;
+    use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+    use tibfit_core::engine::TibfitEngine;
+    use tibfit_core::trust::TrustParams;
+    use tibfit_net::channel::BernoulliLoss;
+    use tibfit_net::geometry::Point;
+    use tibfit_net::topology::Topology;
+    use tibfit_sim::rng::SimRng;
+
+    let mut fig = FigureData::new(
+        "ablation_isolation",
+        "Ablation — diagnosis threshold (50% level-0 faulty)",
+        "isolation TI threshold",
+        "accuracy / isolated fraction",
+    );
+    let mut acc_series = Series::new("accuracy");
+    let mut iso_series = Series::new("isolated fraction");
+    let base = base_config();
+    for &threshold in &[0.05, 0.1, 0.2, 0.4, 0.6] {
+        let run_one = |seed: u64| -> (f64, f64) {
+            let params = TrustParams::new(base.lambda, base.fault_rate);
+            let mut rng = SimRng::seed_from(seed);
+            let faulty = rng.choose_indices(base.n_nodes, base.n_nodes / 2);
+            let behaviors: Vec<Box<dyn NodeBehavior>> = (0..base.n_nodes)
+                .map(|i| -> Box<dyn NodeBehavior> {
+                    if faulty.contains(&i) {
+                        Box::new(Level0Node::new(Level0Config::experiment2(base.faulty_sigma)))
+                    } else {
+                        Box::new(CorrectNode::new(0.0, base.correct_sigma))
+                    }
+                })
+                .collect();
+            let topo = Topology::uniform_grid(base.n_nodes, base.field, base.field);
+            let mut event_rng = rng.fork(0xAB);
+            let mut sim = ClusterSim::new(
+                ClusterSimConfig {
+                    sensing_radius: base.sensing_radius,
+                    r_error: base.r_error,
+                    ch_position: Point::new(base.field / 2.0, base.field / 2.0),
+                },
+                topo,
+                behaviors,
+                Box::new(BernoulliLoss::new(base.channel_loss)),
+                Box::new(
+                    TibfitEngine::new(params, base.n_nodes).with_isolation_threshold(threshold),
+                ),
+                rng,
+            );
+            let mut hits = 0usize;
+            for _ in 0..base.events {
+                let event = sim.topology().random_event_location(&mut event_rng);
+                hits += sim.run_located_round(&[event]).detected_within(base.r_error);
+            }
+            (
+                hits as f64 / base.events as f64,
+                sim.isolated_nodes().len() as f64 / base.n_nodes as f64,
+            )
+        };
+        let results: Vec<(f64, f64)> =
+            crate::harness::run_parallel(crate::harness::trial_seeds(base_seed, trials), run_one);
+        let n = results.len() as f64;
+        acc_series.record(threshold, results.iter().map(|r| r.0).sum::<f64>() / n);
+        iso_series.record(threshold, results.iter().map(|r| r.1).sum::<f64>() / n);
+    }
+    fig.series.push(acc_series);
+    fig.series.push(iso_series);
+    fig
+}
+
+/// Sweeps node mobility (random-waypoint speed, in field units per event
+/// interval) and measures detection accuracy — validating the paper's §2
+/// claim that TIBFIT works on mobile networks "as long as it is possible
+/// for the CH to estimate the positions of its cluster nodes".
+#[must_use]
+pub fn mobility_sweep(trials: usize, base_seed: u64) -> FigureData {
+    use crate::network::{ClusterSim, ClusterSimConfig};
+    use tibfit_adversary::behavior::NodeBehavior;
+    use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+    use tibfit_core::engine::TibfitEngine;
+    use tibfit_core::trust::TrustParams;
+    use tibfit_net::channel::BernoulliLoss;
+    use tibfit_net::geometry::Point;
+    use tibfit_net::mobility::{MobilityModel, RandomWaypoint, Stationary};
+    use tibfit_net::topology::Topology;
+    use tibfit_sim::rng::SimRng;
+
+    let mut fig = FigureData::new(
+        "ablation_mobility",
+        "Ablation — node mobility (random waypoint) at 30% level-0 faulty",
+        "node speed (units per event)",
+        "accuracy",
+    );
+    let mut s = Series::new("TIBFIT");
+    let base = base_config();
+    for &speed in &[0.0, 0.5, 1.0, 2.0, 4.0] {
+        let run_one = |seed: u64| -> f64 {
+            let params = TrustParams::new(base.lambda, base.fault_rate);
+            let mut rng = SimRng::seed_from(seed);
+            let faulty = rng.choose_indices(base.n_nodes, base.n_nodes * 3 / 10);
+            let behaviors: Vec<Box<dyn NodeBehavior>> = (0..base.n_nodes)
+                .map(|i| -> Box<dyn NodeBehavior> {
+                    if faulty.contains(&i) {
+                        Box::new(Level0Node::new(Level0Config::experiment2(base.faulty_sigma)))
+                    } else {
+                        Box::new(CorrectNode::new(0.0, base.correct_sigma))
+                    }
+                })
+                .collect();
+            let topo = Topology::uniform_grid(base.n_nodes, base.field, base.field);
+            let mut mobility_rng = rng.fork(0x30B);
+            let mut event_rng = rng.fork(0xAB);
+            let mut sim = ClusterSim::new(
+                ClusterSimConfig {
+                    sensing_radius: base.sensing_radius,
+                    r_error: base.r_error,
+                    ch_position: Point::new(base.field / 2.0, base.field / 2.0),
+                },
+                topo,
+                behaviors,
+                Box::new(BernoulliLoss::new(base.channel_loss)),
+                Box::new(TibfitEngine::new(params, base.n_nodes)),
+                rng,
+            );
+            let mut model: Box<dyn MobilityModel> = if speed > 0.0 {
+                Box::new(RandomWaypoint::new(
+                    speed * 0.5,
+                    speed,
+                    0.0,
+                    sim.topology(),
+                    &mut mobility_rng,
+                ))
+            } else {
+                Box::new(Stationary)
+            };
+            let mut hits = 0usize;
+            for _ in 0..base.events {
+                model.step(sim.topology_mut(), 1.0, &mut mobility_rng);
+                let event = sim.topology().random_event_location(&mut event_rng);
+                hits += sim.run_located_round(&[event]).detected_within(base.r_error);
+            }
+            hits as f64 / base.events as f64
+        };
+        let accs: Vec<f64> =
+            crate::harness::run_parallel(crate::harness::trial_seeds(base_seed, trials), run_one);
+        s.record(speed, accs.iter().sum::<f64>() / accs.len() as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_sweep_produces_all_points() {
+        let fig = lambda_sweep(1, 3);
+        assert_eq!(fig.series.len(), 1);
+        assert_eq!(fig.series[0].len(), 6);
+        // Every accuracy is a probability.
+        for (_, y) in fig.series[0].points() {
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn moderate_lambda_beats_extremes_or_ties() {
+        // λ = 0.25 (the paper's choice) should not be dominated by the
+        // degenerate extremes.
+        let fig = lambda_sweep(2, 11);
+        let y = |x: f64| fig.series[0].y_at(x).unwrap();
+        assert!(y(0.25) + 0.05 >= y(0.05), "0.25: {}, 0.05: {}", y(0.25), y(0.05));
+    }
+
+    #[test]
+    fn events_sweep_shows_state_buildup() {
+        let fig = events_sweep(2, 7);
+        let tibfit = &fig.series[0];
+        let baseline = &fig.series[1];
+        // With a long history TIBFIT pulls ahead of the baseline.
+        let t400 = tibfit.y_at(400.0).unwrap();
+        let b400 = baseline.y_at(400.0).unwrap();
+        assert!(t400 >= b400, "TIBFIT {t400} vs baseline {b400} at 400 events");
+    }
+
+    #[test]
+    fn isolation_sweep_reports_both_metrics() {
+        let fig = isolation_sweep(1, 5);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.len(), 5);
+        }
+    }
+
+    #[test]
+    fn hysteresis_sweep_covers_thresholds() {
+        let fig = hysteresis_sweep(1, 9);
+        assert_eq!(fig.series[0].len(), 4);
+    }
+
+    #[test]
+    fn fault_rate_sweep_covers_range() {
+        let fig = fault_rate_sweep(1, 13);
+        assert_eq!(fig.series[0].len(), 6);
+    }
+
+    #[test]
+    fn mobility_does_not_break_detection() {
+        // The paper's §2 claim: mobile networks work as long as the CH
+        // tracks positions. Accuracy at moderate speed should be within
+        // a few points of stationary.
+        let fig = mobility_sweep(2, 17);
+        let s = &fig.series[0];
+        let stationary = s.y_at(0.0).unwrap();
+        let moving = s.y_at(2.0).unwrap();
+        assert!(stationary > 0.85, "stationary accuracy {stationary}");
+        assert!(
+            (stationary - moving).abs() < 0.1,
+            "stationary {stationary} vs speed-2 {moving}"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! `tibfit-exp` — regenerate the TIBFIT paper's tables and figures.
+//!
+//! ```text
+//! tibfit-exp <exp1|exp2|exp3|fig10|fig11|tables|all> [--trials N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Each figure is printed as an aligned markdown table and written as a
+//! CSV under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tibfit_experiments::report::FigureData;
+use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow};
+use tibfit_sim::stats::Series;
+
+struct Options {
+    command: String,
+    trials: usize,
+    seed: u64,
+    out_dir: PathBuf,
+    chart: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut options = Options {
+        command,
+        trials: 3,
+        seed: 42,
+        out_dir: PathBuf::from("results"),
+        chart: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--trials" => {
+                options.trials = value()?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => {
+                options.out_dir = PathBuf::from(value()?);
+            }
+            "--chart" => {
+                options.chart = true;
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if options.trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: tibfit-exp <exp1|exp2|exp3|exp4|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
+        .to_string()
+}
+
+fn emit(fig: &FigureData, options: &Options) {
+    println!("{}", fig.to_markdown());
+    if options.chart {
+        println!("{}", fig.to_ascii_chart(60, 16));
+    }
+    match fig.write_csv(&options.out_dir) {
+        Ok(path) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", fig.id),
+    }
+}
+
+fn fig10_data() -> FigureData {
+    let mut fig = FigureData::new(
+        "fig10",
+        "Expected baseline accuracy vs percentage faulty (analysis)",
+        "% faulty nodes",
+        "P(success)",
+    );
+    for line in tibfit_analysis::fig10::generate() {
+        let mut s = Series::new(format!("p={}", line.p));
+        for (x, y) in line.points {
+            s.record(x, y);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+fn fig11_data() -> FigureData {
+    let mut fig = FigureData::new(
+        "fig11",
+        "f(k) vs k for several lambda (root = tolerable corruption interval)",
+        "k (events between corruptions)",
+        "f(k)",
+    );
+    for line in tibfit_analysis::fig11::generate(60.0, 61) {
+        let mut s = Series::new(format!("lambda={}", line.lambda));
+        for (x, y) in line.points {
+            s.record(x, y);
+        }
+        fig.series.push(s);
+        println!(
+            "lambda={}: root k = {:.3}, end-game k_max = ln(3)/lambda = {:.3}",
+            line.lambda,
+            line.root,
+            tibfit_analysis::k_max_final(line.lambda)
+        );
+    }
+    println!();
+    fig
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let t = options.trials;
+    let s = options.seed;
+    let run_exp1 = || {
+        println!("{}", exp1::table1());
+        emit(&exp1::figure2(t, s), options);
+        emit(&exp1::figure3(t, s), options);
+    };
+    let run_exp2 = || {
+        println!("{}", exp2::table2());
+        emit(&exp2::figure4(t, s), options);
+        emit(&exp2::figure5(t, s), options);
+        emit(&exp2::figure6(t, s), options);
+        emit(&exp2::figure7(t, s), options);
+    };
+    let run_exp3 = || {
+        emit(&exp3::figure8(t, s), options);
+        emit(&exp3::figure9(t, s), options);
+    };
+    let run_exp4 = || {
+        for lambda in [0.1, 0.25, 0.5] {
+            let dc = tibfit_analysis::hysteresis_duty_cycle(lambda, 0.1, 0.5, 0.8, 1.0);
+            println!(
+                "level-1 duty cycle (lambda={lambda}): lying {:.1} rounds, honest {:.1} rounds, duty {:.3}",
+                dc.lying_rounds, dc.honest_rounds, dc.duty
+            );
+        }
+        println!();
+        emit(&exp4_shadow::figure_shadow(t, s), options);
+    };
+    let run_analysis = || {
+        emit(&fig10_data(), options);
+        emit(&fig11_data(), options);
+    };
+    let run_ablation = || {
+        emit(&ablation::lambda_sweep(t, s), options);
+        emit(&ablation::fault_rate_sweep(t, s), options);
+        emit(&ablation::isolation_sweep(t, s), options);
+        emit(&ablation::hysteresis_sweep(t, s), options);
+        emit(&ablation::events_sweep(t, s), options);
+        emit(&ablation::mobility_sweep(t, s), options);
+    };
+    match options.command.as_str() {
+        "exp1" => run_exp1(),
+        "exp2" => run_exp2(),
+        "exp3" => run_exp3(),
+        "fig10" => emit(&fig10_data(), options),
+        "fig11" => emit(&fig11_data(), options),
+        "exp4" => run_exp4(),
+        "ablation" => run_ablation(),
+        "tables" => {
+            println!("{}", exp1::table1());
+            println!("{}", exp2::table2());
+        }
+        "all" => {
+            run_exp1();
+            run_exp2();
+            run_exp3();
+            run_exp4();
+            run_analysis();
+            run_ablation();
+        }
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

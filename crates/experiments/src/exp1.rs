@@ -1,0 +1,378 @@
+//! Experiment 1 (paper §4.1): binary event detection under level-0
+//! faults.
+//!
+//! Setup (Table 1): a cluster of 10 sensing nodes plus a cluster head;
+//! every node is an event neighbor of every event; 100 events per
+//! simulation; λ = 0.1 and `f_r` = the correct nodes' NER. Faulty nodes
+//! are level-0 with a 50% missed-alarm rate and a configurable
+//! false-alarm rate. The independent variable is the percentage of
+//! faulty nodes (40–90%).
+//!
+//! Each event interval is simulated as a quiet inter-event round (in
+//! which only false alarms can trigger a decision) followed by the real
+//! event round; accuracy is the fraction of real events the cluster head
+//! detects.
+
+use crate::network::{ClusterSim, ClusterSimConfig};
+use crate::report::FigureData;
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_core::engine::{Aggregator, BaselineEngine, TibfitEngine};
+use tibfit_core::trust::TrustParams;
+use tibfit_net::channel::Perfect;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::stats::Series;
+
+/// Which decision engine a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Trust-index weighted voting.
+    Tibfit,
+    /// Stateless majority voting.
+    Baseline,
+}
+
+impl EngineKind {
+    /// Display name matching the paper's legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Tibfit => "TIBFIT",
+            EngineKind::Baseline => "Baseline",
+        }
+    }
+}
+
+/// Table-1 parameters for one Experiment-1 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp1Config {
+    /// Cluster size (paper: 10 sensing nodes).
+    pub n_nodes: usize,
+    /// Real events per simulation (paper: 100).
+    pub events: u64,
+    /// Trust decay constant λ (paper: 0.1).
+    pub lambda: f64,
+    /// Correct nodes' natural error rate (paper: 0, 1, or 5%).
+    pub correct_ner: f64,
+    /// Faulty nodes' missed-alarm probability (paper: 50%).
+    pub faulty_missed_alarm: f64,
+    /// Faulty nodes' false-alarm probability (paper: 0, 10, or 75%).
+    pub faulty_false_alarm: f64,
+    /// Which engine decides.
+    pub engine: EngineKind,
+}
+
+impl Exp1Config {
+    /// The Figure-2 setting: missed alarms only, TIBFIT.
+    #[must_use]
+    pub fn paper_fig2(correct_ner: f64) -> Self {
+        Exp1Config {
+            n_nodes: 10,
+            events: 100,
+            lambda: 0.1,
+            correct_ner,
+            faulty_missed_alarm: 0.5,
+            faulty_false_alarm: 0.0,
+            engine: EngineKind::Tibfit,
+        }
+    }
+
+    /// The Figure-3 setting: 1% NER, configurable false alarms, TIBFIT.
+    #[must_use]
+    pub fn paper_fig3(faulty_false_alarm: f64) -> Self {
+        Exp1Config {
+            n_nodes: 10,
+            events: 100,
+            lambda: 0.1,
+            correct_ner: 0.01,
+            faulty_missed_alarm: 0.5,
+            faulty_false_alarm,
+            engine: EngineKind::Tibfit,
+        }
+    }
+
+    fn trust_params(&self) -> TrustParams {
+        // Table 1: fault rate f_r = NER. λ must be positive; a 0% NER is
+        // representable (f_r = 0).
+        TrustParams::new(self.lambda, self.correct_ner)
+    }
+}
+
+/// Outcome of one Experiment-1 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp1Outcome {
+    /// Fraction of real events detected.
+    pub accuracy: f64,
+    /// Fraction of inter-event rounds in which a spurious event was
+    /// declared.
+    pub false_positive_rate: f64,
+    /// Faulty nodes the engine had diagnosed/isolated by the end.
+    pub isolated: usize,
+}
+
+/// Runs one Experiment-1 simulation with `pct_faulty`% of the cluster
+/// compromised.
+///
+/// # Panics
+///
+/// Panics if `pct_faulty` is outside `[0, 100]`.
+#[must_use]
+pub fn run_exp1(config: &Exp1Config, pct_faulty: f64, seed: u64) -> Exp1Outcome {
+    assert!(
+        (0.0..=100.0).contains(&pct_faulty),
+        "pct_faulty must be a percentage"
+    );
+    let n = config.n_nodes;
+    let n_faulty = (pct_faulty / 100.0 * n as f64).round() as usize;
+
+    let mut rng = SimRng::seed_from(seed);
+    // Random placement of the faulty subset.
+    let faulty_set = rng.choose_indices(n, n_faulty);
+
+    let topo = Topology::single_cluster(n, 5.0);
+    let ch_position = Point::new(topo.width() / 2.0, topo.height() / 2.0);
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
+        .map(|i| -> Box<dyn NodeBehavior> {
+            if faulty_set.contains(&i) {
+                Box::new(Level0Node::new(Level0Config {
+                    missed_alarm: config.faulty_missed_alarm,
+                    false_alarm: config.faulty_false_alarm,
+                    loc_sigma: 0.0,
+                    drop_prob: 0.0,
+                }))
+            } else {
+                Box::new(CorrectNode::new(config.correct_ner, 0.0))
+            }
+        })
+        .collect();
+
+    let engine: Box<dyn Aggregator> = match config.engine {
+        EngineKind::Tibfit => Box::new(TibfitEngine::new(config.trust_params(), n)),
+        EngineKind::Baseline => Box::new(BaselineEngine::new()),
+    };
+
+    let mut sim = ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            ch_position,
+        },
+        topo,
+        behaviors,
+        Box::new(Perfect),
+        engine,
+        rng,
+    );
+
+    let mut detected = 0u64;
+    let mut false_positives = 0u64;
+    for _ in 0..config.events {
+        // The quiet inter-event interval: false alarms may fire here.
+        let quiet = sim.run_binary_round(false);
+        if quiet.event_declared {
+            false_positives += 1;
+        }
+        // The real event.
+        let event = sim.run_binary_round(true);
+        if event.event_declared {
+            detected += 1;
+        }
+    }
+    Exp1Outcome {
+        accuracy: detected as f64 / config.events as f64,
+        false_positive_rate: false_positives as f64 / config.events as f64,
+        isolated: sim.isolated_nodes().len(),
+    }
+}
+
+/// The faulty-percentage sweep used by Figures 2 and 3.
+pub const PCT_SWEEP: [f64; 6] = [40.0, 50.0, 60.0, 70.0, 80.0, 90.0];
+
+/// Builds a swept, trial-averaged series for one configuration.
+#[must_use]
+pub fn sweep_series(config: &Exp1Config, label: &str, trials: usize, base_seed: u64) -> Series {
+    let mut series = Series::new(label);
+    let points: Vec<(f64, f64)> = crate::harness::run_parallel(
+        PCT_SWEEP
+            .iter()
+            .flat_map(|&pct| {
+                crate::harness::trial_seeds(base_seed ^ (pct as u64), trials)
+                    .into_iter()
+                    .map(move |seed| (pct, seed))
+            })
+            .collect(),
+        |(pct, seed)| (pct, run_exp1(config, pct, seed).accuracy),
+    );
+    for (pct, acc) in points {
+        series.record(pct, acc);
+    }
+    series
+}
+
+/// Figure 2: binary-event accuracy vs. percentage faulty, missed alarms
+/// only, for correct-node NER ∈ {0, 1, 5}%.
+#[must_use]
+pub fn figure2(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig2",
+        "Experiment 1 — binary events, 50% missed alarms (TIBFIT)",
+        "% faulty nodes",
+        "accuracy",
+    );
+    for &ner in &[0.0, 0.01, 0.05] {
+        let config = Exp1Config::paper_fig2(ner);
+        let label = format!("NER {:.0}%", ner * 100.0);
+        fig.series.push(sweep_series(&config, &label, trials, base_seed));
+    }
+    fig
+}
+
+/// Figure 3: accuracy with both missed alarms (50%) and false alarms
+/// (0, 10, 75%), correct nodes at 1% NER.
+#[must_use]
+pub fn figure3(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig3",
+        "Experiment 1 — 50% missed alarms + false alarms (TIBFIT, NER 1%)",
+        "% faulty nodes",
+        "accuracy",
+    );
+    for &fa in &[0.0, 0.10, 0.75] {
+        let config = Exp1Config::paper_fig3(fa);
+        let label = format!("FA {:.0}%", fa * 100.0);
+        fig.series.push(sweep_series(&config, &label, trials, base_seed));
+    }
+    fig
+}
+
+/// Renders Table 1 (the experiment's parameter sheet) as markdown.
+#[must_use]
+pub fn table1() -> String {
+    let rows = [
+        ("Type of Event", "Binary Event Model".to_string()),
+        (
+            "Independent Variable",
+            "Percentage Faulty Nodes: 40%-90%".to_string(),
+        ),
+        ("Correct Nodes NER", "0, 1, and 5%".to_string()),
+        (
+            "Faulty Nodes",
+            "Level 0: Missed Alarm 50%, False alarm 0, 10, and 75%".to_string(),
+        ),
+        ("Size of network", "10 sensing nodes, 1 CH".to_string()),
+        ("Number of Event neighbors", "10".to_string()),
+        ("Events per simulation", "100".to_string()),
+        ("lambda", "0.1".to_string()),
+        ("Fault rate (f_r)", "Same as NER".to_string()),
+    ];
+    let mut out = String::from("### Table 1 — Parameters for Experiment 1\n\n");
+    out.push_str("| Parameter | Value |\n|---|---|\n");
+    for (k, v) in rows {
+        out.push_str(&format!("| {k} | {v} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(config: &Exp1Config, pct: f64) -> Exp1Outcome {
+        run_exp1(config, pct, 1234)
+    }
+
+    #[test]
+    fn all_correct_cluster_is_perfect() {
+        let config = Exp1Config::paper_fig2(0.0);
+        let out = quick(&config, 0.0);
+        assert_eq!(out.accuracy, 1.0);
+        assert_eq!(out.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn tibfit_maintains_accuracy_at_70_percent() {
+        // The paper's headline Figure-2 claim: >85% accuracy at 70%
+        // compromised.
+        let config = Exp1Config::paper_fig2(0.0);
+        let out = quick(&config, 70.0);
+        assert!(out.accuracy > 0.85, "accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn accuracy_degrades_by_90_percent_faulty() {
+        let config = Exp1Config::paper_fig2(0.01);
+        let high = quick(&config, 40.0).accuracy;
+        let low = quick(&config, 90.0).accuracy;
+        assert!(low < high, "40%: {high}, 90%: {low}");
+    }
+
+    #[test]
+    fn tibfit_beats_baseline_at_high_compromise() {
+        let mut t_acc = 0.0;
+        let mut b_acc = 0.0;
+        let trials = 5;
+        for (i, seed) in crate::harness::trial_seeds(9, trials).into_iter().enumerate() {
+            let _ = i;
+            let tibfit = Exp1Config::paper_fig2(0.01);
+            let baseline = Exp1Config {
+                engine: EngineKind::Baseline,
+                ..tibfit
+            };
+            t_acc += run_exp1(&tibfit, 70.0, seed).accuracy;
+            b_acc += run_exp1(&baseline, 70.0, seed).accuracy;
+        }
+        t_acc /= trials as f64;
+        b_acc /= trials as f64;
+        assert!(
+            t_acc > b_acc,
+            "TIBFIT {t_acc} should beat baseline {b_acc} at 70% faulty"
+        );
+    }
+
+    #[test]
+    fn false_alarms_accelerate_diagnosis() {
+        // With false alarms, faulty nodes lose trust faster; below the
+        // collapse point accuracy with FA=75% should be at least as good
+        // as with FA=0% (the paper's Figure-3 observation).
+        let trials = 5;
+        let mut acc_fa0 = 0.0;
+        let mut acc_fa75 = 0.0;
+        for seed in crate::harness::trial_seeds(21, trials) {
+            acc_fa0 += run_exp1(&Exp1Config::paper_fig3(0.0), 60.0, seed).accuracy;
+            acc_fa75 += run_exp1(&Exp1Config::paper_fig3(0.75), 60.0, seed).accuracy;
+        }
+        assert!(
+            acc_fa75 >= acc_fa0 - 0.05 * trials as f64,
+            "FA-75 {acc_fa75} vs FA-0 {acc_fa0}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let config = Exp1Config::paper_fig3(0.10);
+        assert_eq!(run_exp1(&config, 60.0, 7), run_exp1(&config, 60.0, 7));
+    }
+
+    #[test]
+    fn sweep_series_covers_all_points() {
+        let config = Exp1Config::paper_fig2(0.0);
+        let s = sweep_series(&config, "t", 2, 5);
+        assert_eq!(s.len(), PCT_SWEEP.len());
+    }
+
+    #[test]
+    fn table1_mentions_all_parameters() {
+        let t = table1();
+        for key in ["Binary Event Model", "40%-90%", "lambda", "0.1", "100"] {
+            assert!(t.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn rejects_bad_percentage() {
+        let _ = run_exp1(&Exp1Config::paper_fig2(0.0), 150.0, 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Experiment 2 (paper §4.2): event detection with location
+//! determination.
+//!
+//! Setup (Table 2): 100 nodes uniform on a 100×100 grid, single logical
+//! cluster whose head knows all positions, sensing radius 20,
+//! `r_error` = 5, λ = 0.25, `f_r` = 0.1. Correct nodes localize with
+//! per-axis Gaussian error σ ∈ {1.6, 2.0}; faulty nodes with
+//! σ ∈ {4.25, 6.0} and drop 25% of their packets. Faulty nodes are
+//! level 0 (naive), level 1 (smart independent, hysteresis 0.5/0.8), or
+//! level 2 (smart colluding). The independent variable is the percentage
+//! compromised (10–58%); accuracy is the fraction of events the CH
+//! declares within `r_error` of the true location.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::exp1::EngineKind;
+use crate::network::{ClusterSim, ClusterSimConfig};
+use crate::report::FigureData;
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CollusionCoordinator, CorrectNode, Level0Config, Level0Node, Level1Node, Level2Node};
+use tibfit_core::engine::{Aggregator, BaselineEngine, TibfitEngine};
+use tibfit_core::trust::TrustParams;
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::stats::Series;
+
+/// The adversary sophistication level under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLevel {
+    /// Naive random liars.
+    Level0,
+    /// Smart independent liars (trust-aware hysteresis).
+    Level1,
+    /// Smart colluding liars (shared lie or shared silence).
+    Level2,
+}
+
+impl FaultLevel {
+    /// Legend label ("Lvl 0" etc.).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultLevel::Level0 => "Lvl 0",
+            FaultLevel::Level1 => "Lvl 1",
+            FaultLevel::Level2 => "Lvl 2",
+        }
+    }
+}
+
+/// Table-2 parameters for one Experiment-2 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp2Config {
+    /// Network size (paper: 100).
+    pub n_nodes: usize,
+    /// Field side length (paper: 100×100).
+    pub field: f64,
+    /// Sensing radius `r_s` (paper: 20).
+    pub sensing_radius: f64,
+    /// Localization tolerance `r_error` (paper: 5).
+    pub r_error: f64,
+    /// Events per simulation (the paper doesn't state it; 300 lets trust
+    /// settle while keeping runs fast — see DESIGN.md §5).
+    pub events: u64,
+    /// Trust decay constant (paper: 0.25).
+    pub lambda: f64,
+    /// Trust fault rate `f_r` (paper: 0.1, decoupled from NER to absorb
+    /// channel losses).
+    pub fault_rate: f64,
+    /// Correct nodes' per-axis location error σ (paper: 1.6 or 2.0).
+    pub correct_sigma: f64,
+    /// Faulty nodes' per-axis location error σ (paper: 4.25 or 6.0).
+    pub faulty_sigma: f64,
+    /// Ambient wireless loss for every transmission (paper: "<1%").
+    pub channel_loss: f64,
+    /// The adversary level.
+    pub level: FaultLevel,
+    /// Which engine decides.
+    pub engine: EngineKind,
+    /// When `true`, each round injects two concurrent events (Figure 7).
+    pub concurrent_events: bool,
+}
+
+impl Exp2Config {
+    /// The paper's Table-2 defaults with a chosen σ pair, level, and
+    /// engine.
+    #[must_use]
+    pub fn paper(
+        correct_sigma: f64,
+        faulty_sigma: f64,
+        level: FaultLevel,
+        engine: EngineKind,
+    ) -> Self {
+        Exp2Config {
+            n_nodes: 100,
+            field: 100.0,
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            events: 300,
+            lambda: 0.25,
+            fault_rate: 0.1,
+            correct_sigma,
+            faulty_sigma,
+            channel_loss: 0.005,
+            level,
+            engine,
+            concurrent_events: false,
+        }
+    }
+
+    fn trust_params(&self) -> TrustParams {
+        TrustParams::new(self.lambda, self.fault_rate)
+    }
+
+    /// Legend string in the paper's format:
+    /// `"Lvl M W-Z [TIBFIT|Baseline]"`.
+    #[must_use]
+    pub fn legend(&self) -> String {
+        format!(
+            "{} {}-{} {}",
+            self.level.label(),
+            self.correct_sigma,
+            self.faulty_sigma,
+            self.engine.label()
+        )
+    }
+}
+
+/// Outcome of one Experiment-2 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp2Outcome {
+    /// Fraction of true events detected within `r_error`.
+    pub accuracy: f64,
+    /// Mean spurious event declarations per round.
+    pub false_positives_per_round: f64,
+    /// Nodes diagnosed/isolated by the end (TIBFIT only).
+    pub isolated: usize,
+}
+
+/// Builds the behavior stack for a run.
+fn build_behaviors(
+    config: &Exp2Config,
+    faulty_set: &[usize],
+    seed: u64,
+) -> Vec<Box<dyn NodeBehavior>> {
+    let params = config.trust_params();
+    let lie = Level0Config::experiment2(config.faulty_sigma);
+    // Smart adversaries only restrain themselves when a trust system can
+    // diagnose them; against the stateless baseline they lie relentlessly.
+    let restrained = config.engine == EngineKind::Tibfit;
+    // One shared coordinator per run for the level-2 gang.
+    let coordinator: Rc<RefCell<CollusionCoordinator>> = Rc::new(RefCell::new(if restrained {
+        CollusionCoordinator::with_paper_thresholds(seed ^ 0xC0DE, config.faulty_sigma, params)
+    } else {
+        CollusionCoordinator::relentless(seed ^ 0xC0DE, config.faulty_sigma, params)
+    }));
+    let mut first_colluder = true;
+    (0..config.n_nodes)
+        .map(|i| -> Box<dyn NodeBehavior> {
+            if faulty_set.contains(&i) {
+                match config.level {
+                    FaultLevel::Level0 => Box::new(Level0Node::new(lie)),
+                    FaultLevel::Level1 if restrained => {
+                        Box::new(Level1Node::with_paper_thresholds(
+                            lie,
+                            config.correct_sigma,
+                            params,
+                        ))
+                    }
+                    FaultLevel::Level1 => Box::new(Level1Node::relentless(
+                        lie,
+                        config.correct_sigma,
+                        params,
+                    )),
+                    FaultLevel::Level2 => {
+                        let representative = first_colluder;
+                        first_colluder = false;
+                        Box::new(Level2Node::new(
+                            Rc::clone(&coordinator),
+                            config.correct_sigma,
+                            representative,
+                        ))
+                    }
+                }
+            } else {
+                Box::new(CorrectNode::new(0.0, config.correct_sigma))
+            }
+        })
+        .collect()
+}
+
+/// Runs one Experiment-2 simulation with `pct_faulty`% of the network
+/// compromised.
+///
+/// # Panics
+///
+/// Panics if `pct_faulty` is outside `[0, 100]`.
+#[must_use]
+pub fn run_exp2(config: &Exp2Config, pct_faulty: f64, seed: u64) -> Exp2Outcome {
+    assert!(
+        (0.0..=100.0).contains(&pct_faulty),
+        "pct_faulty must be a percentage"
+    );
+    let n = config.n_nodes;
+    let n_faulty = (pct_faulty / 100.0 * n as f64).round() as usize;
+
+    let mut rng = SimRng::seed_from(seed);
+    let faulty_set = rng.choose_indices(n, n_faulty);
+    let behaviors = build_behaviors(config, &faulty_set, seed);
+
+    let topo = Topology::uniform_grid(n, config.field, config.field);
+    let engine: Box<dyn Aggregator> = match config.engine {
+        EngineKind::Tibfit => Box::new(TibfitEngine::new(config.trust_params(), n)),
+        EngineKind::Baseline => Box::new(BaselineEngine::new()),
+    };
+
+    let mut event_rng = rng.fork(0xEE);
+    let mut sim = ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: config.sensing_radius,
+            r_error: config.r_error,
+            ch_position: Point::new(config.field / 2.0, config.field / 2.0),
+        },
+        topo,
+        behaviors,
+        Box::new(BernoulliLoss::new(config.channel_loss)),
+        engine,
+        rng,
+    );
+
+    let mut total_events = 0usize;
+    let mut detected = 0usize;
+    let mut false_positives = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..config.events {
+        let events = if config.concurrent_events {
+            // Two simultaneous events, never within r_error of each other
+            // (paper §4.2 / Figure 7).
+            let a = sim.topology().random_event_location(&mut event_rng);
+            let b = loop {
+                let c = sim.topology().random_event_location(&mut event_rng);
+                if c.distance_to(a) > config.r_error {
+                    break c;
+                }
+            };
+            vec![a, b]
+        } else {
+            vec![sim.topology().random_event_location(&mut event_rng)]
+        };
+        let result = sim.run_located_round(&events);
+        total_events += events.len();
+        detected += result.detected_within(config.r_error);
+        false_positives += result.false_positives(config.r_error);
+        rounds += 1;
+    }
+    Exp2Outcome {
+        accuracy: detected as f64 / total_events as f64,
+        false_positives_per_round: false_positives as f64 / rounds as f64,
+        isolated: sim.isolated_nodes().len(),
+    }
+}
+
+/// The faulty-percentage sweep used by Figures 4–6 (paper: 10%–58%).
+pub const PCT_SWEEP: [f64; 6] = [10.0, 20.0, 30.0, 40.0, 50.0, 58.0];
+
+/// Builds a swept, trial-averaged series for one configuration.
+#[must_use]
+pub fn sweep_series(config: &Exp2Config, trials: usize, base_seed: u64) -> Series {
+    let mut series = Series::new(config.legend());
+    let points: Vec<(f64, f64)> = crate::harness::run_parallel(
+        PCT_SWEEP
+            .iter()
+            .flat_map(|&pct| {
+                crate::harness::trial_seeds(base_seed ^ (pct as u64), trials)
+                    .into_iter()
+                    .map(move |seed| (pct, seed))
+            })
+            .collect(),
+        |(pct, seed)| (pct, run_exp2(config, pct, seed).accuracy),
+    );
+    for (pct, acc) in points {
+        series.record(pct, acc);
+    }
+    series
+}
+
+/// The σ pairs the paper plots: (correct, faulty).
+pub const SIGMA_PAIRS: [(f64, f64); 2] = [(1.6, 4.25), (2.0, 6.0)];
+
+fn level_figure(id: &str, title: &str, level: FaultLevel, trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(id, title, "% faulty nodes", "accuracy");
+    for &(cs, fs) in &SIGMA_PAIRS {
+        for engine in [EngineKind::Tibfit, EngineKind::Baseline] {
+            let config = Exp2Config::paper(cs, fs, level, engine);
+            fig.series.push(sweep_series(&config, trials, base_seed));
+        }
+    }
+    fig
+}
+
+/// Figure 4: location model, level-0 faulty nodes, TIBFIT vs baseline.
+#[must_use]
+pub fn figure4(trials: usize, base_seed: u64) -> FigureData {
+    level_figure(
+        "fig4",
+        "Experiment 2 — Level 0 faulty nodes",
+        FaultLevel::Level0,
+        trials,
+        base_seed,
+    )
+}
+
+/// Figure 5: location model, level-1 (smart independent) faulty nodes.
+#[must_use]
+pub fn figure5(trials: usize, base_seed: u64) -> FigureData {
+    level_figure(
+        "fig5",
+        "Experiment 2 — Level 1 faulty nodes",
+        FaultLevel::Level1,
+        trials,
+        base_seed,
+    )
+}
+
+/// Figure 6: location model, level-2 (colluding) faulty nodes.
+#[must_use]
+pub fn figure6(trials: usize, base_seed: u64) -> FigureData {
+    level_figure(
+        "fig6",
+        "Experiment 2 — Level 2 faulty nodes",
+        FaultLevel::Level2,
+        trials,
+        base_seed,
+    )
+}
+
+/// Figure 7: single vs concurrent events, level 0, TIBFIT.
+#[must_use]
+pub fn figure7(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig7",
+        "Experiment 2 — Single and Concurrent Events (TIBFIT, Lvl 0)",
+        "% faulty nodes",
+        "accuracy",
+    );
+    for concurrent in [false, true] {
+        let mut config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit);
+        config.concurrent_events = concurrent;
+        let mut series = sweep_series(&config, trials, base_seed);
+        // Rename to the figure's legend.
+        let label = if concurrent { "Concurrent events" } else { "Single events" };
+        let mut renamed = Series::new(label);
+        for (x, y) in series.points() {
+            renamed.record(x, y);
+        }
+        series = renamed;
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// Renders Table 2 (the experiment's parameter sheet) as markdown.
+#[must_use]
+pub fn table2() -> String {
+    let rows = [
+        (
+            "Type of Event",
+            "Location Determination; concurrent or single events",
+        ),
+        ("Independent variable", "Percentage faulty nodes, 10%-58%"),
+        (
+            "Error rate for correct nodes",
+            "Location report std. deviation 1.6 or 2.0",
+        ),
+        (
+            "Error rate for faulty nodes (levels 0,1,2)",
+            "Location report std. dev. 4.25 or 6.0, drop packets 25% of the time",
+        ),
+        ("Size of network", "100 sensing nodes"),
+        ("Number of event neighbors", "Variable on location"),
+        ("lambda", "0.25"),
+        (
+            "Fault rate (f_r)",
+            "0.1 (different from NER to compensate for channel losses)",
+        ),
+    ];
+    let mut out = String::from("### Table 2 — Parameters for Experiment 2\n\n");
+    out.push_str("| Parameter | Value |\n|---|---|\n");
+    for (k, v) in rows {
+        out.push_str(&format!("| {k} | {v} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(mut config: Exp2Config) -> Exp2Config {
+        config.events = 120;
+        config
+    }
+
+    #[test]
+    fn honest_network_is_accurate() {
+        let config = fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit));
+        let out = run_exp2(&config, 0.0, 42);
+        assert!(out.accuracy > 0.9, "accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn level0_tibfit_beats_baseline_past_40_percent() {
+        let trials = 3;
+        let mut t = 0.0;
+        let mut b = 0.0;
+        for seed in crate::harness::trial_seeds(3, trials) {
+            let tc = fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit));
+            let bc = fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Baseline));
+            t += run_exp2(&tc, 50.0, seed).accuracy;
+            b += run_exp2(&bc, 50.0, seed).accuracy;
+        }
+        assert!(t >= b, "TIBFIT {t} vs baseline {b} at 50% faulty");
+    }
+
+    #[test]
+    fn level2_hurts_more_than_level0() {
+        let trials = 3;
+        let mut l0 = 0.0;
+        let mut l2 = 0.0;
+        for seed in crate::harness::trial_seeds(5, trials) {
+            let c0 = fast(Exp2Config::paper(2.0, 6.0, FaultLevel::Level0, EngineKind::Tibfit));
+            let c2 = fast(Exp2Config::paper(2.0, 6.0, FaultLevel::Level2, EngineKind::Tibfit));
+            l0 += run_exp2(&c0, 50.0, seed).accuracy;
+            l2 += run_exp2(&c2, 50.0, seed).accuracy;
+        }
+        assert!(
+            l2 <= l0 + 0.05 * trials as f64,
+            "level2 ({l2}) should not beat level0 ({l0})"
+        );
+    }
+
+    #[test]
+    fn concurrent_events_similar_to_single() {
+        // Figure 7's claim: concurrency does not significantly change
+        // accuracy.
+        let seed = 77;
+        let single = fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit));
+        let mut conc = single;
+        conc.concurrent_events = true;
+        let a = run_exp2(&single, 30.0, seed).accuracy;
+        let b = run_exp2(&conc, 30.0, seed).accuracy;
+        assert!((a - b).abs() < 0.15, "single {a} vs concurrent {b}");
+    }
+
+    #[test]
+    fn legend_format_matches_paper() {
+        let config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level1, EngineKind::Baseline);
+        assert_eq!(config.legend(), "Lvl 1 1.6-4.25 Baseline");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let config = fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level1, EngineKind::Tibfit));
+        assert_eq!(run_exp2(&config, 30.0, 5), run_exp2(&config, 30.0, 5));
+    }
+
+    #[test]
+    fn table2_mentions_key_parameters() {
+        let t = table2();
+        for key in ["10%-58%", "1.6 or 2.0", "4.25 or 6.0", "0.25", "100 sensing nodes"] {
+            assert!(t.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn rejects_bad_percentage() {
+        let _ = run_exp2(
+            &Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit),
+            -1.0,
+            0,
+        );
+    }
+}

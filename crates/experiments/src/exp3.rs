@@ -1,0 +1,392 @@
+//! Experiment 3 (paper §4.3): decay of the network.
+//!
+//! The network starts with 5% of its nodes compromised (level 0) and a
+//! further 5% is compromised every 50 events until 75% of the network is
+//! faulty. Accuracy is reported per 50-event window, which yields the
+//! Figure-8/9 accuracy-over-time curves. TIBFIT rides out the decay —
+//! nodes compromised early have already lost their trust by the time the
+//! faulty set becomes a majority — while the baseline collapses.
+
+use crate::exp1::EngineKind;
+use crate::exp2::{Exp2Config, FaultLevel};
+use crate::network::{ClusterSim, ClusterSimConfig};
+use crate::report::FigureData;
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, DecaySchedule, Level0Config, Level0Node};
+use tibfit_core::engine::{Aggregator, BaselineEngine, TibfitEngine};
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::stats::Series;
+
+/// How a node fails when the decay schedule claims it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecayKind {
+    /// Compromised by the adversary: becomes a level-0 liar (the paper's
+    /// Experiment-3 setting).
+    #[default]
+    Compromise,
+    /// Battery death (the paper's other §3.1 motivation, "batteries of
+    /// the nodes dying out with time"): the node goes permanently silent
+    /// — a pure missed-alarm failure.
+    BatteryDeath,
+}
+
+/// Parameters for one Experiment-3 run: the Table-2 network plus a decay
+/// schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp3Config {
+    /// The underlying network/error parameters (level is forced to
+    /// [`FaultLevel::Level0`] per the paper).
+    pub base: Exp2Config,
+    /// Initial compromised fraction (paper: 5%).
+    pub initial_fraction: f64,
+    /// Added compromised fraction per step (paper: 5%).
+    pub step_fraction: f64,
+    /// Events between steps (paper: 50) — also the accuracy window.
+    pub events_per_step: u64,
+    /// Final compromised fraction (paper: 75%).
+    pub max_fraction: f64,
+    /// Extra events to run after saturation.
+    pub tail_events: u64,
+    /// What happens to a node claimed by the schedule.
+    pub decay_kind: DecayKind,
+}
+
+impl Exp3Config {
+    /// The paper's schedule on a Table-2 network with the given σ pair
+    /// and engine.
+    #[must_use]
+    pub fn paper(correct_sigma: f64, faulty_sigma: f64, engine: EngineKind) -> Self {
+        Exp3Config {
+            base: Exp2Config::paper(correct_sigma, faulty_sigma, FaultLevel::Level0, engine),
+            initial_fraction: 0.05,
+            step_fraction: 0.05,
+            events_per_step: 50,
+            max_fraction: 0.75,
+            tail_events: 50,
+            decay_kind: DecayKind::Compromise,
+        }
+    }
+
+    fn schedule(&self) -> DecaySchedule {
+        DecaySchedule::new(
+            self.base.n_nodes,
+            self.initial_fraction,
+            self.step_fraction,
+            self.events_per_step,
+            self.max_fraction,
+        )
+    }
+}
+
+/// One accuracy window from a decay run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayWindow {
+    /// Index of the first event in the window.
+    pub start_event: u64,
+    /// Compromised fraction in effect during the window.
+    pub compromised_fraction: f64,
+    /// Detection accuracy over the window.
+    pub accuracy: f64,
+}
+
+/// Runs one decay simulation, returning one accuracy point per
+/// `events_per_step` window.
+#[must_use]
+pub fn run_exp3(config: &Exp3Config, seed: u64) -> Vec<DecayWindow> {
+    let n = config.base.n_nodes;
+    let schedule = config.schedule();
+    let total_events = schedule.total_events(config.tail_events);
+
+    let mut rng = SimRng::seed_from(seed);
+    // The (randomized) order in which nodes fall to the adversary.
+    let compromise_order: Vec<usize> = rng.choose_indices(n, n);
+
+    let topo = Topology::uniform_grid(n, config.base.field, config.base.field);
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
+        .map(|_| -> Box<dyn NodeBehavior> {
+            Box::new(CorrectNode::new(0.0, config.base.correct_sigma))
+        })
+        .collect();
+    let engine: Box<dyn Aggregator> = match config.base.engine {
+        EngineKind::Tibfit => Box::new(TibfitEngine::new(
+            tibfit_core::trust::TrustParams::new(config.base.lambda, config.base.fault_rate),
+            n,
+        )),
+        EngineKind::Baseline => Box::new(BaselineEngine::new()),
+    };
+    let mut event_rng = rng.fork(0xE3);
+    let mut sim = ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: config.base.sensing_radius,
+            r_error: config.base.r_error,
+            ch_position: Point::new(config.base.field / 2.0, config.base.field / 2.0),
+        },
+        topo,
+        behaviors,
+        Box::new(BernoulliLoss::new(config.base.channel_loss)),
+        engine,
+        rng,
+    );
+
+    let lie = Level0Config::experiment2(config.base.faulty_sigma);
+    // A dead battery is a permanent missed alarm.
+    let dead = Level0Config {
+        missed_alarm: 1.0,
+        false_alarm: 0.0,
+        loc_sigma: 0.0,
+        drop_prob: 0.0,
+    };
+    let mut compromised = 0usize;
+    let mut windows = Vec::new();
+    let mut window_hits = 0u64;
+    let mut window_start = 0u64;
+
+    for event_idx in 0..total_events {
+        // Advance the compromise schedule.
+        let target = schedule.compromised_at(event_idx);
+        while compromised < target {
+            let node = compromise_order[compromised];
+            let failure = match config.decay_kind {
+                DecayKind::Compromise => lie,
+                DecayKind::BatteryDeath => dead,
+            };
+            sim.set_behavior(NodeId(node), Box::new(Level0Node::new(failure)));
+            compromised += 1;
+        }
+
+        let event = sim.topology().random_event_location(&mut event_rng);
+        let result = sim.run_located_round(&[event]);
+        window_hits += result.detected_within(config.base.r_error) as u64;
+
+        if (event_idx + 1) % config.events_per_step == 0 || event_idx + 1 == total_events {
+            let window_len = event_idx + 1 - window_start;
+            windows.push(DecayWindow {
+                start_event: window_start,
+                compromised_fraction: compromised as f64 / n as f64,
+                accuracy: window_hits as f64 / window_len as f64,
+            });
+            window_hits = 0;
+            window_start = event_idx + 1;
+        }
+    }
+    windows
+}
+
+/// Builds a trial-averaged accuracy-over-time series for one
+/// configuration.
+#[must_use]
+pub fn decay_series(config: &Exp3Config, trials: usize, base_seed: u64) -> Series {
+    let legend = format!(
+        "{}-{} {}",
+        config.base.correct_sigma,
+        config.base.faulty_sigma,
+        config.base.engine.label()
+    );
+    let mut series = Series::new(legend);
+    let runs: Vec<Vec<DecayWindow>> = crate::harness::run_parallel(
+        crate::harness::trial_seeds(base_seed, trials),
+        |seed| run_exp3(config, seed),
+    );
+    for windows in runs {
+        for w in windows {
+            series.record(w.start_event as f64, w.accuracy);
+        }
+    }
+    series
+}
+
+fn decay_figure(id: &str, title: &str, faulty_sigma: f64, trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(id, title, "events elapsed", "windowed accuracy");
+    for &correct_sigma in &[1.6, 2.0] {
+        for engine in [EngineKind::Tibfit, EngineKind::Baseline] {
+            let config = Exp3Config::paper(correct_sigma, faulty_sigma, engine);
+            fig.series.push(decay_series(&config, trials, base_seed));
+        }
+    }
+    fig
+}
+
+/// Figure 8: linear decay with faulty σ = 4.25 (both correct σ values,
+/// both engines).
+#[must_use]
+pub fn figure8(trials: usize, base_seed: u64) -> FigureData {
+    decay_figure(
+        "fig8",
+        "Experiment 3 — Linear increase in faulty nodes (faulty σ = 4.25)",
+        4.25,
+        trials,
+        base_seed,
+    )
+}
+
+/// Figure 9: linear decay with faulty σ = 6.0.
+#[must_use]
+pub fn figure9(trials: usize, base_seed: u64) -> FigureData {
+    decay_figure(
+        "fig9",
+        "Experiment 3 — Linear increase in faulty nodes (faulty σ = 6.0)",
+        6.0,
+        trials,
+        base_seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(mut c: Exp3Config) -> Exp3Config {
+        // Shrink the schedule for unit tests: 20 events per step up to
+        // 60% — still several windows.
+        c.events_per_step = 20;
+        c.max_fraction = 0.60;
+        c.tail_events = 20;
+        c
+    }
+
+    #[test]
+    fn windows_cover_schedule() {
+        let config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
+        let windows = run_exp3(&config, 11);
+        // (0.60-0.05)/0.05 = 11 steps × 20 events + 20 tail = 240 events
+        // → 12 windows.
+        assert_eq!(windows.len(), 12);
+        assert_eq!(windows[0].start_event, 0);
+        assert!((windows[0].compromised_fraction - 0.05).abs() < 1e-9);
+        let last = windows.last().unwrap();
+        assert!((last.compromised_fraction - 0.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compromise_fraction_monotone() {
+        let config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
+        let windows = run_exp3(&config, 3);
+        let mut prev = 0.0;
+        for w in &windows {
+            assert!(w.compromised_fraction >= prev);
+            prev = w.compromised_fraction;
+        }
+    }
+
+    #[test]
+    fn early_windows_are_accurate() {
+        let config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
+        let windows = run_exp3(&config, 5);
+        assert!(
+            windows[0].accuracy > 0.85,
+            "5% compromised should be easy: {}",
+            windows[0].accuracy
+        );
+    }
+
+    #[test]
+    fn tibfit_outlasts_baseline() {
+        // Average the late windows (≥50% compromised) over a few seeds.
+        let trials = 3;
+        let mut t_late = 0.0;
+        let mut b_late = 0.0;
+        let mut count = 0.0;
+        for seed in crate::harness::trial_seeds(13, trials) {
+            let tw = run_exp3(&fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit)), seed);
+            let bw = run_exp3(&fast(Exp3Config::paper(1.6, 4.25, EngineKind::Baseline)), seed);
+            for (t, b) in tw.iter().zip(&bw) {
+                if t.compromised_fraction >= 0.5 {
+                    t_late += t.accuracy;
+                    b_late += b.accuracy;
+                    count += 1.0;
+                }
+            }
+        }
+        t_late /= count;
+        b_late /= count;
+        assert!(
+            t_late >= b_late,
+            "late-stage TIBFIT {t_late} should beat baseline {b_late}"
+        );
+    }
+
+    #[test]
+    fn decay_series_aggregates_trials() {
+        let config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
+        let s = decay_series(&config, 2, 7);
+        assert_eq!(s.len(), 12, "one x position per window");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let config = fast(Exp3Config::paper(2.0, 6.0, EngineKind::Tibfit));
+        assert_eq!(run_exp3(&config, 9), run_exp3(&config, 9));
+    }
+
+    #[test]
+    fn battery_death_is_survivable_for_tibfit() {
+        // Dead nodes only miss; their trust decays and the survivors'
+        // reports keep winning even with 60% of the network dark. (The
+        // fast test schedule gives each freshly-dead cohort only 20
+        // events to be diagnosed, so the bar is below the paper-scale
+        // figure.)
+        let mut config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
+        config.decay_kind = DecayKind::BatteryDeath;
+        let windows = run_exp3(&config, 21);
+        let last = windows.last().unwrap();
+        assert!((last.compromised_fraction - 0.60).abs() < 1e-9);
+        assert!(
+            last.accuracy > 0.6,
+            "accuracy with 60% dead batteries: {}",
+            last.accuracy
+        );
+    }
+
+    #[test]
+    fn silence_hurts_the_baseline_more_than_lies() {
+        // A counter-intuitive but real effect: under stateless majority
+        // voting, dead (silent) nodes vote "no event" every round, while
+        // level-0 liars still deliver 75% of their (noisy) reports and
+        // often end up supporting the true event. So battery death is
+        // *worse* for the baseline than compromise.
+        let seed = 23;
+        let mut death = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Baseline));
+        death.decay_kind = DecayKind::BatteryDeath;
+        let compromise = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Baseline));
+        let late = |config: &Exp3Config| -> f64 {
+            let w: Vec<f64> = run_exp3(config, seed)
+                .iter()
+                .filter(|w| w.compromised_fraction >= 0.5)
+                .map(|w| w.accuracy)
+                .collect();
+            w.iter().sum::<f64>() / w.len() as f64
+        };
+        let d_late = late(&death);
+        let c_late = late(&compromise);
+        assert!(
+            d_late < c_late,
+            "death {d_late} should be worse than compromise {c_late} for the baseline"
+        );
+    }
+
+    #[test]
+    fn tibfit_beats_baseline_under_battery_death() {
+        // TIBFIT handles silence the same way it handles lies: the dead
+        // nodes' trust decays and the survivors outvote them.
+        let seed = 29;
+        let mk = |engine: EngineKind| {
+            let mut c = fast(Exp3Config::paper(1.6, 4.25, engine));
+            c.decay_kind = DecayKind::BatteryDeath;
+            c
+        };
+        let late = |config: &Exp3Config| -> f64 {
+            let w: Vec<f64> = run_exp3(config, seed)
+                .iter()
+                .filter(|w| w.compromised_fraction >= 0.5)
+                .map(|w| w.accuracy)
+                .collect();
+            w.iter().sum::<f64>() / w.len() as f64
+        };
+        let t = late(&mk(EngineKind::Tibfit));
+        let b = late(&mk(EngineKind::Baseline));
+        assert!(t > b, "TIBFIT {t} vs baseline {b} under battery death");
+    }
+}

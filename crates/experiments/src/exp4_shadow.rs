@@ -1,0 +1,201 @@
+//! Experiment 4 (extension): quantifying §3.4's shadow-cluster-head
+//! protection.
+//!
+//! The paper argues qualitatively that two SCHs let the base station
+//! tolerate one compromised cluster head per round, but reports no
+//! numbers. This experiment sweeps the probability that the acting head
+//! corrupts its conclusion and measures end-to-end event accuracy with
+//! 0, 1, and 2 shadow heads — 0 shadows being the unprotected §3.1
+//! system.
+//!
+//! Expected shape: with 2 shadows the accuracy curve is flat (every
+//! corruption is outvoted 2-to-1); with 1 shadow the base station sees a
+//! 1-1 tie and (by the §3.4 tie-break) keeps the CH, so accuracy decays
+//! linearly with the corruption rate, exactly like 0 shadows.
+
+use crate::report::FigureData;
+use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
+use tibfit_core::location::LocatedReport;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::stats::Series;
+
+/// Parameters for one shadow-protection run.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp4Config {
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Field side.
+    pub field: f64,
+    /// Number of shadow cluster heads.
+    pub shadow_count: usize,
+    /// Events per run.
+    pub events: u64,
+}
+
+impl Exp4Config {
+    /// Defaults: a 25-node cluster, 200 events.
+    #[must_use]
+    pub fn default_scale(shadow_count: usize) -> Self {
+        Exp4Config {
+            n_nodes: 25,
+            field: 50.0,
+            shadow_count,
+            events: 200,
+        }
+    }
+}
+
+/// Outcome of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp4Outcome {
+    /// Fraction of events whose final (base-station) conclusion was
+    /// correct and within `r_error`.
+    pub accuracy: f64,
+    /// Fraction of corrupted conclusions that were caught and overruled.
+    pub overrule_rate: f64,
+}
+
+/// Runs one shadow-protection simulation: every event round, the acting
+/// head corrupts its conclusion with probability `ch_compromise_prob`.
+#[must_use]
+pub fn run_exp4(config: &Exp4Config, ch_compromise_prob: f64, seed: u64) -> Exp4Outcome {
+    assert!(
+        (0.0..=1.0).contains(&ch_compromise_prob),
+        "probability required"
+    );
+    let topo = Topology::uniform_grid(config.n_nodes, config.field, config.field);
+    let mut lifecycle_config = LifecycleConfig::paper();
+    lifecycle_config.leach.shadow_count = config.shadow_count;
+    let mut cluster = ClusterLifecycle::new(lifecycle_config, topo);
+    let mut rng = SimRng::seed_from(seed);
+    let mut event_rng = rng.fork(0xE4);
+
+    let r_s = lifecycle_config.sensing_radius;
+    let r_error = lifecycle_config.r_error;
+    let mut correct = 0u64;
+    let mut corrupted = 0u64;
+    let mut overruled = 0u64;
+    for _ in 0..config.events {
+        let event = cluster.topology().random_event_location(&mut event_rng);
+        let reports: Vec<LocatedReport> = cluster
+            .topology()
+            .event_neighbors(event, r_s)
+            .into_iter()
+            .map(|n| LocatedReport::new(n, event))
+            .collect();
+        if reports.is_empty() {
+            // Nothing sensed the event (tiny corner neighborhoods); it
+            // cannot be detected — count as a miss.
+            continue;
+        }
+        let compromise = event_rng.chance(ch_compromise_prob);
+        corrupted += u64::from(compromise);
+        let round = cluster.process_event_round(&reports, compromise, &mut rng);
+        overruled += u64::from(round.ruling.ch_overruled);
+        let ok = round
+            .ruling
+            .final_conclusion
+            .location()
+            .is_some_and(|l| l.distance_to(event) <= r_error);
+        correct += u64::from(ok);
+    }
+    Exp4Outcome {
+        accuracy: correct as f64 / config.events as f64,
+        overrule_rate: if corrupted == 0 {
+            0.0
+        } else {
+            overruled as f64 / corrupted as f64
+        },
+    }
+}
+
+/// The compromise-probability sweep.
+pub const PROB_SWEEP: [f64; 6] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// Builds the shadow-protection figure: accuracy vs. head-compromise
+/// probability, one line per shadow count.
+#[must_use]
+pub fn figure_shadow(trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "exp4_shadow",
+        "Extension — shadow-CH protection vs head compromise probability",
+        "P(head corrupts conclusion)",
+        "accuracy",
+    );
+    for shadow_count in [0usize, 1, 2] {
+        let config = Exp4Config::default_scale(shadow_count);
+        let mut series = Series::new(format!("{shadow_count} shadows"));
+        let points: Vec<(f64, f64)> = crate::harness::run_parallel(
+            PROB_SWEEP
+                .iter()
+                .flat_map(|&p| {
+                    crate::harness::trial_seeds(base_seed ^ (p * 100.0) as u64, trials)
+                        .into_iter()
+                        .map(move |s| (p, s))
+                })
+                .collect(),
+            |(p, s)| (p, run_exp4(&config, p, s).accuracy),
+        );
+        for (p, acc) in points {
+            series.record(p, acc);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_shadows_flatten_the_curve() {
+        let honest = run_exp4(&Exp4Config::default_scale(2), 0.0, 7);
+        let hostile = run_exp4(&Exp4Config::default_scale(2), 1.0, 7);
+        assert!(honest.accuracy > 0.9, "baseline accuracy {}", honest.accuracy);
+        assert!(
+            (honest.accuracy - hostile.accuracy).abs() < 0.05,
+            "2 shadows should mask every corruption: {} vs {}",
+            honest.accuracy,
+            hostile.accuracy
+        );
+        assert!((hostile.overrule_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_shadows_track_the_corruption_rate() {
+        let out = run_exp4(&Exp4Config::default_scale(0), 0.5, 7);
+        // Without shadows a corrupted conclusion is final: accuracy
+        // approaches (1 - p) times the honest accuracy.
+        assert!(out.accuracy < 0.65, "accuracy {}", out.accuracy);
+        assert_eq!(out.overrule_rate, 0.0);
+    }
+
+    #[test]
+    fn one_shadow_cannot_overrule() {
+        // A 1-1 tie keeps the CH (the §3.4 tie-break), so one shadow is
+        // no better than none.
+        let one = run_exp4(&Exp4Config::default_scale(1), 0.75, 7);
+        assert_eq!(one.overrule_rate, 0.0, "a single shadow never wins");
+    }
+
+    #[test]
+    fn figure_has_three_lines_over_sweep() {
+        let fig = figure_shadow(1, 3);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.len(), PROB_SWEEP.len());
+        }
+        // The 2-shadow line dominates the 0-shadow line at p = 0.75.
+        let y2 = fig.series[2].y_at(0.75).unwrap();
+        let y0 = fig.series[0].y_at(0.75).unwrap();
+        assert!(y2 > y0 + 0.3, "2 shadows {y2} vs 0 shadows {y0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let config = Exp4Config::default_scale(2);
+        assert_eq!(run_exp4(&config, 0.3, 11), run_exp4(&config, 0.3, 11));
+    }
+}

@@ -1,0 +1,132 @@
+//! Multi-trial, multi-point sweep machinery.
+//!
+//! Experiments are embarrassingly parallel across sweep points and trials;
+//! [`run_parallel`] fans work out over threads (scoped, via crossbeam) and
+//! returns results in input order so output stays deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives independent, well-separated trial seeds from a base seed.
+///
+/// ```rust
+/// let seeds = tibfit_experiments::harness::trial_seeds(42, 3);
+/// assert_eq!(seeds.len(), 3);
+/// assert_ne!(seeds[0], seeds[1]);
+/// ```
+#[must_use]
+pub fn trial_seeds(base: u64, trials: usize) -> Vec<u64> {
+    (0..trials as u64)
+        .map(|i| {
+            // SplitMix64 step: decorrelates consecutive indices.
+            let mut z = base
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on a small thread pool, preserving input order.
+///
+/// `f` must be `Sync` (it is shared by the workers); items are consumed by
+/// value. Falls back to sequential execution for tiny inputs.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("missing result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds = trial_seeds(7, 100);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        assert_eq!(trial_seeds(7, 5), trial_seeds(7, 5));
+        assert_ne!(trial_seeds(7, 5), trial_seeds(8, 5));
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = run_parallel(items, |x| x * 2);
+        assert_eq!(out, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_single_item() {
+        assert_eq!(run_parallel(vec![3], |x| x + 1), vec![4]);
+    }
+
+    #[test]
+    fn run_parallel_empty() {
+        let out: Vec<i32> = run_parallel(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_parallel_heavy_closure_state() {
+        // The closure may capture shared read-only state.
+        let table: Vec<u64> = (0..1000).collect();
+        let out = run_parallel((0..50).collect(), |i: usize| table[i] + 1);
+        assert_eq!(out[10], 11);
+    }
+}

@@ -1,0 +1,306 @@
+//! Rendering of experiment results: aligned text tables (for the terminal
+//! and EXPERIMENTS.md) and CSV files (for external plotting).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tibfit_sim::stats::Series;
+
+/// One figure or table's worth of data: a set of named series over a
+/// common x-axis.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Stable identifier, e.g. `"fig2"` (used as the CSV file stem).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plot lines.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure container.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The union of x positions across all series, ascending.
+    #[must_use]
+    pub fn x_positions(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points().into_iter().map(|(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders an aligned, pipe-delimited table (valid GitHub markdown).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let mut header = format!("| {} ", self.x_label);
+        let mut rule = String::from("|---");
+        for s in &self.series {
+            let _ = write!(header, "| {} ", s.name());
+            rule.push_str("|---");
+        }
+        header.push('|');
+        rule.push('|');
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        for x in self.x_positions() {
+            let mut row = format!("| {} ", format_x(x));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, "| {y:.4} ");
+                    }
+                    None => row.push_str("| — "),
+                }
+            }
+            row.push('|');
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Renders CSV: header `x,<series...>`, one row per x position;
+    /// missing cells are empty.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = std::iter::once(csv_quote(&self.x_label))
+            .chain(self.series.iter().map(|s| csv_quote(s.name())))
+            .collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for x in self.x_positions() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.y_at(x).map(|y| format!("{y}")).unwrap_or_default());
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV to `<dir>/<id>.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the
+    /// file.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl FigureData {
+    /// Renders the figure as an ASCII chart (y over x, one glyph per
+    /// series) so the shape is visible straight from the terminal.
+    ///
+    /// `width`/`height` are the plot area in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 4`.
+    #[must_use]
+    pub fn to_ascii_chart(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 4, "chart area too small");
+        let xs = self.x_positions();
+        if xs.is_empty() {
+            return format!("### {} — {} (no data)\n", self.id, self.title);
+        }
+        let (x_min, x_max) = (xs[0], *xs.last().expect("non-empty"));
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for (_, y) in s.points() {
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = glyphs[si % glyphs.len()];
+            for (x, y) in s.points() {
+                let cx = if x_max > x_min {
+                    ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = glyph;
+            }
+        }
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_max:8.2} |")
+            } else if i == height - 1 {
+                format!("{y_min:8.2} |")
+            } else {
+                "         |".to_string()
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "          {}\n          {:<w$.1}{:>r$.1}\n",
+            "-".repeat(width),
+            x_min,
+            x_max,
+            w = width / 2,
+            r = width - width / 2,
+        ));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", glyphs[i % glyphs.len()], s.name()))
+            .collect();
+        out.push_str(&format!("          {}\n", legend.join("   ")));
+        out
+    }
+}
+
+/// Formats an x position with just enough precision to distinguish sweep
+/// points (up to 3 decimals, trailing zeros trimmed).
+fn format_x(x: f64) -> String {
+    let s = format!("{x:.3}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    if trimmed.is_empty() {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Minimal CSV quoting: wrap in quotes when the field contains a comma,
+/// quote, or newline.
+fn csv_quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> FigureData {
+        let mut fig = FigureData::new("figX", "Sample", "pct", "accuracy");
+        let mut a = Series::new("TIBFIT");
+        a.record(40.0, 0.95);
+        a.record(50.0, 0.90);
+        let mut b = Series::new("Baseline");
+        b.record(40.0, 0.91);
+        fig.series.push(a);
+        fig.series.push(b);
+        fig
+    }
+
+    #[test]
+    fn x_positions_union_sorted() {
+        let fig = sample_figure();
+        assert_eq!(fig.x_positions(), vec![40.0, 50.0]);
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample_figure().to_markdown();
+        assert!(md.contains("| pct | TIBFIT | Baseline |"));
+        assert!(md.contains("0.9500"));
+        assert!(md.contains("—"), "missing cell should render as dash");
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "pct,TIBFIT,Baseline");
+        assert!(lines[1].starts_with("40,0.95,0.91"));
+        assert!(lines[2].starts_with("50,0.9,"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_quote("plain"), "plain");
+        assert_eq!(csv_quote("a,b"), "\"a,b\"");
+        assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn ascii_chart_renders_series_glyphs() {
+        let chart = sample_figure().to_ascii_chart(40, 10);
+        assert!(chart.contains('*'), "first series glyph");
+        assert!(chart.contains('o'), "second series glyph");
+        assert!(chart.contains("* TIBFIT"), "legend entry");
+        assert!(chart.contains("o Baseline"), "legend entry");
+    }
+
+    #[test]
+    fn ascii_chart_handles_flat_series() {
+        let mut fig = FigureData::new("flat", "Flat", "x", "y");
+        let mut s = Series::new("const");
+        s.record(0.0, 1.0);
+        s.record(10.0, 1.0);
+        fig.series.push(s);
+        let chart = fig.to_ascii_chart(20, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn ascii_chart_empty_figure() {
+        let fig = FigureData::new("empty", "Empty", "x", "y");
+        assert!(fig.to_ascii_chart(20, 6).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ascii_chart_rejects_tiny_area() {
+        let _ = sample_figure().to_ascii_chart(4, 2);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("tibfit-report-test");
+        let path = sample_figure().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("pct,"));
+        std::fs::remove_file(path).ok();
+    }
+}

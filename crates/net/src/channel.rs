@@ -1,0 +1,222 @@
+//! Wireless channel (packet loss) models.
+//!
+//! The paper runs over ns-2's wireless stack and notes that "correct nodes'
+//! packets are naturally dropped less than 1% of the time". For the
+//! reproduction the channel is an explicit loss model so the drop rate is a
+//! controlled parameter rather than an emergent artifact.
+
+use crate::geometry::Point;
+use tibfit_sim::rng::SimRng;
+
+/// Decides whether a single transmission from `from` to `to` is delivered.
+///
+/// Implementations must be deterministic given the RNG state.
+pub trait ChannelModel: std::fmt::Debug {
+    /// Returns `true` when the packet is delivered.
+    fn delivers(&self, from: Point, to: Point, rng: &mut SimRng) -> bool;
+}
+
+/// A lossless channel; useful for unit tests and for isolating protocol
+/// effects from channel effects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Perfect;
+
+impl ChannelModel for Perfect {
+    fn delivers(&self, _from: Point, _to: Point, _rng: &mut SimRng) -> bool {
+        true
+    }
+}
+
+/// Drops every packet independently with a fixed probability — the
+/// reproduction of the paper's "<1%" ambient ns-2 loss.
+///
+/// ```rust
+/// use tibfit_net::channel::{BernoulliLoss, ChannelModel};
+/// use tibfit_net::geometry::Point;
+/// use tibfit_sim::rng::SimRng;
+///
+/// let ch = BernoulliLoss::new(0.01);
+/// let mut rng = SimRng::seed_from(1);
+/// let delivered = (0..10_000)
+///     .filter(|_| ch.delivers(Point::ORIGIN, Point::ORIGIN, &mut rng))
+///     .count();
+/// assert!(delivered > 9_800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliLoss {
+    loss_probability: f64,
+}
+
+impl BernoulliLoss {
+    /// Creates a channel that drops packets with probability
+    /// `loss_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(loss_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be in [0,1], got {loss_probability}"
+        );
+        BernoulliLoss { loss_probability }
+    }
+
+    /// The configured loss probability.
+    #[must_use]
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+}
+
+impl ChannelModel for BernoulliLoss {
+    fn delivers(&self, _from: Point, _to: Point, rng: &mut SimRng) -> bool {
+        !rng.chance(self.loss_probability)
+    }
+}
+
+/// Distance-dependent loss: reliable up to a reference distance, then loss
+/// grows quadratically to 1 at the maximum range — a coarse stand-in for
+/// path-loss fading without modelling the full radio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceLoss {
+    reliable_range: f64,
+    max_range: f64,
+}
+
+impl DistanceLoss {
+    /// Creates a distance-loss channel.
+    ///
+    /// Packets within `reliable_range` always arrive; beyond `max_range`
+    /// they never do; in between the loss probability rises quadratically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < reliable_range < max_range`.
+    #[must_use]
+    pub fn new(reliable_range: f64, max_range: f64) -> Self {
+        assert!(
+            reliable_range > 0.0 && reliable_range < max_range,
+            "require 0 < reliable_range < max_range"
+        );
+        DistanceLoss {
+            reliable_range,
+            max_range,
+        }
+    }
+
+    /// Loss probability at a given distance.
+    #[must_use]
+    pub fn loss_at(&self, distance: f64) -> f64 {
+        if distance <= self.reliable_range {
+            0.0
+        } else if distance >= self.max_range {
+            1.0
+        } else {
+            let frac =
+                (distance - self.reliable_range) / (self.max_range - self.reliable_range);
+            frac * frac
+        }
+    }
+}
+
+impl ChannelModel for DistanceLoss {
+    fn delivers(&self, from: Point, to: Point, rng: &mut SimRng) -> bool {
+        !rng.chance(self.loss_at(from.distance_to(to)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn perfect_always_delivers() {
+        let mut rng = SimRng::seed_from(0);
+        assert!((0..100).all(|_| Perfect.delivers(p(0.0, 0.0), p(99.0, 99.0), &mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_zero_loss_always_delivers() {
+        let ch = BernoulliLoss::new(0.0);
+        let mut rng = SimRng::seed_from(0);
+        assert!((0..100).all(|_| ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_total_loss_never_delivers() {
+        let ch = BernoulliLoss::new(1.0);
+        let mut rng = SimRng::seed_from(0);
+        assert!((0..100).all(|_| !ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_loss_rate_statistical() {
+        let ch = BernoulliLoss::new(0.25);
+        let mut rng = SimRng::seed_from(7);
+        let n = 100_000;
+        let dropped = (0..n)
+            .filter(|_| !ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng))
+            .count() as f64;
+        assert!((dropped / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = BernoulliLoss::new(1.5);
+    }
+
+    #[test]
+    fn distance_loss_profile() {
+        let ch = DistanceLoss::new(10.0, 20.0);
+        assert_eq!(ch.loss_at(5.0), 0.0);
+        assert_eq!(ch.loss_at(10.0), 0.0);
+        assert_eq!(ch.loss_at(20.0), 1.0);
+        assert_eq!(ch.loss_at(30.0), 1.0);
+        let mid = ch.loss_at(15.0);
+        assert!((mid - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_loss_monotone() {
+        let ch = DistanceLoss::new(5.0, 25.0);
+        let mut prev = -1.0;
+        for i in 0..60 {
+            let loss = ch.loss_at(i as f64 * 0.5);
+            assert!(loss >= prev, "loss must be non-decreasing in distance");
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn distance_loss_delivery_within_reliable_range() {
+        let ch = DistanceLoss::new(10.0, 20.0);
+        let mut rng = SimRng::seed_from(0);
+        assert!((0..100).all(|_| ch.delivers(p(0.0, 0.0), p(6.0, 8.0), &mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "reliable_range < max_range")]
+    fn distance_loss_validates_ranges() {
+        let _ = DistanceLoss::new(20.0, 10.0);
+    }
+
+    #[test]
+    fn channel_model_is_object_safe() {
+        let models: Vec<Box<dyn ChannelModel>> = vec![
+            Box::new(Perfect),
+            Box::new(BernoulliLoss::new(0.1)),
+            Box::new(DistanceLoss::new(1.0, 2.0)),
+        ];
+        let mut rng = SimRng::seed_from(0);
+        for m in &models {
+            let _ = m.delivers(p(0.0, 0.0), p(0.5, 0.5), &mut rng);
+        }
+    }
+}

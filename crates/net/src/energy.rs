@@ -1,0 +1,154 @@
+//! Per-node energy bookkeeping for cluster-head election.
+//!
+//! LEACH spreads the (energy-expensive) cluster-head role across nodes by
+//! biasing election toward nodes with more residual energy and away from
+//! recent heads. The model here is intentionally simple — fixed costs per
+//! send/receive/round-of-leadership — because TIBFIT only consumes the
+//! *relative* ordering of node energies.
+
+/// Energy state of one node, in abstract joule-like units.
+///
+/// ```rust
+/// use tibfit_net::energy::EnergyBudget;
+/// let mut e = EnergyBudget::new(100.0);
+/// e.spend(30.0);
+/// assert_eq!(e.residual(), 70.0);
+/// assert!(e.is_alive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    initial: f64,
+    residual: f64,
+}
+
+impl EnergyBudget {
+    /// Creates a budget with the given initial charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not a positive finite number.
+    #[must_use]
+    pub fn new(initial: f64) -> Self {
+        assert!(
+            initial.is_finite() && initial > 0.0,
+            "initial energy must be positive and finite, got {initial}"
+        );
+        EnergyBudget {
+            initial,
+            residual: initial,
+        }
+    }
+
+    /// Remaining energy (never negative).
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Remaining energy as a fraction of the initial charge, in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.residual / self.initial
+    }
+
+    /// `true` while any charge remains.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.residual > 0.0
+    }
+
+    /// Consumes `amount` of energy, saturating at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or non-finite.
+    pub fn spend(&mut self, amount: f64) {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "energy spend must be non-negative and finite, got {amount}"
+        );
+        self.residual = (self.residual - amount).max(0.0);
+    }
+}
+
+/// Fixed energy costs for the radio/leadership operations the simulation
+/// charges for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCosts {
+    /// Cost of transmitting one report to the cluster head.
+    pub transmit: f64,
+    /// Cost of receiving one report (paid by the head).
+    pub receive: f64,
+    /// Per-round overhead of serving as cluster head (aggregation +
+    /// long-range uplink to the base station).
+    pub lead_round: f64,
+    /// Ambient per-round cost of sensing/idling.
+    pub idle_round: f64,
+}
+
+impl EnergyCosts {
+    /// Costs loosely modelled on the LEACH first-order radio model: leading
+    /// a round costs an order of magnitude more than a member transmit.
+    #[must_use]
+    pub fn leach_like() -> Self {
+        EnergyCosts {
+            transmit: 1.0,
+            receive: 0.5,
+            lead_round: 12.0,
+            idle_round: 0.1,
+        }
+    }
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        EnergyCosts::leach_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_reduces_residual() {
+        let mut e = EnergyBudget::new(10.0);
+        e.spend(4.0);
+        assert_eq!(e.residual(), 6.0);
+        assert!((e.fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spend_saturates_at_zero() {
+        let mut e = EnergyBudget::new(1.0);
+        e.spend(5.0);
+        assert_eq!(e.residual(), 0.0);
+        assert!(!e.is_alive());
+    }
+
+    #[test]
+    fn zero_spend_is_noop() {
+        let mut e = EnergyBudget::new(2.0);
+        e.spend(0.0);
+        assert_eq!(e.residual(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_initial() {
+        let _ = EnergyBudget::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_spend() {
+        EnergyBudget::new(1.0).spend(-0.5);
+    }
+
+    #[test]
+    fn default_costs_favor_members() {
+        let c = EnergyCosts::default();
+        assert!(c.lead_round > c.transmit);
+        assert!(c.transmit > c.idle_round);
+    }
+}

@@ -1,0 +1,240 @@
+//! Plane geometry for the sensor field.
+//!
+//! Event reports in the paper carry the event location as `(r, θ)` relative
+//! to the reporting node ([`Polar`]); the cluster head, which knows node
+//! positions, converts them to absolute coordinates ([`Point`]).
+
+use std::fmt;
+
+/// A point (or displacement) in the 2-D sensor field, in field units.
+///
+/// ```rust
+/// use tibfit_net::geometry::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "Point coordinates must be finite");
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance_to(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; for comparisons).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+
+    /// Component-wise translation.
+    #[must_use]
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// The displacement from `self` to `target` expressed in the paper's
+    /// `(r, θ)` report format.
+    #[must_use]
+    pub fn polar_to(self, target: Point) -> Polar {
+        let dx = target.x - self.x;
+        let dy = target.y - self.y;
+        Polar {
+            r: (dx * dx + dy * dy).sqrt(),
+            theta: dy.atan2(dx),
+        }
+    }
+
+    /// Centroid of a non-empty set of points.
+    ///
+    /// Returns `None` for an empty input.
+    #[must_use]
+    pub fn centroid(points: &[Point]) -> Option<Point> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Some(Point::new(sx / n, sy / n))
+    }
+
+    /// Weighted centroid; weights must be non-negative and not all zero.
+    ///
+    /// Returns `None` for an empty input or a zero total weight.
+    #[must_use]
+    pub fn weighted_centroid(points: &[(Point, f64)]) -> Option<Point> {
+        let total: f64 = points.iter().map(|(_, w)| *w).sum();
+        if points.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let (sx, sy) = points.iter().fold((0.0, 0.0), |(sx, sy), (p, w)| {
+            (sx + p.x * w, sy + p.y * w)
+        });
+        Some(Point::new(sx / total, sy / total))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A displacement in polar form — the paper's `(r, θ)` event-report payload.
+///
+/// `r` is a non-negative range; `theta` is the bearing in radians.
+///
+/// ```rust
+/// use tibfit_net::geometry::{Point, Polar};
+/// let node = Point::new(10.0, 10.0);
+/// let event = Point::new(13.0, 14.0);
+/// let rep = node.polar_to(event);
+/// let back = rep.resolve_from(node);
+/// assert!(back.distance_to(event) < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Polar {
+    /// Range from the reporting node, in field units.
+    pub r: f64,
+    /// Bearing in radians, measured counter-clockwise from +x.
+    pub theta: f64,
+}
+
+impl Polar {
+    /// Creates a polar displacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is negative or either component is not finite.
+    #[must_use]
+    pub fn new(r: f64, theta: f64) -> Self {
+        assert!(r.is_finite() && theta.is_finite(), "Polar components must be finite");
+        assert!(r >= 0.0, "Polar range must be non-negative, got {r}");
+        Polar { r, theta }
+    }
+
+    /// Converts back to an absolute point given the reporting node's
+    /// position.
+    #[must_use]
+    pub fn resolve_from(self, origin: Point) -> Point {
+        Point::new(
+            origin.x + self.r * self.theta.cos(),
+            origin.y + self.r * self.theta.sin(),
+        )
+    }
+}
+
+impl fmt::Display for Polar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(r={:.2}, θ={:.3})", self.r, self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_coordinates() {
+        let _ = Point::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let cases = [
+            (Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            (Point::new(5.0, -2.0), Point::new(5.0, -2.0)), // zero range
+            (Point::new(10.0, 10.0), Point::new(-3.0, 7.5)),
+        ];
+        for (origin, target) in cases {
+            let p = origin.polar_to(target);
+            assert!(p.resolve_from(origin).distance_to(target) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = Point::centroid(&pts).unwrap();
+        assert!(c.distance_to(Point::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn centroid_empty_is_none() {
+        assert_eq!(Point::centroid(&[]), None);
+    }
+
+    #[test]
+    fn weighted_centroid_biases_toward_heavy_point() {
+        let pts = vec![(Point::new(0.0, 0.0), 3.0), (Point::new(4.0, 0.0), 1.0)];
+        let c = Point::weighted_centroid(&pts).unwrap();
+        assert!((c.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_centroid_zero_weight_is_none() {
+        let pts = vec![(Point::new(1.0, 1.0), 0.0)];
+        assert_eq!(Point::weighted_centroid(&pts), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn polar_rejects_negative_range() {
+        let _ = Polar::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn offset_translates() {
+        assert_eq!(Point::new(1.0, 1.0).offset(2.0, -1.0), Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Point::ORIGIN.to_string().is_empty());
+        assert!(!Polar::new(1.0, 0.5).to_string().is_empty());
+    }
+}

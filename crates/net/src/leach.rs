@@ -1,0 +1,472 @@
+//! LEACH-style rotating cluster-head election, extended the way the paper
+//! extends it.
+//!
+//! Plain LEACH (Heinzelman et al.) elects cluster heads probabilistically:
+//! each node that has not led recently volunteers with a probability tuned
+//! so that on average a fraction `P` of nodes lead each round, biased by
+//! residual energy. TIBFIT adds two things (paper §2 and §3.4):
+//!
+//! 1. a **trust threshold** — a node whose trust index is below
+//!    `ti_threshold` is vetoed by the base station and cannot lead;
+//! 2. **shadow cluster heads (SCHs)** — the two highest-trust one-hop
+//!    neighbors of the elected head mirror its computation and can dispute
+//!    a faulty head's conclusion.
+
+use crate::energy::EnergyBudget;
+use crate::geometry::Point;
+use crate::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+/// Tunables for the election.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeachConfig {
+    /// Desired fraction of nodes leading per round (LEACH's `P`).
+    pub head_fraction: f64,
+    /// Minimum trust index required to lead (the TIBFIT extension; nodes
+    /// below it are vetoed by the base station).
+    pub ti_threshold: f64,
+    /// Number of shadow cluster heads monitoring the elected head.
+    pub shadow_count: usize,
+    /// One-hop radio range used when picking shadow heads.
+    pub hop_range: f64,
+}
+
+impl LeachConfig {
+    /// Defaults matching the paper's setting: `P = 0.1` (≈1 head per
+    /// 10-node cluster), trust threshold 0.5, two SCHs.
+    #[must_use]
+    pub fn paper() -> Self {
+        LeachConfig {
+            head_fraction: 0.1,
+            ti_threshold: 0.5,
+            shadow_count: 2,
+            hop_range: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for LeachConfig {
+    fn default() -> Self {
+        LeachConfig::paper()
+    }
+}
+
+/// Outcome of one election round for one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The elected cluster head.
+    pub head: NodeId,
+    /// Shadow cluster heads, highest-trust first.
+    pub shadows: Vec<NodeId>,
+    /// The election round number.
+    pub round: u64,
+    /// Candidates vetoed for insufficient trust this round.
+    pub vetoed: Vec<NodeId>,
+}
+
+/// Rotating cluster-head election state for a single cluster.
+///
+/// ```rust
+/// use tibfit_net::leach::{Election, LeachConfig};
+/// use tibfit_net::energy::EnergyBudget;
+/// use tibfit_net::topology::Topology;
+/// use tibfit_sim::rng::SimRng;
+///
+/// let topo = Topology::single_cluster(10, 5.0);
+/// let mut election = Election::new(LeachConfig::paper(), topo.len());
+/// let energies = vec![EnergyBudget::new(100.0); topo.len()];
+/// let mut rng = SimRng::seed_from(1);
+/// let outcome = election.run_round(&topo, &energies, |_| 1.0, &mut rng);
+/// assert!(outcome.head.index() < 10);
+/// assert_eq!(outcome.shadows.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Election {
+    config: LeachConfig,
+    round: u64,
+    /// Round at which each node last led, or `None` if it never has.
+    last_led: Vec<Option<u64>>,
+    times_led: Vec<u64>,
+}
+
+impl Election {
+    /// Creates election state for a cluster of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `head_fraction` is outside `(0, 1]`, or
+    /// `ti_threshold` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(config: LeachConfig, n: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one node");
+        assert!(
+            config.head_fraction > 0.0 && config.head_fraction <= 1.0,
+            "head_fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.ti_threshold),
+            "ti_threshold must be in [0, 1]"
+        );
+        Election {
+            config,
+            round: 0,
+            last_led: vec![None; n],
+            times_led: vec![0; n],
+        }
+    }
+
+    /// The current round number (increments on every
+    /// [`Election::run_round`]).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many times a node has served as head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn times_led(&self, node: NodeId) -> u64 {
+        self.times_led[node.index()]
+    }
+
+    /// LEACH eligibility: a node may volunteer if it has not led within the
+    /// last `1/P` rounds.
+    fn eligible_by_rotation(&self, node: usize) -> bool {
+        let epoch = (1.0 / self.config.head_fraction).ceil() as u64;
+        match self.last_led[node] {
+            None => true,
+            Some(r) => self.round.saturating_sub(r) >= epoch,
+        }
+    }
+
+    /// Volunteer probability for an eligible node: LEACH's threshold
+    /// `P / (1 − P·(r mod 1/P))`, scaled by residual energy fraction so
+    /// depleted nodes rarely volunteer.
+    fn volunteer_probability(&self, energy: &EnergyBudget) -> f64 {
+        let p = self.config.head_fraction;
+        let epoch = (1.0 / p).ceil();
+        let phase = (self.round as f64) % epoch;
+        let base = p / (1.0 - p * phase).max(p);
+        (base * energy.fraction()).clamp(0.0, 1.0)
+    }
+
+    /// Runs one election round.
+    ///
+    /// `trust_of` supplies the base station's view of each node's trust
+    /// index; candidates below [`LeachConfig::ti_threshold`] are vetoed.
+    /// If no node volunteers (or all volunteers are vetoed), the
+    /// highest-energy trusted node is drafted; if *no* node passes the
+    /// trust threshold, the highest-trust node is drafted as a last resort
+    /// so the cluster always has a head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energies.len()` does not match the cluster size used at
+    /// construction or the topology size differs.
+    pub fn run_round(
+        &mut self,
+        topo: &Topology,
+        energies: &[EnergyBudget],
+        trust_of: impl Fn(NodeId) -> f64,
+        rng: &mut SimRng,
+    ) -> RoundOutcome {
+        assert_eq!(
+            energies.len(),
+            self.last_led.len(),
+            "energy table size mismatch"
+        );
+        assert_eq!(topo.len(), self.last_led.len(), "topology size mismatch");
+
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut vetoed: Vec<NodeId> = Vec::new();
+
+        for (i, energy) in energies.iter().enumerate() {
+            if !energy.is_alive() || !self.eligible_by_rotation(i) {
+                continue;
+            }
+            if !rng.chance(self.volunteer_probability(energy)) {
+                continue;
+            }
+            if trust_of(NodeId(i)) < self.config.ti_threshold {
+                // Base station cancels this node's bid (paper §2).
+                vetoed.push(NodeId(i));
+                continue;
+            }
+            candidates.push(i);
+        }
+
+        let head = if let Some(&best) = candidates.iter().max_by(|&&a, &&b| {
+            // Among volunteers, highest trust wins; energy breaks ties.
+            let ta = trust_of(NodeId(a));
+            let tb = trust_of(NodeId(b));
+            ta.partial_cmp(&tb)
+                .expect("trust is finite")
+                .then_with(|| {
+                    energies[a]
+                        .residual()
+                        .partial_cmp(&energies[b].residual())
+                        .expect("energy is finite")
+                })
+                .then_with(|| b.cmp(&a)) // lower id wins final ties
+        }) {
+            best
+        } else {
+            self.draft_fallback(energies, &trust_of)
+        };
+
+        self.last_led[head] = Some(self.round);
+        self.times_led[head] += 1;
+        let round = self.round;
+        self.round += 1;
+
+        let shadows = self.pick_shadows(topo, NodeId(head), &trust_of);
+        RoundOutcome {
+            head: NodeId(head),
+            shadows,
+            round,
+            vetoed,
+        }
+    }
+
+    /// Deterministic fallback when nobody volunteers. Prefers nodes that are
+    /// alive, trusted, and eligible under the rotation rule; relaxes those
+    /// constraints one at a time so a head always exists.
+    fn draft_fallback(
+        &self,
+        energies: &[EnergyBudget],
+        trust_of: &impl Fn(NodeId) -> f64,
+    ) -> usize {
+        let n = energies.len();
+        let tiers: [&dyn Fn(usize) -> bool; 3] = [
+            &|i| {
+                energies[i].is_alive()
+                    && trust_of(NodeId(i)) >= self.config.ti_threshold
+                    && self.eligible_by_rotation(i)
+            },
+            &|i| energies[i].is_alive() && trust_of(NodeId(i)) >= self.config.ti_threshold,
+            &|_| true,
+        ];
+        let pool: Vec<usize> = tiers
+            .iter()
+            .map(|pred| (0..n).filter(|&i| pred(i)).collect::<Vec<_>>())
+            .find(|p| !p.is_empty())
+            .expect("final tier accepts every node");
+        pool.into_iter()
+            .max_by(|&a, &b| {
+                let ea = energies[a].residual();
+                let eb = energies[b].residual();
+                ea.partial_cmp(&eb)
+                    .expect("energy is finite")
+                    .then_with(|| {
+                        trust_of(NodeId(a))
+                            .partial_cmp(&trust_of(NodeId(b)))
+                            .expect("trust is finite")
+                    })
+                    .then_with(|| b.cmp(&a))
+            })
+            .expect("cluster is non-empty")
+    }
+
+    /// Shadow cluster heads: the `shadow_count` highest-trust nodes within
+    /// one hop of the head (paper §3.4).
+    fn pick_shadows(
+        &self,
+        topo: &Topology,
+        head: NodeId,
+        trust_of: &impl Fn(NodeId) -> f64,
+    ) -> Vec<NodeId> {
+        let head_pos: Point = topo.position(head);
+        let mut neighbors: Vec<NodeId> = topo
+            .iter()
+            .filter(|(id, p)| {
+                *id != head && p.distance_to(head_pos) <= self.config.hop_range
+            })
+            .map(|(id, _)| id)
+            .collect();
+        neighbors.sort_by(|&a, &b| {
+            trust_of(b)
+                .partial_cmp(&trust_of(a))
+                .expect("trust is finite")
+                .then_with(|| a.cmp(&b))
+        });
+        neighbors.truncate(self.config.shadow_count);
+        neighbors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_energy(n: usize) -> Vec<EnergyBudget> {
+        vec![EnergyBudget::new(100.0); n]
+    }
+
+    #[test]
+    fn elects_some_head_every_round() {
+        let topo = Topology::single_cluster(10, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 10);
+        let energies = full_energy(10);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..50 {
+            let out = e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+            assert!(out.head.index() < 10);
+        }
+    }
+
+    #[test]
+    fn leadership_rotates() {
+        let topo = Topology::single_cluster(10, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 10);
+        let energies = full_energy(10);
+        let mut rng = SimRng::seed_from(7);
+        let mut heads = std::collections::HashSet::new();
+        for _ in 0..40 {
+            heads.insert(e.run_round(&topo, &energies, |_| 1.0, &mut rng).head);
+        }
+        assert!(
+            heads.len() >= 5,
+            "expected rotation across many nodes, saw {}",
+            heads.len()
+        );
+    }
+
+    #[test]
+    fn same_node_cannot_lead_twice_in_epoch() {
+        let topo = Topology::single_cluster(10, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 10);
+        let energies = full_energy(10);
+        let mut rng = SimRng::seed_from(11);
+        let mut last: Vec<Option<u64>> = vec![None; 10];
+        let epoch = 10;
+        for r in 0..30u64 {
+            let out = e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+            let i = out.head.index();
+            if let Some(prev) = last[i] {
+                assert!(r - prev >= epoch, "node {i} led at rounds {prev} and {r}");
+            }
+            last[i] = Some(r);
+        }
+    }
+
+    #[test]
+    fn untrusted_nodes_never_lead() {
+        let topo = Topology::single_cluster(10, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 10);
+        let energies = full_energy(10);
+        let mut rng = SimRng::seed_from(5);
+        // Nodes 0..5 are distrusted.
+        let trust = |n: NodeId| if n.index() < 5 { 0.1 } else { 0.9 };
+        for _ in 0..60 {
+            let out = e.run_round(&topo, &energies, trust, &mut rng);
+            assert!(out.head.index() >= 5, "distrusted node {} led", out.head);
+        }
+    }
+
+    #[test]
+    fn all_distrusted_still_yields_head() {
+        let topo = Topology::single_cluster(4, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 4);
+        let energies = full_energy(4);
+        let mut rng = SimRng::seed_from(9);
+        let out = e.run_round(&topo, &energies, |_| 0.0, &mut rng);
+        assert!(out.head.index() < 4);
+    }
+
+    #[test]
+    fn shadows_are_highest_trust_non_heads() {
+        let topo = Topology::single_cluster(6, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 6);
+        let energies = full_energy(6);
+        let mut rng = SimRng::seed_from(2);
+        // Trust descends with id; node 0 most trusted.
+        let trust = |n: NodeId| 1.0 - 0.1 * n.index() as f64;
+        let out = e.run_round(&topo, &energies, trust, &mut rng);
+        assert_eq!(out.shadows.len(), 2);
+        for s in &out.shadows {
+            assert_ne!(*s, out.head);
+        }
+        // Shadows should be the two most trusted nodes excluding the head.
+        let mut expected: Vec<NodeId> = (0..6).map(NodeId).filter(|&n| n != out.head).collect();
+        expected.sort_by(|&a, &b| trust(b).partial_cmp(&trust(a)).unwrap());
+        assert_eq!(out.shadows, expected[..2].to_vec());
+    }
+
+    #[test]
+    fn dead_nodes_do_not_volunteer() {
+        let topo = Topology::single_cluster(3, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 3);
+        let mut energies = full_energy(3);
+        energies[0].spend(1000.0);
+        energies[1].spend(1000.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..12 {
+            let out = e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+            assert_eq!(out.head, NodeId(2));
+        }
+    }
+
+    #[test]
+    fn times_led_accumulates() {
+        let topo = Topology::single_cluster(2, 5.0);
+        let mut e = Election::new(
+            LeachConfig {
+                head_fraction: 1.0,
+                ..LeachConfig::paper()
+            },
+            2,
+        );
+        let energies = full_energy(2);
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10 {
+            e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+        }
+        let total: u64 = (0..2).map(|i| e.times_led(NodeId(i))).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn hop_range_limits_shadow_pool() {
+        // Three collinear nodes; node 2 is far from node 0.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(50.0, 0.0),
+            ],
+            60.0,
+            60.0,
+        );
+        let config = LeachConfig {
+            hop_range: 5.0,
+            head_fraction: 1.0,
+            ti_threshold: 0.0,
+            shadow_count: 2,
+        };
+        let mut e = Election::new(config, 3);
+        let energies = vec![
+            EnergyBudget::new(100.0),
+            EnergyBudget::new(50.0),
+            EnergyBudget::new(50.0),
+        ];
+        let mut rng = SimRng::seed_from(0);
+        // Highest trust on node 0 so it is elected head.
+        let trust = |n: NodeId| if n.index() == 0 { 1.0 } else { 0.9 };
+        let out = e.run_round(&topo, &energies, trust, &mut rng);
+        assert_eq!(out.head, NodeId(0));
+        assert_eq!(out.shadows, vec![NodeId(1)], "node 2 is out of hop range");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_energy_table_panics() {
+        let topo = Topology::single_cluster(3, 5.0);
+        let mut e = Election::new(LeachConfig::paper(), 3);
+        let energies = full_energy(2);
+        let mut rng = SimRng::seed_from(0);
+        e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tibfit-net
+//!
+//! The wireless-sensor-network substrate for the TIBFIT reproduction: the
+//! pieces of ns-2 and LEACH the paper's protocol sits on.
+//!
+//! * [`geometry`] — 2-D points, the paper's `(r, θ)` polar report format,
+//!   distances.
+//! * [`topology`] — node deployments (uniform grid, uniform random) and
+//!   event-neighbor queries (nodes within sensing radius `r_s`).
+//! * [`channel`] — packet loss models: [`channel::Perfect`],
+//!   [`channel::BernoulliLoss`] (the paper's "<1% natural drops"), and
+//!   [`channel::DistanceLoss`].
+//! * [`message`] — event-report and control message types.
+//! * [`energy`] — residual-energy bookkeeping for cluster-head election.
+//! * [`leach`] — the LEACH-style rotating cluster-head election the paper
+//!   extends with a trust-index threshold, plus shadow-cluster-head (SCH)
+//!   selection.
+//!
+//! ## Example: deploy a grid and find event neighbors
+//!
+//! ```rust
+//! use tibfit_net::geometry::Point;
+//! use tibfit_net::topology::Topology;
+//!
+//! let topo = Topology::uniform_grid(100, 100.0, 100.0);
+//! let event = Point::new(50.0, 50.0);
+//! let neighbors = topo.event_neighbors(event, 20.0);
+//! assert!(!neighbors.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod energy;
+pub mod geometry;
+pub mod leach;
+pub mod message;
+pub mod mobility;
+pub mod multihop;
+pub mod topology;
+
+pub use geometry::{Point, Polar};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,152 @@
+//! Message types exchanged between sensing nodes, cluster heads, and the
+//! base station.
+//!
+//! The protocol layer ([`tibfit-core`](https://docs.rs/tibfit-core)) consumes
+//! [`EventReport`]s; the clustering layer ([`crate::leach`]) exchanges the
+//! control messages.
+
+use crate::geometry::Polar;
+use crate::topology::NodeId;
+use tibfit_sim::SimTime;
+
+/// What a sensing node claims about an event.
+///
+/// The paper's binary model (§3.1) carries only "the event happened"; the
+/// location model (§3.2) adds an `(r, θ)` estimate relative to the reporter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReportPayload {
+    /// Binary detection: the node asserts an event occurred in its sensing
+    /// range but does not localize it.
+    Binary,
+    /// Localized detection: the claimed event position, relative to the
+    /// reporting node.
+    Location(Polar),
+}
+
+/// An event report received by the cluster head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventReport {
+    /// The node that sent the report.
+    pub reporter: NodeId,
+    /// When the cluster head received it.
+    pub received_at: SimTime,
+    /// The claim.
+    pub payload: ReportPayload,
+}
+
+impl EventReport {
+    /// Convenience constructor for a binary report.
+    #[must_use]
+    pub fn binary(reporter: NodeId, received_at: SimTime) -> Self {
+        EventReport {
+            reporter,
+            received_at,
+            payload: ReportPayload::Binary,
+        }
+    }
+
+    /// Convenience constructor for a localized report.
+    #[must_use]
+    pub fn located(reporter: NodeId, received_at: SimTime, claim: Polar) -> Self {
+        EventReport {
+            reporter,
+            received_at,
+            payload: ReportPayload::Location(claim),
+        }
+    }
+
+    /// The polar claim, if this is a location report.
+    #[must_use]
+    pub fn location_claim(&self) -> Option<Polar> {
+        match self.payload {
+            ReportPayload::Binary => None,
+            ReportPayload::Location(p) => Some(p),
+        }
+    }
+}
+
+/// Control traffic for cluster management (LEACH + TIBFIT extensions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// A node advertises itself as a candidate cluster head for the next
+    /// round.
+    ChAdvertisement {
+        /// The advertising node.
+        candidate: NodeId,
+        /// Advertised signal strength proxy (receivers affiliate with the
+        /// strongest).
+        signal_strength: f64,
+    },
+    /// A node affiliates with a cluster head after hearing advertisements.
+    Affiliation {
+        /// The joining node.
+        member: NodeId,
+        /// The chosen head.
+        head: NodeId,
+    },
+    /// An outgoing CH hands the trust state for its cluster to the base
+    /// station at the end of its leadership period.
+    TrustHandoff {
+        /// The outgoing head.
+        from_head: NodeId,
+        /// `(node, trust index)` pairs for the cluster.
+        trust: Vec<(NodeId, f64)>,
+    },
+    /// The base station vetoes a candidate whose trust index is below the
+    /// election threshold (the paper's TIBFIT extension to LEACH).
+    ChVeto {
+        /// The rejected candidate.
+        candidate: NodeId,
+    },
+    /// A shadow cluster head disputes the CH's conclusion for an event
+    /// round (§3.4), sending its own computation to the base station.
+    ShadowDispute {
+        /// The disputing shadow head.
+        shadow: NodeId,
+        /// The round being disputed.
+        round: u64,
+        /// Whether the shadow's own computation concluded the event
+        /// occurred.
+        shadow_decision: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Polar;
+
+    #[test]
+    fn binary_report_has_no_claim() {
+        let r = EventReport::binary(NodeId(3), SimTime::from_ticks(5));
+        assert_eq!(r.location_claim(), None);
+        assert_eq!(r.reporter, NodeId(3));
+    }
+
+    #[test]
+    fn located_report_round_trips_claim() {
+        let claim = Polar::new(4.0, 1.0);
+        let r = EventReport::located(NodeId(1), SimTime::ZERO, claim);
+        assert_eq!(r.location_claim(), Some(claim));
+    }
+
+    #[test]
+    fn control_messages_compare() {
+        let a = ControlMessage::ChVeto { candidate: NodeId(2) };
+        let b = ControlMessage::ChVeto { candidate: NodeId(2) };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trust_handoff_carries_table() {
+        let m = ControlMessage::TrustHandoff {
+            from_head: NodeId(0),
+            trust: vec![(NodeId(1), 0.9), (NodeId(2), 0.4)],
+        };
+        if let ControlMessage::TrustHandoff { trust, .. } = m {
+            assert_eq!(trust.len(), 2);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Node mobility models.
+//!
+//! The paper's system model (§2): "The network could be stationary or
+//! mobile, as long as it is possible for the CH to estimate the positions
+//! of its cluster nodes during decision making." This module provides the
+//! movement side of that sentence: a [`MobilityModel`] advances node
+//! positions between event rounds, and the CH — per the paper's
+//! assumption — always decides against the *current* positions.
+//!
+//! [`RandomWaypoint`] is the standard WSN mobility model: each node picks
+//! a uniform destination, moves toward it at its drawn speed, pauses,
+//! and repeats.
+
+use crate::geometry::Point;
+use crate::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+/// Draws a speed in `[lo, hi]`, handling the degenerate `lo == hi` case.
+fn draw_speed(lo: f64, hi: f64, rng: &mut SimRng) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.uniform_range(lo, hi)
+    }
+}
+
+/// Advances node positions by one time step.
+pub trait MobilityModel: std::fmt::Debug {
+    /// Moves every node for a step of duration `dt` (abstract time
+    /// units); positions are clamped to the topology's field by the
+    /// caller contract.
+    fn step(&mut self, topo: &mut Topology, dt: f64, rng: &mut SimRng);
+}
+
+/// No movement at all (the default for Experiments 1–3: "Nodes are
+/// stationary in all experiments").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stationary;
+
+impl MobilityModel for Stationary {
+    fn step(&mut self, _topo: &mut Topology, _dt: f64, _rng: &mut SimRng) {}
+}
+
+/// Per-node state of the random-waypoint process.
+#[derive(Debug, Clone, Copy)]
+struct Waypoint {
+    target: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// The random-waypoint mobility model.
+///
+/// ```rust
+/// use tibfit_net::mobility::{MobilityModel, RandomWaypoint};
+/// use tibfit_net::topology::{NodeId, Topology};
+/// use tibfit_sim::rng::SimRng;
+///
+/// let mut topo = Topology::uniform_grid(9, 30.0, 30.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let before = topo.position(NodeId(4));
+/// let mut model = RandomWaypoint::new(1.0, 3.0, 0.0, &topo, &mut rng);
+/// for _ in 0..10 {
+///     model.step(&mut topo, 1.0, &mut rng);
+/// }
+/// assert!(topo.position(NodeId(4)).distance_to(before) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    min_speed: f64,
+    max_speed: f64,
+    pause: f64,
+    state: Vec<Waypoint>,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with per-leg speeds drawn uniformly from
+    /// `[min_speed, max_speed]` (field units per time unit) and a fixed
+    /// pause at each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_speed <= max_speed` and `pause >= 0`.
+    #[must_use]
+    pub fn new(
+        min_speed: f64,
+        max_speed: f64,
+        pause: f64,
+        topo: &Topology,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(
+            min_speed > 0.0 && min_speed <= max_speed,
+            "require 0 < min_speed <= max_speed"
+        );
+        assert!(pause >= 0.0, "pause must be non-negative");
+        let state = topo
+            .node_ids()
+            .map(|_| Waypoint {
+                target: Point::new(
+                    rng.uniform_range(0.0, topo.width()),
+                    rng.uniform_range(0.0, topo.height()),
+                ),
+                speed: draw_speed(min_speed, max_speed, rng),
+                pause_left: 0.0,
+            })
+            .collect();
+        RandomWaypoint {
+            min_speed,
+            max_speed,
+            pause,
+            state,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn step(&mut self, topo: &mut Topology, dt: f64, rng: &mut SimRng) {
+        assert!(dt >= 0.0, "dt must be non-negative");
+        assert_eq!(self.state.len(), topo.len(), "model/topology mismatch");
+        for (node, wp) in topo.node_ids().collect::<Vec<_>>().into_iter().zip(&mut self.state) {
+            let mut remaining = dt;
+            let mut pos = topo.position(node);
+            while remaining > 0.0 {
+                if wp.pause_left > 0.0 {
+                    let wait = wp.pause_left.min(remaining);
+                    wp.pause_left -= wait;
+                    remaining -= wait;
+                    continue;
+                }
+                let to_target = pos.distance_to(wp.target);
+                let reach = wp.speed * remaining;
+                if reach >= to_target {
+                    // Arrive, pause, then pick the next leg.
+                    pos = wp.target;
+                    remaining -= if wp.speed > 0.0 { to_target / wp.speed } else { remaining };
+                    wp.pause_left = self.pause;
+                    wp.target = Point::new(
+                        rng.uniform_range(0.0, topo.width()),
+                        rng.uniform_range(0.0, topo.height()),
+                    );
+                    wp.speed = draw_speed(self.min_speed, self.max_speed, rng);
+                } else {
+                    let frac = reach / to_target;
+                    pos = Point::new(
+                        pos.x + (wp.target.x - pos.x) * frac,
+                        pos.y + (wp.target.y - pos.y) * frac,
+                    );
+                    remaining = 0.0;
+                }
+            }
+            topo.set_position(node, pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut topo = Topology::uniform_grid(9, 30.0, 30.0);
+        let before: Vec<Point> = topo.iter().map(|(_, p)| p).collect();
+        let mut rng = SimRng::seed_from(1);
+        Stationary.step(&mut topo, 100.0, &mut rng);
+        for (i, (_, p)) in topo.iter().enumerate() {
+            assert_eq!(p, before[i]);
+        }
+    }
+
+    #[test]
+    fn waypoint_keeps_nodes_in_field() {
+        let mut topo = Topology::uniform_grid(16, 40.0, 40.0);
+        let mut rng = SimRng::seed_from(2);
+        let mut model = RandomWaypoint::new(0.5, 2.0, 0.5, &topo, &mut rng);
+        for _ in 0..200 {
+            model.step(&mut topo, 1.0, &mut rng);
+            for (_, p) in topo.iter() {
+                assert!((0.0..=40.0).contains(&p.x), "x = {}", p.x);
+                assert!((0.0..=40.0).contains(&p.y), "y = {}", p.y);
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_speed_bounds_displacement() {
+        let mut topo = Topology::uniform_grid(9, 100.0, 100.0);
+        let mut rng = SimRng::seed_from(3);
+        let mut model = RandomWaypoint::new(1.0, 2.0, 0.0, &topo, &mut rng);
+        for _ in 0..50 {
+            let before: Vec<Point> = topo.iter().map(|(_, p)| p).collect();
+            model.step(&mut topo, 1.0, &mut rng);
+            for (i, (_, p)) in topo.iter().enumerate() {
+                let moved = p.distance_to(before[i]);
+                assert!(moved <= 2.0 + 1e-9, "node {i} moved {moved} in one unit");
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_eventually_moves_every_node() {
+        let mut topo = Topology::uniform_grid(9, 30.0, 30.0);
+        let before: Vec<Point> = topo.iter().map(|(_, p)| p).collect();
+        let mut rng = SimRng::seed_from(4);
+        let mut model = RandomWaypoint::new(1.0, 1.0, 0.0, &topo, &mut rng);
+        for _ in 0..30 {
+            model.step(&mut topo, 1.0, &mut rng);
+        }
+        for (i, (_, p)) in topo.iter().enumerate() {
+            assert!(p.distance_to(before[i]) > 1e-6, "node {i} never moved");
+        }
+    }
+
+    #[test]
+    fn pause_halts_motion_at_waypoints() {
+        // With an enormous pause, a node that reaches its target stays
+        // put on subsequent steps.
+        let mut topo =
+            Topology::from_positions(vec![Point::new(5.0, 5.0)], 10.0, 10.0);
+        let mut rng = SimRng::seed_from(5);
+        let mut model = RandomWaypoint::new(100.0, 100.0, 1e9, &topo, &mut rng);
+        // First step reaches the (nearby) target and begins the pause.
+        model.step(&mut topo, 1.0, &mut rng);
+        let at_target = topo.position(NodeId(0));
+        for _ in 0..10 {
+            model.step(&mut topo, 1.0, &mut rng);
+            assert_eq!(topo.position(NodeId(0)), at_target);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut topo = Topology::uniform_grid(9, 30.0, 30.0);
+            let mut rng = SimRng::seed_from(6);
+            let mut model = RandomWaypoint::new(0.5, 1.5, 0.2, &topo, &mut rng);
+            for _ in 0..25 {
+                model.step(&mut topo, 1.0, &mut rng);
+            }
+            topo.iter().map(|(_, p)| p).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_speed <= max_speed")]
+    fn rejects_bad_speeds() {
+        let topo = Topology::uniform_grid(4, 10.0, 10.0);
+        let mut rng = SimRng::seed_from(0);
+        let _ = RandomWaypoint::new(2.0, 1.0, 0.0, &topo, &mut rng);
+    }
+}

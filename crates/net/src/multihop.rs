@@ -1,0 +1,375 @@
+//! Multi-hop data dissemination.
+//!
+//! The paper's base protocol assumes sensing nodes one hop from the data
+//! sink; §3.4 notes TIBFIT "can also be extended to scenarios where the
+//! sensing nodes are more than one hop away from the data sink" given a
+//! reliable dissemination primitive (citing the authors' DSN'04 work).
+//! This module supplies that substrate: greedy geographic forwarding with
+//! per-hop acknowledgment and bounded retransmission over a lossy
+//! channel.
+//!
+//! Greedy forwarding advances each packet to the neighbor strictly
+//! closest to the destination; a packet is dropped at a routing *void*
+//! (no neighbor closer than the current holder) or when the hop budget is
+//! exhausted.
+
+use crate::channel::ChannelModel;
+use crate::geometry::Point;
+use crate::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+/// Multi-hop parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultihopConfig {
+    /// One-hop radio range.
+    pub radio_range: f64,
+    /// Per-hop retransmissions before the packet is dropped (reliable
+    /// dissemination = a few link-layer retries).
+    pub max_retries: u32,
+    /// Total hop budget (TTL).
+    pub max_hops: u32,
+}
+
+impl MultihopConfig {
+    /// Sensible defaults: range 15 (denser than the 20-unit sensing
+    /// radius), 3 retries, 32-hop TTL.
+    #[must_use]
+    pub fn default_paper_scale() -> Self {
+        MultihopConfig {
+            radio_range: 15.0,
+            max_retries: 3,
+            max_hops: 32,
+        }
+    }
+}
+
+/// Why a delivery attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// The packet reached the sink.
+    Delivered,
+    /// A hop failed `max_retries + 1` consecutive times.
+    LinkFailure,
+    /// No neighbor was closer to the sink (greedy routing void).
+    RoutingVoid,
+    /// The TTL ran out.
+    TtlExceeded,
+}
+
+/// Outcome of routing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryResult {
+    /// Terminal status.
+    pub status: DeliveryStatus,
+    /// The node path taken, starting at the source.
+    pub path: Vec<NodeId>,
+    /// Total transmissions (including retransmissions and the final
+    /// sink-bound hop).
+    pub transmissions: u32,
+}
+
+impl DeliveryResult {
+    /// `true` when the packet reached the sink.
+    #[must_use]
+    pub fn delivered(&self) -> bool {
+        self.status == DeliveryStatus::Delivered
+    }
+
+    /// Hops actually traversed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1) + usize::from(self.delivered())
+    }
+}
+
+/// A greedy-geographic multi-hop forwarding plane over a topology.
+///
+/// ```rust
+/// use tibfit_net::channel::Perfect;
+/// use tibfit_net::geometry::Point;
+/// use tibfit_net::multihop::{MultihopConfig, MultihopNetwork};
+/// use tibfit_net::topology::{NodeId, Topology};
+/// use tibfit_sim::rng::SimRng;
+///
+/// let topo = Topology::uniform_grid(100, 100.0, 100.0);
+/// let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+/// let mut rng = SimRng::seed_from(1);
+/// let sink = Point::new(95.0, 95.0);
+/// let result = net.deliver(NodeId(0), sink, &Perfect, &mut rng);
+/// assert!(result.delivered());
+/// assert!(result.hops() > 1, "corner to corner needs several hops");
+/// ```
+#[derive(Debug)]
+pub struct MultihopNetwork<'a> {
+    config: MultihopConfig,
+    topo: &'a Topology,
+}
+
+impl<'a> MultihopNetwork<'a> {
+    /// Creates a forwarding plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio range is not strictly positive or the hop
+    /// budget is zero.
+    #[must_use]
+    pub fn new(config: MultihopConfig, topo: &'a Topology) -> Self {
+        assert!(config.radio_range > 0.0, "radio range must be positive");
+        assert!(config.max_hops > 0, "hop budget must be positive");
+        MultihopNetwork { config, topo }
+    }
+
+    /// One-hop neighbors of a node.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let pos = self.topo.position(node);
+        self.topo
+            .iter()
+            .filter(|(id, p)| *id != node && p.distance_to(pos) <= self.config.radio_range)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The greedy next hop from `node` toward `dest`, if any neighbor is
+    /// strictly closer to `dest` than `node` itself.
+    #[must_use]
+    pub fn next_hop(&self, node: NodeId, dest: Point) -> Option<NodeId> {
+        let here = self.topo.position(node).distance_to(dest);
+        self.neighbors(node)
+            .into_iter()
+            .map(|n| (n, self.topo.position(n).distance_to(dest)))
+            .filter(|(_, d)| *d < here)
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
+            .map(|(n, _)| n)
+    }
+
+    /// Routes one packet from `source` to the sink at `sink_pos`.
+    ///
+    /// The sink is an infrastructure node (the CH / base station) at a
+    /// known position; the final hop succeeds once the packet reaches a
+    /// node within radio range of the sink. Each hop is attempted up to
+    /// `1 + max_retries` times over `channel`.
+    pub fn deliver(
+        &self,
+        source: NodeId,
+        sink_pos: Point,
+        channel: &dyn ChannelModel,
+        rng: &mut SimRng,
+    ) -> DeliveryResult {
+        let mut path = vec![source];
+        let mut transmissions = 0u32;
+        let mut current = source;
+        for _ in 0..self.config.max_hops {
+            let here = self.topo.position(current);
+            // Within range of the sink: final hop.
+            if here.distance_to(sink_pos) <= self.config.radio_range {
+                match self.try_hop(here, sink_pos, channel, rng, &mut transmissions) {
+                    true => {
+                        return DeliveryResult {
+                            status: DeliveryStatus::Delivered,
+                            path,
+                            transmissions,
+                        }
+                    }
+                    false => {
+                        return DeliveryResult {
+                            status: DeliveryStatus::LinkFailure,
+                            path,
+                            transmissions,
+                        }
+                    }
+                }
+            }
+            let Some(next) = self.next_hop(current, sink_pos) else {
+                return DeliveryResult {
+                    status: DeliveryStatus::RoutingVoid,
+                    path,
+                    transmissions,
+                };
+            };
+            let next_pos = self.topo.position(next);
+            if !self.try_hop(here, next_pos, channel, rng, &mut transmissions) {
+                return DeliveryResult {
+                    status: DeliveryStatus::LinkFailure,
+                    path,
+                    transmissions,
+                };
+            }
+            path.push(next);
+            current = next;
+        }
+        DeliveryResult {
+            status: DeliveryStatus::TtlExceeded,
+            path,
+            transmissions,
+        }
+    }
+
+    /// Attempts one hop with retransmissions; returns success.
+    fn try_hop(
+        &self,
+        from: Point,
+        to: Point,
+        channel: &dyn ChannelModel,
+        rng: &mut SimRng,
+        transmissions: &mut u32,
+    ) -> bool {
+        for _ in 0..=self.config.max_retries {
+            *transmissions += 1;
+            if channel.delivers(from, to, rng) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BernoulliLoss, Perfect};
+
+    fn grid() -> Topology {
+        Topology::uniform_grid(100, 100.0, 100.0)
+    }
+
+    #[test]
+    fn delivers_across_grid_on_perfect_channel() {
+        let topo = grid();
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        let mut rng = SimRng::seed_from(1);
+        for source in [0usize, 9, 90, 99, 45] {
+            let r = net.deliver(NodeId(source), Point::new(50.0, 50.0), &Perfect, &mut rng);
+            assert!(r.delivered(), "source {source}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn path_monotonically_approaches_sink() {
+        let topo = grid();
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        let mut rng = SimRng::seed_from(2);
+        let sink = Point::new(95.0, 95.0);
+        let r = net.deliver(NodeId(0), sink, &Perfect, &mut rng);
+        assert!(r.delivered());
+        let mut prev = f64::INFINITY;
+        for &n in &r.path {
+            let d = topo.position(n).distance_to(sink);
+            assert!(d < prev, "greedy path must shrink distance");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn lossy_channel_costs_retransmissions() {
+        let topo = grid();
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        let mut rng = SimRng::seed_from(3);
+        let sink = Point::new(95.0, 95.0);
+        // Average over several packets: a 30% lossy channel needs more
+        // transmissions than a perfect one for the same route.
+        let mut lossy_tx = 0u32;
+        let mut perfect_tx = 0u32;
+        for _ in 0..20 {
+            let l = net.deliver(NodeId(0), sink, &BernoulliLoss::new(0.3), &mut rng);
+            let p = net.deliver(NodeId(0), sink, &Perfect, &mut rng);
+            lossy_tx += l.transmissions;
+            perfect_tx += p.transmissions;
+        }
+        assert!(lossy_tx > perfect_tx);
+    }
+
+    #[test]
+    fn total_loss_reports_link_failure() {
+        let topo = grid();
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        let mut rng = SimRng::seed_from(4);
+        let r = net.deliver(
+            NodeId(0),
+            Point::new(95.0, 95.0),
+            &BernoulliLoss::new(1.0),
+            &mut rng,
+        );
+        assert_eq!(r.status, DeliveryStatus::LinkFailure);
+        assert_eq!(r.path, vec![NodeId(0)]);
+        // 1 + max_retries attempts on the first hop.
+        assert_eq!(r.transmissions, 4);
+    }
+
+    #[test]
+    fn routing_void_detected() {
+        // Two distant nodes, neither can reach the other or the sink.
+        let topo = Topology::from_positions(
+            vec![Point::new(0.0, 0.0), Point::new(99.0, 99.0)],
+            100.0,
+            100.0,
+        );
+        let net = MultihopNetwork::new(
+            MultihopConfig {
+                radio_range: 10.0,
+                max_retries: 0,
+                max_hops: 8,
+            },
+            &topo,
+        );
+        let mut rng = SimRng::seed_from(5);
+        let r = net.deliver(NodeId(0), Point::new(99.0, 99.0), &Perfect, &mut rng);
+        assert_eq!(r.status, DeliveryStatus::RoutingVoid);
+    }
+
+    #[test]
+    fn ttl_bounds_hop_count() {
+        let topo = grid();
+        let net = MultihopNetwork::new(
+            MultihopConfig {
+                radio_range: 15.0,
+                max_retries: 0,
+                max_hops: 2,
+            },
+            &topo,
+        );
+        let mut rng = SimRng::seed_from(6);
+        let r = net.deliver(NodeId(0), Point::new(95.0, 95.0), &Perfect, &mut rng);
+        assert_eq!(r.status, DeliveryStatus::TtlExceeded);
+        assert!(r.path.len() <= 3);
+    }
+
+    #[test]
+    fn neighbors_respect_radio_range() {
+        let topo = grid();
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        let node = NodeId(55);
+        let pos = topo.position(node);
+        for n in net.neighbors(node) {
+            assert!(topo.position(n).distance_to(pos) <= 15.0);
+            assert_ne!(n, node);
+        }
+    }
+
+    #[test]
+    fn next_hop_none_when_already_closest() {
+        let topo = Topology::from_positions(
+            vec![Point::new(50.0, 50.0), Point::new(20.0, 20.0)],
+            100.0,
+            100.0,
+        );
+        let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+        // Node 0 is closest to the sink already; node 1 is out of range
+        // anyway.
+        assert_eq!(net.next_hop(NodeId(0), Point::new(55.0, 55.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "radio range")]
+    fn rejects_bad_range() {
+        let topo = grid();
+        let _ = MultihopNetwork::new(
+            MultihopConfig {
+                radio_range: 0.0,
+                max_retries: 0,
+                max_hops: 1,
+            },
+            &topo,
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Node deployments and spatial queries.
+//!
+//! The paper deploys nodes either as a small fully-connected cluster
+//! (Experiment 1: 10 nodes, all event neighbors of every event) or uniformly
+//! on a 100×100 grid (Experiments 2–3). [`Topology`] covers both, plus
+//! random deployments, and answers the *event neighbor* query: which nodes
+//! lie within sensing radius `r_s` of an event.
+
+use crate::geometry::Point;
+use tibfit_sim::rng::SimRng;
+
+/// Identifies a sensor node within one topology.
+///
+/// Node ids are dense indices (`0..n`), which lets protocol state live in
+/// flat vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An immutable deployment of sensor nodes in a rectangular field.
+///
+/// ```rust
+/// use tibfit_net::topology::Topology;
+/// use tibfit_net::geometry::Point;
+///
+/// let topo = Topology::uniform_grid(100, 100.0, 100.0);
+/// assert_eq!(topo.len(), 100);
+/// // Every node within 20 units of the field center senses this event:
+/// let neighbors = topo.event_neighbors(Point::new(50.0, 50.0), 20.0);
+/// assert!(neighbors.len() > 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Point>,
+    width: f64,
+    height: f64,
+}
+
+impl Topology {
+    /// Builds a topology from explicit node positions and field dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not strictly positive, or if any
+    /// position lies outside the field.
+    #[must_use]
+    pub fn from_positions(positions: Vec<Point>, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        for (i, p) in positions.iter().enumerate() {
+            assert!(
+                (0.0..=width).contains(&p.x) && (0.0..=height).contains(&p.y),
+                "node {i} at {p} lies outside the {width}x{height} field"
+            );
+        }
+        Topology {
+            positions,
+            width,
+            height,
+        }
+    }
+
+    /// Deploys `n` nodes on a uniform grid filling a `width`×`height` field
+    /// (the paper's Experiment-2 layout: 100 nodes on 100×100).
+    ///
+    /// `n` need not be a perfect square; the grid is the smallest `c×c`
+    /// arrangement with `c = ceil(sqrt(n))`, filled row-major and truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the field is degenerate.
+    #[must_use]
+    pub fn uniform_grid(n: usize, width: f64, height: f64) -> Self {
+        assert!(n > 0, "cannot deploy zero nodes");
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let dx = width / cols as f64;
+        let dy = height / rows as f64;
+        let mut positions = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if positions.len() == n {
+                    break 'outer;
+                }
+                // Cell centers, so nodes sit strictly inside the field.
+                positions.push(Point::new(
+                    (c as f64 + 0.5) * dx,
+                    (r as f64 + 0.5) * dy,
+                ));
+            }
+        }
+        Topology::from_positions(positions, width, height)
+    }
+
+    /// Deploys `n` nodes uniformly at random in the field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the field is degenerate.
+    #[must_use]
+    pub fn uniform_random(n: usize, width: f64, height: f64, rng: &mut SimRng) -> Self {
+        assert!(n > 0, "cannot deploy zero nodes");
+        assert!(width > 0.0 && height > 0.0, "field must have positive area");
+        let positions = (0..n)
+            .map(|_| Point::new(rng.uniform_range(0.0, width), rng.uniform_range(0.0, height)))
+            .collect();
+        Topology::from_positions(positions, width, height)
+    }
+
+    /// A tiny fully-connected cluster where every node is an event neighbor
+    /// of every event (the paper's Experiment-1 layout): `n` nodes evenly
+    /// spaced on a circle of the given radius.
+    #[must_use]
+    pub fn single_cluster(n: usize, radius: f64) -> Self {
+        assert!(n > 0, "cannot deploy zero nodes");
+        assert!(radius > 0.0, "cluster radius must be positive");
+        let side = 2.0 * radius + 2.0;
+        let center = Point::new(side / 2.0, side / 2.0);
+        let positions = (0..n)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                center.offset(radius * angle.cos(), radius * angle.sin())
+            })
+            .collect();
+        Topology::from_positions(positions, side, side)
+    }
+
+    /// Number of deployed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the topology has no nodes (never constructible via the
+    /// public constructors, but kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Field width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Field height.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.0]
+    }
+
+    /// Iterates over `(id, position)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId(i), p))
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.positions.len()).map(NodeId)
+    }
+
+    /// The *event neighbors* of `event`: nodes within sensing radius `r_s`
+    /// (inclusive), in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_s` is negative.
+    #[must_use]
+    pub fn event_neighbors(&self, event: Point, r_s: f64) -> Vec<NodeId> {
+        assert!(r_s >= 0.0, "sensing radius must be non-negative");
+        let r_sq = r_s * r_s;
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(event) <= r_sq)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// A uniformly random event location in the field (the paper's event
+    /// generator draws X and Y uniformly over the network).
+    #[must_use]
+    pub fn random_event_location(&self, rng: &mut SimRng) -> Point {
+        Point::new(
+            rng.uniform_range(0.0, self.width),
+            rng.uniform_range(0.0, self.height),
+        )
+    }
+
+    /// Moves a node (mobile networks, §2: the CH tracks current
+    /// positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the position lies outside the
+    /// field.
+    pub fn set_position(&mut self, id: NodeId, position: Point) {
+        assert!(
+            (0.0..=self.width).contains(&position.x)
+                && (0.0..=self.height).contains(&position.y),
+            "position {position} outside the {}x{} field",
+            self.width,
+            self.height
+        );
+        self.positions[id.0] = position;
+    }
+
+    /// The node nearest to a point (ties broken by lower id). `None` only
+    /// for an empty topology.
+    #[must_use]
+    pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
+        self.positions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.distance_sq(p)
+                    .partial_cmp(&b.distance_sq(p))
+                    .expect("positions are finite")
+            })
+            .map(|(i, _)| NodeId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_requested_count() {
+        for n in [1, 2, 9, 10, 100, 101] {
+            let t = Topology::uniform_grid(n, 100.0, 100.0);
+            assert_eq!(t.len(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn grid_nodes_inside_field() {
+        let t = Topology::uniform_grid(100, 100.0, 50.0);
+        for (_, p) in t.iter() {
+            assert!((0.0..=100.0).contains(&p.x));
+            assert!((0.0..=50.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn grid_positions_distinct() {
+        let t = Topology::uniform_grid(100, 100.0, 100.0);
+        for (a, pa) in t.iter() {
+            for (b, pb) in t.iter() {
+                if a != b {
+                    assert!(pa.distance_to(pb) > 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_deployment_is_deterministic_per_seed() {
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        let t1 = Topology::uniform_random(20, 50.0, 50.0, &mut r1);
+        let t2 = Topology::uniform_random(20, 50.0, 50.0, &mut r2);
+        for (a, b) in t1.iter().zip(t2.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn event_neighbors_filters_by_radius() {
+        let t = Topology::from_positions(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(30.0, 0.0)],
+            40.0,
+            40.0,
+        );
+        let n = t.event_neighbors(Point::new(0.0, 0.0), 15.0);
+        assert_eq!(n, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn event_neighbors_radius_is_inclusive() {
+        let t = Topology::from_positions(vec![Point::new(20.0, 0.0)], 40.0, 40.0);
+        assert_eq!(t.event_neighbors(Point::new(0.0, 0.0), 20.0).len(), 1);
+    }
+
+    #[test]
+    fn single_cluster_all_within_detection() {
+        // 10 nodes within a circle of radius 5: any event at the center has
+        // all nodes as neighbors with r_s = 20 (the Experiment-1 setup).
+        let t = Topology::single_cluster(10, 5.0);
+        let center = Point::new(t.width() / 2.0, t.height() / 2.0);
+        assert_eq!(t.event_neighbors(center, 20.0).len(), 10);
+    }
+
+    #[test]
+    fn nearest_node_finds_closest() {
+        let t = Topology::uniform_grid(100, 100.0, 100.0);
+        let target = t.position(NodeId(42));
+        assert_eq!(t.nearest_node(target), Some(NodeId(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_positions_validates_bounds() {
+        let _ = Topology::from_positions(vec![Point::new(200.0, 0.0)], 100.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn grid_rejects_zero_nodes() {
+        let _ = Topology::uniform_grid(0, 10.0, 10.0);
+    }
+
+    #[test]
+    fn random_event_in_bounds() {
+        let t = Topology::uniform_grid(9, 30.0, 60.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            let e = t.random_event_location(&mut rng);
+            assert!((0.0..30.0).contains(&e.x));
+            assert!((0.0..60.0).contains(&e.y));
+        }
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let t = Topology::uniform_grid(7, 10.0, 10.0);
+        let ids: Vec<usize> = t.node_ids().map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Simulated time.
+//!
+//! Time is measured in integer *ticks* (one tick is nominally a microsecond,
+//! but nothing in the kernel depends on the unit). Integer ticks give a total
+//! order with no floating-point drift, which keeps event ordering — and hence
+//! whole simulations — exactly reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer ticks since the start of the run.
+///
+/// `SimTime` is totally ordered and overflow-checked in debug builds; a
+/// simulation of `u64::MAX` ticks is far beyond any workload in this crate.
+///
+/// ```rust
+/// use tibfit_sim::{SimTime, Duration};
+/// let t = SimTime::ZERO + Duration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition of a duration.
+    #[must_use]
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: simulation ran past u64::MAX ticks"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+/// A span of simulated time, in ticks.
+///
+/// ```rust
+/// use tibfit_sim::Duration;
+/// assert_eq!((Duration::from_ticks(2) * 3).ticks(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// A zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Checked multiplication by an integer factor, `None` on overflow.
+    #[must_use]
+    pub fn checked_mul(self, factor: u64) -> Option<Duration> {
+        self.0.checked_mul(factor).map(Duration)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Duration overflow in addition"),
+        )
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(
+            self.0
+                .checked_mul(rhs)
+                .expect("Duration overflow in multiplication"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(Duration::default(), Duration::ZERO);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_ticks(10) + Duration::from_ticks(5);
+        assert_eq!(t.ticks(), 15);
+    }
+
+    #[test]
+    fn since_computes_elapsed() {
+        let a = SimTime::from_ticks(3);
+        let b = SimTime::from_ticks(10);
+        assert_eq!(b.since(a), Duration::from_ticks(7));
+        assert_eq!(b - a, Duration::from_ticks(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "is after self")]
+    fn since_panics_on_negative_span() {
+        let _ = SimTime::from_ticks(1).since(SimTime::from_ticks(2));
+    }
+
+    #[test]
+    fn ordering_is_by_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimTime::MAX > SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(Duration::from_ticks(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        assert_eq!(Duration::from_ticks(2) + Duration::from_ticks(3), Duration::from_ticks(5));
+        assert_eq!(Duration::from_ticks(2) * 4, Duration::from_ticks(8));
+        assert_eq!(Duration::from_ticks(u64::MAX).checked_mul(2), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t=7");
+        assert_eq!(Duration::from_ticks(7).to_string(), "7 ticks");
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic behaviour in the reproduction flows through [`SimRng`] so
+//! that a single `u64` seed pins down an entire run. The type wraps
+//! [`rand::rngs::StdRng`] and adds the distributions the paper's workloads
+//! need: Bernoulli trials, uniform points in a rectangle, and Gaussian
+//! samples (Box–Muller, so no extra dependency on `rand_distr`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable random number generator with simulation-oriented helpers.
+///
+/// ```rust
+/// use tibfit_sim::rng::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform_f64(), b.uniform_f64()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second output of the last Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each node its
+    /// own stream so adding a node does not perturb the others' draws.
+    #[must_use]
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // Mix the salt into fresh output of the parent stream.
+        let base = self.inner.next_u64();
+        SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "uniform_range requires lo < hi, got [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize requires n > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli trial: `true` with probability `p`.
+    ///
+    /// `p <= 0` always yields `false`; `p >= 1` always yields `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// A standard-normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let mut u1 = self.inner.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.inner.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and non-negative, got {std_dev}"
+        );
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Chooses `k` distinct indices from `0..n` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should diverge");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(0);
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency_close_to_p() {
+        let mut r = SimRng::seed_from(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count() as f64;
+        let freq = hits / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq} far from 0.3");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::seed_from(3);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(2.0, 1.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 2.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = r.uniform_range(-3.0, 4.0);
+            assert!((-3.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_range_rejects_empty() {
+        SimRng::seed_from(0).uniform_range(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev must be finite")]
+    fn normal_rejects_negative_std() {
+        SimRng::seed_from(0).normal(0.0, -1.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_in_range() {
+        let mut r = SimRng::seed_from(13);
+        let picked = r.choose_indices(20, 8);
+        assert_eq!(picked.len(), 8);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(picked.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_parent_use() {
+        let mut parent_a = SimRng::seed_from(100);
+        let mut parent_b = SimRng::seed_from(100);
+        let mut child_a = parent_a.fork(1);
+        let mut child_b = parent_b.fork(1);
+        // Different downstream use of the parents must not affect children.
+        let _ = parent_a.next_u64();
+        for _ in 0..10 {
+            assert_eq!(child_a.next_u64(), child_b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Statistics accumulators used to build the paper's figures.
+//!
+//! [`Running`] is a Welford-style online mean/variance accumulator;
+//! [`Series`] collects `(x, y)` points with per-x aggregation over repeated
+//! trials — exactly the shape of the accuracy-vs-percentage plots in the
+//! paper — and [`Histogram`] provides coarse distribution summaries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+///
+/// ```rust
+/// use tibfit_sim::stats::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] { r.push(x); }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN (a NaN would silently poison every statistic).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Running::push: NaN observation");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (n−1 denominator); `0.0` with fewer than two
+    /// observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean, using the
+    /// normal approximation (1.96 σ/√n). `0.0` with fewer than two samples.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel-trial reduction).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev()
+        )
+    }
+}
+
+/// A named series of `(x, aggregated y)` points for one plot line.
+///
+/// The x-axis is discretized to integer milli-units so repeated trials at
+/// the same sweep point aggregate exactly (no float-key fuzziness).
+///
+/// ```rust
+/// use tibfit_sim::stats::Series;
+/// let mut s = Series::new("TIBFIT");
+/// s.record(40.0, 0.95);
+/// s.record(40.0, 0.97);
+/// s.record(50.0, 0.90);
+/// let pts = s.points();
+/// assert_eq!(pts.len(), 2);
+/// assert!((pts[0].1 - 0.96).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    buckets: BTreeMap<i64, Running>,
+}
+
+/// X-axis discretization factor for [`Series`].
+const X_SCALE: f64 = 1000.0;
+
+impl Series {
+    /// Creates an empty series with a display name (the plot legend entry).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// The legend name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one observation `y` at sweep position `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite or `y` is NaN.
+    pub fn record(&mut self, x: f64, y: f64) {
+        assert!(x.is_finite(), "Series::record: non-finite x");
+        let key = (x * X_SCALE).round() as i64;
+        self.buckets.entry(key).or_default().push(y);
+    }
+
+    /// The aggregated `(x, mean y)` points in ascending x order.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .map(|(k, r)| (*k as f64 / X_SCALE, r.mean()))
+            .collect()
+    }
+
+    /// The aggregated `(x, mean y, ci95 half-width)` points.
+    #[must_use]
+    pub fn points_with_ci(&self) -> Vec<(f64, f64, f64)> {
+        self.buckets
+            .iter()
+            .map(|(k, r)| (*k as f64 / X_SCALE, r.mean(), r.ci95_half_width()))
+            .collect()
+    }
+
+    /// Mean y at a given x, if any observation was recorded there.
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        let key = (x * X_SCALE).round() as i64;
+        self.buckets.get(&key).map(Running::mean)
+    }
+
+    /// Number of distinct x positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+///
+/// ```rust
+/// use tibfit_sim::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.push(2.5);
+/// h.push(-1.0); // underflow
+/// assert_eq!(h.bin_count(1), 1);
+/// assert_eq!(h.underflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `n_bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n_bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(lo < hi, "Histogram range must be non-empty");
+        assert!(n_bins > 0, "Histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_empty_defaults() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn running_mean_and_variance() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn running_rejects_nan() {
+        Running::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn running_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_merge_with_empty() {
+        let mut a = Running::new();
+        a.push(1.0);
+        let b = Running::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Running::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..10 {
+            small.push(i as f64 % 2.0);
+        }
+        for i in 0..1000 {
+            large.push(i as f64 % 2.0);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn series_aggregates_same_x() {
+        let mut s = Series::new("line");
+        s.record(10.0, 1.0);
+        s.record(10.0, 0.0);
+        assert_eq!(s.y_at(10.0), Some(0.5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn series_points_sorted_by_x() {
+        let mut s = Series::new("line");
+        s.record(50.0, 0.2);
+        s.record(10.0, 0.9);
+        s.record(30.0, 0.5);
+        let xs: Vec<f64> = s.points().iter().map(|p| p.0).collect();
+        assert_eq!(xs, vec![10.0, 30.0, 50.0]);
+    }
+
+    #[test]
+    fn series_ci_points_have_widths() {
+        let mut s = Series::new("line");
+        for _ in 0..5 {
+            s.record(1.0, 0.4);
+            s.record(1.0, 0.6);
+        }
+        let pts = s.points_with_ci();
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].2 > 0.0);
+    }
+
+    #[test]
+    fn series_missing_x_is_none() {
+        let s = Series::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.y_at(1.0), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 1);
+        }
+        h.push(10.0);
+        h.push(-0.001);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

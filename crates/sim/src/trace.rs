@@ -1,0 +1,244 @@
+//! Structured simulation tracing.
+//!
+//! A bounded, allocation-light event log plus named counters, for
+//! debugging protocol runs and asserting behavioural properties in tests
+//! ("exactly N decision rounds ran", "no decision before the first
+//! report"). Tracing is off by default and costs one branch per call
+//! when disabled.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::clock::SimTime;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Static category tag (e.g. `"decision"`, `"report"`).
+    pub category: &'static str,
+    /// Free-form details.
+    pub message: String,
+}
+
+/// A bounded trace buffer with named counters.
+///
+/// ```rust
+/// use tibfit_sim::trace::Trace;
+/// use tibfit_sim::SimTime;
+///
+/// let mut trace = Trace::enabled(16);
+/// trace.record(SimTime::from_ticks(5), "report", "n3 -> CH");
+/// trace.count("reports_delivered");
+/// assert_eq!(trace.events().len(), 1);
+/// assert_eq!(trace.counter("reports_delivered"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    counters: BTreeMap<&'static str, u64>,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace: every call is a cheap no-op (counters still
+    /// work — they are always useful and nearly free).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            counters: BTreeMap::new(),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether event recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled). The oldest event is
+    /// dropped once the buffer is full.
+    pub fn record(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Increments a named counter (works even when disabled).
+    pub fn count(&mut self, counter: &'static str) {
+        *self.counters.entry(counter).or_insert(0) += 1;
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn count_by(&mut self, counter: &'static str, n: u64) {
+        *self.counters.entry(counter).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        self.events.iter().collect()
+    }
+
+    /// Retained events in one category, oldest first.
+    #[must_use]
+    pub fn events_in(&self, category: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
+    }
+
+    /// How many events were evicted by the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears events and counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.counters.clear();
+        self.dropped = 0;
+    }
+
+    /// Renders the retained events as one line each.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("[{}] {}: {}\n", e.time, e.category, e.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn disabled_records_nothing_but_counts() {
+        let mut trace = Trace::disabled();
+        trace.record(t(1), "x", "ignored");
+        trace.count("hits");
+        assert!(trace.events().is_empty());
+        assert_eq!(trace.counter("hits"), 1);
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn events_retained_in_order() {
+        let mut trace = Trace::enabled(8);
+        trace.record(t(1), "a", "first");
+        trace.record(t(2), "b", "second");
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "first");
+        assert_eq!(events[1].message, "second");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut trace = Trace::enabled(3);
+        for i in 0..5 {
+            trace.record(t(i), "x", format!("e{i}"));
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].message, "e2");
+        assert_eq!(trace.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut trace = Trace::enabled(8);
+        trace.record(t(1), "decision", "d1");
+        trace.record(t(2), "report", "r1");
+        trace.record(t(3), "decision", "d2");
+        assert_eq!(trace.events_in("decision").len(), 2);
+        assert_eq!(trace.events_in("report").len(), 1);
+        assert!(trace.events_in("other").is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut trace = Trace::enabled(1);
+        trace.count("a");
+        trace.count("a");
+        trace.count_by("b", 10);
+        assert_eq!(trace.counter("a"), 2);
+        assert_eq!(trace.counter("b"), 10);
+        assert_eq!(trace.counter("missing"), 0);
+        assert_eq!(trace.counters(), vec![("a", 2), ("b", 10)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut trace = Trace::enabled(4);
+        trace.record(t(1), "x", "e");
+        trace.count("c");
+        trace.clear();
+        assert!(trace.events().is_empty());
+        assert_eq!(trace.counter("c"), 0);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut trace = Trace::enabled(4);
+        trace.record(t(7), "x", "hello");
+        let text = trace.render();
+        assert!(text.contains("t=7"));
+        assert!(text.contains("x: hello"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::enabled(0);
+    }
+}

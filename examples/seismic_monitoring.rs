@@ -1,0 +1,131 @@
+//! Seismic monitoring: binary event detection with natural and malicious
+//! false alarms.
+//!
+//! The paper's motivating example: "seismic monitoring to detect and
+//! locate tremors in a given area". A cluster of geophone nodes watches
+//! for tremors; every node either feels a tremor or doesn't (binary
+//! detection, §3.1). Sensors are cheap: even correct ones err ~1% of the
+//! time, and a growing subset is compromised — missing half the real
+//! tremors and raising spurious alarms designed to poison the record.
+//!
+//! The demo measures missed tremors AND false alarms for TIBFIT vs the
+//! stateless baseline, and shows diagnosis: compromised geophones are
+//! identified by their collapsed trust index.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example seismic_monitoring
+//! ```
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_core::engine::{Aggregator, BaselineEngine, TibfitEngine};
+use tibfit_core::trust::TrustParams;
+use tibfit_experiments::network::{ClusterSim, ClusterSimConfig};
+use tibfit_net::channel::Perfect;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+const N_NODES: usize = 10;
+const N_FAULTY: usize = 6; // a 60% compromised majority
+const TREMORS: u64 = 150;
+
+fn build_sim(engine: Box<dyn Aggregator>, seed: u64) -> ClusterSim {
+    let topo = Topology::single_cluster(N_NODES, 5.0);
+    let ch = Point::new(topo.width() / 2.0, topo.height() / 2.0);
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..N_NODES)
+        .map(|i| -> Box<dyn NodeBehavior> {
+            if i < N_FAULTY {
+                // Compromised geophone: misses half the tremors, raises
+                // spurious alarms 10% of the time.
+                Box::new(Level0Node::new(Level0Config {
+                    missed_alarm: 0.5,
+                    false_alarm: 0.10,
+                    loc_sigma: 0.0,
+                    drop_prob: 0.0,
+                }))
+            } else {
+                // Honest geophone with a 1% natural error rate.
+                Box::new(CorrectNode::new(0.01, 0.0))
+            }
+        })
+        .collect();
+    ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            ch_position: ch,
+        },
+        topo,
+        behaviors,
+        Box::new(Perfect),
+        engine,
+        SimRng::seed_from(seed),
+    )
+}
+
+struct Tally {
+    detected: u64,
+    false_alarms: u64,
+}
+
+fn monitor(mut sim: ClusterSim) -> (Tally, ClusterSim) {
+    let mut tally = Tally {
+        detected: 0,
+        false_alarms: 0,
+    };
+    for _ in 0..TREMORS {
+        // Quiet interval: spurious alarms may trigger a vote.
+        let quiet = sim.run_binary_round(false);
+        tally.false_alarms += u64::from(quiet.event_declared);
+        // A real tremor.
+        let tremor = sim.run_binary_round(true);
+        tally.detected += u64::from(tremor.event_declared);
+    }
+    (tally, sim)
+}
+
+fn main() {
+    println!("Seismic monitoring: {N_NODES} geophones, {N_FAULTY} compromised ({TREMORS} tremors)\n");
+
+    let params = TrustParams::experiment1(0.01);
+    let tibfit_engine =
+        TibfitEngine::new(params, N_NODES).with_isolation_threshold(0.05);
+    let (tibfit, sim) = monitor(build_sim(Box::new(tibfit_engine), 2024));
+    let (baseline, _) = monitor(build_sim(Box::new(BaselineEngine::new()), 2024));
+
+    println!("                detected       false alarms raised");
+    println!(
+        "  TIBFIT      {:>5}/{TREMORS}  ({:>5.1}%)   {:>4}",
+        tibfit.detected,
+        100.0 * tibfit.detected as f64 / TREMORS as f64,
+        tibfit.false_alarms,
+    );
+    println!(
+        "  Baseline    {:>5}/{TREMORS}  ({:>5.1}%)   {:>4}",
+        baseline.detected,
+        100.0 * baseline.detected as f64 / TREMORS as f64,
+        baseline.false_alarms,
+    );
+
+    println!("\nDiagnosis — final trust index per geophone (TIBFIT):");
+    for i in 0..N_NODES {
+        let node = NodeId(i);
+        let trust = sim.trust_of(node).expect("TIBFIT keeps trust");
+        let role = if i < N_FAULTY { "compromised" } else { "honest" };
+        let isolated = if sim.isolated_nodes().contains(&node) {
+            "  [ISOLATED]"
+        } else {
+            ""
+        };
+        println!("  geophone {i}: TI = {trust:.4}  ({role}){isolated}");
+    }
+    let isolated = sim.isolated_nodes();
+    println!(
+        "\n{} of {} compromised geophones were diagnosed and expelled.",
+        isolated.iter().filter(|n| n.index() < N_FAULTY).count(),
+        N_FAULTY,
+    );
+    assert!(tibfit.detected >= baseline.detected);
+}

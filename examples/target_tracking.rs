@@ -1,0 +1,130 @@
+//! Mobile-target tracking: localizing a moving emitter with faulty
+//! sensors, including concurrent contacts.
+//!
+//! The paper's §3.2 motivation: "a network attempting to track a mobile
+//! sensor node that is transmitting a signal as it moves throughout the
+//! network". A target walks a diagonal patrol route across the field;
+//! every time it transmits, nearby sensors report a noisy `(r, θ)` fix
+//! and the cluster head fuses them with the §3.2 clustering + trust
+//! vote. Halfway through, a *second* target enters (concurrent events,
+//! §3.3).
+//!
+//! A third of the sensors are colluding (level 2): on each contact they
+//! all report the same fabricated position or all stay silent.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example target_tracking
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CollusionCoordinator, CorrectNode, Level2Node};
+use tibfit_core::engine::TibfitEngine;
+use tibfit_core::trust::TrustParams;
+use tibfit_experiments::network::{ClusterSim, ClusterSimConfig};
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+const N_NODES: usize = 100;
+const N_COLLUDERS: usize = 33;
+const CONTACTS: usize = 40;
+
+fn main() {
+    println!("Mobile-target tracking with {N_COLLUDERS} colluding sensors\n");
+
+    let params = TrustParams::experiment2();
+    let mut rng = SimRng::seed_from(99);
+    let colluders = rng.choose_indices(N_NODES, N_COLLUDERS);
+    let coordinator = Rc::new(RefCell::new(CollusionCoordinator::with_paper_thresholds(
+        0xBAD, 6.0, params,
+    )));
+    let mut first = true;
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..N_NODES)
+        .map(|i| -> Box<dyn NodeBehavior> {
+            if colluders.contains(&i) {
+                let representative = first;
+                first = false;
+                Box::new(Level2Node::new(Rc::clone(&coordinator), 1.6, representative))
+            } else {
+                Box::new(CorrectNode::new(0.0, 1.6))
+            }
+        })
+        .collect();
+
+    let topo = Topology::uniform_grid(N_NODES, 100.0, 100.0);
+    let mut sim = ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            ch_position: Point::new(50.0, 50.0),
+        },
+        topo,
+        behaviors,
+        Box::new(BernoulliLoss::new(0.005)),
+        Box::new(TibfitEngine::new(params, N_NODES)),
+        rng,
+    );
+
+    println!("contact  target(s)                   estimate(s)                 error");
+    let mut tracked = 0usize;
+    let mut total = 0usize;
+    for step in 0..CONTACTS {
+        let t = step as f64 / (CONTACTS - 1) as f64;
+        // Target A patrols the main diagonal; target B (second half of
+        // the run) sweeps the anti-diagonal.
+        let target_a = Point::new(10.0 + 80.0 * t, 10.0 + 80.0 * t);
+        let mut targets = vec![target_a];
+        if step >= CONTACTS / 2 {
+            targets.push(Point::new(90.0 - 80.0 * t, 10.0 + 80.0 * t));
+        }
+
+        let result = sim.run_located_round(&targets);
+        total += targets.len();
+        tracked += result.detected_within(5.0);
+
+        if step % 5 == 0 {
+            let fmt_pts = |pts: &[Point]| -> String {
+                pts.iter()
+                    .map(|p| format!("({:5.1},{:5.1})", p.x, p.y))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let err = targets
+                .iter()
+                .map(|t| {
+                    result
+                        .declared
+                        .iter()
+                        .map(|d| d.distance_to(*t))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0f64, f64::max);
+            println!(
+                "{step:>7}  {:<27} {:<27} {}",
+                fmt_pts(&targets),
+                fmt_pts(&result.declared),
+                if err.is_finite() {
+                    format!("{err:.2}")
+                } else {
+                    "lost".to_string()
+                },
+            );
+        }
+    }
+
+    println!(
+        "\nTrack quality: {tracked}/{total} contacts localized within r_error = 5 units \
+         ({:.0}%).",
+        100.0 * tracked as f64 / total as f64
+    );
+    println!(
+        "The colluders' shared fake fixes form their own report cluster, which\n\
+         loses the trust-weighted vote once their trust indices decay."
+    );
+    assert!(tracked as f64 / total as f64 > 0.6);
+}

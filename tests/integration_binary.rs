@@ -1,0 +1,194 @@
+//! End-to-end integration tests for the binary event model (paper §3.1 +
+//! Experiment 1), exercising the full stack: behaviors → channel →
+//! engine → trust feedback.
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_core::engine::{Aggregator, BaselineEngine, TibfitEngine};
+use tibfit_core::trust::TrustParams;
+use tibfit_experiments::exp1::{run_exp1, EngineKind, Exp1Config};
+use tibfit_experiments::network::{ClusterSim, ClusterSimConfig};
+use tibfit_net::channel::{BernoulliLoss, Perfect};
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+fn sim_with(
+    n: usize,
+    n_faulty: usize,
+    fa: f64,
+    ner: f64,
+    engine: Box<dyn Aggregator>,
+    seed: u64,
+) -> ClusterSim {
+    let topo = Topology::single_cluster(n, 5.0);
+    let ch = Point::new(topo.width() / 2.0, topo.height() / 2.0);
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
+        .map(|i| -> Box<dyn NodeBehavior> {
+            if i < n_faulty {
+                Box::new(Level0Node::new(Level0Config {
+                    missed_alarm: 0.5,
+                    false_alarm: fa,
+                    loc_sigma: 0.0,
+                    drop_prob: 0.0,
+                }))
+            } else {
+                Box::new(CorrectNode::new(ner, 0.0))
+            }
+        })
+        .collect();
+    ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            ch_position: ch,
+        },
+        topo,
+        behaviors,
+        Box::new(Perfect),
+        engine,
+        SimRng::seed_from(seed),
+    )
+}
+
+#[test]
+fn paper_claim_accuracy_above_85pct_at_70pct_faulty() {
+    // Figure 2's headline: "the network can have 70% of its nodes
+    // compromised and still maintain over 85% accuracy."
+    for ner in [0.0, 0.01, 0.05] {
+        let config = Exp1Config::paper_fig2(ner);
+        let mut acc = 0.0;
+        let trials = 5;
+        for seed in tibfit_experiments::harness::trial_seeds(1, trials) {
+            acc += run_exp1(&config, 70.0, seed).accuracy;
+        }
+        acc /= trials as f64;
+        assert!(acc > 0.85, "NER {ner}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn paper_claim_fa75_collapses_at_80pct() {
+    // Figure 3: "At 80% faulty nodes with 75% false alarms, accuracy
+    // falls dramatically"; FA=10% holds up much better there.
+    let trials = 5;
+    let mut fa75 = 0.0;
+    let mut fa10 = 0.0;
+    for seed in tibfit_experiments::harness::trial_seeds(2, trials) {
+        fa75 += run_exp1(&Exp1Config::paper_fig3(0.75), 80.0, seed).accuracy;
+        fa10 += run_exp1(&Exp1Config::paper_fig3(0.10), 80.0, seed).accuracy;
+    }
+    fa75 /= trials as f64;
+    fa10 /= trials as f64;
+    assert!(fa10 - fa75 > 0.2, "FA10 {fa10} vs FA75 {fa75}");
+}
+
+#[test]
+fn paper_claim_occasional_false_alarms_help_at_high_compromise() {
+    // Figure 3: "10% false alarms ... occasional false alarms lower
+    // faulty nodes' trust indices enough to outperform 0% false alarms"
+    // (at the 80-90% regime).
+    let trials = 8;
+    let mut fa10 = 0.0;
+    let mut fa0 = 0.0;
+    for seed in tibfit_experiments::harness::trial_seeds(3, trials) {
+        fa10 += run_exp1(&Exp1Config::paper_fig3(0.10), 90.0, seed).accuracy;
+        fa0 += run_exp1(&Exp1Config::paper_fig3(0.0), 90.0, seed).accuracy;
+    }
+    assert!(fa10 >= fa0, "FA10 {fa10} vs FA0 {fa0}");
+}
+
+#[test]
+fn tibfit_dominates_baseline_across_sweep() {
+    // TIBFIT ≥ baseline at every sweep point (averaged over trials).
+    let trials = 4;
+    for pct in [40.0, 50.0, 60.0, 70.0, 80.0] {
+        let mut t = 0.0;
+        let mut b = 0.0;
+        for seed in tibfit_experiments::harness::trial_seeds(4, trials) {
+            let tc = Exp1Config::paper_fig2(0.01);
+            let bc = Exp1Config {
+                engine: EngineKind::Baseline,
+                ..tc
+            };
+            t += run_exp1(&tc, pct, seed).accuracy;
+            b += run_exp1(&bc, pct, seed).accuracy;
+        }
+        assert!(t >= b - 0.02 * trials as f64, "pct {pct}: TIBFIT {t} vs baseline {b}");
+    }
+}
+
+#[test]
+fn diagnosis_isolates_only_faulty_nodes() {
+    let params = TrustParams::experiment1(0.01);
+    let engine = TibfitEngine::new(params, 10).with_isolation_threshold(0.05);
+    let mut sim = sim_with(10, 4, 0.1, 0.01, Box::new(engine), 11);
+    for _ in 0..200 {
+        sim.run_binary_round(false);
+        sim.run_binary_round(true);
+    }
+    let isolated = sim.isolated_nodes();
+    for node in &isolated {
+        assert!(node.index() < 4, "honest node {node} was isolated");
+    }
+    assert!(!isolated.is_empty(), "no faulty node was ever diagnosed");
+}
+
+#[test]
+fn lossy_channel_tolerated_by_fr_calibration() {
+    // With f_r = 0.05 covering for a 2% lossy channel, an all-honest
+    // cluster keeps everyone's trust near 1 and full accuracy.
+    let params = TrustParams::new(0.25, 0.05);
+    let topo = Topology::single_cluster(10, 5.0);
+    let ch = Point::new(topo.width() / 2.0, topo.height() / 2.0);
+    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..10)
+        .map(|_| -> Box<dyn NodeBehavior> { Box::new(CorrectNode::new(0.0, 0.0)) })
+        .collect();
+    let mut sim = ClusterSim::new(
+        ClusterSimConfig {
+            sensing_radius: 20.0,
+            r_error: 5.0,
+            ch_position: ch,
+        },
+        topo,
+        behaviors,
+        Box::new(BernoulliLoss::new(0.02)),
+        Box::new(TibfitEngine::new(params, 10)),
+        SimRng::seed_from(13),
+    );
+    let mut hits = 0;
+    for _ in 0..200 {
+        hits += u32::from(sim.run_binary_round(true).event_declared);
+    }
+    assert!(hits >= 198, "hits {hits}");
+    // Individual trust takes a random walk (losses bump the counter,
+    // successes drain it with a floor at zero), so allow transients on
+    // single nodes but require the population to sit near full trust.
+    let mut mean = 0.0;
+    for i in 0..10 {
+        let t = sim.trust_of(NodeId(i)).unwrap();
+        assert!(t > 0.5, "node {i} trust {t} collapsed despite calibration");
+        mean += t / 10.0;
+    }
+    assert!(mean > 0.85, "population mean trust {mean}");
+}
+
+#[test]
+fn cross_engine_rounds_share_ground_truth() {
+    // Two sims with identical seeds see identical reporter sets per
+    // round, so engine comparisons are apples-to-apples.
+    let mut a = sim_with(10, 5, 0.0, 0.01, Box::new(BaselineEngine::new()), 21);
+    let mut b = sim_with(
+        10,
+        5,
+        0.0,
+        0.01,
+        Box::new(TibfitEngine::new(TrustParams::experiment1(0.01), 10)),
+        21,
+    );
+    for _ in 0..50 {
+        let ra = a.run_binary_round(true);
+        let rb = b.run_binary_round(true);
+        assert_eq!(ra.reporters, rb.reporters);
+    }
+}

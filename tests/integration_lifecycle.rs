@@ -1,0 +1,213 @@
+//! Integration tests for the management plane: LEACH rotation with trust
+//! thresholds (paper §2), shadow-CH adjudication (§3.4), trust hand-off,
+//! multi-hop dissemination, and the Experiment-3 decay scenario.
+
+use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
+use tibfit_core::location::LocatedReport;
+use tibfit_experiments::exp1::EngineKind;
+use tibfit_experiments::exp3::{run_exp3, Exp3Config};
+use tibfit_net::channel::{BernoulliLoss, Perfect};
+use tibfit_net::geometry::Point;
+use tibfit_net::multihop::{DeliveryStatus, MultihopConfig, MultihopNetwork};
+use tibfit_net::message::ControlMessage;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+
+fn reports_for(cluster: &ClusterLifecycle, event: Point) -> Vec<LocatedReport> {
+    cluster
+        .topology()
+        .event_neighbors(event, 20.0)
+        .into_iter()
+        .map(|n| LocatedReport::new(n, event))
+        .collect()
+}
+
+#[test]
+fn compromised_heads_never_corrupt_the_event_stream() {
+    // §3.4: a single faulty CH per round is tolerated — across many
+    // rounds with *every* head compromised, every conclusion is still
+    // recovered by the shadow majority.
+    let topo = Topology::uniform_grid(25, 50.0, 50.0);
+    let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
+    let mut rng = SimRng::seed_from(31);
+    let mut event_rng = SimRng::seed_from(32);
+    for round in 0..80 {
+        let event = Point::new(
+            event_rng.uniform_range(5.0, 45.0),
+            event_rng.uniform_range(5.0, 45.0),
+        );
+        let reports = reports_for(&cluster, event);
+        let result = cluster.process_event_round(&reports, true, &mut rng);
+        assert!(result.ruling.ch_overruled, "round {round}: corruption uncaught");
+        let loc = result
+            .ruling
+            .final_conclusion
+            .location()
+            .expect("event recovered");
+        assert!(loc.distance_to(event) <= 5.0, "round {round}: bad location");
+    }
+    assert_eq!(cluster.overrule_count(), 80);
+}
+
+#[test]
+fn trust_penalties_deprioritize_demoted_heads() {
+    let topo = Topology::uniform_grid(25, 50.0, 50.0);
+    let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
+    let mut rng = SimRng::seed_from(33);
+    let event = Point::new(25.0, 25.0);
+    let reports = reports_for(&cluster, event);
+    // Compromise whoever leads for a while; their trust must fall below
+    // the untouched nodes'.
+    let mut demoted = std::collections::HashSet::new();
+    for _ in 0..20 {
+        let head = cluster.current_head(&mut rng);
+        cluster.process_event_round(&reports, true, &mut rng);
+        demoted.insert(head);
+    }
+    let clean_trust: f64 = cluster
+        .topology()
+        .node_ids()
+        .filter(|n| !demoted.contains(n))
+        .map(|n| cluster.trust_of(n))
+        .fold(1.0, f64::min);
+    for head in &demoted {
+        assert!(
+            cluster.trust_of(*head) < clean_trust,
+            "demoted head {head} not below clean nodes"
+        );
+    }
+}
+
+#[test]
+fn handoff_carries_full_trust_table() {
+    let topo = Topology::uniform_grid(16, 40.0, 40.0);
+    let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
+    let mut rng = SimRng::seed_from(34);
+    let event = Point::new(20.0, 20.0);
+    let reports = reports_for(&cluster, event);
+    for _ in 0..25 {
+        cluster.process_event_round(&reports, false, &mut rng);
+    }
+    assert!(!cluster.handoffs().is_empty());
+    for h in cluster.handoffs() {
+        let ControlMessage::TrustHandoff { trust, from_head } = h else {
+            panic!("unexpected control message");
+        };
+        assert_eq!(trust.len(), 16);
+        assert!(from_head.index() < 16);
+        for (_, ti) in trust {
+            assert!((0.0..=1.0).contains(ti));
+        }
+    }
+}
+
+#[test]
+fn multihop_report_chain_feeds_decision() {
+    // A full §3.4-extension path: distant sensors deliver reports over
+    // multiple hops, then the head decides. Delivery succeeds for nodes
+    // with a greedy path; the decision is then made on what arrived.
+    let topo = Topology::uniform_grid(100, 100.0, 100.0);
+    let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+    let channel = BernoulliLoss::new(0.05);
+    let mut rng = SimRng::seed_from(35);
+    let sink = Point::new(50.0, 50.0);
+    let event = Point::new(15.0, 85.0);
+
+    let neighbors = topo.event_neighbors(event, 20.0);
+    let mut delivered = Vec::new();
+    for &n in &neighbors {
+        let result = net.deliver(n, sink, &channel, &mut rng);
+        if result.delivered() {
+            delivered.push(LocatedReport::new(n, event));
+        }
+    }
+    assert!(
+        delivered.len() >= neighbors.len() / 2,
+        "too few multi-hop deliveries: {}/{}",
+        delivered.len(),
+        neighbors.len()
+    );
+    use tibfit_core::engine::Aggregator;
+    let mut engine = tibfit_core::engine::TibfitEngine::new(
+        tibfit_core::trust::TrustParams::experiment2(),
+        100,
+    );
+    let round = engine.located_round(&topo, 20.0, 5.0, &delivered);
+    assert_eq!(round.declared_locations().len(), 1);
+    assert!(round.declared_locations()[0].distance_to(event) <= 5.0);
+}
+
+#[test]
+fn multihop_statuses_cover_failure_modes() {
+    let topo = Topology::uniform_grid(100, 100.0, 100.0);
+    let mut rng = SimRng::seed_from(36);
+    // Healthy network: delivered.
+    let healthy = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
+    assert_eq!(
+        healthy
+            .deliver(NodeId(0), Point::new(95.0, 95.0), &Perfect, &mut rng)
+            .status,
+        DeliveryStatus::Delivered
+    );
+    // Radio range too short to reach anyone: routing void.
+    let deaf = MultihopNetwork::new(
+        MultihopConfig {
+            radio_range: 1.0,
+            max_retries: 0,
+            max_hops: 8,
+        },
+        &topo,
+    );
+    assert_eq!(
+        deaf.deliver(NodeId(0), Point::new(95.0, 95.0), &Perfect, &mut rng)
+            .status,
+        DeliveryStatus::RoutingVoid
+    );
+}
+
+#[test]
+fn decay_experiment_windows_align_with_schedule() {
+    let config = Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit);
+    let windows = run_exp3(&config, 41);
+    // 14 schedule steps × 50 events + 50 tail = 750 events → 15 windows.
+    assert_eq!(windows.len(), 15);
+    assert!((windows[0].compromised_fraction - 0.05).abs() < 1e-9);
+    assert!((windows.last().unwrap().compromised_fraction - 0.75).abs() < 1e-9);
+}
+
+#[test]
+fn paper_claim_tibfit_near_80pct_at_60pct_compromised_decay() {
+    // §4.3: "the TIBFIT network maintains nearly 80% accuracy even with
+    // 60% of the network compromised."
+    let trials = 3;
+    let mut acc = 0.0;
+    let mut count = 0.0;
+    for seed in tibfit_experiments::harness::trial_seeds(42, trials) {
+        for w in run_exp3(&Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit), seed) {
+            if (w.compromised_fraction - 0.60).abs() < 0.02 {
+                acc += w.accuracy;
+                count += 1.0;
+            }
+        }
+    }
+    acc /= count;
+    assert!(acc > 0.75, "accuracy at 60% compromised: {acc}");
+}
+
+#[test]
+fn decay_tibfit_beats_baseline_in_every_late_window() {
+    let seed = 43;
+    let t = run_exp3(&Exp3Config::paper(2.0, 6.0, EngineKind::Tibfit), seed);
+    let b = run_exp3(&Exp3Config::paper(2.0, 6.0, EngineKind::Baseline), seed);
+    let t_late: f64 = t
+        .iter()
+        .filter(|w| w.compromised_fraction >= 0.5)
+        .map(|w| w.accuracy)
+        .sum();
+    let b_late: f64 = b
+        .iter()
+        .filter(|w| w.compromised_fraction >= 0.5)
+        .map(|w| w.accuracy)
+        .sum();
+    assert!(t_late > b_late, "TIBFIT {t_late} vs baseline {b_late}");
+}

@@ -1,0 +1,134 @@
+//! Cross-validation of the extended theoretical model
+//! (`tibfit_analysis::trajectory`) against the simulated components it
+//! describes.
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{Level0Config, Level1Node};
+use tibfit_analysis::trajectory::{
+    expected_ti_after, hysteresis_duty_cycle, reports_until_diagnosis,
+};
+use tibfit_core::trust::{Judgement, TrustParams, TrustTable};
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::NodeId;
+use tibfit_sim::rng::SimRng;
+
+#[test]
+fn duty_cycle_matches_simulated_level1_node() {
+    // Drive a Level1Node with the feedback a fully-effective TIBFIT
+    // cluster gives (lying ⇒ judged faulty, honest ⇒ judged correct) and
+    // compare the fraction of lying rounds with the closed form.
+    let params = TrustParams::experiment2(); // λ = 0.25, f_r = 0.1
+    let mut node = Level1Node::with_paper_thresholds(
+        Level0Config {
+            missed_alarm: 1.0, // lying phase = always miss (observable)
+            false_alarm: 0.0,
+            loc_sigma: 6.0,
+            drop_prob: 0.0,
+        },
+        0.0,
+        params,
+    );
+    let mut rng = SimRng::seed_from(3);
+    let ctx = tibfit_adversary::RoundContext {
+        round: 0,
+        node: NodeId(0),
+        node_pos: Point::new(50.0, 50.0),
+        event: Some(Point::new(50.0, 50.0)),
+        is_event_neighbor: true,
+    };
+    let rounds = 20_000u64;
+    let mut lying_rounds = 0u64;
+    for _ in 0..rounds {
+        let reported = node.binary_action(&ctx, &mut rng);
+        // Reporting the event is honest behaviour; missing it is a lie.
+        if reported {
+            node.observe_judgement(Judgement::Correct);
+        } else {
+            lying_rounds += 1;
+            node.observe_judgement(Judgement::Faulty);
+        }
+    }
+    let simulated_duty = lying_rounds as f64 / rounds as f64;
+    let theory = hysteresis_duty_cycle(params.lambda, params.fault_rate, 0.5, 0.8, 1.0);
+    assert!(
+        (simulated_duty - theory.duty).abs() < 0.03,
+        "simulated duty {simulated_duty} vs theoretical {}",
+        theory.duty
+    );
+}
+
+#[test]
+fn mean_field_ti_tracks_stochastic_table() {
+    // A node erring at 40% (vs f_r = 10%): the simulated TI after t
+    // reports should track the mean-field curve.
+    let params = TrustParams::experiment2();
+    let error_rate = 0.4;
+    let trials = 200;
+    let t = 60u64;
+    let mut mean_ti = 0.0;
+    for seed in 0..trials {
+        let mut table = TrustTable::new(params, 1);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..t {
+            if rng.chance(error_rate) {
+                table.record_faulty(NodeId(0));
+            } else {
+                table.record_correct(NodeId(0));
+            }
+        }
+        mean_ti += table.trust_of(NodeId(0)) / trials as f64;
+    }
+    let theory = expected_ti_after(t, error_rate, params.lambda, params.fault_rate);
+    // Jensen's inequality makes E[e^(−λv)] ≥ e^(−λE[v]); allow a band.
+    assert!(
+        (mean_ti - theory).abs() < 0.08,
+        "simulated mean TI {mean_ti} vs mean-field {theory}"
+    );
+}
+
+#[test]
+fn diagnosis_time_brackets_simulated_isolation() {
+    // The closed-form diagnosis time should bracket when an isolating
+    // trust table actually expels a node erring at 60%.
+    let params = TrustParams::experiment2();
+    let threshold = 0.3;
+    let error_rate = 0.6;
+    let predicted = reports_until_diagnosis(threshold, error_rate, params.lambda, params.fault_rate)
+        .expect("a 60% liar is diagnosable");
+    let trials = 100;
+    let mut mean_actual = 0.0;
+    for seed in 100..100 + trials {
+        let mut table = TrustTable::new(params, 1).with_isolation_threshold(threshold);
+        let mut rng = SimRng::seed_from(seed);
+        let mut t = 0u64;
+        while !table.is_isolated(NodeId(0)) {
+            if rng.chance(error_rate) {
+                table.record_faulty(NodeId(0));
+            } else {
+                table.record_correct(NodeId(0));
+            }
+            t += 1;
+            assert!(t < 10_000, "never isolated");
+        }
+        mean_actual += t as f64 / trials as f64;
+    }
+    let ratio = mean_actual / predicted as f64;
+    assert!(
+        (0.6..=1.6).contains(&ratio),
+        "actual {mean_actual} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn duty_cycle_explains_figure5_gap() {
+    // Figure 5 shows level-1 TIBFIT far above level-0 TIBFIT at equal
+    // compromise. The duty factor quantifies why: a hysteresis adversary
+    // is only lying ~10% of the time, so the *effective* faulty fraction
+    // at 58% nominal compromise is ~6%.
+    let theory = hysteresis_duty_cycle(0.25, 0.1, 0.5, 0.8, 1.0);
+    let effective = 0.58 * theory.duty;
+    assert!(
+        effective < 0.10,
+        "effective compromise {effective} should be far below the nominal 58%"
+    );
+}
