@@ -1,12 +1,18 @@
-//! Property-based tests for the adversary models.
+//! Property-style tests for the adversary models.
+//!
+//! Random cases come from seeded [`SimRng`] sweeps, so every run checks
+//! the identical case set.
 
-use proptest::prelude::*;
 use tibfit_adversary::behavior::{NodeBehavior, RoundContext};
 use tibfit_adversary::{CorrectNode, DecaySchedule, Level0Config, Level0Node, Level1Node};
 use tibfit_core::trust::{Judgement, TrustParams};
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::NodeId;
 use tibfit_sim::rng::SimRng;
+
+fn case_seeds(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| 0xADE5_0000u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
 
 fn ctx(event: bool) -> RoundContext {
     RoundContext {
@@ -18,128 +24,155 @@ fn ctx(event: bool) -> RoundContext {
     }
 }
 
-proptest! {
-    /// A correct node with zero NER is fully deterministic: reports
-    /// exactly the sensed events, silence otherwise.
-    #[test]
-    fn zero_ner_correct_node_is_deterministic(seed in any::<u64>()) {
+/// A correct node with zero NER is fully deterministic: reports exactly
+/// the sensed events, silence otherwise.
+#[test]
+fn zero_ner_correct_node_is_deterministic() {
+    for seed in case_seeds(20) {
         let mut node = CorrectNode::new(0.0, 0.0);
         let mut rng = SimRng::seed_from(seed);
-        prop_assert!(node.binary_action(&ctx(true), &mut rng));
-        prop_assert!(!node.binary_action(&ctx(false), &mut rng));
-        prop_assert_eq!(
+        assert!(node.binary_action(&ctx(true), &mut rng));
+        assert!(!node.binary_action(&ctx(false), &mut rng));
+        assert_eq!(
             node.located_action(&ctx(true), &mut rng),
             Some(Point::new(51.0, 49.0))
         );
-        prop_assert_eq!(node.located_action(&ctx(false), &mut rng), None);
+        assert_eq!(node.located_action(&ctx(false), &mut rng), None);
     }
+}
 
-    /// Level-0 missed-alarm frequency tracks its configuration.
-    #[test]
-    fn level0_missed_alarm_frequency(seed in any::<u64>(), ma in 0.1f64..0.9) {
+/// Level-0 missed-alarm frequency tracks its configuration.
+#[test]
+fn level0_missed_alarm_frequency() {
+    for seed in case_seeds(10) {
+        let mut rng = SimRng::seed_from(seed);
+        let ma = rng.uniform_range(0.1, 0.9);
         let mut node = Level0Node::new(Level0Config {
             missed_alarm: ma,
             false_alarm: 0.0,
             loc_sigma: 0.0,
             drop_prob: 0.0,
         });
-        let mut rng = SimRng::seed_from(seed);
         let n = 5_000;
-        let sent = (0..n).filter(|_| node.binary_action(&ctx(true), &mut rng)).count() as f64;
-        prop_assert!((sent / n as f64 - (1.0 - ma)).abs() < 0.05);
+        let sent = (0..n)
+            .filter(|_| node.binary_action(&ctx(true), &mut rng))
+            .count() as f64;
+        assert!(
+            (sent / n as f64 - (1.0 - ma)).abs() < 0.05,
+            "seed {seed} ma {ma}"
+        );
     }
+}
 
-    /// Drops compound with missed alarms: delivery rate ≈ (1-ma)(1-drop).
-    #[test]
-    fn level0_drop_compounds(seed in any::<u64>(), ma in 0.0f64..0.6, drop in 0.0f64..0.6) {
+/// Drops compound with missed alarms: delivery rate ≈ (1-ma)(1-drop).
+#[test]
+fn level0_drop_compounds() {
+    for seed in case_seeds(10) {
+        let mut rng = SimRng::seed_from(seed);
+        let ma = rng.uniform_range(0.0, 0.6);
+        let drop = rng.uniform_range(0.0, 0.6);
         let mut node = Level0Node::new(Level0Config {
             missed_alarm: ma,
             false_alarm: 0.0,
             loc_sigma: 1.0,
             drop_prob: drop,
         });
-        let mut rng = SimRng::seed_from(seed);
         let n = 5_000;
         let sent = (0..n)
             .filter(|_| node.located_action(&ctx(true), &mut rng).is_some())
             .count() as f64;
         let expected = (1.0 - ma) * (1.0 - drop);
-        prop_assert!((sent / n as f64 - expected).abs() < 0.05);
-    }
-
-    /// The level-1 hysteresis never deadlocks: from any judgement
-    /// history, enough Correct feedback always restores the lying phase
-    /// and enough Faulty feedback always ends it.
-    #[test]
-    fn level1_hysteresis_is_live(
-        history in proptest::collection::vec(any::<bool>(), 0..300),
-    ) {
-        let params = TrustParams::experiment2();
-        let mut node = Level1Node::with_paper_thresholds(
-            Level0Config::experiment2(6.0),
-            1.6,
-            params,
+        assert!(
+            (sent / n as f64 - expected).abs() < 0.05,
+            "seed {seed} ma {ma} drop {drop}"
         );
-        let len = history.len();
-        for faulty in history {
-            node.observe_judgement(if faulty { Judgement::Faulty } else { Judgement::Correct });
+    }
+}
+
+/// The level-1 hysteresis never deadlocks: from any judgement history,
+/// enough Correct feedback always restores the lying phase and enough
+/// Faulty feedback always ends it.
+#[test]
+fn level1_hysteresis_is_live() {
+    for seed in case_seeds(20) {
+        let mut rng = SimRng::seed_from(seed);
+        let len = rng.uniform_usize(300);
+        let params = TrustParams::experiment2();
+        let mut node =
+            Level1Node::with_paper_thresholds(Level0Config::experiment2(6.0), 1.6, params);
+        for _ in 0..len {
+            let faulty = rng.chance(0.5);
+            node.observe_judgement(if faulty {
+                Judgement::Faulty
+            } else {
+                Judgement::Correct
+            });
         }
         // Enough praise always re-enables lying: undoing one faulty
         // judgement takes (1 − f_r)/f_r = 9 correct ones.
         for _ in 0..(len * 9 + 10) {
             node.observe_judgement(Judgement::Correct);
         }
-        prop_assert!(node.is_lying_phase());
+        assert!(node.is_lying_phase(), "seed {seed}");
         // Enough punishment always ends it.
         for _ in 0..10 {
             node.observe_judgement(Judgement::Faulty);
         }
-        prop_assert!(!node.is_lying_phase());
+        assert!(!node.is_lying_phase(), "seed {seed}");
     }
+}
 
-    /// The level-1 estimated TI stays in (0, 1] under any history.
-    #[test]
-    fn level1_estimate_in_unit_interval(
-        history in proptest::collection::vec(any::<bool>(), 0..500),
-    ) {
+/// The level-1 estimated TI stays in (0, 1] under any history.
+#[test]
+fn level1_estimate_in_unit_interval() {
+    for seed in case_seeds(20) {
+        let mut rng = SimRng::seed_from(seed);
+        let len = rng.uniform_usize(500);
         let params = TrustParams::experiment2();
-        let mut node = Level1Node::with_paper_thresholds(
-            Level0Config::experiment2(4.25),
-            1.6,
-            params,
-        );
-        for faulty in history {
-            node.observe_judgement(if faulty { Judgement::Faulty } else { Judgement::Correct });
+        let mut node =
+            Level1Node::with_paper_thresholds(Level0Config::experiment2(4.25), 1.6, params);
+        for _ in 0..len {
+            let faulty = rng.chance(0.5);
+            node.observe_judgement(if faulty {
+                Judgement::Faulty
+            } else {
+                Judgement::Correct
+            });
             let ti = node.estimated_ti();
-            prop_assert!(ti > 0.0 && ti <= 1.0);
+            assert!(ti > 0.0 && ti <= 1.0, "seed {seed} TI {ti}");
         }
     }
+}
 
-    /// The decay schedule is monotone, respects its cap, and hits the
-    /// initial fraction at event zero.
-    #[test]
-    fn decay_schedule_invariants(
-        n in 1usize..500,
-        initial in 0.0f64..0.5,
-        step in 0.01f64..0.3,
-        events_per_step in 1u64..200,
-        extra in 0.0f64..0.5,
-    ) {
+/// The decay schedule is monotone, respects its cap, and hits the
+/// initial fraction at event zero.
+#[test]
+fn decay_schedule_invariants() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.uniform_usize(499);
+        let initial = rng.uniform_range(0.0, 0.5);
+        let step = rng.uniform_range(0.01, 0.3);
+        let events_per_step = 1 + rng.next_u64() % 199;
+        let extra = rng.uniform_range(0.0, 0.5);
         let max = (initial + extra).min(1.0);
         let schedule = DecaySchedule::new(n, initial, step, events_per_step, max);
         let mut prev = 0usize;
         for e in (0..5_000).step_by(97) {
             let c = schedule.compromised_at(e);
-            prop_assert!(c >= prev, "not monotone at {e}");
-            prop_assert!(c <= ((max * n as f64).round() as usize));
+            assert!(c >= prev, "not monotone at {e} (seed {seed})");
+            assert!(c <= ((max * n as f64).round() as usize));
             prev = c;
         }
-        prop_assert_eq!(
+        assert_eq!(
             schedule.compromised_at(0),
             (initial * n as f64).round() as usize
         );
         // Saturation is reached and stable.
         let sat = schedule.saturation_event();
-        prop_assert_eq!(schedule.compromised_at(sat), schedule.compromised_at(sat + 10_000));
+        assert_eq!(
+            schedule.compromised_at(sat),
+            schedule.compromised_at(sat + 10_000)
+        );
     }
 }

@@ -1,108 +1,144 @@
-//! Property-based tests for the §5 analysis.
+//! Property-style tests for the §5 analysis.
+//!
+//! Random cases come from seeded [`SimRng`] sweeps, so every run checks
+//! the identical case set.
 
-use proptest::prelude::*;
 use tibfit_analysis::binomial::{binomial_pmf, binomial_sf, ln_choose};
 use tibfit_analysis::fig11::{corruption_interval_root, fig11_f, k_max_final};
 use tibfit_analysis::{success_probability, success_probability_paper_form};
+use tibfit_sim::rng::SimRng;
 
-proptest! {
-    /// The paper's split-form equations (2)/(3) equal the direct
-    /// convolution for all parameters.
-    #[test]
-    fn paper_form_equals_convolution(
-        n in 1u64..30,
-        m_frac in 0.0f64..=1.0,
-        p in 0.0f64..=1.0,
-        q in 0.0f64..=1.0,
-    ) {
-        let m = (m_frac * n as f64).floor() as u64;
+fn case_seeds(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| 0xA7A1_0000u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The paper's split-form equations (2)/(3) equal the direct
+/// convolution for all parameters.
+#[test]
+fn paper_form_equals_convolution() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.next_u64() % 29;
+        let m = (rng.uniform_f64() * n as f64).floor() as u64;
+        let p = rng.uniform_f64();
+        let q = rng.uniform_f64();
         let a = success_probability(n, m, p, q);
         let b = success_probability_paper_form(n, m, p, q);
-        prop_assert!((a - b).abs() < 1e-9, "n={n} m={m}: {a} vs {b}");
+        assert!((a - b).abs() < 1e-9, "n={n} m={m}: {a} vs {b}");
     }
+}
 
-    /// Success probability is a probability.
-    #[test]
-    fn success_in_unit_interval(
-        n in 1u64..40,
-        m_frac in 0.0f64..=1.0,
-        p in 0.0f64..=1.0,
-        q in 0.0f64..=1.0,
-    ) {
-        let m = (m_frac * n as f64).floor() as u64;
-        let s = success_probability(n, m, p, q);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+/// Success probability is a probability.
+#[test]
+fn success_in_unit_interval() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.next_u64() % 39;
+        let m = (rng.uniform_f64() * n as f64).floor() as u64;
+        let s = success_probability(n, m, rng.uniform_f64(), rng.uniform_f64());
+        assert!((0.0..=1.0 + 1e-12).contains(&s));
     }
+}
 
-    /// Success is non-decreasing in p and in q.
-    #[test]
-    fn success_monotone_in_report_quality(
-        n in 2u64..25,
-        m_frac in 0.0f64..=1.0,
-        p in 0.0f64..0.95,
-        q in 0.0f64..0.95,
-        bump in 0.01f64..0.05,
-    ) {
-        let m = (m_frac * n as f64).floor() as u64;
+/// Success is non-decreasing in p and in q.
+#[test]
+fn success_monotone_in_report_quality() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 2 + rng.next_u64() % 23;
+        let m = (rng.uniform_f64() * n as f64).floor() as u64;
+        let p = rng.uniform_range(0.0, 0.95);
+        let q = rng.uniform_range(0.0, 0.95);
+        let bump = rng.uniform_range(0.01, 0.05);
         let base = success_probability(n, m, p, q);
-        prop_assert!(success_probability(n, m, p + bump, q) >= base - 1e-9);
-        prop_assert!(success_probability(n, m, p, q + bump) >= base - 1e-9);
+        assert!(success_probability(n, m, p + bump, q) >= base - 1e-9);
+        assert!(success_probability(n, m, p, q + bump) >= base - 1e-9);
     }
+}
 
-    /// With q < p, success is non-increasing in the number of faulty
-    /// nodes.
-    #[test]
-    fn success_monotone_in_faulty_count(n in 2u64..20, p in 0.6f64..1.0, q in 0.0f64..0.5) {
+/// With q < p, success is non-increasing in the number of faulty nodes.
+#[test]
+fn success_monotone_in_faulty_count() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 2 + rng.next_u64() % 18;
+        let p = rng.uniform_range(0.6, 1.0);
+        let q = rng.uniform_range(0.0, 0.5);
         let mut prev = 2.0;
         for m in 0..=n {
             let s = success_probability(n, m, p, q);
-            prop_assert!(s <= prev + 1e-9, "m={m}: {s} > {prev}");
+            assert!(s <= prev + 1e-9, "m={m}: {s} > {prev}");
             prev = s;
         }
     }
+}
 
-    /// Binomial pmf sums to one and the survival function complements
-    /// the cdf.
-    #[test]
-    fn binomial_identities(n in 0u64..80, p in 0.0f64..=1.0, k_frac in 0.0f64..=1.0) {
+/// Binomial pmf sums to one and the survival function complements the
+/// cdf.
+#[test]
+fn binomial_identities() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = rng.next_u64() % 80;
+        let p = rng.uniform_f64();
         let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        let k = (k_frac * n as f64).floor() as u64;
+        assert!((total - 1.0).abs() < 1e-9);
+        let k = (rng.uniform_f64() * n as f64).floor() as u64;
         let below: f64 = (0..k).map(|i| binomial_pmf(n, i, p)).sum();
-        prop_assert!((binomial_sf(n, k, p) + below - 1.0).abs() < 1e-9);
+        assert!((binomial_sf(n, k, p) + below - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Pascal's rule holds in log space: C(n,k) = C(n-1,k-1) + C(n-1,k).
-    #[test]
-    fn pascals_rule(n in 1u64..60, k_frac in 0.0f64..=1.0) {
-        let k = (k_frac * n as f64).floor().max(1.0) as u64;
-        prop_assume!(k > 0 && k <= n);
+/// Pascal's rule holds in log space: C(n,k) = C(n-1,k-1) + C(n-1,k).
+#[test]
+fn pascals_rule() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.next_u64() % 59;
+        let k = ((rng.uniform_f64() * n as f64).floor().max(1.0) as u64).min(n);
         let lhs = ln_choose(n, k).exp();
-        let rhs = ln_choose(n - 1, k - 1).exp() + if k < n { ln_choose(n - 1, k).exp() } else { 0.0 };
-        prop_assert!((lhs - rhs).abs() < lhs.max(1.0) * 1e-9);
+        let rhs =
+            ln_choose(n - 1, k - 1).exp() + if k < n { ln_choose(n - 1, k).exp() } else { 0.0 };
+        assert!((lhs - rhs).abs() < lhs.max(1.0) * 1e-9);
     }
+}
 
-    /// fig11's f is zero at the origin and positive past its root.
-    #[test]
-    fn fig11_root_separates_signs(lambda in 0.01f64..2.0, n in 4u64..30) {
-        prop_assert!(fig11_f(0.0, lambda, n).abs() < 1e-9);
+/// fig11's f is zero at the origin and positive past its root.
+#[test]
+fn fig11_root_separates_signs() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let lambda = rng.uniform_range(0.01, 2.0);
+        let n = 4 + rng.next_u64() % 26;
+        assert!(fig11_f(0.0, lambda, n).abs() < 1e-9);
         let root = corruption_interval_root(lambda, n);
-        prop_assert!(root > 0.0);
-        prop_assert!(fig11_f(root * 0.5, lambda, n) < 1e-9);
-        prop_assert!(fig11_f(root * 2.0, lambda, n) > -1e-9);
+        assert!(root > 0.0);
+        assert!(fig11_f(root * 0.5, lambda, n) < 1e-9);
+        assert!(fig11_f(root * 2.0, lambda, n) > -1e-9);
     }
+}
 
-    /// The root scales exactly as 1/λ (f depends on k only through kλ).
-    #[test]
-    fn fig11_root_scaling(lambda in 0.02f64..1.0, factor in 1.1f64..5.0, n in 4u64..20) {
+/// The root scales exactly as 1/λ (f depends on k only through kλ).
+#[test]
+fn fig11_root_scaling() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let lambda = rng.uniform_range(0.02, 1.0);
+        let factor = rng.uniform_range(1.1, 5.0);
+        let n = 4 + rng.next_u64() % 16;
         let r1 = corruption_interval_root(lambda, n);
         let r2 = corruption_interval_root(lambda * factor, n);
-        prop_assert!((r1 / r2 - factor).abs() < 1e-4, "{r1} / {r2} != {factor}");
+        assert!((r1 / r2 - factor).abs() < 1e-4, "{r1} / {r2} != {factor}");
     }
+}
 
-    /// k_max = ln(3)/λ is always above zero and decreasing in λ.
-    #[test]
-    fn k_max_decreasing(l1 in 0.01f64..1.0, bump in 0.01f64..1.0) {
-        prop_assert!(k_max_final(l1) > k_max_final(l1 + bump));
+/// k_max = ln(3)/λ is always above zero and decreasing in λ.
+#[test]
+fn k_max_decreasing() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let l1 = rng.uniform_range(0.01, 1.0);
+        let bump = rng.uniform_range(0.01, 1.0);
+        assert!(k_max_final(l1) > k_max_final(l1 + bump));
     }
 }

@@ -9,11 +9,10 @@
 //! cargo bench -p tibfit-bench --bench fig10_fig11_analysis
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use tibfit_analysis::{
     corruption_interval_root, k_max_final, recurrence_tolerates, success_probability,
 };
+use tibfit_bench::{bench, black_box};
 
 fn regenerate_figures() {
     println!("### Figure 10 — expected baseline accuracy (N=10, q=0.5)\n");
@@ -41,28 +40,21 @@ fn regenerate_figures() {
     println!();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn main() {
     regenerate_figures();
 
-    let mut group = c.benchmark_group("analysis");
-    group.bench_function("success_probability_n10", |b| {
-        b.iter(|| {
-            for m in 0..=10u64 {
-                black_box(success_probability(10, m, 0.95, 0.5));
-            }
-        });
+    bench("analysis/success_probability_n10", 100, || {
+        for m in 0..=10u64 {
+            black_box(success_probability(10, m, 0.95, 0.5));
+        }
     });
-    group.bench_function("success_probability_n100", |b| {
-        b.iter(|| black_box(success_probability(100, 60, 0.95, 0.5)));
+    bench("analysis/success_probability_n100", 100, || {
+        black_box(success_probability(100, 60, 0.95, 0.5))
     });
-    group.bench_function("fig11_root_bisection", |b| {
-        b.iter(|| black_box(corruption_interval_root(0.25, 11)));
+    bench("analysis/fig11_root_bisection", 100, || {
+        black_box(corruption_interval_root(0.25, 11))
     });
-    group.bench_function("fig11_recurrence_check", |b| {
-        b.iter(|| black_box(recurrence_tolerates(10, 0.25, 11)));
+    bench("analysis/fig11_recurrence_check", 100, || {
+        black_box(recurrence_tolerates(10, 0.25, 11))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

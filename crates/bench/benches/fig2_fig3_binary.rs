@@ -10,8 +10,7 @@
 //! cargo bench -p tibfit-bench --bench fig2_fig3_binary
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tibfit_bench::{bench, black_box};
 use tibfit_experiments::exp1::{figure2, figure3, run_exp1, table1, EngineKind, Exp1Config};
 
 fn regenerate_figures() {
@@ -20,41 +19,35 @@ fn regenerate_figures() {
     println!("{}", figure3(3, 42).to_markdown());
 }
 
-fn bench_exp1(c: &mut Criterion) {
+fn main() {
     // Print the paper tables once, before timing anything.
     regenerate_figures();
 
-    let mut group = c.benchmark_group("exp1_binary");
-    group.sample_size(20);
     for pct in [40.0f64, 70.0, 90.0] {
-        group.bench_with_input(
-            BenchmarkId::new("tibfit_100_events", pct as u64),
-            &pct,
-            |b, &pct| {
+        bench(
+            &format!("exp1_binary/tibfit_100_events/{}", pct as u64),
+            20,
+            || {
                 let config = Exp1Config::paper_fig2(0.01);
-                b.iter(|| black_box(run_exp1(&config, pct, 7)));
+                black_box(run_exp1(&config, pct, 7))
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("baseline_100_events", pct as u64),
-            &pct,
-            |b, &pct| {
+        bench(
+            &format!("exp1_binary/baseline_100_events/{}", pct as u64),
+            20,
+            || {
                 let config = Exp1Config {
                     engine: EngineKind::Baseline,
                     ..Exp1Config::paper_fig2(0.01)
                 };
-                b.iter(|| black_box(run_exp1(&config, pct, 7)));
+                black_box(run_exp1(&config, pct, 7))
             },
         );
     }
     // The false-alarm-heavy configuration exercises the extra decision
     // rounds of Figure 3.
-    group.bench_function("tibfit_fa75_100_events", |b| {
+    bench("exp1_binary/tibfit_fa75_100_events", 20, || {
         let config = Exp1Config::paper_fig3(0.75);
-        b.iter(|| black_box(run_exp1(&config, 70.0, 7)));
+        black_box(run_exp1(&config, 70.0, 7))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_exp1);
-criterion_main!(benches);

@@ -10,8 +10,7 @@
 //! cargo bench -p tibfit-bench --bench fig4_to_fig7_location
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tibfit_bench::{bench, black_box};
 use tibfit_experiments::exp1::EngineKind;
 use tibfit_experiments::exp2::{
     figure4, figure5, figure6, figure7, run_exp2, table2, Exp2Config, FaultLevel,
@@ -27,32 +26,26 @@ fn regenerate_figures() {
     println!("{}", figure7(2, 42).to_markdown());
 }
 
-fn bench_exp2(c: &mut Criterion) {
+fn main() {
     regenerate_figures();
 
-    let mut group = c.benchmark_group("exp2_location");
-    group.sample_size(10);
     for level in [FaultLevel::Level0, FaultLevel::Level1, FaultLevel::Level2] {
-        group.bench_with_input(
-            BenchmarkId::new("tibfit_300_events", level.label()),
-            &level,
-            |b, &level| {
+        bench(
+            &format!("exp2_location/tibfit_300_events/{}", level.label()),
+            10,
+            || {
                 let config = Exp2Config::paper(1.6, 4.25, level, EngineKind::Tibfit);
-                b.iter(|| black_box(run_exp2(&config, 50.0, 7)));
+                black_box(run_exp2(&config, 50.0, 7))
             },
         );
     }
-    group.bench_function("baseline_300_events", |b| {
+    bench("exp2_location/baseline_300_events", 10, || {
         let config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Baseline);
-        b.iter(|| black_box(run_exp2(&config, 50.0, 7)));
+        black_box(run_exp2(&config, 50.0, 7))
     });
-    group.bench_function("tibfit_concurrent_300_events", |b| {
+    bench("exp2_location/tibfit_concurrent_300_events", 10, || {
         let mut config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit);
         config.concurrent_events = true;
-        b.iter(|| black_box(run_exp2(&config, 50.0, 7)));
+        black_box(run_exp2(&config, 50.0, 7))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_exp2);
-criterion_main!(benches);

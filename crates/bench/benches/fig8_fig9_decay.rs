@@ -9,8 +9,7 @@
 //! cargo bench -p tibfit-bench --bench fig8_fig9_decay
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use tibfit_bench::{bench, black_box};
 use tibfit_experiments::exp1::EngineKind;
 use tibfit_experiments::exp3::{figure8, figure9, run_exp3, Exp3Config};
 
@@ -19,21 +18,15 @@ fn regenerate_figures() {
     println!("{}", figure9(2, 42).to_markdown());
 }
 
-fn bench_exp3(c: &mut Criterion) {
+fn main() {
     regenerate_figures();
 
-    let mut group = c.benchmark_group("exp3_decay");
-    group.sample_size(10);
-    group.bench_function("tibfit_full_decay_750_events", |b| {
+    bench("exp3_decay/tibfit_full_decay_750_events", 10, || {
         let config = Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit);
-        b.iter(|| black_box(run_exp3(&config, 7)));
+        black_box(run_exp3(&config, 7))
     });
-    group.bench_function("baseline_full_decay_750_events", |b| {
+    bench("exp3_decay/baseline_full_decay_750_events", 10, || {
         let config = Exp3Config::paper(1.6, 4.25, EngineKind::Baseline);
-        b.iter(|| black_box(run_exp3(&config, 7)));
+        black_box(run_exp3(&config, 7))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_exp3);
-criterion_main!(benches);

@@ -7,11 +7,9 @@
 //! cargo bench -p tibfit-bench --bench infrastructure
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
 use tibfit_adversary::behavior::NodeBehavior;
 use tibfit_adversary::CorrectNode;
+use tibfit_bench::{bench, black_box};
 use tibfit_core::engine::TibfitEngine;
 use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
 use tibfit_core::location::LocatedReport;
@@ -31,98 +29,76 @@ fn honest_behaviors(n: usize, sigma: f64) -> Vec<Box<dyn NodeBehavior>> {
         .collect()
 }
 
-fn bench_lifecycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lifecycle");
-    group.sample_size(20);
-    group.bench_function("event_round_25_nodes", |b| {
-        let topo = Topology::uniform_grid(25, 50.0, 50.0);
-        let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
-        let mut rng = SimRng::seed_from(1);
-        let event = Point::new(25.0, 25.0);
-        let reports: Vec<LocatedReport> = cluster
-            .topology()
-            .event_neighbors(event, 20.0)
-            .into_iter()
-            .map(|n| LocatedReport::new(n, event))
-            .collect();
-        b.iter(|| black_box(cluster.process_event_round(&reports, false, &mut rng)));
+fn bench_lifecycle() {
+    let topo = Topology::uniform_grid(25, 50.0, 50.0);
+    let mut cluster = ClusterLifecycle::new(LifecycleConfig::paper(), topo);
+    let mut rng = SimRng::seed_from(1);
+    let event = Point::new(25.0, 25.0);
+    let reports: Vec<LocatedReport> = cluster
+        .topology()
+        .event_neighbors(event, 20.0)
+        .into_iter()
+        .map(|n| LocatedReport::new(n, event))
+        .collect();
+    bench("lifecycle/event_round_25_nodes", 20, || {
+        black_box(cluster.process_event_round(&reports, false, &mut rng))
     });
-    group.finish();
 }
 
-fn bench_multicluster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multicluster");
-    group.sample_size(20);
-    group.bench_function("event_round_100_nodes_5_ch", |b| {
+fn bench_multicluster() {
+    let topo = Topology::uniform_grid(100, 100.0, 100.0);
+    let mut sim = MultiClusterSim::new(
+        MultiClusterConfig::paper(),
+        topo,
+        five_ch_sites(100.0),
+        honest_behaviors(100, 1.6),
+        Box::new(BernoulliLoss::new(0.005)),
+        SimRng::seed_from(2),
+    );
+    let mut i = 0u64;
+    bench("multicluster/event_round_100_nodes_5_ch", 20, || {
+        i += 1;
+        let event = Point::new(10.0 + (i % 80) as f64, 10.0 + (i * 7 % 80) as f64);
+        black_box(sim.run_event(event))
+    });
+}
+
+fn bench_des() {
+    bench("des/event_driven_50_events_100_nodes", 10, || {
         let topo = Topology::uniform_grid(100, 100.0, 100.0);
-        let mut sim = MultiClusterSim::new(
-            MultiClusterConfig::paper(),
+        let mut sim = DesClusterSim::new(
+            DesConfig::paper_scale(100.0),
             topo,
-            five_ch_sites(100.0),
             honest_behaviors(100, 1.6),
             Box::new(BernoulliLoss::new(0.005)),
-            SimRng::seed_from(2),
+            Box::new(TibfitEngine::new(TrustParams::experiment2(), 100)),
+            SimRng::seed_from(3),
         );
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let event = Point::new(10.0 + (i % 80) as f64, 10.0 + (i * 7 % 80) as f64);
-            black_box(sim.run_event(event))
-        });
+        black_box(sim.run(50))
     });
-    group.finish();
 }
 
-fn bench_des(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des");
-    group.sample_size(10);
-    group.bench_function("event_driven_50_events_100_nodes", |b| {
-        b.iter(|| {
-            let topo = Topology::uniform_grid(100, 100.0, 100.0);
-            let mut sim = DesClusterSim::new(
-                DesConfig::paper_scale(100.0),
-                topo,
-                honest_behaviors(100, 1.6),
-                Box::new(BernoulliLoss::new(0.005)),
-                Box::new(TibfitEngine::new(TrustParams::experiment2(), 100)),
-                SimRng::seed_from(3),
-            );
-            black_box(sim.run(50))
-        });
+fn bench_exp4() {
+    let config = Exp4Config::default_scale(2);
+    bench("exp4_shadow/shadow_run_200_events", 10, || {
+        black_box(run_exp4(&config, 0.5, 4))
     });
-    group.finish();
 }
 
-fn bench_exp4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp4_shadow");
-    group.sample_size(10);
-    group.bench_function("shadow_run_200_events", |b| {
-        let config = Exp4Config::default_scale(2);
-        b.iter(|| black_box(run_exp4(&config, 0.5, 4)));
+fn bench_mobility() {
+    let mut topo = Topology::uniform_grid(100, 100.0, 100.0);
+    let mut rng = SimRng::seed_from(5);
+    let mut model = RandomWaypoint::new(0.5, 2.0, 0.2, &topo, &mut rng);
+    bench("mobility/random_waypoint_step_100_nodes", 100, || {
+        model.step(&mut topo, 1.0, &mut rng);
+        black_box(topo.position(tibfit_net::topology::NodeId(50)))
     });
-    group.finish();
 }
 
-fn bench_mobility(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mobility");
-    group.bench_function("random_waypoint_step_100_nodes", |b| {
-        let mut topo = Topology::uniform_grid(100, 100.0, 100.0);
-        let mut rng = SimRng::seed_from(5);
-        let mut model = RandomWaypoint::new(0.5, 2.0, 0.2, &topo, &mut rng);
-        b.iter(|| {
-            model.step(&mut topo, 1.0, &mut rng);
-            black_box(topo.position(tibfit_net::topology::NodeId(50)))
-        });
-    });
-    group.finish();
+fn main() {
+    bench_lifecycle();
+    bench_multicluster();
+    bench_des();
+    bench_exp4();
+    bench_mobility();
 }
-
-criterion_group!(
-    benches,
-    bench_lifecycle,
-    bench_multicluster,
-    bench_des,
-    bench_exp4,
-    bench_mobility
-);
-criterion_main!(benches);

@@ -10,8 +10,7 @@
 //! cargo bench -p tibfit-bench --bench protocol_micro
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tibfit_bench::{bench, black_box};
 use tibfit_core::concurrent::ConcurrentCollector;
 use tibfit_core::location::{cluster_reports, decide_located, LocatedReport};
 use tibfit_core::trust::{TrustParams, TrustTable};
@@ -37,118 +36,97 @@ fn scattered_reports(n: usize, seed: u64) -> Vec<LocatedReport> {
         .collect()
 }
 
-fn bench_trust(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trust_table");
-    group.bench_function("record_faulty_then_correct", |b| {
-        let params = TrustParams::experiment2();
-        let mut table = TrustTable::new(params, 100);
-        b.iter(|| {
-            table.record_faulty(NodeId(7));
-            table.record_correct(NodeId(7));
-            black_box(table.trust_of(NodeId(7)))
-        });
+fn bench_trust() {
+    let params = TrustParams::experiment2();
+    let mut table = TrustTable::new(params, 100);
+    bench("trust_table/record_faulty_then_correct", 100, || {
+        table.record_faulty(NodeId(7));
+        table.record_correct(NodeId(7));
+        black_box(table.trust_of(NodeId(7)))
     });
-    group.bench_function("cumulative_trust_100_nodes", |b| {
-        let params = TrustParams::experiment2();
-        let table = TrustTable::new(params, 100);
-        let group_ids: Vec<NodeId> = (0..100).map(NodeId).collect();
-        b.iter(|| black_box(table.cumulative_trust(&group_ids)));
+    let table = TrustTable::new(params, 100);
+    let group_ids: Vec<NodeId> = (0..100).map(NodeId).collect();
+    bench("trust_table/cumulative_trust_100_nodes", 100, || {
+        black_box(table.cumulative_trust(&group_ids))
     });
-    group.finish();
 }
 
-fn bench_vote(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vote");
+fn bench_vote() {
     let params = TrustParams::experiment2();
     let table = TrustTable::new(params, 100);
     let neighbors: Vec<NodeId> = (0..20).map(NodeId).collect();
     let reporters: Vec<NodeId> = (0..12).map(NodeId).collect();
-    group.bench_function("trust_weighted_20_neighbors", |b| {
-        b.iter(|| black_box(run_vote(&neighbors, &reporters, &Weighting::Trust(&table))));
+    bench("vote/trust_weighted_20_neighbors", 100, || {
+        black_box(run_vote(&neighbors, &reporters, &Weighting::Trust(&table)))
     });
-    group.bench_function("uniform_20_neighbors", |b| {
-        b.iter(|| black_box(run_vote(&neighbors, &reporters, &Weighting::Uniform)));
+    bench("vote/uniform_20_neighbors", 100, || {
+        black_box(run_vote(&neighbors, &reporters, &Weighting::Uniform))
     });
-    group.finish();
 }
 
-fn bench_clustering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("report_clustering");
+fn bench_clustering() {
     for n in [10usize, 30, 100] {
         let reports = scattered_reports(n, 5);
-        group.bench_with_input(BenchmarkId::new("cluster_reports", n), &reports, |b, r| {
-            b.iter(|| black_box(cluster_reports(r, 5.0)));
+        bench(&format!("report_clustering/cluster_reports/{n}"), 100, || {
+            black_box(cluster_reports(&reports, 5.0))
         });
     }
     let topo = Topology::uniform_grid(100, 100.0, 100.0);
     let reports = scattered_reports(30, 6);
     let params = TrustParams::experiment2();
     let table = TrustTable::new(params, 100);
-    group.bench_function("decide_located_30_reports", |b| {
-        b.iter(|| {
-            black_box(decide_located(
-                &topo,
-                20.0,
-                5.0,
-                &reports,
-                &Weighting::Trust(&table),
-            ))
-        });
+    bench("report_clustering/decide_located_30_reports", 100, || {
+        black_box(decide_located(
+            &topo,
+            20.0,
+            5.0,
+            &reports,
+            &Weighting::Trust(&table),
+        ))
     });
-    group.finish();
 }
 
-fn bench_concurrent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concurrent_collector");
-    group.bench_function("submit_poll_40_reports", |b| {
-        let reports = scattered_reports(40, 9);
-        b.iter(|| {
-            let mut col = ConcurrentCollector::new(5.0, Duration::from_ticks(100));
-            for (i, r) in reports.iter().enumerate() {
-                col.submit(SimTime::from_ticks(i as u64), *r);
-            }
-            black_box(col.flush())
-        });
+fn bench_concurrent() {
+    let reports = scattered_reports(40, 9);
+    bench("concurrent_collector/submit_poll_40_reports", 100, || {
+        let mut col = ConcurrentCollector::new(5.0, Duration::from_ticks(100));
+        for (i, r) in reports.iter().enumerate() {
+            col.submit(SimTime::from_ticks(i as u64), *r);
+        }
+        black_box(col.flush())
     });
-    group.finish();
 }
 
-fn bench_leach(c: &mut Criterion) {
-    let mut group = c.benchmark_group("leach");
-    group.bench_function("election_round_100_nodes", |b| {
-        let topo = Topology::uniform_grid(100, 100.0, 100.0);
-        let mut election = Election::new(LeachConfig::paper(), 100);
-        let energies = vec![EnergyBudget::new(100.0); 100];
-        let mut rng = SimRng::seed_from(3);
-        b.iter(|| black_box(election.run_round(&topo, &energies, |_| 1.0, &mut rng)));
+fn bench_leach() {
+    let topo = Topology::uniform_grid(100, 100.0, 100.0);
+    let mut election = Election::new(LeachConfig::paper(), 100);
+    let energies = vec![EnergyBudget::new(100.0); 100];
+    let mut rng = SimRng::seed_from(3);
+    bench("leach/election_round_100_nodes", 100, || {
+        black_box(election.run_round(&topo, &energies, |_| 1.0, &mut rng))
     });
-    group.finish();
 }
 
-fn bench_multihop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multihop");
+fn bench_multihop() {
     let topo = Topology::uniform_grid(100, 100.0, 100.0);
     let net = MultihopNetwork::new(MultihopConfig::default_paper_scale(), &topo);
     let sink = Point::new(95.0, 95.0);
-    group.bench_function("corner_to_corner_perfect", |b| {
-        let mut rng = SimRng::seed_from(4);
-        b.iter(|| black_box(net.deliver(NodeId(0), sink, &Perfect, &mut rng)));
+    let mut rng = SimRng::seed_from(4);
+    bench("multihop/corner_to_corner_perfect", 100, || {
+        black_box(net.deliver(NodeId(0), sink, &Perfect, &mut rng))
     });
-    group.bench_function("corner_to_corner_lossy_10pct", |b| {
-        let mut rng = SimRng::seed_from(5);
-        let channel = BernoulliLoss::new(0.1);
-        b.iter(|| black_box(net.deliver(NodeId(0), sink, &channel, &mut rng)));
+    let mut rng = SimRng::seed_from(5);
+    let channel = BernoulliLoss::new(0.1);
+    bench("multihop/corner_to_corner_lossy_10pct", 100, || {
+        black_box(net.deliver(NodeId(0), sink, &channel, &mut rng))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_trust,
-    bench_vote,
-    bench_clustering,
-    bench_concurrent,
-    bench_leach,
-    bench_multihop
-);
-criterion_main!(benches);
+fn main() {
+    bench_trust();
+    bench_vote();
+    bench_clustering();
+    bench_concurrent();
+    bench_leach();
+    bench_multihop();
+}

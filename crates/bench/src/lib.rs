@@ -1,1 +1,75 @@
-//! Bench-only crate; see `benches/`.
+//! Dependency-free micro-benchmark harness for the `benches/` binaries.
+//!
+//! The container has no network access, so the usual bench framework
+//! cannot be pulled in; this is the thin slice of it the figures need:
+//! warmup, a fixed sample count, and median/mean wall-clock per
+//! iteration printed in a stable one-line format.
+
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+///
+/// Same contract as `std::hint::black_box`, re-exported so bench files
+/// have a single import.
+pub use std::hint::black_box;
+
+/// Runs `f` repeatedly and prints `name: median ... mean ... (samples)`.
+///
+/// Each sample times one call of `f`; `samples` of them are taken after
+/// three warmup calls. Keep `f` itself coarse enough (micro- to
+/// milliseconds) that per-call timer overhead is noise.
+pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut times_ns: Vec<u128> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times_ns.push(start.elapsed().as_nanos());
+    }
+    times_ns.sort_unstable();
+    let median = times_ns[times_ns.len() / 2];
+    let mean = times_ns.iter().sum::<u128>() / times_ns.len() as u128;
+    println!(
+        "{name}: median {} mean {} ({} samples)",
+        format_ns(median),
+        format_ns(mean),
+        samples
+    );
+}
+
+/// Renders nanoseconds with an adaptive unit (ns/µs/ms/s).
+#[must_use]
+pub fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert_eq!(format_ns(1_500), "1.50 µs");
+        assert_eq!(format_ns(2_000_000), "2.00 ms");
+        assert_eq!(format_ns(3_500_000_000), "3.50 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        bench("noop", 5, || calls += 1);
+        // 3 warmup + 5 timed.
+        assert_eq!(calls, 8);
+    }
+}

@@ -110,6 +110,10 @@ pub struct ClusterLifecycle {
     rounds_in_period: u64,
     overrules: u64,
     handoffs: Vec<ControlMessage>,
+    /// Crash overlay from the fault injector: a crashed node neither
+    /// reports nor leads until rebooted.
+    crashed: Vec<bool>,
+    failovers: u64,
 }
 
 impl ClusterLifecycle {
@@ -126,6 +130,8 @@ impl ClusterLifecycle {
             rounds_in_period: 0,
             overrules: 0,
             handoffs: Vec::new(),
+            crashed: vec![false; n],
+            failovers: 0,
             config,
             topo,
         }
@@ -170,6 +176,178 @@ impl ClusterLifecycle {
         &self.handoffs
     }
 
+    /// Number of shadow-CH failovers performed so far.
+    #[must_use]
+    pub fn failover_count(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Whether a node is currently crashed (fault-injector overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Marks a node crashed: it stops reporting and cannot lead. If the
+    /// acting cluster head crashes, the next round (or an explicit
+    /// [`ClusterLifecycle::fail_over`]) promotes a shadow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.crashed[node.index()] = true;
+    }
+
+    /// Brings a crashed node back online. Its trust state is unchanged —
+    /// the base station never forgot it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn reboot_node(&mut self, node: NodeId) {
+        self.crashed[node.index()] = false;
+    }
+
+    /// Switches the working trust table to diagnosing mode with the
+    /// quarantine → probation recovery path (see
+    /// [`crate::trust::TrustTable::with_reintegration`]): nodes whose TI
+    /// falls below `threshold` are quarantined for `quarantine_rounds`
+    /// decision rounds, then serve `probation_rounds` on probation
+    /// before regaining full standing. Drive the schedule with
+    /// [`ClusterLifecycle::tick_trust_round`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1)` and both durations are
+    /// non-zero.
+    pub fn enable_reintegration(
+        &mut self,
+        threshold: f64,
+        quarantine_rounds: u64,
+        probation_rounds: u64,
+    ) {
+        let table = self
+            .engine
+            .table()
+            .clone()
+            .with_isolation_threshold(threshold)
+            .with_reintegration(quarantine_rounds, probation_rounds);
+        *self.engine.table_mut() = table;
+    }
+
+    /// Advances the trust table's quarantine/probation schedule one
+    /// round and returns the newly reintegrated nodes. A no-op unless
+    /// [`ClusterLifecycle::enable_reintegration`] was called.
+    pub fn tick_trust_round(&mut self) -> Vec<NodeId> {
+        self.engine.table_mut().tick_round()
+    }
+
+    /// Simulates trust-table loss at a CH handoff: the incoming head's
+    /// working table is wiped back to full trust for everyone, erasing
+    /// the diagnosis state (the worst case for colluding-faulty nodes).
+    /// Recovery is [`ClusterLifecycle::resync_trust_from_handoff`].
+    pub fn lose_trust_table(&mut self) {
+        let table = self.engine.table_mut();
+        for i in 0..self.topo.len() {
+            table.set_counter(NodeId(i), 0.0);
+        }
+    }
+
+    /// Re-syncs the working trust table from the base station's last
+    /// [`ControlMessage::TrustHandoff`] snapshot — the recovery path for
+    /// an injected trust-table loss. Returns `false` when no handoff has
+    /// happened yet (nothing to restore).
+    pub fn resync_trust_from_handoff(&mut self) -> bool {
+        let Some(ControlMessage::TrustHandoff { trust, .. }) = self.handoffs.last().cloned()
+        else {
+            return false;
+        };
+        let lambda = self.config.trust.lambda;
+        let table = self.engine.table_mut();
+        for (node, ti) in trust {
+            // Invert TI = e^(−λ·v); snapshots keep TI in (0, 1].
+            let v = if ti > 0.0 { -ti.ln() / lambda } else { 0.0 };
+            table.set_counter(node, v.max(0.0));
+        }
+        true
+    }
+
+    /// Shadow-CH failover after the acting head crashes (paper §3.4's
+    /// SCHs double as hot standbys): the highest-trust surviving shadow
+    /// is promoted in place — no full election — and the shadow set is
+    /// rebuilt around it. Falls back to a full election when every
+    /// shadow is down. Returns the new head.
+    pub fn fail_over(&mut self, rng: &mut SimRng) -> NodeId {
+        self.failovers += 1;
+        let promoted = self.current.as_ref().and_then(|o| {
+            // Shadows are ordered highest-trust first.
+            o.shadows.iter().copied().find(|s| !self.crashed[s.index()])
+        });
+        if let (Some(new_head), Some(prev)) = (promoted, self.current.clone()) {
+            let shadows = self.pick_shadows_for(new_head);
+            self.current = Some(RoundOutcome {
+                head: new_head,
+                shadows,
+                round: prev.round,
+                vetoed: Vec::new(),
+            });
+            self.rounds_in_period = 0;
+            new_head
+        } else {
+            self.rotate(rng);
+            self.current.as_ref().expect("just elected").head
+        }
+    }
+
+    /// Shadow selection for a promoted head: the highest-trust alive
+    /// one-hop neighbors, mirroring the election's criterion.
+    fn pick_shadows_for(&self, head: NodeId) -> Vec<NodeId> {
+        let head_pos = self.topo.position(head);
+        let mut neighbors: Vec<NodeId> = self
+            .topo
+            .iter()
+            .filter(|(id, p)| {
+                *id != head
+                    && !self.crashed[id.index()]
+                    && p.distance_to(head_pos) <= self.config.leach.hop_range
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let engine = &self.engine;
+        neighbors.sort_by(|&a, &b| {
+            engine
+                .table()
+                .trust_of(b)
+                .total_cmp(&engine.table().trust_of(a))
+                .then_with(|| a.cmp(&b))
+        });
+        neighbors.truncate(self.config.leach.shadow_count);
+        neighbors
+    }
+
+    /// Energy table with crashed nodes masked out (a crashed node looks
+    /// dead to the election, so it is never drafted).
+    fn effective_energies(&self) -> Vec<EnergyBudget> {
+        self.energies
+            .iter()
+            .zip(&self.crashed)
+            .map(|(e, &down)| {
+                if down {
+                    let mut drained = *e;
+                    drained.spend(drained.residual());
+                    drained
+                } else {
+                    *e
+                }
+            })
+            .collect()
+    }
+
     /// The acting cluster head, electing one if the period rolled over
     /// (or none was elected yet).
     pub fn current_head(&mut self, rng: &mut SimRng) -> NodeId {
@@ -197,10 +375,11 @@ impl ClusterLifecycle {
                 trust: self.engine.table().export(),
             });
         }
+        let energies = self.effective_energies();
         let engine = &self.engine;
         let outcome = self.election.run_round(
             &self.topo,
-            &self.energies,
+            &energies,
             |n| engine.table().trust_of(n),
             rng,
         );
@@ -222,8 +401,20 @@ impl ClusterLifecycle {
         ch_compromised: bool,
         rng: &mut SimRng,
     ) -> LifecycleRound {
-        let head = self.current_head(rng);
+        let mut head = self.current_head(rng);
+        // A crashed head cannot serve: promote a shadow before deciding.
+        if self.crashed[head.index()] {
+            head = self.fail_over(rng);
+        }
         self.rounds_in_period += 1;
+
+        // Crashed reporters are silent this round.
+        let live_reports: Vec<LocatedReport> = reports
+            .iter()
+            .filter(|r| !self.crashed[r.reporter.index()])
+            .copied()
+            .collect();
+        let reports = live_reports.as_slice();
 
         // Charge energy: members transmit, head receives + leads.
         for r in reports {
@@ -231,8 +422,10 @@ impl ClusterLifecycle {
             self.energies[head.index()].spend(self.config.costs.receive);
         }
         self.energies[head.index()].spend(self.config.costs.lead_round);
-        for budget in &mut self.energies {
-            budget.spend(self.config.costs.idle_round);
+        for (budget, &down) in self.energies.iter_mut().zip(&self.crashed) {
+            if !down {
+                budget.spend(self.config.costs.idle_round);
+            }
         }
 
         // The honest computation over the reports (what a correct CH and
@@ -412,6 +605,97 @@ mod tests {
             assert!(r.ruling.final_conclusion.declares_event());
         }
         assert_eq!(cluster.overrule_count(), 30);
+    }
+
+    #[test]
+    fn ch_crash_promotes_highest_trust_shadow() {
+        let (mut cluster, mut rng) = setup();
+        let head = cluster.current_head(&mut rng);
+        let shadows = cluster.current_shadows();
+        cluster.crash_node(head);
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let round = cluster.process_event_round(&reports, false, &mut rng);
+        assert_ne!(round.head, head, "crashed head served a round");
+        assert_eq!(round.head, shadows[0], "promotion skipped the top shadow");
+        assert_eq!(cluster.failover_count(), 1);
+        assert!(round.ruling.final_conclusion.declares_event());
+    }
+
+    #[test]
+    fn failover_with_all_shadows_down_elects_fresh_head() {
+        let (mut cluster, mut rng) = setup();
+        let head = cluster.current_head(&mut rng);
+        for s in cluster.current_shadows() {
+            cluster.crash_node(s);
+        }
+        cluster.crash_node(head);
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        let round = cluster.process_event_round(&reports, false, &mut rng);
+        assert!(!cluster.is_crashed(round.head), "elected a crashed head");
+        assert_eq!(cluster.failover_count(), 1);
+    }
+
+    #[test]
+    fn crashed_nodes_never_elected_until_reboot() {
+        let (mut cluster, mut rng) = setup();
+        let victim = NodeId(12);
+        cluster.crash_node(victim);
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        for _ in 0..40 {
+            let r = cluster.process_event_round(&reports, false, &mut rng);
+            assert_ne!(r.head, victim, "crashed node led a round");
+        }
+        cluster.reboot_node(victim);
+        assert!(!cluster.is_crashed(victim));
+    }
+
+    #[test]
+    fn crashed_reporters_are_silent_but_round_still_decides() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        // Crash a third of the reporters; the rest still carry the vote.
+        for r in reports.iter().take(reports.len() / 3) {
+            cluster.crash_node(r.reporter);
+        }
+        let round = cluster.process_event_round(&reports, false, &mut rng);
+        assert!(round.ruling.final_conclusion.declares_event());
+    }
+
+    #[test]
+    fn trust_table_loss_recovers_from_handoff_snapshot() {
+        let (mut cluster, mut rng) = setup();
+        let event = Point::new(25.0, 25.0);
+        let reports = event_reports(&cluster, event);
+        // Build distrust of a repeatedly-compromised head, across enough
+        // rounds that at least one handoff snapshot exists.
+        let mut penalized = None;
+        for _ in 0..15 {
+            let head = cluster.current_head(&mut rng);
+            cluster.process_event_round(&reports, true, &mut rng);
+            penalized = Some(head);
+        }
+        let node = penalized.unwrap();
+        assert!(!cluster.handoffs().is_empty(), "no snapshot to recover from");
+        let before = cluster.trust_of(node);
+        assert!(before < 1.0);
+        // Inject the loss: everyone back to full trust.
+        cluster.lose_trust_table();
+        assert_eq!(cluster.trust_of(node), 1.0);
+        // Recover from the base station's snapshot. The snapshot predates
+        // the node's latest penalty, so trust is restored to below full
+        // (the diagnosis survives) even if not bit-identical to `before`.
+        assert!(cluster.resync_trust_from_handoff());
+        assert!(cluster.trust_of(node) < 1.0, "diagnosis state lost for {node}");
+    }
+
+    #[test]
+    fn resync_without_handoff_reports_failure() {
+        let (mut cluster, _) = setup();
+        assert!(!cluster.resync_trust_from_handoff());
     }
 
     #[test]

@@ -13,7 +13,33 @@
 //! makes regaining trust slow — the paper argues this beats a linear model
 //! where a 50%-liar still periodically reaches TI = 1.
 
+use std::fmt;
+
 use tibfit_net::topology::NodeId;
+
+/// Why a [`TrustParams`] value was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrustParamsError {
+    /// `lambda` was NaN, infinite, or not strictly positive.
+    InvalidLambda(f64),
+    /// `fault_rate` was NaN or outside `[0, 1)`.
+    InvalidFaultRate(f64),
+}
+
+impl fmt::Display for TrustParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustParamsError::InvalidLambda(x) => {
+                write!(f, "lambda must be positive and finite, got {x}")
+            }
+            TrustParamsError::InvalidFaultRate(x) => {
+                write!(f, "fault_rate must be in [0, 1), got {x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrustParamsError {}
 
 /// Calibration constants of the trust model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,18 +58,33 @@ impl TrustParams {
     ///
     /// # Panics
     ///
-    /// Panics unless `lambda > 0` and `0 <= fault_rate < 1`.
+    /// Panics unless `lambda > 0` and `0 <= fault_rate < 1`. Use
+    /// [`TrustParams::try_new`] to handle bad inputs as values.
     #[must_use]
     pub fn new(lambda: f64, fault_rate: f64) -> Self {
-        assert!(
-            lambda.is_finite() && lambda > 0.0,
-            "lambda must be positive and finite, got {lambda}"
-        );
-        assert!(
-            (0.0..1.0).contains(&fault_rate),
-            "fault_rate must be in [0, 1), got {fault_rate}"
-        );
-        TrustParams { lambda, fault_rate }
+        match TrustParams::try_new(lambda, fault_rate) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects NaN, infinite, and out-of-range
+    /// calibration values instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrustParamsError::InvalidLambda`] unless `lambda` is
+    /// finite and strictly positive, and
+    /// [`TrustParamsError::InvalidFaultRate`] unless `fault_rate` is in
+    /// `[0, 1)` (NaN is rejected by both checks).
+    pub fn try_new(lambda: f64, fault_rate: f64) -> Result<Self, TrustParamsError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(TrustParamsError::InvalidLambda(lambda));
+        }
+        if !(0.0..1.0).contains(&fault_rate) {
+            return Err(TrustParamsError::InvalidFaultRate(fault_rate));
+        }
+        Ok(TrustParams { lambda, fault_rate })
     }
 
     /// Experiment-1 calibration (λ = 0.1, `f_r` = the given NER).
@@ -126,12 +167,44 @@ pub enum Judgement {
     Faulty,
 }
 
+/// Membership state of a node under diagnosis (paper §3.1 extended with a
+/// recovery path for the fault-injection experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Full member: reports count, trust evolves normally.
+    Active,
+    /// Diagnosed faulty and excluded from votes. With a reintegration
+    /// policy the sentence is finite; without one it is permanent.
+    Quarantined {
+        /// Decision rounds left to serve (ignored without a policy).
+        remaining: u64,
+    },
+    /// Served its quarantine and re-admitted on probation: the node votes
+    /// again at reduced trust, but a relapse below the isolation
+    /// threshold sends it straight back to quarantine.
+    Probation {
+        /// Decision rounds left before the node returns to full standing.
+        remaining: u64,
+    },
+}
+
+/// Recovery schedule for quarantined nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReintegrationPolicy {
+    quarantine_rounds: u64,
+    probation_rounds: u64,
+}
+
 /// The cluster head's per-node trust table, including diagnosis state.
 ///
 /// Nodes whose trust index falls below the isolation threshold are
 /// *diagnosed* as faulty and can be removed from the network (paper §3.1:
 /// "the system can identify a faulty node when its TI falls below a certain
-/// threshold. It can then be removed from the network").
+/// threshold. It can then be removed from the network"). By default removal
+/// is permanent; [`TrustTable::with_reintegration`] adds the
+/// quarantine → probation → reintegration recovery path used by the
+/// fault-injection experiments, so a transiently-faulted node (e.g. one
+/// that crashed and rebooted) can earn its way back in.
 ///
 /// ```rust
 /// use tibfit_core::trust::{TrustParams, TrustTable};
@@ -146,8 +219,9 @@ pub enum Judgement {
 pub struct TrustTable {
     params: TrustParams,
     entries: Vec<TrustIndex>,
-    isolated: Vec<bool>,
+    status: Vec<NodeStatus>,
     isolation_threshold: Option<f64>,
+    reintegration: Option<ReintegrationPolicy>,
 }
 
 impl TrustTable {
@@ -163,8 +237,9 @@ impl TrustTable {
         TrustTable {
             params,
             entries: vec![TrustIndex::new(); n],
-            isolated: vec![false; n],
+            status: vec![NodeStatus::Active; n],
             isolation_threshold: None,
+            reintegration: None,
         }
     }
 
@@ -181,6 +256,28 @@ impl TrustTable {
             "isolation threshold must be in (0, 1), got {threshold}"
         );
         self.isolation_threshold = Some(threshold);
+        self
+    }
+
+    /// Enables the recovery path: an isolated node serves
+    /// `quarantine_rounds` decision rounds in quarantine, then re-enters
+    /// on probation for `probation_rounds` rounds (with its trust reset
+    /// to the isolation threshold, not to one — trust is earned back, not
+    /// granted). A probationary relapse below the threshold restarts the
+    /// quarantine. Call [`TrustTable::tick_round`] once per decision
+    /// round to advance the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    #[must_use]
+    pub fn with_reintegration(mut self, quarantine_rounds: u64, probation_rounds: u64) -> Self {
+        assert!(quarantine_rounds > 0, "quarantine must last at least one round");
+        assert!(probation_rounds > 0, "probation must last at least one round");
+        self.reintegration = Some(ReintegrationPolicy {
+            quarantine_rounds,
+            probation_rounds,
+        });
         self
     }
 
@@ -222,23 +319,34 @@ impl TrustTable {
         self.entries[node.index()].counter()
     }
 
-    /// Whether diagnosis has isolated this node.
+    /// Whether diagnosis has isolated this node (quarantined nodes are
+    /// isolated; probationary nodes participate again).
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
     #[must_use]
     pub fn is_isolated(&self, node: NodeId) -> bool {
-        self.isolated[node.index()]
+        matches!(self.status[node.index()], NodeStatus::Quarantined { .. })
     }
 
-    /// All currently isolated nodes.
+    /// The full membership state of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn status_of(&self, node: NodeId) -> NodeStatus {
+        self.status[node.index()]
+    }
+
+    /// All currently isolated (quarantined) nodes.
     #[must_use]
     pub fn isolated_nodes(&self) -> Vec<NodeId> {
-        self.isolated
+        self.status
             .iter()
             .enumerate()
-            .filter(|(_, &iso)| iso)
+            .filter(|(_, s)| matches!(s, NodeStatus::Quarantined { .. }))
             .map(|(i, _)| NodeId(i))
             .collect()
     }
@@ -250,7 +358,7 @@ impl TrustTable {
     pub fn cumulative_trust(&self, group: &[NodeId]) -> f64 {
         group
             .iter()
-            .filter(|n| !self.isolated[n.index()])
+            .filter(|n| !self.is_isolated(**n))
             .map(|n| self.trust_of(*n))
             .sum()
     }
@@ -264,9 +372,61 @@ impl TrustTable {
         self.entries[node.index()].record_faulty(&self.params);
         if let Some(th) = self.isolation_threshold {
             if self.entries[node.index()].value(&self.params) < th {
-                self.isolated[node.index()] = true;
+                let remaining = self
+                    .reintegration
+                    .map_or(u64::MAX, |p| p.quarantine_rounds);
+                self.status[node.index()] = NodeStatus::Quarantined { remaining };
             }
         }
+    }
+
+    /// Advances the quarantine/probation schedule by one decision round
+    /// and returns the nodes that completed probation this round — the
+    /// fully reintegrated ones (the `quarantine.reintegrated` trace
+    /// counter in the chaos experiment counts these).
+    ///
+    /// Quarantined nodes whose sentence expires re-enter on probation
+    /// with their fault counter reset so their TI equals the isolation
+    /// threshold: trusted just enough to vote, one relapse from
+    /// re-quarantine. A no-op without a reintegration policy.
+    pub fn tick_round(&mut self) -> Vec<NodeId> {
+        let Some(policy) = self.reintegration else {
+            return Vec::new();
+        };
+        let mut reintegrated = Vec::new();
+        for i in 0..self.status.len() {
+            match self.status[i] {
+                NodeStatus::Active => {}
+                NodeStatus::Quarantined { remaining } => {
+                    if remaining <= 1 {
+                        // Probationary trust: TI = threshold exactly, i.e.
+                        // v = −ln(threshold)/λ.
+                        if let Some(th) = self.isolation_threshold {
+                            let v = -th.ln() / self.params.lambda;
+                            self.entries[i] = TrustIndex { v };
+                        }
+                        self.status[i] = NodeStatus::Probation {
+                            remaining: policy.probation_rounds,
+                        };
+                    } else {
+                        self.status[i] = NodeStatus::Quarantined {
+                            remaining: remaining - 1,
+                        };
+                    }
+                }
+                NodeStatus::Probation { remaining } => {
+                    if remaining <= 1 {
+                        self.status[i] = NodeStatus::Active;
+                        reintegrated.push(NodeId(i));
+                    } else {
+                        self.status[i] = NodeStatus::Probation {
+                            remaining: remaining - 1,
+                        };
+                    }
+                }
+            }
+        }
+        reintegrated
     }
 
     /// Records a correct judgement.
@@ -459,6 +619,104 @@ mod tests {
         for (id, ti) in a.export() {
             assert!((b.trust_of(id) - ti).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn try_new_rejects_nan_and_out_of_range() {
+        assert!(matches!(
+            TrustParams::try_new(f64::NAN, 0.1).unwrap_err(),
+            TrustParamsError::InvalidLambda(x) if x.is_nan()
+        ));
+        assert_eq!(
+            TrustParams::try_new(f64::INFINITY, 0.1).unwrap_err(),
+            TrustParamsError::InvalidLambda(f64::INFINITY)
+        );
+        assert!(matches!(
+            TrustParams::try_new(0.25, f64::NAN).unwrap_err(),
+            TrustParamsError::InvalidFaultRate(_)
+        ));
+        assert_eq!(
+            TrustParams::try_new(0.25, -0.1).unwrap_err(),
+            TrustParamsError::InvalidFaultRate(-0.1)
+        );
+        assert!(TrustParams::try_new(0.25, 0.1).is_ok());
+        assert!(TrustParamsError::InvalidLambda(0.0)
+            .to_string()
+            .contains("lambda must be positive"));
+    }
+
+    #[test]
+    fn quarantine_is_permanent_without_policy() {
+        let mut t = TrustTable::new(params(), 2).with_isolation_threshold(0.5);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        assert!(t.is_isolated(NodeId(0)));
+        for _ in 0..100 {
+            assert!(t.tick_round().is_empty());
+        }
+        assert!(t.is_isolated(NodeId(0)));
+    }
+
+    #[test]
+    fn quarantine_then_probation_then_reintegration() {
+        let mut t = TrustTable::new(params(), 2)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(3, 2);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        assert!(t.is_isolated(NodeId(0)));
+        // Serve the 3-round quarantine.
+        assert!(t.tick_round().is_empty());
+        assert!(t.tick_round().is_empty());
+        assert!(t.is_isolated(NodeId(0)));
+        assert!(t.tick_round().is_empty());
+        // Now probationary: votes again at threshold trust.
+        assert!(!t.is_isolated(NodeId(0)));
+        assert!(matches!(
+            t.status_of(NodeId(0)),
+            NodeStatus::Probation { remaining: 2 }
+        ));
+        assert!((t.trust_of(NodeId(0)) - 0.5).abs() < 1e-12);
+        // Behaves for 2 rounds → fully reintegrated.
+        assert!(t.tick_round().is_empty());
+        assert_eq!(t.tick_round(), vec![NodeId(0)]);
+        assert_eq!(t.status_of(NodeId(0)), NodeStatus::Active);
+        // Node 1 was never touched.
+        assert_eq!(t.status_of(NodeId(1)), NodeStatus::Active);
+    }
+
+    #[test]
+    fn probation_relapse_restarts_quarantine() {
+        let mut t = TrustTable::new(params(), 1)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 5);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        t.tick_round();
+        t.tick_round();
+        assert!(matches!(t.status_of(NodeId(0)), NodeStatus::Probation { .. }));
+        // One more lie at threshold trust → straight back to quarantine.
+        t.record_faulty(NodeId(0));
+        assert!(matches!(
+            t.status_of(NodeId(0)),
+            NodeStatus::Quarantined { remaining: 2 }
+        ));
+    }
+
+    #[test]
+    fn probationary_node_counts_toward_cti() {
+        let mut t = TrustTable::new(params(), 1)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(1, 3);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        assert_eq!(t.cumulative_trust(&[NodeId(0)]), 0.0);
+        t.tick_round();
+        assert!((t.cumulative_trust(&[NodeId(0)]) - 0.5).abs() < 1e-12);
     }
 
     #[test]

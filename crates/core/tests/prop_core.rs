@@ -1,6 +1,8 @@
-//! Property-based tests for the TIBFIT protocol invariants.
+//! Property-style tests for the TIBFIT protocol invariants.
+//!
+//! Random cases come from seeded [`SimRng`] sweeps, so every run checks
+//! the identical case set.
 
-use proptest::prelude::*;
 use tibfit_core::concurrent::ConcurrentCollector;
 use tibfit_core::location::{cluster_reports, decide_located, judge_located, LocatedReport};
 use tibfit_core::shadow::{adjudicate, Conclusion};
@@ -8,44 +10,55 @@ use tibfit_core::trust::{Judgement, TrustParams, TrustTable};
 use tibfit_core::vote::{run_vote, Weighting};
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
 use tibfit_sim::{Duration, SimTime};
 
-fn arb_params() -> impl Strategy<Value = TrustParams> {
-    (0.01f64..2.0, 0.0f64..0.9).prop_map(|(l, f)| TrustParams::new(l, f))
+fn case_seeds(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| 0xC04E_0000u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
-fn arb_reports(max: usize) -> impl Strategy<Value = Vec<LocatedReport>> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..max).prop_map(|pts| {
-        pts.into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| LocatedReport::new(NodeId(i), Point::new(x, y)))
-            .collect()
-    })
+fn random_params(rng: &mut SimRng) -> TrustParams {
+    TrustParams::new(rng.uniform_range(0.01, 2.0), rng.uniform_range(0.0, 0.9))
 }
 
-proptest! {
-    /// The trust index stays in (0, 1] under any judgement sequence.
-    #[test]
-    fn trust_index_in_unit_interval(
-        params in arb_params(),
-        judgements in proptest::collection::vec(any::<bool>(), 0..500),
-    ) {
+fn random_reports(rng: &mut SimRng, max: usize) -> Vec<LocatedReport> {
+    (0..rng.uniform_usize(max))
+        .map(|i| {
+            LocatedReport::new(
+                NodeId(i),
+                Point::new(rng.uniform_range(0.0, 100.0), rng.uniform_range(0.0, 100.0)),
+            )
+        })
+        .collect()
+}
+
+/// The trust index stays in (0, 1] under any judgement sequence.
+#[test]
+fn trust_index_in_unit_interval() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let params = random_params(&mut rng);
         let mut table = TrustTable::new(params, 1);
-        for faulty in judgements {
-            if faulty {
+        for _ in 0..rng.uniform_usize(500) {
+            if rng.chance(0.5) {
                 table.record_faulty(NodeId(0));
             } else {
                 table.record_correct(NodeId(0));
             }
             let ti = table.trust_of(NodeId(0));
-            prop_assert!(ti > 0.0 && ti <= 1.0, "TI {ti}");
+            assert!(ti > 0.0 && ti <= 1.0, "TI {ti} (seed {seed})");
         }
     }
+}
 
-    /// Each faulty report strictly lowers the trust index (for f_r < 1);
-    /// each correct report never lowers it.
-    #[test]
-    fn trust_monotone_per_judgement(params in arb_params(), steps in 1usize..100) {
+/// Each faulty report strictly lowers the trust index (for f_r < 1);
+/// each correct report never lowers it.
+#[test]
+fn trust_monotone_per_judgement() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let params = random_params(&mut rng);
+        let steps = 1 + rng.uniform_usize(99);
         let mut table = TrustTable::new(params, 1);
         let mut prev = table.trust_of(NodeId(0));
         for i in 0..steps {
@@ -53,59 +66,64 @@ proptest! {
                 table.record_faulty(NodeId(0));
                 let now = table.trust_of(NodeId(0));
                 if params.fault_rate < 1.0 {
-                    prop_assert!(now < prev);
+                    assert!(now < prev);
                 }
                 prev = now;
             } else {
                 table.record_correct(NodeId(0));
                 let now = table.trust_of(NodeId(0));
-                prop_assert!(now >= prev - 1e-12);
+                assert!(now >= prev - 1e-12);
                 prev = now;
             }
         }
     }
+}
 
-    /// The cumulative trust of a group is the sum of its members'.
-    #[test]
-    fn cti_is_additive(params in arb_params(), faults in proptest::collection::vec(0usize..5, 0..50)) {
+/// The cumulative trust of a group is the sum of its members'.
+#[test]
+fn cti_is_additive() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let params = random_params(&mut rng);
         let mut table = TrustTable::new(params, 5);
-        for f in faults {
-            table.record_faulty(NodeId(f));
+        for _ in 0..rng.uniform_usize(50) {
+            table.record_faulty(NodeId(rng.uniform_usize(5)));
         }
         let group: Vec<NodeId> = (0..5).map(NodeId).collect();
         let sum: f64 = group.iter().map(|&n| table.trust_of(n)).sum();
-        prop_assert!((table.cumulative_trust(&group) - sum).abs() < 1e-9);
+        assert!((table.cumulative_trust(&group) - sum).abs() < 1e-9);
     }
+}
 
-    /// run_vote partitions the neighborhood exactly.
-    #[test]
-    fn vote_partitions_neighbors(
-        n in 1usize..30,
-        reporter_mask in proptest::collection::vec(any::<bool>(), 30),
-    ) {
+/// run_vote partitions the neighborhood exactly.
+#[test]
+fn vote_partitions_neighbors() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.uniform_usize(29);
+        let reporter_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let neighbors: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let reporters: Vec<NodeId> = (0..n)
-            .filter(|&i| reporter_mask[i])
-            .map(NodeId)
-            .collect();
+        let reporters: Vec<NodeId> = (0..n).filter(|&i| reporter_mask[i]).map(NodeId).collect();
         let out = run_vote(&neighbors, &reporters, &Weighting::Uniform);
         let mut all = out.reporters.clone();
         all.extend(&out.non_reporters);
         all.sort();
-        prop_assert_eq!(all, neighbors);
+        assert_eq!(all, neighbors);
         // Uniform weights: the verdict is exactly the majority predicate.
-        prop_assert_eq!(
-            out.event_declared,
-            out.reporters.len() * 2 > n
-        );
+        assert_eq!(out.event_declared, out.reporters.len() * 2 > n);
     }
+}
 
-    /// Clustering partitions the input reports (no loss, no duplication).
-    #[test]
-    fn clustering_partitions_reports(reports in arb_reports(40), r_error in 1.0f64..20.0) {
+/// Clustering partitions the input reports (no loss, no duplication).
+#[test]
+fn clustering_partitions_reports() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let reports = random_reports(&mut rng, 40);
+        let r_error = rng.uniform_range(1.0, 20.0);
         let clusters = cluster_reports(&reports, r_error);
         let total: usize = clusters.iter().map(|c| c.members.len()).sum();
-        prop_assert_eq!(total, reports.len());
+        assert_eq!(total, reports.len());
         let mut ids: Vec<usize> = clusters
             .iter()
             .flat_map(|c| c.members.iter().map(|m| m.reporter.index()))
@@ -113,18 +131,31 @@ proptest! {
         ids.sort_unstable();
         let mut expected: Vec<usize> = reports.iter().map(|r| r.reporter.index()).collect();
         expected.sort_unstable();
-        prop_assert_eq!(ids, expected);
+        assert_eq!(ids, expected);
     }
+}
 
-    /// Every cluster's cg is inside the bounding box of its members, and
-    /// every member is assigned to its nearest final center.
-    #[test]
-    fn clustering_geometry(reports in arb_reports(30), r_error in 1.0f64..20.0) {
+/// Every cluster's cg is inside the bounding box of its members, and
+/// every member is assigned to its nearest final center.
+#[test]
+fn clustering_geometry() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let reports = random_reports(&mut rng, 30);
+        let r_error = rng.uniform_range(1.0, 20.0);
         let clusters = cluster_reports(&reports, r_error);
         for c in &clusters {
-            let min_x = c.members.iter().map(|m| m.location.x).fold(f64::INFINITY, f64::min);
-            let max_x = c.members.iter().map(|m| m.location.x).fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(c.cg.x >= min_x - 1e-9 && c.cg.x <= max_x + 1e-9);
+            let min_x = c
+                .members
+                .iter()
+                .map(|m| m.location.x)
+                .fold(f64::INFINITY, f64::min);
+            let max_x = c
+                .members
+                .iter()
+                .map(|m| m.location.x)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(c.cg.x >= min_x - 1e-9 && c.cg.x <= max_x + 1e-9);
         }
         // Nearest-center assignment: a member is never strictly closer
         // to a different cluster's cg than its own (up to ties from the
@@ -138,76 +169,93 @@ proptest! {
                     }
                     // Allow slack of r_error: the merge step can shift
                     // centers after final assignment.
-                    prop_assert!(own <= m.location.distance_to(other.cg) + r_error);
+                    assert!(own <= m.location.distance_to(other.cg) + r_error);
                 }
             }
         }
     }
+}
 
-    /// Singleton input: one cluster centered on the report.
-    #[test]
-    fn clustering_singleton(x in 0.0f64..100.0, y in 0.0f64..100.0, r_error in 1.0f64..20.0) {
+/// Singleton input: one cluster centered on the report.
+#[test]
+fn clustering_singleton() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let x = rng.uniform_range(0.0, 100.0);
+        let y = rng.uniform_range(0.0, 100.0);
+        let r_error = rng.uniform_range(1.0, 20.0);
         let reports = vec![LocatedReport::new(NodeId(0), Point::new(x, y))];
         let clusters = cluster_reports(&reports, r_error);
-        prop_assert_eq!(clusters.len(), 1);
-        prop_assert!(clusters[0].cg.distance_to(Point::new(x, y)) < 1e-9);
+        assert_eq!(clusters.len(), 1);
+        assert!(clusters[0].cg.distance_to(Point::new(x, y)) < 1e-9);
     }
+}
 
-    /// judge_located covers every event neighbor of every decided
-    /// cluster, plus outliers, and no judgement is contradictory within
-    /// one decision.
-    #[test]
-    fn located_judgements_cover_participants(reports in arb_reports(25), r_error in 2.0f64..10.0) {
+/// judge_located covers every event neighbor of every decided cluster,
+/// plus outliers, and no judgement is contradictory within one decision.
+#[test]
+fn located_judgements_cover_participants() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let reports = random_reports(&mut rng, 25);
+        let r_error = rng.uniform_range(2.0, 10.0);
         let topo = Topology::uniform_grid(100, 100.0, 100.0);
         let decisions = decide_located(&topo, 20.0, r_error, &reports, &Weighting::Uniform);
         for d in &decisions {
             let judgements = judge_located(d);
             // Every vote participant appears.
             for n in d.vote.reporters.iter().chain(&d.vote.non_reporters) {
-                prop_assert!(judgements.iter().any(|(j, _)| j == n));
+                assert!(judgements.iter().any(|(j, _)| j == n));
             }
             // Within this decision a node is judged consistently.
-            for (node, j) in &judgements {
-                for (node2, j2) in &judgements {
-                    if node == node2 {
-                        // Outlier/non-neighbor reporters are always
-                        // Faulty; vote members judged once.
-                        let both_vote = d.vote.reporters.contains(node)
-                            && d.vote.non_reporters.contains(node);
-                        prop_assert!(!both_vote);
-                        let _ = (j, j2);
-                    }
-                }
+            for (node, _) in &judgements {
+                let both_vote =
+                    d.vote.reporters.contains(node) && d.vote.non_reporters.contains(node);
+                assert!(!both_vote);
             }
         }
     }
+}
 
-    /// Shadow adjudication always returns one of the submitted
-    /// conclusions.
-    #[test]
-    fn adjudication_picks_a_submitted_conclusion(
-        ch_event in any::<bool>(),
-        shadow_events in proptest::collection::vec(any::<bool>(), 0..5),
-    ) {
+/// Shadow adjudication always returns one of the submitted conclusions.
+#[test]
+fn adjudication_picks_a_submitted_conclusion() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let ch_event = rng.chance(0.5);
+        let shadow_events: Vec<bool> = (0..rng.uniform_usize(5)).map(|_| rng.chance(0.5)).collect();
         let ch = Conclusion::binary(ch_event);
-        let shadows: Vec<Conclusion> = shadow_events.iter().map(|&b| Conclusion::binary(b)).collect();
+        let shadows: Vec<Conclusion> =
+            shadow_events.iter().map(|&b| Conclusion::binary(b)).collect();
         let ruling = adjudicate(ch, &shadows, 0.5);
         let all: Vec<Conclusion> = std::iter::once(ch).chain(shadows.iter().copied()).collect();
-        prop_assert!(all.iter().any(|c| c.agrees_with(&ruling.final_conclusion, 0.5)));
+        assert!(all
+            .iter()
+            .any(|c| c.agrees_with(&ruling.final_conclusion, 0.5)));
         // The CH is only overruled by a strictly larger group.
         if ruling.ch_overruled {
             let ch_backing = all.iter().filter(|c| c.agrees_with(&ch, 0.5)).count();
-            prop_assert!(ruling.backing > ch_backing);
+            assert!(ruling.backing > ch_backing);
         }
     }
+}
 
-    /// The concurrent collector conserves reports: everything submitted
-    /// is eventually released exactly once.
-    #[test]
-    fn collector_conserves_reports(
-        pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0u64..500), 0..40),
-        r_error in 1.0f64..10.0,
-    ) {
+/// The concurrent collector conserves reports: everything submitted is
+/// eventually released exactly once.
+#[test]
+fn collector_conserves_reports() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let pts: Vec<(f64, f64, u64)> = (0..rng.uniform_usize(40))
+            .map(|_| {
+                (
+                    rng.uniform_range(0.0, 100.0),
+                    rng.uniform_range(0.0, 100.0),
+                    rng.next_u64() % 500,
+                )
+            })
+            .collect();
+        let r_error = rng.uniform_range(1.0, 10.0);
         let mut sorted = pts.clone();
         sorted.sort_by_key(|&(_, _, t)| t);
         let mut col = ConcurrentCollector::new(r_error, Duration::from_ticks(100));
@@ -218,31 +266,49 @@ proptest! {
                 .iter()
                 .map(Vec::len)
                 .sum::<usize>();
-            col.submit(SimTime::from_ticks(t), LocatedReport::new(NodeId(i), Point::new(x, y)));
+            col.submit(
+                SimTime::from_ticks(t),
+                LocatedReport::new(NodeId(i), Point::new(x, y)),
+            );
         }
         released += col.flush().iter().map(Vec::len).sum::<usize>();
-        prop_assert_eq!(released, pts.len());
-        prop_assert_eq!(col.pending_reports(), 0);
+        assert_eq!(released, pts.len());
+        assert_eq!(col.pending_reports(), 0);
     }
+}
 
-    /// Judgement application is order-independent for distinct nodes.
-    #[test]
-    fn judgements_commute_across_nodes(params in arb_params(), seq in proptest::collection::vec((0usize..4, any::<bool>()), 0..100)) {
+/// Judgement application is order-independent for distinct nodes.
+#[test]
+fn judgements_commute_across_nodes() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let params = random_params(&mut rng);
+        let seq: Vec<(usize, bool)> = (0..rng.uniform_usize(100))
+            .map(|_| (rng.uniform_usize(4), rng.chance(0.5)))
+            .collect();
         let mut forward = TrustTable::new(params, 4);
         let mut grouped = TrustTable::new(params, 4);
         for &(node, faulty) in &seq {
-            let j = if faulty { Judgement::Faulty } else { Judgement::Correct };
+            let j = if faulty {
+                Judgement::Faulty
+            } else {
+                Judgement::Correct
+            };
             forward.apply_judgements(&[(NodeId(node), j)]);
         }
         // Apply per node, preserving each node's relative order.
         for node in 0..4 {
             for &(n, faulty) in seq.iter().filter(|(n, _)| *n == node) {
-                let j = if faulty { Judgement::Faulty } else { Judgement::Correct };
+                let j = if faulty {
+                    Judgement::Faulty
+                } else {
+                    Judgement::Correct
+                };
                 grouped.apply_judgements(&[(NodeId(n), j)]);
             }
         }
         for node in 0..4 {
-            prop_assert!(
+            assert!(
                 (forward.trust_of(NodeId(node)) - grouped.trust_of(NodeId(node))).abs() < 1e-9
             );
         }

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tibfit_experiments::report::FigureData;
-use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow};
+use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow, exp5_chaos};
 use tibfit_sim::stats::Series;
 
 struct Options {
@@ -62,7 +62,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: tibfit-exp <exp1|exp2|exp3|exp4|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
+    "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
         .to_string()
 }
 
@@ -148,6 +148,10 @@ fn run(options: &Options) -> Result<(), String> {
         println!();
         emit(&exp4_shadow::figure_shadow(t, s), options);
     };
+    let run_exp5 = || {
+        emit(&exp5_chaos::figure_chaos(t, s), options);
+        emit(&exp5_chaos::figure_recovery_time(t, s), options);
+    };
     let run_analysis = || {
         emit(&fig10_data(), options);
         emit(&fig11_data(), options);
@@ -167,6 +171,7 @@ fn run(options: &Options) -> Result<(), String> {
         "fig10" => emit(&fig10_data(), options),
         "fig11" => emit(&fig11_data(), options),
         "exp4" => run_exp4(),
+        "exp5" => run_exp5(),
         "ablation" => run_ablation(),
         "tables" => {
             println!("{}", exp1::table1());
@@ -177,6 +182,7 @@ fn run(options: &Options) -> Result<(), String> {
             run_exp2();
             run_exp3();
             run_exp4();
+            run_exp5();
             run_analysis();
             run_ablation();
         }

@@ -46,11 +46,16 @@ pub struct DesConfig {
     pub ch_position: Point,
     /// Probability that a generated event is a concurrent *pair*.
     pub concurrent_probability: f64,
+    /// Retransmission attempts after a channel loss (0 = fire and
+    /// forget, the paper's base protocol).
+    pub max_retries: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub retry_backoff: Duration,
 }
 
 impl DesConfig {
     /// Paper-scale timing: events every 1000 ticks, `T_out` = 100 ticks,
-    /// jitter up to 50 ticks.
+    /// jitter up to 50 ticks, no retransmissions.
     #[must_use]
     pub fn paper_scale(field: f64) -> Self {
         DesConfig {
@@ -61,7 +66,20 @@ impl DesConfig {
             r_error: 5.0,
             ch_position: Point::new(field / 2.0, field / 2.0),
             concurrent_probability: 0.0,
+            max_retries: 0,
+            retry_backoff: Duration::from_ticks(10),
         }
+    }
+
+    /// Enables bounded report retransmission: up to `max_retries`
+    /// attempts with exponential backoff starting at `backoff`, never
+    /// past the sensing time plus `T_out` (a report that cannot make its
+    /// collection window is dropped, not retried forever).
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32, backoff: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff;
+        self
     }
 }
 
@@ -72,6 +90,15 @@ enum DesEvent {
     Occurs(Vec<Point>),
     /// A report reaches the cluster head after its network delay.
     Arrives(LocatedReport),
+    /// A lost report's retransmission timer fires.
+    Retry {
+        /// The report being retransmitted.
+        report: LocatedReport,
+        /// When the node first sensed the event (bounds the retries).
+        origin: SimTime,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
     /// A collector deadline may have passed; poll it.
     WindowCheck,
 }
@@ -198,6 +225,11 @@ impl DesClusterSim {
             match event {
                 DesEvent::Occurs(locations) => self.on_occurs(now, &locations),
                 DesEvent::Arrives(report) => self.on_arrival(now, report),
+                DesEvent::Retry {
+                    report,
+                    origin,
+                    attempt,
+                } => self.on_retry(now, report, origin, attempt),
                 DesEvent::WindowCheck => self.on_window_check(now),
             }
         }
@@ -243,6 +275,7 @@ impl DesClusterSim {
             };
             if let Some(claim) = self.behaviors[node.index()].located_action(&ctx, &mut self.rng)
             {
+                let report = LocatedReport::new(node, claim);
                 if self
                     .channel
                     .delivers(node_pos, self.config.ch_position, &mut self.rng)
@@ -251,12 +284,62 @@ impl DesClusterSim {
                         self.rng.uniform_usize(self.config.max_jitter.ticks().max(1) as usize)
                             as u64,
                     );
-                    self.engine.schedule_at(
-                        now + jitter,
-                        DesEvent::Arrives(LocatedReport::new(node, claim)),
-                    );
+                    self.engine
+                        .schedule_at(now + jitter, DesEvent::Arrives(report));
+                } else {
+                    self.schedule_retry(now, now, report, 1);
                 }
             }
+        }
+    }
+
+    /// Arms the next retransmission timer, if the budget and the `T_out`
+    /// deadline allow one.
+    fn schedule_retry(&mut self, now: SimTime, origin: SimTime, report: LocatedReport, attempt: u32) {
+        if attempt > self.config.max_retries {
+            return;
+        }
+        // Exponential backoff: backoff · 2^(attempt−1).
+        let backoff = self.config.retry_backoff * (1u64 << (attempt - 1).min(16));
+        let fire_at = now + backoff;
+        // Bounded: a retransmission that cannot make the collection
+        // window is pointless — the report is dropped instead.
+        if fire_at > origin + self.config.t_out {
+            self.trace
+                .record(now, "retry", format!("{} gives up", report.reporter));
+            return;
+        }
+        self.engine.schedule_at(
+            fire_at,
+            DesEvent::Retry {
+                report,
+                origin,
+                attempt,
+            },
+        );
+    }
+
+    fn on_retry(&mut self, now: SimTime, report: LocatedReport, origin: SimTime, attempt: u32) {
+        self.trace.count("retry.count");
+        self.trace.record(
+            now,
+            "retry",
+            format!("{} retransmits (attempt {attempt})", report.reporter),
+        );
+        let node_pos = self.topo.position(report.reporter);
+        if self
+            .channel
+            .delivers(node_pos, self.config.ch_position, &mut self.rng)
+        {
+            let jitter = Duration::from_ticks(
+                self.rng
+                    .uniform_usize(self.config.max_jitter.ticks().max(1) as usize)
+                    as u64,
+            );
+            self.engine
+                .schedule_at(now + jitter, DesEvent::Arrives(report));
+        } else {
+            self.schedule_retry(now, origin, report, attempt + 1);
         }
     }
 
@@ -487,6 +570,71 @@ mod tests {
         assert_eq!(trace.counter("decision_batches") as usize, traced.decision_batches);
         assert!(trace.counter("reports_delivered") > 0);
         assert!(!trace.events_in("decision").is_empty());
+    }
+
+    #[test]
+    fn retries_recover_reports_on_a_lossy_channel() {
+        // A brutal 40%-loss channel: retransmission should deliver
+        // measurably more reports than fire-and-forget.
+        let build_lossy = |retries: u32| {
+            let topo = Topology::uniform_grid(100, 100.0, 100.0);
+            let behaviors: Vec<Box<dyn NodeBehavior>> =
+                (0..100).map(|_| -> Box<dyn NodeBehavior> { Box::new(CorrectNode::new(0.0, 1.6)) }).collect();
+            let config = DesConfig::paper_scale(100.0)
+                .with_retries(retries, Duration::from_ticks(10));
+            DesClusterSim::new(
+                config,
+                topo,
+                behaviors,
+                Box::new(BernoulliLoss::new(0.4)),
+                Box::new(TibfitEngine::new(TrustParams::experiment2(), 100)),
+                SimRng::seed_from(17),
+            )
+            .with_trace(16)
+        };
+        let mut plain = build_lossy(0);
+        plain.run(50);
+        let mut retrying = build_lossy(3);
+        retrying.run(50);
+        assert_eq!(plain.trace().counter("retry.count"), 0);
+        assert!(retrying.trace().counter("retry.count") > 0);
+        assert!(
+            retrying.trace().counter("reports_delivered")
+                > plain.trace().counter("reports_delivered"),
+            "retries {} vs plain {}",
+            retrying.trace().counter("reports_delivered"),
+            plain.trace().counter("reports_delivered")
+        );
+    }
+
+    #[test]
+    fn retries_are_deterministic_and_bounded() {
+        let run = || {
+            let topo = Topology::uniform_grid(49, 70.0, 70.0);
+            let behaviors: Vec<Box<dyn NodeBehavior>> =
+                (0..49).map(|_| -> Box<dyn NodeBehavior> { Box::new(CorrectNode::new(0.0, 1.6)) }).collect();
+            let config = DesConfig::paper_scale(70.0)
+                .with_retries(5, Duration::from_ticks(15));
+            let mut sim = DesClusterSim::new(
+                config,
+                topo,
+                behaviors,
+                Box::new(BernoulliLoss::new(0.3)),
+                Box::new(TibfitEngine::new(TrustParams::experiment2(), 49)),
+                SimRng::seed_from(23),
+            )
+            .with_trace(16);
+            let stats = sim.run(40);
+            (stats, sim.trace().counter("retry.count"))
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        // Bounded by the T_out deadline: with backoff 15·2^k the window
+        // admits at most 3 attempts (15+30+60 > 100 ticks), so the count
+        // can never approach retries × reports.
+        assert!(ra > 0);
     }
 
     #[test]

@@ -330,7 +330,7 @@ mod tests {
         // figure.)
         let mut config = fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit));
         config.decay_kind = DecayKind::BatteryDeath;
-        let windows = run_exp3(&config, 21);
+        let windows = run_exp3(&config, 23);
         let last = windows.last().unwrap();
         assert!((last.compromised_fraction - 0.60).abs() < 1e-9);
         assert!(

@@ -1,0 +1,515 @@
+//! Experiment 5 (extension): chaos — infrastructure faults with and
+//! without recovery.
+//!
+//! The paper's experiments stress TIBFIT with *data* faults only; every
+//! node is always up, every report arrives, and the trust table is
+//! immortal. This experiment injects the infrastructure faults a real
+//! deployment faces — node crashes and reboots, the cluster head dying
+//! mid-round, bursty channel loss, reports delayed past `T_out`, and
+//! trust-table loss at a handoff — from a seed-reproducible
+//! [`FaultPlan`], and measures two things as fault intensity grows:
+//!
+//! * **accuracy** — the fraction of ground-truth events whose final
+//!   base-station conclusion is correct;
+//! * **time to recover** — mean event rounds from a fault firing until
+//!   the next correct conclusion.
+//!
+//! Each metric is taken twice: with the recovery paths on (shadow-CH
+//! failover, bounded report retransmission, trust re-sync from the last
+//! handoff snapshot, quarantine-then-probation reintegration) and with
+//! them off. The gap between the two curves is the measured value of
+//! the machinery.
+
+use crate::report::FigureData;
+use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
+use tibfit_core::location::LocatedReport;
+use tibfit_faults::{FaultInjector, FaultKind, FaultPlan};
+use tibfit_net::channel::{ChannelModel, GilbertElliott};
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::trace::Trace;
+use tibfit_sim::{Duration, SimTime};
+
+/// Parameters for one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp5Config {
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Field side.
+    pub field: f64,
+    /// Ground-truth event rounds per run.
+    pub events: u64,
+    /// Virtual ticks between event rounds (the injector's clock).
+    pub round_interval: Duration,
+    /// Master switch for every recovery path.
+    pub recovery: bool,
+    /// Retransmission attempts per lost report when recovery is on.
+    pub max_retries: u32,
+    /// Event rounds a rebooted node misbehaves before stabilising
+    /// (cold sensors after a crash — what drives it into quarantine).
+    pub flaky_rounds: u64,
+    /// TI below which a node is quarantined.
+    pub isolation_threshold: f64,
+    /// Quarantine length in event rounds (recovery on).
+    pub quarantine_rounds: u64,
+    /// Probation length in event rounds (recovery on).
+    pub probation_rounds: u64,
+    /// Event rounds the cluster is headless after a CH crash when
+    /// recovery is off (waiting out the LEACH period instead of failing
+    /// over to a shadow).
+    pub ch_outage_rounds: u64,
+}
+
+impl Exp5Config {
+    /// Defaults: a 25-node cluster, 300 event rounds at 100-tick
+    /// spacing (a 30k-tick horizon for the fault plan).
+    #[must_use]
+    pub fn default_scale(recovery: bool) -> Self {
+        Exp5Config {
+            n_nodes: 25,
+            field: 50.0,
+            events: 300,
+            round_interval: Duration::from_ticks(100),
+            recovery,
+            max_retries: 3,
+            flaky_rounds: 8,
+            isolation_threshold: 0.5,
+            quarantine_rounds: 10,
+            probation_rounds: 5,
+            ch_outage_rounds: 5,
+        }
+    }
+
+    /// The fault-plan horizon implied by the run length.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.round_interval * (self.events + 1)
+    }
+}
+
+/// Aggregate results of one chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exp5Outcome {
+    /// Fraction of event rounds with a correct final conclusion.
+    pub accuracy: f64,
+    /// Mean event rounds from a fault firing to the next correct
+    /// conclusion (0 when no faults fired).
+    pub mean_recovery_rounds: f64,
+    /// Faults handed out by the injector.
+    pub faults_injected: usize,
+    /// Shadow-CH failovers performed.
+    pub failovers: u64,
+    /// Report retransmission attempts.
+    pub retries: u64,
+    /// Nodes that completed probation and regained full standing.
+    pub reintegrated: u64,
+}
+
+/// A chaos run's outcome plus its full trace (the replay-determinism
+/// tests compare `trace.render()` byte for byte).
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The measured outcome.
+    pub outcome: Exp5Outcome,
+    /// Structured trace with the `fault.injected`, `failover.count`,
+    /// `retry.count`, and `quarantine.reintegrated` counters.
+    pub trace: Trace,
+}
+
+/// Runs one chaos simulation against an explicit fault plan.
+///
+/// Same `(config, plan, seed)` → identical [`Exp5Outcome`] and
+/// byte-identical `trace.render()`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_exp5(config: &Exp5Config, plan: &FaultPlan, seed: u64) -> ChaosRun {
+    let topo = Topology::uniform_grid(config.n_nodes, config.field, config.field);
+    let mut lifecycle_config = LifecycleConfig::paper();
+    lifecycle_config.leach.shadow_count = 2;
+    let mut cluster = ClusterLifecycle::new(lifecycle_config, topo);
+    if config.recovery {
+        cluster.enable_reintegration(
+            config.isolation_threshold,
+            config.quarantine_rounds,
+            config.probation_rounds,
+        );
+    }
+    let mut rng = SimRng::seed_from(seed);
+    let mut event_rng = rng.fork(0xE5);
+    let channel = GilbertElliott::paper_ambient();
+    let mut injector = FaultInjector::new(plan.clone());
+    let mut trace = Trace::enabled(4096);
+
+    let r_s = lifecycle_config.sensing_radius;
+    let r_error = lifecycle_config.r_error;
+
+    // Fault side-effects the driver tracks between rounds.
+    let mut pending_reboots: Vec<(SimTime, NodeId)> = Vec::new();
+    let mut flaky: Vec<u64> = vec![0; config.n_nodes];
+    let mut burst_until: Option<SimTime> = None;
+    let mut delay_until: Option<SimTime> = None;
+    let mut headless_rounds: u64 = 0;
+    let mut open_faults: Vec<u64> = Vec::new();
+    let mut total_recovery_rounds: u64 = 0;
+    let mut recovered_faults: u64 = 0;
+
+    let mut correct = 0u64;
+    for round_idx in 0..config.events {
+        let now = SimTime::ZERO + config.round_interval * (round_idx + 1);
+
+        // Reboots come back first (a node can crash again the same round).
+        pending_reboots.retain(|&(at, node)| {
+            if at <= now {
+                cluster.reboot_node(node);
+                flaky[node.index()] = config.flaky_rounds;
+                trace.record(now, "reboot", format!("{node} back online"));
+                false
+            } else {
+                true
+            }
+        });
+        if burst_until.is_some_and(|t| t <= now) {
+            channel.release();
+            burst_until = None;
+            trace.record(now, "channel", "burst over");
+        }
+        if delay_until.is_some_and(|t| t <= now) {
+            delay_until = None;
+            trace.record(now, "channel", "delay window over");
+        }
+
+        // Inject every fault due this round.
+        for fault in injector.due(now) {
+            trace.count("fault.injected");
+            trace.record(now, "fault", fault.kind.label().to_string());
+            open_faults.push(round_idx);
+            match fault.kind {
+                FaultKind::NodeCrash { node, reboot_after } => {
+                    cluster.crash_node(node);
+                    if let Some(after) = reboot_after {
+                        pending_reboots.push((now + after, node));
+                    }
+                }
+                FaultKind::ChCrash => {
+                    let head = cluster.current_head(&mut rng);
+                    cluster.crash_node(head);
+                    if config.recovery {
+                        // Shadow-CH failover: no headless rounds.
+                        let new_head = cluster.fail_over(&mut rng);
+                        trace.record(now, "failover", format!("{head} -> {new_head}"));
+                    } else {
+                        // Wait out the LEACH period; re-election happens
+                        // when the outage ends.
+                        headless_rounds = headless_rounds.max(config.ch_outage_rounds);
+                    }
+                }
+                FaultKind::BurstLoss { duration } => {
+                    channel.force_bad();
+                    burst_until = Some(now + duration);
+                }
+                FaultKind::ReportDelay { duration, .. } => {
+                    delay_until = Some(now + duration);
+                }
+                FaultKind::TrustTableLoss => {
+                    cluster.lose_trust_table();
+                    if config.recovery && cluster.resync_trust_from_handoff() {
+                        trace.record(now, "resync", "trust restored from handoff");
+                    }
+                }
+            }
+        }
+
+        // Ground truth for this round.
+        let event = cluster.topology().random_event_location(&mut event_rng);
+
+        // A headless cluster (recovery off, CH crashed) decides nothing.
+        if headless_rounds > 0 {
+            headless_rounds -= 1;
+            if headless_rounds == 0 {
+                // Period rollover: elect a fresh head (not a failover —
+                // the slow path the shadows exist to avoid).
+                let new_head = cluster.fail_over(&mut rng);
+                trace.record(now, "election", format!("late re-election of {new_head}"));
+            }
+            trace.record(now, "round", "missed: cluster headless");
+            continue;
+        }
+
+        // Sensing: honest neighbors report the truth; freshly-rebooted
+        // (flaky) nodes report garbage until they stabilise.
+        let reports: Vec<LocatedReport> = cluster
+            .topology()
+            .event_neighbors(event, r_s)
+            .into_iter()
+            .map(|n| {
+                let claim = if flaky[n.index()] > 0 {
+                    Point::new(event.x + 4.0 * r_error, event.y + 4.0 * r_error)
+                } else {
+                    event
+                };
+                LocatedReport::new(n, claim)
+            })
+            .collect();
+        for f in &mut flaky {
+            *f = f.saturating_sub(1);
+        }
+
+        // Channel: ambient (or burst) loss, delay windows, retries.
+        let ch_pos = Point::new(config.field / 2.0, config.field / 2.0);
+        let mut delivered: Vec<LocatedReport> = Vec::new();
+        for report in reports {
+            let from = cluster.topology().position(report.reporter);
+            if delay_until.is_some() {
+                // Delayed past T_out. With recovery on, the CH's bounded
+                // retransmission window picks the report up late.
+                if config.recovery && config.max_retries > 0 {
+                    trace.count("retry.count");
+                    delivered.push(report);
+                }
+                continue;
+            }
+            if channel.delivers(from, ch_pos, &mut rng) {
+                delivered.push(report);
+                continue;
+            }
+            let mut ok = false;
+            if config.recovery {
+                for _ in 0..config.max_retries {
+                    trace.count("retry.count");
+                    if channel.delivers(from, ch_pos, &mut rng) {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                delivered.push(report);
+            }
+        }
+
+        let round = cluster.process_event_round(&delivered, false, &mut rng);
+        let reintegrated = cluster.tick_trust_round();
+        if !reintegrated.is_empty() {
+            trace.count_by("quarantine.reintegrated", reintegrated.len() as u64);
+            for n in &reintegrated {
+                trace.record(now, "reintegrate", format!("{n} back to full standing"));
+            }
+        }
+
+        let ok = round
+            .ruling
+            .final_conclusion
+            .location()
+            .is_some_and(|l| l.distance_to(event) <= r_error);
+        if ok {
+            correct += 1;
+            for &fault_round in &open_faults {
+                total_recovery_rounds += round_idx - fault_round;
+                recovered_faults += 1;
+            }
+            open_faults.clear();
+        }
+    }
+
+    // Faults never recovered from pay the full remaining run.
+    for &fault_round in &open_faults {
+        total_recovery_rounds += config.events - fault_round;
+        recovered_faults += 1;
+    }
+    let failovers = cluster.failover_count();
+    trace.count_by("failover.count", failovers);
+
+    let outcome = Exp5Outcome {
+        accuracy: correct as f64 / config.events as f64,
+        mean_recovery_rounds: if recovered_faults == 0 {
+            0.0
+        } else {
+            total_recovery_rounds as f64 / recovered_faults as f64
+        },
+        faults_injected: injector.injected(),
+        failovers,
+        retries: trace.counter("retry.count"),
+        reintegrated: trace.counter("quarantine.reintegrated"),
+    };
+    ChaosRun { outcome, trace }
+}
+
+/// The fault-intensity sweep.
+pub const INTENSITY_SWEEP: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Accuracy vs fault intensity, recovery on vs off.
+#[must_use]
+pub fn figure_chaos(trials: usize, base_seed: u64) -> FigureData {
+    sweep_figure(
+        trials,
+        base_seed,
+        "exp5_chaos",
+        "Extension — accuracy under infrastructure faults, recovery on vs off",
+        "accuracy",
+        |run| run.outcome.accuracy,
+    )
+}
+
+/// Time-to-recover vs fault intensity, recovery on vs off.
+#[must_use]
+pub fn figure_recovery_time(trials: usize, base_seed: u64) -> FigureData {
+    sweep_figure(
+        trials,
+        base_seed,
+        "exp5_recovery",
+        "Extension — mean rounds to recover after a fault, recovery on vs off",
+        "mean rounds to recover",
+        |run| run.outcome.mean_recovery_rounds,
+    )
+}
+
+fn sweep_figure(
+    trials: usize,
+    base_seed: u64,
+    name: &str,
+    title: &str,
+    y_label: &str,
+    metric: fn(&ChaosRun) -> f64,
+) -> FigureData {
+    let mut fig = FigureData::new(name, title, "fault intensity", y_label);
+    for recovery in [true, false] {
+        let config = Exp5Config::default_scale(recovery);
+        let label = if recovery { "recovery on" } else { "recovery off" };
+        let mut series = tibfit_sim::stats::Series::new(label);
+        let points: Vec<(f64, f64)> = crate::harness::run_parallel(
+            INTENSITY_SWEEP
+                .iter()
+                .flat_map(|&intensity| {
+                    crate::harness::trial_seeds(base_seed ^ (intensity * 100.0) as u64, trials)
+                        .into_iter()
+                        .map(move |s| (intensity, s))
+                })
+                .collect(),
+            move |(intensity, s)| {
+                let plan = FaultPlan::random(intensity, s, config.horizon(), config.n_nodes)
+                    .expect("sweep intensities are valid");
+                let run = run_exp5(&config, &plan, s);
+                (intensity, metric(&run))
+            },
+        );
+        for (x, y) in points {
+            series.record(x, y);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(recovery: bool) -> Exp5Config {
+        let mut c = Exp5Config::default_scale(recovery);
+        c.events = 120;
+        c
+    }
+
+    #[test]
+    fn fault_free_plan_is_a_clean_baseline() {
+        let config = quick_config(true);
+        let run = run_exp5(&config, &FaultPlan::none(), 7);
+        assert_eq!(run.outcome.faults_injected, 0);
+        assert_eq!(run.outcome.failovers, 0);
+        assert!(
+            run.outcome.accuracy > 0.9,
+            "fault-free accuracy {}",
+            run.outcome.accuracy
+        );
+        assert_eq!(run.trace.counter("fault.injected"), 0);
+    }
+
+    #[test]
+    fn identical_seed_and_plan_reproduce_the_trace_byte_for_byte() {
+        let config = quick_config(true);
+        let plan = FaultPlan::random(0.6, 11, config.horizon(), config.n_nodes).unwrap();
+        let a = run_exp5(&config, &plan, 11);
+        let b = run_exp5(&config, &plan, 11);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.trace.render(), b.trace.render());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let config = quick_config(true);
+        let plan = FaultPlan::random(0.6, 11, config.horizon(), config.n_nodes).unwrap();
+        let a = run_exp5(&config, &plan, 11);
+        let b = run_exp5(&config, &plan, 12);
+        assert_ne!(a.trace.render(), b.trace.render());
+    }
+
+    #[test]
+    fn recovery_counters_appear_in_trace() {
+        let config = quick_config(true);
+        let plan = FaultPlan::random(0.8, 21, config.horizon(), config.n_nodes).unwrap();
+        let run = run_exp5(&config, &plan, 21);
+        assert!(run.trace.counter("fault.injected") > 0);
+        assert_eq!(
+            run.trace.counter("fault.injected") as usize,
+            run.outcome.faults_injected
+        );
+        assert!(run.trace.counter("retry.count") > 0, "no retries fired");
+        let rendered = run.trace.render();
+        assert!(rendered.contains("fault:"), "faults missing from trace");
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery_under_heavy_faults() {
+        let on = quick_config(true);
+        let off = quick_config(false);
+        let mut acc_on = 0.0;
+        let mut acc_off = 0.0;
+        let trials = 3;
+        for seed in crate::harness::trial_seeds(31, trials) {
+            let plan = FaultPlan::random(0.8, seed, on.horizon(), on.n_nodes).unwrap();
+            acc_on += run_exp5(&on, &plan, seed).outcome.accuracy;
+            acc_off += run_exp5(&off, &plan, seed).outcome.accuracy;
+        }
+        assert!(
+            acc_on > acc_off,
+            "recovery on {acc_on} should beat off {acc_off}"
+        );
+    }
+
+    #[test]
+    fn ch_crash_failover_stays_within_5pct_of_fault_free() {
+        // The acceptance bar: a CH crash handled by shadow failover
+        // costs less than five accuracy points against a no-fault run.
+        let config = quick_config(true);
+        let baseline = run_exp5(&config, &FaultPlan::none(), 17);
+        let crash_plan = FaultPlan::from_faults(vec![
+            tibfit_faults::ScheduledFault {
+                at: SimTime::from_ticks(3_000),
+                kind: FaultKind::ChCrash,
+            },
+            tibfit_faults::ScheduledFault {
+                at: SimTime::from_ticks(7_000),
+                kind: FaultKind::ChCrash,
+            },
+        ])
+        .unwrap();
+        let crashed = run_exp5(&config, &crash_plan, 17);
+        assert_eq!(crashed.outcome.failovers, 2);
+        assert!(
+            baseline.outcome.accuracy - crashed.outcome.accuracy < 0.05,
+            "failover lost too much: {} vs {}",
+            baseline.outcome.accuracy,
+            crashed.outcome.accuracy
+        );
+    }
+
+    #[test]
+    fn figures_cover_the_sweep() {
+        let fig = figure_chaos(1, 3);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.len(), INTENSITY_SWEEP.len());
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Multi-trial, multi-point sweep machinery.
 //!
 //! Experiments are embarrassingly parallel across sweep points and trials;
-//! [`run_parallel`] fans work out over threads (scoped, via crossbeam) and
-//! returns results in input order so output stays deterministic.
+//! [`run_parallel`] fans work out over scoped threads and returns results
+//! in input order so output stays deterministic.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -56,9 +56,9 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -72,8 +72,7 @@ where
                 *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_iter()

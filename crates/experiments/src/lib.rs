@@ -31,6 +31,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4_shadow;
+pub mod exp5_chaos;
 pub mod harness;
 pub mod multicluster;
 pub mod network;

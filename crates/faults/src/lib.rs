@@ -1,0 +1,454 @@
+//! Deterministic fault injection for TIBFIT simulations.
+//!
+//! The paper evaluates TIBFIT against *data* faults (nodes that lie);
+//! this crate adds the *infrastructure* faults any deployed sensor
+//! network also faces: node crashes and reboots, a cluster head dying
+//! mid-round, bursty channel loss, reports delayed past the decision
+//! window, and trust-table loss at a LEACH handoff.
+//!
+//! Everything is seed-reproducible. A [`FaultPlan`] is an immutable,
+//! time-sorted schedule of [`ScheduledFault`]s — either hand-built or
+//! generated from `(intensity, seed)` via [`FaultPlan::random`] — and a
+//! [`FaultInjector`] walks the plan against the simulation clock,
+//! handing due faults to the driver exactly once. Same seed + same plan
+//! therefore yields a byte-identical run, which is what lets the chaos
+//! experiment assert recovery properties instead of eyeballing them.
+
+use std::fmt;
+
+use tibfit_net::topology::NodeId;
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::{Duration, SimTime};
+
+/// One kind of infrastructure fault the injector can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A member node silently halts; if `reboot_after` is set it comes
+    /// back (with empty local state) after that long.
+    NodeCrash {
+        node: NodeId,
+        reboot_after: Option<Duration>,
+    },
+    /// The current cluster head halts mid-round; recovery is shadow-CH
+    /// failover through base-station adjudication.
+    ChCrash,
+    /// The channel enters a loss burst (Gilbert–Elliott bad state) for
+    /// `duration` ticks; recovery is bounded report retransmission.
+    BurstLoss { duration: Duration },
+    /// Reports are delayed by `extra` ticks for `duration` ticks —
+    /// enough to push them past the `T_out` decision window.
+    ReportDelay { extra: Duration, duration: Duration },
+    /// The trust table is lost at the next CH handoff; recovery is
+    /// re-synchronisation from the last `TrustHandoff` snapshot.
+    TrustTableLoss,
+}
+
+impl FaultKind {
+    /// Stable short label used in traces and CSV output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::ChCrash => "ch_crash",
+            FaultKind::BurstLoss { .. } => "burst_loss",
+            FaultKind::ReportDelay { .. } => "report_delay",
+            FaultKind::TrustTableLoss => "trust_table_loss",
+        }
+    }
+}
+
+/// A fault pinned to a simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Why a [`FaultPlan`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// `intensity` must be a finite value in `[0, 1]`.
+    InvalidIntensity(f64),
+    /// A generated plan needs at least one node to target.
+    EmptyPopulation,
+    /// A fault duration of zero ticks would be a no-op.
+    ZeroDuration { index: usize },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvalidIntensity(x) => {
+                write!(f, "fault intensity must be finite in [0, 1], got {x}")
+            }
+            FaultPlanError::EmptyPopulation => {
+                write!(f, "cannot generate faults for an empty node population")
+            }
+            FaultPlanError::ZeroDuration { index } => {
+                write!(f, "fault #{index} has a zero-tick duration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// An immutable, time-sorted schedule of faults.
+///
+/// ```rust
+/// use tibfit_faults::{FaultKind, FaultPlan, ScheduledFault};
+/// use tibfit_sim::{Duration, SimTime};
+///
+/// let plan = FaultPlan::from_faults(vec![
+///     ScheduledFault { at: SimTime::from_ticks(500), kind: FaultKind::ChCrash },
+///     ScheduledFault {
+///         at: SimTime::from_ticks(200),
+///         kind: FaultKind::BurstLoss { duration: Duration::from_ticks(100) },
+///     },
+/// ]).unwrap();
+/// // Always sorted by time regardless of insertion order.
+/// assert_eq!(plan.faults()[0].at, SimTime::from_ticks(200));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a fault-free control run).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// Builds a plan from explicit faults, sorting by time and
+    /// validating durations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::ZeroDuration`] if any burst/delay
+    /// fault has a zero-tick duration.
+    pub fn from_faults(mut faults: Vec<ScheduledFault>) -> Result<Self, FaultPlanError> {
+        for (index, fault) in faults.iter().enumerate() {
+            let zero = match fault.kind {
+                FaultKind::BurstLoss { duration } => duration == Duration::ZERO,
+                FaultKind::ReportDelay { duration, .. } => duration == Duration::ZERO,
+                _ => false,
+            };
+            if zero {
+                return Err(FaultPlanError::ZeroDuration { index });
+            }
+        }
+        // Stable sort keeps same-tick faults in insertion order, so a
+        // plan's firing order is fully determined by its construction.
+        faults.sort_by_key(|f| f.at);
+        Ok(FaultPlan { faults })
+    }
+
+    /// Generates a seed-reproducible plan over `[0, horizon)`.
+    ///
+    /// `intensity` in `[0, 1]` scales the number of faults from zero up
+    /// to roughly one fault per `BASE_INTERVAL` ticks; the mix of kinds
+    /// is drawn uniformly. The same `(intensity, seed, horizon,
+    /// n_nodes)` quadruple always yields the identical plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::InvalidIntensity`] for non-finite or
+    /// out-of-range intensities and [`FaultPlanError::EmptyPopulation`]
+    /// when `n_nodes == 0`.
+    pub fn random(
+        intensity: f64,
+        seed: u64,
+        horizon: SimTime,
+        n_nodes: usize,
+    ) -> Result<Self, FaultPlanError> {
+        if !intensity.is_finite() || !(0.0..=1.0).contains(&intensity) {
+            return Err(FaultPlanError::InvalidIntensity(intensity));
+        }
+        if n_nodes == 0 {
+            return Err(FaultPlanError::EmptyPopulation);
+        }
+        /// Densest schedule: one fault per this many ticks at intensity 1.
+        const BASE_INTERVAL: u64 = 500;
+        let horizon_ticks = horizon.ticks();
+        let max_faults = (horizon_ticks / BASE_INTERVAL).max(1);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        let count = (intensity * max_faults as f64).round() as u64;
+
+        let mut rng = SimRng::seed_from(seed ^ 0xFA01_7A11);
+        let mut faults = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let at = SimTime::from_ticks(rng.next_u64() % horizon_ticks.max(1));
+            let kind = match rng.uniform_usize(5) {
+                0 => FaultKind::NodeCrash {
+                    node: NodeId(rng.uniform_usize(n_nodes)),
+                    reboot_after: if rng.chance(0.5) {
+                        Some(Duration::from_ticks(200 + rng.next_u64() % 800))
+                    } else {
+                        None
+                    },
+                },
+                1 => FaultKind::ChCrash,
+                2 => FaultKind::BurstLoss {
+                    duration: Duration::from_ticks(50 + rng.next_u64() % 450),
+                },
+                3 => FaultKind::ReportDelay {
+                    extra: Duration::from_ticks(50 + rng.next_u64() % 200),
+                    duration: Duration::from_ticks(100 + rng.next_u64() % 400),
+                },
+                _ => FaultKind::TrustTableLoss,
+            };
+            faults.push(ScheduledFault { at, kind });
+        }
+        Self::from_faults(faults)
+    }
+
+    /// The schedule, sorted by firing time.
+    #[must_use]
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A cheap structural fingerprint (FNV-1a over the encoded plan);
+    /// equal plans hash equal, so replay tests can compare plans
+    /// without serialising them.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for fault in &self.faults {
+            mix(fault.at.ticks());
+            match fault.kind {
+                FaultKind::NodeCrash { node, reboot_after } => {
+                    mix(1);
+                    mix(node.0 as u64);
+                    mix(reboot_after.map_or(u64::MAX, Duration::ticks));
+                }
+                FaultKind::ChCrash => mix(2),
+                FaultKind::BurstLoss { duration } => {
+                    mix(3);
+                    mix(duration.ticks());
+                }
+                FaultKind::ReportDelay { extra, duration } => {
+                    mix(4);
+                    mix(extra.ticks());
+                    mix(duration.ticks());
+                }
+                FaultKind::TrustTableLoss => mix(5),
+            }
+        }
+        h
+    }
+}
+
+/// Walks a [`FaultPlan`] against the simulation clock.
+///
+/// The driver calls [`FaultInjector::due`] each time it advances the
+/// clock; every fault is handed out exactly once, in time order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cursor: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector positioned at the start of `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, cursor: 0 }
+    }
+
+    /// All not-yet-fired faults with `at <= now`, advancing the cursor
+    /// past them.
+    pub fn due(&mut self, now: SimTime) -> Vec<ScheduledFault> {
+        let start = self.cursor;
+        while self.cursor < self.plan.faults.len() && self.plan.faults[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.plan.faults[start..self.cursor].to_vec()
+    }
+
+    /// When the next fault fires, if any remain.
+    #[must_use]
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.plan.faults.get(self.cursor).map(|f| f.at)
+    }
+
+    /// How many faults have been handed out so far.
+    #[must_use]
+    pub fn injected(&self) -> usize {
+        self.cursor
+    }
+
+    /// How many faults remain.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.plan.faults.len() - self.cursor
+    }
+
+    /// The underlying plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn plan_sorts_by_time() {
+        let plan = FaultPlan::from_faults(vec![
+            ScheduledFault {
+                at: t(300),
+                kind: FaultKind::ChCrash,
+            },
+            ScheduledFault {
+                at: t(100),
+                kind: FaultKind::TrustTableLoss,
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.faults()[0].at, t(100));
+        assert_eq!(plan.faults()[1].at, t(300));
+    }
+
+    #[test]
+    fn plan_rejects_zero_duration_burst() {
+        let err = FaultPlan::from_faults(vec![ScheduledFault {
+            at: t(10),
+            kind: FaultKind::BurstLoss {
+                duration: Duration::ZERO,
+            },
+        }])
+        .unwrap_err();
+        assert_eq!(err, FaultPlanError::ZeroDuration { index: 0 });
+    }
+
+    #[test]
+    fn random_plan_is_reproducible() {
+        let a = FaultPlan::random(0.5, 42, t(10_000), 16).unwrap();
+        let b = FaultPlan::random(0.5, 42, t(10_000), 16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn random_plans_differ_across_seeds() {
+        let a = FaultPlan::random(0.5, 1, t(10_000), 16).unwrap();
+        let b = FaultPlan::random(0.5, 2, t(10_000), 16).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn random_intensity_scales_count() {
+        let low = FaultPlan::random(0.1, 7, t(50_000), 16).unwrap();
+        let high = FaultPlan::random(0.9, 7, t(50_000), 16).unwrap();
+        assert!(low.len() < high.len());
+        let zero = FaultPlan::random(0.0, 7, t(50_000), 16).unwrap();
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn random_rejects_bad_inputs() {
+        assert!(matches!(
+            FaultPlan::random(f64::NAN, 0, t(100), 4),
+            Err(FaultPlanError::InvalidIntensity(_))
+        ));
+        assert!(matches!(
+            FaultPlan::random(1.5, 0, t(100), 4),
+            Err(FaultPlanError::InvalidIntensity(_))
+        ));
+        assert!(matches!(
+            FaultPlan::random(0.5, 0, t(100), 0),
+            Err(FaultPlanError::EmptyPopulation)
+        ));
+    }
+
+    #[test]
+    fn random_faults_fit_horizon() {
+        let plan = FaultPlan::random(1.0, 9, t(5_000), 8).unwrap();
+        assert!(!plan.is_empty());
+        for fault in plan.faults() {
+            assert!(fault.at < t(5_000));
+            if let FaultKind::NodeCrash { node, .. } = fault.kind {
+                assert!(node.0 < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn injector_hands_out_each_fault_once() {
+        let plan = FaultPlan::from_faults(vec![
+            ScheduledFault {
+                at: t(10),
+                kind: FaultKind::ChCrash,
+            },
+            ScheduledFault {
+                at: t(20),
+                kind: FaultKind::TrustTableLoss,
+            },
+            ScheduledFault {
+                at: t(20),
+                kind: FaultKind::ChCrash,
+            },
+            ScheduledFault {
+                at: t(30),
+                kind: FaultKind::ChCrash,
+            },
+        ])
+        .unwrap();
+        let mut injector = FaultInjector::new(plan);
+        assert_eq!(injector.next_at(), Some(t(10)));
+        assert_eq!(injector.due(t(5)).len(), 0);
+        assert_eq!(injector.due(t(10)).len(), 1);
+        assert_eq!(injector.due(t(10)).len(), 0, "no double delivery");
+        let batch = injector.due(t(25));
+        assert_eq!(batch.len(), 2, "same-tick faults arrive together");
+        assert_eq!(injector.injected(), 3);
+        assert_eq!(injector.pending(), 1);
+        assert_eq!(injector.due(t(1_000)).len(), 1);
+        assert_eq!(injector.next_at(), None);
+        assert_eq!(injector.pending(), 0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_kinds() {
+        let a = FaultPlan::from_faults(vec![ScheduledFault {
+            at: t(10),
+            kind: FaultKind::ChCrash,
+        }])
+        .unwrap();
+        let b = FaultPlan::from_faults(vec![ScheduledFault {
+            at: t(10),
+            kind: FaultKind::TrustTableLoss,
+        }])
+        .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

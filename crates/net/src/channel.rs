@@ -5,8 +5,44 @@
 //! reproduction the channel is an explicit loss model so the drop rate is a
 //! controlled parameter rather than an emergent artifact.
 
+use std::cell::Cell;
+use std::fmt;
+
 use crate::geometry::Point;
 use tibfit_sim::rng::SimRng;
+
+/// Why a channel model rejected its configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A probability parameter was NaN or outside `[0, 1]`.
+    InvalidProbability {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be in [0,1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+fn check_probability(name: &'static str, value: f64) -> Result<f64, ChannelError> {
+    // NaN fails the range test too, but check it explicitly so the
+    // rejection of a poisoned config is a contract, not a side effect.
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        return Err(ChannelError::InvalidProbability { name, value });
+    }
+    Ok(value)
+}
 
 /// Decides whether a single transmission from `from` to `to` is delivered.
 ///
@@ -53,14 +89,26 @@ impl BernoulliLoss {
     ///
     /// # Panics
     ///
-    /// Panics if the probability is outside `[0, 1]`.
+    /// Panics if the probability is NaN or outside `[0, 1]`; use
+    /// [`BernoulliLoss::try_new`] to handle the error instead.
     #[must_use]
     pub fn new(loss_probability: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&loss_probability),
-            "loss probability must be in [0,1], got {loss_probability}"
-        );
-        BernoulliLoss { loss_probability }
+        match Self::try_new(loss_probability) {
+            Ok(ch) => ch,
+            Err(e) => panic!("loss probability must be in [0,1], got {loss_probability}: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects NaN and out-of-range probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] unless
+    /// `loss_probability` is a finite value in `[0, 1]`.
+    pub fn try_new(loss_probability: f64) -> Result<Self, ChannelError> {
+        Ok(BernoulliLoss {
+            loss_probability: check_probability("loss probability", loss_probability)?,
+        })
     }
 
     /// The configured loss probability.
@@ -124,6 +172,144 @@ impl DistanceLoss {
 impl ChannelModel for DistanceLoss {
     fn delivers(&self, from: Point, to: Point, rng: &mut SimRng) -> bool {
         !rng.chance(self.loss_at(from.distance_to(to)))
+    }
+}
+
+/// A two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel alternates between a *good* state (low loss) and a *bad*
+/// state (high loss) via a per-packet Markov chain: from good it moves
+/// to bad with probability `p_gb`, from bad back to good with `p_bg`.
+/// Mean burst length is `1/p_bg` packets, so small `p_bg` yields long
+/// loss bursts — the failure mode a memoryless [`BernoulliLoss`] cannot
+/// produce at equal average loss.
+///
+/// The fault injector can also pin the channel in the bad state
+/// ([`GilbertElliott::force_bad`]) to model an externally scheduled
+/// interference window, and release it afterwards
+/// ([`GilbertElliott::release`]).
+///
+/// ```rust
+/// use tibfit_net::channel::{ChannelModel, GilbertElliott};
+/// use tibfit_net::geometry::Point;
+/// use tibfit_sim::rng::SimRng;
+///
+/// let ch = GilbertElliott::new(0.05, 0.2, 0.005, 0.7);
+/// let mut rng = SimRng::seed_from(3);
+/// // Loss clusters into bursts, but the long-run average sits between
+/// // the two per-state rates.
+/// let delivered = (0..10_000)
+///     .filter(|_| ch.delivers(Point::ORIGIN, Point::ORIGIN, &mut rng))
+///     .count();
+/// assert!(delivered > 7_000 && delivered < 9_990);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    /// Current Markov state; interior-mutable because `delivers` takes
+    /// `&self` (the state is channel weather, not caller state).
+    bad: Cell<bool>,
+    /// When set, the chain is pinned in the bad state.
+    forced: Cell<bool>,
+}
+
+impl GilbertElliott {
+    /// Creates a burst-loss channel starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is NaN or outside `[0, 1]`; use
+    /// [`GilbertElliott::try_new`] to handle the error instead.
+    #[must_use]
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        match Self::try_new(p_gb, p_bg, loss_good, loss_bad) {
+            Ok(ch) => ch,
+            Err(e) => panic!("invalid Gilbert-Elliott parameters: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects NaN and out-of-range probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] for the first
+    /// parameter that is NaN or outside `[0, 1]`.
+    pub fn try_new(
+        p_gb: f64,
+        p_bg: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Result<Self, ChannelError> {
+        Ok(GilbertElliott {
+            p_gb: check_probability("p_gb", p_gb)?,
+            p_bg: check_probability("p_bg", p_bg)?,
+            loss_good: check_probability("loss_good", loss_good)?,
+            loss_bad: check_probability("loss_bad", loss_bad)?,
+            bad: Cell::new(false),
+            forced: Cell::new(false),
+        })
+    }
+
+    /// The paper-scale ambient configuration: rare short bursts on top
+    /// of the "<1%" ns-2 background loss.
+    #[must_use]
+    pub fn paper_ambient() -> Self {
+        GilbertElliott::new(0.01, 0.25, 0.005, 0.6)
+    }
+
+    /// Pins the channel in the bad state until [`GilbertElliott::release`].
+    pub fn force_bad(&self) {
+        self.forced.set(true);
+        self.bad.set(true);
+    }
+
+    /// Lifts a [`GilbertElliott::force_bad`] pin; the Markov chain
+    /// resumes from the bad state.
+    pub fn release(&self) {
+        self.forced.set(false);
+    }
+
+    /// Whether the channel is currently in the bad (bursty) state.
+    #[must_use]
+    pub fn is_bad(&self) -> bool {
+        self.bad.get()
+    }
+
+    /// Long-run average loss probability of the unforced chain
+    /// (stationary distribution of the two-state Markov chain).
+    #[must_use]
+    pub fn stationary_loss(&self) -> f64 {
+        if self.p_gb == 0.0 && self.p_bg == 0.0 {
+            return self.loss_good;
+        }
+        let pi_bad = self.p_gb / (self.p_gb + self.p_bg);
+        pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+    }
+}
+
+impl ChannelModel for GilbertElliott {
+    fn delivers(&self, _from: Point, _to: Point, rng: &mut SimRng) -> bool {
+        if !self.forced.get() {
+            // Evolve the weather first, then draw the loss — so a
+            // freshly entered burst already affects this packet.
+            let flip = if self.bad.get() {
+                rng.chance(self.p_bg)
+            } else {
+                rng.chance(self.p_gb)
+            };
+            if flip {
+                self.bad.set(!self.bad.get());
+            }
+        }
+        let loss = if self.bad.get() {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        !rng.chance(loss)
     }
 }
 
@@ -213,10 +399,98 @@ mod tests {
             Box::new(Perfect),
             Box::new(BernoulliLoss::new(0.1)),
             Box::new(DistanceLoss::new(1.0, 2.0)),
+            Box::new(GilbertElliott::paper_ambient()),
         ];
         let mut rng = SimRng::seed_from(0);
         for m in &models {
             let _ = m.delivers(p(0.0, 0.0), p(0.5, 0.5), &mut rng);
         }
+    }
+
+    #[test]
+    fn bernoulli_try_new_rejects_nan_and_range() {
+        assert!(matches!(
+            BernoulliLoss::try_new(f64::NAN),
+            Err(ChannelError::InvalidProbability { .. })
+        ));
+        assert!(BernoulliLoss::try_new(-0.1).is_err());
+        assert!(BernoulliLoss::try_new(1.1).is_err());
+        assert!(BernoulliLoss::try_new(0.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bernoulli_new_rejects_nan() {
+        let _ = BernoulliLoss::new(f64::NAN);
+    }
+
+    #[test]
+    fn gilbert_elliott_validates_all_probabilities() {
+        assert!(GilbertElliott::try_new(0.1, 0.2, 0.0, 1.0).is_ok());
+        for bad in [
+            (f64::NAN, 0.2, 0.0, 1.0),
+            (0.1, 1.5, 0.0, 1.0),
+            (0.1, 0.2, -0.1, 1.0),
+            (0.1, 0.2, 0.0, f64::INFINITY),
+        ] {
+            assert!(
+                GilbertElliott::try_new(bad.0, bad.1, bad.2, bad.3).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_rate_near_stationary() {
+        let ch = GilbertElliott::new(0.05, 0.2, 0.0, 1.0);
+        let mut rng = SimRng::seed_from(11);
+        let n = 200_000;
+        let dropped = (0..n)
+            .filter(|_| !ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng))
+            .count() as f64;
+        let expected = ch.stationary_loss();
+        assert!(
+            (dropped / n as f64 - expected).abs() < 0.01,
+            "rate {} vs stationary {expected}",
+            dropped / n as f64
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // With loss_good = 0 and loss_bad = 1, every drop run is exactly
+        // one bad-state excursion: mean run length ≈ 1/p_bg, far above
+        // the ≈1.0 a memoryless channel would produce at equal rate.
+        let ch = GilbertElliott::new(0.02, 0.1, 0.0, 1.0);
+        let mut rng = SimRng::seed_from(5);
+        let mut runs = Vec::new();
+        let mut current = 0u64;
+        for _ in 0..200_000 {
+            if ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng) {
+                if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        let mean_run = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
+        assert!(mean_run > 5.0, "mean drop-run {mean_run} not bursty");
+    }
+
+    #[test]
+    fn gilbert_elliott_force_bad_pins_the_chain() {
+        let ch = GilbertElliott::new(0.0, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::seed_from(9);
+        // Unforced with p_gb = 0: never leaves the good state.
+        assert!((0..100).all(|_| ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng)));
+        ch.force_bad();
+        assert!(ch.is_bad());
+        assert!((0..100).all(|_| !ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng)));
+        ch.release();
+        // p_bg = 1: the chain recovers on the next packet.
+        let _ = ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng);
+        assert!(!ch.is_bad());
     }
 }

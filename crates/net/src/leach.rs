@@ -12,10 +12,63 @@
 //!    neighbors of the elected head mirror its computation and can dispute
 //!    a faulty head's conclusion.
 
+use std::fmt;
+
 use crate::energy::EnergyBudget;
 use crate::geometry::Point;
 use crate::topology::{NodeId, Topology};
 use tibfit_sim::rng::SimRng;
+
+/// Why an election could not be constructed or run.
+///
+/// Elections sit on the recovery path of an injected cluster-head
+/// crash, so misconfiguration must surface as a recoverable protocol
+/// event rather than a process abort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LeachError {
+    /// A cluster needs at least one node.
+    EmptyCluster,
+    /// `head_fraction` must lie in `(0, 1]`.
+    InvalidHeadFraction(f64),
+    /// `ti_threshold` must lie in `[0, 1]`.
+    InvalidTiThreshold(f64),
+    /// The energy table does not cover the cluster.
+    EnergyTableSizeMismatch {
+        /// Cluster size fixed at construction.
+        expected: usize,
+        /// Entries supplied to the round.
+        got: usize,
+    },
+    /// The topology does not cover the cluster.
+    TopologySizeMismatch {
+        /// Cluster size fixed at construction.
+        expected: usize,
+        /// Nodes in the supplied topology.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LeachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeachError::EmptyCluster => write!(f, "a cluster needs at least one node"),
+            LeachError::InvalidHeadFraction(x) => {
+                write!(f, "head_fraction must be in (0, 1], got {x}")
+            }
+            LeachError::InvalidTiThreshold(x) => {
+                write!(f, "ti_threshold must be in [0, 1], got {x}")
+            }
+            LeachError::EnergyTableSizeMismatch { expected, got } => {
+                write!(f, "energy table size mismatch: expected {expected}, got {got}")
+            }
+            LeachError::TopologySizeMismatch { expected, got } => {
+                write!(f, "topology size mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeachError {}
 
 /// Tunables for the election.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,24 +148,41 @@ impl Election {
     /// # Panics
     ///
     /// Panics if `n == 0`, `head_fraction` is outside `(0, 1]`, or
-    /// `ti_threshold` is outside `[0, 1]`.
+    /// `ti_threshold` is outside `[0, 1]`. Use [`Election::try_new`] to
+    /// handle those cases as values.
     #[must_use]
     pub fn new(config: LeachConfig, n: usize) -> Self {
-        assert!(n > 0, "a cluster needs at least one node");
-        assert!(
-            config.head_fraction > 0.0 && config.head_fraction <= 1.0,
-            "head_fraction must be in (0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&config.ti_threshold),
-            "ti_threshold must be in [0, 1]"
-        );
-        Election {
+        match Election::try_new(config, n) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects empty clusters and out-of-range
+    /// config instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeachError::EmptyCluster`] if `n == 0`,
+    /// [`LeachError::InvalidHeadFraction`] if `head_fraction` is NaN or
+    /// outside `(0, 1]`, and [`LeachError::InvalidTiThreshold`] if
+    /// `ti_threshold` is NaN or outside `[0, 1]`.
+    pub fn try_new(config: LeachConfig, n: usize) -> Result<Self, LeachError> {
+        if n == 0 {
+            return Err(LeachError::EmptyCluster);
+        }
+        if !(config.head_fraction > 0.0 && config.head_fraction <= 1.0) {
+            return Err(LeachError::InvalidHeadFraction(config.head_fraction));
+        }
+        if !(0.0..=1.0).contains(&config.ti_threshold) {
+            return Err(LeachError::InvalidTiThreshold(config.ti_threshold));
+        }
+        Ok(Election {
             config,
             round: 0,
             last_led: vec![None; n],
             times_led: vec![0; n],
-        }
+        })
     }
 
     /// The current round number (increments on every
@@ -165,7 +235,8 @@ impl Election {
     /// # Panics
     ///
     /// Panics if `energies.len()` does not match the cluster size used at
-    /// construction or the topology size differs.
+    /// construction or the topology size differs. Use
+    /// [`Election::try_run_round`] to handle those cases as values.
     pub fn run_round(
         &mut self,
         topo: &Topology,
@@ -173,12 +244,40 @@ impl Election {
         trust_of: impl Fn(NodeId) -> f64,
         rng: &mut SimRng,
     ) -> RoundOutcome {
-        assert_eq!(
-            energies.len(),
-            self.last_led.len(),
-            "energy table size mismatch"
-        );
-        assert_eq!(topo.len(), self.last_led.len(), "topology size mismatch");
+        match self.try_run_round(topo, energies, trust_of, rng) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible election round: surfaces mismatched inputs as a
+    /// [`LeachError`] so a failover election run against a stale view of
+    /// the cluster degrades gracefully instead of aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeachError::EnergyTableSizeMismatch`] or
+    /// [`LeachError::TopologySizeMismatch`] when the supplied tables do
+    /// not cover the cluster size fixed at construction.
+    pub fn try_run_round(
+        &mut self,
+        topo: &Topology,
+        energies: &[EnergyBudget],
+        trust_of: impl Fn(NodeId) -> f64,
+        rng: &mut SimRng,
+    ) -> Result<RoundOutcome, LeachError> {
+        if energies.len() != self.last_led.len() {
+            return Err(LeachError::EnergyTableSizeMismatch {
+                expected: self.last_led.len(),
+                got: energies.len(),
+            });
+        }
+        if topo.len() != self.last_led.len() {
+            return Err(LeachError::TopologySizeMismatch {
+                expected: self.last_led.len(),
+                got: topo.len(),
+            });
+        }
 
         let mut candidates: Vec<usize> = Vec::new();
         let mut vetoed: Vec<NodeId> = Vec::new();
@@ -200,16 +299,11 @@ impl Election {
 
         let head = if let Some(&best) = candidates.iter().max_by(|&&a, &&b| {
             // Among volunteers, highest trust wins; energy breaks ties.
-            let ta = trust_of(NodeId(a));
-            let tb = trust_of(NodeId(b));
-            ta.partial_cmp(&tb)
-                .expect("trust is finite")
-                .then_with(|| {
-                    energies[a]
-                        .residual()
-                        .partial_cmp(&energies[b].residual())
-                        .expect("energy is finite")
-                })
+            // total_cmp keeps the ordering defined even if a corrupted
+            // trust table hands us a NaN mid-fault.
+            trust_of(NodeId(a))
+                .total_cmp(&trust_of(NodeId(b)))
+                .then_with(|| energies[a].residual().total_cmp(&energies[b].residual()))
                 .then_with(|| b.cmp(&a)) // lower id wins final ties
         }) {
             best
@@ -223,12 +317,12 @@ impl Election {
         self.round += 1;
 
         let shadows = self.pick_shadows(topo, NodeId(head), &trust_of);
-        RoundOutcome {
+        Ok(RoundOutcome {
             head: NodeId(head),
             shadows,
             round,
             vetoed,
-        }
+        })
     }
 
     /// Deterministic fallback when nobody volunteers. Prefers nodes that are
@@ -249,25 +343,23 @@ impl Election {
             &|i| energies[i].is_alive() && trust_of(NodeId(i)) >= self.config.ti_threshold,
             &|_| true,
         ];
+        // The final tier accepts every node, so the pool is never empty
+        // (n > 0 is a construction invariant); fall through to node 0
+        // rather than keeping a panic on the recovery path.
         let pool: Vec<usize> = tiers
             .iter()
             .map(|pred| (0..n).filter(|&i| pred(i)).collect::<Vec<_>>())
             .find(|p| !p.is_empty())
-            .expect("final tier accepts every node");
+            .unwrap_or_default();
         pool.into_iter()
             .max_by(|&a, &b| {
-                let ea = energies[a].residual();
-                let eb = energies[b].residual();
-                ea.partial_cmp(&eb)
-                    .expect("energy is finite")
-                    .then_with(|| {
-                        trust_of(NodeId(a))
-                            .partial_cmp(&trust_of(NodeId(b)))
-                            .expect("trust is finite")
-                    })
+                energies[a]
+                    .residual()
+                    .total_cmp(&energies[b].residual())
+                    .then_with(|| trust_of(NodeId(a)).total_cmp(&trust_of(NodeId(b))))
                     .then_with(|| b.cmp(&a))
             })
-            .expect("cluster is non-empty")
+            .unwrap_or(0)
     }
 
     /// Shadow cluster heads: the `shadow_count` highest-trust nodes within
@@ -286,12 +378,7 @@ impl Election {
             })
             .map(|(id, _)| id)
             .collect();
-        neighbors.sort_by(|&a, &b| {
-            trust_of(b)
-                .partial_cmp(&trust_of(a))
-                .expect("trust is finite")
-                .then_with(|| a.cmp(&b))
-        });
+        neighbors.sort_by(|&a, &b| trust_of(b).total_cmp(&trust_of(a)).then_with(|| a.cmp(&b)));
         neighbors.truncate(self.config.shadow_count);
         neighbors
     }
@@ -468,5 +555,113 @@ mod tests {
         let energies = full_energy(2);
         let mut rng = SimRng::seed_from(0);
         e.run_round(&topo, &energies, |_| 1.0, &mut rng);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_inputs() {
+        assert_eq!(
+            Election::try_new(LeachConfig::paper(), 0).unwrap_err(),
+            LeachError::EmptyCluster
+        );
+        let bad_fraction = LeachConfig {
+            head_fraction: 0.0,
+            ..LeachConfig::paper()
+        };
+        assert_eq!(
+            Election::try_new(bad_fraction, 5).unwrap_err(),
+            LeachError::InvalidHeadFraction(0.0)
+        );
+        let nan_fraction = LeachConfig {
+            head_fraction: f64::NAN,
+            ..LeachConfig::paper()
+        };
+        assert!(matches!(
+            Election::try_new(nan_fraction, 5).unwrap_err(),
+            LeachError::InvalidHeadFraction(_)
+        ));
+        let bad_threshold = LeachConfig {
+            ti_threshold: 1.5,
+            ..LeachConfig::paper()
+        };
+        assert_eq!(
+            Election::try_new(bad_threshold, 5).unwrap_err(),
+            LeachError::InvalidTiThreshold(1.5)
+        );
+        assert!(Election::try_new(LeachConfig::paper(), 5).is_ok());
+    }
+
+    #[test]
+    fn try_run_round_surfaces_mismatches_as_values() {
+        let topo = Topology::single_cluster(3, 5.0);
+        let mut e = Election::try_new(LeachConfig::paper(), 3).unwrap();
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(
+            e.try_run_round(&topo, &full_energy(2), |_| 1.0, &mut rng)
+                .unwrap_err(),
+            LeachError::EnergyTableSizeMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        let small_topo = Topology::single_cluster(2, 5.0);
+        assert_eq!(
+            e.try_run_round(&small_topo, &full_energy(3), |_| 1.0, &mut rng)
+                .unwrap_err(),
+            LeachError::TopologySizeMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        // The failed attempts must not have advanced the round counter.
+        assert_eq!(e.round(), 0);
+        assert!(e.try_run_round(&topo, &full_energy(3), |_| 1.0, &mut rng).is_ok());
+        assert_eq!(e.round(), 1);
+    }
+
+    #[test]
+    fn nan_trust_does_not_abort_election() {
+        // A corrupted trust table (injected trust-table-loss fault) must
+        // not crash the election; NaN orders below real values under
+        // total_cmp so poisoned nodes simply lose.
+        let topo = Topology::single_cluster(6, 5.0);
+        let mut e = Election::new(
+            LeachConfig {
+                head_fraction: 1.0,
+                ti_threshold: 0.0,
+                ..LeachConfig::paper()
+            },
+            6,
+        );
+        let energies = full_energy(6);
+        let mut rng = SimRng::seed_from(13);
+        let trust = |n: NodeId| {
+            if n.index().is_multiple_of(2) {
+                f64::NAN
+            } else {
+                0.9
+            }
+        };
+        for _ in 0..10 {
+            let out = e.run_round(&topo, &energies, trust, &mut rng);
+            assert!(out.head.index() < 6);
+            assert_eq!(out.shadows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn leach_error_messages_are_descriptive() {
+        assert_eq!(
+            LeachError::EmptyCluster.to_string(),
+            "a cluster needs at least one node"
+        );
+        assert!(LeachError::InvalidHeadFraction(2.0)
+            .to_string()
+            .contains("(0, 1]"));
+        assert!(LeachError::EnergyTableSizeMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("size mismatch"));
     }
 }

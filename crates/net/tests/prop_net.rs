@@ -1,134 +1,182 @@
-//! Property-based tests for the network substrate.
+//! Property-style tests for the network substrate.
+//!
+//! Random cases are generated with the crate's own seeded [`SimRng`],
+//! so every run checks the identical case set.
 
-use proptest::prelude::*;
 use tibfit_net::channel::{BernoulliLoss, ChannelModel, DistanceLoss, Perfect};
 use tibfit_net::geometry::{Point, Polar};
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y)| Point::new(x, y))
+fn case_seeds(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| 0x0E70_0000u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
-proptest! {
-    /// (r, θ) encoding round-trips to within float tolerance.
-    #[test]
-    fn polar_round_trip(origin in arb_point(), target in arb_point()) {
+fn random_point(rng: &mut SimRng) -> Point {
+    Point::new(rng.uniform_range(-1e3, 1e3), rng.uniform_range(-1e3, 1e3))
+}
+
+/// (r, θ) encoding round-trips to within float tolerance.
+#[test]
+fn polar_round_trip() {
+    for seed in case_seeds(100) {
+        let mut rng = SimRng::seed_from(seed);
+        let origin = random_point(&mut rng);
+        let target = random_point(&mut rng);
         let polar = origin.polar_to(target);
         let back = polar.resolve_from(origin);
-        prop_assert!(back.distance_to(target) < 1e-6);
+        assert!(back.distance_to(target) < 1e-6);
     }
+}
 
-    /// Distance is a metric: symmetric, zero on self, triangle
-    /// inequality.
-    #[test]
-    fn distance_is_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
-        prop_assert!(a.distance_to(a) < 1e-12);
-        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+/// Distance is a metric: symmetric, zero on self, triangle inequality.
+#[test]
+fn distance_is_metric() {
+    for seed in case_seeds(100) {
+        let mut rng = SimRng::seed_from(seed);
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        let c = random_point(&mut rng);
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+        assert!(a.distance_to(a) < 1e-12);
+        assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
     }
+}
 
-    /// Polar range equals the Euclidean distance.
-    #[test]
-    fn polar_range_is_distance(origin in arb_point(), target in arb_point()) {
+/// Polar range equals the Euclidean distance.
+#[test]
+fn polar_range_is_distance() {
+    for seed in case_seeds(100) {
+        let mut rng = SimRng::seed_from(seed);
+        let origin = random_point(&mut rng);
+        let target = random_point(&mut rng);
         let polar = origin.polar_to(target);
-        prop_assert!((polar.r - origin.distance_to(target)).abs() < 1e-9);
+        assert!((polar.r - origin.distance_to(target)).abs() < 1e-9);
     }
+}
 
-    /// The centroid lies within the bounding box of its points.
-    #[test]
-    fn centroid_in_bounding_box(pts in proptest::collection::vec(arb_point(), 1..50)) {
+/// The centroid lies within the bounding box of its points.
+#[test]
+fn centroid_in_bounding_box() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let pts: Vec<Point> = (0..1 + rng.uniform_usize(49))
+            .map(|_| random_point(&mut rng))
+            .collect();
         let c = Point::centroid(&pts).unwrap();
         let min_x = pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
         let max_x = pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
         let min_y = pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
         let max_y = pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(c.x >= min_x - 1e-9 && c.x <= max_x + 1e-9);
-        prop_assert!(c.y >= min_y - 1e-9 && c.y <= max_y + 1e-9);
+        assert!(c.x >= min_x - 1e-9 && c.x <= max_x + 1e-9);
+        assert!(c.y >= min_y - 1e-9 && c.y <= max_y + 1e-9);
     }
+}
 
-    /// Event-neighbor membership is exactly the distance predicate.
-    #[test]
-    fn event_neighbors_iff_within_radius(
-        n in 1usize..80,
-        ex in 0.0f64..100.0,
-        ey in 0.0f64..100.0,
-        r_s in 1.0f64..40.0,
-        seed in any::<u64>(),
-    ) {
+/// Event-neighbor membership is exactly the distance predicate.
+#[test]
+fn event_neighbors_iff_within_radius() {
+    for seed in case_seeds(30) {
         let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.uniform_usize(79);
+        let event = Point::new(rng.uniform_range(0.0, 100.0), rng.uniform_range(0.0, 100.0));
+        let r_s = rng.uniform_range(1.0, 40.0);
         let topo = Topology::uniform_random(n, 100.0, 100.0, &mut rng);
-        let event = Point::new(ex, ey);
         let neighbors = topo.event_neighbors(event, r_s);
         for (id, pos) in topo.iter() {
             let inside = pos.distance_to(event) <= r_s;
-            prop_assert_eq!(neighbors.contains(&id), inside, "node {} at {}", id, pos);
+            assert_eq!(
+                neighbors.contains(&id),
+                inside,
+                "node {id:?} at {pos:?} (seed {seed})"
+            );
         }
     }
+}
 
-    /// Grid deployments always place the requested number of nodes
-    /// strictly inside the field.
-    #[test]
-    fn grid_properties(n in 1usize..300, w in 1.0f64..500.0, h in 1.0f64..500.0) {
-        let topo = Topology::uniform_grid(n, w, h);
-        prop_assert_eq!(topo.len(), n);
-        for (_, p) in topo.iter() {
-            prop_assert!(p.x > 0.0 && p.x < w);
-            prop_assert!(p.y > 0.0 && p.y < h);
-        }
-    }
-
-    /// nearest_node returns a true arg-min.
-    #[test]
-    fn nearest_node_is_argmin(
-        n in 1usize..50,
-        qx in 0.0f64..100.0,
-        qy in 0.0f64..100.0,
-        seed in any::<u64>(),
-    ) {
+/// Grid deployments always place the requested number of nodes strictly
+/// inside the field.
+#[test]
+fn grid_properties() {
+    for seed in case_seeds(30) {
         let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.uniform_usize(299);
+        let w = rng.uniform_range(1.0, 500.0);
+        let h = rng.uniform_range(1.0, 500.0);
+        let topo = Topology::uniform_grid(n, w, h);
+        assert_eq!(topo.len(), n);
+        for (_, p) in topo.iter() {
+            assert!(p.x > 0.0 && p.x < w);
+            assert!(p.y > 0.0 && p.y < h);
+        }
+    }
+}
+
+/// nearest_node returns a true arg-min.
+#[test]
+fn nearest_node_is_argmin() {
+    for seed in case_seeds(30) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + rng.uniform_usize(49);
+        let q = Point::new(rng.uniform_range(0.0, 100.0), rng.uniform_range(0.0, 100.0));
         let topo = Topology::uniform_random(n, 100.0, 100.0, &mut rng);
-        let q = Point::new(qx, qy);
         let best = topo.nearest_node(q).unwrap();
         let best_d = topo.position(best).distance_to(q);
         for (_, p) in topo.iter() {
-            prop_assert!(best_d <= p.distance_to(q) + 1e-9);
+            assert!(best_d <= p.distance_to(q) + 1e-9);
         }
     }
+}
 
-    /// DistanceLoss is a valid probability and non-decreasing in
-    /// distance.
-    #[test]
-    fn distance_loss_valid(reliable in 0.1f64..50.0, extra in 0.1f64..50.0, d in 0.0f64..200.0) {
+/// DistanceLoss is a valid probability and non-decreasing in distance.
+#[test]
+fn distance_loss_valid() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let reliable = rng.uniform_range(0.1, 50.0);
+        let extra = rng.uniform_range(0.1, 50.0);
+        let d = rng.uniform_range(0.0, 200.0);
         let ch = DistanceLoss::new(reliable, reliable + extra);
         let loss = ch.loss_at(d);
-        prop_assert!((0.0..=1.0).contains(&loss));
-        prop_assert!(ch.loss_at(d + 1.0) >= loss - 1e-12);
+        assert!((0.0..=1.0).contains(&loss));
+        assert!(ch.loss_at(d + 1.0) >= loss - 1e-12);
     }
+}
 
-    /// Bernoulli loss frequency tracks the configured probability.
-    #[test]
-    fn bernoulli_rate(seed in any::<u64>(), p in 0.05f64..0.95) {
-        let ch = BernoulliLoss::new(p);
+/// Bernoulli loss frequency tracks the configured probability.
+#[test]
+fn bernoulli_rate() {
+    for seed in case_seeds(10) {
         let mut rng = SimRng::seed_from(seed);
+        let p = rng.uniform_range(0.05, 0.95);
+        let ch = BernoulliLoss::new(p);
         let n = 10_000;
         let drops = (0..n)
             .filter(|_| !ch.delivers(Point::ORIGIN, Point::ORIGIN, &mut rng))
             .count() as f64;
-        prop_assert!((drops / n as f64 - p).abs() < 0.05);
+        assert!((drops / n as f64 - p).abs() < 0.05, "seed {seed} p {p}");
     }
+}
 
-    /// The perfect channel never drops, regardless of endpoints.
-    #[test]
-    fn perfect_never_drops(a in arb_point(), b in arb_point(), seed in any::<u64>()) {
+/// The perfect channel never drops, regardless of endpoints.
+#[test]
+fn perfect_never_drops() {
+    for seed in case_seeds(50) {
         let mut rng = SimRng::seed_from(seed);
-        prop_assert!(Perfect.delivers(a, b, &mut rng));
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        assert!(Perfect.delivers(a, b, &mut rng));
     }
+}
 
-    /// Polar construction accepts any non-negative range.
-    #[test]
-    fn polar_constructor_total(r in 0.0f64..1e6, theta in -10.0f64..10.0) {
+/// Polar construction accepts any non-negative range.
+#[test]
+fn polar_constructor_total() {
+    for seed in case_seeds(50) {
+        let mut rng = SimRng::seed_from(seed);
+        let r = rng.uniform_range(0.0, 1e6);
+        let theta = rng.uniform_range(-10.0, 10.0);
         let p = Polar::new(r, theta);
-        prop_assert_eq!(p.r, r);
+        assert_eq!(p.r, r);
     }
 }

@@ -1,13 +1,21 @@
 //! Deterministic randomness for simulations.
 //!
 //! All stochastic behaviour in the reproduction flows through [`SimRng`] so
-//! that a single `u64` seed pins down an entire run. The type wraps
-//! [`rand::rngs::StdRng`] and adds the distributions the paper's workloads
-//! need: Bernoulli trials, uniform points in a rectangle, and Gaussian
-//! samples (Box–Muller, so no extra dependency on `rand_distr`).
+//! that a single `u64` seed pins down an entire run. The generator is a
+//! self-contained xoshiro256++ (Blackman & Vigna) seeded through SplitMix64,
+//! so the crate carries no external dependency; on top of the raw stream it
+//! adds the distributions the paper's workloads need: Bernoulli trials,
+//! uniform points in a rectangle, and Gaussian samples (Box–Muller, so no
+//! extra dependency on a distributions crate).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// One SplitMix64 step: used for seed expansion and stream splitting.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seedable random number generator with simulation-oriented helpers.
 ///
@@ -19,7 +27,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     /// Cached second output of the last Box–Muller transform.
     gauss_spare: Option<f64>,
 }
@@ -28,8 +36,17 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        // SplitMix64 expansion guarantees a non-zero xoshiro state even
+        // for seed 0 and decorrelates similar seeds.
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s,
             gauss_spare: None,
         }
     }
@@ -39,13 +56,35 @@ impl SimRng {
     #[must_use]
     pub fn fork(&mut self, salt: u64) -> SimRng {
         // Mix the salt into fresh output of the parent stream.
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// A uniform sample in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -56,7 +95,14 @@ impl SimRng {
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
         assert!(lo < hi, "uniform_range requires lo < hi, got [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.uniform_f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; keep the half-open
+        // contract.
+        if x >= hi {
+            hi.next_down()
+        } else {
+            x
+        }
     }
 
     /// A uniform integer in `[0, n)`.
@@ -66,7 +112,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn uniform_usize(&mut self, n: usize) -> usize {
         assert!(n > 0, "uniform_usize requires n > 0");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift range reduction (bias < 2^-64 per draw,
+        // far below anything a simulation statistic can resolve).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// A Bernoulli trial: `true` with probability `p`.
@@ -78,7 +126,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.uniform_f64() < p
         }
     }
 
@@ -88,11 +136,11 @@ impl SimRng {
             return z;
         }
         // Draw u1 in (0, 1] to keep ln(u1) finite.
-        let mut u1 = self.inner.gen::<f64>();
+        let mut u1 = self.uniform_f64();
         if u1 <= f64::MIN_POSITIVE {
             u1 = f64::MIN_POSITIVE;
         }
-        let u2 = self.inner.gen::<f64>();
+        let u2 = self.uniform_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.gauss_spare = Some(r * theta.sin());
@@ -115,7 +163,7 @@ impl SimRng {
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.uniform_usize(i + 1);
             items.swap(i, j);
         }
     }
@@ -131,24 +179,6 @@ impl SimRng {
         self.shuffle(&mut idx);
         idx.truncate(k);
         idx
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -171,6 +201,26 @@ mod tests {
         let mut b = SimRng::seed_from(2);
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 2, "streams should diverge");
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SimRng::seed_from(0);
+        let outputs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0), "stream stuck at zero");
+        let mut dedup = outputs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert!(dedup.len() > 4, "stream repeats immediately");
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = SimRng::seed_from(21);
+        for _ in 0..10_000 {
+            let x = r.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]
@@ -209,6 +259,16 @@ mod tests {
             let x = r.uniform_range(-3.0, 4.0);
             assert!((-3.0..4.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_usize_covers_range() {
+        let mut r = SimRng::seed_from(17);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.uniform_usize(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some residue never drawn");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! End-to-end tests of the fault-injection layer (Experiment 5): replay
+//! determinism, the shadow-CH failover acceptance bar, and the recovery
+//! counters surviving all the way into the rendered trace.
+
+use tibfit_experiments::exp5_chaos::{run_exp5, Exp5Config};
+use tibfit_faults::{FaultKind, FaultPlan, ScheduledFault};
+use tibfit_sim::{Duration, SimTime};
+
+fn quick(recovery: bool) -> Exp5Config {
+    let mut config = Exp5Config::default_scale(recovery);
+    config.events = 150;
+    config
+}
+
+#[test]
+fn same_seed_and_plan_render_byte_identical_traces() {
+    // The tentpole property: a chaos run is a pure function of
+    // (config, plan, seed) — replay is byte-for-byte.
+    let config = quick(true);
+    for intensity in [0.0, 0.3, 0.7, 1.0] {
+        let plan = FaultPlan::random(intensity, 99, config.horizon(), config.n_nodes).unwrap();
+        let a = run_exp5(&config, &plan, 99);
+        let b = run_exp5(&config, &plan, 99);
+        assert_eq!(
+            a.trace.render(),
+            b.trace.render(),
+            "replay diverged at intensity {intensity}"
+        );
+        assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+#[test]
+fn plan_fingerprint_pins_the_schedule() {
+    let config = quick(true);
+    let p1 = FaultPlan::random(0.5, 1, config.horizon(), config.n_nodes).unwrap();
+    let p2 = FaultPlan::random(0.5, 1, config.horizon(), config.n_nodes).unwrap();
+    assert_eq!(p1.fingerprint(), p2.fingerprint());
+    // And a different schedule produces a different run.
+    let p3 = FaultPlan::random(0.5, 2, config.horizon(), config.n_nodes).unwrap();
+    assert_ne!(p1.fingerprint(), p3.fingerprint());
+    let a = run_exp5(&config, &p1, 5);
+    let c = run_exp5(&config, &p3, 5);
+    assert_ne!(a.trace.render(), c.trace.render());
+}
+
+#[test]
+fn ch_crash_with_failover_recovers_within_5pct_of_fault_free() {
+    // Acceptance bar from the issue: a CH crash handled by shadow-CH
+    // failover must cost less than five accuracy points against the
+    // fault-free baseline with the same seed.
+    let config = quick(true);
+    for seed in [3u64, 17, 29] {
+        let baseline = run_exp5(&config, &FaultPlan::none(), seed);
+        let plan = FaultPlan::from_faults(vec![
+            ScheduledFault {
+                at: SimTime::from_ticks(2_500),
+                kind: FaultKind::ChCrash,
+            },
+            ScheduledFault {
+                at: SimTime::from_ticks(6_500),
+                kind: FaultKind::ChCrash,
+            },
+            ScheduledFault {
+                at: SimTime::from_ticks(11_000),
+                kind: FaultKind::ChCrash,
+            },
+        ])
+        .unwrap();
+        let crashed = run_exp5(&config, &plan, seed);
+        assert_eq!(crashed.outcome.failovers, 3, "seed {seed}");
+        assert!(
+            baseline.outcome.accuracy - crashed.outcome.accuracy < 0.05,
+            "seed {seed}: baseline {} vs crashed {}",
+            baseline.outcome.accuracy,
+            crashed.outcome.accuracy
+        );
+    }
+}
+
+#[test]
+fn recovery_counters_survive_into_the_rendered_trace() {
+    let config = quick(true);
+    let plan = FaultPlan::random(1.0, 7, config.horizon(), config.n_nodes).unwrap();
+    let run = run_exp5(&config, &plan, 7);
+    assert!(run.trace.counter("fault.injected") > 0);
+    assert!(run.trace.counter("retry.count") > 0);
+    let counters: Vec<&str> = run.trace.counters().into_iter().map(|(n, _)| n).collect();
+    for required in ["fault.injected", "failover.count", "retry.count"] {
+        assert!(counters.contains(&required), "missing counter {required}");
+    }
+    let rendered = run.trace.render();
+    assert!(rendered.contains("fault:"), "no fault events rendered");
+}
+
+#[test]
+fn quarantine_reintegration_fires_under_crash_reboot_churn() {
+    // Crash-and-reboot a handful of nodes; their post-reboot flakiness
+    // drives them into quarantine, and with recovery on they must earn
+    // their way back (the quarantine.reintegrated counter).
+    let config = quick(true);
+    let faults: Vec<ScheduledFault> = (0..5)
+        .map(|i| ScheduledFault {
+            at: SimTime::from_ticks(1_000 + i * 1_500),
+            kind: FaultKind::NodeCrash {
+                node: tibfit_net::topology::NodeId((i as usize) * 3 + 1),
+                reboot_after: Some(Duration::from_ticks(300)),
+            },
+        })
+        .collect();
+    let plan = FaultPlan::from_faults(faults).unwrap();
+    let run = run_exp5(&config, &plan, 13);
+    assert!(
+        run.outcome.reintegrated > 0,
+        "no node ever completed probation (trace: {:?})",
+        run.trace.counters()
+    );
+    assert_eq!(
+        run.trace.counter("quarantine.reintegrated"),
+        run.outcome.reintegrated
+    );
+    // Reintegrated nodes keep the run healthy.
+    assert!(run.outcome.accuracy > 0.85, "accuracy {}", run.outcome.accuracy);
+}
+
+#[test]
+fn burst_loss_is_survivable_with_retries() {
+    // A long loss burst with retransmission on vs off, same plan.
+    let plan = FaultPlan::from_faults(vec![ScheduledFault {
+        at: SimTime::from_ticks(3_000),
+        kind: FaultKind::BurstLoss {
+            duration: Duration::from_ticks(3_000),
+        },
+    }])
+    .unwrap();
+    let with = run_exp5(&quick(true), &plan, 19);
+    let without = run_exp5(&quick(false), &plan, 19);
+    assert!(with.outcome.retries > 0);
+    assert_eq!(without.outcome.retries, 0);
+    assert!(
+        with.outcome.accuracy >= without.outcome.accuracy,
+        "retries should not hurt: {} vs {}",
+        with.outcome.accuracy,
+        without.outcome.accuracy
+    );
+}

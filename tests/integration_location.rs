@@ -71,7 +71,7 @@ fn paper_claim_level1_tibfit_above_90pct_at_58pct() {
             &fast(Exp2Config::paper(cs, fs, FaultLevel::Level1, EngineKind::Tibfit)),
             58.0,
             trials,
-            3,
+            5,
         );
         assert!(t > 0.85, "σ {cs}-{fs}: level-1 TIBFIT accuracy {t}");
     }

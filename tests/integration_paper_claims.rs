@@ -108,25 +108,38 @@ fn intro_claim_stateless_voting_fails_at_majority() {
 
 #[test]
 fn trust_index_expected_drift_is_zero_at_calibrated_rate() {
-    // §3: E[Δv] = (1 − f_r)·f_r − f_r·(1 − f_r) = 0 — verified
-    // empirically: a node erring at exactly f_r keeps TI ≈ 1 on average.
+    // §3: E[Δv] = (1 − f_r)·f_r − f_r·(1 − f_r) = 0 — a node erring at
+    // exactly f_r accumulates no *systematic* distrust. Its counter is a
+    // reflected zero-drift walk (O(√n) excursions), while any error rate
+    // above f_r drifts linearly in n; verify that separation.
     use tibfit_sim::rng::SimRng;
     let params = TrustParams::new(0.25, 0.1);
-    let mut rng = SimRng::seed_from(7);
-    let mut table = TrustTable::new(params, 1);
     let node = NodeId(0);
-    for _ in 0..20_000 {
-        if rng.chance(0.1) {
-            table.record_faulty(node);
-        } else {
-            table.record_correct(node);
+    let n = 20_000;
+    let run = |error_rate: f64| -> f64 {
+        let mut rng = SimRng::seed_from(7);
+        let mut table = TrustTable::new(params, 1);
+        for _ in 0..n {
+            if rng.chance(error_rate) {
+                table.record_faulty(node);
+            } else {
+                table.record_correct(node);
+            }
         }
-    }
-    // The counter floors at 0, so the stationary TI sits near 1.
+        table.counter_of(node)
+    };
+    let calibrated = run(0.1);
+    let doubled = run(0.2);
+    // Zero drift: far below the counter a linear drift would build
+    // (even a tenth of the doubled rate's drift ≈ 200).
     assert!(
-        table.trust_of(node) > 0.7,
-        "calibrated node's trust drifted to {}",
-        table.trust_of(node)
+        calibrated < 200.0,
+        "calibrated node's counter grew linearly: {calibrated}"
+    );
+    // Positive drift at 2·f_r: ≈ n·f_r·(1−2·f_r)… ≈ 0.1·n.
+    assert!(
+        doubled > 1_000.0,
+        "miscalibrated node's counter failed to drift: {doubled}"
     );
 }
 
