@@ -1,0 +1,341 @@
+//! `tibfit-bench` — machine-readable DES kernel throughput harness.
+//!
+//! Runs three scheduler microbenches (timer wheel vs. the retained
+//! binary-heap reference), one end-to-end event-driven cluster run, and
+//! the experiment-1 sweep, then writes a flat JSON report
+//! (`BENCH_kernel.json` by default) suitable for regression checking:
+//!
+//! ```text
+//! cargo run --release -p tibfit-bench --bin tibfit-bench
+//! tibfit-bench --quick                      # CI-sized workloads
+//! tibfit-bench --out results/bench.json     # alternate report path
+//! tibfit-bench --check BENCH_kernel.json    # exit 1 on >10% regression
+//! ```
+//!
+//! `--check` compares every `*_events_per_sec` key (higher is better)
+//! and every `*_wall_ms` / `*_ns_per_event` key (lower is better)
+//! against the baseline report, and fails if any degrades by more than
+//! 10%.
+
+use std::time::Instant;
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::CorrectNode;
+use tibfit_bench::{black_box, format_ns, json_number};
+use tibfit_core::engine::TibfitEngine;
+use tibfit_core::trust::TrustParams;
+use tibfit_experiments::des::{DesClusterSim, DesConfig};
+use tibfit_experiments::exp1;
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::{EventQueue, HeapEventQueue, SimTime, WHEEL_SPAN};
+
+/// Allowed slowdown before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Uniform push/pop facade over the two queue implementations.
+trait BenchQueue {
+    fn fresh() -> Self;
+    fn push_at(&mut self, ticks: u64, payload: u64);
+    fn pop_next(&mut self) -> Option<u64>;
+}
+
+impl BenchQueue for EventQueue<u64> {
+    fn fresh() -> Self {
+        EventQueue::new()
+    }
+    fn push_at(&mut self, ticks: u64, payload: u64) {
+        self.push(SimTime::from_ticks(ticks), payload);
+    }
+    fn pop_next(&mut self) -> Option<u64> {
+        self.pop().map(|(_, p)| p)
+    }
+}
+
+impl BenchQueue for HeapEventQueue<u64> {
+    fn fresh() -> Self {
+        HeapEventQueue::new()
+    }
+    fn push_at(&mut self, ticks: u64, payload: u64) {
+        self.push(SimTime::from_ticks(ticks), payload);
+    }
+    fn pop_next(&mut self) -> Option<u64> {
+        self.pop().map(|(_, p)| p)
+    }
+}
+
+/// Interleaved throughput over a fixed time pattern: push a burst, then
+/// drain it, like the engine's schedule/dispatch loop (`burst` bounds
+/// the queue population). Counts one "event" per push+pop pair. Best of
+/// `samples` runs, in events per second. `times` must be grouped so
+/// every time in burst `b+1` is at or after every time in burst `b`.
+fn throughput<Q: BenchQueue>(times: &[u64], burst: usize, samples: u32) -> f64 {
+    let mut best = 0.0f64;
+    for sample in 0..=samples {
+        let mut q = Q::fresh();
+        let start = Instant::now();
+        let mut i = 0;
+        while i < times.len() {
+            let end = (i + burst).min(times.len());
+            for (j, &t) in times[i..end].iter().enumerate() {
+                q.push_at(t, (i + j) as u64);
+            }
+            for _ in i..end {
+                black_box(q.pop_next());
+            }
+            i = end;
+        }
+        let eps = times.len() as f64 / start.elapsed().as_secs_f64();
+        // Sample 0 is warmup.
+        if sample > 0 && eps > best {
+            best = eps;
+        }
+    }
+    best
+}
+
+/// Dense same-tick pattern: bursts of 4096 events all on one tick — the
+/// collector-window shape. The wheel pops these from one bucket in
+/// O(1); the heap pays a full sift-down per pop.
+fn dense_pattern(n: usize) -> Vec<u64> {
+    (0..n).map(|i| (i / 4096) as u64).collect()
+}
+
+/// Paper-scale far-future bursts: 128 reports jittered over 50 ticks,
+/// every 1000 ticks — each burst lands past the wheel window, so every
+/// event pays the overflow-heap cascade on rebase. This is the wheel's
+/// worst case; parity with the heap is the goal here.
+fn burst_pattern(n: usize) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(0xB0);
+    (0..n)
+        .map(|i| (i as u64 / 128) * 1000 + rng.uniform_usize(50) as u64)
+        .collect()
+}
+
+/// In-window random jitter: bursts of 512 events spread uniformly over
+/// the next 512 ticks, so every push lands inside the wheel window
+/// (span 1024) — the DES's jittered report/retry shape.
+fn jitter_pattern(n: usize) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(0xC1);
+    let span = (WHEEL_SPAN / 2) as u64;
+    (0..n)
+        .map(|i| (i as u64 / span) * span + rng.uniform_usize(span as usize) as u64)
+        .collect()
+}
+
+fn honest_behaviors(n: usize) -> Vec<Box<dyn NodeBehavior>> {
+    (0..n)
+        .map(|_| -> Box<dyn NodeBehavior> { Box::new(CorrectNode::new(0.0, 1.6)) })
+        .collect()
+}
+
+/// One microbench: wheel vs. heap on the same pattern. Returns
+/// `(wheel_eps, heap_eps)`.
+fn micro(pattern: &[u64], burst: usize, samples: u32) -> (f64, f64) {
+    let wheel = throughput::<EventQueue<u64>>(pattern, burst, samples);
+    let heap = throughput::<HeapEventQueue<u64>>(pattern, burst, samples);
+    (wheel, heap)
+}
+
+fn run_all(quick: bool) -> Vec<(&'static str, f64)> {
+    let mut out: Vec<(&'static str, f64)> = Vec::new();
+    out.push(("schema_version", 1.0));
+    out.push(("quick", f64::from(u8::from(quick))));
+
+    let (micro_n, samples) = if quick { (20_000, 3) } else { (200_000, 5) };
+    let patterns: [(&str, &str, usize, Vec<u64>); 3] = [
+        ("micro_dense_wheel_events_per_sec", "dense same-tick", 4096, dense_pattern(micro_n)),
+        ("micro_burst_wheel_events_per_sec", "far-future bursts", 128, burst_pattern(micro_n)),
+        ("micro_jitter_wheel_events_per_sec", "in-window jitter", WHEEL_SPAN / 2, jitter_pattern(micro_n)),
+    ];
+    out.push(("micro_events", micro_n as f64));
+    for (wheel_key, label, burst, pattern) in &patterns {
+        let (wheel, heap) = micro(pattern, *burst, samples);
+        let heap_key: &'static str = match *wheel_key {
+            "micro_dense_wheel_events_per_sec" => "micro_dense_heap_events_per_sec",
+            "micro_burst_wheel_events_per_sec" => "micro_burst_heap_events_per_sec",
+            _ => "micro_jitter_heap_events_per_sec",
+        };
+        let speedup_key: &'static str = match *wheel_key {
+            "micro_dense_wheel_events_per_sec" => "micro_dense_speedup",
+            "micro_burst_wheel_events_per_sec" => "micro_burst_speedup",
+            _ => "micro_jitter_speedup",
+        };
+        println!(
+            "micro/{label}: wheel {:.2} Mev/s, heap {:.2} Mev/s ({:.2}x)",
+            wheel / 1e6,
+            heap / 1e6,
+            wheel / heap
+        );
+        out.push((wheel_key, wheel));
+        out.push((heap_key, heap));
+        out.push((speedup_key, wheel / heap));
+    }
+
+    // End-to-end DES: 100-node cluster, paper-scale timing. Best of
+    // several fresh runs — the quick workload is sub-millisecond, so a
+    // single sample would be scheduler-noise dominated.
+    let n_events: u64 = if quick { 200 } else { 1000 };
+    let e2e_runs = if quick { 3 } else { 5 };
+    let mut best_ns = f64::INFINITY;
+    let mut dispatched = 0u64;
+    let mut peak_depth = 0usize;
+    let mut accuracy = 0.0f64;
+    for _ in 0..e2e_runs {
+        let topo = Topology::uniform_grid(100, 100.0, 100.0);
+        let mut sim = DesClusterSim::new(
+            DesConfig::paper_scale(100.0),
+            topo,
+            honest_behaviors(100),
+            Box::new(BernoulliLoss::new(0.005)),
+            Box::new(TibfitEngine::new(TrustParams::experiment2(), 100)),
+            SimRng::seed_from(3),
+        );
+        let start = Instant::now();
+        let stats = black_box(sim.run(n_events));
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        if wall_ns < best_ns {
+            best_ns = wall_ns;
+        }
+        dispatched = sim.dispatched();
+        peak_depth = sim.peak_queue_depth();
+        accuracy = stats.accuracy();
+    }
+    let des_eps = dispatched as f64 / (best_ns / 1e9);
+    let ns_per_event = best_ns / dispatched as f64;
+    println!(
+        "des/e2e: {n_events} events, {dispatched} dispatches in {} ({:.2} Mev/s, {:.0} ns/event, peak depth {peak_depth}, accuracy {accuracy:.3})",
+        format_ns(best_ns as u128),
+        des_eps / 1e6,
+        ns_per_event,
+    );
+    out.push(("des_events", n_events as f64));
+    out.push(("des_dispatched", dispatched as f64));
+    out.push(("des_wall_ms", best_ns / 1e6));
+    out.push(("des_events_per_sec", des_eps));
+    out.push(("des_ns_per_event", ns_per_event));
+    out.push(("des_peak_queue_depth", peak_depth as f64));
+
+    // Experiment-1 sweep (figures 2 and 3) — the end-to-end wall-time
+    // number the perf gate watches. Best of two runs.
+    let trials = if quick { 20 } else { 100 };
+    let mut exp1_best_ns = u128::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        black_box(exp1::figure2(trials, 42));
+        black_box(exp1::figure3(trials, 42));
+        exp1_best_ns = exp1_best_ns.min(start.elapsed().as_nanos());
+    }
+    println!("exp1/sweep: {trials} trials in {}", format_ns(exp1_best_ns));
+    out.push(("exp1_trials", trials as f64));
+    out.push(("exp1_wall_ms", exp1_best_ns as f64 / 1e6));
+
+    out
+}
+
+/// Renders the flat JSON report.
+fn to_json(metrics: &[(&'static str, f64)]) -> String {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        // Integers render without a fraction so the report diffs cleanly.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            s.push_str(&format!("  \"{k}\": {}{sep}\n", *v as i64));
+        } else {
+            s.push_str(&format!("  \"{k}\": {v:.3}{sep}\n"));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Compares current metrics against a baseline report. Returns the list
+/// of regression descriptions (empty = pass). Only keys present in both
+/// reports are compared.
+fn regressions(metrics: &[(&'static str, f64)], baseline: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    for &(key, now) in metrics {
+        let Some(base) = json_number(baseline, key) else {
+            continue;
+        };
+        let higher_better = key.ends_with("_events_per_sec");
+        let lower_better = key.ends_with("_wall_ms") || key.ends_with("_ns_per_event");
+        let regressed = if higher_better {
+            now < base * (1.0 - REGRESSION_TOLERANCE)
+        } else if lower_better {
+            now > base * (1.0 + REGRESSION_TOLERANCE)
+        } else {
+            false
+        };
+        if regressed {
+            bad.push(format!(
+                "{key}: {now:.1} vs baseline {base:.1} (>{:.0}% worse)",
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_kernel.json");
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("--check needs a baseline path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: tibfit-bench [--quick] [--out <path>] [--check <baseline.json>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let metrics = run_all(quick);
+    let json = to_json(&metrics);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let bad = regressions(&metrics, &baseline);
+        if bad.is_empty() {
+            println!("check vs {baseline_path}: OK (within {:.0}%)", REGRESSION_TOLERANCE * 100.0);
+        } else {
+            eprintln!("check vs {baseline_path}: {} regression(s)", bad.len());
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

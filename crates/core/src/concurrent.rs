@@ -50,7 +50,20 @@ pub struct ConcurrentCollector {
     r_error: f64,
     t_out: Duration,
     circles: Vec<Circle>,
+    /// Recycled report buffers: released circles and drained caller
+    /// groups park their `Vec`s here so the steady-state submit/poll
+    /// cycle allocates nothing.
+    spare: Vec<Vec<LocatedReport>>,
+    /// Union-find scratch for [`ConcurrentCollector::poll_into`].
+    scratch_parent: Vec<usize>,
+    /// `(root, circle index)` pairs, sorted to enumerate components.
+    scratch_order: Vec<(usize, usize)>,
+    /// Indices of circles released this poll.
+    scratch_release: Vec<usize>,
 }
+
+/// Cap on pooled buffers; beyond this, freed buffers are just dropped.
+const SPARE_CAP: usize = 32;
 
 impl ConcurrentCollector {
     /// Creates a collector.
@@ -69,6 +82,10 @@ impl ConcurrentCollector {
             r_error,
             t_out,
             circles: Vec::new(),
+            spare: Vec::new(),
+            scratch_parent: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_release: Vec::new(),
         }
     }
 
@@ -96,9 +113,12 @@ impl ConcurrentCollector {
                 return;
             }
         }
+        // Reuse a pooled buffer for the new circle's report list.
+        let mut reports = self.spare.pop().unwrap_or_default();
+        reports.push(report);
         self.circles.push(Circle {
             center: report.location,
-            reports: vec![report],
+            reports,
             expires: now + self.t_out,
         });
     }
@@ -132,27 +152,70 @@ impl ConcurrentCollector {
     /// group is released only when *every* circle in it has expired —
     /// paper §3.3 step 4.
     pub fn poll(&mut self, now: SimTime) -> Vec<Vec<LocatedReport>> {
-        if self.circles.is_empty() {
-            return Vec::new();
-        }
-        let components = self.overlap_components();
         let mut groups = Vec::new();
-        let mut release: Vec<usize> = Vec::new();
-        for comp in components {
-            if comp.iter().all(|&i| self.circles[i].expires <= now) {
-                release.extend(&comp);
-                let mut group = Vec::new();
-                for &i in &comp {
-                    group.extend(self.circles[i].reports.iter().copied());
-                }
-                groups.push(group);
+        self.poll_into(now, &mut groups);
+        groups
+    }
+
+    /// Allocation-free form of [`ConcurrentCollector::poll`]: released
+    /// groups are appended to `out` (which is cleared first), and any
+    /// buffers left in `out` from a previous call are recycled into the
+    /// collector's pool. The DES hot loop calls this with one reused
+    /// `Vec`, so steady-state polling performs no heap allocation.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<Vec<LocatedReport>>) {
+        for mut group in out.drain(..) {
+            if self.spare.len() < SPARE_CAP {
+                group.clear();
+                self.spare.push(group);
             }
         }
-        release.sort_unstable();
-        for &i in release.iter().rev() {
-            self.circles.remove(i);
+        let n = self.circles.len();
+        if n == 0 {
+            return;
         }
-        groups
+        if n == 1 {
+            // Fast path: the overwhelmingly common single-circle case
+            // needs no component analysis.
+            if self.circles[0].expires <= now {
+                let circle = self.circles.pop().expect("length checked");
+                out.push(circle.reports);
+            }
+            return;
+        }
+        self.find_components();
+        // scratch_order is (root, index) sorted, so components appear as
+        // contiguous runs ordered by root id, indices ascending — the
+        // same deterministic order the original BTreeMap grouping gave.
+        self.scratch_release.clear();
+        let order = std::mem::take(&mut self.scratch_order);
+        let mut start = 0;
+        while start < order.len() {
+            let root = order[start].0;
+            let mut end = start;
+            while end < order.len() && order[end].0 == root {
+                end += 1;
+            }
+            let comp = &order[start..end];
+            if comp.iter().all(|&(_, i)| self.circles[i].expires <= now) {
+                let mut group = self.spare.pop().unwrap_or_default();
+                for &(_, i) in comp {
+                    group.extend(self.circles[i].reports.iter().copied());
+                    self.scratch_release.push(i);
+                }
+                out.push(group);
+            }
+            start = end;
+        }
+        self.scratch_order = order;
+        self.scratch_release.sort_unstable();
+        for k in (0..self.scratch_release.len()).rev() {
+            let circle = self.circles.remove(self.scratch_release[k]);
+            if self.spare.len() < SPARE_CAP {
+                let mut reports = circle.reports;
+                reports.clear();
+                self.spare.push(reports);
+            }
+        }
     }
 
     /// Forces out every buffered group regardless of deadlines (end of
@@ -161,34 +224,44 @@ impl ConcurrentCollector {
         self.poll(SimTime::MAX)
     }
 
-    /// Connected components of the "circles overlap" graph.
-    fn overlap_components(&self) -> Vec<Vec<usize>> {
+    /// Allocation-free form of [`ConcurrentCollector::flush`].
+    pub fn flush_into(&mut self, out: &mut Vec<Vec<LocatedReport>>) {
+        self.poll_into(SimTime::MAX, out);
+    }
+
+    /// Union-find over the "circles overlap" graph, into scratch
+    /// buffers: fills `scratch_order` with `(root, index)` sorted by
+    /// root then index.
+    fn find_components(&mut self) {
         let n = self.circles.len();
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-            if parent[x] != x {
-                let root = find(parent, parent[x]);
-                parent[x] = root;
+        let parent = &mut self.scratch_parent;
+        parent.clear();
+        parent.extend(0..n);
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            // Path halving keeps this iterative and allocation-free.
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
             }
-            parent[x]
+            x
         }
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = self.circles[i].center.distance_to(self.circles[j].center);
                 if d <= 2.0 * self.r_error {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    let (ri, rj) = (find(parent, i), find(parent, j));
                     if ri != rj {
                         parent[ri] = rj;
                     }
                 }
             }
         }
-        let mut components: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        self.scratch_order.clear();
         for i in 0..n {
-            let root = find(&mut parent, i);
-            components.entry(root).or_default().push(i);
+            let root = find(parent, i);
+            self.scratch_order.push((root, i));
         }
-        components.into_values().collect()
+        self.scratch_order.sort_unstable();
     }
 }
 

@@ -24,9 +24,9 @@ use tibfit_core::engine::Aggregator;
 use tibfit_core::location::LocatedReport;
 use tibfit_net::channel::ChannelModel;
 use tibfit_net::geometry::Point;
-use tibfit_net::topology::Topology;
+use tibfit_net::topology::{NodeId, Topology};
 use tibfit_sim::rng::SimRng;
-use tibfit_sim::trace::Trace;
+use tibfit_sim::trace::{CounterId, Trace};
 use tibfit_sim::{Duration, Engine, SimTime};
 
 /// Timing parameters of the DES run, in clock ticks.
@@ -130,6 +130,28 @@ impl DesStats {
     }
 }
 
+/// Interned trace-counter ids for the per-event hot path: registered
+/// once at construction so each bump is an indexed add, not a map
+/// lookup.
+#[derive(Debug, Clone, Copy)]
+struct DesCounters {
+    events_injected: CounterId,
+    reports_delivered: CounterId,
+    retry_count: CounterId,
+    decision_batches: CounterId,
+}
+
+impl DesCounters {
+    fn register(trace: &mut Trace) -> Self {
+        DesCounters {
+            events_injected: trace.register_counter("events_injected"),
+            reports_delivered: trace.register_counter("reports_delivered"),
+            retry_count: trace.register_counter("retry.count"),
+            decision_batches: trace.register_counter("decision_batches"),
+        }
+    }
+}
+
 /// The event-driven cluster simulation.
 pub struct DesClusterSim {
     config: DesConfig,
@@ -146,6 +168,10 @@ pub struct DesClusterSim {
     pending_truth: Vec<(Point, SimTime)>,
     stats: DesStats,
     trace: Trace,
+    counters: DesCounters,
+    /// Reused buffer for collector poll results (allocation-free
+    /// dispatch; the collector recycles the inner buffers).
+    groups_scratch: Vec<Vec<LocatedReport>>,
 }
 
 impl DesClusterSim {
@@ -164,6 +190,8 @@ impl DesClusterSim {
         rng: SimRng,
     ) -> Self {
         assert_eq!(behaviors.len(), topo.len(), "one behavior per node");
+        let mut trace = Trace::disabled();
+        let counters = DesCounters::register(&mut trace);
         DesClusterSim {
             collector: ConcurrentCollector::new(config.r_error, config.t_out),
             config,
@@ -182,7 +210,9 @@ impl DesClusterSim {
                 decision_batches: 0,
                 finished_at: SimTime::ZERO,
             },
-            trace: Trace::disabled(),
+            trace,
+            counters,
+            groups_scratch: Vec::new(),
         }
     }
 
@@ -190,6 +220,8 @@ impl DesClusterSim {
     #[must_use]
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace = Trace::enabled(capacity);
+        // The fresh trace has empty slots; re-intern the hot-path ids.
+        self.counters = DesCounters::register(&mut self.trace);
         self
     }
 
@@ -234,19 +266,24 @@ impl DesClusterSim {
             }
         }
         // Drain anything still buffered (simulation end).
-        let groups = self.collector.flush();
+        let mut groups = std::mem::take(&mut self.groups_scratch);
+        self.collector.flush_into(&mut groups);
         let now = self.engine.now();
-        for group in groups {
-            self.decide(now, &group);
+        for group in &groups {
+            self.decide(now, group);
         }
+        self.groups_scratch = groups;
         self.stats.finished_at = self.engine.now();
         self.stats.clone()
     }
 
     fn on_occurs(&mut self, now: SimTime, locations: &[Point]) {
-        self.trace.count_by("events_injected", locations.len() as u64);
-        for loc in locations {
-            self.trace.record(now, "event", format!("ground truth at {loc}"));
+        self.trace
+            .bump_by(self.counters.events_injected, locations.len() as u64);
+        if self.trace.is_enabled() {
+            for loc in locations {
+                self.trace.record(now, "event", format!("ground truth at {loc}"));
+            }
         }
         self.stats.events_injected += locations.len();
         for &loc in locations {
@@ -254,7 +291,10 @@ impl DesClusterSim {
         }
         self.round += 1;
         let round = self.round;
-        for node in self.topo.node_ids().collect::<Vec<_>>() {
+        // Node ids are dense 0..n; iterating by index keeps the event
+        // loop free of the per-event id-list allocation.
+        for idx in 0..self.topo.len() {
+            let node = NodeId(idx);
             let node_pos = self.topo.position(node);
             let sensed = locations
                 .iter()
@@ -305,8 +345,10 @@ impl DesClusterSim {
         // Bounded: a retransmission that cannot make the collection
         // window is pointless — the report is dropped instead.
         if fire_at > origin + self.config.t_out {
-            self.trace
-                .record(now, "retry", format!("{} gives up", report.reporter));
+            if self.trace.is_enabled() {
+                self.trace
+                    .record(now, "retry", format!("{} gives up", report.reporter));
+            }
             return;
         }
         self.engine.schedule_at(
@@ -320,12 +362,14 @@ impl DesClusterSim {
     }
 
     fn on_retry(&mut self, now: SimTime, report: LocatedReport, origin: SimTime, attempt: u32) {
-        self.trace.count("retry.count");
-        self.trace.record(
-            now,
-            "retry",
-            format!("{} retransmits (attempt {attempt})", report.reporter),
-        );
+        self.trace.bump(self.counters.retry_count);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                "retry",
+                format!("{} retransmits (attempt {attempt})", report.reporter),
+            );
+        }
         let node_pos = self.topo.position(report.reporter);
         if self
             .channel
@@ -344,12 +388,14 @@ impl DesClusterSim {
     }
 
     fn on_arrival(&mut self, now: SimTime, report: LocatedReport) {
-        self.trace.count("reports_delivered");
-        self.trace.record(
-            now,
-            "report",
-            format!("{} claims {}", report.reporter, report.location),
-        );
+        self.trace.bump(self.counters.reports_delivered);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                "report",
+                format!("{} claims {}", report.reporter, report.location),
+            );
+        }
         self.collector.submit(now, report);
         if let Some(deadline) = self.collector.next_deadline() {
             // A fresh check at the earliest deadline; stale checks are
@@ -360,10 +406,12 @@ impl DesClusterSim {
     }
 
     fn on_window_check(&mut self, now: SimTime) {
-        let groups = self.collector.poll(now);
-        for group in groups {
-            self.decide(now, &group);
+        let mut groups = std::mem::take(&mut self.groups_scratch);
+        self.collector.poll_into(now, &mut groups);
+        for group in &groups {
+            self.decide(now, group);
         }
+        self.groups_scratch = groups;
         // Re-arm strictly in the future: an expired circle still buffered
         // here is waiting on an overlapping partner's later deadline, and
         // re-arming at its own (past) deadline would spin forever.
@@ -377,7 +425,7 @@ impl DesClusterSim {
             return;
         }
         self.stats.decision_batches += 1;
-        self.trace.count("decision_batches");
+        self.trace.bump(self.counters.decision_batches);
         let round = self.aggregator.located_round(
             &self.topo,
             self.config.sensing_radius,
@@ -396,20 +444,37 @@ impl DesClusterSim {
             {
                 self.pending_truth.swap_remove(idx);
                 self.stats.events_detected += 1;
-                self.trace
-                    .record(_now, "decision", format!("event confirmed at {declared}"));
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(_now, "decision", format!("event confirmed at {declared}"));
+                }
             } else {
                 self.stats.false_events += 1;
-                self.trace
-                    .record(_now, "decision", format!("FALSE event at {declared}"));
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(_now, "decision", format!("FALSE event at {declared}"));
+                }
             }
         }
     }
 
     /// The aggregator's trust estimate for a node, if it keeps one.
     #[must_use]
-    pub fn trust_of(&self, node: tibfit_net::topology::NodeId) -> Option<f64> {
+    pub fn trust_of(&self, node: NodeId) -> Option<f64> {
         self.aggregator.trust_of(node)
+    }
+
+    /// Total DES events dispatched so far (the bench harness's
+    /// events/sec numerator).
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.engine.dispatched()
+    }
+
+    /// High-water mark of the pending-event queue over the run.
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> usize {
+        self.engine.peak_pending()
     }
 }
 

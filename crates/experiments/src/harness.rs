@@ -31,6 +31,12 @@ pub fn trial_seeds(base: u64, trials: usize) -> Vec<u64> {
 
 /// Maps `f` over `items` on a small thread pool, preserving input order.
 ///
+/// Work is handed out in contiguous *chunks* claimed off an atomic
+/// cursor: each worker pays one lock per chunk (roughly `4 × workers`
+/// chunks total) instead of one lock per item, and processes its chunk
+/// lock-free. Chunks keep input order internally and are reassembled in
+/// index order, so output order is identical to the sequential map.
+///
 /// `f` must be `Sync` (it is shared by the workers); items are consumed by
 /// value. Falls back to sequential execution for tiny inputs.
 ///
@@ -52,34 +58,44 @@ where
         .unwrap_or(4)
         .min(n);
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // ~4 chunks per worker balances steal granularity (uneven trial
+    // costs) against per-chunk locking overhead.
+    let chunk_size = n.div_ceil(workers * 4).max(1);
+    let mut items = items;
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(n.div_ceil(chunk_size));
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_size.min(items.len()));
+        chunks.push(Mutex::new(Some(items)));
+        items = rest;
+    }
+    let n_chunks = chunks.len();
+    let results: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
                     break;
                 }
-                let item = work[i]
+                let batch = chunks[c]
                     .lock()
-                    .expect("work slot poisoned")
+                    .expect("work chunk poisoned")
                     .take()
-                    .expect("work item taken twice");
-                let r = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
+                    .expect("work chunk taken twice");
+                let out: Vec<R> = batch.into_iter().map(&f).collect();
+                *results[c].lock().expect("result chunk poisoned") = Some(out);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| {
+        .flat_map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("missing result")
+                .expect("result chunk poisoned")
+                .expect("missing result chunk")
         })
         .collect()
 }
@@ -119,6 +135,15 @@ mod tests {
     fn run_parallel_empty() {
         let out: Vec<i32> = run_parallel(Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_parallel_order_with_ragged_chunks() {
+        // Prime-sized input so the last chunk is short regardless of the
+        // worker count on this machine.
+        let items: Vec<u64> = (0..1009).collect();
+        let out = run_parallel(items, |x| x + 7);
+        assert_eq!(out, (0..1009).map(|x| x + 7).collect::<Vec<_>>());
     }
 
     #[test]

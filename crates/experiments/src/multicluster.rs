@@ -221,7 +221,8 @@ impl MultiClusterSim {
         // Collect per-cluster report batches (local ids).
         let mut batches: Vec<Vec<LocatedReport>> =
             (0..self.clusters.len()).map(|_| Vec::new()).collect();
-        for node in self.topo.node_ids().collect::<Vec<_>>() {
+        for idx in 0..self.topo.len() {
+            let node = NodeId(idx);
             let node_pos = self.topo.position(node);
             let is_neighbor =
                 node_pos.distance_to(event) <= self.config.sensing_radius;

@@ -105,6 +105,9 @@ pub struct ClusterSim {
     engine: Box<dyn Aggregator>,
     rng: SimRng,
     round: u64,
+    /// Cached dense id list, so per-round loops and the engine's
+    /// roster argument never re-collect it.
+    all_nodes: Vec<NodeId>,
 }
 
 impl ClusterSim {
@@ -130,6 +133,7 @@ impl ClusterSim {
         );
         assert!(config.sensing_radius > 0.0, "sensing radius must be positive");
         assert!(config.r_error > 0.0, "r_error must be positive");
+        let all_nodes: Vec<NodeId> = topo.node_ids().collect();
         ClusterSim {
             config,
             topo,
@@ -138,6 +142,7 @@ impl ClusterSim {
             engine,
             rng,
             round: 0,
+            all_nodes,
         }
     }
 
@@ -217,9 +222,9 @@ impl ClusterSim {
         // The binary model treats every cluster node as an event neighbor
         // (paper Experiment 1), with an abstract event location at the CH.
         let event = event_occurred.then_some(self.config.ch_position);
-        let all_nodes: Vec<NodeId> = self.topo.node_ids().collect();
         let mut reporters = Vec::new();
-        for &node in &all_nodes {
+        for idx in 0..self.topo.len() {
+            let node = NodeId(idx);
             let mut ctx = self.context_for(node, event);
             // Binary model: every node senses every cluster event.
             ctx.is_event_neighbor = event.is_some();
@@ -240,7 +245,7 @@ impl ClusterSim {
                 reporters,
             };
         }
-        let round = self.engine.binary_round(&all_nodes, &reporters);
+        let round = self.engine.binary_round(&self.all_nodes, &reporters);
         for &(node, judgement) in &round.judgements {
             self.behaviors[node.index()].observe_judgement(judgement);
         }
@@ -261,7 +266,8 @@ impl ClusterSim {
     pub fn run_located_round(&mut self, events: &[Point]) -> LocatedRoundResult {
         let mut delivered: Vec<EventReport> = Vec::new();
         let now = SimTime::from_ticks(self.round);
-        for node in self.topo.node_ids().collect::<Vec<_>>() {
+        for idx in 0..self.topo.len() {
+            let node = NodeId(idx);
             let node_pos = self.topo.position(node);
             // The nearest event within sensing range, if any.
             let sensed = events

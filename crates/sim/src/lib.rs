@@ -45,4 +45,4 @@ pub mod trace;
 
 pub use clock::{Duration, SimTime};
 pub use engine::{Engine, TimerHandle};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue, WHEEL_SPAN};

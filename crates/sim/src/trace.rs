@@ -5,8 +5,22 @@
 //! ("exactly N decision rounds ran", "no decision before the first
 //! report"). Tracing is off by default and costs one branch per call
 //! when disabled.
+//!
+//! ## Counters
+//!
+//! Counters are *interned*: a name is registered once with
+//! [`Trace::register_counter`], which hands back a [`CounterId`] — an
+//! index into a flat `Vec<u64>`. Bumping through the id
+//! ([`Trace::bump`]) is a branch-predictable indexed add with no map
+//! lookup, which is what the per-event hot path pays. The string-keyed
+//! [`Trace::count`]/[`Trace::counter`] API is kept for cold callers and
+//! tests; it interns on first use via a short linear scan.
+//!
+//! Counters can be switched off entirely with
+//! [`Trace::without_counters`]; in that mode every bump costs exactly
+//! one (perfectly predicted) branch.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::clock::SimTime;
 
@@ -21,6 +35,12 @@ pub struct TraceEvent {
     pub message: String,
 }
 
+/// Handle to an interned counter slot; obtained from
+/// [`Trace::register_counter`] and only meaningful on the trace that
+/// issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
 /// A bounded trace buffer with named counters.
 ///
 /// ```rust
@@ -30,16 +50,35 @@ pub struct TraceEvent {
 /// let mut trace = Trace::enabled(16);
 /// trace.record(SimTime::from_ticks(5), "report", "n3 -> CH");
 /// trace.count("reports_delivered");
+/// // Hot paths intern once and bump through the id:
+/// let id = trace.register_counter("reports_delivered");
+/// trace.bump(id);
 /// assert_eq!(trace.events().len(), 1);
-/// assert_eq!(trace.counter("reports_delivered"), 1);
+/// assert_eq!(trace.counter("reports_delivered"), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     events: VecDeque<TraceEvent>,
     capacity: usize,
-    counters: BTreeMap<&'static str, u64>,
+    counter_names: Vec<&'static str>,
+    counter_slots: Vec<u64>,
+    counters_on: bool,
     enabled: bool,
     dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            events: VecDeque::new(),
+            capacity: 0,
+            counter_names: Vec::new(),
+            counter_slots: Vec::new(),
+            counters_on: true,
+            enabled: false,
+            dropped: 0,
+        }
+    }
 }
 
 impl Trace {
@@ -61,16 +100,31 @@ impl Trace {
         Trace {
             events: VecDeque::with_capacity(capacity),
             capacity,
-            counters: BTreeMap::new(),
             enabled: true,
-            dropped: 0,
+            ..Trace::default()
         }
+    }
+
+    /// Switches counters off. A bump on a counter-disabled trace costs
+    /// exactly one branch (the `counters_on` check) — the documented
+    /// zero-overhead mode for throughput benchmarking.
+    #[must_use]
+    pub fn without_counters(mut self) -> Self {
+        self.counters_on = false;
+        self
     }
 
     /// Whether event recording is on.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether counter bumps accumulate (see
+    /// [`Trace::without_counters`]).
+    #[must_use]
+    pub fn counters_enabled(&self) -> bool {
+        self.counters_on
     }
 
     /// Records an event (no-op when disabled). The oldest event is
@@ -90,26 +144,69 @@ impl Trace {
         });
     }
 
-    /// Increments a named counter (works even when disabled).
+    /// Interns `counter`, returning the id of its slot. Registering the
+    /// same name again returns the existing id — call this once at
+    /// set-up, keep the id, and bump through it on the hot path.
+    pub fn register_counter(&mut self, counter: &'static str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|&n| n == counter) {
+            return CounterId(i as u32);
+        }
+        self.counter_names.push(counter);
+        self.counter_slots.push(0);
+        CounterId((self.counter_names.len() - 1) as u32)
+    }
+
+    /// Increments an interned counter: one branch plus an indexed add.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId) {
+        if self.counters_on {
+            self.counter_slots[id.0 as usize] += 1;
+        }
+    }
+
+    /// Adds `n` to an interned counter.
+    #[inline]
+    pub fn bump_by(&mut self, id: CounterId, n: u64) {
+        if self.counters_on {
+            self.counter_slots[id.0 as usize] += n;
+        }
+    }
+
+    /// Increments a named counter (works even when event recording is
+    /// disabled). Cold-path convenience over
+    /// [`Trace::register_counter`] + [`Trace::bump`].
     pub fn count(&mut self, counter: &'static str) {
-        *self.counters.entry(counter).or_insert(0) += 1;
+        let id = self.register_counter(counter);
+        self.bump(id);
     }
 
     /// Adds `n` to a named counter.
     pub fn count_by(&mut self, counter: &'static str, n: u64) {
-        *self.counters.entry(counter).or_insert(0) += n;
+        let id = self.register_counter(counter);
+        self.bump_by(id, n);
     }
 
     /// Current value of a counter (zero if never touched).
     #[must_use]
     pub fn counter(&self, counter: &str) -> u64 {
-        self.counters.get(counter).copied().unwrap_or(0)
+        self.counter_names
+            .iter()
+            .position(|&n| n == counter)
+            .map_or(0, |i| self.counter_slots[i])
     }
 
-    /// All counters, sorted by name.
+    /// All counters with a non-zero value, sorted by name.
     #[must_use]
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        self.counters.iter().map(|(k, v)| (*k, *v)).collect()
+        let mut out: Vec<(&'static str, u64)> = self
+            .counter_names
+            .iter()
+            .zip(&self.counter_slots)
+            .filter(|(_, &v)| v != 0)
+            .map(|(&n, &v)| (n, v))
+            .collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
     }
 
     /// The retained events, oldest first.
@@ -133,10 +230,12 @@ impl Trace {
         self.dropped
     }
 
-    /// Clears events and counters.
+    /// Clears events and counters (registered names are forgotten too;
+    /// previously issued [`CounterId`]s are invalidated).
     pub fn clear(&mut self) {
         self.events.clear();
-        self.counters.clear();
+        self.counter_names.clear();
+        self.counter_slots.clear();
         self.dropped = 0;
     }
 
@@ -216,6 +315,51 @@ mod tests {
     }
 
     #[test]
+    fn registered_ids_are_stable_and_deduplicated() {
+        let mut trace = Trace::disabled();
+        let a = trace.register_counter("a");
+        let b = trace.register_counter("b");
+        let a2 = trace.register_counter("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        trace.bump(a);
+        trace.bump(a2);
+        trace.bump_by(b, 5);
+        assert_eq!(trace.counter("a"), 2);
+        assert_eq!(trace.counter("b"), 5);
+    }
+
+    #[test]
+    fn string_and_id_apis_share_slots() {
+        let mut trace = Trace::disabled();
+        let id = trace.register_counter("shared");
+        trace.count("shared");
+        trace.bump(id);
+        assert_eq!(trace.counter("shared"), 2);
+    }
+
+    #[test]
+    fn without_counters_drops_bumps() {
+        let mut trace = Trace::disabled().without_counters();
+        assert!(!trace.counters_enabled());
+        let id = trace.register_counter("x");
+        trace.bump(id);
+        trace.count("x");
+        trace.count_by("x", 10);
+        assert_eq!(trace.counter("x"), 0);
+        assert!(trace.counters().is_empty());
+    }
+
+    #[test]
+    fn untouched_registered_counters_hidden_from_listing() {
+        let mut trace = Trace::disabled();
+        let _ = trace.register_counter("registered_only");
+        trace.count("bumped");
+        assert_eq!(trace.counters(), vec![("bumped", 1)]);
+        assert_eq!(trace.counter("registered_only"), 0);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut trace = Trace::enabled(4);
         trace.record(t(1), "x", "e");
@@ -224,6 +368,7 @@ mod tests {
         assert!(trace.events().is_empty());
         assert_eq!(trace.counter("c"), 0);
         assert_eq!(trace.dropped(), 0);
+        assert!(trace.counters().is_empty());
     }
 
     #[test]

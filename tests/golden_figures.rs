@@ -12,7 +12,7 @@
 use std::path::Path;
 
 use tibfit_experiments::report::FigureData;
-use tibfit_experiments::{exp1, exp4_shadow};
+use tibfit_experiments::{exp1, exp4_shadow, exp5_chaos};
 use tibfit_sim::stats::Series;
 
 const TRIALS: usize = 2;
@@ -50,6 +50,20 @@ fn fig3_matches_golden() {
 #[test]
 fn exp4_shadow_matches_golden() {
     assert_matches_golden(&exp4_shadow::figure_shadow(TRIALS, SEED));
+}
+
+#[test]
+fn exp5_chaos_matches_golden() {
+    // Drives the full DES path (timer-wheel queue, pooled collector
+    // buffers, interned counters) — the snapshot was generated before
+    // the fast-path scheduler landed, so byte-identity here proves the
+    // optimized kernel replays the exact event order.
+    assert_matches_golden(&exp5_chaos::figure_chaos(TRIALS, SEED));
+}
+
+#[test]
+fn exp5_recovery_matches_golden() {
+    assert_matches_golden(&exp5_chaos::figure_recovery_time(TRIALS, SEED));
 }
 
 #[test]
