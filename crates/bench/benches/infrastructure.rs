@@ -45,15 +45,21 @@ fn bench_lifecycle() {
     });
 }
 
+fn send_behaviors(n: usize, sigma: f64) -> Vec<Box<dyn NodeBehavior + Send>> {
+    (0..n)
+        .map(|_| -> Box<dyn NodeBehavior + Send> { Box::new(CorrectNode::new(0.0, sigma)) })
+        .collect()
+}
+
 fn bench_multicluster() {
     let topo = Topology::uniform_grid(100, 100.0, 100.0);
     let mut sim = MultiClusterSim::new(
         MultiClusterConfig::paper(),
         topo,
         five_ch_sites(100.0),
-        honest_behaviors(100, 1.6),
-        Box::new(BernoulliLoss::new(0.005)),
-        SimRng::seed_from(2),
+        send_behaviors(100, 1.6),
+        |_| Box::new(BernoulliLoss::new(0.005)),
+        2,
     );
     let mut i = 0u64;
     bench("multicluster/event_round_100_nodes_5_ch", 20, || {

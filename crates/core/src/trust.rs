@@ -473,6 +473,63 @@ impl TrustTable {
             .map(|i| (NodeId(i), self.entries[i].value(&self.params)))
             .collect()
     }
+
+    /// Extracts one node's full trust state for hand-off to another
+    /// cluster head. Unlike [`TrustTable::export`], the record carries
+    /// the raw fault counter (lossless — TI would round-trip through a
+    /// logarithm) and the diagnosis state, so a quarantined node cannot
+    /// launder its sentence by drifting across a cluster border.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn extract(&self, node: NodeId) -> TrustRecord {
+        TrustRecord {
+            counter: self.entries[node.index()].counter(),
+            status: self.status[node.index()],
+        }
+    }
+
+    /// Installs a hand-off record under a (possibly different) local id —
+    /// the receiving side of [`TrustTable::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the record's counter is
+    /// negative/non-finite.
+    pub fn install(&mut self, node: NodeId, record: TrustRecord) {
+        assert!(
+            record.counter.is_finite() && record.counter >= 0.0,
+            "hand-off counter must be non-negative and finite"
+        );
+        self.entries[node.index()] = TrustIndex { v: record.counter };
+        self.status[node.index()] = record.status;
+    }
+}
+
+/// One node's complete trust state, as moved between cluster heads when
+/// the node's affiliation changes (mobile networks, §2 of the paper: the
+/// base station relays trust state so a node "cannot escape its past" by
+/// joining a new cluster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustRecord {
+    /// The raw fault counter `v` (not the TI — lossless).
+    pub counter: f64,
+    /// Diagnosis state, including any remaining quarantine or probation
+    /// rounds.
+    pub status: NodeStatus,
+}
+
+impl TrustRecord {
+    /// The record of a brand-new node: zero counter, active.
+    #[must_use]
+    pub fn fresh() -> Self {
+        TrustRecord {
+            counter: 0.0,
+            status: NodeStatus::Active,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -717,6 +774,75 @@ mod tests {
         assert_eq!(t.cumulative_trust(&[NodeId(0)]), 0.0);
         t.tick_round();
         assert!((t.cumulative_trust(&[NodeId(0)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extract_install_round_trips_counter_and_status() {
+        let mut a = TrustTable::new(params(), 3)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(3, 2);
+        for _ in 0..4 {
+            a.record_faulty(NodeId(1)); // quarantined, 3 rounds left
+        }
+        a.record_faulty(NodeId(2)); // degraded but active
+        let mut b = TrustTable::new(params(), 5)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(3, 2);
+        // Node moves: global node 1 becomes local node 4 in cluster b.
+        b.install(NodeId(4), a.extract(NodeId(1)));
+        b.install(NodeId(0), a.extract(NodeId(2)));
+        assert_eq!(b.counter_of(NodeId(4)), a.counter_of(NodeId(1)));
+        assert_eq!(b.status_of(NodeId(4)), a.status_of(NodeId(1)));
+        assert!(b.is_isolated(NodeId(4)), "quarantine survives the hand-off");
+        assert_eq!(b.counter_of(NodeId(0)), a.counter_of(NodeId(2)));
+        assert!(!b.is_isolated(NodeId(0)));
+    }
+
+    #[test]
+    fn handoff_preserves_remaining_sentence() {
+        let mut a = TrustTable::new(params(), 1)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(5, 2);
+        for _ in 0..4 {
+            a.record_faulty(NodeId(0));
+        }
+        a.tick_round();
+        a.tick_round(); // 3 rounds of quarantine left
+        let rec = a.extract(NodeId(0));
+        assert_eq!(rec.status, NodeStatus::Quarantined { remaining: 3 });
+        let mut b = TrustTable::new(params(), 1)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(5, 2);
+        b.install(NodeId(0), rec);
+        // The node serves exactly the remaining 3 rounds, then probation.
+        b.tick_round();
+        b.tick_round();
+        assert!(b.is_isolated(NodeId(0)));
+        b.tick_round();
+        assert!(matches!(b.status_of(NodeId(0)), NodeStatus::Probation { remaining: 2 }));
+    }
+
+    #[test]
+    fn fresh_record_is_full_trust() {
+        let rec = TrustRecord::fresh();
+        let mut t = TrustTable::new(params(), 1);
+        t.record_faulty(NodeId(0));
+        t.install(NodeId(0), rec);
+        assert_eq!(t.trust_of(NodeId(0)), 1.0);
+        assert_eq!(t.status_of(NodeId(0)), NodeStatus::Active);
+    }
+
+    #[test]
+    #[should_panic(expected = "hand-off counter")]
+    fn install_rejects_negative_counter() {
+        let mut t = TrustTable::new(params(), 1);
+        t.install(
+            NodeId(0),
+            TrustRecord {
+                counter: -1.0,
+                status: NodeStatus::Active,
+            },
+        );
     }
 
     #[test]

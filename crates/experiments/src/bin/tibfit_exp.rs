@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tibfit_experiments::report::FigureData;
-use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow, exp5_chaos};
+use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow, exp5_chaos, exp6_scale};
 use tibfit_sim::stats::Series;
 
 struct Options {
@@ -62,7 +62,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
+    "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|exp6|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
         .to_string()
 }
 
@@ -152,6 +152,16 @@ fn run(options: &Options) -> Result<(), String> {
         emit(&exp5_chaos::figure_chaos(t, s), options);
         emit(&exp5_chaos::figure_recovery_time(t, s), options);
     };
+    let run_exp6 = || -> Result<(), String> {
+        let cfg = exp6_scale::Exp6Config::paper_scale(s);
+        let points = exp6_scale::run_exp6(&cfg).map_err(|e| format!("exp6: {e}"))?;
+        println!("{}", exp6_scale::to_markdown(&points));
+        match exp6_scale::write_csv(&points, &options.out_dir) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("failed to write exp6_scale: {e}"),
+        }
+        Ok(())
+    };
     let run_analysis = || {
         emit(&fig10_data(), options);
         emit(&fig11_data(), options);
@@ -172,6 +182,7 @@ fn run(options: &Options) -> Result<(), String> {
         "fig11" => emit(&fig11_data(), options),
         "exp4" => run_exp4(),
         "exp5" => run_exp5(),
+        "exp6" => run_exp6()?,
         "ablation" => run_ablation(),
         "tables" => {
             println!("{}", exp1::table1());
@@ -183,6 +194,7 @@ fn run(options: &Options) -> Result<(), String> {
             run_exp3();
             run_exp4();
             run_exp5();
+            run_exp6()?;
             run_analysis();
             run_ablation();
         }

@@ -1,0 +1,445 @@
+//! Experiment 6: scale sweep of the sharded multi-cluster engine.
+//!
+//! Sweeps cluster counts × worker-thread counts over a constant-density
+//! field (one node per 10×10 cell, 20 nodes per cluster), runs the same
+//! mobile workload on every engine configuration, and reports throughput
+//! (DES events + routed envelopes per second) plus speedup over the
+//! sequential reference engine.
+//!
+//! Every cell of the sweep doubles as a determinism check: the trust
+//! checksum after the run must be identical across all thread counts
+//! *and* equal to the sequential engine's — a mismatch aborts the sweep
+//! with [`Exp6Error::DeterminismViolation`] rather than emitting numbers
+//! from a broken engine.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+use crate::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
+use crate::sharded::{ShardedError, ShardedMultiCluster};
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Exp6Config {
+    /// Cluster counts to sweep.
+    pub clusters: Vec<usize>,
+    /// Worker-thread counts to sweep per cluster count.
+    pub threads: Vec<usize>,
+    /// Nodes deployed per cluster (field area scales to keep density).
+    pub nodes_per_cluster: usize,
+    /// Event rounds per run.
+    pub events: usize,
+    /// Fraction of nodes that are level-0 faulty.
+    pub faulty_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Exp6Config {
+    /// The sweep from the issue: clusters ∈ {5, 32, 128, 256},
+    /// threads ∈ {1, 2, 4, 8}.
+    #[must_use]
+    pub fn paper_scale(seed: u64) -> Self {
+        Exp6Config {
+            clusters: vec![5, 32, 128, 256],
+            threads: vec![1, 2, 4, 8],
+            nodes_per_cluster: 20,
+            events: 40,
+            faulty_fraction: 0.25,
+            seed,
+        }
+    }
+
+    /// A reduced sweep for tests and smoke runs.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Exp6Config {
+            clusters: vec![2, 4],
+            threads: vec![1, 2],
+            nodes_per_cluster: 10,
+            events: 8,
+            faulty_fraction: 0.25,
+            seed,
+        }
+    }
+
+    /// Validates the sweep parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), Exp6Error> {
+        if self.clusters.is_empty() {
+            return Err(Exp6Error::EmptySweep("clusters"));
+        }
+        if self.threads.is_empty() {
+            return Err(Exp6Error::EmptySweep("threads"));
+        }
+        if self.threads.contains(&0) {
+            return Err(Exp6Error::ZeroThreads);
+        }
+        if self.nodes_per_cluster == 0 {
+            return Err(Exp6Error::NoNodes);
+        }
+        if self.events == 0 {
+            return Err(Exp6Error::NoEvents);
+        }
+        if !(0.0..=1.0).contains(&self.faulty_fraction) {
+            return Err(Exp6Error::BadFaultyFraction(self.faulty_fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Why the sweep was rejected or aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exp6Error {
+    /// A sweep axis has no points.
+    EmptySweep(&'static str),
+    /// A thread count of zero was requested.
+    ZeroThreads,
+    /// Zero nodes per cluster.
+    NoNodes,
+    /// Zero event rounds.
+    NoEvents,
+    /// The faulty fraction is outside `[0, 1]`.
+    BadFaultyFraction(f64),
+    /// Engine construction failed.
+    Engine(ShardedError),
+    /// Two engine configurations that must agree produced different
+    /// trust state — the determinism guarantee is broken.
+    DeterminismViolation {
+        /// Cluster count of the offending run.
+        clusters: usize,
+        /// Thread count of the offending run.
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for Exp6Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exp6Error::EmptySweep(axis) => write!(f, "sweep axis `{axis}` has no points"),
+            Exp6Error::ZeroThreads => write!(f, "thread counts must be at least 1"),
+            Exp6Error::NoNodes => write!(f, "need at least one node per cluster"),
+            Exp6Error::NoEvents => write!(f, "need at least one event round"),
+            Exp6Error::BadFaultyFraction(x) => {
+                write!(f, "faulty fraction {x} outside [0, 1]")
+            }
+            Exp6Error::Engine(e) => write!(f, "engine construction failed: {e}"),
+            Exp6Error::DeterminismViolation { clusters, threads } => write!(
+                f,
+                "determinism violation: {clusters} clusters at {threads} threads \
+                 diverged from the sequential reference"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Exp6Error {}
+
+impl From<ShardedError> for Exp6Error {
+    fn from(e: ShardedError) -> Self {
+        Exp6Error::Engine(e)
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exp6Point {
+    /// Cluster (= shard) count.
+    pub clusters: usize,
+    /// Worker threads (0 = the sequential reference engine).
+    pub threads: usize,
+    /// Total deployed nodes.
+    pub nodes: usize,
+    /// Event rounds run.
+    pub events: usize,
+    /// Wall-clock for the run, nanoseconds.
+    pub elapsed_ns: u128,
+    /// DES events + routed envelopes processed (sharded engines only).
+    pub dispatched: u64,
+    /// `dispatched` per wall-clock second (sharded engines only).
+    pub events_per_sec: f64,
+    /// Sequential wall-clock / this run's wall-clock.
+    pub speedup: f64,
+    /// Fraction of events localized within `r_error`.
+    pub detection_rate: f64,
+    /// Order-independent fold of the final trust snapshot; equal cells
+    /// prove equal end states.
+    pub trust_checksum: u64,
+}
+
+fn checksum(bits: &[u64]) -> u64 {
+    bits.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, &b| {
+        (acc ^ b).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+struct Deployment {
+    config: MultiClusterConfig,
+    topo: Topology,
+    sites: Vec<Point>,
+    behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+}
+
+fn deployment(cfg: &Exp6Config, n_clusters: usize) -> Deployment {
+    let nodes = n_clusters * cfg.nodes_per_cluster;
+    // Constant density: one node per 10×10 cell, like the paper's
+    // 100 nodes on a 100×100 field.
+    let field = (nodes as f64).sqrt() * 10.0;
+    let topo = Topology::uniform_grid(nodes, field, field);
+    let n_faulty = (nodes as f64 * cfg.faulty_fraction).round() as usize;
+    let faulty = SimRng::seed_from(cfg.seed ^ 0xFA17).choose_indices(nodes, n_faulty);
+    let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..nodes)
+        .map(|i| -> Box<dyn NodeBehavior + Send> {
+            if faulty.contains(&i) {
+                Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+            } else {
+                Box::new(CorrectNode::new(0.0, 1.6))
+            }
+        })
+        .collect();
+    Deployment {
+        config: MultiClusterConfig::paper().mobile(0.5, 4),
+        topo,
+        sites: grid_sites(n_clusters, field),
+        behaviors,
+    }
+}
+
+fn event_schedule(cfg: &Exp6Config, field: f64) -> Vec<Point> {
+    let mut rng = SimRng::seed_from(cfg.seed ^ 0xE7E7);
+    (0..cfg.events)
+        .map(|_| Point::new(rng.uniform_range(0.0, field), rng.uniform_range(0.0, field)))
+        .collect()
+}
+
+/// Runs the sweep. For each cluster count the sequential engine runs
+/// first (reported with `threads = 0`), then each sharded thread count;
+/// all runs on identical inputs.
+///
+/// # Errors
+///
+/// Returns [`Exp6Error`] for invalid sweep parameters, engine
+/// construction failures, or a cross-engine state mismatch.
+pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
+    cfg.validate()?;
+    let mut out = Vec::new();
+    for &n_clusters in &cfg.clusters {
+        let nodes = n_clusters * cfg.nodes_per_cluster;
+        let field = (nodes as f64).sqrt() * 10.0;
+        let events = event_schedule(cfg, field);
+
+        // Sequential reference: the speedup denominator and the
+        // determinism oracle.
+        let d0 = deployment(cfg, n_clusters);
+        let mut seq = MultiClusterSim::try_new(
+            d0.config,
+            d0.topo,
+            d0.sites,
+            d0.behaviors,
+            |_| Box::new(BernoulliLoss::new(0.005)),
+            cfg.seed,
+        )
+        .map_err(ShardedError::Cluster)?;
+        let start = Instant::now();
+        let mut seq_hits = 0usize;
+        for &e in &events {
+            seq_hits += usize::from(seq.run_event(e).detected_within(d0.config.r_error));
+        }
+        let seq_ns = start.elapsed().as_nanos().max(1);
+        let seq_sum = checksum(&seq.trust_snapshot());
+        out.push(Exp6Point {
+            clusters: n_clusters,
+            threads: 0,
+            nodes,
+            events: events.len(),
+            elapsed_ns: seq_ns,
+            dispatched: 0,
+            events_per_sec: 0.0,
+            speedup: 1.0,
+            detection_rate: seq_hits as f64 / events.len() as f64,
+            trust_checksum: seq_sum,
+        });
+
+        for &threads in &cfg.threads {
+            let d = deployment(cfg, n_clusters);
+            let mut par = ShardedMultiCluster::try_new(
+                d.config,
+                d.topo,
+                d.sites,
+                d.behaviors,
+                |_| Box::new(BernoulliLoss::new(0.005)),
+                cfg.seed,
+                threads,
+            )?;
+            let start = Instant::now();
+            let mut hits = 0usize;
+            for &e in &events {
+                hits += usize::from(par.run_event(e).detected_within(d.config.r_error));
+            }
+            let ns = start.elapsed().as_nanos().max(1);
+            let sum = checksum(&par.trust_snapshot());
+            if sum != seq_sum || hits != seq_hits {
+                return Err(Exp6Error::DeterminismViolation {
+                    clusters: n_clusters,
+                    threads,
+                });
+            }
+            let dispatched = par.events_dispatched();
+            out.push(Exp6Point {
+                clusters: n_clusters,
+                threads,
+                nodes,
+                events: events.len(),
+                elapsed_ns: ns,
+                dispatched,
+                events_per_sec: dispatched as f64 / (ns as f64 / 1e9),
+                speedup: seq_ns as f64 / ns as f64,
+                detection_rate: hits as f64 / events.len() as f64,
+                trust_checksum: sum,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the sweep as CSV (one row per engine configuration).
+#[must_use]
+pub fn to_csv(points: &[Exp6Point]) -> String {
+    let mut out = String::from(
+        "clusters,threads,nodes,events,elapsed_ns,dispatched,events_per_sec,speedup,detection_rate,trust_checksum\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.1},{:.3},{:.4},{:016x}\n",
+            p.clusters,
+            p.threads,
+            p.nodes,
+            p.events,
+            p.elapsed_ns,
+            p.dispatched,
+            p.events_per_sec,
+            p.speedup,
+            p.detection_rate,
+            p.trust_checksum,
+        ));
+    }
+    out
+}
+
+/// Writes the sweep to `<dir>/exp6_scale.csv`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_csv(points: &[Exp6Point], dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("exp6_scale.csv");
+    std::fs::write(&path, to_csv(points))?;
+    Ok(path)
+}
+
+/// Renders the sweep as an aligned markdown table.
+#[must_use]
+pub fn to_markdown(points: &[Exp6Point]) -> String {
+    let mut out = String::from(
+        "### exp6 — sharded engine scale sweep\n\n\
+         | clusters | engine | elapsed | events/sec | speedup | detect |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for p in points {
+        let engine = if p.threads == 0 {
+            "sequential".to_string()
+        } else {
+            format!("sharded ×{}", p.threads)
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.2} ms | {:.0} | {:.2}x | {:.3} |\n",
+            p.clusters,
+            engine,
+            p.elapsed_ns as f64 / 1e6,
+            p.events_per_sec,
+            p.speedup,
+            p.detection_rate,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_runs_and_agrees() {
+        let points = run_exp6(&Exp6Config::smoke(11)).unwrap();
+        // 2 cluster counts × (1 sequential + 2 sharded) rows.
+        assert_eq!(points.len(), 6);
+        for group in points.chunks(3) {
+            let base = group[0].trust_checksum;
+            assert!(group.iter().all(|p| p.trust_checksum == base));
+            assert!(group.iter().all(|p| p.nodes == group[0].nodes));
+        }
+        assert!(points.iter().all(|p| p.elapsed_ns > 0));
+        assert!(points.iter().filter(|p| p.threads > 0).all(|p| p.dispatched > 0));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let points = run_exp6(&Exp6Config::smoke(5)).unwrap();
+        let csv = to_csv(&points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("clusters,threads,"));
+        assert_eq!(lines.len(), points.len() + 1);
+    }
+
+    #[test]
+    fn markdown_labels_engines() {
+        let points = run_exp6(&Exp6Config::smoke(5)).unwrap();
+        let md = to_markdown(&points);
+        assert!(md.contains("sequential"));
+        assert!(md.contains("sharded ×2"));
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_config() {
+        let ok = Exp6Config::smoke(1);
+        let cases: Vec<(Exp6Config, Exp6Error)> = vec![
+            (
+                Exp6Config { clusters: vec![], ..ok.clone() },
+                Exp6Error::EmptySweep("clusters"),
+            ),
+            (
+                Exp6Config { threads: vec![], ..ok.clone() },
+                Exp6Error::EmptySweep("threads"),
+            ),
+            (
+                Exp6Config { threads: vec![1, 0], ..ok.clone() },
+                Exp6Error::ZeroThreads,
+            ),
+            (
+                Exp6Config { nodes_per_cluster: 0, ..ok.clone() },
+                Exp6Error::NoNodes,
+            ),
+            (Exp6Config { events: 0, ..ok.clone() }, Exp6Error::NoEvents),
+            (
+                Exp6Config { faulty_fraction: 1.5, ..ok.clone() },
+                Exp6Error::BadFaultyFraction(1.5),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(run_exp6(&cfg).unwrap_err(), want);
+            assert!(!want.to_string().is_empty());
+        }
+    }
+}

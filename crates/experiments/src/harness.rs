@@ -29,16 +29,28 @@ pub fn trial_seeds(base: u64, trials: usize) -> Vec<u64> {
         .collect()
 }
 
+/// Why a harness invocation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A worker count of zero was requested.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::ZeroWorkers => write!(f, "need at least one worker thread"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
 /// Maps `f` over `items` on a small thread pool, preserving input order.
 ///
-/// Work is handed out in contiguous *chunks* claimed off an atomic
-/// cursor: each worker pays one lock per chunk (roughly `4 × workers`
-/// chunks total) instead of one lock per item, and processes its chunk
-/// lock-free. Chunks keep input order internally and are reassembled in
-/// index order, so output order is identical to the sequential map.
-///
-/// `f` must be `Sync` (it is shared by the workers); items are consumed by
-/// value. Falls back to sequential execution for tiny inputs.
+/// The worker count is taken from the machine
+/// (`std::thread::available_parallelism`); use [`run_parallel_threads`]
+/// to pin it. See that function for the chunking strategy.
 ///
 /// # Panics
 ///
@@ -49,14 +61,50 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
+        .unwrap_or(4);
+    run_parallel_threads(items, workers, f).expect("worker count is non-zero")
+}
+
+/// Maps `f` over `items` on exactly `workers` threads, preserving input
+/// order.
+///
+/// Work is handed out in contiguous *chunks* claimed off an atomic
+/// cursor: each worker pays one lock per chunk (roughly `4 × workers`
+/// chunks total) instead of one lock per item, and processes its chunk
+/// lock-free. Chunks keep input order internally and are reassembled in
+/// index order, so output order is identical to the sequential map —
+/// for any worker count.
+///
+/// `f` must be `Sync` (it is shared by the workers); items are consumed by
+/// value. Falls back to sequential execution for tiny inputs.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::ZeroWorkers`] when `workers` is zero.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn run_parallel_threads<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+) -> Result<Vec<R>, HarnessError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if workers == 0 {
+        return Err(HarnessError::ZeroWorkers);
+    }
+    let n = items.len();
+    if n <= 1 || workers == 1 {
+        return Ok(items.into_iter().map(f).collect());
+    }
+    let workers = workers.min(n);
 
     // ~4 chunks per worker balances steal granularity (uneven trial
     // costs) against per-chunk locking overhead.
@@ -90,14 +138,14 @@ where
         }
     });
 
-    results
+    Ok(results
         .into_iter()
         .flat_map(|m| {
             m.into_inner()
                 .expect("result chunk poisoned")
                 .expect("missing result chunk")
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -144,6 +192,23 @@ mod tests {
         let items: Vec<u64> = (0..1009).collect();
         let out = run_parallel(items, |x| x + 7);
         assert_eq!(out, (0..1009).map(|x| x + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_threads_rejects_zero_workers() {
+        let err = run_parallel_threads(vec![1, 2, 3], 0, |x: i32| x).unwrap_err();
+        assert_eq!(err, HarnessError::ZeroWorkers);
+        assert!(err.to_string().contains("worker"));
+    }
+
+    #[test]
+    fn run_parallel_threads_order_invariant_across_worker_counts() {
+        let items: Vec<u64> = (0..321).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 4, 8] {
+            let out = run_parallel_threads(items.clone(), workers, |x| x * 3 + 1).unwrap();
+            assert_eq!(out, want, "workers={workers}");
+        }
     }
 
     #[test]

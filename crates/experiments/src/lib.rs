@@ -32,9 +32,11 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4_shadow;
 pub mod exp5_chaos;
+pub mod exp6_scale;
 pub mod harness;
 pub mod multicluster;
 pub mod network;
 pub mod report;
+pub mod sharded;
 
 pub use network::{BinaryRoundResult, ClusterSim, ClusterSimConfig, LocatedRoundResult, Role};

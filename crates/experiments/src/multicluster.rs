@@ -14,15 +14,34 @@
 //! can fail where the whole neighborhood's would have succeeded — the
 //! price of partitioned state. The tests quantify that price and check it
 //! stays small for the paper's parameters.
+//!
+//! ## Ownership and determinism
+//!
+//! Every cluster is a self-contained [`ClusterState`]: it owns its
+//! members' behaviours, its channel instance, its trust table, and its
+//! own RNG stream derived as `SimRng::stream(master_seed, cluster_index)`.
+//! Nothing a cluster does consumes another cluster's stream, so the
+//! per-round result is a pure function of `(master_seed, cluster
+//! composition, event sequence)` — which is exactly what lets the sharded
+//! engine in [`crate::sharded`] run clusters on worker threads and still
+//! reproduce this sequential reference bit-for-bit. The differential
+//! suite (`tests/differential_shards.rs`) pins that equivalence.
+//!
+//! With [`MultiClusterConfig::mobile`], nodes drift each round (Gaussian
+//! step from the owning cluster's stream) and affiliation is re-evaluated
+//! every `reelect_every` rounds: a node now nearest a different head is
+//! handed off — fault counter, diagnosis state, and behaviour move with
+//! it, so a liar cannot launder its record by crossing a border.
 
 use tibfit_adversary::behavior::{NodeBehavior, RoundContext};
 use tibfit_core::engine::{Aggregator, TibfitEngine};
 use tibfit_core::location::LocatedReport;
-use tibfit_core::trust::TrustParams;
+use tibfit_core::trust::{TrustParams, TrustRecord};
 use tibfit_net::channel::ChannelModel;
 use tibfit_net::geometry::Point;
-use tibfit_net::topology::{NodeId, Topology};
+use tibfit_net::topology::{nearest_site, NodeId, Topology};
 use tibfit_sim::rng::SimRng;
+use tibfit_sim::trace::{CounterId, Trace};
 
 /// Configuration of a multi-cluster deployment.
 #[derive(Debug, Clone, Copy)]
@@ -33,19 +52,106 @@ pub struct MultiClusterConfig {
     pub r_error: f64,
     /// Trust parameters for every cluster head's table.
     pub trust: TrustParams,
+    /// Per-round Gaussian drift step for node positions (0 = static
+    /// deployment, the paper's default).
+    pub drift_sigma: f64,
+    /// Re-evaluate cluster affiliation every this many rounds, handing
+    /// drifted nodes to their new nearest head (0 = never).
+    pub reelect_every: u64,
 }
 
 impl MultiClusterConfig {
-    /// Table-2 values.
+    /// Table-2 values (static deployment, no re-election).
     #[must_use]
     pub fn paper() -> Self {
         MultiClusterConfig {
             sensing_radius: 20.0,
             r_error: 5.0,
             trust: TrustParams::experiment2(),
+            drift_sigma: 0.0,
+            reelect_every: 0,
+        }
+    }
+
+    /// Enables mobility: nodes drift `sigma` per round and affiliation is
+    /// re-evaluated every `reelect_every` rounds.
+    #[must_use]
+    pub fn mobile(mut self, sigma: f64, reelect_every: u64) -> Self {
+        self.drift_sigma = sigma;
+        self.reelect_every = reelect_every;
+        self
+    }
+
+    /// Checks the numeric fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: radii must be finite and
+    /// strictly positive, drift must be finite and non-negative.
+    pub fn validate(&self) -> Result<(), MultiClusterError> {
+        if !(self.sensing_radius.is_finite() && self.sensing_radius > 0.0) {
+            return Err(MultiClusterError::InvalidSensingRadius(self.sensing_radius));
+        }
+        if !(self.r_error.is_finite() && self.r_error > 0.0) {
+            return Err(MultiClusterError::InvalidErrorRadius(self.r_error));
+        }
+        if !(self.drift_sigma.is_finite() && self.drift_sigma >= 0.0) {
+            return Err(MultiClusterError::InvalidDrift(self.drift_sigma));
+        }
+        Ok(())
+    }
+}
+
+/// Why a multi-cluster deployment could not be built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MultiClusterError {
+    /// `ch_sites` was empty.
+    NoClusterHeads,
+    /// The behavior list does not match the topology.
+    BehaviorCountMismatch {
+        /// Behaviours supplied.
+        behaviors: usize,
+        /// Nodes deployed.
+        nodes: usize,
+    },
+    /// A cluster-head site attracted no members.
+    EmptyCluster {
+        /// The memberless cluster's index.
+        cluster: usize,
+    },
+    /// `sensing_radius` was NaN, infinite, or not strictly positive.
+    InvalidSensingRadius(f64),
+    /// `r_error` was NaN, infinite, or not strictly positive.
+    InvalidErrorRadius(f64),
+    /// `drift_sigma` was NaN, infinite, or negative.
+    InvalidDrift(f64),
+}
+
+impl std::fmt::Display for MultiClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiClusterError::NoClusterHeads => write!(f, "need at least one cluster head"),
+            MultiClusterError::BehaviorCountMismatch { behaviors, nodes } => write!(
+                f,
+                "one behavior per node: got {behaviors} behaviors for {nodes} nodes"
+            ),
+            MultiClusterError::EmptyCluster { cluster } => {
+                write!(f, "cluster {cluster} has no members")
+            }
+            MultiClusterError::InvalidSensingRadius(x) => {
+                write!(f, "sensing radius must be positive and finite, got {x}")
+            }
+            MultiClusterError::InvalidErrorRadius(x) => {
+                write!(f, "r_error must be positive and finite, got {x}")
+            }
+            MultiClusterError::InvalidDrift(x) => {
+                write!(f, "drift sigma must be non-negative and finite, got {x}")
+            }
         }
     }
 }
+
+impl std::error::Error for MultiClusterError {}
 
 /// The paper's five cluster-head sites on a square field: the center and
 /// the four quadrant centers.
@@ -61,14 +167,401 @@ pub fn five_ch_sites(field: f64) -> Vec<Point> {
     ]
 }
 
-/// One cluster: its head position, member set, and local engine.
-struct Cluster {
+/// `k` cluster-head sites on the smallest square grid covering them —
+/// the scale-sweep generalization of [`five_ch_sites`] used by exp6.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `field` is not strictly positive.
+#[must_use]
+pub fn grid_sites(k: usize, field: f64) -> Vec<Point> {
+    assert!(k > 0, "need at least one site");
+    assert!(field > 0.0, "field must be positive");
+    let cols = (k as f64).sqrt().ceil() as usize;
+    let rows = k.div_ceil(cols);
+    let dx = field / cols as f64;
+    let dy = field / rows as f64;
+    let mut sites = Vec::with_capacity(k);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if sites.len() == k {
+                break 'outer;
+            }
+            sites.push(Point::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy));
+        }
+    }
+    sites
+}
+
+/// A node changing clusters: its identity, current position, full trust
+/// record, and behaviour move together to the destination cluster.
+pub(crate) struct Handoff {
+    pub(crate) node: NodeId,
+    pub(crate) position: Point,
+    pub(crate) record: TrustRecord,
+    pub(crate) behavior: Box<dyn NodeBehavior + Send>,
+    /// Destination cluster index.
+    pub(crate) dst: usize,
+}
+
+impl std::fmt::Debug for Handoff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handoff")
+            .field("node", &self.node)
+            .field("position", &self.position)
+            .field("dst", &self.dst)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One member's full state, as reassembled during a cluster rebuild.
+struct MemberSlot {
+    node: NodeId,
+    position: Point,
+    behavior: Box<dyn NodeBehavior + Send>,
+    record: TrustRecord,
+}
+
+/// One cluster as a self-contained unit: head position, members (global
+/// ids, ascending), their positions/behaviours, the head's engine, the
+/// cluster's channel instance, its private RNG stream, and its trace.
+///
+/// Both the sequential [`MultiClusterSim`] and the sharded engine run
+/// rounds through this type's methods, so any behavioural difference
+/// between the two can only come from orchestration — which is exactly
+/// what the differential suite isolates.
+pub(crate) struct ClusterState {
+    pub(crate) index: usize,
     head_position: Point,
-    /// Global ids of the members, in local-index order.
+    /// Global ids, ascending; local id = position in this vector.
     members: Vec<NodeId>,
-    /// Sub-topology over the members (local ids `0..members.len()`).
+    /// Current member positions (drift updates these), local-id order.
+    positions: Vec<Point>,
     local_topo: Topology,
     engine: TibfitEngine,
+    behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+    channel: Box<dyn ChannelModel + Send>,
+    pub(crate) rng: SimRng,
+    trace: Trace,
+    c_delivered: CounterId,
+    c_dropped: CounterId,
+    c_decided: CounterId,
+    c_declared: CounterId,
+    c_handoff_out: CounterId,
+    c_handoff_in: CounterId,
+    config: MultiClusterConfig,
+    field_w: f64,
+    field_h: f64,
+}
+
+impl ClusterState {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        index: usize,
+        head_position: Point,
+        members: Vec<NodeId>,
+        positions: Vec<Point>,
+        config: MultiClusterConfig,
+        behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+        channel: Box<dyn ChannelModel + Send>,
+        rng: SimRng,
+        field_w: f64,
+        field_h: f64,
+    ) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted");
+        let local_topo = Topology::from_positions(positions.clone(), field_w, field_h);
+        let engine = TibfitEngine::new(config.trust, members.len());
+        let mut trace = Trace::disabled();
+        let c_delivered = trace.register_counter("reports.delivered");
+        let c_dropped = trace.register_counter("reports.dropped");
+        let c_decided = trace.register_counter("rounds.decided");
+        let c_declared = trace.register_counter("events.declared");
+        let c_handoff_out = trace.register_counter("handoffs.out");
+        let c_handoff_in = trace.register_counter("handoffs.in");
+        ClusterState {
+            index,
+            head_position,
+            members,
+            positions,
+            local_topo,
+            engine,
+            behaviors,
+            channel,
+            rng,
+            trace,
+            c_delivered,
+            c_dropped,
+            c_decided,
+            c_declared,
+            c_handoff_out,
+            c_handoff_in,
+            config,
+            field_w,
+            field_h,
+        }
+    }
+
+    pub(crate) fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    pub(crate) fn position(&self, local: usize) -> Point {
+        self.positions[local]
+    }
+
+    /// Raw trust counter of a local member (lossless, for snapshots).
+    pub(crate) fn counter_of(&self, local: usize) -> f64 {
+        self.engine.table().counter_of(NodeId(local))
+    }
+
+    /// Trust index of a local member.
+    pub(crate) fn trust_of(&self, local: usize) -> f64 {
+        self.engine
+            .trust_of(NodeId(local))
+            .expect("TIBFIT keeps trust")
+    }
+
+    /// Non-zero trace counters, sorted by name.
+    pub(crate) fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.trace.counters()
+    }
+
+    /// Phase 1 of a round: every member acts on the event (consuming this
+    /// cluster's stream in member order), and surviving reports reach the
+    /// head through this cluster's channel. Returns local-id reports.
+    pub(crate) fn sense(&mut self, round: u64, event: Point) -> Vec<LocatedReport> {
+        let mut batch = Vec::new();
+        for local in 0..self.members.len() {
+            let node_pos = self.positions[local];
+            let is_neighbor = node_pos.distance_to(event) <= self.config.sensing_radius;
+            let ctx = RoundContext {
+                round,
+                node: self.members[local],
+                node_pos,
+                event: Some(event),
+                is_event_neighbor: is_neighbor,
+            };
+            let Some(claim) = self.behaviors[local].located_action(&ctx, &mut self.rng) else {
+                continue;
+            };
+            if self.channel.delivers(node_pos, self.head_position, &mut self.rng) {
+                self.trace.bump(self.c_delivered);
+                batch.push(LocatedReport::new(NodeId(local), claim));
+            } else {
+                self.trace.bump(self.c_dropped);
+            }
+        }
+        batch
+    }
+
+    /// Phase 2: the head decides from its fragment and judges its
+    /// members; judgements feed straight back into the member behaviours
+    /// this cluster owns. An empty batch decides nothing (silence about
+    /// an event nobody reported is not evidence).
+    pub(crate) fn decide(&mut self, batch: &[LocatedReport]) -> Vec<Point> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        self.trace.bump(self.c_decided);
+        let result = self.engine.located_round(
+            &self.local_topo,
+            self.config.sensing_radius,
+            self.config.r_error,
+            batch,
+        );
+        for &(local, judgement) in &result.judgements {
+            self.behaviors[local.index()].observe_judgement(judgement);
+        }
+        let declared = result.declared_locations();
+        self.trace.bump_by(self.c_declared, declared.len() as u64);
+        declared
+    }
+
+    /// End-of-round mobility: each member takes a Gaussian step (clamped
+    /// to the field) drawn from this cluster's stream, in member order.
+    pub(crate) fn drift(&mut self) {
+        if self.config.drift_sigma <= 0.0 {
+            return;
+        }
+        for local in 0..self.members.len() {
+            let p = self.positions[local];
+            let dx = self.rng.normal(0.0, self.config.drift_sigma);
+            let dy = self.rng.normal(0.0, self.config.drift_sigma);
+            let moved = Point::new(
+                (p.x + dx).clamp(0.0, self.field_w),
+                (p.y + dy).clamp(0.0, self.field_h),
+            );
+            self.positions[local] = moved;
+            self.local_topo.set_position(NodeId(local), moved);
+        }
+    }
+
+    /// Re-election: members now nearest a *different* site leave, taking
+    /// their trust record and behaviour with them. The cluster never
+    /// gives up its last member (a head with no members is not a
+    /// cluster), evaluated in member order so the retained node is
+    /// deterministic.
+    pub(crate) fn departures(&mut self, sites: &[Point]) -> Vec<Handoff> {
+        let mut leaving = vec![false; self.members.len()];
+        let mut remaining = self.members.len();
+        for (leave, &position) in leaving.iter_mut().zip(&self.positions) {
+            let dst = nearest_site(sites, position).expect("non-empty sites");
+            if dst != self.index && remaining > 1 {
+                *leave = true;
+                remaining -= 1;
+            }
+        }
+        if leaving.iter().all(|&l| !l) {
+            return Vec::new();
+        }
+        let records: Vec<TrustRecord> = (0..self.members.len())
+            .map(|l| self.engine.table().extract(NodeId(l)))
+            .collect();
+        let members = std::mem::take(&mut self.members);
+        let positions = std::mem::take(&mut self.positions);
+        let behaviors = std::mem::take(&mut self.behaviors);
+        let mut kept = Vec::with_capacity(remaining);
+        let mut out = Vec::new();
+        for (local, ((node, position), behavior)) in
+            members.into_iter().zip(positions).zip(behaviors).enumerate()
+        {
+            if leaving[local] {
+                let dst = nearest_site(sites, position).expect("non-empty sites");
+                out.push(Handoff {
+                    node,
+                    position,
+                    record: records[local],
+                    behavior,
+                    dst,
+                });
+            } else {
+                kept.push(MemberSlot {
+                    node,
+                    position,
+                    behavior,
+                    record: records[local],
+                });
+            }
+        }
+        self.trace.bump_by(self.c_handoff_out, out.len() as u64);
+        self.rebuild(kept);
+        out
+    }
+
+    /// Admits handed-off nodes. The rebuild sorts members by global id,
+    /// so the final state is independent of arrival order — determinism
+    /// by construction rather than by careful sequencing.
+    pub(crate) fn admit(&mut self, arrivals: Vec<Handoff>) {
+        if arrivals.is_empty() {
+            return;
+        }
+        self.trace.bump_by(self.c_handoff_in, arrivals.len() as u64);
+        let records: Vec<TrustRecord> = (0..self.members.len())
+            .map(|l| self.engine.table().extract(NodeId(l)))
+            .collect();
+        let members = std::mem::take(&mut self.members);
+        let positions = std::mem::take(&mut self.positions);
+        let behaviors = std::mem::take(&mut self.behaviors);
+        let mut kept: Vec<MemberSlot> = members
+            .into_iter()
+            .zip(positions)
+            .zip(behaviors)
+            .enumerate()
+            .map(|(local, ((node, position), behavior))| MemberSlot {
+                node,
+                position,
+                behavior,
+                record: records[local],
+            })
+            .collect();
+        for h in arrivals {
+            debug_assert_eq!(h.dst, self.index, "handoff routed to wrong cluster");
+            kept.push(MemberSlot {
+                node: h.node,
+                position: h.position,
+                behavior: h.behavior,
+                record: h.record,
+            });
+        }
+        self.rebuild(kept);
+    }
+
+    /// Reconstructs members/topology/trust from a full slot list.
+    fn rebuild(&mut self, mut slots: Vec<MemberSlot>) {
+        slots.sort_by_key(|s| s.node);
+        let mut members = Vec::with_capacity(slots.len());
+        let mut positions = Vec::with_capacity(slots.len());
+        let mut behaviors = Vec::with_capacity(slots.len());
+        let mut engine = TibfitEngine::new(self.config.trust, slots.len());
+        for (local, slot) in slots.into_iter().enumerate() {
+            members.push(slot.node);
+            positions.push(slot.position);
+            behaviors.push(slot.behavior);
+            engine.table_mut().install(NodeId(local), slot.record);
+        }
+        self.local_topo = Topology::from_positions(positions.clone(), self.field_w, self.field_h);
+        self.members = members;
+        self.positions = positions;
+        self.behaviors = behaviors;
+        self.engine = engine;
+    }
+}
+
+/// Builds the per-cluster states shared by the sequential and sharded
+/// engines: Voronoi affiliation over `ch_sites`, one [`ClusterState`] per
+/// site with its own channel instance and RNG stream.
+pub(crate) fn partition_clusters(
+    config: MultiClusterConfig,
+    topo: &Topology,
+    ch_sites: &[Point],
+    behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+    mut channels: impl FnMut(usize) -> Box<dyn ChannelModel + Send>,
+    master_seed: u64,
+) -> Result<Vec<ClusterState>, MultiClusterError> {
+    config.validate()?;
+    if ch_sites.is_empty() {
+        return Err(MultiClusterError::NoClusterHeads);
+    }
+    if behaviors.len() != topo.len() {
+        return Err(MultiClusterError::BehaviorCountMismatch {
+            behaviors: behaviors.len(),
+            nodes: topo.len(),
+        });
+    }
+    let affiliation = topo.affiliation(ch_sites);
+    // Tear the behavior vec apart by cluster without losing global order.
+    let mut per_cluster_behaviors: Vec<Vec<(NodeId, Box<dyn NodeBehavior + Send>)>> =
+        (0..ch_sites.len()).map(|_| Vec::new()).collect();
+    for (idx, behavior) in behaviors.into_iter().enumerate() {
+        per_cluster_behaviors[affiliation[idx]].push((NodeId(idx), behavior));
+    }
+    let mut clusters = Vec::with_capacity(ch_sites.len());
+    for (ci, tagged) in per_cluster_behaviors.into_iter().enumerate() {
+        if tagged.is_empty() {
+            return Err(MultiClusterError::EmptyCluster { cluster: ci });
+        }
+        let mut members = Vec::with_capacity(tagged.len());
+        let mut positions = Vec::with_capacity(tagged.len());
+        let mut cluster_behaviors = Vec::with_capacity(tagged.len());
+        for (node, behavior) in tagged {
+            members.push(node);
+            positions.push(topo.position(node));
+            cluster_behaviors.push(behavior);
+        }
+        clusters.push(ClusterState::new(
+            ci,
+            ch_sites[ci],
+            members,
+            positions,
+            config,
+            cluster_behaviors,
+            channels(ci),
+            SimRng::stream(master_seed, ci as u64),
+            topo.width(),
+            topo.height(),
+        ));
+    }
+    Ok(clusters)
 }
 
 /// Result of one event round across all clusters.
@@ -92,88 +585,107 @@ impl MultiRoundResult {
     }
 }
 
-/// A network of several TIBFIT clusters under one base station.
+/// Merges per-cluster declarations at the base station: declarations
+/// within `r_error` of an accepted one are averaged into it, others open
+/// a new accepted location. Input order is cluster order, which both
+/// engines produce identically.
+pub(crate) fn merge_declarations(
+    event: Point,
+    declared: Vec<(usize, Point)>,
+    r_error: f64,
+) -> MultiRoundResult {
+    let mut merged: Vec<Point> = Vec::new();
+    let mut declaring_clusters = Vec::new();
+    for (ci, d) in declared {
+        declaring_clusters.push(ci);
+        if let Some(existing) = merged.iter_mut().find(|m| m.distance_to(d) <= r_error) {
+            *existing = Point::new((existing.x + d.x) / 2.0, (existing.y + d.y) / 2.0);
+        } else {
+            merged.push(d);
+        }
+    }
+    MultiRoundResult {
+        event,
+        declared: merged,
+        declaring_clusters,
+    }
+}
+
+/// A network of several TIBFIT clusters under one base station —
+/// the sequential reference engine.
 pub struct MultiClusterSim {
     config: MultiClusterConfig,
-    topo: Topology,
-    clusters: Vec<Cluster>,
-    /// Node → cluster index.
+    sites: Vec<Point>,
+    clusters: Vec<ClusterState>,
+    /// Node → cluster index (kept current across re-elections).
     affiliation: Vec<usize>,
-    behaviors: Vec<Box<dyn NodeBehavior>>,
-    channel: Box<dyn ChannelModel>,
-    rng: SimRng,
+    n_nodes: usize,
     round: u64,
 }
 
 impl MultiClusterSim {
     /// Builds the deployment: every node affiliates with the nearest head
-    /// (LEACH's strongest-signal rule for free-space radio).
+    /// (LEACH's strongest-signal rule for free-space radio). `channels`
+    /// is called once per cluster so each head owns an independent
+    /// channel instance; each cluster's RNG is stream `cluster_index` of
+    /// `master_seed`.
     ///
     /// # Panics
     ///
-    /// Panics if `ch_sites` is empty, `behaviors` doesn't match the
-    /// topology, or any cluster ends up empty.
+    /// Panics on any [`MultiClusterError`]; use
+    /// [`MultiClusterSim::try_new`] to handle bad configurations as
+    /// values.
     #[must_use]
     pub fn new(
         config: MultiClusterConfig,
         topo: Topology,
         ch_sites: Vec<Point>,
-        behaviors: Vec<Box<dyn NodeBehavior>>,
-        channel: Box<dyn ChannelModel>,
-        rng: SimRng,
+        behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+        channels: impl FnMut(usize) -> Box<dyn ChannelModel + Send>,
+        master_seed: u64,
     ) -> Self {
-        assert!(!ch_sites.is_empty(), "need at least one cluster head");
-        assert_eq!(behaviors.len(), topo.len(), "one behavior per node");
-        let affiliation: Vec<usize> = topo
-            .iter()
-            .map(|(_, pos)| {
-                ch_sites
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        pos.distance_to(**a)
-                            .partial_cmp(&pos.distance_to(**b))
-                            .expect("finite")
-                    })
-                    .map(|(i, _)| i)
-                    .expect("non-empty sites")
-            })
-            .collect();
+        match MultiClusterSim::try_new(config, topo, ch_sites, behaviors, channels, master_seed) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
-        let clusters: Vec<Cluster> = ch_sites
-            .iter()
-            .enumerate()
-            .map(|(ci, &head_position)| {
-                let members: Vec<NodeId> = topo
-                    .node_ids()
-                    .filter(|n| affiliation[n.index()] == ci)
-                    .collect();
-                assert!(
-                    !members.is_empty(),
-                    "cluster {ci} at {head_position} has no members"
-                );
-                let positions: Vec<Point> =
-                    members.iter().map(|&n| topo.position(n)).collect();
-                let local_topo =
-                    Topology::from_positions(positions, topo.width(), topo.height());
-                Cluster {
-                    head_position,
-                    engine: TibfitEngine::new(config.trust, members.len()),
-                    members,
-                    local_topo,
-                }
-            })
-            .collect();
-
-        MultiClusterSim {
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MultiClusterError`] if the config's numeric fields are
+    /// out of range, `ch_sites` is empty, the behavior count does not
+    /// match the topology, or any cluster would start without members.
+    pub fn try_new(
+        config: MultiClusterConfig,
+        topo: Topology,
+        ch_sites: Vec<Point>,
+        behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+        channels: impl FnMut(usize) -> Box<dyn ChannelModel + Send>,
+        master_seed: u64,
+    ) -> Result<Self, MultiClusterError> {
+        let n_nodes = topo.len();
+        let clusters =
+            partition_clusters(config, &topo, &ch_sites, behaviors, channels, master_seed)?;
+        let mut sim = MultiClusterSim {
             config,
-            topo,
+            sites: ch_sites,
             clusters,
-            affiliation,
-            behaviors,
-            channel,
-            rng,
+            affiliation: Vec::new(),
+            n_nodes,
             round: 0,
+        };
+        sim.refresh_affiliation();
+        Ok(sim)
+    }
+
+    fn refresh_affiliation(&mut self) {
+        self.affiliation = vec![usize::MAX; self.n_nodes];
+        for cluster in &self.clusters {
+            for &node in cluster.members() {
+                self.affiliation[node.index()] = cluster.index;
+            }
         }
     }
 
@@ -183,7 +695,13 @@ impl MultiClusterSim {
         self.clusters.len()
     }
 
-    /// The cluster a node belongs to.
+    /// Total deployed nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The cluster a node currently belongs to.
     ///
     /// # Panics
     ///
@@ -193,6 +711,21 @@ impl MultiClusterSim {
         self.affiliation[node.index()]
     }
 
+    /// A node's current position (drift moves nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn position_of(&self, node: NodeId) -> Point {
+        let cluster = &self.clusters[self.affiliation[node.index()]];
+        let local = cluster
+            .members()
+            .binary_search(&node)
+            .expect("member of its own cluster");
+        cluster.position(local)
+    }
+
     /// The trust its own head currently assigns a node.
     ///
     /// # Panics
@@ -200,105 +733,105 @@ impl MultiClusterSim {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn trust_of(&self, node: NodeId) -> f64 {
-        let ci = self.affiliation[node.index()];
-        let cluster = &self.clusters[ci];
+        let cluster = &self.clusters[self.affiliation[node.index()]];
         let local = cluster
-            .members
-            .iter()
-            .position(|&m| m == node)
+            .members()
+            .binary_search(&node)
             .expect("member of its own cluster");
-        cluster
-            .engine
-            .trust_of(NodeId(local))
-            .expect("TIBFIT keeps trust")
+        cluster.trust_of(local)
+    }
+
+    /// Bit-exact snapshot of every node's raw trust counter, indexed by
+    /// global node id. `f64::to_bits` so two engines can be compared for
+    /// *identity*, not approximate equality.
+    #[must_use]
+    pub fn trust_snapshot(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_nodes];
+        for cluster in &self.clusters {
+            for (local, &node) in cluster.members().iter().enumerate() {
+                out[node.index()] = cluster.counter_of(local).to_bits();
+            }
+        }
+        out
+    }
+
+    /// Bit-exact snapshot of every node's position.
+    #[must_use]
+    pub fn position_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = vec![(0u64, 0u64); self.n_nodes];
+        for cluster in &self.clusters {
+            for (local, &node) in cluster.members().iter().enumerate() {
+                let p = cluster.position(local);
+                out[node.index()] = (p.x.to_bits(), p.y.to_bits());
+            }
+        }
+        out
+    }
+
+    /// All trace counters, prefixed per cluster (`c3.reports.delivered`),
+    /// sorted — the trace half of the differential comparison.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for cluster in &self.clusters {
+            for (name, value) in cluster.counters() {
+                out.push((format!("c{}.{name}", cluster.index), value));
+            }
+        }
+        out
     }
 
     /// Runs one event round: nodes act, reports go to their own heads,
-    /// each head decides from its fragment, the base station merges.
+    /// each head decides from its fragment, the base station merges;
+    /// then (if configured) nodes drift and, on a re-election boundary,
+    /// change clusters.
     pub fn run_event(&mut self, event: Point) -> MultiRoundResult {
         self.round += 1;
         let round = self.round;
-        // Collect per-cluster report batches (local ids).
-        let mut batches: Vec<Vec<LocatedReport>> =
-            (0..self.clusters.len()).map(|_| Vec::new()).collect();
-        for idx in 0..self.topo.len() {
-            let node = NodeId(idx);
-            let node_pos = self.topo.position(node);
-            let is_neighbor =
-                node_pos.distance_to(event) <= self.config.sensing_radius;
-            let ctx = RoundContext {
-                round,
-                node,
-                node_pos,
-                event: Some(event),
-                is_event_neighbor: is_neighbor,
-            };
-            let Some(claim) = self.behaviors[node.index()].located_action(&ctx, &mut self.rng)
-            else {
-                continue;
-            };
-            let ci = self.affiliation[node.index()];
-            let head_pos = self.clusters[ci].head_position;
-            if self.channel.delivers(node_pos, head_pos, &mut self.rng) {
-                let local = self.clusters[ci]
-                    .members
-                    .iter()
-                    .position(|&m| m == node)
-                    .expect("member of its own cluster");
-                batches[ci].push(LocatedReport::new(NodeId(local), claim));
+        let mut declared: Vec<(usize, Point)> = Vec::new();
+        for cluster in &mut self.clusters {
+            let batch = cluster.sense(round, event);
+            for loc in cluster.decide(&batch) {
+                declared.push((cluster.index, loc));
             }
         }
+        let result = merge_declarations(event, declared, self.config.r_error);
 
-        // Each head decides independently; judgements feed back to the
-        // (globally indexed) behaviors.
-        let mut declared: Vec<Point> = Vec::new();
-        let mut declaring_clusters = Vec::new();
-        for (ci, batch) in batches.iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let cluster = &mut self.clusters[ci];
-            let result = cluster.engine.located_round(
-                &cluster.local_topo,
-                self.config.sensing_radius,
-                self.config.r_error,
-                batch,
-            );
-            for &(local, judgement) in &result.judgements {
-                let global = cluster.members[local.index()];
-                self.behaviors[global.index()].observe_judgement(judgement);
-            }
-            for loc in result.declared_locations() {
-                declaring_clusters.push(ci);
-                declared.push(loc);
-            }
+        for cluster in &mut self.clusters {
+            cluster.drift();
         }
+        if self.config.reelect_every > 0 && round.is_multiple_of(self.config.reelect_every) {
+            // Collect in cluster order, deliver grouped by destination:
+            // the same (src, seq) order the sharded engine's mailboxes
+            // impose.
+            let mut inbound: Vec<Vec<Handoff>> =
+                (0..self.clusters.len()).map(|_| Vec::new()).collect();
+            let sites = self.sites.clone();
+            for cluster in &mut self.clusters {
+                for h in cluster.departures(&sites) {
+                    let dst = h.dst;
+                    inbound[dst].push(h);
+                }
+            }
+            for (ci, arrivals) in inbound.into_iter().enumerate() {
+                self.clusters[ci].admit(arrivals);
+            }
+            self.refresh_affiliation();
+        }
+        result
+    }
 
-        // Base-station merge: de-duplicate declarations within r_error.
-        let mut merged: Vec<Point> = Vec::new();
-        for d in declared {
-            if let Some(existing) = merged
-                .iter_mut()
-                .find(|m| m.distance_to(d) <= self.config.r_error)
-            {
-                // Average agreeing declarations.
-                *existing = Point::new((existing.x + d.x) / 2.0, (existing.y + d.y) / 2.0);
-            } else {
-                merged.push(d);
-            }
-        }
-        MultiRoundResult {
-            event,
-            declared: merged,
-            declaring_clusters,
-        }
+    /// Decomposes the simulation into its per-cluster states (the sharded
+    /// engine wraps each in a shard).
+    pub(crate) fn into_clusters(self) -> (MultiClusterConfig, Vec<Point>, Vec<ClusterState>, u64) {
+        (self.config, self.sites, self.clusters, self.round)
     }
 }
 
 impl std::fmt::Debug for MultiClusterSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiClusterSim")
-            .field("nodes", &self.topo.len())
+            .field("nodes", &self.n_nodes)
             .field("clusters", &self.clusters.len())
             .field("round", &self.round)
             .finish()
@@ -312,10 +845,19 @@ mod tests {
     use tibfit_net::channel::BernoulliLoss;
 
     fn build(n_faulty: usize, seed: u64) -> MultiClusterSim {
+        build_mobile(n_faulty, seed, 0.0, 0)
+    }
+
+    fn build_mobile(
+        n_faulty: usize,
+        seed: u64,
+        drift: f64,
+        reelect_every: u64,
+    ) -> MultiClusterSim {
         let topo = Topology::uniform_grid(100, 100.0, 100.0);
         let faulty = SimRng::seed_from(seed ^ 0xAA).choose_indices(100, n_faulty);
-        let behaviors: Vec<Box<dyn NodeBehavior>> = (0..100)
-            .map(|i| -> Box<dyn NodeBehavior> {
+        let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..100)
+            .map(|i| -> Box<dyn NodeBehavior + Send> {
                 if faulty.contains(&i) {
                     Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
                 } else {
@@ -324,12 +866,12 @@ mod tests {
             })
             .collect();
         MultiClusterSim::new(
-            MultiClusterConfig::paper(),
+            MultiClusterConfig::paper().mobile(drift, reelect_every),
             topo,
             five_ch_sites(100.0),
             behaviors,
-            Box::new(BernoulliLoss::new(0.005)),
-            SimRng::seed_from(seed),
+            |_| Box::new(BernoulliLoss::new(0.005)),
+            seed,
         )
     }
 
@@ -351,7 +893,9 @@ mod tests {
     fn affiliation_is_nearest_head() {
         let sim = build(0, 2);
         let sites = five_ch_sites(100.0);
-        for (node, pos) in sim.topo.iter() {
+        for i in 0..100 {
+            let node = NodeId(i);
+            let pos = sim.position_of(node);
             let assigned = sim.cluster_of(node);
             let d_assigned = pos.distance_to(sites[assigned]);
             for s in &sites {
@@ -392,7 +936,10 @@ mod tests {
         let mut hits = 0usize;
         let n = 200;
         for _ in 0..n {
-            let event = sim.topo.random_event_location(&mut event_rng);
+            let event = Point::new(
+                event_rng.uniform_range(0.0, 100.0),
+                event_rng.uniform_range(0.0, 100.0),
+            );
             hits += usize::from(sim.run_event(event).detected_within(5.0));
         }
         let acc = hits as f64 / n as f64;
@@ -406,7 +953,10 @@ mod tests {
         let faulty = SimRng::seed_from(seed ^ 0xAA).choose_indices(100, 30);
         let mut event_rng = SimRng::seed_from(66);
         for _ in 0..300 {
-            let event = sim.topo.random_event_location(&mut event_rng);
+            let event = Point::new(
+                event_rng.uniform_range(0.0, 100.0),
+                event_rng.uniform_range(0.0, 100.0),
+            );
             sim.run_event(event);
         }
         let (mut f_sum, mut f_n, mut h_sum, mut h_n) = (0.0, 0.0, 0.0, 0.0);
@@ -436,22 +986,232 @@ mod tests {
             let event = Point::new(10.0 + 4.0 * i as f64, 50.0);
             assert_eq!(a.run_event(event), b.run_event(event));
         }
+        assert_eq!(a.trust_snapshot(), b.trust_snapshot());
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn mobile_run_is_deterministic() {
+        let mut a = build_mobile(20, 10, 0.8, 5);
+        let mut b = build_mobile(20, 10, 0.8, 5);
+        for i in 0..30 {
+            let event = Point::new(10.0 + 2.0 * i as f64, 40.0);
+            assert_eq!(a.run_event(event), b.run_event(event));
+        }
+        assert_eq!(a.trust_snapshot(), b.trust_snapshot());
+        assert_eq!(a.position_snapshot(), b.position_snapshot());
+    }
+
+    #[test]
+    fn drift_moves_nodes_and_reelection_reassigns() {
+        let mut sim = build_mobile(0, 11, 2.5, 4);
+        let before = sim.position_snapshot();
+        for i in 0..40 {
+            sim.run_event(Point::new(50.0, 10.0 + 2.0 * i as f64));
+        }
+        let after = sim.position_snapshot();
+        assert_ne!(before, after, "drift should move nodes");
+        // Re-election keeps affiliation consistent with current geometry.
+        let sites = five_ch_sites(100.0);
+        let handoffs: u64 = sim
+            .counters()
+            .iter()
+            .filter(|(name, _)| name.ends_with("handoffs.in"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(handoffs > 0, "40 rounds of drift should hand someone off");
+        for i in 0..100 {
+            let node = NodeId(i);
+            let pos = sim.position_of(node);
+            let assigned = sim.cluster_of(node);
+            // After the last re-election the node may have drifted a few
+            // more rounds, so allow the drift slack.
+            let d_assigned = pos.distance_to(sites[assigned]);
+            let d_best = sites
+                .iter()
+                .map(|s| pos.distance_to(*s))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d_assigned <= d_best + 20.0, "node {i} stranded");
+        }
+    }
+
+    #[test]
+    fn handoff_preserves_trust_record() {
+        // A liar that drifts across a border keeps its damaged counter.
+        let mut sim = build_mobile(30, 12, 2.0, 2);
+        let mut event_rng = SimRng::seed_from(77);
+        let mut moved_with_history = 0;
+        let mut before: Vec<(usize, f64)> =
+            (0..100).map(|i| (sim.cluster_of(NodeId(i)), 0.0)).collect();
+        for round in 0..60 {
+            let event = Point::new(
+                event_rng.uniform_range(0.0, 100.0),
+                event_rng.uniform_range(0.0, 100.0),
+            );
+            sim.run_event(event);
+            let snapshot = sim.trust_snapshot();
+            for i in 0..100 {
+                let now = sim.cluster_of(NodeId(i));
+                let counter = f64::from_bits(snapshot[i]);
+                if now != before[i].0 && before[i].1 > 0.0 {
+                    // The node changed clusters carrying a non-zero
+                    // counter: the new head must still see it.
+                    assert!(
+                        counter > 0.0,
+                        "round {round}: node {i} lost its record in the handoff"
+                    );
+                    moved_with_history += 1;
+                }
+                before[i] = (now, counter);
+            }
+        }
+        assert!(moved_with_history > 0, "no handoff carried history — test is vacuous");
+    }
+
+    #[test]
+    fn counters_track_reports() {
+        let mut sim = build(0, 13);
+        for _ in 0..5 {
+            sim.run_event(Point::new(50.0, 50.0));
+        }
+        let counters = sim.counters();
+        let delivered: u64 = counters
+            .iter()
+            .filter(|(n, _)| n.ends_with("reports.delivered"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(delivered > 0, "honest nodes near the event must report");
+        let decided: u64 = counters
+            .iter()
+            .filter(|(n, _)| n.ends_with("rounds.decided"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(decided > 0);
     }
 
     #[test]
     #[should_panic(expected = "at least one cluster head")]
     fn rejects_empty_sites() {
         let topo = Topology::uniform_grid(4, 10.0, 10.0);
-        let behaviors: Vec<Box<dyn NodeBehavior>> = (0..4)
-            .map(|_| -> Box<dyn NodeBehavior> { Box::new(CorrectNode::new(0.0, 0.0)) })
+        let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..4)
+            .map(|_| -> Box<dyn NodeBehavior + Send> { Box::new(CorrectNode::new(0.0, 0.0)) })
             .collect();
         let _ = MultiClusterSim::new(
             MultiClusterConfig::paper(),
             topo,
             Vec::new(),
             behaviors,
-            Box::new(BernoulliLoss::new(0.0)),
-            SimRng::seed_from(0),
+            |_| Box::new(BernoulliLoss::new(0.0)),
+            0,
         );
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_config() {
+        let topo = Topology::uniform_grid(4, 10.0, 10.0);
+        let mk_behaviors = |n: usize| -> Vec<Box<dyn NodeBehavior + Send>> {
+            (0..n)
+                .map(|_| -> Box<dyn NodeBehavior + Send> { Box::new(CorrectNode::new(0.0, 0.0)) })
+                .collect()
+        };
+        let mk_channel = |_: usize| -> Box<dyn ChannelModel + Send> {
+            Box::new(BernoulliLoss::new(0.0))
+        };
+
+        // Empty sites.
+        assert_eq!(
+            MultiClusterSim::try_new(
+                MultiClusterConfig::paper(),
+                topo.clone(),
+                Vec::new(),
+                mk_behaviors(4),
+                mk_channel,
+                0,
+            )
+            .err(),
+            Some(MultiClusterError::NoClusterHeads)
+        );
+
+        // Behavior count mismatch.
+        assert_eq!(
+            MultiClusterSim::try_new(
+                MultiClusterConfig::paper(),
+                topo.clone(),
+                vec![Point::new(5.0, 5.0)],
+                mk_behaviors(3),
+                mk_channel,
+                0,
+            )
+            .err(),
+            Some(MultiClusterError::BehaviorCountMismatch {
+                behaviors: 3,
+                nodes: 4
+            })
+        );
+
+        // A site so far from every node that another site wins all of
+        // them: the far cluster has no members.
+        assert_eq!(
+            MultiClusterSim::try_new(
+                MultiClusterConfig::paper(),
+                topo.clone(),
+                vec![Point::new(5.0, 5.0), Point::new(10.0, 10.0)],
+                mk_behaviors(4),
+                mk_channel,
+                0,
+            )
+            .err(),
+            Some(MultiClusterError::EmptyCluster { cluster: 1 })
+        );
+
+        // Invalid numeric config fields.
+        let mut bad = MultiClusterConfig::paper();
+        bad.sensing_radius = 0.0;
+        assert_eq!(
+            bad.validate().err(),
+            Some(MultiClusterError::InvalidSensingRadius(0.0))
+        );
+        let mut bad = MultiClusterConfig::paper();
+        bad.r_error = f64::NAN;
+        assert!(matches!(
+            bad.validate().err(),
+            Some(MultiClusterError::InvalidErrorRadius(x)) if x.is_nan()
+        ));
+        let bad = MultiClusterConfig::paper().mobile(-1.0, 4);
+        assert_eq!(
+            bad.validate().err(),
+            Some(MultiClusterError::InvalidDrift(-1.0))
+        );
+        assert_eq!(
+            MultiClusterSim::try_new(
+                bad,
+                topo,
+                vec![Point::new(5.0, 5.0)],
+                mk_behaviors(4),
+                mk_channel,
+                0,
+            )
+            .err(),
+            Some(MultiClusterError::InvalidDrift(-1.0))
+        );
+
+        // Errors render.
+        assert!(MultiClusterError::NoClusterHeads
+            .to_string()
+            .contains("cluster head"));
+        assert!(MultiClusterError::EmptyCluster { cluster: 3 }
+            .to_string()
+            .contains("cluster 3"));
+    }
+
+    #[test]
+    fn grid_sites_counts_and_bounds() {
+        for k in [1, 5, 32, 128, 256] {
+            let sites = grid_sites(k, 100.0);
+            assert_eq!(sites.len(), k, "k={k}");
+            for s in &sites {
+                assert!((0.0..=100.0).contains(&s.x) && (0.0..=100.0).contains(&s.y));
+            }
+        }
     }
 }

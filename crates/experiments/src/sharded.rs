@@ -1,0 +1,549 @@
+//! The sharded parallel multi-cluster engine.
+//!
+//! Each cluster from [`crate::multicluster`] becomes one shard on the
+//! conservative window-synchronized scheduler in `tibfit_sim::shard`: it
+//! owns its [`ClusterState`] (members, behaviours, channel, trust table,
+//! private RNG stream) plus its own timer-wheel DES queue for intra-round
+//! timing (sense on event arrival, decide `T_out` later). Shards advance
+//! in lockstep epochs of one decision round; the only cross-shard traffic
+//! is
+//!
+//! * `Event` — the base station (driver) broadcasting the round's ground
+//!   truth to every shard,
+//! * `Declare` — a shard's accepted event locations flowing back to the
+//!   driver for the base-station merge, and
+//! * `Handoff` — a node changing clusters at a re-election boundary,
+//!   carrying its trust record and behaviour.
+//!
+//! ## Why the merged trace is thread-count independent
+//!
+//! Within an epoch a shard touches only its own state and its inbox, so
+//! any worker assignment computes the same per-shard result. Everything
+//! that crosses shards rides in envelopes delivered in `(time, src, seq)`
+//! order: `Declare`s reach the driver sorted by cluster index (then
+//! emission order), which is byte-for-byte the order the sequential
+//! [`MultiClusterSim`] collects declarations in; `Handoff`s apply before
+//! the next round's sensing, as the sequential engine applies them at end
+//! of round. The differential suite (`tests/differential_shards.rs`)
+//! checks the equivalence across seeds and thread counts.
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_core::location::LocatedReport;
+use tibfit_net::channel::ChannelModel;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::shard::{Envelope, Outbox, Shard, ShardError, ShardScheduler, DRIVER};
+use tibfit_sim::{Duration, Engine, SimTime};
+
+use crate::multicluster::{
+    merge_declarations, partition_clusters, ClusterState, Handoff, MultiClusterConfig,
+    MultiClusterError, MultiRoundResult, MultiClusterSim,
+};
+
+/// Ticks per decision round (= the epoch window). Must exceed [`T_OUT`]
+/// so a round's decide timer fires inside the epoch that scheduled it.
+const ROUND_TICKS: u64 = 100;
+/// The CH's report-collection timeout within a round, in ticks.
+const T_OUT: u64 = 50;
+
+/// Why the sharded engine could not be built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardedError {
+    /// The underlying deployment was rejected.
+    Cluster(MultiClusterError),
+    /// The shard scheduler was rejected (e.g. zero worker threads).
+    Shard(ShardError),
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedError::Cluster(e) => e.fmt(f),
+            ShardedError::Shard(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
+impl From<MultiClusterError> for ShardedError {
+    fn from(e: MultiClusterError) -> Self {
+        ShardedError::Cluster(e)
+    }
+}
+
+impl From<ShardError> for ShardedError {
+    fn from(e: ShardError) -> Self {
+        ShardedError::Shard(e)
+    }
+}
+
+/// Cross-shard message payload.
+enum ClusterMsg {
+    /// Driver → every shard: the round's ground-truth event.
+    Event { round: u64, event: Point },
+    /// Shard → driver: one accepted event location.
+    Declare { location: Point },
+    /// Shard → shard: a node changing clusters at a re-election boundary.
+    Handoff(Handoff),
+}
+
+/// Intra-shard DES events: the per-round protocol timing.
+enum LocalTimer {
+    /// Members act and reports race the channel to the head.
+    Sense { round: u64, event: Point },
+    /// `T_out` after the event: the head decides from what arrived.
+    Decide { batch: Vec<LocatedReport> },
+}
+
+/// One cluster wrapped as a shard: the cluster state plus its private
+/// timer-wheel event queue.
+struct ClusterShard {
+    state: ClusterState,
+    sites: Vec<Point>,
+    config: MultiClusterConfig,
+    timers: Engine<LocalTimer>,
+}
+
+impl Shard for ClusterShard {
+    type Msg = ClusterMsg;
+
+    fn step(
+        &mut self,
+        until: SimTime,
+        inbox: &mut Vec<Envelope<ClusterMsg>>,
+        outbox: &mut Outbox<ClusterMsg>,
+    ) {
+        // Handoffs sort before driver events at the epoch boundary
+        // (shard src < DRIVER), so arrivals join the cluster before this
+        // round's sensing — the same point in the round cycle where the
+        // sequential engine applies them.
+        let mut arrivals: Vec<Handoff> = Vec::new();
+        let mut round_ran: Option<u64> = None;
+        for env in inbox.drain(..) {
+            match env.msg {
+                ClusterMsg::Handoff(h) => arrivals.push(h),
+                ClusterMsg::Event { round, event } => {
+                    if !arrivals.is_empty() {
+                        self.state.admit(std::mem::take(&mut arrivals));
+                    }
+                    round_ran = Some(round);
+                    self.timers.schedule_at(env.time, LocalTimer::Sense { round, event });
+                }
+                ClusterMsg::Declare { .. } => unreachable!("driver-bound message at a shard"),
+            }
+        }
+        if !arrivals.is_empty() {
+            self.state.admit(arrivals);
+        }
+
+        // Pump this shard's DES queue through the epoch window.
+        while let Some((time, timer)) = self.timers.pop_until(until) {
+            match timer {
+                LocalTimer::Sense { round, event } => {
+                    let batch = self.state.sense(round, event);
+                    self.timers.schedule_at(
+                        time + Duration::from_ticks(T_OUT),
+                        LocalTimer::Decide { batch },
+                    );
+                }
+                LocalTimer::Decide { batch } => {
+                    for location in self.state.decide(&batch) {
+                        // Declarations may not be timestamped before the
+                        // epoch horizon (conservative bound), so they
+                        // reach the base station at the boundary.
+                        outbox.send(DRIVER, until, ClusterMsg::Declare { location });
+                    }
+                }
+            }
+        }
+
+        // End-of-round mobility and re-election, exactly as the
+        // sequential engine runs them after the merge.
+        if let Some(round) = round_ran {
+            self.state.drift();
+            if self.config.reelect_every > 0 && round.is_multiple_of(self.config.reelect_every) {
+                for h in self.state.departures(&self.sites) {
+                    let dst = h.dst;
+                    outbox.send(dst, until, ClusterMsg::Handoff(h));
+                }
+            }
+        }
+    }
+}
+
+/// The parallel engine: drop-in equivalent of [`MultiClusterSim`] with a
+/// `threads` knob. Same constructor inputs produce bit-identical
+/// decisions, trust trajectories, and trace counters at any thread
+/// count.
+pub struct ShardedMultiCluster {
+    scheduler: ShardScheduler<ClusterShard>,
+    config: MultiClusterConfig,
+    n_nodes: usize,
+    round: u64,
+}
+
+impl ShardedMultiCluster {
+    /// Builds the sharded deployment over `threads` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardedError::Cluster`] for any configuration the
+    /// sequential engine would reject, and [`ShardedError::Shard`] for a
+    /// zero thread count.
+    pub fn try_new(
+        config: MultiClusterConfig,
+        topo: Topology,
+        ch_sites: Vec<Point>,
+        behaviors: Vec<Box<dyn NodeBehavior + Send>>,
+        channels: impl FnMut(usize) -> Box<dyn ChannelModel + Send>,
+        master_seed: u64,
+        threads: usize,
+    ) -> Result<Self, ShardedError> {
+        let n_nodes = topo.len();
+        let clusters =
+            partition_clusters(config, &topo, &ch_sites, behaviors, channels, master_seed)?;
+        Self::from_clusters(config, ch_sites, clusters, n_nodes, 0, threads)
+    }
+
+    /// Converts an existing sequential simulation into a sharded one —
+    /// useful for switching engines mid-experiment with state intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardedError::Shard`] for a zero thread count.
+    pub fn from_sequential(sim: MultiClusterSim, threads: usize) -> Result<Self, ShardedError> {
+        let n_nodes = sim.node_count();
+        let (config, sites, clusters, round) = sim.into_clusters();
+        Self::from_clusters(config, sites, clusters, n_nodes, round, threads)
+    }
+
+    fn from_clusters(
+        config: MultiClusterConfig,
+        sites: Vec<Point>,
+        clusters: Vec<ClusterState>,
+        n_nodes: usize,
+        round: u64,
+        threads: usize,
+    ) -> Result<Self, ShardedError> {
+        let shards: Vec<ClusterShard> = clusters
+            .into_iter()
+            .map(|state| ClusterShard {
+                state,
+                sites: sites.clone(),
+                config,
+                timers: Engine::new(),
+            })
+            .collect();
+        let scheduler =
+            ShardScheduler::new(shards, Duration::from_ticks(ROUND_TICKS), threads)?;
+        Ok(ShardedMultiCluster {
+            scheduler,
+            config,
+            n_nodes,
+            round,
+        })
+    }
+
+    /// Number of clusters (= shards).
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.scheduler.shard_count()
+    }
+
+    /// Total deployed nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The configured worker thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.scheduler.threads()
+    }
+
+    /// Runs one event round (one scheduler epoch) and merges the
+    /// declarations at the base station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard addresses a message to a nonexistent shard —
+    /// impossible for destinations produced by Voronoi affiliation over
+    /// the construction-time site list.
+    pub fn run_event(&mut self, event: Point) -> MultiRoundResult {
+        self.round += 1;
+        let now = self.scheduler.now();
+        for ci in 0..self.scheduler.shard_count() {
+            self.scheduler
+                .inject(
+                    ci,
+                    now,
+                    ClusterMsg::Event {
+                        round: self.round,
+                        event,
+                    },
+                )
+                .expect("shard indices are in range");
+        }
+        let driver_msgs = self.scheduler.step_epoch().expect("handoff routing stays in range");
+        let mut declared: Vec<(usize, Point)> = Vec::new();
+        for env in driver_msgs {
+            match env.msg {
+                ClusterMsg::Declare { location } => declared.push((env.src, location)),
+                _ => unreachable!("only declarations flow to the driver"),
+            }
+        }
+        // A re-election boundary may put handoffs in flight: envelopes
+        // staged for the next epoch. Settle them now with one extra,
+        // event-free epoch so the state observable between rounds (trust
+        // and position snapshots, handoff counters) matches the
+        // sequential engine, which applies hand-offs at end of round.
+        // Settlement depends only on round number and config, never on
+        // the thread count, so determinism is preserved.
+        if self.config.reelect_every > 0 && self.round.is_multiple_of(self.config.reelect_every) {
+            let settled = self.scheduler.step_epoch().expect("settlement routes nothing new");
+            debug_assert!(settled.is_empty(), "settlement epochs carry no declarations");
+        }
+        merge_declarations(event, declared, self.config.r_error)
+    }
+
+    /// The cluster a node currently belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn cluster_of(&self, node: NodeId) -> usize {
+        self.scheduler
+            .for_each_shard(|ci, s| s.state.members().binary_search(&node).ok().map(|_| ci))
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("every node belongs to a cluster")
+    }
+
+    /// The trust its own head currently assigns a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn trust_of(&self, node: NodeId) -> f64 {
+        self.scheduler
+            .for_each_shard(|_, s| {
+                s.state
+                    .members()
+                    .binary_search(&node)
+                    .ok()
+                    .map(|local| s.state.trust_of(local))
+            })
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("every node belongs to a cluster")
+    }
+
+    /// Bit-exact snapshot of every node's raw trust counter, indexed by
+    /// global node id — directly comparable with
+    /// [`MultiClusterSim::trust_snapshot`].
+    #[must_use]
+    pub fn trust_snapshot(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_nodes];
+        self.scheduler.for_each_shard(|_, s| {
+            for (local, &node) in s.state.members().iter().enumerate() {
+                out[node.index()] = s.state.counter_of(local).to_bits();
+            }
+        });
+        out
+    }
+
+    /// Bit-exact snapshot of every node's position.
+    #[must_use]
+    pub fn position_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = vec![(0u64, 0u64); self.n_nodes];
+        self.scheduler.for_each_shard(|_, s| {
+            for (local, &node) in s.state.members().iter().enumerate() {
+                let p = s.state.position(local);
+                out[node.index()] = (p.x.to_bits(), p.y.to_bits());
+            }
+        });
+        out
+    }
+
+    /// All trace counters, prefixed per cluster, sorted the same way as
+    /// [`MultiClusterSim::counters`].
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        self.scheduler.for_each_shard(|_, s| {
+            for (name, value) in s.state.counters() {
+                out.push((format!("c{}.{name}", s.state.index), value));
+            }
+        });
+        out
+    }
+
+    /// Total DES events dispatched across all shard timer queues plus
+    /// envelopes routed — the throughput denominator for the bench.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        let timer_events: u64 = self
+            .scheduler
+            .for_each_shard(|_, s| s.timers.dispatched())
+            .into_iter()
+            .sum();
+        timer_events + self.scheduler.routed_messages()
+    }
+}
+
+impl std::fmt::Debug for ShardedMultiCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMultiCluster")
+            .field("nodes", &self.n_nodes)
+            .field("clusters", &self.scheduler.shard_count())
+            .field("threads", &self.scheduler.threads())
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicluster::five_ch_sites;
+    use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+    use tibfit_net::channel::BernoulliLoss;
+    use tibfit_sim::rng::SimRng;
+
+    fn behaviors(n: usize, n_faulty: usize, seed: u64) -> Vec<Box<dyn NodeBehavior + Send>> {
+        let faulty = SimRng::seed_from(seed ^ 0xAA).choose_indices(n, n_faulty);
+        (0..n)
+            .map(|i| -> Box<dyn NodeBehavior + Send> {
+                if faulty.contains(&i) {
+                    Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+                } else {
+                    Box::new(CorrectNode::new(0.0, 1.6))
+                }
+            })
+            .collect()
+    }
+
+    fn build_pair(seed: u64, threads: usize) -> (MultiClusterSim, ShardedMultiCluster) {
+        let config = MultiClusterConfig::paper().mobile(0.5, 4);
+        let topo = Topology::uniform_grid(100, 100.0, 100.0);
+        let seq = MultiClusterSim::new(
+            config,
+            topo.clone(),
+            five_ch_sites(100.0),
+            behaviors(100, 25, seed),
+            |_| Box::new(BernoulliLoss::new(0.005)),
+            seed,
+        );
+        let par = ShardedMultiCluster::try_new(
+            config,
+            topo,
+            five_ch_sites(100.0),
+            behaviors(100, 25, seed),
+            |_| Box::new(BernoulliLoss::new(0.005)),
+            seed,
+            threads,
+        )
+        .unwrap();
+        (seq, par)
+    }
+
+    #[test]
+    fn matches_sequential_reference_in_lockstep() {
+        for threads in [1, 4] {
+            let (mut seq, mut par) = build_pair(42, threads);
+            let mut event_rng = SimRng::seed_from(4242);
+            for round in 0..30 {
+                let event = Point::new(
+                    event_rng.uniform_range(0.0, 100.0),
+                    event_rng.uniform_range(0.0, 100.0),
+                );
+                let a = seq.run_event(event);
+                let b = par.run_event(event);
+                assert_eq!(a, b, "threads={threads} round={round}");
+                assert_eq!(
+                    seq.trust_snapshot(),
+                    par.trust_snapshot(),
+                    "threads={threads} round={round}"
+                );
+                assert_eq!(
+                    seq.position_snapshot(),
+                    par.position_snapshot(),
+                    "threads={threads} round={round}"
+                );
+                assert_eq!(
+                    seq.counters(),
+                    par.counters(),
+                    "threads={threads} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_sequential_continues_identically() {
+        let (mut seq, _) = build_pair(7, 1);
+        let (mut reference, _) = build_pair(7, 1);
+        for i in 0..10 {
+            let event = Point::new(5.0 + 9.0 * i as f64, 50.0);
+            seq.run_event(event);
+            reference.run_event(event);
+        }
+        let mut par = ShardedMultiCluster::from_sequential(seq, 2).unwrap();
+        for i in 0..10 {
+            let event = Point::new(5.0 + 9.0 * i as f64, 30.0);
+            assert_eq!(reference.run_event(event), par.run_event(event), "round {i}");
+        }
+        assert_eq!(reference.trust_snapshot(), par.trust_snapshot());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let config = MultiClusterConfig::paper();
+        let topo = Topology::uniform_grid(100, 100.0, 100.0);
+        let err = ShardedMultiCluster::try_new(
+            config,
+            topo,
+            five_ch_sites(100.0),
+            behaviors(100, 0, 0),
+            |_| Box::new(BernoulliLoss::new(0.0)),
+            0,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardedError::Shard(ShardError::ZeroThreads));
+        assert!(err.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn cluster_errors_pass_through() {
+        let config = MultiClusterConfig::paper();
+        let topo = Topology::uniform_grid(100, 100.0, 100.0);
+        let err = ShardedMultiCluster::try_new(
+            config,
+            topo,
+            Vec::new(),
+            behaviors(100, 0, 0),
+            |_| Box::new(BernoulliLoss::new(0.0)),
+            0,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardedError::Cluster(MultiClusterError::NoClusterHeads));
+    }
+
+    #[test]
+    fn dispatch_metric_grows() {
+        let (_, mut par) = build_pair(3, 2);
+        par.run_event(Point::new(50.0, 50.0));
+        let after_one = par.events_dispatched();
+        assert!(after_one > 0);
+        par.run_event(Point::new(25.0, 25.0));
+        assert!(par.events_dispatched() > after_one);
+    }
+}

@@ -245,6 +245,81 @@ impl Topology {
             })
             .map(|(i, _)| NodeId(i))
     }
+
+    /// Assigns every node to its nearest site (Voronoi affiliation):
+    /// entry `i` is the site index node `i` affiliates with. Ties break
+    /// toward the lower site index, so the assignment is deterministic.
+    ///
+    /// This is the cluster-membership rule the multi-cluster experiments
+    /// use: cluster heads are the sites, members are the Voronoi cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    #[must_use]
+    pub fn affiliation(&self, sites: &[Point]) -> Vec<usize> {
+        self.positions
+            .iter()
+            .map(|&p| nearest_site(sites, p).expect("need at least one site"))
+            .collect()
+    }
+
+    /// Nodes in the *border region* of the Voronoi partition induced by
+    /// `sites`: a node is a border node if the site nearest to it and the
+    /// second-nearest are within `margin` of equidistant. These are the
+    /// nodes whose cluster affiliation can flip under small position
+    /// drift, i.e. the only nodes that ever generate cross-shard handoff
+    /// traffic. Returned in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty or `margin` is negative.
+    #[must_use]
+    pub fn border_nodes(&self, sites: &[Point], margin: f64) -> Vec<NodeId> {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(margin >= 0.0, "border margin must be non-negative");
+        if sites.len() == 1 {
+            return Vec::new(); // one cell, no borders
+        }
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| {
+                let mut best = f64::INFINITY;
+                let mut second = f64::INFINITY;
+                for site in sites {
+                    let d = site.distance_to(p);
+                    if d < best {
+                        second = best;
+                        best = d;
+                    } else if d < second {
+                        second = d;
+                    }
+                }
+                second - best <= margin
+            })
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+}
+
+/// Index of the site nearest to `p` (ties broken by lower index), or
+/// `None` if `sites` is empty.
+///
+/// The tie-break makes Voronoi affiliation a deterministic function of
+/// geometry, which the sharded engine relies on: the same node position
+/// yields the same owning shard on every run and thread count.
+#[must_use]
+pub fn nearest_site(sites: &[Point], p: Point) -> Option<usize> {
+    sites
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.distance_sq(p)
+                .partial_cmp(&b.distance_sq(p))
+                .expect("site positions are finite")
+        })
+        .map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -345,6 +420,67 @@ mod tests {
             assert!((0.0..30.0).contains(&e.x));
             assert!((0.0..60.0).contains(&e.y));
         }
+    }
+
+    #[test]
+    fn nearest_site_prefers_lower_index_on_tie() {
+        let sites = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        // Equidistant from both sites.
+        assert_eq!(nearest_site(&sites, Point::new(5.0, 0.0)), Some(0));
+        assert_eq!(nearest_site(&sites, Point::new(9.0, 0.0)), Some(1));
+        assert_eq!(nearest_site(&[], Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn affiliation_matches_nearest_site() {
+        let t = Topology::uniform_grid(64, 100.0, 100.0);
+        let sites = vec![Point::new(25.0, 50.0), Point::new(75.0, 50.0)];
+        let aff = t.affiliation(&sites);
+        assert_eq!(aff.len(), 64);
+        for (id, p) in t.iter() {
+            assert_eq!(aff[id.index()], nearest_site(&sites, p).unwrap());
+        }
+        // Both clusters are non-empty for a centered pair of sites.
+        assert!(aff.contains(&0) && aff.contains(&1));
+    }
+
+    #[test]
+    fn border_nodes_lie_near_the_bisector() {
+        let t = Topology::uniform_grid(100, 100.0, 100.0);
+        let sites = vec![Point::new(25.0, 50.0), Point::new(75.0, 50.0)];
+        // The bisector is x = 50; a 12-unit margin captures the two grid
+        // columns adjacent to it and nothing else.
+        let border = t.border_nodes(&sites, 12.0);
+        assert!(!border.is_empty());
+        for &id in &border {
+            let x = t.position(id).x;
+            assert!((x - 50.0).abs() < 12.0, "node {id} at x={x} is not near the bisector");
+        }
+        // Nodes far from the bisector are excluded.
+        let far: Vec<NodeId> = t
+            .node_ids()
+            .filter(|&id| (t.position(id).x - 50.0).abs() > 30.0)
+            .collect();
+        for id in far {
+            assert!(!border.contains(&id));
+        }
+        // Sorted ascending.
+        let mut sorted = border.clone();
+        sorted.sort_unstable();
+        assert_eq!(border, sorted);
+    }
+
+    #[test]
+    fn border_nodes_single_site_is_empty() {
+        let t = Topology::uniform_grid(9, 10.0, 10.0);
+        assert!(t.border_nodes(&[Point::new(5.0, 5.0)], 100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn affiliation_rejects_empty_sites() {
+        let t = Topology::uniform_grid(4, 10.0, 10.0);
+        let _ = t.affiliation(&[]);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   ([`EventQueue`], [`Engine`]),
 //! * seedable, reproducible randomness and the distributions the paper's
 //!   workloads need ([`rng::SimRng`]),
+//! * a conservative window-synchronized shard scheduler for running
+//!   nearly independent partitions in parallel without losing
+//!   reproducibility ([`shard::ShardScheduler`]),
 //! * statistics accumulators for building the paper's figures
 //!   ([`stats::Running`], [`stats::Series`]).
 //!
@@ -40,6 +43,7 @@ mod engine;
 mod queue;
 
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 

@@ -51,6 +51,19 @@ impl SimRng {
         }
     }
 
+    /// Creates the generator for numbered stream `stream` of a master
+    /// seed.
+    ///
+    /// Unlike [`SimRng::fork`], which consumes parent output, this is a
+    /// pure function of `(master, stream)` — the stream a shard receives
+    /// does not depend on how many siblings were created before it or in
+    /// what order, which is what keeps sharded runs bit-identical to
+    /// sequential ones (see [`crate::shard::stream_seed`]).
+    #[must_use]
+    pub fn stream(master: u64, stream: u64) -> SimRng {
+        SimRng::seed_from(crate::shard::stream_seed(master, stream))
+    }
+
     /// Derives an independent child generator; used to give each node its
     /// own stream so adding a node does not perturb the others' draws.
     #[must_use]

@@ -1,0 +1,681 @@
+//! Conservative window-synchronized shard scheduler.
+//!
+//! Large fields decompose into nearly independent shards (one per
+//! cluster, or per cluster group) that only couple through messages near
+//! shard borders and through periodic control traffic. This module
+//! provides the execution substrate for running such shards in parallel
+//! **without giving up bit-for-bit reproducibility**:
+//!
+//! * every shard owns its own state, event queue, and RNG stream (derive
+//!   the stream seed with [`stream_seed`] so it depends only on the
+//!   master seed and the shard index, never on scheduling order);
+//! * shards advance in lockstep *epochs* of a fixed window `W`, chosen no
+//!   larger than the minimum cross-shard latency, so anything a shard
+//!   sends during epoch `k` can only matter to its peers in epoch `k+1`
+//!   (the classic conservative-synchronization bound);
+//! * cross-shard traffic travels in [`Envelope`]s through per-destination
+//!   mailboxes that are drained in `(time, src, seq)` order — a total
+//!   order that does not depend on which worker thread ran which shard,
+//!   so the merged trace is identical for any thread count.
+//!
+//! The scheduler never inspects message payloads; domain logic lives in
+//! the [`Shard`] implementation (see `tibfit-experiments::sharded` for
+//! the multi-cluster TIBFIT wiring).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::{Duration, SimTime};
+
+/// Derives the RNG stream seed for one shard (or any numbered stream)
+/// from a master seed.
+///
+/// The derivation is a pure function of `(master, stream)` — two
+/// SplitMix64-style avalanche rounds over the pair — so it is independent
+/// of the order in which streams are created and of how work is
+/// scheduled. Distinct `(master, stream)` pairs produce decorrelated
+/// seeds even for adjacent indices.
+///
+/// ```rust
+/// use tibfit_sim::shard::stream_seed;
+/// assert_eq!(stream_seed(42, 3), stream_seed(42, 3));
+/// assert_ne!(stream_seed(42, 3), stream_seed(42, 4));
+/// assert_ne!(stream_seed(42, 3), stream_seed(43, 3));
+/// ```
+#[must_use]
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Second round decorrelates (master, stream) from (master^1, stream^1)
+    // style near-collisions.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pseudo-shard index used for messages to and from the driver (the
+/// base station in the TIBFIT wiring): [`ShardScheduler::inject`] stamps
+/// this as `src`, and outbound messages sent to this index are returned
+/// from [`ShardScheduler::step_epoch`] instead of being delivered to a
+/// shard.
+pub const DRIVER: usize = usize::MAX;
+
+/// One cross-shard message: payload plus the `(time, src, seq)` key that
+/// totally orders deliveries into a mailbox.
+///
+/// `seq` is a per-sender monotonic counter, so two envelopes from the
+/// same sender never compare equal and the sort below is a total order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Simulated delivery time.
+    pub time: SimTime,
+    /// Sending shard index ([`DRIVER`] for injected input).
+    pub src: usize,
+    /// Per-sender monotonic sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    fn key(&self) -> (SimTime, usize, u64) {
+        (self.time, self.src, self.seq)
+    }
+}
+
+/// Staging area a shard writes its outbound messages into during
+/// [`Shard::step`]. The scheduler stamps `src` and `seq` and enforces the
+/// conservative horizon: a message may not be timestamped before the end
+/// of the epoch that produced it (it could not be delivered in time).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    src: usize,
+    seq: u64,
+    horizon: SimTime,
+    staged: Vec<(usize, Envelope<M>)>,
+}
+
+impl<M> Outbox<M> {
+    /// Queues `msg` for shard `dst` (or [`DRIVER`]) at simulated time
+    /// `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current epoch's end — such a
+    /// message would violate the conservative window bound (the receiver
+    /// may already have advanced past `time`).
+    pub fn send(&mut self, dst: usize, time: SimTime, msg: M) {
+        assert!(
+            time >= self.horizon,
+            "conservative bound violated: message at {time} from shard {} \
+             cannot precede the epoch horizon {}",
+            self.src,
+            self.horizon
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.staged.push((
+            dst,
+            Envelope {
+                time,
+                src: self.src,
+                seq,
+                msg,
+            },
+        ));
+    }
+
+    /// Number of messages staged so far this epoch.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// One independently steppable partition of the simulation.
+///
+/// `step` must advance local state from the previous epoch boundary to
+/// `until`, consuming `inbox` (already sorted by `(time, src, seq)`) and
+/// staging any cross-shard messages in `outbox`. Determinism contract:
+/// the result of `step` may depend only on the shard's own state and the
+/// inbox contents — never on global mutable state, wall-clock time, or
+/// the behaviour of sibling shards within the same epoch.
+pub trait Shard: Send {
+    /// Cross-shard message payload.
+    type Msg: Send;
+
+    /// Advances the shard to `until`.
+    fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<Self::Msg>>, outbox: &mut Outbox<Self::Msg>);
+}
+
+/// Why a [`ShardScheduler`] could not be built or driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// The scheduler needs at least one shard.
+    NoShards,
+    /// The epoch window must be a positive duration.
+    ZeroWindow,
+    /// At least one worker thread is required.
+    ZeroThreads,
+    /// A message was addressed to a shard index that does not exist.
+    UnknownDestination {
+        /// The offending destination index.
+        dst: usize,
+        /// Number of shards in the scheduler.
+        shards: usize,
+    },
+    /// An injected message was timestamped before the current epoch
+    /// boundary and could never be delivered on time.
+    InjectInPast {
+        /// The requested delivery time.
+        time: SimTime,
+        /// The scheduler's current time.
+        now: SimTime,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "need at least one shard"),
+            ShardError::ZeroWindow => write!(f, "epoch window must be positive"),
+            ShardError::ZeroThreads => write!(f, "need at least one worker thread"),
+            ShardError::UnknownDestination { dst, shards } => {
+                write!(f, "message addressed to shard {dst}, but only {shards} shards exist")
+            }
+            ShardError::InjectInPast { time, now } => {
+                write!(f, "cannot inject a message at {time}: scheduler already at {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Per-shard slot: the shard itself plus its epoch-local work buffers,
+/// behind one lock so a worker pays a single acquisition per shard per
+/// epoch.
+struct Slot<S: Shard> {
+    shard: S,
+    inbox: Vec<Envelope<S::Msg>>,
+    outbox: Outbox<S::Msg>,
+}
+
+/// Lockstep scheduler over a set of [`Shard`]s.
+///
+/// Each [`ShardScheduler::step_epoch`] call advances every shard by one
+/// window in parallel (over the configured worker count), then routes the
+/// epoch's outbound messages into per-destination mailboxes for the next
+/// epoch. Messages addressed to [`DRIVER`] are returned to the caller in
+/// `(time, src, seq)` order.
+///
+/// The trace produced by a run is a pure function of the shards' initial
+/// state and the injected inputs — the worker count changes wall-clock
+/// time only.
+pub struct ShardScheduler<S: Shard> {
+    slots: Vec<Mutex<Slot<S>>>,
+    /// Staged deliveries for the next epoch, per destination shard.
+    pending: Vec<Vec<Envelope<S::Msg>>>,
+    window: Duration,
+    threads: usize,
+    now: SimTime,
+    epoch: u64,
+    driver_seq: u64,
+    routed: u64,
+}
+
+impl<S: Shard> ShardScheduler<S> {
+    /// Builds a scheduler over `shards` advancing `window` per epoch with
+    /// `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::NoShards`], [`ShardError::ZeroWindow`], or
+    /// [`ShardError::ZeroThreads`] on a degenerate configuration.
+    pub fn new(shards: Vec<S>, window: Duration, threads: usize) -> Result<Self, ShardError> {
+        if shards.is_empty() {
+            return Err(ShardError::NoShards);
+        }
+        if window == Duration::ZERO {
+            return Err(ShardError::ZeroWindow);
+        }
+        if threads == 0 {
+            return Err(ShardError::ZeroThreads);
+        }
+        let n = shards.len();
+        let slots = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                Mutex::new(Slot {
+                    shard,
+                    inbox: Vec::new(),
+                    outbox: Outbox {
+                        src: i,
+                        seq: 0,
+                        horizon: SimTime::ZERO,
+                        staged: Vec::new(),
+                    },
+                })
+            })
+            .collect();
+        Ok(ShardScheduler {
+            slots,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            window,
+            threads,
+            now: SimTime::ZERO,
+            epoch: 0,
+            driver_seq: 0,
+            routed: 0,
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current simulated time (the last epoch boundary).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Epochs completed so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total cross-shard envelopes routed so far (driver traffic
+    /// included).
+    #[must_use]
+    pub fn routed_messages(&self) -> u64 {
+        self.routed
+    }
+
+    /// The configured epoch window.
+    #[must_use]
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Read access to one shard (between epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or a worker panicked mid-epoch.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&S) -> R) -> R {
+        let slot = self.slots[i].lock().expect("shard slot poisoned");
+        f(&slot.shard)
+    }
+
+    /// Mutable access to one shard (between epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or a worker panicked mid-epoch.
+    pub fn with_shard_mut<R>(&mut self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        let slot = self.slots[i].get_mut().expect("shard slot poisoned");
+        f(&mut slot.shard)
+    }
+
+    /// Applies `f` to every shard in index order (between epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked mid-epoch.
+    pub fn for_each_shard<R>(&self, mut f: impl FnMut(usize, &S) -> R) -> Vec<R> {
+        (0..self.slots.len())
+            .map(|i| {
+                let slot = self.slots[i].lock().expect("shard slot poisoned");
+                f(i, &slot.shard)
+            })
+            .collect()
+    }
+
+    /// Queues an input message from the driver for delivery to shard
+    /// `dst` in the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::UnknownDestination`] for an out-of-range
+    /// shard index and [`ShardError::InjectInPast`] if `time` precedes
+    /// the current epoch boundary.
+    pub fn inject(&mut self, dst: usize, time: SimTime, msg: S::Msg) -> Result<(), ShardError> {
+        if dst >= self.slots.len() {
+            return Err(ShardError::UnknownDestination {
+                dst,
+                shards: self.slots.len(),
+            });
+        }
+        if time < self.now {
+            return Err(ShardError::InjectInPast {
+                time,
+                now: self.now,
+            });
+        }
+        let seq = self.driver_seq;
+        self.driver_seq += 1;
+        self.pending[dst].push(Envelope {
+            time,
+            src: DRIVER,
+            seq,
+            msg,
+        });
+        Ok(())
+    }
+
+    /// Runs one epoch: delivers staged mailboxes, steps every shard to
+    /// `now + window` (in parallel), routes the new outbound messages,
+    /// and returns the driver-bound envelopes in `(time, src, seq)`
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::UnknownDestination`] if a shard addressed a
+    /// message to a shard index that does not exist (the epoch's state
+    /// changes are kept; the offending message is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from [`Shard::step`].
+    pub fn step_epoch(&mut self) -> Result<Vec<Envelope<S::Msg>>, ShardError> {
+        let until = self.now + self.window;
+        let n = self.slots.len();
+
+        // Stage inboxes: drain the pending mailboxes into the slots,
+        // sorted by the total (time, src, seq) order.
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let slot = slot.get_mut().expect("shard slot poisoned");
+            debug_assert!(slot.inbox.is_empty(), "inbox not drained by step");
+            std::mem::swap(&mut slot.inbox, &mut self.pending[i]);
+            slot.inbox.sort_by_key(Envelope::key);
+            slot.outbox.horizon = until;
+        }
+
+        // Parallel phase: shards are independent within an epoch, so any
+        // assignment of shards to workers computes the same result.
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for slot in &mut self.slots {
+                let slot = slot.get_mut().expect("shard slot poisoned");
+                let mut inbox = std::mem::take(&mut slot.inbox);
+                slot.shard.step(until, &mut inbox, &mut slot.outbox);
+                inbox.clear();
+                slot.inbox = inbox; // return the buffer for reuse
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots = &self.slots;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = slots[i].lock().expect("shard slot poisoned");
+                        let slot = &mut *guard;
+                        let mut inbox = std::mem::take(&mut slot.inbox);
+                        slot.shard.step(until, &mut inbox, &mut slot.outbox);
+                        inbox.clear();
+                        slot.inbox = inbox;
+                    });
+                }
+            });
+        }
+
+        // Sequential routing phase, in shard index order: deterministic
+        // regardless of which worker ran which shard.
+        let mut driver_out: Vec<Envelope<S::Msg>> = Vec::new();
+        let mut bad_dst: Option<ShardError> = None;
+        for slot in &mut self.slots {
+            let slot = slot.get_mut().expect("shard slot poisoned");
+            for (dst, env) in slot.outbox.staged.drain(..) {
+                self.routed += 1;
+                if dst == DRIVER {
+                    driver_out.push(env);
+                } else if dst < n {
+                    self.pending[dst].push(env);
+                } else {
+                    bad_dst.get_or_insert(ShardError::UnknownDestination { dst, shards: n });
+                }
+            }
+        }
+        driver_out.sort_by_key(Envelope::key);
+
+        self.now = until;
+        self.epoch += 1;
+        match bad_dst {
+            Some(e) => Err(e),
+            None => Ok(driver_out),
+        }
+    }
+
+    /// Consumes the scheduler, returning the shards in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked mid-epoch.
+    #[must_use]
+    pub fn into_shards(self) -> Vec<S> {
+        self.slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard slot poisoned").shard)
+            .collect()
+    }
+}
+
+impl<S: Shard> std::fmt::Debug for ShardScheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardScheduler")
+            .field("shards", &self.slots.len())
+            .field("window", &self.window)
+            .field("threads", &self.threads)
+            .field("now", &self.now)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    /// Test shard: accumulates received values, adds per-shard random
+    /// jitter, and forwards to the next shard in a ring plus a running
+    /// checksum to the driver — enough structure to catch ordering or
+    /// stream-sharing bugs.
+    struct RingShard {
+        index: usize,
+        n: usize,
+        rng: SimRng,
+        sum: u64,
+        log: Vec<(u64, usize, u64)>,
+    }
+
+    impl RingShard {
+        fn new(index: usize, n: usize, master: u64) -> Self {
+            RingShard {
+                index,
+                n,
+                rng: SimRng::seed_from(stream_seed(master, index as u64)),
+                sum: 0,
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl Shard for RingShard {
+        type Msg = u64;
+
+        fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<u64>>, outbox: &mut Outbox<u64>) {
+            for env in inbox.drain(..) {
+                self.log.push((env.time.ticks(), env.src, env.msg));
+                let jitter = self.rng.uniform_usize(7) as u64;
+                self.sum = self.sum.wrapping_add(env.msg + jitter);
+                outbox.send((self.index + 1) % self.n, until, env.msg + 1);
+                outbox.send(DRIVER, until, self.sum);
+            }
+        }
+    }
+
+    type RingTrace = Vec<(u64, usize, u64)>;
+
+    fn run_ring(threads: usize, epochs: usize) -> (Vec<RingTrace>, RingTrace) {
+        let shards: Vec<RingShard> = (0..5).map(|i| RingShard::new(i, 5, 99)).collect();
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), threads).unwrap();
+        sched.inject(0, SimTime::from_ticks(0), 100).unwrap();
+        sched.inject(3, SimTime::from_ticks(0), 500).unwrap();
+        let mut driver: Vec<(u64, usize, u64)> = Vec::new();
+        for _ in 0..epochs {
+            for env in sched.step_epoch().unwrap() {
+                driver.push((env.time.ticks(), env.src, env.msg));
+            }
+        }
+        let logs = sched.into_shards().into_iter().map(|s| s.log).collect();
+        (logs, driver)
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let reference = run_ring(1, 12);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_ring(threads, 12), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn driver_messages_sorted_by_time_src_seq() {
+        let (_, driver) = run_ring(4, 8);
+        let mut sorted = driver.clone();
+        sorted.sort();
+        assert_eq!(driver, sorted);
+        assert!(!driver.is_empty());
+    }
+
+    #[test]
+    fn messages_cross_one_epoch_boundary() {
+        // A message sent during epoch k is visible to its destination in
+        // epoch k+1, not earlier: shard 1 first logs something in epoch 2
+        // (injection lands in epoch 1 at shard 0).
+        let (logs, _) = run_ring(1, 3);
+        assert_eq!(logs[0][0].0, 0, "shard 0 sees the injected message at t=0");
+        assert_eq!(logs[1][0].0, 10, "shard 1 hears from shard 0 one window later");
+        assert_eq!(logs[2][0].0, 20, "shard 2 two windows later");
+    }
+
+    #[test]
+    fn stream_seed_is_order_free_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| stream_seed(7, i)).collect();
+        let b: Vec<u64> = (0..64).rev().map(|i| stream_seed(7, i)).collect();
+        let b_rev: Vec<u64> = b.into_iter().rev().collect();
+        assert_eq!(a, b_rev);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 64, "derived seeds must not collide");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let none: Vec<RingShard> = Vec::new();
+        assert_eq!(
+            ShardScheduler::new(none, Duration::from_ticks(1), 1).err(),
+            Some(ShardError::NoShards)
+        );
+        let one = vec![RingShard::new(0, 1, 0)];
+        assert_eq!(
+            ShardScheduler::new(one, Duration::ZERO, 1).err(),
+            Some(ShardError::ZeroWindow)
+        );
+        let one = vec![RingShard::new(0, 1, 0)];
+        assert_eq!(
+            ShardScheduler::new(one, Duration::from_ticks(1), 0).err(),
+            Some(ShardError::ZeroThreads)
+        );
+    }
+
+    #[test]
+    fn inject_validates_destination_and_time() {
+        let shards = vec![RingShard::new(0, 1, 0)];
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 1).unwrap();
+        assert_eq!(
+            sched.inject(5, SimTime::from_ticks(0), 1).err(),
+            Some(ShardError::UnknownDestination { dst: 5, shards: 1 })
+        );
+        sched.step_epoch().unwrap();
+        assert_eq!(
+            sched.inject(0, SimTime::from_ticks(3), 1).err(),
+            Some(ShardError::InjectInPast {
+                time: SimTime::from_ticks(3),
+                now: SimTime::from_ticks(10),
+            })
+        );
+        // Error messages render.
+        assert!(ShardError::ZeroWindow.to_string().contains("window"));
+        assert!(ShardError::NoShards.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn unknown_destination_from_shard_is_reported() {
+        struct Bad;
+        impl Shard for Bad {
+            type Msg = ();
+            fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<()>>, outbox: &mut Outbox<()>) {
+                inbox.clear();
+                outbox.send(7, until, ());
+            }
+        }
+        let mut sched = ShardScheduler::new(vec![Bad], Duration::from_ticks(1), 1).unwrap();
+        assert_eq!(
+            sched.step_epoch().err(),
+            Some(ShardError::UnknownDestination { dst: 7, shards: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative bound violated")]
+    fn outbox_rejects_messages_before_horizon() {
+        struct Early;
+        impl Shard for Early {
+            type Msg = ();
+            fn step(&mut self, _until: SimTime, _inbox: &mut Vec<Envelope<()>>, outbox: &mut Outbox<()>) {
+                outbox.send(0, SimTime::ZERO, ());
+            }
+        }
+        let mut sched = ShardScheduler::new(vec![Early], Duration::from_ticks(10), 1).unwrap();
+        let _ = sched.step_epoch();
+    }
+
+    #[test]
+    fn bookkeeping_counters_advance() {
+        let shards: Vec<RingShard> = (0..3).map(|i| RingShard::new(i, 3, 1)).collect();
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 2).unwrap();
+        assert_eq!(sched.shard_count(), 3);
+        assert_eq!(sched.threads(), 2);
+        assert_eq!(sched.window(), Duration::from_ticks(10));
+        sched.inject(0, SimTime::ZERO, 1).unwrap();
+        sched.step_epoch().unwrap();
+        sched.step_epoch().unwrap();
+        assert_eq!(sched.epochs(), 2);
+        assert_eq!(sched.now(), SimTime::from_ticks(20));
+        assert!(sched.routed_messages() >= 2);
+        let sums = sched.for_each_shard(|_, s| s.sum);
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sched.with_shard(1, |s| s.index), 1);
+    }
+}

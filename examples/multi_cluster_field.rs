@@ -32,8 +32,8 @@ fn main() {
     let topo = Topology::uniform_grid(N_NODES, 100.0, 100.0);
     let mut seed_rng = SimRng::seed_from(414);
     let faulty = seed_rng.choose_indices(N_NODES, N_FAULTY);
-    let behaviors: Vec<Box<dyn NodeBehavior>> = (0..N_NODES)
-        .map(|i| -> Box<dyn NodeBehavior> {
+    let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..N_NODES)
+        .map(|i| -> Box<dyn NodeBehavior + Send> {
             if faulty.contains(&i) {
                 Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
             } else {
@@ -46,8 +46,8 @@ fn main() {
         topo,
         five_ch_sites(100.0),
         behaviors,
-        Box::new(BernoulliLoss::new(0.005)),
-        seed_rng,
+        |_| Box::new(BernoulliLoss::new(0.005)),
+        414,
     );
 
     // Cluster census.

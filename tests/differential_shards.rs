@@ -1,0 +1,226 @@
+//! Differential determinism suite: the sharded parallel engine must be
+//! observationally identical to the sequential reference engine — same
+//! per-round decisions, same bit-exact trust trajectories, same trace
+//! counters — at every worker-thread count.
+//!
+//! Any divergence here means the conservative window synchronization or
+//! the mailbox ordering is broken; there is no tolerance, comparisons
+//! are exact.
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
+use tibfit_experiments::sharded::ShardedMultiCluster;
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A deployment recipe both engines are built from.
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    clusters: usize,
+    field: f64,
+    faulty: usize,
+    noise_sigma: f64,
+    loss: f64,
+    drift_sigma: f64,
+    reelect_every: u64,
+    rounds: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    /// A small mobile deployment that exercises every cross-shard path:
+    /// multi-cluster declarations, drift, and re-election handoffs.
+    fn mobile(seed: u64) -> Self {
+        Scenario {
+            nodes: 64,
+            clusters: 4,
+            field: 80.0,
+            faulty: 16,
+            noise_sigma: 1.6,
+            loss: 0.005,
+            drift_sigma: 0.6,
+            reelect_every: 3,
+            rounds: 12,
+            seed,
+        }
+    }
+
+    fn config(&self) -> MultiClusterConfig {
+        MultiClusterConfig::paper().mobile(self.drift_sigma, self.reelect_every)
+    }
+
+    fn behaviors(&self) -> Vec<Box<dyn NodeBehavior + Send>> {
+        let faulty = SimRng::seed_from(self.seed ^ 0xFA).choose_indices(self.nodes, self.faulty);
+        (0..self.nodes)
+            .map(|i| -> Box<dyn NodeBehavior + Send> {
+                if faulty.contains(&i) {
+                    Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+                } else {
+                    Box::new(CorrectNode::new(0.0, self.noise_sigma))
+                }
+            })
+            .collect()
+    }
+
+    fn sequential(&self) -> MultiClusterSim {
+        MultiClusterSim::try_new(
+            self.config(),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn sharded(&self, threads: usize) -> ShardedMultiCluster {
+        ShardedMultiCluster::try_new(
+            self.config(),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+            threads,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn events(&self) -> Vec<Point> {
+        let mut rng = SimRng::seed_from(self.seed ^ 0xE7);
+        (0..self.rounds)
+            .map(|_| {
+                Point::new(
+                    rng.uniform_range(0.0, self.field),
+                    rng.uniform_range(0.0, self.field),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the scenario on the sequential engine and on the sharded engine
+/// at `threads`, asserting lockstep equality every round.
+fn assert_lockstep(scenario: &Scenario, threads: usize) {
+    let mut seq = scenario.sequential();
+    let mut par = scenario.sharded(threads);
+    let ctx = format!("scenario {scenario:?} threads={threads}");
+    for (round, &event) in scenario.events().iter().enumerate() {
+        let a = seq.run_event(event);
+        let b = par.run_event(event);
+        assert_eq!(a, b, "decision diverged at round {round}: {ctx}");
+        assert_eq!(
+            seq.trust_snapshot(),
+            par.trust_snapshot(),
+            "trust trajectory diverged at round {round}: {ctx}"
+        );
+        assert_eq!(
+            seq.position_snapshot(),
+            par.position_snapshot(),
+            "positions diverged at round {round}: {ctx}"
+        );
+    }
+    assert_eq!(seq.counters(), par.counters(), "trace counters diverged: {ctx}");
+}
+
+#[test]
+fn twenty_seeds_every_thread_count() {
+    for seed in 0..20u64 {
+        let scenario = Scenario::mobile(1000 + seed);
+        for threads in THREAD_COUNTS {
+            assert_lockstep(&scenario, threads);
+        }
+    }
+}
+
+#[test]
+fn static_deployment_agrees() {
+    // No drift, no re-election: the pure declare/merge path.
+    let mut scenario = Scenario::mobile(77);
+    scenario.drift_sigma = 0.0;
+    scenario.reelect_every = 0;
+    for threads in THREAD_COUNTS {
+        assert_lockstep(&scenario, threads);
+    }
+}
+
+#[test]
+fn single_cluster_degenerate_case() {
+    let mut scenario = Scenario::mobile(88);
+    scenario.clusters = 1;
+    scenario.nodes = 36;
+    scenario.faulty = 9;
+    scenario.field = 60.0;
+    for threads in [1, 4] {
+        assert_lockstep(&scenario, threads);
+    }
+}
+
+/// Draws a random (but seeded, hence reproducible) scenario: field size,
+/// cluster count, fault plan, mobility, loss rate, and round count all
+/// vary. Shrinks are unnecessary — the failing scenario prints whole.
+fn random_scenario(rng: &mut SimRng, seed: u64) -> Scenario {
+    let clusters = 1 + rng.uniform_usize(8);
+    let nodes_per_cluster = 8 + rng.uniform_usize(12);
+    let nodes = clusters * nodes_per_cluster;
+    let field = (nodes as f64).sqrt() * 10.0;
+    let mobile = rng.uniform_usize(4) != 0;
+    Scenario {
+        nodes,
+        clusters,
+        field,
+        faulty: rng.uniform_usize(nodes * 2 / 5 + 1),
+        noise_sigma: 0.5 + rng.uniform_range(0.0, 2.0),
+        loss: rng.uniform_range(0.0, 0.02),
+        drift_sigma: if mobile { rng.uniform_range(0.1, 1.0) } else { 0.0 },
+        reelect_every: if mobile { 2 + rng.uniform_usize(4) as u64 } else { 0 },
+        rounds: 5 + rng.uniform_usize(8),
+        seed,
+    }
+}
+
+#[test]
+fn randomized_scenarios_agree() {
+    let mut meta_rng = SimRng::seed_from(0xD1FF);
+    for case in 0..15u64 {
+        let scenario = random_scenario(&mut meta_rng, 5000 + case);
+        // One cheap thread count and one genuinely parallel one per case.
+        let threads = [1, 2 + meta_rng.uniform_usize(7)];
+        for t in threads {
+            assert_lockstep(&scenario, t);
+        }
+    }
+}
+
+#[test]
+fn engine_swap_mid_run_stays_in_lockstep() {
+    // Start sequential, convert to sharded halfway, and keep comparing
+    // against an uninterrupted sequential run.
+    let scenario = Scenario::mobile(99);
+    let events = scenario.events();
+    let mut reference = scenario.sequential();
+    let mut swapped = scenario.sequential();
+    let (head, tail) = events.split_at(events.len() / 2);
+    for &event in head {
+        reference.run_event(event);
+        swapped.run_event(event);
+    }
+    let mut swapped = ShardedMultiCluster::from_sequential(swapped, 4)
+        .expect("thread count is non-zero");
+    for (round, &event) in tail.iter().enumerate() {
+        assert_eq!(
+            reference.run_event(event),
+            swapped.run_event(event),
+            "post-swap round {round}"
+        );
+        assert_eq!(reference.trust_snapshot(), swapped.trust_snapshot());
+    }
+    assert_eq!(reference.counters(), swapped.counters());
+}

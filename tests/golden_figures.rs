@@ -12,7 +12,7 @@
 use std::path::Path;
 
 use tibfit_experiments::report::FigureData;
-use tibfit_experiments::{exp1, exp4_shadow, exp5_chaos};
+use tibfit_experiments::{exp1, exp2, exp3, exp4_shadow, exp5_chaos};
 use tibfit_sim::stats::Series;
 
 const TRIALS: usize = 2;
@@ -45,6 +45,36 @@ fn fig2_matches_golden() {
 #[test]
 fn fig3_matches_golden() {
     assert_matches_golden(&exp1::figure3(TRIALS, SEED));
+}
+
+#[test]
+fn fig4_matches_golden() {
+    assert_matches_golden(&exp2::figure4(TRIALS, SEED));
+}
+
+#[test]
+fn fig5_matches_golden() {
+    assert_matches_golden(&exp2::figure5(TRIALS, SEED));
+}
+
+#[test]
+fn fig6_matches_golden() {
+    assert_matches_golden(&exp2::figure6(TRIALS, SEED));
+}
+
+#[test]
+fn fig7_matches_golden() {
+    assert_matches_golden(&exp2::figure7(TRIALS, SEED));
+}
+
+#[test]
+fn fig8_matches_golden() {
+    assert_matches_golden(&exp3::figure8(TRIALS, SEED));
+}
+
+#[test]
+fn fig9_matches_golden() {
+    assert_matches_golden(&exp3::figure9(TRIALS, SEED));
 }
 
 #[test]
@@ -98,6 +128,8 @@ fn fig11_matches_golden() {
 // let dir = std::path::Path::new("results/golden");
 // exp1::figure2(2, 42).write_csv(dir)?;
 // exp1::figure3(2, 42).write_csv(dir)?;
+// exp2::figure4(2, 42).write_csv(dir)?;   // likewise figure5..figure7
+// exp3::figure8(2, 42).write_csv(dir)?;   // likewise figure9
 // exp4_shadow::figure_shadow(2, 42).write_csv(dir)?;
 // /* fig10/fig11 as constructed above */
 // ```

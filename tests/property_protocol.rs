@@ -1,0 +1,361 @@
+//! Property tests for the protocol's recovery machinery, driven by
+//! seeded randomized inputs rather than hand-picked examples:
+//!
+//! * the quarantine → probation → reintegration schedule in
+//!   `tibfit_core::trust` (legal transitions only, no double
+//!   reintegration, probationary trust pinned to the isolation
+//!   threshold),
+//! * shadow-CH failover trust re-sync in `tibfit_core::lifecycle` (a
+//!   table wipe plus re-sync can never leave a node with more trust than
+//!   the last authoritative pre-crash snapshot),
+//! * the concurrent-event collector under randomized submit/poll
+//!   interleavings (conservation: nothing lost, nothing duplicated),
+//! * the chunked parallel sweep harness under every worker count (this
+//!   doubles as the ThreadSanitizer target for the nightly CI job).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tibfit_core::concurrent::ConcurrentCollector;
+use tibfit_core::lifecycle::{ClusterLifecycle, LifecycleConfig};
+use tibfit_core::location::LocatedReport;
+use tibfit_core::trust::{NodeStatus, TrustParams, TrustTable};
+use tibfit_experiments::harness::{run_parallel_threads, trial_seeds};
+use tibfit_net::geometry::Point;
+use tibfit_net::message::ControlMessage;
+use tibfit_net::topology::{NodeId, Topology};
+use tibfit_sim::rng::SimRng;
+use tibfit_sim::{Duration, SimTime};
+
+const THRESHOLD: f64 = 0.5;
+const QUARANTINE_ROUNDS: u64 = 3;
+const PROBATION_ROUNDS: u64 = 4;
+
+fn recovery_table(n: usize) -> TrustTable {
+    TrustTable::new(TrustParams::experiment2(), n)
+        .with_isolation_threshold(THRESHOLD)
+        .with_reintegration(QUARANTINE_ROUNDS, PROBATION_ROUNDS)
+}
+
+/// Checks one judgement-phase transition (judgements never advance the
+/// schedule; they can only start or restart a quarantine).
+fn check_judgement_transition(node: usize, before: NodeStatus, after: NodeStatus) {
+    let legal = match (before, after) {
+        (NodeStatus::Active, NodeStatus::Active) => true,
+        (NodeStatus::Active, NodeStatus::Quarantined { remaining }) => {
+            remaining == QUARANTINE_ROUNDS
+        }
+        (NodeStatus::Probation { .. }, NodeStatus::Quarantined { remaining }) => {
+            remaining == QUARANTINE_ROUNDS
+        }
+        (
+            NodeStatus::Probation { remaining: a },
+            NodeStatus::Probation { remaining: b },
+        ) => a == b,
+        (
+            NodeStatus::Quarantined { remaining: a },
+            NodeStatus::Quarantined { remaining: b },
+        ) => {
+            // Unjudged in this phase — a quarantined node does not vote,
+            // so its sentence never restarts here.
+            a == b
+        }
+        _ => false,
+    };
+    assert!(
+        legal,
+        "illegal judgement-phase transition for node {node}: {before:?} -> {after:?}"
+    );
+}
+
+/// Checks one tick-phase transition (ticks only advance the schedule).
+fn check_tick_transition(node: usize, before: NodeStatus, after: NodeStatus) {
+    let legal = match (before, after) {
+        (NodeStatus::Active, NodeStatus::Active) => true,
+        (
+            NodeStatus::Quarantined { remaining },
+            NodeStatus::Quarantined { remaining: left },
+        ) => remaining > 1 && left == remaining - 1,
+        (
+            NodeStatus::Quarantined { remaining },
+            NodeStatus::Probation { remaining: left },
+        ) => remaining <= 1 && left == PROBATION_ROUNDS,
+        (
+            NodeStatus::Probation { remaining },
+            NodeStatus::Probation { remaining: left },
+        ) => remaining > 1 && left == remaining - 1,
+        (NodeStatus::Probation { remaining }, NodeStatus::Active) => remaining <= 1,
+        _ => false,
+    };
+    assert!(
+        legal,
+        "illegal tick-phase transition for node {node}: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn quarantine_schedule_properties_hold_under_random_streams() {
+    const NODES: usize = 12;
+    const ROUNDS: usize = 60;
+    for seed in trial_seeds(0xC0FFEE, 20) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut table = recovery_table(NODES);
+        // Per-node chance of a faulty judgement: a mix of reliable,
+        // flaky, and hostile nodes.
+        let fault_p: Vec<f64> = (0..NODES).map(|_| rng.uniform_range(0.0, 0.6)).collect();
+        let mut quarantine_entries = [0u32; NODES];
+        let mut reintegrations = [0u32; NODES];
+
+        for _ in 0..ROUNDS {
+            // Judgement phase: only voting (non-quarantined) nodes are
+            // judged, like the aggregator does.
+            for i in 0..NODES {
+                let id = NodeId(i);
+                let before = table.status_of(id);
+                if matches!(before, NodeStatus::Quarantined { .. }) {
+                    continue;
+                }
+                if rng.uniform_range(0.0, 1.0) < fault_p[i] {
+                    table.record_faulty(id);
+                } else {
+                    table.record_correct(id);
+                }
+                let after = table.status_of(id);
+                check_judgement_transition(i, before, after);
+                if !matches!(before, NodeStatus::Quarantined { .. })
+                    && matches!(after, NodeStatus::Quarantined { .. })
+                {
+                    quarantine_entries[i] += 1;
+                }
+            }
+
+            // Tick phase.
+            let before: Vec<NodeStatus> = (0..NODES).map(|i| table.status_of(NodeId(i))).collect();
+            let reintegrated = table.tick_round();
+            for (i, &was) in before.iter().enumerate() {
+                let after = table.status_of(NodeId(i));
+                check_tick_transition(i, was, after);
+                if matches!(was, NodeStatus::Quarantined { remaining } if remaining <= 1) {
+                    // Quarantine → probation resets trust to exactly the
+                    // isolation threshold: trusted enough to vote, one
+                    // relapse from re-quarantine.
+                    let ti = table.trust_of(NodeId(i));
+                    assert!(
+                        (ti - THRESHOLD).abs() < 1e-12,
+                        "probationary trust {ti} != threshold {THRESHOLD} for node {i}"
+                    );
+                }
+            }
+
+            // Reintegration list properties: only nodes finishing
+            // probation, each at most once per tick.
+            let mut seen = std::collections::HashSet::new();
+            for &id in &reintegrated {
+                assert!(seen.insert(id), "node {id:?} reintegrated twice in one tick");
+                assert!(
+                    matches!(before[id.index()], NodeStatus::Probation { remaining } if remaining <= 1),
+                    "node {id:?} reintegrated without finishing probation: {:?}",
+                    before[id.index()]
+                );
+                reintegrations[id.index()] += 1;
+            }
+        }
+
+        // No double reintegration: each completed recovery requires its
+        // own quarantine sentence first.
+        for i in 0..NODES {
+            assert!(
+                reintegrations[i] <= quarantine_entries[i],
+                "node {i}: {} reintegrations but only {} quarantine entries",
+                reintegrations[i],
+                quarantine_entries[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn probation_starts_at_isolation_threshold_exactly() {
+    let mut table = recovery_table(2);
+    let id = NodeId(0);
+    while !matches!(table.status_of(id), NodeStatus::Quarantined { .. }) {
+        table.record_faulty(id);
+    }
+    for _ in 0..QUARANTINE_ROUNDS {
+        table.tick_round();
+    }
+    assert!(matches!(table.status_of(id), NodeStatus::Probation { .. }));
+    assert!((table.trust_of(id) - THRESHOLD).abs() < 1e-12);
+    // An untouched node is unaffected by the other's schedule.
+    assert_eq!(table.trust_of(NodeId(1)), 1.0);
+}
+
+#[test]
+fn reintegrated_node_needs_a_fresh_quarantine_to_reappear() {
+    let mut table = recovery_table(1);
+    let id = NodeId(0);
+    while !matches!(table.status_of(id), NodeStatus::Quarantined { .. }) {
+        table.record_faulty(id);
+    }
+    let mut reintegrated_total = 0;
+    for _ in 0..QUARANTINE_ROUNDS + PROBATION_ROUNDS {
+        reintegrated_total += table.tick_round().len();
+    }
+    assert_eq!(reintegrated_total, 1);
+    assert_eq!(table.status_of(id), NodeStatus::Active);
+    // Dozens more ticks while behaving: never reported again.
+    for _ in 0..50 {
+        table.record_correct(id);
+        assert!(table.tick_round().is_empty(), "double reintegration");
+    }
+}
+
+/// Builds `n` reports for an event at `event`: honest reporters place it
+/// accurately, nodes in `liars` displace it far outside `r_error`.
+fn round_reports(topo: &Topology, event: Point, r_s: f64, liars: &[usize]) -> Vec<LocatedReport> {
+    topo.event_neighbors(event, r_s)
+        .into_iter()
+        .map(|n| {
+            if liars.contains(&n.index()) {
+                // Each liar invents its own far-off location, so no two
+                // liars corroborate each other's circle.
+                let off = 30.0 + n.index() as f64 * 15.0;
+                LocatedReport::new(n, Point::new(event.x + off, event.y - off))
+            } else {
+                LocatedReport::new(n, event)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn failover_resync_never_raises_trust_above_precrash_snapshot() {
+    let topo = Topology::uniform_grid(25, 50.0, 50.0);
+    let config = LifecycleConfig::paper();
+    let r_s = config.sensing_radius;
+    let mut cluster = ClusterLifecycle::new(config, topo);
+    let mut rng = SimRng::seed_from(0x5EED);
+    // All three lie and all three sense the event (grid nodes within
+    // r_s of the field center).
+    let liars = [7usize, 12, 17];
+    let event = Point::new(25.0, 25.0);
+
+    // Run past a leadership period so the outgoing head hands the trust
+    // table to the base station — the authoritative snapshot.
+    for _ in 0..12 {
+        let reports = round_reports(cluster.topology(), event, r_s, &liars);
+        cluster.process_event_round(&reports, false, &mut rng);
+    }
+    assert!(!cluster.handoffs().is_empty(), "period rollover must hand off");
+    let ControlMessage::TrustHandoff { trust, .. } =
+        cluster.handoffs().last().expect("non-empty").clone()
+    else {
+        panic!("last control message is not a trust handoff");
+    };
+    let snapshot: HashMap<NodeId, f64> = trust.into_iter().collect();
+
+    // More rounds, then the acting head crashes and a shadow takes over.
+    for _ in 0..3 {
+        let reports = round_reports(cluster.topology(), event, r_s, &liars);
+        cluster.process_event_round(&reports, false, &mut rng);
+    }
+    let crashed_head = cluster.current_head(&mut rng);
+    cluster.crash_node(crashed_head);
+    let new_head = cluster.fail_over(&mut rng);
+    assert_ne!(new_head, crashed_head);
+    assert_eq!(cluster.failover_count(), 1);
+
+    // Worst case: the promoted head comes up with a blank table (all
+    // full trust) — then recovers it from the base station's snapshot.
+    cluster.lose_trust_table();
+    for &liar in &liars {
+        assert_eq!(
+            cluster.trust_of(NodeId(liar)),
+            1.0,
+            "table wipe grants full trust — the state re-sync must undo"
+        );
+    }
+    assert!(cluster.resync_trust_from_handoff());
+
+    // Property: re-sync can never leave a node with MORE trust than the
+    // pre-crash authoritative snapshot said it had. (It may have less:
+    // the snapshot is the floor of knowledge, not a reward.)
+    for i in 0..25 {
+        let id = NodeId(i);
+        let restored = cluster.trust_of(id);
+        let authoritative = snapshot.get(&id).copied().unwrap_or(1.0);
+        assert!(
+            restored <= authoritative + 1e-12,
+            "node {i}: re-synced trust {restored} exceeds pre-crash snapshot {authoritative}"
+        );
+    }
+    // And the liars are pinned well below full trust again.
+    for &liar in &liars {
+        assert!(cluster.trust_of(NodeId(liar)) < 0.9);
+    }
+}
+
+#[test]
+fn collector_conserves_reports_under_random_interleavings() {
+    for seed in trial_seeds(0xAB5EED, 25) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut col = ConcurrentCollector::new(5.0, Duration::from_ticks(40));
+        let mut now = SimTime::ZERO;
+        let mut submitted = 0usize;
+        let mut emitted = 0usize;
+        let n_ops = 60 + rng.uniform_usize(60);
+        for op in 0..n_ops {
+            now += Duration::from_ticks(1 + rng.uniform_usize(25) as u64);
+            if rng.uniform_usize(3) < 2 {
+                // Cluster events around a few hotspots so some circles
+                // absorb multiple reports and others stay singletons.
+                let hot = rng.uniform_usize(4) as f64 * 40.0;
+                let p = Point::new(
+                    hot + rng.uniform_range(0.0, 8.0),
+                    hot + rng.uniform_range(0.0, 8.0),
+                );
+                col.submit(now, LocatedReport::new(NodeId(op % 16), p));
+                submitted += 1;
+            } else {
+                for group in col.poll(now) {
+                    assert!(!group.is_empty(), "poll emitted an empty group");
+                    emitted += group.len();
+                }
+            }
+            assert_eq!(
+                emitted + col.pending_reports(),
+                submitted,
+                "conservation violated mid-stream (seed {seed})"
+            );
+        }
+        for group in col.flush() {
+            assert!(!group.is_empty());
+            emitted += group.len();
+        }
+        assert_eq!(emitted, submitted, "flush lost or duplicated reports");
+        assert_eq!(col.pending_reports(), 0);
+        assert_eq!(col.open_circles(), 0);
+    }
+}
+
+#[test]
+fn parallel_harness_processes_each_item_exactly_once_at_every_width() {
+    // The nightly TSan job runs this under `-Z sanitizer=thread`: the
+    // chunk hand-off and result reassembly are the only lock-touching
+    // paths in the harness.
+    for seed in trial_seeds(0x7A5C, 6) {
+        let n = 64 + (seed % 1000) as usize;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+        for workers in 1..=8 {
+            let touched = AtomicUsize::new(0);
+            let out = run_parallel_threads(items.clone(), workers, |x| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                x.wrapping_mul(31) ^ 7
+            })
+            .expect("non-zero worker count");
+            assert_eq!(out, expected, "workers={workers} n={n}");
+            assert_eq!(touched.load(Ordering::Relaxed), n, "workers={workers}");
+        }
+    }
+}
