@@ -13,6 +13,7 @@
 //! makes regaining trust slow — the paper argues this beats a linear model
 //! where a 50%-liar still periodically reaches TI = 1.
 
+use std::cell::Cell;
 use std::fmt;
 
 use tibfit_net::topology::NodeId;
@@ -219,9 +220,23 @@ struct ReintegrationPolicy {
 pub struct TrustTable {
     params: TrustParams,
     entries: Vec<TrustIndex>,
+    /// Write-through cache of `e^(−λ·v)` per node, refreshed only when a
+    /// node's fault counter actually changes. Every cached value is
+    /// produced by the exact expression [`TrustIndex::value`] would
+    /// evaluate at read time, so reads through the cache are bit-identical
+    /// to recomputation — the cache changes *when* the exponential is
+    /// paid, never its result.
+    cached_ti: Vec<f64>,
     status: Vec<NodeStatus>,
     isolation_threshold: Option<f64>,
     reintegration: Option<ReintegrationPolicy>,
+    /// Number of `exp()` evaluations performed so far (cache refreshes).
+    exp_evals: u64,
+    /// Number of trust-index *reads* served from the cache — exactly the
+    /// `exp()` count the uncached implementation would have paid. A
+    /// `Cell` because reads go through `&self`; the table is `Send` but
+    /// not shared across threads.
+    ti_reads: Cell<u64>,
 }
 
 impl TrustTable {
@@ -237,10 +252,38 @@ impl TrustTable {
         TrustTable {
             params,
             entries: vec![TrustIndex::new(); n],
+            // e^(−λ·0) is exactly 1.0, so fresh entries need no exp().
+            cached_ti: vec![1.0; n],
             status: vec![NodeStatus::Active; n],
             isolation_threshold: None,
             reintegration: None,
+            exp_evals: 0,
+            ti_reads: Cell::new(0),
         }
+    }
+
+    /// Recomputes one node's cached trust index after its counter moved.
+    fn refresh_cache(&mut self, i: usize) {
+        self.cached_ti[i] = self.entries[i].value(&self.params);
+        self.exp_evals += 1;
+    }
+
+    /// Total `exp()` evaluations paid so far. Reads ([`TrustTable::trust_of`],
+    /// [`TrustTable::cumulative_trust`], [`TrustTable::export`]) are served
+    /// from the cache and cost none; only an actual change to a node's
+    /// fault counter triggers one. The perf harness compares this against
+    /// the uncached cost of one exponential per weight read.
+    #[must_use]
+    pub fn exp_evals(&self) -> u64 {
+        self.exp_evals
+    }
+
+    /// Total trust-index reads served from the cache so far. Before the
+    /// cache, each of these evaluated one exponential, so
+    /// `ti_reads − exp_evals` is the number of `exp()` calls avoided.
+    #[must_use]
+    pub fn ti_reads(&self) -> u64 {
+        self.ti_reads.get()
     }
 
     /// Enables diagnosis: nodes whose TI drops below `threshold` are
@@ -306,7 +349,8 @@ impl TrustTable {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn trust_of(&self, node: NodeId) -> f64 {
-        self.entries[node.index()].value(&self.params)
+        self.ti_reads.set(self.ti_reads.get() + 1);
+        self.cached_ti[node.index()]
     }
 
     /// The raw fault counter of a node.
@@ -356,11 +400,19 @@ impl TrustTable {
     /// Isolated nodes contribute zero.
     #[must_use]
     pub fn cumulative_trust(&self, group: &[NodeId]) -> f64 {
-        group
+        // Summation order matches the uncached implementation (group
+        // order), so the result is bit-identical, just exp()-free.
+        let mut reads = 0u64;
+        let sum = group
             .iter()
             .filter(|n| !self.is_isolated(**n))
-            .map(|n| self.trust_of(*n))
-            .sum()
+            .map(|n| {
+                reads += 1;
+                self.cached_ti[n.index()]
+            })
+            .sum();
+        self.ti_reads.set(self.ti_reads.get() + reads);
+        sum
     }
 
     /// Records a faulty judgement and runs diagnosis.
@@ -370,8 +422,9 @@ impl TrustTable {
     /// Panics if the id is out of range.
     pub fn record_faulty(&mut self, node: NodeId) {
         self.entries[node.index()].record_faulty(&self.params);
+        self.refresh_cache(node.index());
         if let Some(th) = self.isolation_threshold {
-            if self.entries[node.index()].value(&self.params) < th {
+            if self.cached_ti[node.index()] < th {
                 let remaining = self
                     .reintegration
                     .map_or(u64::MAX, |p| p.quarantine_rounds);
@@ -404,6 +457,7 @@ impl TrustTable {
                         if let Some(th) = self.isolation_threshold {
                             let v = -th.ln() / self.params.lambda;
                             self.entries[i] = TrustIndex { v };
+                            self.refresh_cache(i);
                         }
                         self.status[i] = NodeStatus::Probation {
                             remaining: policy.probation_rounds,
@@ -438,7 +492,16 @@ impl TrustTable {
     ///
     /// Panics if the id is out of range.
     pub fn record_correct(&mut self, node: NodeId) {
+        let before = self.entries[node.index()].counter();
         self.entries[node.index()].record_correct(&self.params);
+        // A node already at the v = 0 floor stays there — no counter
+        // change, no cache refresh, no exp(). In an honest-majority
+        // cluster this is the common case, and it is what makes a vote
+        // cost O(actually-moved counters) exponentials instead of
+        // O(nodes).
+        if self.entries[node.index()].counter() != before {
+            self.refresh_cache(node.index());
+        }
     }
 
     /// Applies a batch of judgements from a decision round.
@@ -463,14 +526,17 @@ impl TrustTable {
             "counter must be non-negative and finite"
         );
         self.entries[node.index()] = TrustIndex { v: counter };
+        self.refresh_cache(node.index());
     }
 
     /// Exports `(node, TI)` pairs — the payload of the base-station
     /// hand-off when leadership rotates.
     #[must_use]
     pub fn export(&self) -> Vec<(NodeId, f64)> {
+        self.ti_reads
+            .set(self.ti_reads.get() + self.entries.len() as u64);
         (0..self.entries.len())
-            .map(|i| (NodeId(i), self.entries[i].value(&self.params)))
+            .map(|i| (NodeId(i), self.cached_ti[i]))
             .collect()
     }
 
@@ -504,6 +570,7 @@ impl TrustTable {
             "hand-off counter must be non-negative and finite"
         );
         self.entries[node.index()] = TrustIndex { v: record.counter };
+        self.refresh_cache(node.index());
         self.status[node.index()] = record.status;
     }
 }
@@ -843,6 +910,88 @@ mod tests {
                 status: NodeStatus::Active,
             },
         );
+    }
+
+    #[test]
+    fn cached_ti_matches_recomputation_bitwise() {
+        let p = params();
+        let mut t = TrustTable::new(p, 4);
+        for step in 0..200 {
+            let node = NodeId(step % 4);
+            if step % 3 == 0 {
+                t.record_correct(node);
+            } else {
+                t.record_faulty(node);
+            }
+            for i in 0..4 {
+                let direct = (-p.lambda * t.counter_of(NodeId(i))).exp();
+                assert_eq!(t.trust_of(NodeId(i)).to_bits(), direct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reads_cost_no_exp_evaluations() {
+        let mut t = TrustTable::new(params(), 8);
+        t.record_faulty(NodeId(0));
+        let evals = t.exp_evals();
+        let _ = t.trust_of(NodeId(0));
+        let _ = t.cumulative_trust(&[NodeId(0), NodeId(1), NodeId(2)]);
+        let _ = t.export();
+        assert_eq!(t.exp_evals(), evals, "reads must be served from the cache");
+    }
+
+    #[test]
+    fn ti_reads_count_every_cached_weight_access() {
+        let t = TrustTable::new(params(), 8);
+        assert_eq!(t.ti_reads(), 0);
+        let _ = t.trust_of(NodeId(3));
+        assert_eq!(t.ti_reads(), 1);
+        let _ = t.cumulative_trust(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(t.ti_reads(), 4);
+        let _ = t.export();
+        assert_eq!(t.ti_reads(), 12, "export reads every entry");
+        // Isolated nodes are skipped before the weight read, exactly as
+        // the uncached sum skipped their exponential.
+        let mut t = TrustTable::new(TrustParams::new(2.0, 0.0), 2)
+            .with_isolation_threshold(0.5);
+        t.record_faulty(NodeId(0));
+        let before = t.ti_reads();
+        let _ = t.cumulative_trust(&[NodeId(0), NodeId(1)]);
+        assert_eq!(t.ti_reads(), before + 1, "only the active node is read");
+    }
+
+    #[test]
+    fn floored_correct_report_skips_the_cache_refresh() {
+        let mut t = TrustTable::new(params(), 2);
+        assert_eq!(t.exp_evals(), 0, "fresh tables pay no exp()");
+        // Node 1 sits at the v = 0 floor: judging it correct changes
+        // nothing and must not pay an exponential.
+        for _ in 0..50 {
+            t.record_correct(NodeId(1));
+        }
+        assert_eq!(t.exp_evals(), 0);
+        // A faulty judgement moves the counter: exactly one refresh.
+        t.record_faulty(NodeId(0));
+        assert_eq!(t.exp_evals(), 1);
+        // Recovering off the floor refreshes until the floor is reached.
+        t.record_correct(NodeId(0));
+        assert_eq!(t.exp_evals(), 2);
+    }
+
+    #[test]
+    fn install_and_set_counter_refresh_the_cache() {
+        let mut t = TrustTable::new(params(), 2);
+        t.set_counter(NodeId(0), 2.0);
+        assert!((t.trust_of(NodeId(0)) - (-0.25f64 * 2.0).exp()).abs() < 1e-15);
+        t.install(
+            NodeId(1),
+            TrustRecord {
+                counter: 4.0,
+                status: NodeStatus::Active,
+            },
+        );
+        assert!((t.trust_of(NodeId(1)) - (-0.25f64 * 4.0).exp()).abs() < 1e-15);
     }
 
     #[test]

@@ -211,6 +211,39 @@ pub fn sweep_series(config: &Exp1Config, label: &str, trials: usize, base_seed: 
     series
 }
 
+/// Sweeps several labelled configurations through one flattened
+/// [`crate::harness::run_parallel`] call: every (series, sweep point,
+/// trial) cell is independent, so batching hands the worker pool the
+/// whole figure at once instead of one series at a time. Per-series
+/// point order is identical to calling [`sweep_series`] per config, so
+/// figure output stays byte-identical.
+#[must_use]
+pub fn sweep_series_batch(
+    configs: &[(Exp1Config, String)],
+    trials: usize,
+    base_seed: u64,
+) -> Vec<Series> {
+    let items: Vec<(usize, f64, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            PCT_SWEEP.iter().flat_map(move |&pct| {
+                crate::harness::trial_seeds(base_seed ^ (pct as u64), trials)
+                    .into_iter()
+                    .map(move |seed| (si, pct, seed))
+            })
+        })
+        .collect();
+    let points = crate::harness::run_parallel(items, |(si, pct, seed)| {
+        (si, pct, run_exp1(&configs[si].0, pct, seed).accuracy)
+    });
+    let mut out: Vec<Series> = configs.iter().map(|(_, label)| Series::new(label)).collect();
+    for (si, pct, acc) in points {
+        out[si].record(pct, acc);
+    }
+    out
+}
+
 /// Figure 2: binary-event accuracy vs. percentage faulty, missed alarms
 /// only, for correct-node NER ∈ {0, 1, 5}%.
 #[must_use]
@@ -221,11 +254,11 @@ pub fn figure2(trials: usize, base_seed: u64) -> FigureData {
         "% faulty nodes",
         "accuracy",
     );
-    for &ner in &[0.0, 0.01, 0.05] {
-        let config = Exp1Config::paper_fig2(ner);
-        let label = format!("NER {:.0}%", ner * 100.0);
-        fig.series.push(sweep_series(&config, &label, trials, base_seed));
-    }
+    let configs: Vec<(Exp1Config, String)> = [0.0, 0.01, 0.05]
+        .iter()
+        .map(|&ner| (Exp1Config::paper_fig2(ner), format!("NER {:.0}%", ner * 100.0)))
+        .collect();
+    fig.series = sweep_series_batch(&configs, trials, base_seed);
     fig
 }
 
@@ -239,11 +272,11 @@ pub fn figure3(trials: usize, base_seed: u64) -> FigureData {
         "% faulty nodes",
         "accuracy",
     );
-    for &fa in &[0.0, 0.10, 0.75] {
-        let config = Exp1Config::paper_fig3(fa);
-        let label = format!("FA {:.0}%", fa * 100.0);
-        fig.series.push(sweep_series(&config, &label, trials, base_seed));
-    }
+    let configs: Vec<(Exp1Config, String)> = [0.0, 0.10, 0.75]
+        .iter()
+        .map(|&fa| (Exp1Config::paper_fig3(fa), format!("FA {:.0}%", fa * 100.0)))
+        .collect();
+    fig.series = sweep_series_batch(&configs, trials, base_seed);
     fig
 }
 
@@ -360,6 +393,19 @@ mod tests {
         let config = Exp1Config::paper_fig2(0.0);
         let s = sweep_series(&config, "t", 2, 5);
         assert_eq!(s.len(), PCT_SWEEP.len());
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_series_sweep() {
+        let configs: Vec<(Exp1Config, String)> = vec![
+            (Exp1Config::paper_fig2(0.0), "a".into()),
+            (Exp1Config::paper_fig3(0.10), "b".into()),
+        ];
+        let batched = sweep_series_batch(&configs, 2, 5);
+        for ((config, label), got) in configs.iter().zip(&batched) {
+            let solo = sweep_series(config, label, 2, 5);
+            assert_eq!(solo.points(), got.points(), "{label}");
+        }
     }
 
     #[test]

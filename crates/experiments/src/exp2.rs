@@ -289,14 +289,44 @@ pub fn sweep_series(config: &Exp2Config, trials: usize, base_seed: u64) -> Serie
 /// The σ pairs the paper plots: (correct, faulty).
 pub const SIGMA_PAIRS: [(f64, f64); 2] = [(1.6, 4.25), (2.0, 6.0)];
 
+/// Sweeps several configurations through one flattened
+/// [`crate::harness::run_parallel`] call (see `exp1::sweep_series_batch`
+/// for the rationale). Per-series point order matches [`sweep_series`],
+/// so figure output stays byte-identical.
+#[must_use]
+pub fn sweep_series_batch(configs: &[Exp2Config], trials: usize, base_seed: u64) -> Vec<Series> {
+    let items: Vec<(usize, f64, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            PCT_SWEEP.iter().flat_map(move |&pct| {
+                crate::harness::trial_seeds(base_seed ^ (pct as u64), trials)
+                    .into_iter()
+                    .map(move |seed| (si, pct, seed))
+            })
+        })
+        .collect();
+    let points = crate::harness::run_parallel(items, |(si, pct, seed)| {
+        (si, pct, run_exp2(&configs[si], pct, seed).accuracy)
+    });
+    let mut out: Vec<Series> = configs.iter().map(|c| Series::new(c.legend())).collect();
+    for (si, pct, acc) in points {
+        out[si].record(pct, acc);
+    }
+    out
+}
+
 fn level_figure(id: &str, title: &str, level: FaultLevel, trials: usize, base_seed: u64) -> FigureData {
     let mut fig = FigureData::new(id, title, "% faulty nodes", "accuracy");
-    for &(cs, fs) in &SIGMA_PAIRS {
-        for engine in [EngineKind::Tibfit, EngineKind::Baseline] {
-            let config = Exp2Config::paper(cs, fs, level, engine);
-            fig.series.push(sweep_series(&config, trials, base_seed));
-        }
-    }
+    let configs: Vec<Exp2Config> = SIGMA_PAIRS
+        .iter()
+        .flat_map(|&(cs, fs)| {
+            [EngineKind::Tibfit, EngineKind::Baseline]
+                .into_iter()
+                .map(move |engine| Exp2Config::paper(cs, fs, level, engine))
+        })
+        .collect();
+    fig.series = sweep_series_batch(&configs, trials, base_seed);
     fig
 }
 
@@ -345,18 +375,22 @@ pub fn figure7(trials: usize, base_seed: u64) -> FigureData {
         "% faulty nodes",
         "accuracy",
     );
-    for concurrent in [false, true] {
-        let mut config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit);
-        config.concurrent_events = concurrent;
-        let mut series = sweep_series(&config, trials, base_seed);
+    let configs: Vec<Exp2Config> = [false, true]
+        .into_iter()
+        .map(|concurrent| {
+            let mut config = Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit);
+            config.concurrent_events = concurrent;
+            config
+        })
+        .collect();
+    for (series, concurrent) in sweep_series_batch(&configs, trials, base_seed).into_iter().zip([false, true]) {
         // Rename to the figure's legend.
         let label = if concurrent { "Concurrent events" } else { "Single events" };
         let mut renamed = Series::new(label);
         for (x, y) in series.points() {
             renamed.record(x, y);
         }
-        series = renamed;
-        fig.series.push(series);
+        fig.series.push(renamed);
     }
     fig
 }
@@ -452,6 +486,20 @@ mod tests {
         let a = run_exp2(&single, 30.0, seed).accuracy;
         let b = run_exp2(&conc, 30.0, seed).accuracy;
         assert!((a - b).abs() < 0.15, "single {a} vs concurrent {b}");
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_series_sweep() {
+        let configs = vec![
+            fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Tibfit)),
+            fast(Exp2Config::paper(1.6, 4.25, FaultLevel::Level0, EngineKind::Baseline)),
+        ];
+        let batched = sweep_series_batch(&configs, 1, 11);
+        assert_eq!(batched.len(), configs.len());
+        for (config, got) in configs.iter().zip(&batched) {
+            let solo = sweep_series(config, 1, 11);
+            assert_eq!(solo.points(), got.points(), "{}", config.legend());
+        }
     }
 
     #[test]

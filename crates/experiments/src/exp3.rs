@@ -198,14 +198,53 @@ pub fn decay_series(config: &Exp3Config, trials: usize, base_seed: u64) -> Serie
     series
 }
 
-fn decay_figure(id: &str, title: &str, faulty_sigma: f64, trials: usize, base_seed: u64) -> FigureData {
-    let mut fig = FigureData::new(id, title, "events elapsed", "windowed accuracy");
-    for &correct_sigma in &[1.6, 2.0] {
-        for engine in [EngineKind::Tibfit, EngineKind::Baseline] {
-            let config = Exp3Config::paper(correct_sigma, faulty_sigma, engine);
-            fig.series.push(decay_series(&config, trials, base_seed));
+/// Sweeps several configurations through one flattened
+/// [`crate::harness::run_parallel`] call (see `exp1::sweep_series_batch`
+/// for the rationale). Per-series record order matches [`decay_series`]
+/// — seed-major, then window order — so figure output stays
+/// byte-identical.
+#[must_use]
+pub fn decay_series_batch(configs: &[Exp3Config], trials: usize, base_seed: u64) -> Vec<Series> {
+    let items: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            crate::harness::trial_seeds(base_seed, trials)
+                .into_iter()
+                .map(move |seed| (si, seed))
+        })
+        .collect();
+    let runs = crate::harness::run_parallel(items, |(si, seed)| (si, run_exp3(&configs[si], seed)));
+    let mut out: Vec<Series> = configs
+        .iter()
+        .map(|config| {
+            Series::new(format!(
+                "{}-{} {}",
+                config.base.correct_sigma,
+                config.base.faulty_sigma,
+                config.base.engine.label()
+            ))
+        })
+        .collect();
+    for (si, windows) in runs {
+        for w in windows {
+            out[si].record(w.start_event as f64, w.accuracy);
         }
     }
+    out
+}
+
+fn decay_figure(id: &str, title: &str, faulty_sigma: f64, trials: usize, base_seed: u64) -> FigureData {
+    let mut fig = FigureData::new(id, title, "events elapsed", "windowed accuracy");
+    let configs: Vec<Exp3Config> = [1.6, 2.0]
+        .into_iter()
+        .flat_map(|correct_sigma| {
+            [EngineKind::Tibfit, EngineKind::Baseline]
+                .into_iter()
+                .map(move |engine| Exp3Config::paper(correct_sigma, faulty_sigma, engine))
+        })
+        .collect();
+    fig.series = decay_series_batch(&configs, trials, base_seed);
     fig
 }
 
@@ -245,6 +284,20 @@ mod tests {
         c.max_fraction = 0.60;
         c.tail_events = 20;
         c
+    }
+
+    #[test]
+    fn batched_decay_matches_per_series_decay() {
+        let configs = vec![
+            fast(Exp3Config::paper(1.6, 4.25, EngineKind::Tibfit)),
+            fast(Exp3Config::paper(1.6, 4.25, EngineKind::Baseline)),
+        ];
+        let batched = decay_series_batch(&configs, 2, 7);
+        assert_eq!(batched.len(), configs.len());
+        for (config, got) in configs.iter().zip(&batched) {
+            let solo = decay_series(config, 2, 7);
+            assert_eq!(solo.points(), got.points());
+        }
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct Exp6Config {
     pub faulty_fraction: f64,
     /// Master seed.
     pub seed: u64,
+    /// Drive the sharded engines through adaptive epochs
+    /// (`run_events`: one barrier per re-election stretch) instead of the
+    /// fixed per-round windows. The determinism oracle still compares
+    /// against the sequential reference either way.
+    pub adaptive: bool,
 }
 
 impl Exp6Config {
@@ -55,6 +60,7 @@ impl Exp6Config {
             events: 40,
             faulty_fraction: 0.25,
             seed,
+            adaptive: false,
         }
     }
 
@@ -68,7 +74,15 @@ impl Exp6Config {
             events: 8,
             faulty_fraction: 0.25,
             seed,
+            adaptive: false,
         }
+    }
+
+    /// Switches the sharded engines onto the adaptive-epoch driver.
+    #[must_use]
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
     }
 
     /// Validates the sweep parameters.
@@ -284,8 +298,14 @@ pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
             )?;
             let start = Instant::now();
             let mut hits = 0usize;
-            for &e in &events {
-                hits += usize::from(par.run_event(e).detected_within(d.config.r_error));
+            if cfg.adaptive {
+                for r in par.run_events(&events) {
+                    hits += usize::from(r.detected_within(d.config.r_error));
+                }
+            } else {
+                for &e in &events {
+                    hits += usize::from(par.run_event(e).detected_within(d.config.r_error));
+                }
             }
             let ns = start.elapsed().as_nanos().max(1);
             let sum = checksum(&par.trust_snapshot());
@@ -392,6 +412,19 @@ mod tests {
         }
         assert!(points.iter().all(|p| p.elapsed_ns > 0));
         assert!(points.iter().filter(|p| p.threads > 0).all(|p| p.dispatched > 0));
+    }
+
+    #[test]
+    fn adaptive_sweep_agrees_with_sequential_oracle() {
+        // The internal DeterminismViolation check compares every adaptive
+        // run against the sequential engine; surviving it is the proof.
+        let fixed = run_exp6(&Exp6Config::smoke(11)).unwrap();
+        let adaptive = run_exp6(&Exp6Config::smoke(11).adaptive()).unwrap();
+        assert_eq!(fixed.len(), adaptive.len());
+        for (a, b) in fixed.iter().zip(&adaptive) {
+            assert_eq!(a.trust_checksum, b.trust_checksum);
+            assert_eq!(a.detection_rate, b.detection_rate);
+        }
     }
 
     #[test]

@@ -249,6 +249,7 @@ pub(crate) struct ClusterState {
     c_declared: CounterId,
     c_handoff_out: CounterId,
     c_handoff_in: CounterId,
+    c_exp_evals: CounterId,
     config: MultiClusterConfig,
     field_w: f64,
     field_h: f64,
@@ -278,6 +279,7 @@ impl ClusterState {
         let c_declared = trace.register_counter("events.declared");
         let c_handoff_out = trace.register_counter("handoffs.out");
         let c_handoff_in = trace.register_counter("handoffs.in");
+        let c_exp_evals = trace.register_counter("trust.exp_evals");
         ClusterState {
             index,
             head_position,
@@ -295,6 +297,7 @@ impl ClusterState {
             c_declared,
             c_handoff_out,
             c_handoff_in,
+            c_exp_evals,
             config,
             field_w,
             field_h,
@@ -363,12 +366,17 @@ impl ClusterState {
             return Vec::new();
         }
         self.trace.bump(self.c_decided);
+        let exp_before = self.engine.table().exp_evals();
         let result = self.engine.located_round(
             &self.local_topo,
             self.config.sensing_radius,
             self.config.r_error,
             batch,
         );
+        // Exponentials actually paid by this decision (trust-cache
+        // refreshes): uncached, every weight read would cost one.
+        self.trace
+            .bump_by(self.c_exp_evals, self.engine.table().exp_evals() - exp_before);
         for &(local, judgement) in &result.judgements {
             self.behaviors[local.index()].observe_judgement(judgement);
         }
@@ -451,7 +459,13 @@ impl ClusterState {
     /// Admits handed-off nodes. The rebuild sorts members by global id,
     /// so the final state is independent of arrival order — determinism
     /// by construction rather than by careful sequencing.
-    pub(crate) fn admit(&mut self, arrivals: Vec<Handoff>) {
+    pub(crate) fn admit(&mut self, mut arrivals: Vec<Handoff>) {
+        self.admit_from(&mut arrivals);
+    }
+
+    /// As [`ClusterState::admit`], draining the caller's buffer in place
+    /// so a shard-lifetime scratch vector can be reused across epochs.
+    pub(crate) fn admit_from(&mut self, arrivals: &mut Vec<Handoff>) {
         if arrivals.is_empty() {
             return;
         }
@@ -474,7 +488,7 @@ impl ClusterState {
                 record: records[local],
             })
             .collect();
-        for h in arrivals {
+        for h in arrivals.drain(..) {
             debug_assert_eq!(h.dst, self.index, "handoff routed to wrong cluster");
             kept.push(MemberSlot {
                 node: h.node,

@@ -40,11 +40,16 @@ use crate::multicluster::{
     MultiClusterError, MultiRoundResult, MultiClusterSim,
 };
 
-/// Ticks per decision round (= the epoch window). Must exceed [`T_OUT`]
-/// so a round's decide timer fires inside the epoch that scheduled it.
+/// Ticks per decision round (= the fixed epoch window). Must exceed
+/// [`T_OUT`] so a round's decide timer fires inside the epoch that
+/// scheduled it.
 const ROUND_TICKS: u64 = 100;
 /// The CH's report-collection timeout within a round, in ticks.
 const T_OUT: u64 = 50;
+/// Upper bound on rounds per adaptive epoch when no re-election boundary
+/// caps the batch (`reelect_every == 0`, or a very long cycle). Keeps
+/// barrier latency bounded without affecting the trace.
+const MAX_BATCH_ROUNDS: u64 = 32;
 
 /// Why the sharded engine could not be built.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +108,10 @@ struct ClusterShard {
     sites: Vec<Point>,
     config: MultiClusterConfig,
     timers: Engine<LocalTimer>,
+    /// Shard-lifetime scratch for the inbox triage in [`Shard::step`] —
+    /// reused across epochs so the hot path allocates nothing.
+    arrivals: Vec<Handoff>,
+    rounds: Vec<(SimTime, u64)>,
 }
 
 impl Shard for ClusterShard {
@@ -118,49 +127,61 @@ impl Shard for ClusterShard {
         // (shard src < DRIVER), so arrivals join the cluster before this
         // round's sensing — the same point in the round cycle where the
         // sequential engine applies them.
-        let mut arrivals: Vec<Handoff> = Vec::new();
-        let mut round_ran: Option<u64> = None;
+        debug_assert!(self.arrivals.is_empty() && self.rounds.is_empty());
         for env in inbox.drain(..) {
             match env.msg {
-                ClusterMsg::Handoff(h) => arrivals.push(h),
+                ClusterMsg::Handoff(h) => self.arrivals.push(h),
                 ClusterMsg::Event { round, event } => {
-                    if !arrivals.is_empty() {
-                        self.state.admit(std::mem::take(&mut arrivals));
+                    if !self.arrivals.is_empty() {
+                        self.state.admit_from(&mut self.arrivals);
                     }
-                    round_ran = Some(round);
+                    self.rounds.push((env.time, round));
                     self.timers.schedule_at(env.time, LocalTimer::Sense { round, event });
                 }
                 ClusterMsg::Declare { .. } => unreachable!("driver-bound message at a shard"),
             }
         }
-        if !arrivals.is_empty() {
-            self.state.admit(arrivals);
+        if !self.arrivals.is_empty() {
+            self.state.admit_from(&mut self.arrivals);
         }
 
-        // Pump this shard's DES queue through the epoch window.
-        while let Some((time, timer)) = self.timers.pop_until(until) {
-            match timer {
-                LocalTimer::Sense { round, event } => {
-                    let batch = self.state.sense(round, event);
-                    self.timers.schedule_at(
-                        time + Duration::from_ticks(T_OUT),
-                        LocalTimer::Decide { batch },
-                    );
-                }
-                LocalTimer::Decide { batch } => {
-                    for location in self.state.decide(&batch) {
-                        // Declarations may not be timestamped before the
-                        // epoch horizon (conservative bound), so they
-                        // reach the base station at the boundary.
-                        outbox.send(DRIVER, until, ClusterMsg::Declare { location });
+        // Pump the DES queue one round at a time: a round's timers all
+        // live in [start, start + ROUND_TICKS), and end-of-round mobility
+        // must run after that round's decide but before the next round's
+        // sensing — the exact sequential order even when an adaptive
+        // epoch packs several rounds between barriers.
+        let rounds = std::mem::take(&mut self.rounds);
+        for &(start, round) in &rounds {
+            let deadline = start + Duration::from_ticks(ROUND_TICKS - 1);
+            while let Some((time, timer)) = self.timers.pop_until(deadline) {
+                match timer {
+                    LocalTimer::Sense { round, event } => {
+                        let batch = self.state.sense(round, event);
+                        self.timers.schedule_at(
+                            time + Duration::from_ticks(T_OUT),
+                            LocalTimer::Decide { batch },
+                        );
+                    }
+                    LocalTimer::Decide { batch } => {
+                        for location in self.state.decide(&batch) {
+                            // Driver-bound messages are exempt from the
+                            // conservative horizon (the base station
+                            // consumes them after the epoch), so the
+                            // declaration keeps its true decision time —
+                            // which is what orders declarations
+                            // round-major, then cluster-major, exactly as
+                            // the sequential engine collects them.
+                            outbox.send(DRIVER, time, ClusterMsg::Declare { location });
+                        }
                     }
                 }
             }
-        }
 
-        // End-of-round mobility and re-election, exactly as the
-        // sequential engine runs them after the merge.
-        if let Some(round) = round_ran {
+            // End-of-round mobility and re-election, exactly as the
+            // sequential engine runs them after the merge. Re-election
+            // boundaries always terminate an epoch (the driver never
+            // batches past one), so hand-offs stamped at the horizon
+            // settle in the next epoch as before.
             self.state.drift();
             if self.config.reelect_every > 0 && round.is_multiple_of(self.config.reelect_every) {
                 for h in self.state.departures(&self.sites) {
@@ -169,6 +190,8 @@ impl Shard for ClusterShard {
                 }
             }
         }
+        self.rounds = rounds;
+        self.rounds.clear();
     }
 }
 
@@ -181,6 +204,9 @@ pub struct ShardedMultiCluster {
     config: MultiClusterConfig,
     n_nodes: usize,
     round: u64,
+    /// Reused driver-mailbox scratch: one allocation for the whole run
+    /// instead of one per epoch.
+    driver_buf: Vec<Envelope<ClusterMsg>>,
 }
 
 impl ShardedMultiCluster {
@@ -233,6 +259,8 @@ impl ShardedMultiCluster {
                 sites: sites.clone(),
                 config,
                 timers: Engine::new(),
+                arrivals: Vec::new(),
+                rounds: Vec::new(),
             })
             .collect();
         let scheduler =
@@ -242,6 +270,7 @@ impl ShardedMultiCluster {
             config,
             n_nodes,
             round,
+            driver_buf: Vec::new(),
         })
     }
 
@@ -286,26 +315,110 @@ impl ShardedMultiCluster {
                 )
                 .expect("shard indices are in range");
         }
-        let driver_msgs = self.scheduler.step_epoch().expect("handoff routing stays in range");
+        let mut driver_msgs = std::mem::take(&mut self.driver_buf);
+        self.scheduler
+            .step_epoch_into(&mut driver_msgs)
+            .expect("handoff routing stays in range");
         let mut declared: Vec<(usize, Point)> = Vec::new();
-        for env in driver_msgs {
+        for env in driver_msgs.drain(..) {
             match env.msg {
                 ClusterMsg::Declare { location } => declared.push((env.src, location)),
                 _ => unreachable!("only declarations flow to the driver"),
             }
         }
-        // A re-election boundary may put handoffs in flight: envelopes
-        // staged for the next epoch. Settle them now with one extra,
-        // event-free epoch so the state observable between rounds (trust
-        // and position snapshots, handoff counters) matches the
-        // sequential engine, which applies hand-offs at end of round.
-        // Settlement depends only on round number and config, never on
-        // the thread count, so determinism is preserved.
-        if self.config.reelect_every > 0 && self.round.is_multiple_of(self.config.reelect_every) {
-            let settled = self.scheduler.step_epoch().expect("settlement routes nothing new");
-            debug_assert!(settled.is_empty(), "settlement epochs carry no declarations");
-        }
+        self.driver_buf = driver_msgs;
+        self.settle_if_boundary();
         merge_declarations(event, declared, self.config.r_error)
+    }
+
+    /// Runs a whole sequence of event rounds through adaptive epochs:
+    /// between two re-election boundaries no cross-shard traffic exists,
+    /// so the scheduler widens the window to cover the entire stretch
+    /// (capped at [`MAX_BATCH_ROUNDS`]) and pays one barrier per batch
+    /// instead of one per round.
+    ///
+    /// Produces results bit-identical to calling
+    /// [`ShardedMultiCluster::run_event`] once per event, at any thread
+    /// count: each shard still pumps its timers round by round in the
+    /// sequential order, declarations keep their per-round decision
+    /// timestamps (so the `(time, src, seq)` merge is round-major then
+    /// cluster-major, exactly the per-round collection order), and
+    /// boundaries still terminate an epoch so hand-offs settle in their
+    /// own window.
+    pub fn run_events(&mut self, events: &[Point]) -> Vec<MultiRoundResult> {
+        let mut results = Vec::with_capacity(events.len());
+        let mut i = 0usize;
+        while i < events.len() {
+            // Rounds until the next re-election boundary, inclusive —
+            // hand-offs only occur there, so the whole stretch is free of
+            // shard-to-shard traffic and safe to run between barriers.
+            let reelect = self.config.reelect_every;
+            let to_boundary = if reelect > 0 {
+                reelect - (self.round % reelect)
+            } else {
+                MAX_BATCH_ROUNDS
+            };
+            let k = to_boundary
+                .min(MAX_BATCH_ROUNDS)
+                .min((events.len() - i) as u64) as usize;
+
+            let base = self.scheduler.now();
+            for (j, &event) in events[i..i + k].iter().enumerate() {
+                let t = base + Duration::from_ticks(j as u64 * ROUND_TICKS);
+                let round = self.round + 1 + j as u64;
+                for ci in 0..self.scheduler.shard_count() {
+                    self.scheduler
+                        .inject(ci, t, ClusterMsg::Event { round, event })
+                        .expect("shard indices are in range");
+                }
+            }
+            self.round += k as u64;
+
+            let mut driver_msgs = std::mem::take(&mut self.driver_buf);
+            self.scheduler
+                .step_epoch_window_into(
+                    Duration::from_ticks(k as u64 * ROUND_TICKS),
+                    &mut driver_msgs,
+                )
+                .expect("handoff routing stays in range");
+
+            // Regroup the batch's declarations per round by decision
+            // timestamp; within a round they arrive cluster-major, the
+            // sequential collection order.
+            let mut per_round: Vec<Vec<(usize, Point)>> = (0..k).map(|_| Vec::new()).collect();
+            for env in driver_msgs.drain(..) {
+                let j = ((env.time.ticks() - base.ticks()) / ROUND_TICKS) as usize;
+                match env.msg {
+                    ClusterMsg::Declare { location } => per_round[j].push((env.src, location)),
+                    _ => unreachable!("only declarations flow to the driver"),
+                }
+            }
+            self.driver_buf = driver_msgs;
+            self.settle_if_boundary();
+            for (j, declared) in per_round.into_iter().enumerate() {
+                results.push(merge_declarations(events[i + j], declared, self.config.r_error));
+            }
+            i += k;
+        }
+        results
+    }
+
+    /// A re-election boundary may put handoffs in flight: envelopes
+    /// staged for the next epoch. Settle them with one extra, event-free
+    /// epoch so the state observable between rounds (trust and position
+    /// snapshots, handoff counters) matches the sequential engine, which
+    /// applies hand-offs at end of round. Settlement depends only on
+    /// round number and config, never on the thread count or batching, so
+    /// determinism is preserved.
+    fn settle_if_boundary(&mut self) {
+        if self.config.reelect_every > 0 && self.round.is_multiple_of(self.config.reelect_every) {
+            let mut settled = std::mem::take(&mut self.driver_buf);
+            self.scheduler
+                .step_epoch_into(&mut settled)
+                .expect("settlement routes nothing new");
+            debug_assert!(settled.is_empty(), "settlement epochs carry no declarations");
+            self.driver_buf = settled;
+        }
     }
 
     /// The cluster a node currently belongs to.
@@ -483,6 +596,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn adaptive_batches_match_per_round_stepping() {
+        // run_events (wide adaptive epochs) vs the sequential engine
+        // driven round by round — decisions, trust, positions, and
+        // counters must be bit-identical.
+        for threads in [1, 4] {
+            let (mut seq, mut par) = build_pair(11, threads);
+            let mut event_rng = SimRng::seed_from(1111);
+            let events: Vec<Point> = (0..24)
+                .map(|_| {
+                    Point::new(
+                        event_rng.uniform_range(0.0, 100.0),
+                        event_rng.uniform_range(0.0, 100.0),
+                    )
+                })
+                .collect();
+            let expected: Vec<MultiRoundResult> =
+                events.iter().map(|&e| seq.run_event(e)).collect();
+            let got = par.run_events(&events);
+            assert_eq!(expected, got, "threads={threads}");
+            assert_eq!(seq.trust_snapshot(), par.trust_snapshot(), "threads={threads}");
+            assert_eq!(
+                seq.position_snapshot(),
+                par.position_snapshot(),
+                "threads={threads}"
+            );
+            assert_eq!(seq.counters(), par.counters(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn adaptive_batches_cap_without_reelection_boundaries() {
+        // With reelect_every == 0 no boundary caps the batch; the
+        // MAX_BATCH_ROUNDS guard does, and results still match the
+        // per-round path across the cap seam (40 events > 32).
+        let config = MultiClusterConfig::paper();
+        let topo = Topology::uniform_grid(100, 100.0, 100.0);
+        let build = |threads| {
+            ShardedMultiCluster::try_new(
+                config,
+                topo.clone(),
+                five_ch_sites(100.0),
+                behaviors(100, 25, 5),
+                |_| Box::new(BernoulliLoss::new(0.005)),
+                5,
+                threads,
+            )
+            .unwrap()
+        };
+        let mut per_round = build(1);
+        let mut batched = build(2);
+        let events: Vec<Point> = (0..40)
+            .map(|i| Point::new(2.5 * i as f64, 97.5 - 2.0 * i as f64))
+            .collect();
+        let expected: Vec<MultiRoundResult> =
+            events.iter().map(|&e| per_round.run_event(e)).collect();
+        assert_eq!(batched.run_events(&events), expected);
+        assert_eq!(per_round.trust_snapshot(), batched.trust_snapshot());
+    }
+
+    #[test]
+    fn run_events_interleaves_with_run_event() {
+        // Mixing the two drivers mid-run keeps the trajectory identical:
+        // batching is a scheduling choice, not a semantic one.
+        let (_, mut reference) = build_pair(9, 1);
+        let (_, mut mixed) = build_pair(9, 2);
+        let events: Vec<Point> = (0..10).map(|i| Point::new(10.0 * i as f64, 50.0)).collect();
+        let mut expected = Vec::new();
+        for &e in &events {
+            expected.push(reference.run_event(e));
+        }
+        let mut got = Vec::new();
+        got.extend(mixed.run_events(&events[..4]));
+        got.push(mixed.run_event(events[4]));
+        got.extend(mixed.run_events(&events[5..]));
+        assert_eq!(got, expected);
+        assert_eq!(reference.trust_snapshot(), mixed.trust_snapshot());
     }
 
     #[test]

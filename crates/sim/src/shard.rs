@@ -9,21 +9,39 @@
 //! * every shard owns its own state, event queue, and RNG stream (derive
 //!   the stream seed with [`stream_seed`] so it depends only on the
 //!   master seed and the shard index, never on scheduling order);
-//! * shards advance in lockstep *epochs* of a fixed window `W`, chosen no
+//! * shards advance in lockstep *epochs* of a window `W`, chosen no
 //!   larger than the minimum cross-shard latency, so anything a shard
 //!   sends during epoch `k` can only matter to its peers in epoch `k+1`
-//!   (the classic conservative-synchronization bound);
+//!   (the classic conservative-synchronization bound); the window may
+//!   vary per epoch ([`ShardScheduler::step_epoch_window_into`]) when the
+//!   caller knows the next cross-shard interaction is farther out;
 //! * cross-shard traffic travels in [`Envelope`]s through per-destination
 //!   mailboxes that are drained in `(time, src, seq)` order — a total
 //!   order that does not depend on which worker thread ran which shard,
 //!   so the merged trace is identical for any thread count.
 //!
+//! Workers are spawned once per scheduler and parked on an epoch barrier
+//! between windows; an epoch costs two condvar handshakes, not a round of
+//! `thread::spawn`/`join`. Within an epoch, workers claim contiguous
+//! chunks of the slot array off an atomic cursor and own their claimed
+//! slots outright — no per-slot locking.
+//!
 //! The scheduler never inspects message payloads; domain logic lives in
 //! the [`Shard`] implementation (see `tibfit-experiments::sharded` for
 //! the multi-cluster TIBFIT wiring).
 
+// Sanctioned exception to the crate-wide `deny(unsafe_code)`: the
+// persistent worker pool hands workers exclusive, cursor-partitioned
+// slot ownership (`SlotCell`) and erases the epoch job's lifetime for
+// the parked threads. Every `unsafe` block below documents why the
+// aliasing/lifetime claim holds.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::clock::{Duration, SimTime};
 
@@ -88,8 +106,11 @@ impl<M> Envelope<M> {
 
 /// Staging area a shard writes its outbound messages into during
 /// [`Shard::step`]. The scheduler stamps `src` and `seq` and enforces the
-/// conservative horizon: a message may not be timestamped before the end
-/// of the epoch that produced it (it could not be delivered in time).
+/// conservative horizon: a message to a peer shard may not be timestamped
+/// before the end of the epoch that produced it (it could not be
+/// delivered in time). Messages to [`DRIVER`] are exempt — the driver
+/// consumes them after the epoch completes, never in lockstep, so they
+/// may carry their true emission time (e.g. a decision made mid-epoch).
 #[derive(Debug)]
 pub struct Outbox<M> {
     src: usize,
@@ -104,12 +125,12 @@ impl<M> Outbox<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` is before the current epoch's end — such a
-    /// message would violate the conservative window bound (the receiver
-    /// may already have advanced past `time`).
+    /// Panics if `dst` is a peer shard and `time` is before the current
+    /// epoch's end — such a message would violate the conservative window
+    /// bound (the receiver may already have advanced past `time`).
     pub fn send(&mut self, dst: usize, time: SimTime, msg: M) {
         assert!(
-            time >= self.horizon,
+            dst == DRIVER || time >= self.horizon,
             "conservative bound violated: message at {time} from shard {} \
              cannot precede the epoch horizon {}",
             self.src,
@@ -195,13 +216,162 @@ impl std::fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
-/// Per-shard slot: the shard itself plus its epoch-local work buffers,
-/// behind one lock so a worker pays a single acquisition per shard per
-/// epoch.
+/// Per-shard slot: the shard itself plus its epoch-local work buffers.
 struct Slot<S: Shard> {
     shard: S,
     inbox: Vec<Envelope<S::Msg>>,
     outbox: Outbox<S::Msg>,
+}
+
+/// A slot the scheduler can hand to exactly one worker per epoch without
+/// a lock.
+///
+/// Safety invariant: during the parallel phase of an epoch, each slot
+/// index is claimed by exactly one thread (a contiguous range handed out
+/// by an atomic cursor), so the `&mut` produced from the cell is unique.
+/// Outside the parallel phase the scheduler only touches slots through
+/// `&mut self` (exclusive) or hands out shared `&` references — and the
+/// scheduler itself is `!Sync` (see the `PhantomData<std::cell::Cell<()>>`
+/// marker), so those shared references never cross threads.
+struct SlotCell<S: Shard>(UnsafeCell<Slot<S>>);
+
+// Safety: see the invariant on `SlotCell` — cross-thread access only ever
+// happens with exclusive, cursor-partitioned ownership, and `S: Send`
+// makes moving that access between threads sound.
+unsafe impl<S: Shard> Sync for SlotCell<S> {}
+
+/// The persistent worker pool: threads are spawned once, parked on a
+/// condvar between epochs, and woken by publishing a job under the state
+/// mutex. The mutex/condvar pair provides the acquire/release edges that
+/// make the main thread's pre-epoch writes (staged inboxes) visible to
+/// workers and the workers' writes visible back to the main thread.
+struct PoolState {
+    /// The current epoch's job, lifetime-erased. Only valid while
+    /// `active > 0` or until [`WorkerPool::run`] returns.
+    job: Option<&'static (dyn Fn() + Sync)>,
+    /// Epoch generation counter; a worker runs one job per generation.
+    generation: u64,
+    /// Workers still executing the current generation's job.
+    active: usize,
+    /// Set by [`WorkerPool::drop`]; workers exit on wake.
+    shutdown: bool,
+    /// First panic payload caught in a worker this generation.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Main → workers: a new generation (or shutdown) is available.
+    work: Condvar,
+    /// Workers → main: the last active worker finished.
+    done: Condvar,
+}
+
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        let job = {
+                            let mut st = shared.state.lock().expect("worker pool poisoned");
+                            loop {
+                                if st.shutdown {
+                                    return;
+                                }
+                                if st.generation != seen {
+                                    seen = st.generation;
+                                    break st.job.expect("job published with its generation");
+                                }
+                                st = shared.work.wait(st).expect("worker pool poisoned");
+                            }
+                        };
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        let mut st = shared.state.lock().expect("worker pool poisoned");
+                        if let Err(payload) = result {
+                            st.panic.get_or_insert(payload);
+                        }
+                        st.active -= 1;
+                        if st.active == 0 {
+                            shared.done.notify_one();
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Pool threads (the calling thread participates on top of these).
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job` on every pool worker *and* the calling thread, returning
+    /// once all of them have finished. Propagates the first panic raised
+    /// in any participant.
+    fn run(&self, job: &(dyn Fn() + Sync)) {
+        // Safety: pure lifetime erasure. We block below until every worker
+        // has finished the generation, so no worker can observe `job`
+        // after this call returns.
+        let job_static: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job) };
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.job = Some(job_static);
+            st.generation += 1;
+            st.active = self.handles.len();
+            self.shared.work.notify_all();
+        }
+        // The main thread is a worker too; even if its share of the work
+        // panics, it must wait for the pool before unwinding (workers may
+        // still hold references into the caller's state).
+        let main_result = catch_unwind(AssertUnwindSafe(job));
+        let mut st = self.shared.state.lock().expect("worker pool poisoned");
+        while st.active > 0 {
+            st = self.shared.done.wait(st).expect("worker pool poisoned");
+        }
+        st.job = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Lockstep scheduler over a set of [`Shard`]s.
@@ -215,21 +385,32 @@ struct Slot<S: Shard> {
 /// The trace produced by a run is a pure function of the shards' initial
 /// state and the injected inputs — the worker count changes wall-clock
 /// time only.
+///
+/// After a panic propagated out of [`Shard::step`], the shards' state is
+/// unspecified; the scheduler itself remains memory-safe to drop.
 pub struct ShardScheduler<S: Shard> {
-    slots: Vec<Mutex<Slot<S>>>,
+    slots: Vec<SlotCell<S>>,
     /// Staged deliveries for the next epoch, per destination shard.
     pending: Vec<Vec<Envelope<S::Msg>>>,
+    pool: Option<WorkerPool>,
+    /// Chunk-claim cursor for the parallel phase, reset each epoch.
+    cursor: AtomicUsize,
     window: Duration,
     threads: usize,
     now: SimTime,
     epoch: u64,
     driver_seq: u64,
     routed: u64,
+    /// Keeps the scheduler `!Sync`: `&self` accessors dereference the
+    /// slot cells without locks, which is only sound single-threaded.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
 impl<S: Shard> ShardScheduler<S> {
     /// Builds a scheduler over `shards` advancing `window` per epoch with
-    /// `threads` workers.
+    /// `threads` workers. For `threads > 1`, `threads.min(shards) - 1`
+    /// pool threads are spawned once, up front; the calling thread
+    /// contributes the remaining worker during every epoch.
     ///
     /// # Errors
     ///
@@ -250,7 +431,7 @@ impl<S: Shard> ShardScheduler<S> {
             .into_iter()
             .enumerate()
             .map(|(i, shard)| {
-                Mutex::new(Slot {
+                SlotCell(UnsafeCell::new(Slot {
                     shard,
                     inbox: Vec::new(),
                     outbox: Outbox {
@@ -259,18 +440,23 @@ impl<S: Shard> ShardScheduler<S> {
                         horizon: SimTime::ZERO,
                         staged: Vec::new(),
                     },
-                })
+                }))
             })
             .collect();
+        let pool_threads = threads.min(n).saturating_sub(1);
+        let pool = (pool_threads > 0).then(|| WorkerPool::new(pool_threads));
         Ok(ShardScheduler {
             slots,
             pending: (0..n).map(|_| Vec::new()).collect(),
+            pool,
+            cursor: AtomicUsize::new(0),
             window,
             threads,
             now: SimTime::ZERO,
             epoch: 0,
             driver_seq: 0,
             routed: 0,
+            _not_sync: PhantomData,
         })
     }
 
@@ -311,13 +497,24 @@ impl<S: Shard> ShardScheduler<S> {
         self.threads
     }
 
+    /// Persistent pool threads backing the parallel phase (zero when the
+    /// scheduler runs single-threaded; the calling thread always works on
+    /// top of these).
+    #[must_use]
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers)
+    }
+
     /// Read access to one shard (between epochs).
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range or a worker panicked mid-epoch.
+    /// Panics if `i` is out of range.
     pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&S) -> R) -> R {
-        let slot = self.slots[i].lock().expect("shard slot poisoned");
+        // Safety: `&self` access happens only between epochs, on the
+        // scheduler's owning thread (the scheduler is `!Sync`), and
+        // produces a shared reference only.
+        let slot = unsafe { &*self.slots[i].0.get() };
         f(&slot.shard)
     }
 
@@ -325,21 +522,17 @@ impl<S: Shard> ShardScheduler<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range or a worker panicked mid-epoch.
+    /// Panics if `i` is out of range.
     pub fn with_shard_mut<R>(&mut self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
-        let slot = self.slots[i].get_mut().expect("shard slot poisoned");
-        f(&mut slot.shard)
+        f(&mut self.slots[i].0.get_mut().shard)
     }
 
     /// Applies `f` to every shard in index order (between epochs).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker panicked mid-epoch.
     pub fn for_each_shard<R>(&self, mut f: impl FnMut(usize, &S) -> R) -> Vec<R> {
         (0..self.slots.len())
             .map(|i| {
-                let slot = self.slots[i].lock().expect("shard slot poisoned");
+                // Safety: as in `with_shard`.
+                let slot = unsafe { &*self.slots[i].0.get() };
                 f(i, &slot.shard)
             })
             .collect()
@@ -377,10 +570,9 @@ impl<S: Shard> ShardScheduler<S> {
         Ok(())
     }
 
-    /// Runs one epoch: delivers staged mailboxes, steps every shard to
-    /// `now + window` (in parallel), routes the new outbound messages,
-    /// and returns the driver-bound envelopes in `(time, src, seq)`
-    /// order.
+    /// Runs one epoch of the configured window, allocating a fresh vector
+    /// for the driver-bound envelopes. Prefer
+    /// [`ShardScheduler::step_epoch_into`] on hot paths.
     ///
     /// # Errors
     ///
@@ -392,61 +584,106 @@ impl<S: Shard> ShardScheduler<S> {
     ///
     /// Propagates panics from [`Shard::step`].
     pub fn step_epoch(&mut self) -> Result<Vec<Envelope<S::Msg>>, ShardError> {
-        let until = self.now + self.window;
+        let mut out = Vec::new();
+        let result = self.step_epoch_window_into(self.window, &mut out);
+        result.map(|()| out)
+    }
+
+    /// Runs one epoch of the configured window, writing the driver-bound
+    /// envelopes into `out` (cleared first) so the caller can reuse one
+    /// buffer across epochs.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardScheduler::step_epoch`].
+    pub fn step_epoch_into(&mut self, out: &mut Vec<Envelope<S::Msg>>) -> Result<(), ShardError> {
+        self.step_epoch_window_into(self.window, out)
+    }
+
+    /// Runs one epoch of a caller-chosen `window` — the adaptive-window
+    /// entry point. The caller asserts that no cross-shard message
+    /// produced inside this epoch needs delivery before its end; the
+    /// [`Outbox`] horizon check enforces the claim at send time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::ZeroWindow`] for an empty window, otherwise
+    /// as [`ShardScheduler::step_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from [`Shard::step`].
+    pub fn step_epoch_window_into(
+        &mut self,
+        window: Duration,
+        out: &mut Vec<Envelope<S::Msg>>,
+    ) -> Result<(), ShardError> {
+        if window == Duration::ZERO {
+            return Err(ShardError::ZeroWindow);
+        }
+        let until = self.now + window;
         let n = self.slots.len();
+        out.clear();
 
         // Stage inboxes: drain the pending mailboxes into the slots,
-        // sorted by the total (time, src, seq) order.
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let slot = slot.get_mut().expect("shard slot poisoned");
+        // sorted by the total (time, src, seq) order. The key is unique
+        // per envelope, so the unstable sort is exact.
+        for (i, cell) in self.slots.iter_mut().enumerate() {
+            let slot = cell.0.get_mut();
             debug_assert!(slot.inbox.is_empty(), "inbox not drained by step");
             std::mem::swap(&mut slot.inbox, &mut self.pending[i]);
-            slot.inbox.sort_by_key(Envelope::key);
+            slot.inbox.sort_unstable_by_key(Envelope::key);
             slot.outbox.horizon = until;
         }
 
         // Parallel phase: shards are independent within an epoch, so any
         // assignment of shards to workers computes the same result.
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            for slot in &mut self.slots {
-                let slot = slot.get_mut().expect("shard slot poisoned");
-                let mut inbox = std::mem::take(&mut slot.inbox);
-                slot.shard.step(until, &mut inbox, &mut slot.outbox);
-                inbox.clear();
-                slot.inbox = inbox; // return the buffer for reuse
+        match &self.pool {
+            None => {
+                for cell in &mut self.slots {
+                    let slot = cell.0.get_mut();
+                    let mut inbox = std::mem::take(&mut slot.inbox);
+                    slot.shard.step(until, &mut inbox, &mut slot.outbox);
+                    inbox.clear();
+                    slot.inbox = inbox; // return the buffer for reuse
+                }
             }
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots = &self.slots;
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let mut guard = slots[i].lock().expect("shard slot poisoned");
-                        let slot = &mut *guard;
+            Some(pool) => {
+                let workers = pool.workers() + 1;
+                // ~4 chunks per worker balances load against cursor
+                // contention; any chunking computes the same trace.
+                let chunk = n.div_ceil(workers * 4).max(1);
+                self.cursor.store(0, Ordering::Relaxed);
+                let cursor = &self.cursor;
+                let slots = &self.slots[..];
+                pool.run(&move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for cell in &slots[start..(start + chunk).min(n)] {
+                        // Safety: this index range was claimed exclusively
+                        // off the cursor; no other thread touches it this
+                        // epoch.
+                        let slot = unsafe { &mut *cell.0.get() };
                         let mut inbox = std::mem::take(&mut slot.inbox);
                         slot.shard.step(until, &mut inbox, &mut slot.outbox);
                         inbox.clear();
                         slot.inbox = inbox;
-                    });
-                }
-            });
+                    }
+                });
+            }
         }
 
         // Sequential routing phase, in shard index order: deterministic
         // regardless of which worker ran which shard.
-        let mut driver_out: Vec<Envelope<S::Msg>> = Vec::new();
         let mut bad_dst: Option<ShardError> = None;
-        for slot in &mut self.slots {
-            let slot = slot.get_mut().expect("shard slot poisoned");
+        for cell in &mut self.slots {
+            let slot = cell.0.get_mut();
             for (dst, env) in slot.outbox.staged.drain(..) {
                 self.routed += 1;
                 if dst == DRIVER {
-                    driver_out.push(env);
+                    out.push(env);
                 } else if dst < n {
                     self.pending[dst].push(env);
                 } else {
@@ -454,26 +691,22 @@ impl<S: Shard> ShardScheduler<S> {
                 }
             }
         }
-        driver_out.sort_by_key(Envelope::key);
+        out.sort_unstable_by_key(Envelope::key);
 
         self.now = until;
         self.epoch += 1;
         match bad_dst {
             Some(e) => Err(e),
-            None => Ok(driver_out),
+            None => Ok(()),
         }
     }
 
     /// Consumes the scheduler, returning the shards in index order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker panicked mid-epoch.
     #[must_use]
     pub fn into_shards(self) -> Vec<S> {
         self.slots
             .into_iter()
-            .map(|m| m.into_inner().expect("shard slot poisoned").shard)
+            .map(|cell| cell.0.into_inner().shard)
             .collect()
     }
 }
@@ -484,6 +717,7 @@ impl<S: Shard> std::fmt::Debug for ShardScheduler<S> {
             .field("shards", &self.slots.len())
             .field("window", &self.window)
             .field("threads", &self.threads)
+            .field("pool_workers", &self.pool_workers())
             .field("now", &self.now)
             .field("epoch", &self.epoch)
             .finish()
@@ -541,8 +775,10 @@ mod tests {
         sched.inject(0, SimTime::from_ticks(0), 100).unwrap();
         sched.inject(3, SimTime::from_ticks(0), 500).unwrap();
         let mut driver: Vec<(u64, usize, u64)> = Vec::new();
+        let mut out = Vec::new();
         for _ in 0..epochs {
-            for env in sched.step_epoch().unwrap() {
+            sched.step_epoch_into(&mut out).unwrap();
+            for env in out.drain(..) {
                 driver.push((env.time.ticks(), env.src, env.msg));
             }
         }
@@ -630,21 +866,49 @@ mod tests {
         assert!(ShardError::NoShards.to_string().contains("shard"));
     }
 
+    /// A shard that advances a local counter and misaddresses one message
+    /// per epoch — used to pin down the drop-and-keep-state contract.
+    struct BadDst {
+        steps: u64,
+    }
+
+    impl Shard for BadDst {
+        type Msg = ();
+        fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<()>>, outbox: &mut Outbox<()>) {
+            inbox.clear();
+            self.steps += 1;
+            outbox.send(7, until, ());
+        }
+    }
+
     #[test]
     fn unknown_destination_from_shard_is_reported() {
-        struct Bad;
-        impl Shard for Bad {
-            type Msg = ();
-            fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<()>>, outbox: &mut Outbox<()>) {
-                inbox.clear();
-                outbox.send(7, until, ());
-            }
-        }
-        let mut sched = ShardScheduler::new(vec![Bad], Duration::from_ticks(1), 1).unwrap();
+        let mut sched =
+            ShardScheduler::new(vec![BadDst { steps: 0 }], Duration::from_ticks(1), 1).unwrap();
         assert_eq!(
             sched.step_epoch().err(),
             Some(ShardError::UnknownDestination { dst: 7, shards: 1 })
         );
+    }
+
+    #[test]
+    fn unknown_destination_drops_message_but_keeps_epoch_state() {
+        let mut sched =
+            ShardScheduler::new(vec![BadDst { steps: 0 }], Duration::from_ticks(10), 1).unwrap();
+        for epoch in 1..=3u64 {
+            assert_eq!(
+                sched.step_epoch().err(),
+                Some(ShardError::UnknownDestination { dst: 7, shards: 1 }),
+                "epoch {epoch}"
+            );
+            // The epoch's work is kept: time, epoch count, and shard
+            // state all advanced; only the misaddressed envelope is gone.
+            assert_eq!(sched.now(), SimTime::from_ticks(10 * epoch));
+            assert_eq!(sched.epochs(), epoch);
+            assert_eq!(sched.with_shard(0, |s| s.steps), epoch);
+        }
+        // Nothing leaked into a mailbox.
+        assert_eq!(sched.routed_messages(), 3);
     }
 
     #[test]
@@ -659,6 +923,132 @@ mod tests {
         }
         let mut sched = ShardScheduler::new(vec![Early], Duration::from_ticks(10), 1).unwrap();
         let _ = sched.step_epoch();
+    }
+
+    #[test]
+    fn driver_messages_may_precede_the_horizon() {
+        // The driver consumes its mailbox after the epoch, so a mid-epoch
+        // timestamp (e.g. a decision time) is legal and preserved.
+        struct MidEpoch;
+        impl Shard for MidEpoch {
+            type Msg = u64;
+            fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<u64>>, outbox: &mut Outbox<u64>) {
+                inbox.clear();
+                outbox.send(DRIVER, SimTime::from_ticks(until.ticks() - 5), 1);
+            }
+        }
+        let mut sched = ShardScheduler::new(vec![MidEpoch], Duration::from_ticks(10), 1).unwrap();
+        let out = sched.step_epoch().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, SimTime::from_ticks(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in shard 2")]
+    fn worker_panic_propagates_to_the_caller() {
+        struct Bomb {
+            index: usize,
+        }
+        impl Shard for Bomb {
+            type Msg = ();
+            fn step(&mut self, _until: SimTime, inbox: &mut Vec<Envelope<()>>, _outbox: &mut Outbox<()>) {
+                inbox.clear();
+                assert!(self.index != 2, "boom in shard {}", self.index);
+            }
+        }
+        let shards: Vec<Bomb> = (0..4).map(|index| Bomb { index }).collect();
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(1), 4).unwrap();
+        let _ = sched.step_epoch();
+    }
+
+    #[test]
+    fn pool_runs_job_on_every_worker_and_the_caller() {
+        let pool = WorkerPool::new(2);
+        let runs = AtomicUsize::new(0);
+        for round in 1..=3usize {
+            pool.run(&|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+            // 2 pool workers + the calling thread, every round — the same
+            // barrier is reused, not respawned.
+            assert_eq!(runs.load(Ordering::Relaxed), 3 * round);
+        }
+    }
+
+    #[test]
+    fn pool_shutdown_on_drop_joins_all_workers() {
+        let pool = WorkerPool::new(3);
+        let weak = Arc::downgrade(&pool.shared);
+        pool.run(&|| {});
+        drop(pool);
+        // Drop joins every worker; each worker's Arc clone is gone.
+        assert_eq!(weak.strong_count(), 0, "workers must exit and drop their handles");
+    }
+
+    #[test]
+    fn epoch_barrier_reused_across_consecutive_epochs() {
+        let shards: Vec<RingShard> = (0..5).map(|i| RingShard::new(i, 5, 99)).collect();
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 4).unwrap();
+        sched.inject(0, SimTime::from_ticks(0), 100).unwrap();
+        let workers = sched.pool_workers();
+        assert_eq!(workers, 3, "threads=4 ⇒ 3 pool threads + the caller");
+        for epoch in 1..=4u64 {
+            sched.step_epoch().unwrap();
+            assert_eq!(sched.epochs(), epoch);
+            assert_eq!(sched.pool_workers(), workers, "no respawn between epochs");
+        }
+    }
+
+    #[test]
+    fn single_thread_spawns_no_pool() {
+        let shards = vec![RingShard::new(0, 1, 0)];
+        let sched = ShardScheduler::new(shards, Duration::from_ticks(10), 1).unwrap();
+        assert_eq!(sched.pool_workers(), 0);
+    }
+
+    #[test]
+    fn custom_windows_advance_time_and_deliver_across_epochs() {
+        fn run(windows: &[u64]) -> (Vec<RingTrace>, RingTrace) {
+            let shards: Vec<RingShard> = (0..5).map(|i| RingShard::new(i, 5, 99)).collect();
+            let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 2).unwrap();
+            sched.inject(0, SimTime::from_ticks(0), 100).unwrap();
+            sched.inject(3, SimTime::from_ticks(0), 500).unwrap();
+            let mut driver = Vec::new();
+            let mut out = Vec::new();
+            for &w in windows {
+                sched
+                    .step_epoch_window_into(Duration::from_ticks(w), &mut out)
+                    .unwrap();
+                for env in out.drain(..) {
+                    driver.push((env.time.ticks(), env.src, env.msg));
+                }
+            }
+            assert_eq!(sched.now().ticks(), windows.iter().sum::<u64>());
+            (sched.into_shards().into_iter().map(|s| s.log).collect(), driver)
+        }
+        // The ring forwards one hop per epoch regardless of window width,
+        // so the per-shard payload sequence is window-independent (only
+        // the timestamps stretch).
+        let (logs_narrow, _) = run(&[10, 10, 10, 10]);
+        let (logs_wide, _) = run(&[40, 5, 25, 10]);
+        let strip = |logs: Vec<RingTrace>| -> Vec<Vec<(usize, u64)>> {
+            logs.into_iter()
+                .map(|l| l.into_iter().map(|(_, src, msg)| (src, msg)).collect())
+                .collect()
+        };
+        assert_eq!(strip(logs_narrow), strip(logs_wide));
+    }
+
+    #[test]
+    fn zero_custom_window_is_rejected() {
+        let shards = vec![RingShard::new(0, 1, 0)];
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 1).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            sched.step_epoch_window_into(Duration::ZERO, &mut out).err(),
+            Some(ShardError::ZeroWindow)
+        );
+        assert_eq!(sched.epochs(), 0, "a rejected window must not tick the epoch");
     }
 
     #[test]

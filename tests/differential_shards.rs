@@ -200,6 +200,43 @@ fn randomized_scenarios_agree() {
 }
 
 #[test]
+fn adaptive_windows_match_fixed_over_ten_seeds() {
+    // The adaptive path (`run_events`: one wide epoch per re-election
+    // stretch) must produce the same decisions, trust trajectories,
+    // positions, and counters as the fixed-window reference path
+    // (`run_event`: one epoch per round) — and as the sequential engine.
+    for seed in 0..10u64 {
+        let scenario = Scenario::mobile(3000 + seed);
+        let events = scenario.events();
+        let mut seq = scenario.sequential();
+        let expected: Vec<_> = events.iter().map(|&e| seq.run_event(e)).collect();
+        let mut fixed = scenario.sharded(1);
+        let fixed_results: Vec<_> = events.iter().map(|&e| fixed.run_event(e)).collect();
+        assert_eq!(fixed_results, expected, "fixed path diverged: seed {seed}");
+        for threads in [1, 4] {
+            let mut adaptive = scenario.sharded(threads);
+            let got = adaptive.run_events(&events);
+            assert_eq!(got, expected, "adaptive diverged: seed {seed} threads={threads}");
+            assert_eq!(
+                fixed.trust_snapshot(),
+                adaptive.trust_snapshot(),
+                "trust diverged: seed {seed} threads={threads}"
+            );
+            assert_eq!(
+                fixed.position_snapshot(),
+                adaptive.position_snapshot(),
+                "positions diverged: seed {seed} threads={threads}"
+            );
+            assert_eq!(
+                fixed.counters(),
+                adaptive.counters(),
+                "counters diverged: seed {seed} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn engine_swap_mid_run_stays_in_lockstep() {
     // Start sequential, convert to sharded halfway, and keep comparing
     // against an uninterrupted sequential run.
