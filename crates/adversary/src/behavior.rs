@@ -78,6 +78,119 @@ pub trait NodeBehavior {
 
     /// The behavior's category.
     fn kind(&self) -> BehaviorKind;
+
+    /// Captures the behavior's complete state for a checkpoint, or
+    /// `None` if this behavior cannot be checkpointed (level-2 colluders
+    /// share a live coordinator that cannot survive serialisation).
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        None
+    }
+}
+
+/// Serializable state of a checkpointable [`NodeBehavior`].
+///
+/// [`BehaviorSnapshot::restore`] validates every field before
+/// constructing, so a corrupt checkpoint yields an error instead of a
+/// panicking constructor or a behavior in an impossible state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BehaviorSnapshot {
+    /// A [`CorrectNode`].
+    Correct {
+        /// Natural error rate.
+        ner: f64,
+        /// Per-axis localization σ.
+        loc_sigma: f64,
+    },
+    /// A [`Level0Node`].
+    Level0 {
+        /// The naive-liar configuration.
+        config: Level0Config,
+    },
+    /// A [`Level1Node`], including its live trust-mirror state.
+    Level1 {
+        /// Configuration used while lying.
+        lie_config: Level0Config,
+        /// Honest-phase localization σ.
+        honest_sigma: f64,
+        /// The mirrored trust calibration.
+        params: TrustParams,
+        /// `(lower_ti, upper_ti)` hysteresis, or `None` for relentless.
+        thresholds: Option<(f64, f64)>,
+        /// Whether the node is currently in its lying phase.
+        lying: bool,
+        /// The mirror's raw fault-counter estimate.
+        estimate_v: f64,
+    },
+}
+
+fn config_valid(c: &Level0Config) -> bool {
+    [c.missed_alarm, c.false_alarm, c.drop_prob]
+        .iter()
+        .all(|p| (0.0..=1.0).contains(p))
+        && c.loc_sigma.is_finite()
+        && c.loc_sigma >= 0.0
+}
+
+impl BehaviorSnapshot {
+    /// Rebuilds the behavior this snapshot was captured from.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first invalid field — never panics,
+    /// whatever bytes a corrupt blob decoded into.
+    pub fn restore(&self) -> Result<Box<dyn NodeBehavior + Send>, &'static str> {
+        match *self {
+            BehaviorSnapshot::Correct { ner, loc_sigma } => {
+                if !((0.0..1.0).contains(&ner) && loc_sigma.is_finite() && loc_sigma >= 0.0) {
+                    return Err("correct-node snapshot out of range");
+                }
+                Ok(Box::new(CorrectNode { ner, loc_sigma }))
+            }
+            BehaviorSnapshot::Level0 { config } => {
+                if !config_valid(&config) {
+                    return Err("level-0 snapshot out of range");
+                }
+                Ok(Box::new(Level0Node { config }))
+            }
+            BehaviorSnapshot::Level1 {
+                lie_config,
+                honest_sigma,
+                params,
+                thresholds,
+                lying,
+                estimate_v,
+            } => {
+                if !config_valid(&lie_config) {
+                    return Err("level-1 lie config out of range");
+                }
+                if !(honest_sigma.is_finite() && honest_sigma >= 0.0) {
+                    return Err("level-1 honest sigma out of range");
+                }
+                let params = TrustParams::try_new(params.lambda, params.fault_rate)
+                    .map_err(|_| "level-1 trust params invalid")?;
+                if let Some((lo, hi)) = thresholds {
+                    if !(0.0 < lo && lo < hi && hi <= 1.0) {
+                        return Err("level-1 hysteresis thresholds invalid");
+                    }
+                }
+                let estimate = TrustIndex::from_counter(estimate_v)
+                    .ok_or("level-1 trust estimate invalid")?;
+                Ok(Box::new(Level1Node {
+                    lie_config,
+                    honest: CorrectNode {
+                        ner: 0.0,
+                        loc_sigma: honest_sigma,
+                    },
+                    mirror: TrustMirror {
+                        estimate,
+                        params,
+                        thresholds,
+                        lying,
+                    },
+                }))
+            }
+        }
+    }
 }
 
 /// Samples a location claim: the truth plus independent Gaussian error on
@@ -169,6 +282,13 @@ impl NodeBehavior for CorrectNode {
 
     fn kind(&self) -> BehaviorKind {
         BehaviorKind::Correct
+    }
+
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        Some(BehaviorSnapshot::Correct {
+            ner: self.ner,
+            loc_sigma: self.loc_sigma,
+        })
     }
 }
 
@@ -278,6 +398,12 @@ impl NodeBehavior for Level0Node {
 
     fn kind(&self) -> BehaviorKind {
         BehaviorKind::Level0
+    }
+
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        Some(BehaviorSnapshot::Level0 {
+            config: self.config,
+        })
     }
 }
 
@@ -452,6 +578,17 @@ impl NodeBehavior for Level1Node {
 
     fn kind(&self) -> BehaviorKind {
         BehaviorKind::Level1
+    }
+
+    fn snapshot(&self) -> Option<BehaviorSnapshot> {
+        Some(BehaviorSnapshot::Level1 {
+            lie_config: self.lie_config,
+            honest_sigma: self.honest.loc_sigma,
+            params: self.mirror.params,
+            thresholds: self.mirror.thresholds,
+            lying: self.mirror.lying,
+            estimate_v: self.mirror.estimate.counter(),
+        })
     }
 }
 
@@ -633,6 +770,74 @@ mod tests {
             Level1Node::with_paper_thresholds(Level0Config::experiment2(4.25), 1.6, params).kind(),
             BehaviorKind::Level1
         );
+    }
+
+    #[test]
+    fn snapshots_roundtrip_mid_hysteresis() {
+        let params = TrustParams::experiment2();
+        let mut n = Level1Node::with_paper_thresholds(Level0Config::experiment2(6.0), 1.6, params);
+        // Park the node mid-way through its honest phase.
+        while n.estimated_ti() > 0.5 {
+            n.observe_judgement(Judgement::Faulty);
+        }
+        assert!(!n.is_lying_phase());
+        n.observe_judgement(Judgement::Correct);
+
+        let snap = NodeBehavior::snapshot(&n).unwrap();
+        let mut restored = snap.restore().unwrap();
+        assert_eq!(NodeBehavior::snapshot(&*restored), Some(snap.clone()));
+
+        // Both copies must draw identical actions from identical rng
+        // streams from here on.
+        let c = ctx(Some(Point::new(52.0, 52.0)), true);
+        let mut rng_a = SimRng::seed_from(9);
+        let mut rng_b = SimRng::seed_from(9);
+        for round in 0..50 {
+            assert_eq!(
+                n.located_action(&c, &mut rng_a),
+                restored.located_action(&c, &mut rng_b),
+                "diverged at round {round}"
+            );
+            n.observe_judgement(Judgement::Correct);
+            restored.observe_judgement(Judgement::Correct);
+        }
+
+        // The simple behaviors roundtrip too.
+        let correct = CorrectNode::new(0.05, 1.6);
+        let snap = NodeBehavior::snapshot(&correct).unwrap();
+        assert_eq!(NodeBehavior::snapshot(&*snap.restore().unwrap()), Some(snap));
+        let naive = Level0Node::new(Level0Config::experiment1(0.75));
+        let snap = NodeBehavior::snapshot(&naive).unwrap();
+        assert_eq!(NodeBehavior::snapshot(&*snap.restore().unwrap()), Some(snap));
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        assert!(BehaviorSnapshot::Correct { ner: 1.5, loc_sigma: 0.0 }.restore().is_err());
+        assert!(BehaviorSnapshot::Correct { ner: 0.0, loc_sigma: f64::NAN }.restore().is_err());
+        assert!(BehaviorSnapshot::Level0 {
+            config: Level0Config { missed_alarm: -0.1, false_alarm: 0.0, loc_sigma: 0.0, drop_prob: 0.0 },
+        }
+        .restore()
+        .is_err());
+        let level1 = |honest_sigma: f64,
+                      params: TrustParams,
+                      thresholds: Option<(f64, f64)>,
+                      estimate_v: f64| BehaviorSnapshot::Level1 {
+            lie_config: Level0Config::experiment2(4.25),
+            honest_sigma,
+            params,
+            thresholds,
+            lying: true,
+            estimate_v,
+        };
+        let p = TrustParams::experiment2();
+        assert!(level1(1.6, p, Some((0.5, 0.8)), 0.0).restore().is_ok());
+        assert!(level1(-1.0, p, Some((0.5, 0.8)), 0.0).restore().is_err());
+        assert!(level1(1.6, p, Some((0.8, 0.5)), 0.0).restore().is_err());
+        assert!(level1(1.6, p, Some((0.5, 0.8)), f64::INFINITY).restore().is_err());
+        let bad_params = TrustParams { lambda: -1.0, fault_rate: 0.1 };
+        assert!(level1(1.6, bad_params, Some((0.5, 0.8)), 0.0).restore().is_err());
     }
 
     #[test]

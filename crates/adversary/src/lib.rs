@@ -27,7 +27,8 @@ pub mod decay;
 pub mod level2;
 
 pub use behavior::{
-    BehaviorKind, CorrectNode, Level0Config, Level0Node, Level1Node, NodeBehavior, RoundContext,
+    BehaviorKind, BehaviorSnapshot, CorrectNode, Level0Config, Level0Node, Level1Node,
+    NodeBehavior, RoundContext,
 };
 pub use decay::DecaySchedule;
 pub use level2::{CollusionCoordinator, Level2Node};

@@ -22,20 +22,25 @@
 //! `cti_cache_speedup >= 5` everywhere, and the `shard*_speedup` floors
 //! (×1 >= 0.95, ×4 >= 2.0) on machines with at least four cores.
 //! `--floors` asserts the same absolute floors *without* a baseline
-//! file — the CI mode, immune to cross-hardware baseline skew.
+//! file — the CI mode, immune to cross-hardware baseline skew. Both
+//! modes also gate checkpoint cost: `snapshot_restore_wall_ms` must stay
+//! under 5% of `exp1_wall_ms`, so resuming a crashed sweep is never a
+//! meaningful fraction of the work it avoids redoing.
 
 use std::time::Instant;
 
 use tibfit_adversary::behavior::NodeBehavior;
-use tibfit_adversary::CorrectNode;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
 use tibfit_bench::{black_box, format_ns, json_number};
 use tibfit_core::engine::{Aggregator, TibfitEngine};
 use tibfit_core::location::LocatedReport;
 use tibfit_core::trust::TrustParams;
 use tibfit_net::geometry::Point;
+use tibfit_experiments::checkpoint::{restore_sequential, save_sequential};
 use tibfit_experiments::des::{DesClusterSim, DesConfig};
 use tibfit_experiments::exp1;
 use tibfit_experiments::exp6_scale::{run_exp6, Exp6Config};
+use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
 use tibfit_net::channel::BernoulliLoss;
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
@@ -344,6 +349,68 @@ fn run_all(quick: bool) -> Vec<(&'static str, f64)> {
     out.push(("cti_cache_reads_per_decision", reads_per_decision));
     out.push(("cti_cache_speedup", cti_speedup));
 
+    // Checkpoint container: save/restore a mobile multi-cluster
+    // deployment mid-run (drifted positions, partially decayed trust).
+    // Save must stay cheap enough to sprinkle through a sweep every few
+    // rounds; the floor gate below pins restore under 5% of the exp1
+    // sweep, so resuming a crashed run costs a rounding error of the
+    // work it saves.
+    let (snap_clusters, snap_samples) = if quick { (8, 5) } else { (32, 10) };
+    let snap_nodes = snap_clusters * 20;
+    let snap_field = (snap_nodes as f64).sqrt() * 10.0;
+    let snap_faulty = SimRng::seed_from(0x5A).choose_indices(snap_nodes, snap_nodes / 4);
+    let snap_behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..snap_nodes)
+        .map(|i| -> Box<dyn NodeBehavior + Send> {
+            if snap_faulty.contains(&i) {
+                Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+            } else {
+                Box::new(CorrectNode::new(0.0, 1.6))
+            }
+        })
+        .collect();
+    let mut snap_sim = MultiClusterSim::try_new(
+        MultiClusterConfig::paper().mobile(0.5, 4),
+        Topology::uniform_grid(snap_nodes, snap_field, snap_field),
+        grid_sites(snap_clusters, snap_field),
+        snap_behaviors,
+        |_| Box::new(BernoulliLoss::new(0.005)),
+        7,
+    )
+    .expect("bench deployment is valid");
+    let mut snap_rng = SimRng::seed_from(0x5E);
+    for _ in 0..6 {
+        snap_sim.run_event(Point::new(
+            snap_rng.uniform_range(0.0, snap_field),
+            snap_rng.uniform_range(0.0, snap_field),
+        ));
+    }
+    let mut save_best = u128::MAX;
+    let mut restore_best = u128::MAX;
+    let mut blob = Vec::new();
+    for sample in 0..=snap_samples {
+        let start = Instant::now();
+        blob = black_box(save_sequential(&snap_sim).expect("deployment is checkpointable"));
+        let save_ns = start.elapsed().as_nanos();
+        let start = Instant::now();
+        black_box(restore_sequential(&blob).expect("own blob restores"));
+        let restore_ns = start.elapsed().as_nanos();
+        // Sample 0 is warmup.
+        if sample > 0 {
+            save_best = save_best.min(save_ns);
+            restore_best = restore_best.min(restore_ns);
+        }
+    }
+    println!(
+        "snapshot: {snap_nodes} nodes / {snap_clusters} clusters, {} bytes: save {}, restore {}",
+        blob.len(),
+        format_ns(save_best),
+        format_ns(restore_best),
+    );
+    out.push(("snapshot_nodes", snap_nodes as f64));
+    out.push(("snapshot_bytes", blob.len() as f64));
+    out.push(("snapshot_save_wall_ms", save_best as f64 / 1e6));
+    out.push(("snapshot_restore_wall_ms", restore_best as f64 / 1e6));
+
     // Experiment-1 sweep (figures 2 and 3) — the end-to-end wall-time
     // number the perf gate watches. Best of two runs.
     let trials = if quick { 20 } else { 100 };
@@ -444,6 +511,17 @@ fn floor_violations(metrics: &[(&'static str, f64)]) -> Vec<String> {
         println!(
             "floors: {cores} core(s) available — shard speedup floors skipped (need >= 4)"
         );
+    }
+    // Restoring a checkpoint must cost under 5% of the exp1 sweep it
+    // can save a crashed run from repeating.
+    if let (Some(restore), Some(exp1)) =
+        (get("snapshot_restore_wall_ms"), get("exp1_wall_ms"))
+    {
+        if restore > exp1 * 0.05 {
+            bad.push(format!(
+                "snapshot_restore_wall_ms: {restore:.3} ms exceeds 5% of exp1_wall_ms ({exp1:.1} ms)"
+            ));
+        }
     }
     bad
 }

@@ -105,6 +105,15 @@ impl TibfitEngine {
         self
     }
 
+    /// Wraps an existing trust table — the checkpoint-restore path,
+    /// where the table is rebuilt bit-for-bit by
+    /// [`TrustTable::from_state`](crate::trust::TrustTable::from_state)
+    /// rather than grown from fresh.
+    #[must_use]
+    pub fn from_table(table: TrustTable) -> Self {
+        TibfitEngine { table }
+    }
+
     /// Read access to the trust table.
     #[must_use]
     pub fn table(&self) -> &TrustTable {

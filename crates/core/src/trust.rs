@@ -135,6 +135,14 @@ impl TrustIndex {
         TrustIndex { v: 0.0 }
     }
 
+    /// Rebuilds an index from a raw counter value (checkpoint restore).
+    /// Returns `None` for a negative or non-finite counter, which no
+    /// healthy index can hold.
+    #[must_use]
+    pub fn from_counter(v: f64) -> Option<Self> {
+        (v.is_finite() && v >= 0.0).then_some(TrustIndex { v })
+    }
+
     /// The raw fault counter `v`.
     #[must_use]
     pub fn counter(&self) -> f64 {
@@ -575,6 +583,151 @@ impl TrustTable {
     }
 }
 
+/// Why a [`TrustTableState`] was rejected by [`TrustTable::from_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustStateError {
+    /// The per-node vectors are empty or of different lengths.
+    LengthMismatch,
+    /// `lambda`/`fault_rate` fail [`TrustParams::try_new`].
+    BadParams,
+    /// A fault counter is negative or non-finite.
+    BadCounter,
+    /// A cached TI does not equal `e^(−λ·v)` recomputed from its own
+    /// counter — the write-through invariant every healthy table holds.
+    CacheMismatch,
+    /// The isolation threshold is outside `(0, 1)`.
+    BadThreshold,
+    /// A reintegration duration is zero.
+    BadReintegration,
+}
+
+impl TrustStateError {
+    /// A static description (handy for mapping into other error types).
+    #[must_use]
+    pub fn message(&self) -> &'static str {
+        match self {
+            TrustStateError::LengthMismatch => "trust state vectors empty or mismatched",
+            TrustStateError::BadParams => "trust state carries invalid calibration params",
+            TrustStateError::BadCounter => "trust state fault counter negative or non-finite",
+            TrustStateError::CacheMismatch => "cached trust index disagrees with its counter",
+            TrustStateError::BadThreshold => "isolation threshold outside (0, 1)",
+            TrustStateError::BadReintegration => "reintegration durations must be positive",
+        }
+    }
+}
+
+impl fmt::Display for TrustStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for TrustStateError {}
+
+/// The complete, lossless state of a [`TrustTable`] — the checkpoint
+/// payload. Unlike [`TrustTable::export`] (TI only) or per-node
+/// [`TrustRecord`]s (installed through the cache-refreshing hand-off
+/// path), restoring from this struct reproduces the table bit-for-bit:
+/// raw counters, the cached TI values verbatim, diagnosis state, and
+/// both bookkeeping counters (`exp_evals`, `ti_reads`), so a restored
+/// run pays exponentials exactly where the uninterrupted run would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustTableState {
+    /// Decay constant λ.
+    pub lambda: f64,
+    /// Natural error rate `f_r`.
+    pub fault_rate: f64,
+    /// Raw fault counter `v` per node.
+    pub counters: Vec<f64>,
+    /// Cached `e^(−λ·v)` per node, captured verbatim.
+    pub cached_ti: Vec<f64>,
+    /// Diagnosis state per node.
+    pub status: Vec<NodeStatus>,
+    /// Diagnosis threshold, if enabled.
+    pub isolation_threshold: Option<f64>,
+    /// `(quarantine_rounds, probation_rounds)`, if recovery is enabled.
+    pub reintegration: Option<(u64, u64)>,
+    /// `exp()` evaluations paid so far.
+    pub exp_evals: u64,
+    /// Cached trust-index reads served so far.
+    pub ti_reads: u64,
+}
+
+impl TrustTable {
+    /// Captures the table's complete state for a checkpoint.
+    #[must_use]
+    pub fn export_state(&self) -> TrustTableState {
+        TrustTableState {
+            lambda: self.params.lambda,
+            fault_rate: self.params.fault_rate,
+            counters: self.entries.iter().map(TrustIndex::counter).collect(),
+            cached_ti: self.cached_ti.clone(),
+            status: self.status.clone(),
+            isolation_threshold: self.isolation_threshold,
+            reintegration: self
+                .reintegration
+                .map(|p| (p.quarantine_rounds, p.probation_rounds)),
+            exp_evals: self.exp_evals,
+            ti_reads: self.ti_reads.get(),
+        }
+    }
+
+    /// Rebuilds a table from checkpointed state, bit-for-bit.
+    ///
+    /// Cached TI values are restored verbatim (after verifying each one
+    /// against recomputation from its counter), *not* recomputed through
+    /// [`TrustTable::install`]/[`TrustTable::set_counter`] — those paths
+    /// bump `exp_evals`, and a restored table must report the same
+    /// eval counts the original would.
+    ///
+    /// # Errors
+    ///
+    /// A [`TrustStateError`] naming the first invariant the state
+    /// violates; corrupt blobs are rejected here rather than producing a
+    /// subtly wrong table.
+    pub fn from_state(state: &TrustTableState) -> Result<Self, TrustStateError> {
+        let n = state.counters.len();
+        if n == 0 || state.cached_ti.len() != n || state.status.len() != n {
+            return Err(TrustStateError::LengthMismatch);
+        }
+        let params = TrustParams::try_new(state.lambda, state.fault_rate)
+            .map_err(|_| TrustStateError::BadParams)?;
+        if let Some(th) = state.isolation_threshold {
+            if !(th > 0.0 && th < 1.0) {
+                return Err(TrustStateError::BadThreshold);
+            }
+        }
+        if let Some((q, p)) = state.reintegration {
+            if q == 0 || p == 0 {
+                return Err(TrustStateError::BadReintegration);
+            }
+        }
+        for (&v, &cached) in state.counters.iter().zip(&state.cached_ti) {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(TrustStateError::BadCounter);
+            }
+            if cached.to_bits() != (-params.lambda * v).exp().to_bits() {
+                return Err(TrustStateError::CacheMismatch);
+            }
+        }
+        Ok(TrustTable {
+            params,
+            entries: state.counters.iter().map(|&v| TrustIndex { v }).collect(),
+            cached_ti: state.cached_ti.clone(),
+            status: state.status.clone(),
+            isolation_threshold: state.isolation_threshold,
+            reintegration: state.reintegration.map(|(quarantine_rounds, probation_rounds)| {
+                ReintegrationPolicy {
+                    quarantine_rounds,
+                    probation_rounds,
+                }
+            }),
+            exp_evals: state.exp_evals,
+            ti_reads: Cell::new(state.ti_reads),
+        })
+    }
+}
+
 /// One node's complete trust state, as moved between cluster heads when
 /// the node's affiliation changes (mobile networks, §2 of the paper: the
 /// base station relays trust state so a node "cannot escape its past" by
@@ -992,6 +1145,95 @@ mod tests {
             },
         );
         assert!((t.trust_of(NodeId(1)) - (-0.25f64 * 4.0).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn export_state_from_state_is_bit_lossless() {
+        let mut t = TrustTable::new(params(), 4)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(3, 2);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(1));
+        }
+        t.record_faulty(NodeId(2));
+        t.record_correct(NodeId(2));
+        t.tick_round();
+        let _ = t.trust_of(NodeId(0));
+        let _ = t.cumulative_trust(&[NodeId(0), NodeId(2)]);
+
+        let state = t.export_state();
+        let r = TrustTable::from_state(&state).unwrap();
+        assert_eq!(r.exp_evals(), t.exp_evals());
+        assert_eq!(r.ti_reads(), t.ti_reads());
+        for i in 0..4 {
+            assert_eq!(r.counter_of(NodeId(i)).to_bits(), t.counter_of(NodeId(i)).to_bits());
+            assert_eq!(r.status_of(NodeId(i)), t.status_of(NodeId(i)));
+        }
+        // Re-export must reproduce the state exactly — save→restore→save
+        // is a fixed point.
+        assert_eq!(r.export_state(), state);
+
+        // And the restored table evolves identically, including *when*
+        // it pays exponentials.
+        let mut a = t.clone();
+        let mut b = r;
+        for step in 0..20 {
+            let node = NodeId(step % 4);
+            if step % 3 == 0 {
+                a.record_correct(node);
+                b.record_correct(node);
+            } else {
+                a.record_faulty(node);
+                b.record_faulty(node);
+            }
+            a.tick_round();
+            b.tick_round();
+        }
+        assert_eq!(a.exp_evals(), b.exp_evals());
+        for i in 0..4 {
+            assert_eq!(a.trust_of(NodeId(i)).to_bits(), b.trust_of(NodeId(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_states() {
+        let t = TrustTable::new(params(), 2);
+        let good = t.export_state();
+        assert!(TrustTable::from_state(&good).is_ok());
+
+        let mut s = good.clone();
+        s.cached_ti.pop();
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::LengthMismatch);
+
+        let mut s = good.clone();
+        s.counters.clear();
+        s.cached_ti.clear();
+        s.status.clear();
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::LengthMismatch);
+
+        let mut s = good.clone();
+        s.lambda = -1.0;
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::BadParams);
+
+        let mut s = good.clone();
+        s.counters[0] = f64::NAN;
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::BadCounter);
+
+        let mut s = good.clone();
+        s.cached_ti[1] = 0.75;
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::CacheMismatch);
+
+        let mut s = good.clone();
+        s.isolation_threshold = Some(1.5);
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::BadThreshold);
+
+        let mut s = good.clone();
+        s.reintegration = Some((0, 2));
+        assert_eq!(
+            TrustTable::from_state(&s).unwrap_err(),
+            TrustStateError::BadReintegration
+        );
+        assert!(!TrustStateError::BadReintegration.to_string().is_empty());
     }
 
     #[test]

@@ -20,6 +20,8 @@ struct Options {
     seed: u64,
     out_dir: PathBuf,
     chart: bool,
+    checkpoint_every: Option<u64>,
+    resume: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +33,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 42,
         out_dir: PathBuf::from("results"),
         chart: false,
+        checkpoint_every: None,
+        resume: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -52,6 +56,18 @@ fn parse_args() -> Result<Options, String> {
             "--chart" => {
                 options.chart = true;
             }
+            "--checkpoint-every" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                options.checkpoint_every = Some(n);
+            }
+            "--resume" => {
+                options.resume = Some(PathBuf::from(value()?));
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -62,7 +78,12 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|exp6|fig10|fig11|tables|ablation|all> [--trials N] [--seed S] [--out DIR] [--chart]"
+    "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|exp6|fig10|fig11|tables|ablation|all> \
+     [--trials N] [--seed S] [--out DIR] [--chart] \
+     [--checkpoint-every N] [--resume PATH]\n\
+     exp6 only: --checkpoint-every N writes a crash-resumable checkpoint every N event \
+     rounds (to --resume PATH, default <out>/exp6_scale.tbsn); rerunning with the same \
+     flags resumes from it."
         .to_string()
 }
 
@@ -154,7 +175,19 @@ fn run(options: &Options) -> Result<(), String> {
     };
     let run_exp6 = || -> Result<(), String> {
         let cfg = exp6_scale::Exp6Config::paper_scale(s);
-        let points = exp6_scale::run_exp6(&cfg).map_err(|e| format!("exp6: {e}"))?;
+        let points = if let Some(every) = options.checkpoint_every {
+            let path = options
+                .resume
+                .clone()
+                .unwrap_or_else(|| options.out_dir.join("exp6_scale.tbsn"));
+            if path.exists() {
+                println!("resuming exp6 sweep from {}", path.display());
+            }
+            exp6_scale::run_exp6_resumable(&cfg, every, &path)
+                .map_err(|e| format!("exp6: {e}"))?
+        } else {
+            exp6_scale::run_exp6(&cfg).map_err(|e| format!("exp6: {e}"))?
+        };
         println!("{}", exp6_scale::to_markdown(&points));
         match exp6_scale::write_csv(&points, &options.out_dir) {
             Ok(path) => println!("wrote {}\n", path.display()),

@@ -303,8 +303,7 @@ impl DesClusterSim {
                 .min_by(|a, b| {
                     node_pos
                         .distance_sq(*a)
-                        .partial_cmp(&node_pos.distance_sq(*b))
-                        .expect("finite")
+                        .total_cmp(&node_pos.distance_sq(*b))
                 });
             let ctx = RoundContext {
                 round,

@@ -113,7 +113,8 @@ pub struct ChaosRun {
     /// The measured outcome.
     pub outcome: Exp5Outcome,
     /// Structured trace with the `fault.injected`, `failover.count`,
-    /// `retry.count`, and `quarantine.reintegrated` counters.
+    /// `retry.count`, `quarantine.reintegrated`, `crash.injected`, and
+    /// `resume.count` counters.
     pub trace: Trace,
 }
 
@@ -215,6 +216,24 @@ pub fn run_exp5(config: &Exp5Config, plan: &FaultPlan, seed: u64) -> ChaosRun {
                     cluster.lose_trust_table();
                     if config.recovery && cluster.resync_trust_from_handoff() {
                         trace.record(now, "resync", "trust restored from handoff");
+                    }
+                }
+                FaultKind::CrashAt => {
+                    // The whole engine process dies between rounds.
+                    trace.count("crash.injected");
+                    if config.recovery {
+                        // Restored from the latest checkpoint
+                        // (crate::checkpoint): trust, diagnosis state,
+                        // and RNG streams all survive, so the round
+                        // replays as if the crash never happened.
+                        trace.count("resume.count");
+                        trace.record(now, "resume", "restored from checkpoint");
+                    } else {
+                        // Cold restart: the trust table is gone and the
+                        // cluster misses a round while the process
+                        // comes back.
+                        cluster.lose_trust_table();
+                        headless_rounds = headless_rounds.max(1);
                     }
                 }
             }
@@ -502,6 +521,40 @@ mod tests {
             baseline.outcome.accuracy,
             crashed.outcome.accuracy
         );
+    }
+
+    #[test]
+    fn crash_with_recovery_resumes_without_losing_accuracy() {
+        let config = quick_config(true);
+        let baseline = run_exp5(&config, &FaultPlan::none(), 19);
+        let crash_plan = FaultPlan::from_faults(vec![
+            tibfit_faults::ScheduledFault {
+                at: SimTime::from_ticks(4_000),
+                kind: FaultKind::CrashAt,
+            },
+            tibfit_faults::ScheduledFault {
+                at: SimTime::from_ticks(9_000),
+                kind: FaultKind::CrashAt,
+            },
+        ])
+        .unwrap();
+        let crashed = run_exp5(&config, &crash_plan, 19);
+        assert_eq!(crashed.trace.counter("crash.injected"), 2);
+        assert_eq!(crashed.trace.counter("resume.count"), 2);
+        // Restore-from-checkpoint replays the round: a crash with
+        // recovery on costs nothing measurable.
+        assert!(
+            baseline.outcome.accuracy - crashed.outcome.accuracy < 0.03,
+            "checkpoint resume lost accuracy: {} vs {}",
+            baseline.outcome.accuracy,
+            crashed.outcome.accuracy
+        );
+
+        // Without recovery the same crashes cost the trust table and a
+        // missed round each — resume never fires.
+        let cold = run_exp5(&quick_config(false), &crash_plan, 19);
+        assert_eq!(cold.trace.counter("crash.injected"), 2);
+        assert_eq!(cold.trace.counter("resume.count"), 0);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use tibfit_net::channel::BernoulliLoss;
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
+use tibfit_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
+use crate::checkpoint::{read_checkpoint, restore_sharded, save_sharded, write_checkpoint};
 use crate::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
 use crate::sharded::{ShardedError, ShardedMultiCluster};
 
@@ -136,6 +138,9 @@ pub enum Exp6Error {
         /// Thread count of the offending run.
         threads: usize,
     },
+    /// A sweep checkpoint could not be written, read, or decoded, or
+    /// does not belong to this sweep configuration.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for Exp6Error {
@@ -154,6 +159,7 @@ impl std::fmt::Display for Exp6Error {
                 "determinism violation: {clusters} clusters at {threads} threads \
                  diverged from the sequential reference"
             ),
+            Exp6Error::Checkpoint(what) => write!(f, "sweep checkpoint: {what}"),
         }
     }
 }
@@ -333,6 +339,347 @@ pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
     Ok(out)
 }
 
+/// Section tag: sweep-progress header of a resumable run.
+const TAG_SWEEP: u8 = 10;
+/// Section tag: one completed sweep row.
+const TAG_POINT: u8 = 11;
+/// Section tag: the in-flight run's embedded engine snapshot.
+const TAG_ENGINE: u8 = 12;
+
+/// Progress of a resumable sweep: the completed rows (a prefix of the
+/// deterministic cell order) plus, if a sharded run was mid-flight at
+/// the last checkpoint, its partial state and engine snapshot.
+#[derive(Debug, Default)]
+struct SweepProgress {
+    completed: Vec<Exp6Point>,
+    in_flight: Option<InFlight>,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    rounds_done: usize,
+    hits: usize,
+    elapsed_ns: u64,
+    blob: Vec<u8>,
+}
+
+fn encode_point(s: &mut tibfit_sim::snapshot::SectionBuf, p: &Exp6Point) {
+    s.put_usize(p.clusters);
+    s.put_usize(p.threads);
+    s.put_usize(p.nodes);
+    s.put_usize(p.events);
+    s.put_u64(u64::try_from(p.elapsed_ns).unwrap_or(u64::MAX));
+    s.put_u64(p.dispatched);
+    s.put_f64(p.events_per_sec);
+    s.put_f64(p.speedup);
+    s.put_f64(p.detection_rate);
+    s.put_u64(p.trust_checksum);
+}
+
+fn decode_point(s: &mut tibfit_sim::snapshot::SectionReader<'_>) -> Result<Exp6Point, SnapshotError> {
+    Ok(Exp6Point {
+        clusters: s.take_usize()?,
+        threads: s.take_usize()?,
+        nodes: s.take_usize()?,
+        events: s.take_usize()?,
+        elapsed_ns: u128::from(s.take_u64()?),
+        dispatched: s.take_u64()?,
+        events_per_sec: s.take_f64()?,
+        speedup: s.take_f64()?,
+        detection_rate: s.take_f64()?,
+        trust_checksum: s.take_u64()?,
+    })
+}
+
+fn save_progress(
+    path: &Path,
+    cfg: &Exp6Config,
+    completed: &[Exp6Point],
+    in_flight: Option<&InFlight>,
+) -> Result<(), Exp6Error> {
+    let mut w = SnapshotWriter::new();
+    w.section(TAG_SWEEP, |s| {
+        s.put_u64(cfg.seed);
+        s.put_bool(cfg.adaptive);
+        s.put_usize(completed.len());
+        match in_flight {
+            Some(f) => {
+                s.put_bool(true);
+                s.put_usize(f.rounds_done);
+                s.put_usize(f.hits);
+                s.put_u64(f.elapsed_ns);
+            }
+            None => s.put_bool(false),
+        }
+    });
+    for p in completed {
+        w.section(TAG_POINT, |s| encode_point(s, p));
+    }
+    if let Some(f) = in_flight {
+        w.section(TAG_ENGINE, |s| s.put_bytes(&f.blob));
+    }
+    write_checkpoint(path, &w.finish()).map_err(|e| Exp6Error::Checkpoint(e.to_string()))
+}
+
+fn load_progress(cfg: &Exp6Config, path: &Path) -> Result<SweepProgress, Exp6Error> {
+    let decode = |bytes: &[u8]| -> Result<SweepProgress, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let mut s = r.section(TAG_SWEEP)?;
+        let seed = s.take_u64()?;
+        let adaptive = s.take_bool()?;
+        let n_completed = s.take_usize()?;
+        let partial = if s.take_bool()? {
+            Some((s.take_usize()?, s.take_usize()?, s.take_u64()?))
+        } else {
+            None
+        };
+        s.end()?;
+        if seed != cfg.seed || adaptive != cfg.adaptive {
+            return Err(SnapshotError::Invalid("checkpoint belongs to a different sweep"));
+        }
+        let mut completed = Vec::with_capacity(n_completed.min(4096));
+        for _ in 0..n_completed {
+            let mut s = r.section(TAG_POINT)?;
+            completed.push(decode_point(&mut s)?);
+            s.end()?;
+        }
+        let in_flight = match partial {
+            Some((rounds_done, hits, elapsed_ns)) => {
+                let mut s = r.section(TAG_ENGINE)?;
+                let blob = s.take_bytes()?;
+                s.end()?;
+                Some(InFlight { rounds_done, hits, elapsed_ns, blob })
+            }
+            None => None,
+        };
+        r.finish()?;
+        Ok(SweepProgress { completed, in_flight })
+    };
+    let bytes = read_checkpoint(path).map_err(|e| Exp6Error::Checkpoint(e.to_string()))?;
+    decode(&bytes).map_err(|e| Exp6Error::Checkpoint(e.to_string()))
+}
+
+/// The deterministic cell order of a sweep: for each cluster count, the
+/// sequential baseline (threads = 0), then each sharded thread count.
+fn sweep_cells(cfg: &Exp6Config) -> Vec<(usize, usize)> {
+    let mut cells = Vec::new();
+    for &n_clusters in &cfg.clusters {
+        cells.push((n_clusters, 0));
+        for &threads in &cfg.threads {
+            cells.push((n_clusters, threads));
+        }
+    }
+    cells
+}
+
+/// As [`run_exp6`], but crash-resumable: every `checkpoint_every` event
+/// rounds of a sharded run, the full engine state and all completed
+/// rows are written atomically to `path`. If `path` already holds a
+/// checkpoint of the *same* sweep (same seed and driver), the run picks
+/// up where it left off — completed rows are not recomputed and the
+/// in-flight engine resumes from its snapshot, bit-identically. The
+/// file is removed once the sweep completes.
+///
+/// The detection rates, trust checksums, and determinism oracle are
+/// unaffected by where (or whether) a run was interrupted; only the
+/// wall-clock columns differ, since a resumed cell's `dispatched` count
+/// restarts at its last checkpoint.
+///
+/// # Errors
+///
+/// Everything [`run_exp6`] returns, plus [`Exp6Error::Checkpoint`] for
+/// an unreadable, corrupt, or mismatched checkpoint file.
+pub fn run_exp6_resumable(
+    cfg: &Exp6Config,
+    checkpoint_every: u64,
+    path: &Path,
+) -> Result<Vec<Exp6Point>, Exp6Error> {
+    run_resumable_inner(cfg, checkpoint_every, path, None)
+}
+
+/// The body of [`run_exp6_resumable`], with a crash-injection hook:
+/// `kill_after_saves = Some(n)` aborts the sweep right after the `n`-th
+/// checkpoint write, simulating the process dying with a valid
+/// checkpoint on disk. The tests use it to prove a killed sweep resumes
+/// to the same rows.
+#[allow(clippy::too_many_lines)]
+fn run_resumable_inner(
+    cfg: &Exp6Config,
+    checkpoint_every: u64,
+    path: &Path,
+    kill_after_saves: Option<u64>,
+) -> Result<Vec<Exp6Point>, Exp6Error> {
+    cfg.validate()?;
+    let mut saves = 0u64;
+    let mut after_save = move || -> Result<(), Exp6Error> {
+        saves += 1;
+        if kill_after_saves == Some(saves) {
+            return Err(Exp6Error::Checkpoint("injected crash".into()));
+        }
+        Ok(())
+    };
+    if checkpoint_every == 0 {
+        return Err(Exp6Error::Checkpoint(
+            "checkpoint interval must be at least one round".into(),
+        ));
+    }
+    let cells = sweep_cells(cfg);
+    let progress = if path.exists() {
+        load_progress(cfg, path)?
+    } else {
+        SweepProgress::default()
+    };
+    if progress.completed.len() > cells.len() {
+        return Err(Exp6Error::Checkpoint("checkpoint has more rows than the sweep".into()));
+    }
+    for (row, &(n_clusters, threads)) in progress.completed.iter().zip(&cells) {
+        if row.clusters != n_clusters || row.threads != threads {
+            return Err(Exp6Error::Checkpoint("checkpoint rows disagree with the sweep".into()));
+        }
+    }
+    if progress.in_flight.is_some()
+        && cells.get(progress.completed.len()).is_none_or(|&(_, th)| th == 0)
+    {
+        // Sequential baselines are never checkpointed mid-run.
+        return Err(Exp6Error::Checkpoint("in-flight state on a non-sharded cell".into()));
+    }
+
+    let mut out = progress.completed;
+    let mut in_flight = progress.in_flight;
+    for &(n_clusters, threads) in cells.iter().skip(out.len()) {
+        let nodes = n_clusters * cfg.nodes_per_cluster;
+        let field = (nodes as f64).sqrt() * 10.0;
+        let events = event_schedule(cfg, field);
+
+        if threads == 0 {
+            // Sequential baseline: cheap enough to rerun in full after a
+            // crash, so it is only persisted once complete.
+            let d0 = deployment(cfg, n_clusters);
+            let mut seq = MultiClusterSim::try_new(
+                d0.config,
+                d0.topo,
+                d0.sites,
+                d0.behaviors,
+                |_| Box::new(BernoulliLoss::new(0.005)),
+                cfg.seed,
+            )
+            .map_err(ShardedError::Cluster)?;
+            let start = Instant::now();
+            let mut hits = 0usize;
+            for &e in &events {
+                hits += usize::from(seq.run_event(e).detected_within(d0.config.r_error));
+            }
+            let ns = start.elapsed().as_nanos().max(1);
+            out.push(Exp6Point {
+                clusters: n_clusters,
+                threads: 0,
+                nodes,
+                events: events.len(),
+                elapsed_ns: ns,
+                dispatched: 0,
+                events_per_sec: 0.0,
+                speedup: 1.0,
+                detection_rate: hits as f64 / events.len() as f64,
+                trust_checksum: checksum(&seq.trust_snapshot()),
+            });
+            save_progress(path, cfg, &out, None)?;
+            after_save()?;
+            continue;
+        }
+
+        // The group's sequential row is always completed first, so its
+        // stats are recoverable from the prefix even after a resume.
+        let seq_row = out
+            .iter()
+            .rev()
+            .find(|p| p.clusters == n_clusters && p.threads == 0)
+            .ok_or_else(|| Exp6Error::Checkpoint("missing sequential baseline row".into()))?;
+        let seq_ns = seq_row.elapsed_ns.max(1);
+        let seq_sum = seq_row.trust_checksum;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let seq_hits = (seq_row.detection_rate * events.len() as f64).round() as usize;
+
+        // Every exp6 deployment uses the paper config's localisation
+        // tolerance (see `deployment`).
+        let r_error = MultiClusterConfig::paper().r_error;
+        let (mut par, mut rounds_done, mut hits, elapsed_prior) = match in_flight.take() {
+            Some(f) => {
+                let par = restore_sharded(&f.blob, threads)
+                    .map_err(|e| Exp6Error::Checkpoint(e.to_string()))?;
+                (par, f.rounds_done, f.hits, f.elapsed_ns)
+            }
+            None => {
+                let d = deployment(cfg, n_clusters);
+                let par = ShardedMultiCluster::try_new(
+                    d.config,
+                    d.topo,
+                    d.sites,
+                    d.behaviors,
+                    |_| Box::new(BernoulliLoss::new(0.005)),
+                    cfg.seed,
+                    threads,
+                )?;
+                (par, 0, 0, 0)
+            }
+        };
+        if rounds_done > events.len() {
+            return Err(Exp6Error::Checkpoint("in-flight rounds exceed the schedule".into()));
+        }
+        let start = Instant::now();
+        while rounds_done < events.len() {
+            let chunk = (checkpoint_every as usize).min(events.len() - rounds_done);
+            let slice = &events[rounds_done..rounds_done + chunk];
+            if cfg.adaptive {
+                for r in par.run_events(slice) {
+                    hits += usize::from(r.detected_within(r_error));
+                }
+            } else {
+                for &e in slice {
+                    hits += usize::from(par.run_event(e).detected_within(r_error));
+                }
+            }
+            rounds_done += chunk;
+            if rounds_done < events.len() {
+                let blob =
+                    save_sharded(&par).map_err(|e| Exp6Error::Checkpoint(e.to_string()))?;
+                let elapsed_ns = elapsed_prior
+                    .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                save_progress(
+                    path,
+                    cfg,
+                    &out,
+                    Some(&InFlight { rounds_done, hits, elapsed_ns, blob }),
+                )?;
+                after_save()?;
+            }
+        }
+        let ns = u128::from(elapsed_prior)
+            .saturating_add(start.elapsed().as_nanos())
+            .max(1);
+        let sum = checksum(&par.trust_snapshot());
+        if sum != seq_sum || hits != seq_hits {
+            return Err(Exp6Error::DeterminismViolation { clusters: n_clusters, threads });
+        }
+        let dispatched = par.events_dispatched();
+        out.push(Exp6Point {
+            clusters: n_clusters,
+            threads,
+            nodes,
+            events: events.len(),
+            elapsed_ns: ns,
+            dispatched,
+            events_per_sec: dispatched as f64 / (ns as f64 / 1e9),
+            speedup: seq_ns as f64 / ns as f64,
+            detection_rate: hits as f64 / events.len() as f64,
+            trust_checksum: sum,
+        });
+        save_progress(path, cfg, &out, None)?;
+        after_save()?;
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(out)
+}
+
 /// Renders the sweep as CSV (one row per engine configuration).
 #[must_use]
 pub fn to_csv(points: &[Exp6Point]) -> String {
@@ -474,5 +821,92 @@ mod tests {
             assert_eq!(run_exp6(&cfg).unwrap_err(), want);
             assert!(!want.to_string().is_empty());
         }
+    }
+
+    fn ckpt_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tibfit-exp6-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// The timing-free columns that must survive any interruption.
+    fn deterministic_fields(p: &Exp6Point) -> (usize, usize, usize, usize, f64, u64) {
+        (p.clusters, p.threads, p.nodes, p.events, p.detection_rate, p.trust_checksum)
+    }
+
+    #[test]
+    fn resumable_sweep_matches_plain_and_cleans_up() {
+        let cfg = Exp6Config::smoke(17);
+        let path = ckpt_path("uninterrupted.tbsn");
+        let plain = run_exp6(&cfg).unwrap();
+        let resumable = run_exp6_resumable(&cfg, 3, &path).unwrap();
+        assert_eq!(plain.len(), resumable.len());
+        for (a, b) in plain.iter().zip(&resumable) {
+            assert_eq!(deterministic_fields(a), deterministic_fields(b));
+        }
+        assert!(!path.exists(), "checkpoint must be removed after a clean finish");
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_identical_rows() {
+        let cfg = Exp6Config::smoke(33);
+        let baseline = run_exp6(&cfg).unwrap();
+        // Kill after every possible checkpoint write in turn — mid-cell
+        // and at cell boundaries both — and resume each time.
+        for kill_at in 1..=8 {
+            let path = ckpt_path(&format!("killed-{kill_at}.tbsn"));
+            let err = run_resumable_inner(&cfg, 2, &path, Some(kill_at)).unwrap_err();
+            assert_eq!(err, Exp6Error::Checkpoint("injected crash".into()));
+            assert!(path.exists(), "kill #{kill_at} left no checkpoint behind");
+            let resumed = run_exp6_resumable(&cfg, 2, &path).unwrap();
+            assert_eq!(baseline.len(), resumed.len(), "kill #{kill_at}");
+            for (a, b) in baseline.iter().zip(&resumed) {
+                assert_eq!(deterministic_fields(a), deterministic_fields(b), "kill #{kill_at}");
+            }
+            assert!(!path.exists());
+        }
+    }
+
+    #[test]
+    fn killed_adaptive_sweep_resumes_too() {
+        let cfg = Exp6Config::smoke(41).adaptive();
+        let baseline = run_exp6(&cfg).unwrap();
+        let path = ckpt_path("killed-adaptive.tbsn");
+        let err = run_resumable_inner(&cfg, 3, &path, Some(3)).unwrap_err();
+        assert_eq!(err, Exp6Error::Checkpoint("injected crash".into()));
+        let resumed = run_exp6_resumable(&cfg, 3, &path).unwrap();
+        for (a, b) in baseline.iter().zip(&resumed) {
+            assert_eq!(deterministic_fields(a), deterministic_fields(b));
+        }
+    }
+
+    #[test]
+    fn foreign_or_corrupt_checkpoints_are_rejected() {
+        let cfg = Exp6Config::smoke(55);
+        assert!(matches!(
+            run_exp6_resumable(&cfg, 0, &ckpt_path("zero.tbsn")),
+            Err(Exp6Error::Checkpoint(_))
+        ));
+
+        // A checkpoint from a different seed must be refused, not merged.
+        let theirs = ckpt_path("foreign.tbsn");
+        let other = Exp6Config::smoke(56);
+        let _ = run_resumable_inner(&other, 2, &theirs, Some(1)).unwrap_err();
+        assert!(matches!(
+            run_exp6_resumable(&cfg, 2, &theirs),
+            Err(Exp6Error::Checkpoint(_))
+        ));
+
+        // Corrupt bytes surface as a typed error, never a panic.
+        let garbage = ckpt_path("garbage.tbsn");
+        std::fs::write(&garbage, b"TBSN but not really").unwrap();
+        assert!(matches!(
+            run_exp6_resumable(&cfg, 2, &garbage),
+            Err(Exp6Error::Checkpoint(_))
+        ));
+        let _ = std::fs::remove_file(&theirs);
+        let _ = std::fs::remove_file(&garbage);
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod des;
 pub mod exp1;
 pub mod exp2;

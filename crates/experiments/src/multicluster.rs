@@ -33,14 +33,15 @@
 //! handed off — fault counter, diagnosis state, and behaviour move with
 //! it, so a liar cannot launder its record by crossing a border.
 
-use tibfit_adversary::behavior::{NodeBehavior, RoundContext};
+use tibfit_adversary::behavior::{BehaviorSnapshot, NodeBehavior, RoundContext};
 use tibfit_core::engine::{Aggregator, TibfitEngine};
 use tibfit_core::location::LocatedReport;
-use tibfit_core::trust::{TrustParams, TrustRecord};
-use tibfit_net::channel::ChannelModel;
+use tibfit_core::trust::{TrustParams, TrustRecord, TrustTable, TrustTableState};
+use tibfit_net::channel::{ChannelModel, ChannelSnapshot};
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::{nearest_site, NodeId, Topology};
-use tibfit_sim::rng::SimRng;
+use tibfit_sim::rng::{RngState, SimRng};
+use tibfit_sim::snapshot::SnapshotError;
 use tibfit_sim::trace::{CounterId, Trace};
 
 /// Configuration of a multi-cluster deployment.
@@ -212,6 +213,56 @@ impl std::fmt::Debug for Handoff {
             .field("dst", &self.dst)
             .finish_non_exhaustive()
     }
+}
+
+/// Names of the per-cluster trace counters, in registration order. This
+/// doubles as the checkpoint schema for counter values: a
+/// [`ClusterCapture`] stores one `u64` per entry, in this order.
+pub(crate) const COUNTER_NAMES: [&str; 7] = [
+    "reports.delivered",
+    "reports.dropped",
+    "rounds.decided",
+    "events.declared",
+    "handoffs.out",
+    "handoffs.in",
+    "trust.exp_evals",
+];
+
+/// Everything a cluster needs to be rebuilt bit-identically: membership,
+/// geometry, behaviour snapshots, channel snapshot, RNG state, the full
+/// trust-table state (including the cached-TI column, so the restored
+/// engine's `exp_evals` evolution matches the original), and the trace
+/// counter values.
+///
+/// Captures exist only at round boundaries, where no timers are in
+/// flight and no reports are buffered — so no event-queue section is
+/// needed here; the sharded engine asserts that invariant at save time.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterCapture {
+    pub(crate) index: usize,
+    pub(crate) head_position: Point,
+    pub(crate) members: Vec<NodeId>,
+    pub(crate) positions: Vec<Point>,
+    pub(crate) behaviors: Vec<BehaviorSnapshot>,
+    pub(crate) channel: ChannelSnapshot,
+    pub(crate) rng: RngState,
+    pub(crate) trust: TrustTableState,
+    /// Values of the counters in [`COUNTER_NAMES`], same order.
+    pub(crate) counters: [u64; COUNTER_NAMES.len()],
+}
+
+/// Engine-agnostic capture of a whole deployment at a round boundary.
+/// Both [`MultiClusterSim`] and the sharded engine produce this, and
+/// either can be rebuilt from it — which is what makes cross-engine
+/// restore (snapshot sequential, resume sharded) work.
+#[derive(Debug, Clone)]
+pub(crate) struct SimCapture {
+    pub(crate) config: MultiClusterConfig,
+    pub(crate) sites: Vec<Point>,
+    pub(crate) clusters: Vec<ClusterCapture>,
+    pub(crate) n_nodes: usize,
+    pub(crate) round: u64,
+    pub(crate) field: (f64, f64),
 }
 
 /// One member's full state, as reassembled during a cluster rebuild.
@@ -498,6 +549,120 @@ impl ClusterState {
             });
         }
         self.rebuild(kept);
+    }
+
+    /// Field dimensions this cluster clamps drift to.
+    pub(crate) fn field(&self) -> (f64, f64) {
+        (self.field_w, self.field_h)
+    }
+
+    /// Captures this cluster for a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if any member behaviour or the
+    /// channel has no snapshot form (e.g. level-2 colluders, whose
+    /// shared coordinator cannot be serialized).
+    pub(crate) fn capture(&self) -> Result<ClusterCapture, SnapshotError> {
+        let behaviors = self
+            .behaviors
+            .iter()
+            .map(|b| {
+                b.snapshot()
+                    .ok_or(SnapshotError::Unsupported("behavior kind cannot be checkpointed"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let channel = self
+            .channel
+            .snapshot()
+            .ok_or(SnapshotError::Unsupported("channel kind cannot be checkpointed"))?;
+        let mut counters = [0u64; COUNTER_NAMES.len()];
+        for (slot, name) in counters.iter_mut().zip(COUNTER_NAMES) {
+            *slot = self.trace.counter(name);
+        }
+        Ok(ClusterCapture {
+            index: self.index,
+            head_position: self.head_position,
+            members: self.members.clone(),
+            positions: self.positions.clone(),
+            behaviors,
+            channel,
+            rng: self.rng.state(),
+            trust: self.engine.table().export_state(),
+            counters,
+        })
+    }
+
+    /// Rebuilds a cluster from a capture, bit-identically.
+    ///
+    /// The engine is reconstructed via [`TrustTable::from_state`] (which
+    /// restores the cached-TI column verbatim instead of recomputing it)
+    /// so the restored cluster's `trust.exp_evals` trajectory continues
+    /// exactly where the original's left off. Counters are replayed by
+    /// name into a fresh trace.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Invalid`] on any internally inconsistent field —
+    /// a corrupt blob must surface as an error, never a panic.
+    pub(crate) fn from_capture(
+        cap: ClusterCapture,
+        config: MultiClusterConfig,
+        field_w: f64,
+        field_h: f64,
+    ) -> Result<Self, SnapshotError> {
+        let n = cap.members.len();
+        if n == 0 {
+            return Err(SnapshotError::Invalid("cluster has no members"));
+        }
+        if cap.positions.len() != n || cap.behaviors.len() != n || cap.trust.counters.len() != n {
+            return Err(SnapshotError::Invalid("cluster vectors disagree in length"));
+        }
+        if !cap.members.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Invalid("cluster members not strictly ascending"));
+        }
+        let finite = |p: &Point| p.x.is_finite() && p.y.is_finite();
+        if !finite(&cap.head_position) || !cap.positions.iter().all(finite) {
+            return Err(SnapshotError::Invalid("non-finite position"));
+        }
+        if cap.trust.lambda.to_bits() != config.trust.lambda.to_bits()
+            || cap.trust.fault_rate.to_bits() != config.trust.fault_rate.to_bits()
+        {
+            return Err(SnapshotError::Invalid("cluster trust params disagree with config"));
+        }
+        let behaviors = cap
+            .behaviors
+            .iter()
+            .map(BehaviorSnapshot::restore)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(SnapshotError::Invalid)?;
+        let channel = cap
+            .channel
+            .restore()
+            .map_err(|_| SnapshotError::Invalid("channel snapshot out of range"))?;
+        let rng = SimRng::from_state(cap.rng)
+            .ok_or(SnapshotError::Invalid("rng state degenerate"))?;
+        let table =
+            TrustTable::from_state(&cap.trust).map_err(|e| SnapshotError::Invalid(e.message()))?;
+        let mut state = ClusterState::new(
+            cap.index,
+            cap.head_position,
+            cap.members,
+            cap.positions,
+            config,
+            behaviors,
+            channel,
+            rng,
+            field_w,
+            field_h,
+        );
+        state.engine = TibfitEngine::from_table(table);
+        for (name, value) in COUNTER_NAMES.into_iter().zip(cap.counters) {
+            if value > 0 {
+                state.trace.count_by(name, value);
+            }
+        }
+        Ok(state)
     }
 
     /// Reconstructs members/topology/trust from a full slot list.
@@ -839,6 +1004,56 @@ impl MultiClusterSim {
     /// engine wraps each in a shard).
     pub(crate) fn into_clusters(self) -> (MultiClusterConfig, Vec<Point>, Vec<ClusterState>, u64) {
         (self.config, self.sites, self.clusters, self.round)
+    }
+
+    /// Captures the whole deployment for a checkpoint. The sequential
+    /// engine holds no in-flight timers between rounds, so any point
+    /// between two `run_event` calls is a valid capture point.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if any behaviour or channel cannot
+    /// be snapshotted (see [`ClusterState::capture`]).
+    pub(crate) fn capture(&self) -> Result<SimCapture, SnapshotError> {
+        let field = self
+            .clusters
+            .first()
+            .map(ClusterState::field)
+            .ok_or(SnapshotError::Invalid("deployment has no clusters"))?;
+        let clusters = self
+            .clusters
+            .iter()
+            .map(ClusterState::capture)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SimCapture {
+            config: self.config,
+            sites: self.sites.clone(),
+            clusters,
+            n_nodes: self.n_nodes,
+            round: self.round,
+            field,
+        })
+    }
+
+    /// Reassembles a simulation from restored cluster states. The
+    /// affiliation map is derived, not stored, so it cannot go stale.
+    pub(crate) fn from_parts(
+        config: MultiClusterConfig,
+        sites: Vec<Point>,
+        clusters: Vec<ClusterState>,
+        n_nodes: usize,
+        round: u64,
+    ) -> Self {
+        let mut sim = MultiClusterSim {
+            config,
+            sites,
+            clusters,
+            affiliation: Vec::new(),
+            n_nodes,
+            round,
+        };
+        sim.refresh_affiliation();
+        sim
     }
 }
 

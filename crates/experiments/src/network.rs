@@ -277,8 +277,7 @@ impl ClusterSim {
                 .min_by(|a, b| {
                     node_pos
                         .distance_sq(*a)
-                        .partial_cmp(&node_pos.distance_sq(*b))
-                        .expect("finite")
+                        .total_cmp(&node_pos.distance_sq(*b))
                 });
             let ctx = self.context_for(node, sensed.or_else(|| events.first().copied()));
             let ctx = RoundContext {

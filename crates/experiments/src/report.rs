@@ -49,7 +49,9 @@ impl FigureData {
             .iter()
             .flat_map(|s| s.points().into_iter().map(|(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        // total_cmp: a stray NaN x must not panic mid-render; it sorts
+        // last and shows up in the output instead of aborting a sweep.
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs
     }

@@ -33,11 +33,12 @@ use tibfit_net::channel::ChannelModel;
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::{NodeId, Topology};
 use tibfit_sim::shard::{Envelope, Outbox, Shard, ShardError, ShardScheduler, DRIVER};
+use tibfit_sim::snapshot::SnapshotError;
 use tibfit_sim::{Duration, Engine, SimTime};
 
 use crate::multicluster::{
     merge_declarations, partition_clusters, ClusterState, Handoff, MultiClusterConfig,
-    MultiClusterError, MultiRoundResult, MultiClusterSim,
+    MultiClusterError, MultiRoundResult, MultiClusterSim, SimCapture,
 };
 
 /// Ticks per decision round (= the fixed epoch window). Must exceed
@@ -244,7 +245,7 @@ impl ShardedMultiCluster {
         Self::from_clusters(config, sites, clusters, n_nodes, round, threads)
     }
 
-    fn from_clusters(
+    pub(crate) fn from_clusters(
         config: MultiClusterConfig,
         sites: Vec<Point>,
         clusters: Vec<ClusterState>,
@@ -495,6 +496,50 @@ impl ShardedMultiCluster {
             }
         });
         out
+    }
+
+    /// Captures the whole deployment for a checkpoint, at the epoch
+    /// barrier. Between epochs every shard's timer queue is provably
+    /// drained (a round's Sense/Decide pair both fire inside the epoch
+    /// that scheduled it) and every mailbox is empty — settlement epochs
+    /// flush boundary hand-offs — so the capture needs no timer or
+    /// mailbox section and is byte-identical to what the sequential
+    /// engine captures at the same round.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if a shard still has timers or
+    /// arrivals in flight (capture attempted mid-epoch), or if any
+    /// behaviour or channel has no snapshot form.
+    pub(crate) fn capture(&self) -> Result<SimCapture, SnapshotError> {
+        let captured = self.scheduler.for_each_shard(|_, s| {
+            if !s.timers.is_idle() || !s.arrivals.is_empty() {
+                return Err(SnapshotError::Unsupported(
+                    "shard has work in flight — capture only at an epoch barrier",
+                ));
+            }
+            s.state.capture().map(|cap| (cap, s.sites.clone(), s.state.field()))
+        });
+        let mut clusters = Vec::with_capacity(captured.len());
+        let mut sites = Vec::new();
+        let mut field = (0.0, 0.0);
+        for item in captured {
+            let (cap, shard_sites, shard_field) = item?;
+            sites = shard_sites;
+            field = shard_field;
+            clusters.push(cap);
+        }
+        if clusters.is_empty() {
+            return Err(SnapshotError::Invalid("deployment has no clusters"));
+        }
+        Ok(SimCapture {
+            config: self.config,
+            sites,
+            clusters,
+            n_nodes: self.n_nodes,
+            round: self.round,
+            field,
+        })
     }
 
     /// Total DES events dispatched across all shard timer queues plus

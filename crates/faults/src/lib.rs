@@ -41,6 +41,14 @@ pub enum FaultKind {
     /// The trust table is lost at the next CH handoff; recovery is
     /// re-synchronisation from the last `TrustHandoff` snapshot.
     TrustTableLoss,
+    /// The whole engine process dies at this instant — nothing after it
+    /// executes. Recovery is restore-from-checkpoint: the driver
+    /// rebuilds the engine from the latest snapshot and replays forward
+    /// (`crates/experiments::checkpoint`). Never produced by
+    /// [`FaultPlan::random`] (a process kill inside a generated mixed
+    /// plan would mask the other faults' recovery paths); crash tests
+    /// schedule it explicitly, typically via [`CrashPlan`].
+    CrashAt,
 }
 
 impl FaultKind {
@@ -53,7 +61,56 @@ impl FaultKind {
             FaultKind::BurstLoss { .. } => "burst_loss",
             FaultKind::ReportDelay { .. } => "report_delay",
             FaultKind::TrustTableLoss => "trust_table_loss",
+            FaultKind::CrashAt => "crash",
         }
+    }
+}
+
+/// Where a crash-injection run kills the engine: after `kill_round`
+/// completed rounds, nothing more executes until the harness restores
+/// from the latest checkpoint.
+///
+/// Rounds, not ticks, because checkpoints are only taken at round
+/// boundaries — the crash lands between two rounds, which is exactly
+/// where a real signal would find a process whose event loop is
+/// round-granular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The crash fires once this many rounds have completed. Always in
+    /// `[1, horizon_rounds)` for seeded plans, so the run neither dies
+    /// before doing any work nor survives to the end untested.
+    pub kill_round: u64,
+}
+
+impl CrashPlan {
+    /// A crash pinned to an explicit round.
+    #[must_use]
+    pub fn at(kill_round: u64) -> Self {
+        CrashPlan { kill_round }
+    }
+
+    /// A seed-reproducible crash at a uniformly random round in
+    /// `[1, horizon_rounds)`. The same `(seed, horizon_rounds)` pair
+    /// always kills at the same round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_rounds < 2` — there is no interior round to
+    /// crash at.
+    #[must_use]
+    pub fn seeded(seed: u64, horizon_rounds: u64) -> Self {
+        assert!(horizon_rounds >= 2, "need an interior round to crash at");
+        let mut rng = SimRng::seed_from(seed ^ 0xC4A5_4A10);
+        CrashPlan {
+            kill_round: 1 + rng.next_u64() % (horizon_rounds - 1),
+        }
+    }
+
+    /// Whether the engine is already dead once `completed_rounds` rounds
+    /// have run.
+    #[must_use]
+    pub fn kills_after(&self, completed_rounds: u64) -> bool {
+        completed_rounds >= self.kill_round
     }
 }
 
@@ -255,6 +312,7 @@ impl FaultPlan {
                     mix(duration.ticks());
                 }
                 FaultKind::TrustTableLoss => mix(5),
+                FaultKind::CrashAt => mix(6),
             }
         }
         h
@@ -435,6 +493,33 @@ mod tests {
         assert_eq!(injector.due(t(1_000)).len(), 1);
         assert_eq!(injector.next_at(), None);
         assert_eq!(injector.pending(), 0);
+    }
+
+    #[test]
+    fn crash_plan_is_seed_reproducible_and_interior() {
+        for seed in 0..200 {
+            let a = CrashPlan::seeded(seed, 12);
+            let b = CrashPlan::seeded(seed, 12);
+            assert_eq!(a, b);
+            assert!((1..12).contains(&a.kill_round), "round {}", a.kill_round);
+            assert!(!a.kills_after(a.kill_round - 1));
+            assert!(a.kills_after(a.kill_round));
+        }
+        assert_eq!(CrashPlan::at(7).kill_round, 7);
+    }
+
+    #[test]
+    fn random_plans_never_contain_crashes() {
+        // CrashAt is explicit-schedule only: a generated mixed plan must
+        // stay byte-identical to pre-CrashAt builds (golden exp5 runs
+        // depend on it) and must not mask other faults' recovery paths.
+        let plan = FaultPlan::random(1.0, 3, t(50_000), 16).unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan
+            .faults()
+            .iter()
+            .all(|f| f.kind != FaultKind::CrashAt));
+        assert_eq!(FaultKind::CrashAt.label(), "crash");
     }
 
     #[test]

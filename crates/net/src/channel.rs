@@ -21,6 +21,13 @@ pub enum ChannelError {
         /// The offending value.
         value: f64,
     },
+    /// Distance-loss ranges must satisfy `0 < reliable < max` (finite).
+    InvalidRange {
+        /// The rejected reliable range.
+        reliable_range: f64,
+        /// The rejected maximum range.
+        max_range: f64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -28,6 +35,15 @@ impl fmt::Display for ChannelError {
         match self {
             ChannelError::InvalidProbability { name, value } => {
                 write!(f, "{name} must be in [0,1], got {value}")
+            }
+            ChannelError::InvalidRange {
+                reliable_range,
+                max_range,
+            } => {
+                write!(
+                    f,
+                    "require 0 < reliable_range < max_range, got {reliable_range} and {max_range}"
+                )
             }
         }
     }
@@ -50,6 +66,100 @@ fn check_probability(name: &'static str, value: f64) -> Result<f64, ChannelError
 pub trait ChannelModel: std::fmt::Debug {
     /// Returns `true` when the packet is delivered.
     fn delivers(&self, from: Point, to: Point, rng: &mut SimRng) -> bool;
+
+    /// Captures the channel's complete state for a checkpoint, or `None`
+    /// if this model cannot be checkpointed.
+    fn snapshot(&self) -> Option<ChannelSnapshot> {
+        None
+    }
+}
+
+/// Serializable state of a checkpointable [`ChannelModel`], including any
+/// interior-mutable weather (the Gilbert–Elliott Markov state).
+///
+/// [`ChannelSnapshot::restore`] validates every field before
+/// constructing, so a corrupt checkpoint yields an error instead of a
+/// panic or a channel in an impossible state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelSnapshot {
+    /// A [`Perfect`] channel.
+    Perfect,
+    /// A [`BernoulliLoss`] channel.
+    Bernoulli {
+        /// Per-packet loss probability.
+        loss_probability: f64,
+    },
+    /// A [`DistanceLoss`] channel.
+    Distance {
+        /// Always-delivered range.
+        reliable_range: f64,
+        /// Never-delivered range.
+        max_range: f64,
+    },
+    /// A [`GilbertElliott`] channel with its live Markov state.
+    GilbertElliott {
+        /// Good→bad transition probability.
+        p_gb: f64,
+        /// Bad→good transition probability.
+        p_bg: f64,
+        /// Loss probability in the good state.
+        loss_good: f64,
+        /// Loss probability in the bad state.
+        loss_bad: f64,
+        /// Whether the chain is currently in the bad state.
+        bad: bool,
+        /// Whether the chain is pinned bad by the fault injector.
+        forced: bool,
+    },
+}
+
+impl ChannelSnapshot {
+    /// Rebuilds the channel this snapshot was captured from.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError`] for any out-of-range field — never panics,
+    /// whatever bytes a corrupt blob decoded into.
+    pub fn restore(&self) -> Result<Box<dyn ChannelModel + Send>, ChannelError> {
+        match *self {
+            ChannelSnapshot::Perfect => Ok(Box::new(Perfect)),
+            ChannelSnapshot::Bernoulli { loss_probability } => {
+                Ok(Box::new(BernoulliLoss::try_new(loss_probability)?))
+            }
+            ChannelSnapshot::Distance {
+                reliable_range,
+                max_range,
+            } => {
+                if !(reliable_range.is_finite()
+                    && max_range.is_finite()
+                    && reliable_range > 0.0
+                    && reliable_range < max_range)
+                {
+                    return Err(ChannelError::InvalidRange {
+                        reliable_range,
+                        max_range,
+                    });
+                }
+                Ok(Box::new(DistanceLoss {
+                    reliable_range,
+                    max_range,
+                }))
+            }
+            ChannelSnapshot::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                bad,
+                forced,
+            } => {
+                let ch = GilbertElliott::try_new(p_gb, p_bg, loss_good, loss_bad)?;
+                ch.bad.set(bad);
+                ch.forced.set(forced);
+                Ok(Box::new(ch))
+            }
+        }
+    }
 }
 
 /// A lossless channel; useful for unit tests and for isolating protocol
@@ -60,6 +170,10 @@ pub struct Perfect;
 impl ChannelModel for Perfect {
     fn delivers(&self, _from: Point, _to: Point, _rng: &mut SimRng) -> bool {
         true
+    }
+
+    fn snapshot(&self) -> Option<ChannelSnapshot> {
+        Some(ChannelSnapshot::Perfect)
     }
 }
 
@@ -122,6 +236,12 @@ impl ChannelModel for BernoulliLoss {
     fn delivers(&self, _from: Point, _to: Point, rng: &mut SimRng) -> bool {
         !rng.chance(self.loss_probability)
     }
+
+    fn snapshot(&self) -> Option<ChannelSnapshot> {
+        Some(ChannelSnapshot::Bernoulli {
+            loss_probability: self.loss_probability,
+        })
+    }
 }
 
 /// Distance-dependent loss: reliable up to a reference distance, then loss
@@ -172,6 +292,13 @@ impl DistanceLoss {
 impl ChannelModel for DistanceLoss {
     fn delivers(&self, from: Point, to: Point, rng: &mut SimRng) -> bool {
         !rng.chance(self.loss_at(from.distance_to(to)))
+    }
+
+    fn snapshot(&self) -> Option<ChannelSnapshot> {
+        Some(ChannelSnapshot::Distance {
+            reliable_range: self.reliable_range,
+            max_range: self.max_range,
+        })
     }
 }
 
@@ -310,6 +437,17 @@ impl ChannelModel for GilbertElliott {
             self.loss_good
         };
         !rng.chance(loss)
+    }
+
+    fn snapshot(&self) -> Option<ChannelSnapshot> {
+        Some(ChannelSnapshot::GilbertElliott {
+            p_gb: self.p_gb,
+            p_bg: self.p_bg,
+            loss_good: self.loss_good,
+            loss_bad: self.loss_bad,
+            bad: self.bad.get(),
+            forced: self.forced.get(),
+        })
     }
 }
 
@@ -477,6 +615,89 @@ mod tests {
         }
         let mean_run = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
         assert!(mean_run > 5.0, "mean drop-run {mean_run} not bursty");
+    }
+
+    #[test]
+    fn snapshots_roundtrip_including_markov_state() {
+        // Drive a Gilbert–Elliott chain until it sits in the bad state,
+        // snapshot it, and check the restored copy delivers identically.
+        let ch = GilbertElliott::new(0.3, 0.1, 0.0, 1.0);
+        let mut rng = SimRng::seed_from(21);
+        while !ch.is_bad() {
+            let _ = ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng);
+        }
+        let snap = ch.snapshot().unwrap();
+        let restored = snap.restore().unwrap();
+        assert_eq!(restored.snapshot(), Some(snap));
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        for _ in 0..200 {
+            assert_eq!(
+                ch.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng_a),
+                restored.delivers(p(0.0, 0.0), p(1.0, 1.0), &mut rng_b)
+            );
+        }
+
+        // The stateless models roundtrip too.
+        for model in [
+            Perfect.snapshot().unwrap(),
+            BernoulliLoss::new(0.25).snapshot().unwrap(),
+            DistanceLoss::new(10.0, 20.0).snapshot().unwrap(),
+        ] {
+            assert_eq!(model.restore().unwrap().snapshot(), Some(model));
+        }
+
+        // A forced pin survives the roundtrip.
+        let ch = GilbertElliott::paper_ambient();
+        ch.force_bad();
+        let restored = ch.snapshot().unwrap().restore().unwrap();
+        assert_eq!(
+            restored.snapshot(),
+            Some(ChannelSnapshot::GilbertElliott {
+                p_gb: 0.01,
+                p_bg: 0.25,
+                loss_good: 0.005,
+                loss_bad: 0.6,
+                bad: true,
+                forced: true,
+            })
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corrupt_fields() {
+        assert!(ChannelSnapshot::Bernoulli { loss_probability: f64::NAN }.restore().is_err());
+        assert!(ChannelSnapshot::Bernoulli { loss_probability: 1.5 }.restore().is_err());
+        let bad_range = ChannelSnapshot::Distance {
+            reliable_range: 20.0,
+            max_range: 10.0,
+        };
+        assert!(matches!(
+            bad_range.restore().unwrap_err(),
+            ChannelError::InvalidRange { .. }
+        ));
+        assert!(ChannelSnapshot::Distance {
+            reliable_range: f64::NAN,
+            max_range: 10.0,
+        }
+        .restore()
+        .is_err());
+        assert!(ChannelSnapshot::GilbertElliott {
+            p_gb: 2.0,
+            p_bg: 0.1,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+            bad: false,
+            forced: false,
+        }
+        .restore()
+        .is_err());
+        assert!(!ChannelError::InvalidRange {
+            reliable_range: 1.0,
+            max_range: 0.5
+        }
+        .to_string()
+        .is_empty());
     }
 
     #[test]

@@ -163,6 +163,43 @@ impl<E> Engine<E> {
     pub fn is_idle(&self) -> bool {
         self.queue.len() == self.cancelled.len()
     }
+
+    /// Live (non-cancelled) pending timers in firing order — the
+    /// checkpoint capture path.
+    ///
+    /// Lazily cancelled entries are compacted away: they would never
+    /// fire, so a restored engine does not need them.
+    #[must_use]
+    pub fn live_entries(&self) -> Vec<(SimTime, &E)> {
+        self.queue
+            .ordered_entries()
+            .into_iter()
+            .filter(|(_, (handle, _))| !self.cancelled.contains(handle))
+            .map(|(t, (_, e))| (t, e))
+            .collect()
+    }
+
+    /// Rebuilds an engine from checkpointed state: clock at `now`, the
+    /// dispatch counter restored, and `entries` re-scheduled in their
+    /// captured firing order (as produced by [`Engine::live_entries`]).
+    ///
+    /// Returns `None` if any entry fires before `now` — a healthy
+    /// engine can never hold such an entry, so the blob is corrupt.
+    /// Timer handles are reissued from zero; handles captured before
+    /// the snapshot are meaningless against the restored engine.
+    #[must_use]
+    pub fn from_parts(now: SimTime, dispatched: u64, entries: Vec<(SimTime, E)>) -> Option<Self> {
+        let mut engine = Engine::new();
+        engine.now = now;
+        engine.dispatched = dispatched;
+        for (at, event) in entries {
+            if at < now {
+                return None;
+            }
+            engine.schedule_at(at, event);
+        }
+        Some(engine)
+    }
 }
 
 impl<E> Default for Engine<E> {
@@ -261,6 +298,37 @@ mod tests {
         e.cancel(h);
         while e.pop().is_some() {}
         assert_eq!(e.dispatched(), 1);
+    }
+
+    #[test]
+    fn live_entries_and_from_parts_roundtrip() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(10), 'a');
+        let h = e.schedule_at(SimTime::from_ticks(12), 'x');
+        e.schedule_at(SimTime::from_ticks(12), 'b');
+        e.schedule_at(SimTime::from_ticks(30), 'c');
+        e.cancel(h);
+        e.pop(); // fire 'a'; clock at 10, dispatched 1
+        let captured: Vec<(SimTime, char)> =
+            e.live_entries().into_iter().map(|(t, &c)| (t, c)).collect();
+        assert_eq!(
+            captured,
+            vec![(SimTime::from_ticks(12), 'b'), (SimTime::from_ticks(30), 'c')],
+            "cancelled entry must be compacted away"
+        );
+        let mut restored = Engine::from_parts(e.now(), e.dispatched(), captured).unwrap();
+        assert_eq!(restored.now(), e.now());
+        assert_eq!(restored.dispatched(), e.dispatched());
+        let a: Vec<(SimTime, char)> = std::iter::from_fn(|| e.pop()).collect();
+        let b: Vec<(SimTime, char)> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(e.dispatched(), restored.dispatched());
+    }
+
+    #[test]
+    fn from_parts_rejects_past_entries() {
+        let entries = vec![(SimTime::from_ticks(5), ())];
+        assert!(Engine::from_parts(SimTime::from_ticks(10), 0, entries).is_none());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   nearly independent partitions in parallel without losing
 //!   reproducibility ([`shard::ShardScheduler`]),
 //! * statistics accumulators for building the paper's figures
-//!   ([`stats::Running`], [`stats::Series`]).
+//!   ([`stats::Running`], [`stats::Series`]),
+//! * a versioned, CRC-framed binary container for checkpoint blobs
+//!   ([`snapshot::SnapshotWriter`], [`snapshot::SnapshotReader`]).
 //!
 //! Everything is deterministic: the same seed produces the same simulation,
 //! which the test-suite relies on.
@@ -48,6 +50,7 @@ mod queue;
 
 pub mod rng;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 

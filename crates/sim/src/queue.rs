@@ -251,6 +251,29 @@ impl<E> EventQueue<E> {
         self.len == 0
     }
 
+    /// Every pending entry in pop order (`(time, seq)` ascending),
+    /// without draining the queue.
+    ///
+    /// This is the checkpoint capture path: re-pushing the returned
+    /// entries into a fresh queue in this order reproduces the exact
+    /// pop sequence, because `push` assigns ascending sequence numbers
+    /// and pop order is `(time, seq)`. Not on the hot path — it walks
+    /// the whole wheel.
+    #[must_use]
+    pub fn ordered_entries(&self) -> Vec<(SimTime, &E)> {
+        let mut all: Vec<(SimTime, u64, &E)> = Vec::with_capacity(self.len);
+        for e in self.overdue.iter().chain(self.overflow.iter()) {
+            all.push((e.time, e.seq, &e.event));
+        }
+        for slot in &self.slots {
+            for e in slot {
+                all.push((e.time, e.seq, &e.event));
+            }
+        }
+        all.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        all.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         for w in 0..WORDS {
@@ -455,6 +478,37 @@ mod tests {
         q.push(SimTime::from_ticks(50), 99);
         assert_eq!(q.peak_len(), 10);
         assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn ordered_entries_reproduce_pop_order_across_all_stores() {
+        // Entries in every store at once: overdue, wheel buckets, and
+        // overflow. Rebuilding a queue from the captured order must pop
+        // identically to the original.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(500), 0u32);
+        assert_eq!(q.pop().unwrap().1, 0); // cursor now at 500
+        let times = [400u64, 300, 510, 4000, 510, 300, 900];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ticks(t), i as u32 + 1);
+        }
+        let captured: Vec<(SimTime, u32)> =
+            q.ordered_entries().into_iter().map(|(t, &e)| (t, e)).collect();
+        assert_eq!(captured.len(), times.len());
+        let mut rebuilt = EventQueue::new();
+        for &(t, e) in &captured {
+            rebuilt.push(t, e);
+        }
+        let from_original: Vec<(SimTime, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        let from_rebuilt: Vec<(SimTime, u32)> = std::iter::from_fn(|| rebuilt.pop()).collect();
+        assert_eq!(from_original, from_rebuilt);
+        assert_eq!(from_original.len(), times.len());
+    }
+
+    #[test]
+    fn ordered_entries_empty_queue() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(q.ordered_entries().is_empty());
     }
 
     #[test]

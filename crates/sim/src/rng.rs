@@ -32,6 +32,21 @@ pub struct SimRng {
     gauss_spare: Option<f64>,
 }
 
+/// The complete internal state of a [`SimRng`], exposed for
+/// checkpoint/restore.
+///
+/// The Box–Muller spare is part of the state: dropping it would shift
+/// every Gaussian draw after a restore by one transform, silently
+/// desynchronising a resumed run from the original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngState {
+    /// xoshiro256++ state words. Must not be all zero (the all-zero
+    /// state is a fixed point of the generator).
+    pub s: [u64; 4],
+    /// Cached second output of the last Box–Muller transform, if any.
+    pub gauss_spare: Option<f64>,
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
@@ -62,6 +77,35 @@ impl SimRng {
     #[must_use]
     pub fn stream(master: u64, stream: u64) -> SimRng {
         SimRng::seed_from(crate::shard::stream_seed(master, stream))
+    }
+
+    /// Captures the generator's complete internal state.
+    #[must_use]
+    pub fn state(&self) -> RngState {
+        RngState {
+            s: self.s,
+            gauss_spare: self.gauss_spare,
+        }
+    }
+
+    /// Reconstructs a generator from a captured [`RngState`].
+    ///
+    /// Returns `None` for states no healthy generator can be in: an
+    /// all-zero xoshiro state (the generator would emit zeros forever)
+    /// or a non-finite Box–Muller spare. The restored generator
+    /// continues the original's output stream exactly.
+    #[must_use]
+    pub fn from_state(state: RngState) -> Option<SimRng> {
+        if state.s == [0; 4] {
+            return None;
+        }
+        if state.gauss_spare.is_some_and(|z| !z.is_finite()) {
+            return None;
+        }
+        Some(SimRng {
+            s: state.s,
+            gauss_spare: state.gauss_spare,
+        })
     }
 
     /// Derives an independent child generator; used to give each node its
@@ -316,6 +360,32 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), 8);
         assert!(picked.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut original = SimRng::seed_from(77);
+        for _ in 0..13 {
+            let _ = original.next_u64();
+        }
+        // Park a Box–Muller spare so the restore has to carry it.
+        let _ = original.standard_normal();
+        let mut restored = SimRng::from_state(original.state()).unwrap();
+        for _ in 0..8 {
+            assert_eq!(original.standard_normal(), restored.standard_normal());
+            assert_eq!(original.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_degenerate_states() {
+        assert!(SimRng::from_state(RngState { s: [0; 4], gauss_spare: None }).is_none());
+        assert!(SimRng::from_state(RngState {
+            s: [1, 2, 3, 4],
+            gauss_spare: Some(f64::NAN),
+        })
+        .is_none());
+        assert!(SimRng::from_state(RngState { s: [1, 0, 0, 0], gauss_spare: Some(0.5) }).is_some());
     }
 
     #[test]

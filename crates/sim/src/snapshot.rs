@@ -1,0 +1,627 @@
+//! Versioned binary container for engine checkpoints.
+//!
+//! A snapshot is `magic ("TBSN") · version (u16 LE) · sections*`, where
+//! each section is `tag (u8) · payload length (u32 LE) · payload ·
+//! CRC32 (u32 LE)`. The CRC covers the payload only; the magic,
+//! version, tag, and length fields are each validated explicitly on
+//! read, so *any* single corruption — a flipped bit, a truncation, a
+//! version skew — surfaces as a typed [`SnapshotError`] instead of a
+//! panic or a silently wrong load. That contract is pinned by the
+//! corrupt-snapshot fuzz tests in `tests/crash_resume.rs`.
+//!
+//! The module is deliberately schema-free: it frames and checksums
+//! bytes, while the owners of the state (the trust table, the cluster
+//! engines) decide what goes inside each section. Numbers are
+//! little-endian; `f64`s travel as raw IEEE-754 bits so a restore is
+//! bit-lossless.
+
+use std::fmt;
+
+/// First four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"TBSN";
+
+/// Current container version. Bump on any layout change; readers
+/// reject other versions rather than guessing.
+pub const VERSION: u16 = 1;
+
+/// Why a snapshot blob could not be read (or state could not be
+/// captured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// The container version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version found in the blob.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The blob ends before a declared field or section does.
+    Truncated,
+    /// A section payload failed its CRC32 check.
+    CrcMismatch {
+        /// Tag of the corrupt section.
+        tag: u8,
+    },
+    /// A section appeared with the wrong tag (or out of order).
+    UnexpectedSection {
+        /// Tag the reader expected.
+        expected: u8,
+        /// Tag actually found.
+        found: u8,
+    },
+    /// Bytes remain after the last expected section.
+    TrailingBytes,
+    /// A field decoded to a value no healthy engine can hold.
+    Invalid(&'static str),
+    /// The state cannot be captured or restored (e.g. a behavior kind
+    /// with process-shared state that cannot survive serialisation).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot version {found} unsupported (this build reads {supported})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::CrcMismatch { tag } => {
+                write!(f, "section 0x{tag:02x} failed its CRC check")
+            }
+            SnapshotError::UnexpectedSection { expected, found } => {
+                write!(f, "expected section 0x{expected:02x}, found 0x{found:02x}")
+            }
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after final section"),
+            SnapshotError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+            SnapshotError::Unsupported(what) => write!(f, "unsupported state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// CRC32 (IEEE 802.3, the zlib polynomial), table-driven.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Builds a snapshot blob: header first, then CRC-framed sections.
+///
+/// ```rust
+/// use tibfit_sim::snapshot::{SnapshotReader, SnapshotWriter};
+///
+/// let mut w = SnapshotWriter::new();
+/// w.section(1, |s| {
+///     s.put_u64(42);
+///     s.put_f64(0.25);
+/// });
+/// let blob = w.finish();
+///
+/// let mut r = SnapshotReader::new(&blob).unwrap();
+/// let mut s = r.section(1).unwrap();
+/// assert_eq!(s.take_u64().unwrap(), 42);
+/// assert_eq!(s.take_f64().unwrap(), 0.25);
+/// s.end().unwrap();
+/// r.finish().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a blob with the magic and current version.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        SnapshotWriter { buf }
+    }
+
+    /// Appends one section: `f` fills the payload, the writer frames it
+    /// with the tag, length, and CRC.
+    pub fn section<R>(&mut self, tag: u8, f: impl FnOnce(&mut SectionBuf) -> R) -> R {
+        let mut body = SectionBuf { buf: Vec::new() };
+        let out = f(&mut body);
+        self.buf.push(tag);
+        #[allow(clippy::cast_possible_truncation)]
+        let len = body.buf.len() as u32;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        let crc = crc32(&body.buf);
+        self.buf.extend_from_slice(&body.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// The finished blob.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        SnapshotWriter::new()
+    }
+}
+
+/// Accumulates one section's payload. All integers are little-endian;
+/// `f64`s are stored as raw bits.
+#[derive(Debug)]
+pub struct SectionBuf {
+    buf: Vec<u8>,
+}
+
+impl SectionBuf {
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` (as `u64`).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (lossless).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends `Some(x)` as `1·bits` and `None` as `0`.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_f64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Appends a length-prefixed byte blob (u64 length) — used to embed
+    /// one container inside a section of another (e.g. an engine
+    /// snapshot inside a sweep-progress checkpoint).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u16 length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is longer than `u16::MAX` bytes — section schemas
+    /// only store short identifiers.
+    pub fn put_str(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("snapshot strings are short");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Walks a snapshot blob, validating as it goes.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens a blob, checking magic and version.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`],
+    /// or [`SnapshotError::Truncated`] for a malformed header.
+    pub fn new(data: &'a [u8]) -> Result<Self, SnapshotError> {
+        if data.len() < MAGIC.len() + 2 {
+            return Err(SnapshotError::Truncated);
+        }
+        if data[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        Ok(SnapshotReader { data, pos: MAGIC.len() + 2 })
+    }
+
+    /// Opens the next section, which must carry `tag`. The payload CRC
+    /// is verified before any field is decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnexpectedSection`] on a tag mismatch,
+    /// [`SnapshotError::Truncated`] if the declared payload runs past
+    /// the blob, [`SnapshotError::CrcMismatch`] on checksum failure.
+    pub fn section(&mut self, tag: u8) -> Result<SectionReader<'a>, SnapshotError> {
+        let header_end = self.pos.checked_add(5).ok_or(SnapshotError::Truncated)?;
+        if header_end > self.data.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let found = self.data[self.pos];
+        if found != tag {
+            return Err(SnapshotError::UnexpectedSection { expected: tag, found });
+        }
+        let len = u32::from_le_bytes(
+            self.data[self.pos + 1..header_end].try_into().expect("4-byte slice"),
+        ) as usize;
+        let payload_end = header_end.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        let crc_end = payload_end.checked_add(4).ok_or(SnapshotError::Truncated)?;
+        if crc_end > self.data.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let payload = &self.data[header_end..payload_end];
+        let stored = u32::from_le_bytes(
+            self.data[payload_end..crc_end].try_into().expect("4-byte slice"),
+        );
+        if crc32(payload) != stored {
+            return Err(SnapshotError::CrcMismatch { tag });
+        }
+        self.pos = crc_end;
+        Ok(SectionReader { data: payload, pos: 0 })
+    }
+
+    /// `true` if every byte has been consumed.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Asserts the blob is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TrailingBytes`] if data remains.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingBytes)
+        }
+    }
+}
+
+/// Decodes one section's (already CRC-verified) payload.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl SectionReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.data.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section is exhausted.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section is exhausted.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section is exhausted.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if exhausted,
+    /// [`SnapshotError::Invalid`] if the value overflows this
+    /// platform's `usize`.
+    pub fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| SnapshotError::Invalid("usize field overflows this platform"))
+    }
+
+    /// Reads a count field that prefixes `elem_size`-byte elements,
+    /// rejecting counts the remaining payload cannot possibly hold —
+    /// the guard that keeps a corrupt length from driving a huge
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if exhausted or the count is
+    /// implausible, [`SnapshotError::Invalid`] on `usize` overflow.
+    pub fn take_count(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+        let count = self.take_usize()?;
+        let remaining = self.data.len() - self.pos;
+        if count.checked_mul(elem_size.max(1)).is_none_or(|bytes| bytes > remaining) {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(count)
+    }
+
+    /// Reads an `f64` from raw bits. The caller validates range.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section is exhausted.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if exhausted,
+    /// [`SnapshotError::Invalid`] for a non-boolean byte.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Invalid("boolean field not 0 or 1")),
+        }
+    }
+
+    /// Reads an `Option<f64>` written by [`SectionBuf::put_opt_f64`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`SnapshotError`]s.
+    pub fn take_opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        if self.take_bool()? {
+            Ok(Some(self.take_f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed byte blob written by
+    /// [`SectionBuf::put_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the declared length runs past the
+    /// section.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.take_count(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if exhausted,
+    /// [`SnapshotError::Invalid`] for non-UTF-8 bytes.
+    pub fn take_str(&mut self) -> Result<String, SnapshotError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2-byte slice")) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Invalid("string field is not UTF-8"))
+    }
+
+    /// Asserts the section is fully consumed — a schema/payload length
+    /// disagreement is corruption, not slack.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Invalid`] if bytes remain.
+    pub fn end(self) -> Result<(), SnapshotError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Invalid("section has trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_blob() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(1, |s| {
+            s.put_u64(0xDEAD_BEEF);
+            s.put_f64(-0.0);
+            s.put_opt_f64(Some(1.5));
+            s.put_opt_f64(None);
+            s.put_str("trust");
+            s.put_bool(true);
+            s.put_bytes(&[9, 8, 7]);
+        });
+        w.section(2, |s| {
+            s.put_u32(7);
+        });
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let blob = sample_blob();
+        let mut r = SnapshotReader::new(&blob).unwrap();
+        let mut s = r.section(1).unwrap();
+        assert_eq!(s.take_u64().unwrap(), 0xDEAD_BEEF);
+        // -0.0 must survive bit-exactly, not collapse to +0.0.
+        assert_eq!(s.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s.take_opt_f64().unwrap(), Some(1.5));
+        assert_eq!(s.take_opt_f64().unwrap(), None);
+        assert_eq!(s.take_str().unwrap(), "trust");
+        assert!(s.take_bool().unwrap());
+        assert_eq!(s.take_bytes().unwrap(), vec![9, 8, 7]);
+        s.end().unwrap();
+        let mut s = r.section(2).unwrap();
+        assert_eq!(s.take_u32().unwrap(), 7);
+        s.end().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = sample_blob();
+        blob[0] ^= 0x40;
+        assert_eq!(SnapshotReader::new(&blob).unwrap_err(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let mut blob = sample_blob();
+        blob[4] = 0xFF;
+        assert!(matches!(
+            SnapshotReader::new(&blob).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 0xFF, .. }
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_crc() {
+        let mut blob = sample_blob();
+        // Offset 11 is inside section 1's payload (6 header + 5 section
+        // header).
+        blob[11] ^= 0x01;
+        let mut r = SnapshotReader::new(&blob).unwrap();
+        assert_eq!(r.section(1).unwrap_err(), SnapshotError::CrcMismatch { tag: 1 });
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let blob = sample_blob();
+        let mut r = SnapshotReader::new(&blob).unwrap();
+        assert_eq!(
+            r.section(9).unwrap_err(),
+            SnapshotError::UnexpectedSection { expected: 9, found: 1 }
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error() {
+        let blob = sample_blob();
+        for cut in 0..blob.len() {
+            let short = &blob[..cut];
+            let outcome = SnapshotReader::new(short).and_then(|mut r| {
+                let mut s = r.section(1)?;
+                let _ = s.take_u64()?;
+                let _ = s.take_f64()?;
+                let _ = s.take_opt_f64()?;
+                let _ = s.take_opt_f64()?;
+                let _ = s.take_str()?;
+                let _ = s.take_bool()?;
+                let _ = s.take_bytes()?;
+                s.end()?;
+                let mut s = r.section(2)?;
+                let _ = s.take_u32()?;
+                s.end()?;
+                r.finish()
+            });
+            assert!(outcome.is_err(), "truncation at {cut} slipped through");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut blob = sample_blob();
+        blob.push(0);
+        let mut r = SnapshotReader::new(&blob).unwrap();
+        let _ = r.section(1).unwrap();
+        let _ = r.section(2).unwrap();
+        assert_eq!(r.finish().unwrap_err(), SnapshotError::TrailingBytes);
+    }
+
+    #[test]
+    fn count_guard_rejects_implausible_lengths() {
+        let mut w = SnapshotWriter::new();
+        w.section(3, |s| s.put_usize(usize::MAX / 2));
+        let blob = w.finish();
+        let mut r = SnapshotReader::new(&blob).unwrap();
+        let mut s = r.section(3).unwrap();
+        assert_eq!(s.take_count(8).unwrap_err(), SnapshotError::Truncated);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion { found: 2, supported: 1 },
+            SnapshotError::Truncated,
+            SnapshotError::CrcMismatch { tag: 1 },
+            SnapshotError::UnexpectedSection { expected: 1, found: 2 },
+            SnapshotError::TrailingBytes,
+            SnapshotError::Invalid("x"),
+            SnapshotError::Unsupported("y"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Crash-injection harness: kill the engine anywhere, resume from the
+//! latest checkpoint, and the completed run must be byte-identical to a
+//! run that was never interrupted — same declarations, same bit-exact
+//! trust trajectories, same positions, same trace counters, and the
+//! same rendered CSV, for the sequential engine and the sharded engine
+//! at every tested thread count, including cross-engine restores
+//! (snapshot under one engine, resume under the other).
+//!
+//! The kill round comes from `CrashPlan::seeded`, so every seed dies
+//! somewhere different but reproducibly. Rounds completed after the
+//! last checkpoint are lost in the crash and recomputed on resume;
+//! determinism guarantees the recomputation is exact.
+
+use std::fmt::Write as _;
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_experiments::checkpoint::{
+    read_checkpoint, restore_sequential, restore_sharded, save_sequential, save_sharded,
+    write_checkpoint,
+};
+use tibfit_experiments::multicluster::{
+    grid_sites, MultiClusterConfig, MultiClusterSim, MultiRoundResult,
+};
+use tibfit_experiments::sharded::ShardedMultiCluster;
+use tibfit_faults::CrashPlan;
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+/// A deployment recipe both engines are built from (the mobile scenario
+/// from `differential_shards.rs`: drift, re-election, lossy channels).
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    clusters: usize,
+    field: f64,
+    faulty: usize,
+    noise_sigma: f64,
+    loss: f64,
+    drift_sigma: f64,
+    reelect_every: u64,
+    rounds: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    fn mobile(seed: u64) -> Self {
+        Scenario {
+            nodes: 64,
+            clusters: 4,
+            field: 80.0,
+            faulty: 16,
+            noise_sigma: 1.6,
+            loss: 0.005,
+            drift_sigma: 0.6,
+            reelect_every: 3,
+            rounds: 12,
+            seed,
+        }
+    }
+
+    fn config(&self) -> MultiClusterConfig {
+        MultiClusterConfig::paper().mobile(self.drift_sigma, self.reelect_every)
+    }
+
+    fn behaviors(&self) -> Vec<Box<dyn NodeBehavior + Send>> {
+        let faulty = SimRng::seed_from(self.seed ^ 0xFA).choose_indices(self.nodes, self.faulty);
+        (0..self.nodes)
+            .map(|i| -> Box<dyn NodeBehavior + Send> {
+                if faulty.contains(&i) {
+                    Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+                } else {
+                    Box::new(CorrectNode::new(0.0, self.noise_sigma))
+                }
+            })
+            .collect()
+    }
+
+    fn sequential(&self) -> MultiClusterSim {
+        MultiClusterSim::try_new(
+            self.config(),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn sharded(&self, threads: usize) -> ShardedMultiCluster {
+        ShardedMultiCluster::try_new(
+            self.config(),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+            threads,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn events(&self) -> Vec<Point> {
+        let mut rng = SimRng::seed_from(self.seed ^ 0xE7);
+        (0..self.rounds)
+            .map(|_| {
+                Point::new(
+                    rng.uniform_range(0.0, self.field),
+                    rng.uniform_range(0.0, self.field),
+                )
+            })
+            .collect()
+    }
+
+    fn build(&self, engine: EngineKind) -> Engine {
+        match engine {
+            EngineKind::Sequential => Engine::Seq(self.sequential()),
+            EngineKind::Sharded(threads) => Engine::Par(self.sharded(threads)),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Sequential,
+    Sharded(usize),
+}
+
+/// Uniform driver over both engines so the crash harness is written once.
+enum Engine {
+    Seq(MultiClusterSim),
+    Par(ShardedMultiCluster),
+}
+
+impl Engine {
+    fn run_event(&mut self, event: Point) -> MultiRoundResult {
+        match self {
+            Engine::Seq(e) => e.run_event(event),
+            Engine::Par(e) => e.run_event(event),
+        }
+    }
+
+    fn save(&self) -> Vec<u8> {
+        match self {
+            Engine::Seq(e) => save_sequential(e).expect("scenario is checkpointable"),
+            Engine::Par(e) => save_sharded(e).expect("barrier state is checkpointable"),
+        }
+    }
+
+    fn restore(kind: EngineKind, blob: &[u8]) -> Engine {
+        match kind {
+            EngineKind::Sequential => {
+                Engine::Seq(restore_sequential(blob).expect("own blob restores"))
+            }
+            EngineKind::Sharded(threads) => {
+                Engine::Par(restore_sharded(blob, threads).expect("own blob restores"))
+            }
+        }
+    }
+
+    fn trust_snapshot(&self) -> Vec<u64> {
+        match self {
+            Engine::Seq(e) => e.trust_snapshot(),
+            Engine::Par(e) => e.trust_snapshot(),
+        }
+    }
+
+    fn position_snapshot(&self) -> Vec<(u64, u64)> {
+        match self {
+            Engine::Seq(e) => e.position_snapshot(),
+            Engine::Par(e) => e.position_snapshot(),
+        }
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        match self {
+            Engine::Seq(e) => e.counters(),
+            Engine::Par(e) => e.counters(),
+        }
+    }
+}
+
+/// One round, digested: event fingerprint, declared points (bit-exact),
+/// declaring cluster indices.
+type RoundDigest = (u64, Vec<(u64, u64)>, Vec<usize>);
+
+/// Everything observable about a completed run, rendered for exact
+/// comparison. `csv` is the per-round results table rendered to bytes
+/// exactly as an experiment writer would emit it (bit-exact f64 via hex
+/// bits, so equality really is byte equality, not print rounding).
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutput {
+    results: Vec<RoundDigest>,
+    trust: Vec<u64>,
+    positions: Vec<(u64, u64)>,
+    counters: Vec<(String, u64)>,
+    csv: Vec<u8>,
+}
+
+fn digest(results: &[MultiRoundResult], engine: &Engine) -> RunOutput {
+    let rows: Vec<_> = results
+        .iter()
+        .map(|r| {
+            (
+                r.event.x.to_bits() ^ r.event.y.to_bits(),
+                r.declared
+                    .iter()
+                    .map(|d| (d.x.to_bits(), d.y.to_bits()))
+                    .collect::<Vec<_>>(),
+                r.declaring_clusters.clone(),
+            )
+        })
+        .collect();
+    let mut csv = String::from("round,event_x,event_y,declared,clusters\n");
+    for (round, r) in results.iter().enumerate() {
+        let clusters: Vec<String> = r.declaring_clusters.iter().map(usize::to_string).collect();
+        let declared: Vec<String> = r
+            .declared
+            .iter()
+            .map(|d| format!("{:016x}:{:016x}", d.x.to_bits(), d.y.to_bits()))
+            .collect();
+        writeln!(
+            csv,
+            "{round},{:016x},{:016x},{},{}",
+            r.event.x.to_bits(),
+            r.event.y.to_bits(),
+            declared.join("|"),
+            clusters.join("|"),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    RunOutput {
+        results: rows,
+        trust: engine.trust_snapshot(),
+        positions: engine.position_snapshot(),
+        counters: engine.counters(),
+        csv: csv.into_bytes(),
+    }
+}
+
+/// The reference: run every event with no interruption.
+fn uninterrupted(scenario: &Scenario, kind: EngineKind) -> RunOutput {
+    let mut engine = scenario.build(kind);
+    let results: Vec<_> = scenario
+        .events()
+        .iter()
+        .map(|&e| engine.run_event(e))
+        .collect();
+    digest(&results, &engine)
+}
+
+/// The harness under test: checkpoint every `checkpoint_every` rounds,
+/// kill the engine at the plan's round (discarding everything done since
+/// the last checkpoint, exactly like a dead process), restore under
+/// `resume_kind`, and run to completion.
+///
+/// If the crash lands before the first checkpoint there is nothing to
+/// restore: the harness starts over from round zero, which is the
+/// correct degenerate recovery.
+fn crash_and_resume(
+    scenario: &Scenario,
+    kind: EngineKind,
+    resume_kind: EngineKind,
+    checkpoint_every: u64,
+    plan: CrashPlan,
+) -> RunOutput {
+    let events = scenario.events();
+    let mut engine = scenario.build(kind);
+    let mut checkpoint: Option<(u64, Vec<u8>)> = None;
+    let mut results: Vec<MultiRoundResult> = Vec::new();
+    let mut crashed = false;
+
+    for (round, &event) in events.iter().enumerate() {
+        let completed = round as u64;
+        if plan.kills_after(completed) {
+            crashed = true;
+            break;
+        }
+        results.push(engine.run_event(event));
+        let done = completed + 1;
+        if done.is_multiple_of(checkpoint_every) && (done as usize) < events.len() {
+            checkpoint = Some((done, engine.save()));
+        }
+    }
+    assert!(crashed, "plan must kill inside the horizon");
+
+    // The process is dead: everything not checkpointed is gone.
+    drop(engine);
+    let (resume_round, mut engine) = match &checkpoint {
+        Some((round, blob)) => (*round, Engine::restore(resume_kind, blob)),
+        None => (0, scenario.build(resume_kind)),
+    };
+    results.truncate(resume_round as usize);
+    for &event in &events[resume_round as usize..] {
+        results.push(engine.run_event(event));
+    }
+    digest(&results, &engine)
+}
+
+fn assert_crash_resume_identical(seed: u64, kind: EngineKind, resume_kind: EngineKind) {
+    let scenario = Scenario::mobile(seed);
+    let plan = CrashPlan::seeded(seed, scenario.rounds as u64);
+    let expected = uninterrupted(&scenario, resume_kind);
+    let resumed = crash_and_resume(&scenario, kind, resume_kind, 3, plan);
+    assert_eq!(
+        expected, resumed,
+        "kill-and-resume diverged: seed {seed} kill_round {} {kind:?} -> {resume_kind:?}",
+        plan.kill_round
+    );
+}
+
+#[test]
+fn twenty_seeds_sequential_engine() {
+    for seed in 0..20u64 {
+        assert_crash_resume_identical(2000 + seed, EngineKind::Sequential, EngineKind::Sequential);
+    }
+}
+
+#[test]
+fn twenty_seeds_sharded_one_thread() {
+    for seed in 0..20u64 {
+        assert_crash_resume_identical(
+            2100 + seed,
+            EngineKind::Sharded(1),
+            EngineKind::Sharded(1),
+        );
+    }
+}
+
+#[test]
+fn twenty_seeds_sharded_four_threads() {
+    for seed in 0..20u64 {
+        assert_crash_resume_identical(
+            2200 + seed,
+            EngineKind::Sharded(4),
+            EngineKind::Sharded(4),
+        );
+    }
+}
+
+#[test]
+fn cross_engine_restore_sequential_to_sharded() {
+    // Snapshot under the sequential engine, crash, resume sharded — the
+    // shared blob format makes the direction irrelevant.
+    for seed in 0..20u64 {
+        assert_crash_resume_identical(
+            2300 + seed,
+            EngineKind::Sequential,
+            EngineKind::Sharded(4),
+        );
+    }
+}
+
+#[test]
+fn cross_engine_restore_sharded_to_sequential() {
+    for seed in 0..10u64 {
+        assert_crash_resume_identical(
+            2400 + seed,
+            EngineKind::Sharded(4),
+            EngineKind::Sequential,
+        );
+    }
+}
+
+#[test]
+fn every_kill_round_is_recoverable() {
+    // Not just the seeded rounds: kill after every single round of one
+    // scenario (checkpoints at 1 with every round a boundary) and the
+    // resume must always complete identically.
+    let scenario = Scenario::mobile(4242);
+    for engine in [EngineKind::Sequential, EngineKind::Sharded(2)] {
+        let expected = uninterrupted(&scenario, engine);
+        for kill in 1..scenario.rounds as u64 {
+            let resumed =
+                crash_and_resume(&scenario, engine, engine, 1, CrashPlan::at(kill));
+            assert_eq!(expected, resumed, "kill at {kill} diverged under {engine:?}");
+        }
+    }
+}
+
+/// Two-seed smoke variant for the CI crash-resume job, going through the
+/// real file path: checkpoints land on disk via `write_checkpoint` and
+/// the resume reads them back with `read_checkpoint`.
+#[test]
+fn smoke_two_seeds_through_files() {
+    let dir = std::env::temp_dir().join(format!("tibfit-crash-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    for seed in [7u64, 8u64] {
+        let scenario = Scenario::mobile(seed);
+        let events = scenario.events();
+        let plan = CrashPlan::seeded(seed, scenario.rounds as u64);
+        let path = dir.join(format!("smoke-{seed}.tbsn"));
+
+        let expected = uninterrupted(&scenario, EngineKind::Sharded(2));
+
+        let mut engine = scenario.build(EngineKind::Sharded(2));
+        let mut saved_round = 0u64;
+        let mut results = Vec::new();
+        for (round, &event) in events.iter().enumerate() {
+            if plan.kills_after(round as u64) {
+                break;
+            }
+            results.push(engine.run_event(event));
+            let done = round as u64 + 1;
+            if done.is_multiple_of(2) {
+                write_checkpoint(&path, &engine.save()).expect("checkpoint write succeeds");
+                saved_round = done;
+            }
+        }
+        drop(engine);
+
+        let mut engine = if saved_round > 0 {
+            let blob = read_checkpoint(&path).expect("checkpoint reads back");
+            Engine::restore(EngineKind::Sharded(2), &blob)
+        } else {
+            scenario.build(EngineKind::Sharded(2))
+        };
+        results.truncate(saved_round as usize);
+        for &event in &events[saved_round as usize..] {
+            results.push(engine.run_event(event));
+        }
+        assert_eq!(expected, digest(&results, &engine), "smoke seed {seed}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Nightly differential variant: the sharded engine runs with a
+/// checkpoint/restore cycle injected mid-run at every thread count and
+/// must stay in lockstep with an uninterrupted sequential reference.
+#[test]
+fn differential_with_mid_run_checkpoint() {
+    for seed in 0..5u64 {
+        let scenario = Scenario::mobile(6000 + seed);
+        let events = scenario.events();
+        let expected = uninterrupted(&scenario, EngineKind::Sequential);
+        for threads in [1, 2, 4, 8] {
+            let half = events.len() / 2;
+            let mut par = scenario.sharded(threads);
+            let mut results: Vec<_> =
+                events[..half].iter().map(|&e| par.run_event(e)).collect();
+            // Round-trip through bytes mid-run, then keep going.
+            let blob = save_sharded(&par).expect("barrier state is checkpointable");
+            drop(par);
+            let mut par = restore_sharded(&blob, threads).expect("own blob restores");
+            results.extend(events[half..].iter().map(|&e| par.run_event(e)));
+            let got = digest(&results, &Engine::Par(par));
+            assert_eq!(
+                expected, got,
+                "mid-run checkpoint diverged: seed {seed} threads {threads}"
+            );
+        }
+    }
+}
