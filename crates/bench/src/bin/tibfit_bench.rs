@@ -25,13 +25,18 @@
 //! file — the CI mode, immune to cross-hardware baseline skew. Both
 //! modes also gate checkpoint cost: `snapshot_restore_wall_ms` must stay
 //! under 5% of `exp1_wall_ms`, so resuming a crashed sweep is never a
-//! meaningful fraction of the work it avoids redoing.
+//! meaningful fraction of the work it avoids redoing, and
+//! `daemon_restore_wall_ms` must stay under 75% of daemon cold start +
+//! ingest, so restarting `tibfit-daemon` from snapshots always beats
+//! replaying the stream from scratch.
 
+use std::io::Cursor;
 use std::time::Instant;
 
 use tibfit_adversary::behavior::NodeBehavior;
 use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
 use tibfit_bench::{black_box, format_ns, json_number};
+use tibfit_daemon::{Daemon, DaemonConfig};
 use tibfit_core::engine::{Aggregator, TibfitEngine};
 use tibfit_core::location::LocatedReport;
 use tibfit_core::trust::TrustParams;
@@ -41,6 +46,7 @@ use tibfit_experiments::des::{DesClusterSim, DesConfig};
 use tibfit_experiments::exp1;
 use tibfit_experiments::exp6_scale::{run_exp6, Exp6Config};
 use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
+use tibfit_experiments::replay::{render_replay, replay_records};
 use tibfit_net::channel::BernoulliLoss;
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
@@ -411,6 +417,67 @@ fn run_all(quick: bool) -> Vec<(&'static str, f64)> {
     out.push(("snapshot_save_wall_ms", save_best as f64 / 1e6));
     out.push(("snapshot_restore_wall_ms", restore_best as f64 / 1e6));
 
+    // tibfit-daemon: ingest throughput over a two-tenant mobile
+    // workload (wire parsing, dedup, admission, engine apply, decision
+    // logging, periodic snapshots — the full service path), and the
+    // cost of rebuilding the daemon from its own final snapshots. The
+    // floor gate below pins restore under 75% of cold start + ingest,
+    // so resuming a killed daemon always beats redoing its work.
+    let (daemon_ticks, daemon_per_tick) = if quick { (12u64, 2u32) } else { (40, 4) };
+    let daemon_replay =
+        render_replay(&replay_records(2, 0xDA, daemon_ticks, daemon_per_tick));
+    let daemon_root =
+        std::env::temp_dir().join(format!("tibfit-bench-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&daemon_root);
+    let mut daemon_cfg = DaemonConfig::standard(2, 0xDA, daemon_root.clone());
+    daemon_cfg.snapshot_every = 4;
+    let start = Instant::now();
+    let mut daemon = Daemon::new(daemon_cfg.clone()).expect("bench daemon builds");
+    let daemon_start_ns = start.elapsed().as_nanos().max(1);
+    let start = Instant::now();
+    let daemon_report = daemon
+        .run(Cursor::new(daemon_replay.into_bytes()))
+        .expect("bench stream is clean");
+    let daemon_ingest_ns = start.elapsed().as_nanos().max(1);
+    let applied: u64 = daemon_report.tenants.iter().map(|t| t.applied).sum();
+    assert_eq!(daemon_report.rejected, 0, "bench replay must be clean");
+    assert_eq!(
+        applied,
+        2 * daemon_ticks * u64::from(daemon_per_tick),
+        "bench replay must apply fully"
+    );
+    let daemon_eps = applied as f64 / (daemon_ingest_ns as f64 / 1e9);
+    let daemon_ns_per_event = daemon_ingest_ns as f64 / applied as f64;
+    // Restore: Daemon::new over the populated state directory decodes
+    // every tenant's snapshot and truncates its decision log. The drain
+    // over an empty stream (to join workers cleanly) stays outside the
+    // timer.
+    let restore_samples = if quick { 3 } else { 5 };
+    let mut daemon_restore_ns = u128::MAX;
+    for _ in 0..restore_samples {
+        let start = Instant::now();
+        let mut resumed = Daemon::new(daemon_cfg.clone()).expect("bench daemon resumes");
+        daemon_restore_ns = daemon_restore_ns.min(start.elapsed().as_nanos().max(1));
+        resumed
+            .run(Cursor::new(Vec::new()))
+            .expect("empty drain succeeds");
+    }
+    println!(
+        "daemon: {applied} records / {daemon_ticks} ticks: start {}, ingest {} ({:.2} kev/s, {:.0} ns/event), restore {}",
+        format_ns(daemon_start_ns),
+        format_ns(daemon_ingest_ns),
+        daemon_eps / 1e3,
+        daemon_ns_per_event,
+        format_ns(daemon_restore_ns),
+    );
+    out.push(("daemon_records", applied as f64));
+    out.push(("daemon_start_wall_ms", daemon_start_ns as f64 / 1e6));
+    out.push(("daemon_ingest_wall_ms", daemon_ingest_ns as f64 / 1e6));
+    out.push(("daemon_ingest_events_per_sec", daemon_eps));
+    out.push(("daemon_ingest_ns_per_event", daemon_ns_per_event));
+    out.push(("daemon_restore_wall_ms", daemon_restore_ns as f64 / 1e6));
+    let _ = std::fs::remove_dir_all(&daemon_root);
+
     // Experiment-1 sweep (figures 2 and 3) — the end-to-end wall-time
     // number the perf gate watches. Best of two runs.
     let trials = if quick { 20 } else { 100 };
@@ -520,6 +587,21 @@ fn floor_violations(metrics: &[(&'static str, f64)]) -> Vec<String> {
         if restore > exp1 * 0.05 {
             bad.push(format!(
                 "snapshot_restore_wall_ms: {restore:.3} ms exceeds 5% of exp1_wall_ms ({exp1:.1} ms)"
+            ));
+        }
+    }
+    // Rebuilding the daemon from its final snapshots must beat cold
+    // start + full re-ingest by a clear margin, or restart-from-snapshot
+    // is pointless and the rolling-restart story collapses.
+    if let (Some(restore), Some(start), Some(ingest)) = (
+        get("daemon_restore_wall_ms"),
+        get("daemon_start_wall_ms"),
+        get("daemon_ingest_wall_ms"),
+    ) {
+        let budget = 0.75 * (start + ingest);
+        if restore > budget {
+            bad.push(format!(
+                "daemon_restore_wall_ms: {restore:.3} ms exceeds 75% of start + ingest ({budget:.3} ms)"
             ));
         }
     }

@@ -1,0 +1,98 @@
+//! Seeded exponential backoff with jitter — the retry schedule for
+//! flaky upstream connections and worker restarts.
+//!
+//! Deterministic given its seed (it draws from [`SimRng`]), so tests
+//! can pin the exact schedule while production gets the decorrelation
+//! jitter provides: each delay is uniform in `[base/2, base]` of the
+//! doubling curve, capped.
+
+use std::time::Duration;
+
+use tibfit_sim::rng::SimRng;
+
+/// An iterator of jittered, exponentially growing delays.
+#[derive(Debug, Clone)]
+pub struct JitteredBackoff {
+    rng: SimRng,
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+}
+
+impl JitteredBackoff {
+    /// A schedule starting at `base_ms` (full jitter halves it at
+    /// minimum), doubling per attempt, never exceeding `cap_ms`.
+    #[must_use]
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Self {
+        JitteredBackoff {
+            rng: SimRng::seed_from(seed ^ 0xBAC0_0FF5),
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            attempt: 0,
+        }
+    }
+
+    /// The next delay. Advances the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.base_ms.saturating_mul(1u64 << self.attempt.min(20));
+        let ceiling = exp.min(self.cap_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        let jittered = ceiling / 2 + self.rng.next_u64() % (ceiling / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+
+    /// How many delays have been produced.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets the doubling curve (e.g., after a healthy period) while
+    /// keeping the jitter stream.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let mut a = JitteredBackoff::new(7, 10, 1000);
+        let mut b = JitteredBackoff::new(7, 10, 1000);
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        let mut c = JitteredBackoff::new(8, 10, 1000);
+        let seq_a: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let seq_c: Vec<_> = (0..8).map(|_| c.next_delay()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn delays_grow_but_respect_the_cap() {
+        let mut b = JitteredBackoff::new(1, 10, 160);
+        let mut last_ceiling = 0;
+        for attempt in 0..12 {
+            let d = b.next_delay().as_millis() as u64;
+            let ceiling = (10u64 << attempt.min(20)).min(160);
+            assert!(d >= ceiling / 2, "attempt {attempt}: {d} below half-ceiling");
+            assert!(d <= ceiling, "attempt {attempt}: {d} above ceiling");
+            last_ceiling = ceiling;
+        }
+        assert_eq!(last_ceiling, 160);
+    }
+
+    #[test]
+    fn reset_restarts_the_curve() {
+        let mut b = JitteredBackoff::new(3, 10, 10_000);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        b.reset();
+        assert!(b.next_delay().as_millis() <= 10);
+        assert_eq!(b.attempts(), 1);
+    }
+}

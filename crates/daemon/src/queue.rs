@@ -1,0 +1,619 @@
+//! Bounded per-tenant ingest queues with explicit backpressure,
+//! deterministic load-shedding, idempotent dedup, and a recovery
+//! replay buffer.
+//!
+//! ## Admission model
+//!
+//! Records accumulate in a *pending* set while a tick is open. When
+//! the router sees a `T` frame it calls [`SharedQueue::end_tick`],
+//! which:
+//!
+//! 1. **Waits** until the worker has fully applied every previously
+//!    issued batch (explicit backpressure — the router stops consuming
+//!    input, which propagates to the upstream socket, instead of
+//!    letting the queue grow). Each wait is counted.
+//! 2. **Admits** at most `tick_budget` pending records, chosen by
+//!    highest *trust impact* (how many deployed nodes can sense the
+//!    stimulus), ties broken by the stable `(time, src, seq)` key.
+//!    Admitted records are applied in `(time, src, seq)` order.
+//! 3. **Sheds** the rest, counting every one (and logging its key when
+//!    shed recording is on).
+//! 4. **Advances the dedup highwater of every offered record — shed or
+//!    admitted.** This is the crash-replay linchpin: a restarted
+//!    upstream re-streams the whole file, and a record that was shed in
+//!    the first life must not be resurrected in the second (it would no
+//!    longer compete against its original tick batch and the runs would
+//!    diverge). Highwaters are snapshotted atomically with engine
+//!    state, so the shed set is a function of `(seed, stream)` alone —
+//!    independent of queue capacity (any capacity ≥ budget) and of
+//!    where a crash lands.
+//!
+//! Because admission happens only after a full drain, the worker
+//! observes every batch against the same engine state in every life of
+//! the process — the property the differential shedding tests pin.
+//!
+//! ## Recovery buffer
+//!
+//! Every issued item is also appended to a *replay buffer* that is
+//! cleared only when the worker commits a snapshot. If the worker
+//! wedges or panics, the supervisor rebuilds the tenant from its last
+//! snapshot and replays the buffer — zero records lost, no dependence
+//! on the upstream still having them. Snapshots are suppressed while
+//! replaying (the live highwater map is ahead of the buffer cursor, so
+//! a mid-replay snapshot would pair an old engine state with future
+//! highwaters).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::wire::{Query, Report};
+
+/// Sizing and accounting policy for one tenant's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Hard bound on issued-but-unapplied records.
+    pub capacity: usize,
+    /// Records admitted per tick; the rest of the tick's offers shed.
+    pub tick_budget: usize,
+    /// Keep a log of shed `(tick, src, seq)` keys (tests; costs memory
+    /// proportional to total sheds).
+    pub record_shed: bool,
+}
+
+impl QueuePolicy {
+    /// Validates the policy: capacity must cover a full budget.
+    ///
+    /// # Errors
+    ///
+    /// A static description when `capacity < tick_budget` or either is
+    /// zero.
+    pub fn validated(self) -> Result<Self, &'static str> {
+        if self.tick_budget == 0 {
+            return Err("tick_budget must be at least 1");
+        }
+        if self.capacity < self.tick_budget {
+            return Err("queue capacity must be at least the tick budget");
+        }
+        Ok(self)
+    }
+
+    /// Pending records tolerated while a tick is open; beyond this the
+    /// newest offer is shed on arrival (arrival-order tail drop,
+    /// deterministic for a deterministic stream).
+    #[must_use]
+    pub fn pending_cap(&self) -> usize {
+        self.capacity.saturating_mul(16)
+    }
+}
+
+/// One unit of work handed to a tenant worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkItem {
+    /// Apply a sensor report to the engine.
+    Record(Report),
+    /// Tick boundary `n`: flush the decision log, maybe snapshot,
+    /// acknowledge the drain.
+    TickEnd(u64),
+    /// Answer a read-only query on stdout.
+    Query(Query),
+    /// Flush, snapshot, and exit cleanly.
+    Shutdown,
+}
+
+/// What happened to an offered record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Entered the pending set; admission decided at tick end.
+    Pending,
+    /// Already seen (at or below the dedup highwater, or already
+    /// pending) — dropped idempotently.
+    Duplicate,
+    /// Pending set at cap — shed on arrival.
+    Overflow,
+}
+
+/// Counters mirrored into snapshots and the final report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Records offered (post-parse, pre-dedup).
+    pub offered: u64,
+    /// Records admitted to the engine.
+    pub admitted: u64,
+    /// Records shed by budget admission at tick end.
+    pub shed_budget: u64,
+    /// Records shed on arrival by the pending cap.
+    pub shed_overflow: u64,
+    /// Idempotent duplicate drops.
+    pub duplicates: u64,
+    /// Times the router blocked waiting for the worker to drain.
+    pub backpressure_waits: u64,
+}
+
+impl QueueStats {
+    /// Total records shed for any reason.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_budget + self.shed_overflow
+    }
+}
+
+/// Outcome of closing one tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickAdmission {
+    /// Records admitted this tick.
+    pub admitted: usize,
+    /// Records shed by budget this tick.
+    pub shed: usize,
+}
+
+struct QueueState {
+    pending: Vec<Report>,
+    pending_keys: BTreeSet<(u64, u64)>,
+    overflow_keys: Vec<(u64, u64)>,
+    ready: VecDeque<WorkItem>,
+    replay: Vec<WorkItem>,
+    queries: Vec<Query>,
+    highwater: BTreeMap<u64, u64>,
+    issued_ticks: u64,
+    completed_ticks: u64,
+    stats: QueueStats,
+    shed_log: Vec<(u64, u64, u64)>,
+    closed: bool,
+}
+
+/// A tenant's ingest queue, shared between the router, its worker, and
+/// the watchdog. All waits are condvar-based; poisoned locks are
+/// recovered (state is reconstructed from snapshots on worker failure,
+/// so a panicking lock-holder cannot corrupt an invariant that
+/// matters).
+pub struct SharedQueue {
+    policy: QueuePolicy,
+    state: Mutex<QueueState>,
+    work_available: Condvar,
+    drained: Condvar,
+}
+
+impl SharedQueue {
+    /// Creates an empty queue under `policy`.
+    #[must_use]
+    pub fn new(policy: QueuePolicy) -> Self {
+        SharedQueue {
+            policy,
+            state: Mutex::new(QueueState {
+                pending: Vec::new(),
+                pending_keys: BTreeSet::new(),
+                overflow_keys: Vec::new(),
+                ready: VecDeque::new(),
+                replay: Vec::new(),
+                queries: Vec::new(),
+                highwater: BTreeMap::new(),
+                issued_ticks: 0,
+                completed_ticks: 0,
+                stats: QueueStats::default(),
+                shed_log: Vec::new(),
+                closed: false,
+            }),
+            work_available: Condvar::new(),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// The queue's sizing policy.
+    #[must_use]
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Seeds the dedup highwaters (restore path: the snapshot's map).
+    pub fn seed_highwater(&self, entries: impl IntoIterator<Item = (u64, u64)>) {
+        let mut st = self.lock();
+        for (src, seq) in entries {
+            let hw = st.highwater.entry(src).or_insert(0);
+            *hw = (*hw).max(seq);
+        }
+    }
+
+    /// Seeds the mirrored counters (restore path).
+    pub fn seed_stats(&self, stats: QueueStats) {
+        self.lock().stats = stats;
+    }
+
+    /// Offers a record. Never blocks.
+    pub fn offer(&self, report: Report) -> Offer {
+        let mut st = self.lock();
+        st.stats.offered += 1;
+        let key = (report.src, report.seq);
+        let seen = st.highwater.get(&report.src).copied().unwrap_or(0) >= report.seq;
+        if seen || st.pending_keys.contains(&key) {
+            st.stats.duplicates += 1;
+            return Offer::Duplicate;
+        }
+        if st.pending.len() >= self.policy.pending_cap() {
+            st.stats.shed_overflow += 1;
+            st.overflow_keys.push(key);
+            if self.policy.record_shed {
+                let tick = st.issued_ticks + 1;
+                st.shed_log.push((tick, report.src, report.seq));
+            }
+            return Offer::Overflow;
+        }
+        st.pending.push(report);
+        st.pending_keys.insert(key);
+        Offer::Pending
+    }
+
+    /// Queues a read-only query; flushed to the worker at the next tick
+    /// boundary (answers reflect end-of-tick state).
+    pub fn offer_query(&self, query: Query) {
+        self.lock().queries.push(query);
+    }
+
+    /// Closes tick `tick`: waits for the worker to drain all previously
+    /// issued work (backpressure), admits up to the budget by greatest
+    /// `impact`, sheds and highwaters the rest, then issues the batch.
+    ///
+    /// `impact` is evaluated after the drain, so it sees the engine's
+    /// settled end-of-previous-tick positions — identical in every life
+    /// of the process and in both engines.
+    pub fn end_tick(&self, tick: u64, impact: impl Fn(&Report) -> u64) -> TickAdmission {
+        let mut st = self.lock();
+        if st.issued_ticks != st.completed_ticks {
+            st.stats.backpressure_waits += 1;
+            while st.issued_ticks != st.completed_ticks && !st.closed {
+                st = self
+                    .drained
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if st.closed {
+            return TickAdmission::default();
+        }
+
+        // Merge arrival-overflow keys now that the worker is quiescent:
+        // highwater mutations happen only here, strictly between the
+        // worker's tick-boundary snapshots.
+        let overflow: Vec<(u64, u64)> = std::mem::take(&mut st.overflow_keys);
+        for (src, seq) in overflow {
+            let hw = st.highwater.entry(src).or_insert(0);
+            *hw = (*hw).max(seq);
+        }
+
+        let mut batch = std::mem::take(&mut st.pending);
+        st.pending_keys.clear();
+        let mut ranked: Vec<(u64, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (impact(r), i))
+            .collect();
+        ranked.sort_by(|(ia, a), (ib, b)| {
+            ib.cmp(ia).then_with(|| {
+                let ra = &batch[*a];
+                let rb = &batch[*b];
+                (ra.time, ra.src, ra.seq).cmp(&(rb.time, rb.src, rb.seq))
+            })
+        });
+        let admit = self.policy.tick_budget.min(ranked.len());
+        let mut admitted_idx: Vec<usize> = ranked[..admit].iter().map(|&(_, i)| i).collect();
+        admitted_idx.sort_by_key(|&i| (batch[i].time, batch[i].src, batch[i].seq));
+
+        let outcome = TickAdmission {
+            admitted: admit,
+            shed: ranked.len() - admit,
+        };
+        for &(_, i) in &ranked[admit..] {
+            let r = &batch[i];
+            let hw = st.highwater.entry(r.src).or_insert(0);
+            *hw = (*hw).max(r.seq);
+            if self.policy.record_shed {
+                st.shed_log.push((tick, r.src, r.seq));
+            }
+        }
+        st.stats.shed_budget += outcome.shed as u64;
+        st.stats.admitted += outcome.admitted as u64;
+
+        let mut items: Vec<WorkItem> = Vec::with_capacity(admit + 2);
+        for i in admitted_idx {
+            let r = std::mem::replace(
+                &mut batch[i],
+                Report {
+                    tenant: 0,
+                    time: 0,
+                    src: 0,
+                    seq: 0,
+                    x: 0.0,
+                    y: 0.0,
+                },
+            );
+            let hw = st.highwater.entry(r.src).or_insert(0);
+            *hw = (*hw).max(r.seq);
+            items.push(WorkItem::Record(r));
+        }
+        let queries = std::mem::take(&mut st.queries);
+        items.extend(queries.into_iter().map(WorkItem::Query));
+        items.push(WorkItem::TickEnd(tick));
+
+        for item in items {
+            // Queries are transient reads: re-answering them after a
+            // worker restart would double-print, so they stay out of
+            // the recovery buffer.
+            if !matches!(item, WorkItem::Query(_)) {
+                st.replay.push(item.clone());
+            }
+            st.ready.push_back(item);
+        }
+        st.issued_ticks = tick;
+        drop(st);
+        self.work_available.notify_all();
+        outcome
+    }
+
+    /// Blocks until a work item is available (or the queue is closed),
+    /// then pops it. `None` means closed-and-empty: exit.
+    pub fn pop(&self) -> Option<WorkItem> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.ready.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .work_available
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Worker acknowledgment that tick `tick` (and everything issued
+    /// before it) is fully applied. Unblocks [`SharedQueue::end_tick`].
+    pub fn complete_tick(&self, tick: u64) {
+        let mut st = self.lock();
+        st.completed_ticks = st.completed_ticks.max(tick);
+        drop(st);
+        self.drained.notify_all();
+    }
+
+    /// Clears the recovery buffer — called by the worker immediately
+    /// after a snapshot reaches disk, while the router is parked in the
+    /// drain wait, so buffer contents always postdate the last durable
+    /// snapshot.
+    pub fn snapshot_committed(&self) {
+        self.lock().replay.clear();
+    }
+
+    /// The dedup highwaters and counters, cloned for a snapshot. Only
+    /// meaningful at a tick boundary (which is when workers call it).
+    #[must_use]
+    pub fn snapshot_view(&self) -> (Vec<(u64, u64)>, QueueStats) {
+        let st = self.lock();
+        (
+            st.highwater.iter().map(|(&s, &q)| (s, q)).collect(),
+            st.stats,
+        )
+    }
+
+    /// Crash recovery: clears undelivered work (the replacement will
+    /// regenerate it from the buffer) and returns a clone of the
+    /// recovery buffer. The buffer itself is retained until the next
+    /// snapshot commit, so repeated failures replay from the same base.
+    #[must_use]
+    pub fn recovery_view(&self) -> Vec<WorkItem> {
+        let mut st = self.lock();
+        st.ready.clear();
+        st.replay.clone()
+    }
+
+    /// Closes the queue after pushing a [`WorkItem::Shutdown`]: the
+    /// worker drains remaining work, then exits.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.ready.push_back(WorkItem::Shutdown);
+        st.closed = true;
+        drop(st);
+        self.work_available.notify_all();
+        self.drained.notify_all();
+    }
+
+    /// Whether issued work is still unapplied — the watchdog's "should
+    /// the worker be making progress?" predicate.
+    #[must_use]
+    pub fn has_outstanding(&self) -> bool {
+        let st = self.lock();
+        st.issued_ticks != st.completed_ticks || !st.ready.is_empty()
+    }
+
+    /// Quarantine path: drops undelivered work and marks every issued
+    /// tick complete so a router parked in [`SharedQueue::end_tick`]'s
+    /// drain wait is released. The recovery buffer is kept — a later
+    /// reintegration replays it — so nothing already admitted is lost.
+    pub fn abandon_tick(&self) {
+        let mut st = self.lock();
+        st.ready.clear();
+        st.completed_ticks = st.issued_ticks;
+        drop(st);
+        self.drained.notify_all();
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+
+    /// The shed-key log `(tick, src, seq)` — empty unless
+    /// [`QueuePolicy::record_shed`] is set.
+    #[must_use]
+    pub fn shed_log(&self) -> Vec<(u64, u64, u64)> {
+        self.lock().shed_log.clone()
+    }
+
+    /// Pending records in the open tick (tests / drain accounting).
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.lock().pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: u64, seq: u64, x: f64) -> Report {
+        Report {
+            tenant: 0,
+            time: 0,
+            src,
+            seq,
+            x,
+            y: 0.0,
+        }
+    }
+
+    fn policy(capacity: usize, budget: usize) -> QueuePolicy {
+        QueuePolicy {
+            capacity,
+            tick_budget: budget,
+            record_shed: true,
+        }
+        .validated()
+        .unwrap()
+    }
+
+    #[test]
+    fn admission_prefers_impact_then_stream_order() {
+        let q = SharedQueue::new(policy(8, 2));
+        q.offer(report(1, 1, 1.0));
+        q.offer(report(1, 2, 9.0));
+        q.offer(report(1, 3, 9.0));
+        q.offer(report(1, 4, 5.0));
+        // impact = x as a stand-in metric.
+        let out = q.end_tick(1, |r| r.x as u64);
+        assert_eq!(out, TickAdmission { admitted: 2, shed: 2 });
+        // The two x=9 records win; applied in (time, src, seq) order.
+        assert_eq!(
+            q.pop(),
+            Some(WorkItem::Record(report(1, 2, 9.0)))
+        );
+        assert_eq!(
+            q.pop(),
+            Some(WorkItem::Record(report(1, 3, 9.0)))
+        );
+        assert_eq!(q.pop(), Some(WorkItem::TickEnd(1)));
+        assert_eq!(q.shed_log(), vec![(1, 1, 4), (1, 1, 1)]);
+    }
+
+    #[test]
+    fn shed_records_raise_the_highwater() {
+        let q = SharedQueue::new(policy(4, 1));
+        q.offer(report(7, 1, 0.0));
+        q.offer(report(7, 2, 5.0));
+        q.end_tick(1, |r| r.x as u64);
+        // seq 1 was shed — but re-offering it is still a duplicate.
+        assert_eq!(q.offer(report(7, 1, 0.0)), Offer::Duplicate);
+        assert_eq!(q.offer(report(7, 2, 5.0)), Offer::Duplicate);
+        assert_eq!(q.offer(report(7, 3, 1.0)), Offer::Pending);
+        assert_eq!(q.stats().duplicates, 2);
+    }
+
+    #[test]
+    fn pending_dedup_catches_same_tick_replays() {
+        let q = SharedQueue::new(policy(4, 4));
+        assert_eq!(q.offer(report(1, 1, 0.0)), Offer::Pending);
+        assert_eq!(q.offer(report(1, 1, 0.0)), Offer::Duplicate);
+        assert_eq!(q.pending_len(), 1);
+    }
+
+    #[test]
+    fn pending_overflow_sheds_on_arrival_and_dedups_later() {
+        let q = SharedQueue::new(policy(1, 1));
+        for seq in 1..=16 {
+            assert_eq!(q.offer(report(1, seq, 0.0)), Offer::Pending);
+        }
+        assert_eq!(q.offer(report(1, 17, 0.0)), Offer::Overflow);
+        let out = q.end_tick(1, |_| 0);
+        assert_eq!(out.admitted, 1);
+        assert_eq!(out.shed, 15);
+        // The overflow-shed record is highwatered like any other.
+        assert_eq!(q.offer(report(1, 17, 0.0)), Offer::Duplicate);
+        assert_eq!(q.stats().shed_overflow, 1);
+        assert_eq!(q.stats().shed_budget, 15);
+    }
+
+    #[test]
+    fn recovery_buffer_replays_since_last_snapshot() {
+        let q = SharedQueue::new(policy(8, 8));
+        q.offer(report(1, 1, 0.0));
+        q.end_tick(1, |_| 0);
+        // Worker applies tick 1 and commits a snapshot.
+        while let Some(item) = q.pop() {
+            if matches!(item, WorkItem::TickEnd(_)) {
+                break;
+            }
+        }
+        q.complete_tick(1);
+        q.snapshot_committed();
+        // Tick 2 issued but the worker wedges mid-batch.
+        q.offer(report(1, 2, 0.0));
+        q.offer(report(1, 3, 0.0));
+        q.end_tick(2, |_| 0);
+        let _ = q.pop(); // worker consumed one record, then died
+        let buffer = q.recovery_view();
+        assert_eq!(
+            buffer,
+            vec![
+                WorkItem::Record(report(1, 2, 0.0)),
+                WorkItem::Record(report(1, 3, 0.0)),
+                WorkItem::TickEnd(2),
+            ]
+        );
+        // Undelivered work was cleared — the replacement replays the
+        // buffer instead.
+        q.close();
+        assert_eq!(q.pop(), Some(WorkItem::Shutdown));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_unblocks_pop_and_end_tick() {
+        let q = std::sync::Arc::new(SharedQueue::new(policy(4, 1)));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Some(WorkItem::Shutdown));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.end_tick(5, |_| 0), TickAdmission::default());
+    }
+
+    #[test]
+    fn queries_flush_at_tick_end_but_skip_the_replay_buffer() {
+        let q = SharedQueue::new(policy(4, 4));
+        q.offer_query(Query::Round { tenant: 0 });
+        q.offer(report(1, 1, 0.0));
+        q.end_tick(1, |_| 0);
+        assert_eq!(q.pop(), Some(WorkItem::Record(report(1, 1, 0.0))));
+        assert_eq!(q.pop(), Some(WorkItem::Query(Query::Round { tenant: 0 })));
+        assert_eq!(q.pop(), Some(WorkItem::TickEnd(1)));
+        let buffer = q.recovery_view();
+        assert!(!buffer.iter().any(|i| matches!(i, WorkItem::Query(_))));
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        assert!(QueuePolicy { capacity: 0, tick_budget: 1, record_shed: false }
+            .validated()
+            .is_err());
+        assert!(QueuePolicy { capacity: 4, tick_budget: 0, record_shed: false }
+            .validated()
+            .is_err());
+        assert!(QueuePolicy { capacity: 2, tick_budget: 4, record_shed: false }
+            .validated()
+            .is_err());
+    }
+}

@@ -1,0 +1,996 @@
+//! The daemon proper: per-tenant worker threads, the router that feeds
+//! them, and the watchdog that restarts them.
+//!
+//! ## Threads
+//!
+//! - **Router** (the caller of [`Daemon::run`]): reads frames, offers
+//!   records to tenant queues, closes ticks (which applies
+//!   backpressure — see `queue`), and honours shutdown requests.
+//! - **Workers** (one per tenant): pop admitted work, run engine
+//!   rounds, append decision lines, snapshot on a tick cadence.
+//! - **Watchdog**: an Impact-style failure detector. Each tenant
+//!   carries a trust level `e^(-λ·v)` where `v` counts consecutive
+//!   missed progress checks (a check is missed when the heartbeat did
+//!   not advance *and* work is outstanding — an idle worker is
+//!   healthy). A worker whose trust falls under the floor, or whose
+//!   thread has died, is restarted from its last snapshot plus the
+//!   queue's recovery buffer — zero admitted records lost. A tenant
+//!   that keeps failing is quarantined (its ingest shed, its tick
+//!   barrier released so other tenants keep flowing), then
+//!   reintegrated on probation after a cool-down.
+//!
+//! ## Decision-log epochs
+//!
+//! A wedged worker may come back to life *after* its replacement has
+//! truncated and reopened the decision log; its buffered lines must
+//! not reach the file. All log writes go through a [`LogSink`] guarded
+//! by an epoch number — writes from a superseded incarnation are
+//! silently dropped.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tibfit_experiments::replay::{tenant_seed, FieldScenario};
+use tibfit_faults::ProcessCrashPlan;
+use tibfit_sim::shutdown;
+
+use crate::backoff::JitteredBackoff;
+use crate::queue::{QueuePolicy, QueueStats, SharedQueue, WorkItem};
+use crate::state::{
+    decision_log_path, encode_tenant_state, read_tenant_state, tenant_state_path,
+    truncate_decision_log, write_tenant_state,
+};
+use crate::tenant::{EngineKind, PositionView, Tenant};
+use crate::wire::{parse_line, Frame, IngestError, Query, Report};
+use crate::DaemonError;
+
+/// Impact-style watchdog tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogPolicy {
+    /// Milliseconds between progress checks.
+    pub check_interval_ms: u64,
+    /// Trust decay per missed check: trust = `e^(-lambda * misses)`.
+    pub lambda: f64,
+    /// Suspect (and restart) a worker whose trust falls below this.
+    pub trust_floor: f64,
+    /// Sliding window, in checks, for counting restarts.
+    pub crash_loop_window: u64,
+    /// Restarts within the window that trigger quarantine.
+    pub crash_loop_limit: usize,
+    /// Quarantine cool-down and probation length, in checks.
+    pub probation_checks: u64,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            check_interval_ms: 20,
+            lambda: 0.6,
+            trust_floor: 0.25,
+            crash_loop_window: 500,
+            crash_loop_limit: 3,
+            probation_checks: 25,
+        }
+    }
+}
+
+impl WatchdogPolicy {
+    /// Checks a worker must miss before its trust crosses the floor.
+    #[must_use]
+    pub fn misses_to_suspect(&self) -> u32 {
+        let mut v = 0u32;
+        while (-self.lambda * f64::from(v + 1)).exp() >= self.trust_floor && v < 1_000 {
+            v += 1;
+        }
+        v + 1
+    }
+}
+
+/// Test-only fault injection for a tenant worker (compiled in, never
+/// reachable from the CLI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// First incarnation wedges (stops heartbeating, holds no locks)
+    /// just before applying this round.
+    pub wedge_at_round: Option<u64>,
+    /// Incarnations below `fail_incarnations` panic just before
+    /// applying this round.
+    pub panic_at_round: Option<u64>,
+    /// How many incarnations the panic applies to (crash-loop length).
+    pub fail_incarnations: u64,
+}
+
+/// Full daemon configuration.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Hosted field count.
+    pub tenants: usize,
+    /// Master seed; tenant `t` runs scenario seed
+    /// [`tenant_seed`]`(master_seed, t)`.
+    pub master_seed: u64,
+    /// Engine flavor for every tenant.
+    pub engine: EngineKind,
+    /// Worker threads per sharded engine.
+    pub threads: usize,
+    /// Per-tenant queue sizing.
+    pub queue: QueuePolicy,
+    /// Snapshot every N ticks (≥ 1).
+    pub snapshot_every: u64,
+    /// Tenant state files live here.
+    pub state_dir: PathBuf,
+    /// Decision logs live here.
+    pub decisions_dir: PathBuf,
+    /// Watchdog tuning.
+    pub watchdog: WatchdogPolicy,
+    /// Builds a tenant's scenario from its seed (tests swap in smaller
+    /// fields; production uses [`FieldScenario::mobile`]).
+    pub scenario: fn(u64) -> FieldScenario,
+    /// Deterministic process-kill hook (crash harness).
+    pub crash_plan: ProcessCrashPlan,
+    /// Stop ingesting and drain cleanly after this many ticks
+    /// (rolling-restart harness).
+    pub drain_after_ticks: Option<u64>,
+    /// Per-tenant injected worker faults (tests).
+    pub faults: Vec<(usize, WorkerFault)>,
+}
+
+impl DaemonConfig {
+    /// A standard configuration rooted at `state_dir`.
+    #[must_use]
+    pub fn standard(tenants: usize, master_seed: u64, state_dir: PathBuf) -> Self {
+        let decisions_dir = state_dir.join("decisions");
+        DaemonConfig {
+            tenants,
+            master_seed,
+            engine: EngineKind::Sequential,
+            threads: 2,
+            queue: QueuePolicy {
+                capacity: 1024,
+                tick_budget: 64,
+                record_shed: false,
+            },
+            snapshot_every: 4,
+            state_dir,
+            decisions_dir,
+            watchdog: WatchdogPolicy::default(),
+            scenario: FieldScenario::mobile,
+            crash_plan: ProcessCrashPlan::disabled(),
+            drain_after_ticks: None,
+            faults: Vec::new(),
+        }
+    }
+
+    fn validated(&self) -> Result<(), DaemonError> {
+        if self.tenants == 0 {
+            return Err(DaemonError::Config("at least one tenant required".into()));
+        }
+        if self.threads == 0 {
+            return Err(DaemonError::Config("threads must be at least 1".into()));
+        }
+        if self.snapshot_every == 0 {
+            return Err(DaemonError::Config("snapshot-every must be at least 1".into()));
+        }
+        self.queue
+            .validated()
+            .map_err(|e| DaemonError::Config(e.into()))?;
+        Ok(())
+    }
+
+    fn fault_for(&self, id: usize) -> WorkerFault {
+        self.faults
+            .iter()
+            .find(|(t, _)| *t == id)
+            .map(|&(_, f)| f)
+            .unwrap_or_default()
+    }
+}
+
+/// Epoch-guarded append sink for one tenant's decision log.
+pub struct LogSink {
+    path: PathBuf,
+    epoch: u64,
+    file: Option<BufWriter<File>>,
+}
+
+impl LogSink {
+    fn new(path: PathBuf) -> Self {
+        LogSink {
+            path,
+            epoch: 0,
+            file: None,
+        }
+    }
+
+    /// Supersedes the current epoch (dropping its unflushed buffer —
+    /// the recovery replay regenerates those lines) and reopens the
+    /// file for appending. Returns the new epoch.
+    fn reopen(&mut self) -> Result<u64, DaemonError> {
+        // Drop, don't flush: the old buffer may hold lines the
+        // truncation just removed.
+        if let Some(old) = self.file.take() {
+            let _ = old.into_parts();
+        }
+        self.epoch += 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(DaemonError::Io)?;
+        self.file = Some(BufWriter::new(file));
+        Ok(self.epoch)
+    }
+
+    fn write_line(&mut self, epoch: u64, line: &str) -> Result<(), DaemonError> {
+        if epoch != self.epoch {
+            return Ok(());
+        }
+        if let Some(f) = self.file.as_mut() {
+            f.write_all(line.as_bytes()).map_err(DaemonError::Io)?;
+            f.write_all(b"\n").map_err(DaemonError::Io)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, epoch: u64) -> Result<(), DaemonError> {
+        if epoch != self.epoch {
+            return Ok(());
+        }
+        if let Some(f) = self.file.as_mut() {
+            f.flush().map_err(DaemonError::Io)?;
+        }
+        Ok(())
+    }
+}
+
+/// Health state byte shared with the router.
+const HEALTH_ACTIVE: u8 = 0;
+const HEALTH_QUARANTINED: u8 = 1;
+const HEALTH_PROBATION: u8 = 2;
+
+/// Counters and flags shared by router, worker, and watchdog.
+struct SlotShared {
+    heartbeat: AtomicU64,
+    applied: AtomicU64,
+    shed_quarantine: AtomicU64,
+    health: AtomicU8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Active,
+    Quarantined { until_check: u64 },
+    Probation { until_check: u64 },
+}
+
+struct SlotCore {
+    id: usize,
+    queue: Arc<SharedQueue>,
+    shared: Arc<SlotShared>,
+    sink: Arc<Mutex<LogSink>>,
+    positions: Arc<PositionView>,
+    cancel: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Result<(), DaemonError>>>,
+    health: Health,
+    misses: u32,
+    last_heartbeat: u64,
+    incarnation: u64,
+    restarts: u64,
+    restart_checks: VecDeque<u64>,
+    last_error: Option<String>,
+}
+
+struct SupervisorShared {
+    slots: Mutex<Vec<SlotCore>>,
+    stop: AtomicBool,
+    /// Minimum observed Σ-trust across checks, as f64 bits.
+    min_impact_bits: AtomicU64,
+}
+
+fn lock_slots(sup: &SupervisorShared) -> MutexGuard<'_, Vec<SlotCore>> {
+    sup.slots.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-tenant wrap-up in the final report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant index.
+    pub id: usize,
+    /// Event rounds applied across all incarnations of this process.
+    pub applied: u64,
+    /// Queue counters (offered/admitted/shed/duplicates/waits).
+    pub stats: QueueStats,
+    /// Records dropped while the tenant was quarantined.
+    pub shed_quarantine: u64,
+    /// Worker restarts performed by the watchdog.
+    pub restarts: u64,
+    /// Whether the tenant ended the run quarantined.
+    pub quarantined: bool,
+    /// Last worker error, if any incarnation failed with one.
+    pub last_error: Option<String>,
+}
+
+/// What a completed run did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonReport {
+    /// Ticks closed.
+    pub ticks: u64,
+    /// Lines rejected by the parser, total.
+    pub rejected: u64,
+    /// Rejection breakdown by [`IngestError::kind`].
+    pub rejected_by_kind: Vec<(String, u64)>,
+    /// Per-tenant summaries, tenant order.
+    pub tenants: Vec<TenantSummary>,
+    /// Whether ingest ended by a drain request (signal or
+    /// `drain_after_ticks`) rather than end-of-stream.
+    pub drained_early: bool,
+    /// Minimum Σ(e^(-λ·v))/tenants the watchdog observed — 1.0 means
+    /// no tenant ever missed a progress check.
+    pub min_impact_trust: f64,
+}
+
+struct WorkerTask {
+    incarnation: u64,
+    tenant: Tenant,
+    queue: Arc<SharedQueue>,
+    shared: Arc<SlotShared>,
+    sink: Arc<Mutex<LogSink>>,
+    epoch: u64,
+    cancel: Arc<AtomicBool>,
+    state_path: PathBuf,
+    snapshot_every: u64,
+    fault: WorkerFault,
+    recovery: Vec<WorkItem>,
+    backoff_seed: u64,
+}
+
+enum Step {
+    Continue,
+    Exit,
+}
+
+fn lock_sink(sink: &Mutex<LogSink>) -> MutexGuard<'_, LogSink> {
+    sink.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_snapshot(task: &WorkerTask) -> Result<(), DaemonError> {
+    let (highwater, stats) = task.queue.snapshot_view();
+    let bytes = encode_tenant_state(&task.tenant, &highwater, stats)?;
+    let mut backoff = JitteredBackoff::new(task.backoff_seed, 2, 64);
+    let mut attempts = 0u32;
+    loop {
+        match write_tenant_state(&task.state_path, &bytes) {
+            Ok(()) => {
+                task.queue.snapshot_committed();
+                return Ok(());
+            }
+            Err(e) if attempts < 3 => {
+                attempts += 1;
+                std::thread::sleep(backoff.next_delay());
+                let _ = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn answer_query(tenant: &Tenant, query: Query) {
+    match query {
+        Query::Trust { tenant: id, node } => match tenant.trust_of(node) {
+            Some(v) => println!("A trust {id} {node} {v}"),
+            None => println!("A trust {id} {node} -"),
+        },
+        Query::Round { tenant: id } => println!("A round {id} {}", tenant.round()),
+    }
+}
+
+fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Step, DaemonError> {
+    match item {
+        WorkItem::Record(r) => {
+            let next_round = task.tenant.round() + 1;
+            if task.fault.wedge_at_round == Some(next_round) && task.incarnation == 0 {
+                while !task.cancel.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return Ok(Step::Exit);
+            }
+            if task.fault.panic_at_round == Some(next_round)
+                && task.incarnation < task.fault.fail_incarnations
+            {
+                panic!(
+                    "injected worker fault: tenant round {next_round}, incarnation {}",
+                    task.incarnation
+                );
+            }
+            let line = task.tenant.apply(&r);
+            lock_sink(&task.sink).write_line(task.epoch, &line)?;
+            task.shared.applied.fetch_add(1, Ordering::SeqCst);
+            task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
+        }
+        WorkItem::TickEnd(t) => {
+            lock_sink(&task.sink).flush(task.epoch)?;
+            // Snapshots are suppressed during recovery replay: the live
+            // highwater map is ahead of the replay cursor, and pairing
+            // it with a mid-replay engine state would poison a later
+            // process restart.
+            if live && t % task.snapshot_every == 0 {
+                write_snapshot(task)?;
+            }
+            task.queue.complete_tick(t);
+            task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
+        }
+        WorkItem::Query(q) => {
+            answer_query(&task.tenant, q);
+            task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
+        }
+        WorkItem::Shutdown => {
+            lock_sink(&task.sink).flush(task.epoch)?;
+            write_snapshot(task)?;
+            return Ok(Step::Exit);
+        }
+    }
+    Ok(Step::Continue)
+}
+
+fn run_worker(mut task: WorkerTask) -> Result<(), DaemonError> {
+    let recovery = std::mem::take(&mut task.recovery);
+    for item in recovery {
+        if let Step::Exit = process_item(&mut task, item, false)? {
+            return Ok(());
+        }
+    }
+    loop {
+        let Some(item) = task.queue.pop() else {
+            return Ok(());
+        };
+        if let Step::Exit = process_item(&mut task, item, true)? {
+            return Ok(());
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_incarnation(
+    cfg: &DaemonConfig,
+    id: usize,
+    tenant: Tenant,
+    queue: Arc<SharedQueue>,
+    shared: Arc<SlotShared>,
+    sink: Arc<Mutex<LogSink>>,
+    epoch: u64,
+    cancel: Arc<AtomicBool>,
+    incarnation: u64,
+    recovery: Vec<WorkItem>,
+) -> JoinHandle<Result<(), DaemonError>> {
+    let task = WorkerTask {
+        incarnation,
+        tenant,
+        queue,
+        shared,
+        sink,
+        epoch,
+        cancel,
+        state_path: tenant_state_path(&cfg.state_dir, id),
+        snapshot_every: cfg.snapshot_every,
+        fault: cfg.fault_for(id),
+        recovery,
+        backoff_seed: cfg.master_seed ^ (id as u64) ^ (incarnation << 32),
+    };
+    std::thread::Builder::new()
+        .name(format!("tibfit-tenant-{id}"))
+        .spawn(move || run_worker(task))
+        .expect("spawning a tenant worker thread")
+}
+
+/// Rebuilds a tenant for a replacement incarnation: last snapshot if
+/// one exists, otherwise fresh from the scenario (the recovery buffer
+/// then replays everything admitted since that base).
+fn rebuild_tenant(cfg: &DaemonConfig, id: usize) -> Result<(Tenant, u64), DaemonError> {
+    let scenario = (cfg.scenario)(tenant_seed(cfg.master_seed, id));
+    let path = tenant_state_path(&cfg.state_dir, id);
+    match read_tenant_state(&path)? {
+        Some(state) => {
+            if state.seed != scenario.seed {
+                return Err(DaemonError::State(format!(
+                    "tenant {id} state file has seed {} but the configuration expects {}",
+                    state.seed, scenario.seed
+                )));
+            }
+            let tenant = Tenant::from_blob(id, scenario, cfg.engine, cfg.threads, &state.blob)?;
+            let round = state.round;
+            Ok((tenant, round))
+        }
+        None => {
+            let tenant = Tenant::new(id, scenario, cfg.engine, cfg.threads)?;
+            Ok((tenant, 0))
+        }
+    }
+}
+
+/// Replaces a slot's worker: supersede the log epoch, rebuild the
+/// tenant from its last snapshot, truncate the log to match, replay
+/// the recovery buffer. On failure the tenant is quarantined instead.
+fn respawn_slot(cfg: &DaemonConfig, slot: &mut SlotCore, probation_until: u64) {
+    slot.cancel.store(true, Ordering::SeqCst);
+    if let Some(handle) = slot.handle.take() {
+        if handle.is_finished() {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => slot.last_error = Some(e.to_string()),
+                Err(_) => {
+                    slot.last_error = Some("worker panicked".into());
+                }
+            }
+        }
+        // A wedged (unfinished) handle is detached: its epoch is
+        // superseded and its cancel flag set, so it can only exit.
+    }
+    let outcome: Result<(), DaemonError> = (|| {
+        let (mut tenant, round) = rebuild_tenant(cfg, slot.id)?;
+        let log_path = decision_log_path(&cfg.decisions_dir, slot.id);
+        truncate_decision_log(&log_path, round)?;
+        let epoch = lock_sink(&slot.sink).reopen()?;
+        tenant.set_positions(Arc::clone(&slot.positions));
+        let recovery = slot.queue.recovery_view();
+        slot.cancel = Arc::new(AtomicBool::new(false));
+        slot.incarnation += 1;
+        slot.handle = Some(spawn_incarnation(
+            cfg,
+            slot.id,
+            tenant,
+            Arc::clone(&slot.queue),
+            Arc::clone(&slot.shared),
+            Arc::clone(&slot.sink),
+            epoch,
+            Arc::clone(&slot.cancel),
+            slot.incarnation,
+            recovery,
+        ));
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => {
+            slot.health = Health::Probation {
+                until_check: probation_until,
+            };
+            slot.shared.health.store(HEALTH_PROBATION, Ordering::SeqCst);
+            slot.misses = 0;
+            slot.last_heartbeat = slot.shared.heartbeat.load(Ordering::SeqCst);
+        }
+        Err(e) => {
+            slot.last_error = Some(e.to_string());
+            slot.health = Health::Quarantined {
+                until_check: probation_until,
+            };
+            slot.shared.health.store(HEALTH_QUARANTINED, Ordering::SeqCst);
+            slot.queue.abandon_tick();
+        }
+    }
+}
+
+fn watchdog_check(cfg: &DaemonConfig, slot: &mut SlotCore, check_no: u64) -> f64 {
+    let policy = cfg.watchdog;
+    match slot.health {
+        Health::Quarantined { until_check } => {
+            if check_no >= until_check {
+                slot.restarts += 1;
+                respawn_slot(cfg, slot, check_no + policy.probation_checks);
+            }
+            return 0.0;
+        }
+        Health::Probation { until_check } => {
+            if check_no >= until_check {
+                slot.health = Health::Active;
+                slot.shared.health.store(HEALTH_ACTIVE, Ordering::SeqCst);
+            }
+        }
+        Health::Active => {}
+    }
+
+    let finished = slot.handle.as_ref().is_none_or(JoinHandle::is_finished);
+    let heartbeat = slot.shared.heartbeat.load(Ordering::SeqCst);
+    let advanced = heartbeat != slot.last_heartbeat;
+    slot.last_heartbeat = heartbeat;
+    let outstanding = slot.queue.has_outstanding();
+
+    if finished {
+        // A worker only returns cleanly at shutdown, and the watchdog
+        // is stopped before shutdown begins: a finished thread here
+        // died (panic or error).
+        slot.misses = policy.misses_to_suspect();
+    } else if advanced || !outstanding {
+        slot.misses = slot.misses.saturating_sub(1);
+    } else {
+        slot.misses += 1;
+    }
+
+    let trust = (-policy.lambda * f64::from(slot.misses)).exp();
+    if trust < policy.trust_floor || finished {
+        slot.restart_checks.push_back(check_no);
+        while slot
+            .restart_checks
+            .front()
+            .is_some_and(|&c| c + policy.crash_loop_window < check_no)
+        {
+            slot.restart_checks.pop_front();
+        }
+        slot.restarts += 1;
+        if slot.restart_checks.len() > policy.crash_loop_limit {
+            slot.cancel.store(true, Ordering::SeqCst);
+            if let Some(handle) = slot.handle.take() {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                }
+            }
+            slot.health = Health::Quarantined {
+                until_check: check_no + policy.probation_checks,
+            };
+            slot.shared.health.store(HEALTH_QUARANTINED, Ordering::SeqCst);
+            slot.queue.abandon_tick();
+            return 0.0;
+        }
+        respawn_slot(cfg, slot, check_no + policy.probation_checks);
+        // Report the trust observed at detection time — respawn resets
+        // the miss counter, but this check still saw a failed worker.
+        return trust;
+    }
+    trust
+}
+
+fn watchdog_loop(cfg: Arc<DaemonConfig>, sup: Arc<SupervisorShared>) {
+    let interval = Duration::from_millis(cfg.watchdog.check_interval_ms.max(1));
+    let mut check_no = 0u64;
+    while !sup.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        check_no += 1;
+        let mut slots = lock_slots(&sup);
+        let mut sum = 0.0;
+        let n = slots.len().max(1);
+        for slot in slots.iter_mut() {
+            sum += watchdog_check(&cfg, slot, check_no);
+        }
+        drop(slots);
+        let impact = sum / n as f64;
+        let prev = f64::from_bits(sup.min_impact_bits.load(Ordering::SeqCst));
+        if impact < prev {
+            sup.min_impact_bits
+                .store(impact.to_bits(), Ordering::SeqCst);
+        }
+    }
+}
+
+/// Router-side view of one tenant (no supervisor lock on the hot path).
+struct RouterSlot {
+    queue: Arc<SharedQueue>,
+    positions: Arc<PositionView>,
+    shared: Arc<SlotShared>,
+}
+
+/// The daemon: build with [`Daemon::new`] (which resumes from any
+/// existing state directory), then feed it a frame stream with
+/// [`Daemon::run`].
+pub struct Daemon {
+    cfg: Arc<DaemonConfig>,
+    sup: Arc<SupervisorShared>,
+    router: Vec<RouterSlot>,
+    watchdog: Option<JoinHandle<()>>,
+    ticks: u64,
+}
+
+impl Daemon {
+    /// Builds (or resumes) every tenant and starts workers + watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation, state-file corruption or seed
+    /// mismatch, engine construction failure, or I/O errors creating
+    /// the state directories.
+    pub fn new(cfg: DaemonConfig) -> Result<Self, DaemonError> {
+        cfg.validated()?;
+        std::fs::create_dir_all(&cfg.state_dir).map_err(DaemonError::Io)?;
+        std::fs::create_dir_all(&cfg.decisions_dir).map_err(DaemonError::Io)?;
+        let cfg = Arc::new(cfg);
+        let mut slots = Vec::with_capacity(cfg.tenants);
+        let mut router = Vec::with_capacity(cfg.tenants);
+        for id in 0..cfg.tenants {
+            let scenario = (cfg.scenario)(tenant_seed(cfg.master_seed, id));
+            let path = tenant_state_path(&cfg.state_dir, id);
+            let queue = Arc::new(SharedQueue::new(cfg.queue));
+            let (tenant, round) = match read_tenant_state(&path)? {
+                Some(state) => {
+                    if state.seed != scenario.seed {
+                        return Err(DaemonError::State(format!(
+                            "tenant {id} state file has seed {} but the configuration expects {}",
+                            state.seed, scenario.seed
+                        )));
+                    }
+                    let tenant =
+                        Tenant::from_blob(id, scenario, cfg.engine, cfg.threads, &state.blob)?;
+                    queue.seed_highwater(state.highwater.iter().copied());
+                    queue.seed_stats(state.stats);
+                    (tenant, state.round)
+                }
+                None => (
+                    Tenant::new(id, scenario, cfg.engine, cfg.threads)?,
+                    0,
+                ),
+            };
+            let log_path = decision_log_path(&cfg.decisions_dir, id);
+            truncate_decision_log(&log_path, round)?;
+            let sink = Arc::new(Mutex::new(LogSink::new(log_path)));
+            let epoch = lock_sink(&sink).reopen()?;
+            let positions = tenant.positions();
+            let shared = Arc::new(SlotShared {
+                heartbeat: AtomicU64::new(0),
+                applied: AtomicU64::new(0),
+                shed_quarantine: AtomicU64::new(0),
+                health: AtomicU8::new(HEALTH_ACTIVE),
+            });
+            let cancel = Arc::new(AtomicBool::new(false));
+            let handle = spawn_incarnation(
+                &cfg,
+                id,
+                tenant,
+                Arc::clone(&queue),
+                Arc::clone(&shared),
+                Arc::clone(&sink),
+                epoch,
+                Arc::clone(&cancel),
+                0,
+                Vec::new(),
+            );
+            router.push(RouterSlot {
+                queue: Arc::clone(&queue),
+                positions: Arc::clone(&positions),
+                shared: Arc::clone(&shared),
+            });
+            slots.push(SlotCore {
+                id,
+                queue,
+                shared,
+                sink,
+                positions,
+                cancel,
+                handle: Some(handle),
+                health: Health::Active,
+                misses: 0,
+                last_heartbeat: 0,
+                incarnation: 0,
+                restarts: 0,
+                restart_checks: VecDeque::new(),
+                last_error: None,
+            });
+        }
+        let sup = Arc::new(SupervisorShared {
+            slots: Mutex::new(slots),
+            stop: AtomicBool::new(false),
+            min_impact_bits: AtomicU64::new(1.0f64.to_bits()),
+        });
+        let watchdog = std::thread::Builder::new()
+            .name("tibfit-watchdog".into())
+            .spawn({
+                let cfg = Arc::clone(&cfg);
+                let sup = Arc::clone(&sup);
+                move || watchdog_loop(cfg, sup)
+            })
+            .expect("spawning the watchdog thread");
+        Ok(Daemon {
+            cfg,
+            sup,
+            router,
+            watchdog: Some(watchdog),
+            ticks: 0,
+        })
+    }
+
+    fn close_tick(&mut self) {
+        self.ticks += 1;
+        let tick = self.ticks;
+        for slot in &self.router {
+            if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
+                continue;
+            }
+            let positions = Arc::clone(&slot.positions);
+            slot.queue
+                .end_tick(tick, move |r| positions.impact_of(r.x, r.y));
+        }
+    }
+
+    /// Streams newline-framed input until end-of-stream, a shutdown
+    /// signal, or the configured drain point; then drains every tenant
+    /// (final snapshot included) and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] on input failure; worker errors surface in
+    /// the report, not here (the daemon outlives its workers). Call
+    /// once: the run ends with a full drain and worker shutdown.
+    pub fn run(&mut self, input: impl BufRead) -> Result<DaemonReport, DaemonError> {
+        let mut rejected = 0u64;
+        let mut rejected_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut drained_early = false;
+        let mut input = input;
+        let mut raw = Vec::new();
+        loop {
+            if shutdown::requested() {
+                drained_early = true;
+                break;
+            }
+            raw.clear();
+            let n = input.read_until(b'\n', &mut raw).map_err(DaemonError::Io)?;
+            if n == 0 {
+                break;
+            }
+            let parsed = match std::str::from_utf8(&raw) {
+                Ok(text) => parse_line(text.trim_end_matches('\n')),
+                Err(_) => Err(IngestError::NotUtf8),
+            };
+            match parsed {
+                Ok(None) => {}
+                Ok(Some(Frame::Report(r))) => self.route_report(r, &mut rejected, &mut rejected_by_kind),
+                Ok(Some(Frame::Query(q))) => self.route_query(q, &mut rejected, &mut rejected_by_kind),
+                Ok(Some(Frame::Tick)) => {
+                    self.close_tick();
+                    if self.cfg.crash_plan.fires_after(self.ticks) {
+                        self.cfg.crash_plan.execute();
+                    }
+                    if self
+                        .cfg
+                        .drain_after_ticks
+                        .is_some_and(|d| self.ticks >= d)
+                    {
+                        drained_early = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    rejected += 1;
+                    *rejected_by_kind.entry(e.kind()).or_insert(0) += 1;
+                }
+            }
+        }
+        self.finish(rejected, rejected_by_kind, drained_early)
+    }
+
+    fn route_report(
+        &self,
+        r: Report,
+        rejected: &mut u64,
+        by_kind: &mut BTreeMap<&'static str, u64>,
+    ) {
+        let Some(slot) = self.router.get(r.tenant) else {
+            *rejected += 1;
+            *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+            return;
+        };
+        if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
+            slot.shared.shed_quarantine.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        slot.queue.offer(r);
+    }
+
+    fn route_query(
+        &self,
+        q: Query,
+        rejected: &mut u64,
+        by_kind: &mut BTreeMap<&'static str, u64>,
+    ) {
+        let id = match q {
+            Query::Trust { tenant, .. } | Query::Round { tenant } => tenant,
+        };
+        let Some(slot) = self.router.get(id) else {
+            *rejected += 1;
+            *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+            return;
+        };
+        if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
+            return;
+        }
+        slot.queue.offer_query(q);
+    }
+
+    fn finish(
+        &mut self,
+        rejected: u64,
+        rejected_by_kind: BTreeMap<&'static str, u64>,
+        drained_early: bool,
+    ) -> Result<DaemonReport, DaemonError> {
+        // A final tick flushes any open batch and pending queries, and
+        // gives every worker a defined quiescent point before shutdown.
+        self.close_tick();
+        // Stop the watchdog before closing queues so it cannot
+        // misread a cleanly exiting worker as a crash.
+        self.sup.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        let mut slots = lock_slots(&self.sup);
+        for slot in slots.iter() {
+            slot.queue.close();
+        }
+        let mut tenants = Vec::with_capacity(slots.len());
+        for slot in slots.iter_mut() {
+            let quarantined = matches!(slot.health, Health::Quarantined { .. });
+            if let Some(handle) = slot.handle.take() {
+                if quarantined {
+                    // No worker is listening on a quarantined queue;
+                    // the handle (if any) is already dead or canceled.
+                    if handle.is_finished() {
+                        let _ = handle.join();
+                    }
+                } else {
+                    match handle.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => slot.last_error = Some(e.to_string()),
+                        Err(_) => slot.last_error = Some("worker panicked".into()),
+                    }
+                }
+            }
+            tenants.push(TenantSummary {
+                id: slot.id,
+                applied: slot.shared.applied.load(Ordering::SeqCst),
+                stats: slot.queue.stats(),
+                shed_quarantine: slot.shared.shed_quarantine.load(Ordering::SeqCst),
+                restarts: slot.restarts,
+                quarantined,
+                last_error: slot.last_error.clone(),
+            });
+        }
+        drop(slots);
+        Ok(DaemonReport {
+            ticks: self.ticks,
+            rejected,
+            rejected_by_kind: rejected_by_kind
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            tenants,
+            drained_early,
+            min_impact_trust: f64::from_bits(self.sup.min_impact_bits.load(Ordering::SeqCst)),
+        })
+    }
+
+    /// The shed-key log of one tenant (tests; requires
+    /// [`QueuePolicy::record_shed`]).
+    #[must_use]
+    pub fn shed_log_of(&self, tenant: usize) -> Vec<(u64, u64, u64)> {
+        self.router
+            .get(tenant)
+            .map(|s| s.queue.shed_log())
+            .unwrap_or_default()
+    }
+}
+
+impl DaemonReport {
+    /// Renders the trace-counter block (`daemon.*` keys) the CLI prints
+    /// on exit.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("daemon.ticks".to_string(), self.ticks),
+            ("daemon.ingest.rejected".to_string(), self.rejected),
+        ];
+        for (kind, n) in &self.rejected_by_kind {
+            out.push((format!("daemon.ingest.rejected.{kind}"), *n));
+        }
+        for t in &self.tenants {
+            let p = format!("daemon.t{}", t.id);
+            out.push((format!("{p}.applied"), t.applied));
+            out.push((format!("{p}.offered"), t.stats.offered));
+            out.push((format!("{p}.admitted"), t.stats.admitted));
+            out.push((format!("{p}.shed"), t.stats.shed_total()));
+            out.push((format!("{p}.shed.quarantine"), t.shed_quarantine));
+            out.push((format!("{p}.duplicates"), t.stats.duplicates));
+            out.push((format!("{p}.backpressure.waits"), t.stats.backpressure_waits));
+            out.push((format!("{p}.restarts"), t.restarts));
+            out.push((format!("{p}.quarantined"), u64::from(t.quarantined)));
+        }
+        out
+    }
+}

@@ -1,0 +1,328 @@
+//! The newline-framed ingest grammar and its typed, panic-free parser.
+//!
+//! One frame per line, fields split on ASCII whitespace:
+//!
+//! ```text
+//! # anything            comment — skipped
+//! R <tenant> <time> <src> <seq> <x> <y>     sensor report
+//! T                                          tick boundary
+//! Q trust <tenant> <node>                    trust-index query
+//! Q round <tenant>                           round-cursor query
+//! ```
+//!
+//! [`parse_line`] never panics on any input: every malformed line maps
+//! to a typed [`IngestError`] the daemon counts under
+//! `daemon.ingest.rejected` and drops without disturbing the stream.
+//! Blank lines and comments parse to `Ok(None)`.
+
+use std::fmt;
+
+/// Longest accepted line, in bytes. A well-formed report is < 120
+/// bytes; the cap keeps a garbage (or hostile) upstream from growing
+/// unbounded tokens in memory.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// One parsed ingest frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A sensor report routed to one tenant.
+    Report(Report),
+    /// A tick boundary: close the open admission batch on every tenant.
+    Tick,
+    /// A read-only query, answered on stdout at the next tick boundary.
+    Query(Query),
+}
+
+/// A sensor report: one event stimulus addressed to one tenant, with
+/// an idempotency key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Hosted field index.
+    pub tenant: usize,
+    /// Logical tick the record belongs to (informational; batching is
+    /// driven by `T` frames).
+    pub time: u64,
+    /// Upstream feed id — dedup key, with `seq`.
+    pub src: u64,
+    /// Monotone per-`src` sequence number.
+    pub seq: u64,
+    /// Event stimulus x.
+    pub x: f64,
+    /// Event stimulus y.
+    pub y: f64,
+}
+
+/// A read-only query frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Trust index of `node` in `tenant`'s field (bit-exact `f64`).
+    Trust {
+        /// Hosted field index.
+        tenant: usize,
+        /// Node index inside the field.
+        node: usize,
+    },
+    /// How many event rounds `tenant` has completed.
+    Round {
+        /// Hosted field index.
+        tenant: usize,
+    },
+}
+
+/// Why a line was rejected. Every variant is counted, none aborts the
+/// stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Line exceeds [`MAX_LINE_BYTES`].
+    Oversized {
+        /// Observed length in bytes.
+        len: usize,
+    },
+    /// First token is not a known frame tag.
+    UnknownTag(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field failed numeric parsing.
+    BadNumber {
+        /// Which field.
+        field: &'static str,
+        /// The offending token (truncated to 32 bytes).
+        token: String,
+    },
+    /// A coordinate parsed to NaN or ±∞ — the engines only accept
+    /// finite stimuli.
+    NonFinite {
+        /// Which field.
+        field: &'static str,
+    },
+    /// Extra tokens after a complete frame.
+    TrailingGarbage,
+    /// `Q` with an unknown query kind.
+    UnknownQuery(String),
+    /// The line is not valid UTF-8 (reported by the framing layer).
+    NotUtf8,
+}
+
+impl IngestError {
+    /// Stable counter key for the rejection breakdown
+    /// (`daemon.ingest.rejected.<kind>`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IngestError::Oversized { .. } => "oversized",
+            IngestError::UnknownTag(_) => "unknown_tag",
+            IngestError::MissingField(_) => "missing_field",
+            IngestError::BadNumber { .. } => "bad_number",
+            IngestError::NonFinite { .. } => "non_finite",
+            IngestError::TrailingGarbage => "trailing_garbage",
+            IngestError::UnknownQuery(_) => "unknown_query",
+            IngestError::NotUtf8 => "not_utf8",
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Oversized { len } => {
+                write!(f, "line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte frame cap")
+            }
+            IngestError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:?}"),
+            IngestError::MissingField(field) => write!(f, "missing field {field}"),
+            IngestError::BadNumber { field, token } => {
+                write!(f, "field {field} is not a number: {token:?}")
+            }
+            IngestError::NonFinite { field } => write!(f, "field {field} must be finite"),
+            IngestError::TrailingGarbage => write!(f, "trailing tokens after a complete frame"),
+            IngestError::UnknownQuery(kind) => write!(f, "unknown query kind {kind:?}"),
+            IngestError::NotUtf8 => write!(f, "line is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+fn truncated(token: &str) -> String {
+    let mut end = token.len().min(32);
+    while !token.is_char_boundary(end) {
+        end -= 1;
+    }
+    token[..end].to_string()
+}
+
+fn take<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    field: &'static str,
+) -> Result<&'a str, IngestError> {
+    it.next().ok_or(IngestError::MissingField(field))
+}
+
+fn parse_u64(token: &str, field: &'static str) -> Result<u64, IngestError> {
+    token.parse().map_err(|_| IngestError::BadNumber {
+        field,
+        token: truncated(token),
+    })
+}
+
+fn parse_usize(token: &str, field: &'static str) -> Result<usize, IngestError> {
+    token.parse().map_err(|_| IngestError::BadNumber {
+        field,
+        token: truncated(token),
+    })
+}
+
+fn parse_coord(token: &str, field: &'static str) -> Result<f64, IngestError> {
+    let v: f64 = token.parse().map_err(|_| IngestError::BadNumber {
+        field,
+        token: truncated(token),
+    })?;
+    if !v.is_finite() {
+        return Err(IngestError::NonFinite { field });
+    }
+    Ok(v)
+}
+
+fn end_of<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<(), IngestError> {
+    if it.next().is_some() {
+        return Err(IngestError::TrailingGarbage);
+    }
+    Ok(())
+}
+
+/// Parses one line into a frame. `Ok(None)` for blank lines and
+/// comments; typed errors for everything malformed. Never panics.
+///
+/// # Errors
+///
+/// Any [`IngestError`] variant except [`IngestError::NotUtf8`] (which
+/// the byte-level framing layer reports before text reaches here).
+pub fn parse_line(line: &str) -> Result<Option<Frame>, IngestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(IngestError::Oversized { len: line.len() });
+    }
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut it = line.split_ascii_whitespace();
+    let Some(tag) = it.next() else {
+        return Ok(None);
+    };
+    match tag {
+        _ if tag.starts_with('#') => Ok(None),
+        "R" => {
+            let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+            let time = parse_u64(take(&mut it, "time")?, "time")?;
+            let src = parse_u64(take(&mut it, "src")?, "src")?;
+            let seq = parse_u64(take(&mut it, "seq")?, "seq")?;
+            let x = parse_coord(take(&mut it, "x")?, "x")?;
+            let y = parse_coord(take(&mut it, "y")?, "y")?;
+            end_of(it)?;
+            Ok(Some(Frame::Report(Report {
+                tenant,
+                time,
+                src,
+                seq,
+                x,
+                y,
+            })))
+        }
+        "T" => {
+            end_of(it)?;
+            Ok(Some(Frame::Tick))
+        }
+        "Q" => {
+            let kind = take(&mut it, "query kind")?;
+            let frame = match kind {
+                "trust" => {
+                    let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+                    let node = parse_usize(take(&mut it, "node")?, "node")?;
+                    Query::Trust { tenant, node }
+                }
+                "round" => {
+                    let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+                    Query::Round { tenant }
+                }
+                other => return Err(IngestError::UnknownQuery(truncated(other))),
+            };
+            end_of(it)?;
+            Ok(Some(Frame::Query(frame)))
+        }
+        other => Err(IngestError::UnknownTag(truncated(other))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_frame_kinds() {
+        assert_eq!(
+            parse_line("R 2 7 2 15 1.5 -0.25").unwrap(),
+            Some(Frame::Report(Report {
+                tenant: 2,
+                time: 7,
+                src: 2,
+                seq: 15,
+                x: 1.5,
+                y: -0.25,
+            }))
+        );
+        assert_eq!(parse_line("T").unwrap(), Some(Frame::Tick));
+        assert_eq!(
+            parse_line("Q trust 0 31").unwrap(),
+            Some(Frame::Query(Query::Trust { tenant: 0, node: 31 }))
+        );
+        assert_eq!(
+            parse_line("Q round 1").unwrap(),
+            Some(Frame::Query(Query::Round { tenant: 1 }))
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# tibfit replay v1").unwrap(), None);
+        assert_eq!(parse_line("#no-space-comment").unwrap(), None);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        assert_eq!(parse_line("T\r").unwrap(), Some(Frame::Tick));
+    }
+
+    #[test]
+    fn malformed_lines_map_to_typed_errors() {
+        assert_eq!(parse_line("X 1 2").unwrap_err(), IngestError::UnknownTag("X".into()));
+        assert_eq!(parse_line("R 1 2 3").unwrap_err(), IngestError::MissingField("seq"));
+        assert!(matches!(
+            parse_line("R a 2 3 4 5 6").unwrap_err(),
+            IngestError::BadNumber { field: "tenant", .. }
+        ));
+        assert_eq!(
+            parse_line("R 1 2 3 4 NaN 6").unwrap_err(),
+            IngestError::NonFinite { field: "x" }
+        );
+        assert_eq!(
+            parse_line("R 1 2 3 4 inf 6").unwrap_err(),
+            IngestError::NonFinite { field: "x" }
+        );
+        assert_eq!(parse_line("T extra").unwrap_err(), IngestError::TrailingGarbage);
+        assert_eq!(
+            parse_line("Q votes 1").unwrap_err(),
+            IngestError::UnknownQuery("votes".into())
+        );
+        let oversized = format!("R {}", "9".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse_line(&oversized).unwrap_err(), IngestError::Oversized { .. }));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let x = 0.1_f64 + 0.2_f64;
+        let line = format!("R 0 0 0 1 {x} {}", f64::MIN_POSITIVE);
+        let Some(Frame::Report(r)) = parse_line(&line).unwrap() else {
+            panic!("expected a report");
+        };
+        assert_eq!(r.x.to_bits(), x.to_bits());
+        assert_eq!(r.y.to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+}

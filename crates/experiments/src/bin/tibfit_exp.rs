@@ -12,6 +12,7 @@ use std::process::ExitCode;
 
 use tibfit_experiments::report::FigureData;
 use tibfit_experiments::{ablation, exp1, exp2, exp3, exp4_shadow, exp5_chaos, exp6_scale};
+use tibfit_sim::shutdown;
 use tibfit_sim::stats::Series;
 
 struct Options {
@@ -183,8 +184,29 @@ fn run(options: &Options) -> Result<(), String> {
             if path.exists() {
                 println!("resuming exp6 sweep from {}", path.display());
             }
-            exp6_scale::run_exp6_resumable(&cfg, every, &path)
+            match exp6_scale::run_exp6_resumable_interruptible(&cfg, every, &path)
                 .map_err(|e| format!("exp6: {e}"))?
+            {
+                exp6_scale::SweepOutcome::Complete(points) => points,
+                exp6_scale::SweepOutcome::Interrupted(points) => {
+                    // Flush what finished and keep the checkpoint: the
+                    // same command resumes where this run stopped.
+                    if !points.is_empty() {
+                        println!("{}", exp6_scale::to_markdown(&points));
+                        match exp6_scale::write_csv(&points, &options.out_dir) {
+                            Ok(csv) => println!("wrote partial {}", csv.display()),
+                            Err(e) => eprintln!("failed to write exp6_scale: {e}"),
+                        }
+                    }
+                    println!(
+                        "exp6 interrupted: {} rows complete, checkpoint kept at {} \
+                         — rerun with the same flags to resume",
+                        points.len(),
+                        path.display()
+                    );
+                    return Ok(());
+                }
+            }
         } else {
             exp6_scale::run_exp6(&cfg).map_err(|e| format!("exp6: {e}"))?
         };
@@ -222,14 +244,32 @@ fn run(options: &Options) -> Result<(), String> {
             println!("{}", exp2::table2());
         }
         "all" => {
-            run_exp1();
-            run_exp2();
-            run_exp3();
-            run_exp4();
-            run_exp5();
-            run_exp6()?;
-            run_analysis();
-            run_ablation();
+            // Stage boundaries honour SIGINT/SIGTERM: every CSV emitted
+            // so far is complete, so stopping between stages loses
+            // nothing.
+            let interrupted_before = |name: &str| -> bool {
+                let stop = shutdown::requested();
+                if stop {
+                    println!("interrupted before {name}: CSVs written so far are complete");
+                }
+                stop
+            };
+            macro_rules! stage {
+                ($name:literal, $body:expr) => {
+                    if interrupted_before($name) {
+                        return Ok(());
+                    }
+                    $body;
+                };
+            }
+            stage!("exp1", run_exp1());
+            stage!("exp2", run_exp2());
+            stage!("exp3", run_exp3());
+            stage!("exp4", run_exp4());
+            stage!("exp5", run_exp5());
+            stage!("exp6", run_exp6()?);
+            stage!("analysis", run_analysis());
+            stage!("ablation", run_ablation());
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -237,6 +277,7 @@ fn run(options: &Options) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    shutdown::install_signal_handlers();
     match parse_args() {
         Ok(options) => match run(&options) {
             Ok(()) => ExitCode::SUCCESS,

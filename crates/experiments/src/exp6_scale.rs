@@ -22,6 +22,7 @@ use tibfit_net::channel::BernoulliLoss;
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
+use tibfit_sim::shutdown;
 use tibfit_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::checkpoint::{read_checkpoint, restore_sharded, save_sharded, write_checkpoint};
@@ -494,7 +495,42 @@ pub fn run_exp6_resumable(
     checkpoint_every: u64,
     path: &Path,
 ) -> Result<Vec<Exp6Point>, Exp6Error> {
-    run_resumable_inner(cfg, checkpoint_every, path, None)
+    match run_resumable_inner(cfg, checkpoint_every, path, None, || false)? {
+        SweepOutcome::Complete(points) | SweepOutcome::Interrupted(points) => Ok(points),
+    }
+}
+
+/// How an interruptible sweep ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutcome {
+    /// Every cell ran; the checkpoint file has been removed.
+    Complete(Vec<Exp6Point>),
+    /// A shutdown was requested mid-sweep. The rows completed so far
+    /// are returned, and the checkpoint file is retained — rerunning
+    /// with the same flags resumes where this run stopped.
+    Interrupted(Vec<Exp6Point>),
+}
+
+/// As [`run_exp6_resumable`], but honours SIGINT/SIGTERM (via
+/// [`shutdown::requested`]): at every checkpoint boundary — between
+/// cells and between mid-cell checkpoint writes — a pending shutdown
+/// stops the sweep with [`SweepOutcome::Interrupted`] instead of
+/// running to completion. All progress is already on disk when it
+/// returns, so nothing is lost and nothing is recomputed on resume.
+///
+/// The caller must have installed the handlers
+/// ([`shutdown::install_signal_handlers`]); this function only polls
+/// the flag.
+///
+/// # Errors
+///
+/// Everything [`run_exp6_resumable`] returns.
+pub fn run_exp6_resumable_interruptible(
+    cfg: &Exp6Config,
+    checkpoint_every: u64,
+    path: &Path,
+) -> Result<SweepOutcome, Exp6Error> {
+    run_resumable_inner(cfg, checkpoint_every, path, None, shutdown::requested)
 }
 
 /// The body of [`run_exp6_resumable`], with a crash-injection hook:
@@ -508,7 +544,8 @@ fn run_resumable_inner(
     checkpoint_every: u64,
     path: &Path,
     kill_after_saves: Option<u64>,
-) -> Result<Vec<Exp6Point>, Exp6Error> {
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<SweepOutcome, Exp6Error> {
     cfg.validate()?;
     let mut saves = 0u64;
     let mut after_save = move || -> Result<(), Exp6Error> {
@@ -547,6 +584,11 @@ fn run_resumable_inner(
     let mut out = progress.completed;
     let mut in_flight = progress.in_flight;
     for &(n_clusters, threads) in cells.iter().skip(out.len()) {
+        // Cell boundaries are natural stop points: every completed row
+        // is already checkpointed, so an interrupt here loses nothing.
+        if in_flight.is_none() && should_stop() {
+            return Ok(SweepOutcome::Interrupted(out));
+        }
         let nodes = n_clusters * cfg.nodes_per_cluster;
         let field = (nodes as f64).sqrt() * 10.0;
         let events = event_schedule(cfg, field);
@@ -651,6 +693,11 @@ fn run_resumable_inner(
                     Some(&InFlight { rounds_done, hits, elapsed_ns, blob }),
                 )?;
                 after_save()?;
+                // The in-flight engine state just hit disk — stopping
+                // here resumes mid-cell, bit-identically.
+                if should_stop() {
+                    return Ok(SweepOutcome::Interrupted(out));
+                }
             }
         }
         let ns = u128::from(elapsed_prior)
@@ -677,7 +724,7 @@ fn run_resumable_inner(
         after_save()?;
     }
     let _ = std::fs::remove_file(path);
-    Ok(out)
+    Ok(SweepOutcome::Complete(out))
 }
 
 /// Renders the sweep as CSV (one row per engine configuration).
@@ -857,7 +904,7 @@ mod tests {
         // and at cell boundaries both — and resume each time.
         for kill_at in 1..=8 {
             let path = ckpt_path(&format!("killed-{kill_at}.tbsn"));
-            let err = run_resumable_inner(&cfg, 2, &path, Some(kill_at)).unwrap_err();
+            let err = run_resumable_inner(&cfg, 2, &path, Some(kill_at), || false).unwrap_err();
             assert_eq!(err, Exp6Error::Checkpoint("injected crash".into()));
             assert!(path.exists(), "kill #{kill_at} left no checkpoint behind");
             let resumed = run_exp6_resumable(&cfg, 2, &path).unwrap();
@@ -874,12 +921,63 @@ mod tests {
         let cfg = Exp6Config::smoke(41).adaptive();
         let baseline = run_exp6(&cfg).unwrap();
         let path = ckpt_path("killed-adaptive.tbsn");
-        let err = run_resumable_inner(&cfg, 3, &path, Some(3)).unwrap_err();
+        let err = run_resumable_inner(&cfg, 3, &path, Some(3), || false).unwrap_err();
         assert_eq!(err, Exp6Error::Checkpoint("injected crash".into()));
         let resumed = run_exp6_resumable(&cfg, 3, &path).unwrap();
         for (a, b) in baseline.iter().zip(&resumed) {
             assert_eq!(deterministic_fields(a), deterministic_fields(b));
         }
+    }
+
+    #[test]
+    fn graceful_stop_keeps_checkpoint_and_resumes_to_identical_rows() {
+        let cfg = Exp6Config::smoke(67);
+        let baseline = run_exp6(&cfg).unwrap();
+        // Request a stop after the n-th poll, for every poll point the
+        // sweep has — cell boundaries and mid-cell checkpoints alike.
+        for stop_at in 1..=6u32 {
+            let path = ckpt_path(&format!("graceful-{stop_at}.tbsn"));
+            let mut polls = 0u32;
+            let outcome =
+                run_resumable_inner(&cfg, 2, &path, None, || {
+                    polls += 1;
+                    polls >= stop_at
+                })
+                .unwrap();
+            let SweepOutcome::Interrupted(partial) = outcome else {
+                panic!("stop #{stop_at}: sweep must report the interruption");
+            };
+            assert!(
+                partial.len() < baseline.len(),
+                "stop #{stop_at}: an interrupted sweep is incomplete"
+            );
+            for (a, b) in baseline.iter().zip(&partial) {
+                assert_eq!(deterministic_fields(a), deterministic_fields(b), "stop #{stop_at}");
+            }
+            // Everything already computed must be on disk (unless the
+            // stop fired before any work happened).
+            assert!(partial.is_empty() || path.exists(), "stop #{stop_at}");
+            let resumed = run_exp6_resumable(&cfg, 2, &path).unwrap();
+            assert_eq!(baseline.len(), resumed.len(), "stop #{stop_at}");
+            for (a, b) in baseline.iter().zip(&resumed) {
+                assert_eq!(deterministic_fields(a), deterministic_fields(b), "stop #{stop_at}");
+            }
+            assert!(!path.exists(), "stop #{stop_at}: clean finish removes the checkpoint");
+        }
+    }
+
+    #[test]
+    fn interruptible_runner_completes_when_no_signal_arrives() {
+        // No SIGINT/SIGTERM pending ⇒ identical to the plain resumable
+        // path, including checkpoint cleanup.
+        let cfg = Exp6Config::smoke(68);
+        let path = ckpt_path("uninterrupted-signal.tbsn");
+        let outcome = run_exp6_resumable_interruptible(&cfg, 3, &path).unwrap();
+        let SweepOutcome::Complete(points) = outcome else {
+            panic!("no signal was sent; the sweep must complete");
+        };
+        assert_eq!(points.len(), sweep_cells(&cfg).len());
+        assert!(!path.exists());
     }
 
     #[test]
@@ -893,7 +991,7 @@ mod tests {
         // A checkpoint from a different seed must be refused, not merged.
         let theirs = ckpt_path("foreign.tbsn");
         let other = Exp6Config::smoke(56);
-        let _ = run_resumable_inner(&other, 2, &theirs, Some(1)).unwrap_err();
+        let _ = run_resumable_inner(&other, 2, &theirs, Some(1), || false).unwrap_err();
         assert!(matches!(
             run_exp6_resumable(&cfg, 2, &theirs),
             Err(Exp6Error::Checkpoint(_))

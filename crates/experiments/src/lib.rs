@@ -37,6 +37,7 @@ pub mod exp6_scale;
 pub mod harness;
 pub mod multicluster;
 pub mod network;
+pub mod replay;
 pub mod report;
 pub mod sharded;
 

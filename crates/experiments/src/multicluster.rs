@@ -880,6 +880,18 @@ impl MultiClusterSim {
         self.n_nodes
     }
 
+    /// Completed event rounds (the daemon's tenant cursor).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The deployment configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &MultiClusterConfig {
+        &self.config
+    }
+
     /// The cluster a node currently belongs to.
     ///
     /// # Panics

@@ -293,6 +293,18 @@ impl ShardedMultiCluster {
         self.scheduler.threads()
     }
 
+    /// Completed event rounds (the daemon's tenant cursor).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The deployment configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &MultiClusterConfig {
+        &self.config
+    }
+
     /// Runs one event round (one scheduler epoch) and merges the
     /// declarations at the base station.
     ///

@@ -114,6 +114,69 @@ impl CrashPlan {
     }
 }
 
+/// A *process-level* crash plan: where a whole `tibfit-daemon` process
+/// dies mid-stream. [`CrashPlan`] kills a simulation engine between two
+/// rounds inside a harness that keeps running; this plan kills the
+/// process itself — the daemon polls it at tick boundaries and executes
+/// it with [`ProcessCrashPlan::execute`], which aborts without running
+/// destructors, flushing buffers, or writing a final snapshot, exactly
+/// like a SIGKILL landing between two instructions. The crash-anywhere
+/// harness seeds one of these per run, restarts the binary, and asserts
+/// the resumed decision trace is byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcessCrashPlan {
+    /// The process dies once this many ingest ticks have completed;
+    /// `None` never fires.
+    pub kill_tick: Option<u64>,
+}
+
+impl ProcessCrashPlan {
+    /// A plan that never fires (production default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        ProcessCrashPlan { kill_tick: None }
+    }
+
+    /// A crash pinned to an explicit completed-tick count.
+    #[must_use]
+    pub fn at(kill_tick: u64) -> Self {
+        ProcessCrashPlan {
+            kill_tick: Some(kill_tick),
+        }
+    }
+
+    /// A seed-reproducible crash at a uniformly random tick in
+    /// `[1, horizon_ticks)` — same `(seed, horizon_ticks)`, same kill
+    /// point, so every harness seed dies somewhere different but
+    /// reproducibly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_ticks < 2` — there is no interior tick to
+    /// crash at.
+    #[must_use]
+    pub fn seeded(seed: u64, horizon_ticks: u64) -> Self {
+        assert!(horizon_ticks >= 2, "need an interior tick to crash at");
+        let mut rng = SimRng::seed_from(seed ^ 0xDAE2_0C4A_5B4A_0001);
+        ProcessCrashPlan {
+            kill_tick: Some(1 + rng.next_u64() % (horizon_ticks - 1)),
+        }
+    }
+
+    /// Whether the plan fires once `completed_ticks` ticks have run.
+    #[must_use]
+    pub fn fires_after(&self, completed_ticks: u64) -> bool {
+        self.kill_tick.is_some_and(|k| completed_ticks >= k)
+    }
+
+    /// Kills the process the hard way: no unwinding, no destructors, no
+    /// flushes — the closest a process can get to SIGKILLing itself at a
+    /// deterministic point.
+    pub fn execute(&self) -> ! {
+        std::process::abort()
+    }
+}
+
 /// A fault pinned to a simulation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledFault {
@@ -520,6 +583,28 @@ mod tests {
             .iter()
             .all(|f| f.kind != FaultKind::CrashAt));
         assert_eq!(FaultKind::CrashAt.label(), "crash");
+    }
+
+    #[test]
+    fn process_crash_plans_are_reproducible_and_interior() {
+        for seed in 0..50 {
+            let a = ProcessCrashPlan::seeded(seed, 20);
+            let b = ProcessCrashPlan::seeded(seed, 20);
+            assert_eq!(a, b);
+            let k = a.kill_tick.unwrap();
+            assert!((1..20).contains(&k), "kill tick {k} outside (0, 20)");
+        }
+    }
+
+    #[test]
+    fn process_crash_plan_fires_exactly_from_its_tick() {
+        let plan = ProcessCrashPlan::at(3);
+        assert!(!plan.fires_after(0));
+        assert!(!plan.fires_after(2));
+        assert!(plan.fires_after(3));
+        assert!(plan.fires_after(10));
+        assert!(!ProcessCrashPlan::disabled().fires_after(u64::MAX));
+        assert_eq!(ProcessCrashPlan::default(), ProcessCrashPlan::disabled());
     }
 
     #[test]

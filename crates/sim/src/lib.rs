@@ -37,10 +37,11 @@
 //! assert_eq!(fired, vec![(10, "a"), (20, "b")]);
 //! ```
 
-// `unsafe` is denied crate-wide; the one sanctioned exception is the
+// `unsafe` is denied crate-wide; the sanctioned exceptions are the
 // shard scheduler's worker pool (`shard.rs`), whose cursor-partitioned
-// slot handout and lifetime-erased epoch job need it. Each site carries
-// its own safety argument.
+// slot handout and lifetime-erased epoch job need it, and the
+// `signal(2)` binding in `shutdown.rs`. Each site carries its own
+// safety argument.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -50,6 +51,7 @@ mod queue;
 
 pub mod rng;
 pub mod shard;
+pub mod shutdown;
 pub mod snapshot;
 pub mod stats;
 pub mod trace;
