@@ -227,7 +227,11 @@ struct ReintegrationPolicy {
 #[derive(Debug, Clone)]
 pub struct TrustTable {
     params: TrustParams,
-    entries: Vec<TrustIndex>,
+    /// Raw fault counters `v`, one dense slot per node (SoA layout: the
+    /// counters, the cached TIs, and the voting weights live in three
+    /// parallel arrays so each access pattern touches only the array it
+    /// needs).
+    counters: Vec<f64>,
     /// Write-through cache of `e^(−λ·v)` per node, refreshed only when a
     /// node's fault counter actually changes. Every cached value is
     /// produced by the exact expression [`TrustIndex::value`] would
@@ -235,6 +239,16 @@ pub struct TrustTable {
     /// to recomputation — the cache changes *when* the exponential is
     /// paid, never its result.
     cached_ti: Vec<f64>,
+    /// Dense voting-weight slots: `cached_ti[i]` while node `i`
+    /// participates in votes (active or probationary), `-0.0` while it is
+    /// quarantined. CTI accumulation reads only this array — no status
+    /// branch, no second lookup. Adding `-0.0` (or an underflowed `+0.0`)
+    /// to a non-negative IEEE-754 accumulator is bit-identical to skipping
+    /// the node, so the branch-free sum reproduces the filtered sum
+    /// exactly; the sign bit doubles as the participation flag (every real
+    /// TI is `>= +0.0`), which is how reads are counted without touching
+    /// `status`.
+    weights: Vec<f64>,
     status: Vec<NodeStatus>,
     isolation_threshold: Option<f64>,
     reintegration: Option<ReintegrationPolicy>,
@@ -259,9 +273,10 @@ impl TrustTable {
         assert!(n > 0, "trust table needs at least one node");
         TrustTable {
             params,
-            entries: vec![TrustIndex::new(); n],
+            counters: vec![0.0; n],
             // e^(−λ·0) is exactly 1.0, so fresh entries need no exp().
             cached_ti: vec![1.0; n],
+            weights: vec![1.0; n],
             status: vec![NodeStatus::Active; n],
             isolation_threshold: None,
             reintegration: None,
@@ -272,8 +287,20 @@ impl TrustTable {
 
     /// Recomputes one node's cached trust index after its counter moved.
     fn refresh_cache(&mut self, i: usize) {
-        self.cached_ti[i] = self.entries[i].value(&self.params);
+        self.cached_ti[i] = TrustIndex { v: self.counters[i] }.value(&self.params);
         self.exp_evals += 1;
+        self.sync_weight(i);
+    }
+
+    /// Re-derives one node's voting-weight slot from its status and
+    /// cached TI. Called on every cache refresh and status transition —
+    /// the weight array is write-through, never recomputed at read time.
+    fn sync_weight(&mut self, i: usize) {
+        self.weights[i] = if matches!(self.status[i], NodeStatus::Quarantined { .. }) {
+            -0.0
+        } else {
+            self.cached_ti[i]
+        };
     }
 
     /// Total `exp()` evaluations paid so far. Reads ([`TrustTable::trust_of`],
@@ -341,13 +368,13 @@ impl TrustTable {
     /// Number of tracked nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.counters.len()
     }
 
     /// `true` if the table tracks no nodes (not constructible publicly).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.counters.is_empty()
     }
 
     /// The trust index of a node.
@@ -368,7 +395,7 @@ impl TrustTable {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn counter_of(&self, node: NodeId) -> f64 {
-        self.entries[node.index()].counter()
+        self.counters[node.index()]
     }
 
     /// Whether diagnosis has isolated this node (quarantined nodes are
@@ -406,19 +433,45 @@ impl TrustTable {
     /// Cumulative trust index of a group (the paper's CTI).
     ///
     /// Isolated nodes contribute zero.
+    ///
+    /// One branch-free gather over the dense weight slots: quarantined
+    /// nodes hold `-0.0`, whose addition leaves a non-negative IEEE-754
+    /// accumulator bit-identical, so the unfiltered left-to-right fold
+    /// equals the status-filtered sum exactly. The f64 fold must stay in
+    /// group order (float addition does not commute bitwise), but the
+    /// weight gathers and the read counting are order-free, so the loop
+    /// is chunked to unroll them; reads are counted from the sign bit
+    /// (`-0.0` marks quarantine; every real TI, even one underflowed to
+    /// `+0.0`, is sign-positive), replicating the old rule that only
+    /// non-isolated members cost a read.
     #[must_use]
     pub fn cumulative_trust(&self, group: &[NodeId]) -> f64 {
-        // Summation order matches the uncached implementation (group
-        // order), so the result is bit-identical, just exp()-free.
+        let weights = &self.weights;
+        // Seed with -0.0, exactly like `Iterator::sum::<f64>` seeds its
+        // fold — an empty (or fully-quarantined) group must keep
+        // returning the same bits the filtered sum produced.
+        let mut sum = -0.0f64;
         let mut reads = 0u64;
-        let sum = group
-            .iter()
-            .filter(|n| !self.is_isolated(**n))
-            .map(|n| {
-                reads += 1;
-                self.cached_ti[n.index()]
-            })
-            .sum();
+        let mut chunks = group.chunks_exact(4);
+        for c in chunks.by_ref() {
+            let w0 = weights[c[0].index()];
+            let w1 = weights[c[1].index()];
+            let w2 = weights[c[2].index()];
+            let w3 = weights[c[3].index()];
+            reads += u64::from(w0.is_sign_positive())
+                + u64::from(w1.is_sign_positive())
+                + u64::from(w2.is_sign_positive())
+                + u64::from(w3.is_sign_positive());
+            sum += w0;
+            sum += w1;
+            sum += w2;
+            sum += w3;
+        }
+        for n in chunks.remainder() {
+            let w = weights[n.index()];
+            reads += u64::from(w.is_sign_positive());
+            sum += w;
+        }
         self.ti_reads.set(self.ti_reads.get() + reads);
         sum
     }
@@ -429,14 +482,16 @@ impl TrustTable {
     ///
     /// Panics if the id is out of range.
     pub fn record_faulty(&mut self, node: NodeId) {
-        self.entries[node.index()].record_faulty(&self.params);
-        self.refresh_cache(node.index());
+        let i = node.index();
+        self.counters[i] += self.params.faulty_increment();
+        self.refresh_cache(i);
         if let Some(th) = self.isolation_threshold {
-            if self.cached_ti[node.index()] < th {
+            if self.cached_ti[i] < th {
                 let remaining = self
                     .reintegration
                     .map_or(u64::MAX, |p| p.quarantine_rounds);
-                self.status[node.index()] = NodeStatus::Quarantined { remaining };
+                self.status[i] = NodeStatus::Quarantined { remaining };
+                self.sync_weight(i);
             }
         }
     }
@@ -464,12 +519,13 @@ impl TrustTable {
                         // v = −ln(threshold)/λ.
                         if let Some(th) = self.isolation_threshold {
                             let v = -th.ln() / self.params.lambda;
-                            self.entries[i] = TrustIndex { v };
+                            self.counters[i] = v;
                             self.refresh_cache(i);
                         }
                         self.status[i] = NodeStatus::Probation {
                             remaining: policy.probation_rounds,
                         };
+                        self.sync_weight(i);
                     } else {
                         self.status[i] = NodeStatus::Quarantined {
                             remaining: remaining - 1,
@@ -500,15 +556,16 @@ impl TrustTable {
     ///
     /// Panics if the id is out of range.
     pub fn record_correct(&mut self, node: NodeId) {
-        let before = self.entries[node.index()].counter();
-        self.entries[node.index()].record_correct(&self.params);
+        let i = node.index();
+        let before = self.counters[i];
+        self.counters[i] = (before - self.params.correct_decrement()).max(0.0);
         // A node already at the v = 0 floor stays there — no counter
         // change, no cache refresh, no exp(). In an honest-majority
         // cluster this is the common case, and it is what makes a vote
         // cost O(actually-moved counters) exponentials instead of
         // O(nodes).
-        if self.entries[node.index()].counter() != before {
-            self.refresh_cache(node.index());
+        if self.counters[i] != before {
+            self.refresh_cache(i);
         }
     }
 
@@ -533,7 +590,7 @@ impl TrustTable {
             counter.is_finite() && counter >= 0.0,
             "counter must be non-negative and finite"
         );
-        self.entries[node.index()] = TrustIndex { v: counter };
+        self.counters[node.index()] = counter;
         self.refresh_cache(node.index());
     }
 
@@ -542,8 +599,8 @@ impl TrustTable {
     #[must_use]
     pub fn export(&self) -> Vec<(NodeId, f64)> {
         self.ti_reads
-            .set(self.ti_reads.get() + self.entries.len() as u64);
-        (0..self.entries.len())
+            .set(self.ti_reads.get() + self.counters.len() as u64);
+        (0..self.counters.len())
             .map(|i| (NodeId(i), self.cached_ti[i]))
             .collect()
     }
@@ -560,7 +617,7 @@ impl TrustTable {
     #[must_use]
     pub fn extract(&self, node: NodeId) -> TrustRecord {
         TrustRecord {
-            counter: self.entries[node.index()].counter(),
+            counter: self.counters[node.index()],
             status: self.status[node.index()],
         }
     }
@@ -577,9 +634,11 @@ impl TrustTable {
             record.counter.is_finite() && record.counter >= 0.0,
             "hand-off counter must be non-negative and finite"
         );
-        self.entries[node.index()] = TrustIndex { v: record.counter };
-        self.refresh_cache(node.index());
-        self.status[node.index()] = record.status;
+        let i = node.index();
+        self.counters[i] = record.counter;
+        self.refresh_cache(i);
+        self.status[i] = record.status;
+        self.sync_weight(i);
     }
 }
 
@@ -660,7 +719,7 @@ impl TrustTable {
         TrustTableState {
             lambda: self.params.lambda,
             fault_rate: self.params.fault_rate,
-            counters: self.entries.iter().map(TrustIndex::counter).collect(),
+            counters: self.counters.clone(),
             cached_ti: self.cached_ti.clone(),
             status: self.status.clone(),
             isolation_threshold: self.isolation_threshold,
@@ -710,10 +769,26 @@ impl TrustTable {
                 return Err(TrustStateError::CacheMismatch);
             }
         }
+        // The weight slots are derived state (cached TI gated by status),
+        // not part of the snapshot format — rebuilding them here keeps the
+        // container layout byte-compatible with pre-SoA checkpoints.
+        let weights = state
+            .status
+            .iter()
+            .zip(&state.cached_ti)
+            .map(|(s, &ti)| {
+                if matches!(s, NodeStatus::Quarantined { .. }) {
+                    -0.0
+                } else {
+                    ti
+                }
+            })
+            .collect();
         Ok(TrustTable {
             params,
-            entries: state.counters.iter().map(|&v| TrustIndex { v }).collect(),
+            counters: state.counters.clone(),
             cached_ti: state.cached_ti.clone(),
+            weights,
             status: state.status.clone(),
             isolation_threshold: state.isolation_threshold,
             reintegration: state.reintegration.map(|(quarantine_rounds, probation_rounds)| {
@@ -1234,6 +1309,99 @@ mod tests {
             TrustStateError::BadReintegration
         );
         assert!(!TrustStateError::BadReintegration.to_string().is_empty());
+    }
+
+    /// The pre-SoA reference: filter isolated members, then left-fold the
+    /// cached TIs in group order. The dense-weights fast path must match
+    /// this bitwise on any table state.
+    fn reference_cti(t: &TrustTable, group: &[NodeId]) -> f64 {
+        group
+            .iter()
+            .filter(|n| !t.is_isolated(**n))
+            .map(|n| {
+                let before = t.ti_reads();
+                let ti = t.trust_of(*n);
+                t.ti_reads.set(before); // undo the probe's read
+                ti
+            })
+            .sum()
+    }
+
+    #[test]
+    fn dense_cti_matches_filtered_reference_bitwise() {
+        let mut t = TrustTable::new(params(), 16)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 3);
+        let group: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let mut step = 0u64;
+        for round in 0..60 {
+            for i in 0..16usize {
+                step += 1;
+                match (step + round) % 5 {
+                    0 | 1 => t.record_faulty(NodeId(i)),
+                    _ => t.record_correct(NodeId(i)),
+                }
+            }
+            t.tick_round();
+            // Odd lengths exercise the chunk remainder; length 0 pins
+            // the -0.0 empty-sum seed.
+            for len in [0usize, 1, 3, 4, 7, 11, 16] {
+                let g = &group[..len];
+                assert_eq!(
+                    t.cumulative_trust(g).to_bits(),
+                    reference_cti(&t, g).to_bits(),
+                    "round {round} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn underflowed_ti_still_counts_as_a_read() {
+        // λ·v > ~745 underflows e^(−λ·v) to +0.0. The node is still
+        // active, so the old filtered sum read (and counted) it; the
+        // sign-bit read counter must agree — +0.0 is sign-positive,
+        // only quarantine's -0.0 is not.
+        let mut t = TrustTable::new(TrustParams::new(1.0, 0.0), 2);
+        t.set_counter(NodeId(0), 5000.0);
+        assert_eq!(t.trust_of(NodeId(0)), 0.0);
+        let before = t.ti_reads();
+        let cti = t.cumulative_trust(&[NodeId(0), NodeId(1)]);
+        assert_eq!(t.ti_reads(), before + 2, "both active nodes are read");
+        assert_eq!(cti, 1.0);
+    }
+
+    #[test]
+    fn weight_slots_track_status_transitions() {
+        let mut t = TrustTable::new(params(), 2)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(1, 1);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(0));
+        }
+        // Quarantined: contributes nothing, costs no read.
+        let before = t.ti_reads();
+        assert_eq!(t.cumulative_trust(&[NodeId(0)]), 0.0);
+        assert_eq!(t.ti_reads(), before);
+        // Probation: votes again at threshold trust.
+        t.tick_round();
+        assert!((t.cumulative_trust(&[NodeId(0)]) - 0.5).abs() < 1e-12);
+        // Install of a quarantined record zeroes the weight...
+        let mut u = TrustTable::new(params(), 2).with_isolation_threshold(0.5);
+        u.install(
+            NodeId(1),
+            TrustRecord {
+                counter: 1.0,
+                status: NodeStatus::Quarantined { remaining: 7 },
+            },
+        );
+        assert_eq!(u.cumulative_trust(&[NodeId(1)]), 0.0);
+        // ...and a restored table rebuilds the same weights.
+        let r = TrustTable::from_state(&u.export_state()).unwrap();
+        assert_eq!(
+            r.cumulative_trust(&[NodeId(0), NodeId(1)]).to_bits(),
+            u.cumulative_trust(&[NodeId(0), NodeId(1)]).to_bits()
+        );
     }
 
     #[test]

@@ -37,9 +37,40 @@ impl Weighting<'_> {
 
     /// The cumulative weight of a group (CTI under
     /// [`Weighting::Trust`], head-count under [`Weighting::Uniform`]).
+    ///
+    /// The trust arm goes through [`TrustTable::cumulative_trust`] — one
+    /// branch-free pass over the table's dense weight slots — rather than
+    /// per-node [`Weighting::weight_of`] calls; both fold the same values
+    /// in the same order (isolated nodes contribute a bit-neutral zero
+    /// either way), so the results are bit-identical.
     #[must_use]
     pub fn group_weight(&self, group: &[NodeId]) -> f64 {
-        group.iter().map(|&n| self.weight_of(n)).sum()
+        match self {
+            Weighting::Trust(table) => {
+                let s = table.cumulative_trust(group);
+                // The old per-node fold added a literal +0.0 for each
+                // isolated member (it never skipped), so any nonempty
+                // group sums to +0.0 at worst; only the empty fold keeps
+                // the -0.0 seed. cumulative_trust skips isolated members
+                // instead, which can leave the seed's sign — normalize so
+                // the bits match the old fold in both cases.
+                if s == 0.0 && !group.is_empty() {
+                    0.0
+                } else {
+                    s
+                }
+            }
+            // Σ 1.0 over n members is exact integer float arithmetic, so
+            // the cast equals the fold bitwise — but an empty fold keeps
+            // the -0.0 seed.
+            Weighting::Uniform => {
+                if group.is_empty() {
+                    -0.0
+                } else {
+                    group.len() as f64
+                }
+            }
+        }
     }
 }
 
@@ -185,6 +216,37 @@ mod tests {
         let w = Weighting::Trust(&table);
         assert_eq!(w.weight_of(NodeId(2)), 0.0);
         assert_eq!(w.weight_of(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn group_weight_matches_per_node_fold_bitwise() {
+        // The dense-CTI dispatch must reproduce the historical per-node
+        // fold exactly, including its ±0.0 edge cases: an empty group
+        // keeps Sum's -0.0 seed, a nonempty all-isolated group folds
+        // literal +0.0s.
+        let params = TrustParams::new(0.5, 0.1);
+        let mut table = TrustTable::new(params, 4).with_isolation_threshold(0.9);
+        table.record_faulty(NodeId(0));
+        table.record_faulty(NodeId(1));
+        assert!(table.is_isolated(NodeId(0)) && table.is_isolated(NodeId(1)));
+        let w = Weighting::Trust(&table);
+        let reference = |group: &[NodeId]| -> f64 { group.iter().map(|&n| w.weight_of(n)).sum() };
+        for group in [
+            &[][..],
+            &[NodeId(0)][..],
+            &[NodeId(0), NodeId(1)][..],
+            &[NodeId(0), NodeId(2)][..],
+            &[NodeId(2), NodeId(3), NodeId(0)][..],
+        ] {
+            assert_eq!(
+                w.group_weight(group).to_bits(),
+                reference(group).to_bits(),
+                "group {group:?}"
+            );
+        }
+        let u = Weighting::Uniform;
+        assert_eq!(u.group_weight(&[]).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(u.group_weight(&[NodeId(0), NodeId(1)]), 2.0);
     }
 
     #[test]

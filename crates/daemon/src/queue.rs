@@ -159,6 +159,14 @@ struct QueueState {
     stats: QueueStats,
     shed_log: Vec<(u64, u64, u64)>,
     closed: bool,
+    /// Worker-incarnation fence. [`SharedQueue::recovery_view`] bumps
+    /// it, after which the superseded incarnation's `pop`,
+    /// `complete_tick`, and snapshot commits are rejected — a worker
+    /// the watchdog has replaced (even a false positive under CPU
+    /// starvation: it may still be running) can no longer consume
+    /// items, acknowledge ticks, or clear the replay buffer out from
+    /// under its replacement.
+    generation: u64,
 }
 
 /// A tenant's ingest queue, shared between the router, its worker, and
@@ -192,6 +200,7 @@ impl SharedQueue {
                 stats: QueueStats::default(),
                 shed_log: Vec::new(),
                 closed: false,
+                generation: 0,
             }),
             work_available: Condvar::new(),
             drained: Condvar::new(),
@@ -353,10 +362,16 @@ impl SharedQueue {
     }
 
     /// Blocks until a work item is available (or the queue is closed),
-    /// then pops it. `None` means closed-and-empty: exit.
-    pub fn pop(&self) -> Option<WorkItem> {
+    /// then pops it. `None` means closed-and-empty — or a superseded
+    /// `generation` — either way: exit. The generation check comes
+    /// first so a replaced-but-still-running worker never steals items
+    /// (including the final `Shutdown`) from its replacement.
+    pub fn pop(&self, generation: u64) -> Option<WorkItem> {
         let mut st = self.lock();
         loop {
+            if st.generation != generation {
+                return None;
+            }
             if let Some(item) = st.ready.pop_front() {
                 return Some(item);
             }
@@ -372,19 +387,39 @@ impl SharedQueue {
 
     /// Worker acknowledgment that tick `tick` (and everything issued
     /// before it) is fully applied. Unblocks [`SharedQueue::end_tick`].
-    pub fn complete_tick(&self, tick: u64) {
+    /// Ignored from a superseded generation: only the live incarnation
+    /// may acknowledge progress.
+    pub fn complete_tick(&self, generation: u64, tick: u64) {
         let mut st = self.lock();
+        if st.generation != generation {
+            return;
+        }
         st.completed_ticks = st.completed_ticks.max(tick);
         drop(st);
         self.drained.notify_all();
     }
 
-    /// Clears the recovery buffer — called by the worker immediately
-    /// after a snapshot reaches disk, while the router is parked in the
-    /// drain wait, so buffer contents always postdate the last durable
-    /// snapshot.
-    pub fn snapshot_committed(&self) {
-        self.lock().replay.clear();
+    /// Commits a snapshot: runs `write` (the state-file write) and, on
+    /// success, clears the replay buffer — atomically with respect to
+    /// [`SharedQueue::recovery_view`], under the queue lock. Returns
+    /// `Ok(false)` without writing if `generation` is superseded: a
+    /// replaced worker must not publish a state file (or clear the
+    /// buffer) that its replacement's respawn sequence no longer
+    /// accounts for. The write is short (a rename-into-place of an
+    /// already-encoded blob) and happens only at tick boundaries, so
+    /// holding the lock across it is acceptable.
+    pub fn commit_snapshot<E>(
+        &self,
+        generation: u64,
+        write: impl FnOnce() -> Result<(), E>,
+    ) -> Result<bool, E> {
+        let mut st = self.lock();
+        if st.generation != generation {
+            return Ok(false);
+        }
+        write()?;
+        st.replay.clear();
+        Ok(true)
     }
 
     /// The dedup highwaters and counters, cloned for a snapshot. Only
@@ -398,15 +433,25 @@ impl SharedQueue {
         )
     }
 
-    /// Crash recovery: clears undelivered work (the replacement will
-    /// regenerate it from the buffer) and returns a clone of the
+    /// Crash recovery: supersedes the current worker generation,
+    /// clears undelivered work (the replacement regenerates it from
+    /// the buffer), and returns the new generation plus a clone of the
     /// recovery buffer. The buffer itself is retained until the next
-    /// snapshot commit, so repeated failures replay from the same base.
+    /// snapshot commit, so repeated failures replay from the same
+    /// base. Call this *before* reading the tenant state file: the
+    /// generation bump is the fence that stops a still-running old
+    /// incarnation from committing a newer snapshot after the read.
     #[must_use]
-    pub fn recovery_view(&self) -> Vec<WorkItem> {
+    pub fn recovery_view(&self) -> (u64, Vec<WorkItem>) {
         let mut st = self.lock();
+        st.generation += 1;
         st.ready.clear();
-        st.replay.clone()
+        let view = (st.generation, st.replay.clone());
+        drop(st);
+        // Wake any superseded worker parked in `pop` so it notices the
+        // fence and exits instead of sleeping until the next notify.
+        self.work_available.notify_all();
+        view
     }
 
     /// Closes the queue after pushing a [`WorkItem::Shutdown`]: the
@@ -497,14 +542,14 @@ mod tests {
         assert_eq!(out, TickAdmission { admitted: 2, shed: 2 });
         // The two x=9 records win; applied in (time, src, seq) order.
         assert_eq!(
-            q.pop(),
+            q.pop(0),
             Some(WorkItem::Record(report(1, 2, 9.0)))
         );
         assert_eq!(
-            q.pop(),
+            q.pop(0),
             Some(WorkItem::Record(report(1, 3, 9.0)))
         );
-        assert_eq!(q.pop(), Some(WorkItem::TickEnd(1)));
+        assert_eq!(q.pop(0), Some(WorkItem::TickEnd(1)));
         assert_eq!(q.shed_log(), vec![(1, 1, 4), (1, 1, 1)]);
     }
 
@@ -551,19 +596,20 @@ mod tests {
         q.offer(report(1, 1, 0.0));
         q.end_tick(1, |_| 0);
         // Worker applies tick 1 and commits a snapshot.
-        while let Some(item) = q.pop() {
+        while let Some(item) = q.pop(0) {
             if matches!(item, WorkItem::TickEnd(_)) {
                 break;
             }
         }
-        q.complete_tick(1);
-        q.snapshot_committed();
+        q.complete_tick(0, 1);
+        assert_eq!(q.commit_snapshot(0, || Ok::<(), ()>(())), Ok(true));
         // Tick 2 issued but the worker wedges mid-batch.
         q.offer(report(1, 2, 0.0));
         q.offer(report(1, 3, 0.0));
         q.end_tick(2, |_| 0);
-        let _ = q.pop(); // worker consumed one record, then died
-        let buffer = q.recovery_view();
+        let _ = q.pop(0); // worker consumed one record, then died
+        let (generation, buffer) = q.recovery_view();
+        assert_eq!(generation, 1);
         assert_eq!(
             buffer,
             vec![
@@ -575,19 +621,19 @@ mod tests {
         // Undelivered work was cleared — the replacement replays the
         // buffer instead.
         q.close();
-        assert_eq!(q.pop(), Some(WorkItem::Shutdown));
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(generation), Some(WorkItem::Shutdown));
+        assert_eq!(q.pop(generation), None);
     }
 
     #[test]
     fn close_unblocks_pop_and_end_tick() {
         let q = std::sync::Arc::new(SharedQueue::new(policy(4, 1)));
         let q2 = q.clone();
-        let h = std::thread::spawn(move || q2.pop());
+        let h = std::thread::spawn(move || q2.pop(0));
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(h.join().unwrap(), Some(WorkItem::Shutdown));
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(0), None);
         assert_eq!(q.end_tick(5, |_| 0), TickAdmission::default());
     }
 
@@ -597,11 +643,46 @@ mod tests {
         q.offer_query(Query::Round { tenant: 0 });
         q.offer(report(1, 1, 0.0));
         q.end_tick(1, |_| 0);
-        assert_eq!(q.pop(), Some(WorkItem::Record(report(1, 1, 0.0))));
-        assert_eq!(q.pop(), Some(WorkItem::Query(Query::Round { tenant: 0 })));
-        assert_eq!(q.pop(), Some(WorkItem::TickEnd(1)));
-        let buffer = q.recovery_view();
+        assert_eq!(q.pop(0), Some(WorkItem::Record(report(1, 1, 0.0))));
+        assert_eq!(q.pop(0), Some(WorkItem::Query(Query::Round { tenant: 0 })));
+        assert_eq!(q.pop(0), Some(WorkItem::TickEnd(1)));
+        let (_, buffer) = q.recovery_view();
         assert!(!buffer.iter().any(|i| matches!(i, WorkItem::Query(_))));
+    }
+
+    #[test]
+    fn superseded_generation_is_fenced_out() {
+        let q = std::sync::Arc::new(SharedQueue::new(policy(8, 8)));
+        q.offer(report(1, 1, 0.0));
+        q.end_tick(1, |_| 0);
+        let (generation, buffer) = q.recovery_view();
+        assert_eq!(buffer.len(), 2); // record + tick end
+        // The old incarnation (generation 0) can no longer consume
+        // items, acknowledge ticks, or commit snapshots...
+        assert_eq!(q.pop(0), None);
+        q.complete_tick(0, 1);
+        assert!(q.has_outstanding(), "stale complete_tick must be ignored");
+        let mut wrote = false;
+        assert_eq!(
+            q.commit_snapshot(0, || {
+                wrote = true;
+                Ok::<(), ()>(())
+            }),
+            Ok(false)
+        );
+        assert!(!wrote, "stale snapshot write must not run");
+        // ...while the replacement operates normally.
+        q.complete_tick(generation, 1);
+        assert!(!q.has_outstanding());
+        assert_eq!(q.commit_snapshot(generation, || Ok::<(), ()>(())), Ok(true));
+        let (_, buffer) = q.recovery_view();
+        assert!(buffer.is_empty(), "commit cleared the replay buffer");
+        // A stale worker parked in pop is woken by the fence.
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let _ = q.recovery_view();
+        assert_eq!(h.join().unwrap(), None);
     }
 
     #[test]

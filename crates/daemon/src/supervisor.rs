@@ -207,6 +207,19 @@ impl LogSink {
         }
     }
 
+    /// Supersedes the current epoch without opening a new file: the
+    /// old incarnation's unflushed buffer is dropped and all its
+    /// future writes rejected, while the log file itself stays
+    /// untouched for the respawn sequence to truncate. `reopen` then
+    /// picks up the truncated file (a fresh inode — truncation is
+    /// rename-into-place) under yet another epoch.
+    fn supersede(&mut self) {
+        if let Some(old) = self.file.take() {
+            let _ = old.into_parts();
+        }
+        self.epoch += 1;
+    }
+
     /// Supersedes the current epoch (dropping its unflushed buffer —
     /// the recovery replay regenerates those lines) and reopens the
     /// file for appending. Returns the new epoch.
@@ -226,13 +239,19 @@ impl LogSink {
         Ok(self.epoch)
     }
 
-    fn write_line(&mut self, epoch: u64, line: &str) -> Result<(), DaemonError> {
+    /// Appends a pre-formatted block of newline-terminated decision
+    /// lines. The worker batches lines locally and pushes one block per
+    /// tick, so the per-record cost is a `String` append instead of a
+    /// mutex acquisition; the epoch guard applies to the whole block,
+    /// which keeps supersession all-or-nothing (a superseded worker's
+    /// buffered lines vanish exactly like its dropped `BufWriter`
+    /// contents used to — recovery replay regenerates them).
+    fn write_block(&mut self, epoch: u64, block: &str) -> Result<(), DaemonError> {
         if epoch != self.epoch {
             return Ok(());
         }
         if let Some(f) = self.file.as_mut() {
-            f.write_all(line.as_bytes()).map_err(DaemonError::Io)?;
-            f.write_all(b"\n").map_err(DaemonError::Io)?;
+            f.write_all(block.as_bytes()).map_err(DaemonError::Io)?;
         }
         Ok(())
     }
@@ -336,6 +355,11 @@ pub struct DaemonReport {
 
 struct WorkerTask {
     incarnation: u64,
+    /// Queue-generation fence: the worker passes this to every `pop`,
+    /// `complete_tick`, and snapshot commit, so once the watchdog
+    /// supersedes it (respawn bumps the queue generation) it can no
+    /// longer consume work or publish state, even if still running.
+    generation: u64,
     tenant: Tenant,
     queue: Arc<SharedQueue>,
     shared: Arc<SlotShared>,
@@ -364,11 +388,15 @@ fn write_snapshot(task: &WorkerTask) -> Result<(), DaemonError> {
     let mut backoff = JitteredBackoff::new(task.backoff_seed, 2, 64);
     let mut attempts = 0u32;
     loop {
-        match write_tenant_state(&task.state_path, &bytes) {
-            Ok(()) => {
-                task.queue.snapshot_committed();
-                return Ok(());
-            }
+        // The state-file write and the replay-buffer clear commit
+        // atomically under the queue lock, fenced by generation: a
+        // superseded worker must not publish a snapshot the respawn
+        // sequence no longer accounts for (it already read the old
+        // state file), nor clear the replay its replacement needs.
+        match task.queue.commit_snapshot(task.generation, || {
+            write_tenant_state(&task.state_path, &bytes)
+        }) {
+            Ok(_committed) => return Ok(()),
             Err(e) if attempts < 3 => {
                 attempts += 1;
                 std::thread::sleep(backoff.next_delay());
@@ -389,7 +417,26 @@ fn answer_query(tenant: &Tenant, query: Query) {
     }
 }
 
-fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Step, DaemonError> {
+/// Worker-local decision-line buffer above this size is pushed to the
+/// sink mid-tick, bounding memory on record-dense ticks.
+const LINE_BUFFER_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Pushes the worker's buffered decision lines to the sink as one
+/// block and clears the buffer.
+fn flush_lines(task: &WorkerTask, buf: &mut String) -> Result<(), DaemonError> {
+    if !buf.is_empty() {
+        lock_sink(&task.sink).write_block(task.epoch, buf)?;
+        buf.clear();
+    }
+    Ok(())
+}
+
+fn process_item(
+    task: &mut WorkerTask,
+    item: WorkItem,
+    live: bool,
+    buf: &mut String,
+) -> Result<Step, DaemonError> {
     match item {
         WorkItem::Record(r) => {
             let next_round = task.tenant.round() + 1;
@@ -407,12 +454,19 @@ fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Ste
                     task.incarnation
                 );
             }
-            let line = task.tenant.apply(&r);
-            lock_sink(&task.sink).write_line(task.epoch, &line)?;
+            // Buffer the line worker-side instead of taking the sink
+            // mutex per record; blocks go to the sink at tick
+            // boundaries (or at the size cap on record-dense ticks).
+            task.tenant.apply_into(&r, buf);
+            buf.push('\n');
+            if buf.len() >= LINE_BUFFER_FLUSH_BYTES {
+                flush_lines(task, buf)?;
+            }
             task.shared.applied.fetch_add(1, Ordering::SeqCst);
             task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
         }
         WorkItem::TickEnd(t) => {
+            flush_lines(task, buf)?;
             lock_sink(&task.sink).flush(task.epoch)?;
             // Snapshots are suppressed during recovery replay: the live
             // highwater map is ahead of the replay cursor, and pairing
@@ -421,7 +475,7 @@ fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Ste
             if live && t % task.snapshot_every == 0 {
                 write_snapshot(task)?;
             }
-            task.queue.complete_tick(t);
+            task.queue.complete_tick(task.generation, t);
             task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
         }
         WorkItem::Query(q) => {
@@ -429,6 +483,7 @@ fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Ste
             task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
         }
         WorkItem::Shutdown => {
+            flush_lines(task, buf)?;
             lock_sink(&task.sink).flush(task.epoch)?;
             write_snapshot(task)?;
             return Ok(Step::Exit);
@@ -438,17 +493,24 @@ fn process_item(task: &mut WorkerTask, item: WorkItem, live: bool) -> Result<Ste
 }
 
 fn run_worker(mut task: WorkerTask) -> Result<(), DaemonError> {
+    let mut buf = String::new();
     let recovery = std::mem::take(&mut task.recovery);
     for item in recovery {
-        if let Step::Exit = process_item(&mut task, item, false)? {
+        if let Step::Exit = process_item(&mut task, item, false, &mut buf)? {
             return Ok(());
         }
     }
     loop {
-        let Some(item) = task.queue.pop() else {
+        let Some(item) = task.queue.pop(task.generation) else {
+            // Queue closed (or this incarnation superseded) without a
+            // Shutdown item reaching us: push what we have and flush
+            // the sink to disk — nothing later will. A superseded
+            // incarnation's block and flush are epoch-dropped.
+            flush_lines(&task, &mut buf)?;
+            lock_sink(&task.sink).flush(task.epoch)?;
             return Ok(());
         };
-        if let Step::Exit = process_item(&mut task, item, true)? {
+        if let Step::Exit = process_item(&mut task, item, true, &mut buf)? {
             return Ok(());
         }
     }
@@ -465,10 +527,12 @@ fn spawn_incarnation(
     epoch: u64,
     cancel: Arc<AtomicBool>,
     incarnation: u64,
+    generation: u64,
     recovery: Vec<WorkItem>,
 ) -> JoinHandle<Result<(), DaemonError>> {
     let task = WorkerTask {
         incarnation,
+        generation,
         tenant,
         queue,
         shared,
@@ -531,12 +595,23 @@ fn respawn_slot(cfg: &DaemonConfig, slot: &mut SlotCore, probation_until: u64) {
         // superseded and its cancel flag set, so it can only exit.
     }
     let outcome: Result<(), DaemonError> = (|| {
+        // Fence FIRST: bumping the queue generation stops a
+        // still-running old incarnation (a wedge, or a watchdog false
+        // positive under CPU starvation) from consuming items,
+        // acknowledging ticks, or committing a snapshot after this
+        // point. Only then is it safe to read the state file and
+        // truncate the log — nothing can move them anymore.
+        let (generation, recovery) = slot.queue.recovery_view();
+        // Epoch-supersede the sink before truncating: a woken old
+        // worker exits through its flush path, and its block must be
+        // rejected rather than appended to a log we are about to (or
+        // just did) truncate.
+        lock_sink(&slot.sink).supersede();
         let (mut tenant, round) = rebuild_tenant(cfg, slot.id)?;
         let log_path = decision_log_path(&cfg.decisions_dir, slot.id);
         truncate_decision_log(&log_path, round)?;
         let epoch = lock_sink(&slot.sink).reopen()?;
         tenant.set_positions(Arc::clone(&slot.positions));
-        let recovery = slot.queue.recovery_view();
         slot.cancel = Arc::new(AtomicBool::new(false));
         slot.incarnation += 1;
         slot.handle = Some(spawn_incarnation(
@@ -549,6 +624,7 @@ fn respawn_slot(cfg: &DaemonConfig, slot: &mut SlotCore, probation_until: u64) {
             epoch,
             Arc::clone(&slot.cancel),
             slot.incarnation,
+            generation,
             recovery,
         ));
         Ok(())
@@ -741,6 +817,7 @@ impl Daemon {
                 Arc::clone(&sink),
                 epoch,
                 Arc::clone(&cancel),
+                0,
                 0,
                 Vec::new(),
             );

@@ -106,12 +106,31 @@ pub struct Tenant {
     kind: EngineKind,
     engine: TenantEngine,
     positions: Arc<PositionView>,
+    /// Scratch for per-record position refreshes — the apply path runs
+    /// once per admitted record and must not allocate for a full
+    /// position vector each time.
+    pos_scratch: Vec<(u64, u64)>,
+    /// Scratch for the per-record trust digest, same reasoning.
+    trust_scratch: Vec<u64>,
 }
 
 fn decode_positions(bits: Vec<(u64, u64)>) -> Vec<(f64, f64)> {
     bits.into_iter()
         .map(|(x, y)| (f64::from_bits(x), f64::from_bits(y)))
         .collect()
+}
+
+/// FNV-1a over a slice of u64 words, little-endian byte order — the
+/// decision-line trust fingerprint.
+fn fnv1a_u64s(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &bits in words {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    h
 }
 
 impl Tenant {
@@ -133,6 +152,8 @@ impl Tenant {
                 radius,
                 points: Mutex::new(decode_positions(bits)),
             }),
+            pos_scratch: Vec::new(),
+            trust_scratch: Vec::new(),
         }
     }
 
@@ -250,59 +271,75 @@ impl Tenant {
     /// diff catches divergence at the exact round it appears.
     #[must_use]
     pub fn trust_digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for bits in self.trust_bits() {
-            for byte in bits.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x1_0000_01b3);
-            }
-        }
-        h
+        fnv1a_u64s(&self.trust_bits())
     }
 
     /// Applies one admitted report: runs the event round, refreshes the
     /// shared position view, and returns the decision line.
     pub fn apply(&mut self, report: &Report) -> String {
+        let mut line = String::new();
+        self.apply_into(report, &mut line);
+        line
+    }
+
+    /// [`Self::apply`] appending the decision line to a caller-owned
+    /// buffer (no trailing newline). The worker's per-record hot path:
+    /// position refresh, trust digest, and line formatting all reuse
+    /// scratch buffers, so a steady-state apply performs no heap
+    /// allocation beyond what the engine round itself needs.
+    pub fn apply_into(&mut self, report: &Report, out: &mut String) {
         let stimulus = Point::new(report.x, report.y);
         let result = match &mut self.engine {
             TenantEngine::Sequential(e) => e.run_event(stimulus),
             TenantEngine::Sharded(e) => e.run_event(stimulus),
         };
-        *self.positions.lock() = decode_positions(self.position_bits());
-        self.decision_line(report, &result)
+        match &self.engine {
+            TenantEngine::Sequential(e) => e.position_snapshot_into(&mut self.pos_scratch),
+            TenantEngine::Sharded(e) => e.position_snapshot_into(&mut self.pos_scratch),
+        }
+        {
+            let mut pts = self.positions.lock();
+            pts.clear();
+            pts.extend(
+                self.pos_scratch
+                    .iter()
+                    .map(|&(x, y)| (f64::from_bits(x), f64::from_bits(y))),
+            );
+        }
+        self.decision_line_into(report, &result, out);
     }
 
-    /// Formats the decision line for a completed round. Deterministic
-    /// byte-for-byte: coordinates use shortest round-trip formatting,
-    /// the digest pins the full trust state.
-    fn decision_line(&self, report: &Report, result: &MultiRoundResult) -> String {
+    /// Formats the decision line for a completed round into `out`.
+    /// Deterministic byte-for-byte: coordinates use shortest round-trip
+    /// formatting, the digest pins the full trust state.
+    fn decision_line_into(&mut self, report: &Report, result: &MultiRoundResult, out: &mut String) {
+        use std::fmt::Write;
         let round = self.round();
-        let mut at = String::new();
+        let _ = write!(out, "D {round} {} {} at=", report.src, report.seq);
+        if result.declared.is_empty() {
+            out.push('-');
+        }
         for (i, p) in result.declared.iter().enumerate() {
             if i > 0 {
-                at.push(';');
+                out.push(';');
             }
-            at.push_str(&format!("{},{}", p.x, p.y));
+            let _ = write!(out, "{},{}", p.x, p.y);
         }
-        if at.is_empty() {
-            at.push('-');
+        out.push_str(" by=");
+        if result.declaring_clusters.is_empty() {
+            out.push('-');
         }
-        let mut by = String::new();
         for (i, c) in result.declaring_clusters.iter().enumerate() {
             if i > 0 {
-                by.push(',');
+                out.push(',');
             }
-            by.push_str(&c.to_string());
+            let _ = write!(out, "{c}");
         }
-        if by.is_empty() {
-            by.push('-');
+        match &self.engine {
+            TenantEngine::Sequential(e) => e.trust_snapshot_into(&mut self.trust_scratch),
+            TenantEngine::Sharded(e) => e.trust_snapshot_into(&mut self.trust_scratch),
         }
-        format!(
-            "D {round} {} {} at={at} by={by} trust={:016x}",
-            report.src,
-            report.seq,
-            self.trust_digest()
-        )
+        let _ = write!(out, " trust={:016x}", fnv1a_u64s(&self.trust_scratch));
     }
 
     /// Serializes the engine to a checkpoint blob.

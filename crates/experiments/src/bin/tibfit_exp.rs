@@ -23,6 +23,7 @@ struct Options {
     chart: bool,
     checkpoint_every: Option<u64>,
     resume: Option<PathBuf>,
+    big: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         chart: false,
         checkpoint_every: None,
         resume: None,
+        big: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -69,6 +71,9 @@ fn parse_args() -> Result<Options, String> {
             "--resume" => {
                 options.resume = Some(PathBuf::from(value()?));
             }
+            "--big" => {
+                options.big = true;
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -81,10 +86,12 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: tibfit-exp <exp1|exp2|exp3|exp4|exp5|exp6|fig10|fig11|tables|ablation|all> \
      [--trials N] [--seed S] [--out DIR] [--chart] \
-     [--checkpoint-every N] [--resume PATH]\n\
+     [--checkpoint-every N] [--resume PATH] [--big]\n\
      exp6 only: --checkpoint-every N writes a crash-resumable checkpoint every N event \
      rounds (to --resume PATH, default <out>/exp6_scale.tbsn); rerunning with the same \
-     flags resumes from it."
+     flags resumes from it. --big runs the production-scale sweep (409,600 and \
+     1,000,000 nodes) instead of the paper-scale one — every cell still runs the full \
+     determinism check against the sequential reference."
         .to_string()
 }
 
@@ -175,7 +182,11 @@ fn run(options: &Options) -> Result<(), String> {
         emit(&exp5_chaos::figure_recovery_time(t, s), options);
     };
     let run_exp6 = || -> Result<(), String> {
-        let cfg = exp6_scale::Exp6Config::paper_scale(s);
+        let cfg = if options.big {
+            exp6_scale::Exp6Config::big(s)
+        } else {
+            exp6_scale::Exp6Config::paper_scale(s)
+        };
         let points = if let Some(every) = options.checkpoint_every {
             let path = options
                 .resume

@@ -175,6 +175,13 @@ pub fn restore_sharded(bytes: &[u8], threads: usize) -> Result<ShardedMultiClust
 ///
 /// [`CheckpointError::Io`] on any filesystem failure.
 pub fn write_checkpoint(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    // The first checkpoint of a sweep can land before anything else has
+    // created the --out directory.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;

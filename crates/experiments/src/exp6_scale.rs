@@ -81,6 +81,44 @@ impl Exp6Config {
         }
     }
 
+    /// Production-scale sweep: 4 096 and 10 000 clusters at 100 nodes
+    /// each — up to a million nodes on a ~3.2 km constant-density field.
+    /// Cluster counts are perfect grid products so the cluster-head
+    /// sites form a complete lattice and nearest-site queries (initial
+    /// affiliation, every re-election sweep) run through the O(1)
+    /// `SiteLattice` window instead of a linear scan over all heads —
+    /// without it, building the 10k-cluster deployment alone would cost
+    /// 10¹⁰ distance evaluations.
+    #[must_use]
+    pub fn big(seed: u64) -> Self {
+        Exp6Config {
+            clusters: vec![4096, 10_000],
+            threads: vec![1, 2, 4, 8],
+            nodes_per_cluster: 100,
+            events: 12,
+            faulty_fraction: 0.25,
+            seed,
+            adaptive: false,
+        }
+    }
+
+    /// The reduced big config the bench floors and CI smoke run: one
+    /// 1 024-cluster / 65 536-node point, sequential vs ×1 and ×4. Big
+    /// enough that per-epoch shard work dwarfs the barrier (the regime
+    /// the `shard_big_4t` floor asserts), small enough for CI minutes.
+    #[must_use]
+    pub fn big_smoke(seed: u64) -> Self {
+        Exp6Config {
+            clusters: vec![1024],
+            threads: vec![1, 4],
+            nodes_per_cluster: 64,
+            events: 10,
+            faulty_fraction: 0.25,
+            seed,
+            adaptive: false,
+        }
+    }
+
     /// Switches the sharded engines onto the adaptive-epoch driver.
     #[must_use]
     pub fn adaptive(mut self) -> Self {
@@ -220,9 +258,16 @@ fn deployment(cfg: &Exp6Config, n_clusters: usize) -> Deployment {
     let topo = Topology::uniform_grid(nodes, field, field);
     let n_faulty = (nodes as f64 * cfg.faulty_fraction).round() as usize;
     let faulty = SimRng::seed_from(cfg.seed ^ 0xFA17).choose_indices(nodes, n_faulty);
+    // Membership mask instead of per-node `contains`: same assignment,
+    // O(n) instead of O(n²) — at a million nodes the difference is the
+    // whole setup budget.
+    let mut is_faulty = vec![false; nodes];
+    for &i in &faulty {
+        is_faulty[i] = true;
+    }
     let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..nodes)
         .map(|i| -> Box<dyn NodeBehavior + Send> {
-            if faulty.contains(&i) {
+            if is_faulty[i] {
                 Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
             } else {
                 Box::new(CorrectNode::new(0.0, 1.6))
@@ -244,6 +289,43 @@ fn event_schedule(cfg: &Exp6Config, field: f64) -> Vec<Point> {
         .collect()
 }
 
+/// Per-phase scheduler time of one sharded sweep cell, from
+/// [`tibfit_sim::shard::PhaseProfile`]: where each epoch's wall-clock
+/// actually went. The phases partition the scheduler's sequential
+/// sections exactly; `busy_ns` overlaps `parallel_ns` (it is the sum of
+/// per-participant work inside the parallel span), which is what lets
+/// [`Exp6Phases::barrier_wait_ns`] estimate synchronization loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exp6Phases {
+    /// Cluster (= shard) count of the cell.
+    pub clusters: usize,
+    /// Worker threads of the cell.
+    pub threads: usize,
+    /// Epochs the scheduler ran.
+    pub epochs: u64,
+    /// Sequential pre-phase: draining pending mailboxes into inboxes.
+    pub stage_ns: u64,
+    /// Wall-clock of the parallel shard-step phase, barrier included.
+    pub parallel_ns: u64,
+    /// Summed per-participant busy time inside the parallel phase.
+    pub busy_ns: u64,
+    /// Sequential post-phase: batched outbox flush and driver sort.
+    pub route_ns: u64,
+    /// Threads participating in the parallel phase (pool + caller).
+    pub participants: u64,
+}
+
+impl Exp6Phases {
+    /// Estimated time participants spent waiting at the epoch barrier
+    /// (plus imbalance): the parallel span costs `parallel_ns` on each
+    /// of the `participants` threads; whatever wasn't measured busy was
+    /// spent waiting.
+    #[must_use]
+    pub fn barrier_wait_ns(&self) -> u64 {
+        (self.parallel_ns * self.participants).saturating_sub(self.busy_ns)
+    }
+}
+
 /// Runs the sweep. For each cluster count the sequential engine runs
 /// first (reported with `threads = 0`), then each sharded thread count;
 /// all runs on identical inputs.
@@ -253,8 +335,22 @@ fn event_schedule(cfg: &Exp6Config, field: f64) -> Vec<Point> {
 /// Returns [`Exp6Error`] for invalid sweep parameters, engine
 /// construction failures, or a cross-engine state mismatch.
 pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
+    run_exp6_with_phases(cfg).map(|(points, _)| points)
+}
+
+/// As [`run_exp6`], additionally returning the per-phase scheduler
+/// breakdown of every sharded cell (`tibfit-bench --profile` renders
+/// these; the sequential baseline has no phases).
+///
+/// # Errors
+///
+/// Identical to [`run_exp6`].
+pub fn run_exp6_with_phases(
+    cfg: &Exp6Config,
+) -> Result<(Vec<Exp6Point>, Vec<Exp6Phases>), Exp6Error> {
     cfg.validate()?;
     let mut out = Vec::new();
+    let mut phases = Vec::new();
     for &n_clusters in &cfg.clusters {
         let nodes = n_clusters * cfg.nodes_per_cluster;
         let field = (nodes as f64).sqrt() * 10.0;
@@ -323,6 +419,17 @@ pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
                 });
             }
             let dispatched = par.events_dispatched();
+            let profile = par.phase_profile();
+            phases.push(Exp6Phases {
+                clusters: n_clusters,
+                threads,
+                epochs: profile.epochs,
+                stage_ns: profile.stage_ns,
+                parallel_ns: profile.parallel_ns,
+                busy_ns: profile.busy_ns,
+                route_ns: profile.route_ns,
+                participants: par.parallel_participants() as u64,
+            });
             out.push(Exp6Point {
                 clusters: n_clusters,
                 threads,
@@ -337,7 +444,7 @@ pub fn run_exp6(cfg: &Exp6Config) -> Result<Vec<Exp6Point>, Exp6Error> {
             });
         }
     }
-    Ok(out)
+    Ok((out, phases))
 }
 
 /// Section tag: sweep-progress header of a resumable run.
@@ -795,6 +902,33 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "manual scale probe: cargo test --release -p tibfit-experiments --lib -- --ignored big_probe --nocapture"]
+    fn big_probe() {
+        for (clusters, npc, events) in
+            [(1024usize, 64usize, 10usize), (4096, 100, 4), (10_000, 100, 12)]
+        {
+            let cfg = Exp6Config {
+                clusters: vec![clusters],
+                threads: vec![1],
+                nodes_per_cluster: npc,
+                events,
+                faulty_fraction: 0.25,
+                seed: 42,
+                adaptive: false,
+            };
+            let t = Instant::now();
+            let points = run_exp6(&cfg).unwrap();
+            println!(
+                "big_probe {clusters}x{npc} ({} nodes, {events} events): total {:.2}s, seq {:.2}s, x1 {:.2}s",
+                clusters * npc,
+                t.elapsed().as_secs_f64(),
+                points[0].elapsed_ns as f64 / 1e9,
+                points[1].elapsed_ns as f64 / 1e9,
+            );
+        }
+    }
+
+    #[test]
     fn smoke_sweep_runs_and_agrees() {
         let points = run_exp6(&Exp6Config::smoke(11)).unwrap();
         // 2 cluster counts × (1 sequential + 2 sharded) rows.
@@ -806,6 +940,33 @@ mod tests {
         }
         assert!(points.iter().all(|p| p.elapsed_ns > 0));
         assert!(points.iter().filter(|p| p.threads > 0).all(|p| p.dispatched > 0));
+    }
+
+    #[test]
+    fn phases_cover_every_sharded_cell() {
+        let cfg = Exp6Config::smoke(19);
+        let (points, phases) = run_exp6_with_phases(&cfg).unwrap();
+        let sharded = points.iter().filter(|p| p.threads > 0).count();
+        assert_eq!(phases.len(), sharded);
+        for (ph, pt) in phases.iter().zip(points.iter().filter(|p| p.threads > 0)) {
+            assert_eq!((ph.clusters, ph.threads), (pt.clusters, pt.threads));
+            assert!(ph.epochs > 0, "scheduler ran epochs");
+            assert!(ph.participants >= 1);
+            assert!(ph.busy_ns > 0, "shard work was measured");
+            // The wall-clock the row reports must cover the profiled
+            // sequential sections (they are a subset of the run).
+            assert!(u128::from(ph.stage_ns + ph.route_ns) <= pt.elapsed_ns);
+            // Busy time never exceeds the whole parallel span across
+            // all participants.
+            assert!(ph.busy_ns <= ph.parallel_ns * ph.participants);
+            let _ = ph.barrier_wait_ns(); // never panics
+        }
+        // The plain runner returns the same rows (up to wall-clock).
+        let plain = run_exp6(&cfg).unwrap();
+        assert_eq!(plain.len(), points.len());
+        for (a, b) in plain.iter().zip(&points) {
+            assert_eq!(deterministic_fields(a), deterministic_fields(b));
+        }
     }
 
     #[test]

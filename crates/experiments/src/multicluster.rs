@@ -39,7 +39,7 @@ use tibfit_core::location::LocatedReport;
 use tibfit_core::trust::{TrustParams, TrustRecord, TrustTable, TrustTableState};
 use tibfit_net::channel::{ChannelModel, ChannelSnapshot};
 use tibfit_net::geometry::Point;
-use tibfit_net::topology::{nearest_site, NodeId, Topology};
+use tibfit_net::topology::{NodeId, SiteIndex, SiteLattice, Topology};
 use tibfit_sim::rng::{RngState, SimRng};
 use tibfit_sim::snapshot::SnapshotError;
 use tibfit_sim::trace::{CounterId, Trace};
@@ -385,6 +385,14 @@ impl ClusterState {
     /// head through this cluster's channel. Returns local-id reports.
     pub(crate) fn sense(&mut self, round: u64, event: Point) -> Vec<LocatedReport> {
         let mut batch = Vec::new();
+        self.sense_into(round, event, &mut batch);
+        batch
+    }
+
+    /// As [`ClusterState::sense`], appending into a caller-owned buffer
+    /// so the sharded engine can lease per-round scratch from its arena
+    /// instead of allocating a fresh batch every round.
+    pub(crate) fn sense_into(&mut self, round: u64, event: Point, batch: &mut Vec<LocatedReport>) {
         for local in 0..self.members.len() {
             let node_pos = self.positions[local];
             let is_neighbor = node_pos.distance_to(event) <= self.config.sensing_radius;
@@ -405,7 +413,6 @@ impl ClusterState {
                 self.trace.bump(self.c_dropped);
             }
         }
-        batch
     }
 
     /// Phase 2: the head decides from its fragment and judges its
@@ -413,8 +420,16 @@ impl ClusterState {
     /// this cluster owns. An empty batch decides nothing (silence about
     /// an event nobody reported is not evidence).
     pub(crate) fn decide(&mut self, batch: &[LocatedReport]) -> Vec<Point> {
+        let mut declared = Vec::new();
+        self.decide_into(batch, &mut declared);
+        declared
+    }
+
+    /// As [`ClusterState::decide`], appending declared locations into a
+    /// caller-owned buffer (arena scratch on the sharded hot path).
+    pub(crate) fn decide_into(&mut self, batch: &[LocatedReport], declared: &mut Vec<Point>) {
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         self.trace.bump(self.c_decided);
         let exp_before = self.engine.table().exp_evals();
@@ -431,9 +446,16 @@ impl ClusterState {
         for &(local, judgement) in &result.judgements {
             self.behaviors[local.index()].observe_judgement(judgement);
         }
-        let declared = result.declared_locations();
-        self.trace.bump_by(self.c_declared, declared.len() as u64);
-        declared
+        let before = declared.len();
+        declared.extend(
+            result
+                .decisions
+                .iter()
+                .filter(|d| d.event_declared)
+                .map(|d| d.location),
+        );
+        self.trace
+            .bump_by(self.c_declared, (declared.len() - before) as u64);
     }
 
     /// End-of-round mobility: each member takes a Gaussian step (clamped
@@ -460,11 +482,11 @@ impl ClusterState {
     /// gives up its last member (a head with no members is not a
     /// cluster), evaluated in member order so the retained node is
     /// deterministic.
-    pub(crate) fn departures(&mut self, sites: &[Point]) -> Vec<Handoff> {
+    pub(crate) fn departures(&mut self, sites: &SiteIndex<'_>) -> Vec<Handoff> {
         let mut leaving = vec![false; self.members.len()];
         let mut remaining = self.members.len();
         for (leave, &position) in leaving.iter_mut().zip(&self.positions) {
-            let dst = nearest_site(sites, position).expect("non-empty sites");
+            let dst = sites.nearest(position).expect("non-empty sites");
             if dst != self.index && remaining > 1 {
                 *leave = true;
                 remaining -= 1;
@@ -485,7 +507,7 @@ impl ClusterState {
             members.into_iter().zip(positions).zip(behaviors).enumerate()
         {
             if leaving[local] {
-                let dst = nearest_site(sites, position).expect("non-empty sites");
+                let dst = sites.nearest(position).expect("non-empty sites");
                 out.push(Handoff {
                     node,
                     position,
@@ -795,6 +817,11 @@ pub(crate) fn merge_declarations(
 pub struct MultiClusterSim {
     config: MultiClusterConfig,
     sites: Vec<Point>,
+    /// Cached lattice recognition over `sites` (see [`SiteLattice`]):
+    /// makes each re-election's nearest-site sweep O(nodes) instead of
+    /// O(nodes × sites) on grid deployments. Derived state — never
+    /// snapshotted, recomputed wherever `sites` is set.
+    lattice: Option<SiteLattice>,
     clusters: Vec<ClusterState>,
     /// Node → cluster index (kept current across re-elections).
     affiliation: Vec<usize>,
@@ -849,6 +876,7 @@ impl MultiClusterSim {
             partition_clusters(config, &topo, &ch_sites, behaviors, channels, master_seed)?;
         let mut sim = MultiClusterSim {
             config,
+            lattice: SiteLattice::detect(&ch_sites),
             sites: ch_sites,
             clusters,
             affiliation: Vec::new(),
@@ -937,26 +965,43 @@ impl MultiClusterSim {
     /// *identity*, not approximate equality.
     #[must_use]
     pub fn trust_snapshot(&self) -> Vec<u64> {
-        let mut out = vec![0u64; self.n_nodes];
+        let mut out = Vec::new();
+        self.trust_snapshot_into(&mut out);
+        out
+    }
+
+    /// [`Self::trust_snapshot`] into a caller-owned buffer, for hot
+    /// paths (the daemon digests trust after every applied record) that
+    /// must not allocate per call.
+    pub fn trust_snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.n_nodes, 0u64);
         for cluster in &self.clusters {
             for (local, &node) in cluster.members().iter().enumerate() {
                 out[node.index()] = cluster.counter_of(local).to_bits();
             }
         }
-        out
     }
 
     /// Bit-exact snapshot of every node's position.
     #[must_use]
     pub fn position_snapshot(&self) -> Vec<(u64, u64)> {
-        let mut out = vec![(0u64, 0u64); self.n_nodes];
+        let mut out = Vec::new();
+        self.position_snapshot_into(&mut out);
+        out
+    }
+
+    /// [`Self::position_snapshot`] into a caller-owned buffer, for hot
+    /// paths that must not allocate per call.
+    pub fn position_snapshot_into(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        out.resize(self.n_nodes, (0u64, 0u64));
         for cluster in &self.clusters {
             for (local, &node) in cluster.members().iter().enumerate() {
                 let p = cluster.position(local);
                 out[node.index()] = (p.x.to_bits(), p.y.to_bits());
             }
         }
-        out
     }
 
     /// All trace counters, prefixed per cluster (`c3.reports.delivered`),
@@ -997,7 +1042,7 @@ impl MultiClusterSim {
             // impose.
             let mut inbound: Vec<Vec<Handoff>> =
                 (0..self.clusters.len()).map(|_| Vec::new()).collect();
-            let sites = self.sites.clone();
+            let sites = SiteIndex::with_lattice(&self.sites, self.lattice);
             for cluster in &mut self.clusters {
                 for h in cluster.departures(&sites) {
                     let dst = h.dst;
@@ -1058,6 +1103,7 @@ impl MultiClusterSim {
     ) -> Self {
         let mut sim = MultiClusterSim {
             config,
+            lattice: SiteLattice::detect(&sites),
             sites,
             clusters,
             affiliation: Vec::new(),

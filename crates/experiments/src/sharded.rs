@@ -31,8 +31,11 @@ use tibfit_adversary::behavior::NodeBehavior;
 use tibfit_core::location::LocatedReport;
 use tibfit_net::channel::ChannelModel;
 use tibfit_net::geometry::Point;
-use tibfit_net::topology::{NodeId, Topology};
-use tibfit_sim::shard::{Envelope, Outbox, Shard, ShardError, ShardScheduler, DRIVER};
+use std::sync::Arc;
+
+use tibfit_net::topology::{NodeId, SiteIndex, SiteLattice, Topology};
+use tibfit_sim::arena::BufferPool;
+use tibfit_sim::shard::{Envelope, Outbox, PhaseProfile, Shard, ShardError, ShardScheduler, DRIVER};
 use tibfit_sim::snapshot::SnapshotError;
 use tibfit_sim::{Duration, Engine, SimTime};
 
@@ -106,13 +109,25 @@ enum LocalTimer {
 /// timer-wheel event queue.
 struct ClusterShard {
     state: ClusterState,
-    sites: Vec<Point>,
+    /// The cluster-head sites, shared read-only across all shards — at
+    /// 10k+ clusters a per-shard copy would cost O(shards²) memory.
+    sites: Arc<[Point]>,
+    /// Cached lattice recognition over `sites` (see [`SiteLattice`]):
+    /// detected once at construction, turns each re-election's
+    /// nearest-site sweep from O(members × sites) into O(members).
+    lattice: Option<SiteLattice>,
     config: MultiClusterConfig,
     timers: Engine<LocalTimer>,
     /// Shard-lifetime scratch for the inbox triage in [`Shard::step`] —
     /// reused across epochs so the hot path allocates nothing.
     arrivals: Vec<Handoff>,
     rounds: Vec<(SimTime, u64)>,
+    /// Arena for per-round report batches: `Sense` leases a buffer, the
+    /// matching `Decide` releases it, so steady-state rounds allocate no
+    /// batch vectors at all.
+    reports: BufferPool<LocatedReport>,
+    /// Scratch for each decide's declared locations.
+    declared: Vec<Point>,
 }
 
 impl Shard for ClusterShard {
@@ -157,14 +172,17 @@ impl Shard for ClusterShard {
             while let Some((time, timer)) = self.timers.pop_until(deadline) {
                 match timer {
                     LocalTimer::Sense { round, event } => {
-                        let batch = self.state.sense(round, event);
+                        let mut batch = self.reports.lease();
+                        self.state.sense_into(round, event, &mut batch);
                         self.timers.schedule_at(
                             time + Duration::from_ticks(T_OUT),
                             LocalTimer::Decide { batch },
                         );
                     }
                     LocalTimer::Decide { batch } => {
-                        for location in self.state.decide(&batch) {
+                        self.state.decide_into(&batch, &mut self.declared);
+                        self.reports.release(batch);
+                        for &location in &self.declared {
                             // Driver-bound messages are exempt from the
                             // conservative horizon (the base station
                             // consumes them after the epoch), so the
@@ -174,6 +192,7 @@ impl Shard for ClusterShard {
                             // the sequential engine collects them.
                             outbox.send(DRIVER, time, ClusterMsg::Declare { location });
                         }
+                        self.declared.clear();
                     }
                 }
             }
@@ -185,7 +204,8 @@ impl Shard for ClusterShard {
             // settle in the next epoch as before.
             self.state.drift();
             if self.config.reelect_every > 0 && round.is_multiple_of(self.config.reelect_every) {
-                for h in self.state.departures(&self.sites) {
+                let index = SiteIndex::with_lattice(&self.sites, self.lattice);
+                for h in self.state.departures(&index) {
                     let dst = h.dst;
                     outbox.send(dst, until, ClusterMsg::Handoff(h));
                 }
@@ -253,15 +273,20 @@ impl ShardedMultiCluster {
         round: u64,
         threads: usize,
     ) -> Result<Self, ShardedError> {
+        let lattice = SiteLattice::detect(&sites);
+        let sites: Arc<[Point]> = sites.into();
         let shards: Vec<ClusterShard> = clusters
             .into_iter()
             .map(|state| ClusterShard {
                 state,
-                sites: sites.clone(),
+                sites: Arc::clone(&sites),
+                lattice,
                 config,
                 timers: Engine::new(),
                 arrivals: Vec::new(),
                 rounds: Vec::new(),
+                reports: BufferPool::new(),
+                declared: Vec::new(),
             })
             .collect();
         let scheduler =
@@ -297,6 +322,22 @@ impl ShardedMultiCluster {
     #[must_use]
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Cumulative scheduler phase breakdown (stage / parallel / busy /
+    /// route) since construction — the measured answer to "where does
+    /// the wall-clock go" (`tibfit-bench --profile`).
+    #[must_use]
+    pub fn phase_profile(&self) -> PhaseProfile {
+        self.scheduler.profile()
+    }
+
+    /// Threads actually participating in the parallel phase (pool
+    /// workers plus the driving thread) — the divisor for interpreting
+    /// [`PhaseProfile::busy_ns`].
+    #[must_use]
+    pub fn parallel_participants(&self) -> usize {
+        self.scheduler.pool_workers() + 1
     }
 
     /// The deployment configuration the engine was built with.
@@ -475,26 +516,43 @@ impl ShardedMultiCluster {
     /// [`MultiClusterSim::trust_snapshot`].
     #[must_use]
     pub fn trust_snapshot(&self) -> Vec<u64> {
-        let mut out = vec![0u64; self.n_nodes];
+        let mut out = Vec::new();
+        self.trust_snapshot_into(&mut out);
+        out
+    }
+
+    /// [`Self::trust_snapshot`] into a caller-owned buffer, for hot
+    /// paths (the daemon digests trust after every applied record) that
+    /// must not allocate per call.
+    pub fn trust_snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.n_nodes, 0u64);
         self.scheduler.for_each_shard(|_, s| {
             for (local, &node) in s.state.members().iter().enumerate() {
                 out[node.index()] = s.state.counter_of(local).to_bits();
             }
         });
-        out
     }
 
     /// Bit-exact snapshot of every node's position.
     #[must_use]
     pub fn position_snapshot(&self) -> Vec<(u64, u64)> {
-        let mut out = vec![(0u64, 0u64); self.n_nodes];
+        let mut out = Vec::new();
+        self.position_snapshot_into(&mut out);
+        out
+    }
+
+    /// [`Self::position_snapshot`] into a caller-owned buffer, for hot
+    /// paths that must not allocate per call.
+    pub fn position_snapshot_into(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        out.resize(self.n_nodes, (0u64, 0u64));
         self.scheduler.for_each_shard(|_, s| {
             for (local, &node) in s.state.members().iter().enumerate() {
                 let p = s.state.position(local);
                 out[node.index()] = (p.x.to_bits(), p.y.to_bits());
             }
         });
-        out
     }
 
     /// All trace counters, prefixed per cluster, sorted the same way as
@@ -530,14 +588,16 @@ impl ShardedMultiCluster {
                     "shard has work in flight — capture only at an epoch barrier",
                 ));
             }
-            s.state.capture().map(|cap| (cap, s.sites.clone(), s.state.field()))
+            s.state.capture().map(|cap| (cap, Arc::clone(&s.sites), s.state.field()))
         });
         let mut clusters = Vec::with_capacity(captured.len());
         let mut sites = Vec::new();
         let mut field = (0.0, 0.0);
         for item in captured {
             let (cap, shard_sites, shard_field) = item?;
-            sites = shard_sites;
+            if sites.is_empty() {
+                sites = shard_sites.to_vec();
+            }
             field = shard_field;
             clusters.push(cap);
         }

@@ -258,9 +258,10 @@ impl Topology {
     /// Panics if `sites` is empty.
     #[must_use]
     pub fn affiliation(&self, sites: &[Point]) -> Vec<usize> {
+        let index = SiteIndex::new(sites);
         self.positions
             .iter()
-            .map(|&p| nearest_site(sites, p).expect("need at least one site"))
+            .map(|&p| index.nearest(p).expect("need at least one site"))
             .collect()
     }
 
@@ -320,6 +321,208 @@ pub fn nearest_site(sites: &[Point], p: Point) -> Option<usize> {
                 .expect("site positions are finite")
         })
         .map(|(i, _)| i)
+}
+
+/// Geometry of a complete rectangular site lattice, recognised once so
+/// nearest-site queries can scan a 3×3 cell window instead of every site.
+///
+/// The multi-cluster experiments place their cluster heads with
+/// `grid_sites`: row-major cell centers of a `cols × rows` grid. When the
+/// site list is such a lattice (and only then — [`SiteLattice::detect`]
+/// verifies every site), the site nearest to any point is provably inside
+/// the 3×3 block of cells around the point's own cell, because distances
+/// on a lattice separate per axis: the column minimising `|Δx|` and the
+/// row minimising `|Δy|` are each within one step of the point's cell,
+/// and any site two or more steps away is strictly farther on that axis
+/// than the in-window alternative. Ties (a point equidistant between
+/// adjacent cells) only involve the two adjacent columns/rows, which are
+/// also in the window — so a lowest-index-first scan of the window
+/// returns *exactly* what the full linear scan returns, bit for bit.
+///
+/// Detection is exact-shape, tolerance-position: the list must have
+/// `cols * rows == len` with the `grid_sites` column count, and every
+/// site must sit on the inferred lattice to within `1e-9` of the cell
+/// spacing (absorbing f64 rounding in the generator, five orders of
+/// magnitude below where the window argument could break). Anything else
+/// — incomplete grids, jittered or arbitrary site sets — falls back to
+/// the linear scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteLattice {
+    cols: usize,
+    rows: usize,
+    dx: f64,
+    dy: f64,
+    /// Left edge of column 0's cell (= first site x minus half a cell).
+    x0: f64,
+    /// Bottom edge of row 0's cell.
+    y0: f64,
+}
+
+impl SiteLattice {
+    /// Recognises a complete `grid_sites`-style lattice, or `None` if the
+    /// sites are anything else. O(len); run once and cache the result —
+    /// it is `Copy` and stays valid as long as the site list is unchanged.
+    #[must_use]
+    pub fn detect(sites: &[Point]) -> Option<SiteLattice> {
+        let k = sites.len();
+        // Tiny site sets gain nothing over the linear scan.
+        if k < 4 {
+            return None;
+        }
+        let cols = (k as f64).sqrt().ceil() as usize;
+        let rows = k.div_ceil(cols);
+        if cols < 2 || rows < 2 || cols * rows != k {
+            return None;
+        }
+        let dx = sites[1].x - sites[0].x;
+        let dy = sites[cols].y - sites[0].y;
+        if !(dx.is_finite() && dy.is_finite() && dx > 0.0 && dy > 0.0) {
+            return None;
+        }
+        let tol = 1e-9 * (dx + dy);
+        for r in 0..rows {
+            let ey = sites[0].y + r as f64 * dy;
+            for c in 0..cols {
+                let s = sites[r * cols + c];
+                let ex = sites[0].x + c as f64 * dx;
+                if (s.x - ex).abs() > tol || (s.y - ey).abs() > tol {
+                    return None;
+                }
+            }
+        }
+        Some(SiteLattice {
+            cols,
+            rows,
+            dx,
+            dy,
+            x0: sites[0].x - 0.5 * dx,
+            y0: sites[0].y - 0.5 * dy,
+        })
+    }
+
+    /// Sites on this lattice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// A lattice always has at least four sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The cell index containing `v` along one axis, clamped to the
+    /// grid. Off-by-one from f64 rounding at a cell boundary is harmless:
+    /// the scan window is ±1 cell, and the only nearest-site candidates
+    /// for a boundary point are the two cells straddling it — inside the
+    /// window from either side.
+    fn cell(v: f64, v0: f64, d: f64, n: usize) -> usize {
+        let c = ((v - v0) / d).floor();
+        if c <= 0.0 {
+            0
+        } else if c >= (n - 1) as f64 {
+            n - 1
+        } else {
+            c as usize
+        }
+    }
+
+    /// The nearest site to `p` via the 3×3 window — identical result to
+    /// the linear scan, including the lower-index tie-break (the window
+    /// is visited in ascending site index, and a site only replaces the
+    /// incumbent when strictly nearer).
+    fn nearest(&self, sites: &[Point], p: Point) -> usize {
+        let cx = Self::cell(p.x, self.x0, self.dx, self.cols);
+        let cy = Self::cell(p.y, self.y0, self.dy, self.rows);
+        let c_lo = cx.saturating_sub(1);
+        let c_hi = (cx + 1).min(self.cols - 1);
+        let r_lo = cy.saturating_sub(1);
+        let r_hi = (cy + 1).min(self.rows - 1);
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for r in r_lo..=r_hi {
+            for c in c_lo..=c_hi {
+                let i = r * self.cols + c;
+                let d = sites[i].distance_sq(p);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Nearest-site lookup over a fixed site list, accelerated when the
+/// sites form a [`SiteLattice`]. [`SiteIndex::nearest`] always returns
+/// exactly what [`nearest_site`] returns; the lattice fast path only
+/// changes the cost (O(1) instead of O(len)).
+///
+/// ```rust
+/// use tibfit_net::geometry::Point;
+/// use tibfit_net::topology::{nearest_site, SiteIndex};
+///
+/// let sites: Vec<Point> = (0..4)
+///     .flat_map(|r| (0..4).map(move |c| {
+///         Point::new(c as f64 * 10.0 + 5.0, r as f64 * 10.0 + 5.0)
+///     }))
+///     .collect();
+/// let index = SiteIndex::new(&sites);
+/// assert!(index.is_accelerated());
+/// let p = Point::new(13.0, 27.0);
+/// assert_eq!(index.nearest(p), nearest_site(&sites, p));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SiteIndex<'a> {
+    sites: &'a [Point],
+    lattice: Option<SiteLattice>,
+}
+
+impl<'a> SiteIndex<'a> {
+    /// Builds the index, detecting the lattice (O(len)). For repeated
+    /// construction over an unchanging site list, detect once and use
+    /// [`SiteIndex::with_lattice`].
+    #[must_use]
+    pub fn new(sites: &'a [Point]) -> Self {
+        SiteIndex {
+            sites,
+            lattice: SiteLattice::detect(sites),
+        }
+    }
+
+    /// Builds the index from a cached [`SiteLattice::detect`] result for
+    /// the *same* site list — O(1).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the lattice size disagrees with the site count
+    /// (the canary for passing a lattice detected on different sites).
+    #[must_use]
+    pub fn with_lattice(sites: &'a [Point], lattice: Option<SiteLattice>) -> Self {
+        if let Some(l) = &lattice {
+            debug_assert_eq!(l.len(), sites.len(), "lattice detected on different sites");
+        }
+        SiteIndex { sites, lattice }
+    }
+
+    /// Index of the site nearest to `p` (ties broken by lower index), or
+    /// `None` if the site list is empty. Identical to
+    /// [`nearest_site`] on the same list, at O(1) when accelerated.
+    #[must_use]
+    pub fn nearest(&self, p: Point) -> Option<usize> {
+        match &self.lattice {
+            Some(lattice) => Some(lattice.nearest(self.sites, p)),
+            None => nearest_site(self.sites, p),
+        }
+    }
+
+    /// Whether the lattice fast path is active.
+    #[must_use]
+    pub fn is_accelerated(&self) -> bool {
+        self.lattice.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -488,5 +691,127 @@ mod tests {
         let t = Topology::uniform_grid(7, 10.0, 10.0);
         let ids: Vec<usize> = t.node_ids().map(NodeId::index).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    /// `grid_sites`-style lattice: row-major cell centers of the
+    /// `ceil(sqrt(k))`-column grid, like the exp6 cluster-head layout.
+    fn lattice_sites(k: usize, field_w: f64, field_h: f64) -> Vec<Point> {
+        let cols = (k as f64).sqrt().ceil() as usize;
+        let rows = k.div_ceil(cols);
+        let dx = field_w / cols as f64;
+        let dy = field_h / rows as f64;
+        let mut sites = Vec::with_capacity(k);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if sites.len() == k {
+                    break 'outer;
+                }
+                sites.push(Point::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy));
+            }
+        }
+        sites
+    }
+
+    #[test]
+    fn site_index_detects_complete_lattices_only() {
+        // Complete grids accelerate.
+        for k in [4, 9, 16, 100, 256] {
+            let sites = lattice_sites(k, 100.0, 100.0);
+            assert!(SiteIndex::new(&sites).is_accelerated(), "k={k}");
+        }
+        // Incomplete grids, tiny sets, and perturbed lattices fall back.
+        for k in [1, 2, 3, 5, 32, 101] {
+            let sites = lattice_sites(k, 100.0, 100.0);
+            assert!(!SiteIndex::new(&sites).is_accelerated(), "k={k}");
+        }
+        let mut bent = lattice_sites(16, 100.0, 100.0);
+        bent[7] = bent[7].offset(0.5, 0.0);
+        assert!(!SiteIndex::new(&bent).is_accelerated());
+        // Either way, results match the linear scan.
+        let idx = SiteIndex::new(&bent);
+        let mut rng = SimRng::seed_from(77);
+        for _ in 0..200 {
+            let p = Point::new(rng.uniform_range(0.0, 100.0), rng.uniform_range(0.0, 100.0));
+            assert_eq!(idx.nearest(p), nearest_site(&bent, p));
+        }
+    }
+
+    #[test]
+    fn site_index_matches_linear_scan_everywhere() {
+        // Random points on accelerated lattices of many shapes and
+        // aspect ratios, including points outside the lattice extent.
+        let mut rng = SimRng::seed_from(0x51);
+        for k in [4usize, 9, 16, 64, 100, 144, 256] {
+            for &(w, h) in &[(100.0, 100.0), (320.0, 40.0), (16.0, 400.0)] {
+                let sites = lattice_sites(k, w, h);
+                let idx = SiteIndex::new(&sites);
+                assert!(idx.is_accelerated(), "k={k} {w}x{h}");
+                for _ in 0..300 {
+                    let p = Point::new(
+                        rng.uniform_range(-0.2 * w, 1.2 * w),
+                        rng.uniform_range(-0.2 * h, 1.2 * h),
+                    );
+                    assert_eq!(
+                        idx.nearest(p),
+                        nearest_site(&sites, p),
+                        "k={k} field {w}x{h} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn site_index_ties_break_identically_on_cell_boundaries() {
+        // Points exactly on cell edges and corners are equidistant
+        // between adjacent sites; the window scan must pick the same
+        // (lowest) index the linear scan does.
+        let sites = lattice_sites(16, 80.0, 80.0);
+        let idx = SiteIndex::new(&sites);
+        for gx in 0..=4 {
+            for gy in 0..=4 {
+                let p = Point::new(gx as f64 * 20.0, gy as f64 * 20.0);
+                assert_eq!(idx.nearest(p), nearest_site(&sites, p), "corner {p}");
+                let e = Point::new(gx as f64 * 20.0, gy as f64 * 20.0 + 10.0);
+                assert_eq!(idx.nearest(e), nearest_site(&sites, e), "edge {e}");
+            }
+        }
+        // And exactly on the sites themselves (distance zero).
+        for (i, &s) in sites.iter().enumerate() {
+            assert_eq!(idx.nearest(s), Some(i));
+        }
+    }
+
+    #[test]
+    fn site_index_cached_lattice_matches_fresh_detection() {
+        let sites = lattice_sites(64, 100.0, 100.0);
+        let lattice = SiteLattice::detect(&sites);
+        assert!(lattice.is_some());
+        assert_eq!(lattice.map(|l| l.len()), Some(64));
+        let cached = SiteIndex::with_lattice(&sites, lattice);
+        let fresh = SiteIndex::new(&sites);
+        let mut rng = SimRng::seed_from(0xCA);
+        for _ in 0..200 {
+            let p = Point::new(rng.uniform_range(0.0, 100.0), rng.uniform_range(0.0, 100.0));
+            assert_eq!(cached.nearest(p), fresh.nearest(p));
+        }
+        assert_eq!(SiteIndex::with_lattice(&sites, None).nearest(sites[5]), Some(5));
+    }
+
+    #[test]
+    fn affiliation_accelerated_matches_linear_scan() {
+        // `affiliation` now routes through `SiteIndex`; pin it against
+        // the raw scan on an accelerated site set with drifting nodes.
+        let mut rng = SimRng::seed_from(0xAF);
+        let positions: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.uniform_range(0.0, 120.0), rng.uniform_range(0.0, 90.0)))
+            .collect();
+        let t = Topology::from_positions(positions, 120.0, 90.0);
+        let sites = lattice_sites(36, 120.0, 90.0);
+        assert!(SiteIndex::new(&sites).is_accelerated());
+        let aff = t.affiliation(&sites);
+        for (id, p) in t.iter() {
+            assert_eq!(aff[id.index()], nearest_site(&sites, p).unwrap());
+        }
     }
 }

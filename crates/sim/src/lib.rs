@@ -13,6 +13,8 @@
 //! * a conservative window-synchronized shard scheduler for running
 //!   nearly independent partitions in parallel without losing
 //!   reproducibility ([`shard::ShardScheduler`]),
+//! * recycling buffer pools that make per-epoch scratch allocation-free
+//!   across epochs ([`arena::BufferPool`]),
 //! * statistics accumulators for building the paper's figures
 //!   ([`stats::Running`], [`stats::Series`]),
 //! * a versioned, CRC-framed binary container for checkpoint blobs
@@ -49,6 +51,7 @@ mod clock;
 mod engine;
 mod queue;
 
+pub mod arena;
 pub mod rng;
 pub mod shard;
 pub mod shutdown;

@@ -40,8 +40,9 @@
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::clock::{Duration, SimTime};
 
@@ -374,6 +375,54 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Cumulative wall-clock breakdown of scheduler time by phase, in
+/// nanoseconds, accumulated over every epoch since construction.
+///
+/// Timing is observational only — it never feeds back into the
+/// simulation, so enabling it cannot perturb the deterministic trace.
+/// Diff two snapshots of [`ShardScheduler::profile`] to attribute a
+/// measured interval.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Staging: draining pending mailboxes into shard inboxes and
+    /// sorting them into `(time, src, seq)` order.
+    pub stage_ns: u64,
+    /// Wall-clock span of the parallel phase (shard work *plus* the
+    /// epoch barrier handshakes and any load imbalance).
+    pub parallel_ns: u64,
+    /// Summed busy time of every parallel-phase participant (pool
+    /// workers and the calling thread): shard stepping plus outbox
+    /// sorting. `parallel_ns × participants − busy_ns` approximates the
+    /// time lost to the barrier and to uneven shard costs.
+    pub busy_ns: u64,
+    /// Routing: flushing sorted outbox runs into next-epoch mailboxes
+    /// and the driver buffer, including the final driver-order sort.
+    pub route_ns: u64,
+    /// Epochs measured.
+    pub epochs: u64,
+}
+
+impl PhaseProfile {
+    /// Total scheduler wall-clock across the measured phases.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns + self.parallel_ns + self.route_ns
+    }
+
+    /// Phase-by-phase difference (`self − earlier`), for attributing a
+    /// measured interval between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &PhaseProfile) -> PhaseProfile {
+        PhaseProfile {
+            stage_ns: self.stage_ns.saturating_sub(earlier.stage_ns),
+            parallel_ns: self.parallel_ns.saturating_sub(earlier.parallel_ns),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            route_ns: self.route_ns.saturating_sub(earlier.route_ns),
+            epochs: self.epochs.saturating_sub(earlier.epochs),
+        }
+    }
+}
+
 /// Lockstep scheduler over a set of [`Shard`]s.
 ///
 /// Each [`ShardScheduler::step_epoch`] call advances every shard by one
@@ -395,6 +444,15 @@ pub struct ShardScheduler<S: Shard> {
     pool: Option<WorkerPool>,
     /// Chunk-claim cursor for the parallel phase, reset each epoch.
     cursor: AtomicUsize,
+    /// Per-phase wall-clock accumulators (busy time lives in `busy`,
+    /// which workers update concurrently).
+    profile: PhaseProfile,
+    /// Summed worker busy time; an atomic because every parallel-phase
+    /// participant adds its own span.
+    busy: AtomicU64,
+    /// Scratch for the routing phase: `(dst, run_len)` pairs of the
+    /// current outbox, reused across epochs.
+    route_runs: Vec<(usize, usize)>,
     window: Duration,
     threads: usize,
     now: SimTime,
@@ -450,6 +508,9 @@ impl<S: Shard> ShardScheduler<S> {
             pending: (0..n).map(|_| Vec::new()).collect(),
             pool,
             cursor: AtomicUsize::new(0),
+            profile: PhaseProfile::default(),
+            busy: AtomicU64::new(0),
+            route_runs: Vec::new(),
             window,
             threads,
             now: SimTime::ZERO,
@@ -503,6 +564,19 @@ impl<S: Shard> ShardScheduler<S> {
     #[must_use]
     pub fn pool_workers(&self) -> usize {
         self.pool.as_ref().map_or(0, WorkerPool::workers)
+    }
+
+    /// Cumulative per-phase wall-clock breakdown since construction.
+    ///
+    /// `busy_ns` sums every participant's in-phase work, so with `k`
+    /// participants it may exceed `parallel_ns` only through clock
+    /// skew — in practice `parallel_ns × k − busy_ns` is the barrier +
+    /// imbalance overhead the profile exists to expose.
+    #[must_use]
+    pub fn profile(&self) -> PhaseProfile {
+        let mut p = self.profile;
+        p.busy_ns = self.busy.load(Ordering::Relaxed);
+        p
     }
 
     /// Read access to one shard (between epochs).
@@ -628,6 +702,7 @@ impl<S: Shard> ShardScheduler<S> {
         // Stage inboxes: drain the pending mailboxes into the slots,
         // sorted by the total (time, src, seq) order. The key is unique
         // per envelope, so the unstable sort is exact.
+        let t_stage = Instant::now();
         for (i, cell) in self.slots.iter_mut().enumerate() {
             let slot = cell.0.get_mut();
             debug_assert!(slot.inbox.is_empty(), "inbox not drained by step");
@@ -635,9 +710,15 @@ impl<S: Shard> ShardScheduler<S> {
             slot.inbox.sort_unstable_by_key(Envelope::key);
             slot.outbox.horizon = until;
         }
+        self.profile.stage_ns += t_stage.elapsed().as_nanos() as u64;
 
         // Parallel phase: shards are independent within an epoch, so any
-        // assignment of shards to workers computes the same result.
+        // assignment of shards to workers computes the same result. Each
+        // worker also sorts its shards' staged outboxes by (dst, key) on
+        // the way out, so the sequential routing phase below sees
+        // contiguous per-destination runs — the sort cost parallelizes,
+        // the flush does not.
+        let t_par = Instant::now();
         match &self.pool {
             None => {
                 for cell in &mut self.slots {
@@ -646,7 +727,12 @@ impl<S: Shard> ShardScheduler<S> {
                     slot.shard.step(until, &mut inbox, &mut slot.outbox);
                     inbox.clear();
                     slot.inbox = inbox; // return the buffer for reuse
+                    slot.outbox
+                        .staged
+                        .sort_unstable_by_key(|(dst, env)| (*dst, env.key()));
                 }
+                self.busy
+                    .fetch_add(t_par.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             Some(pool) => {
                 let workers = pool.workers() + 1;
@@ -656,42 +742,80 @@ impl<S: Shard> ShardScheduler<S> {
                 self.cursor.store(0, Ordering::Relaxed);
                 let cursor = &self.cursor;
                 let slots = &self.slots[..];
-                pool.run(&move || loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+                let busy = &self.busy;
+                pool.run(&move || {
+                    let t_busy = Instant::now();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for cell in &slots[start..(start + chunk).min(n)] {
+                            // Safety: this index range was claimed exclusively
+                            // off the cursor; no other thread touches it this
+                            // epoch.
+                            let slot = unsafe { &mut *cell.0.get() };
+                            let mut inbox = std::mem::take(&mut slot.inbox);
+                            slot.shard.step(until, &mut inbox, &mut slot.outbox);
+                            inbox.clear();
+                            slot.inbox = inbox;
+                            slot.outbox
+                                .staged
+                                .sort_unstable_by_key(|(dst, env)| (*dst, env.key()));
+                        }
                     }
-                    for cell in &slots[start..(start + chunk).min(n)] {
-                        // Safety: this index range was claimed exclusively
-                        // off the cursor; no other thread touches it this
-                        // epoch.
-                        let slot = unsafe { &mut *cell.0.get() };
-                        let mut inbox = std::mem::take(&mut slot.inbox);
-                        slot.shard.step(until, &mut inbox, &mut slot.outbox);
-                        inbox.clear();
-                        slot.inbox = inbox;
-                    }
+                    busy.fetch_add(t_busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 });
             }
         }
+        self.profile.parallel_ns += t_par.elapsed().as_nanos() as u64;
 
         // Sequential routing phase, in shard index order: deterministic
-        // regardless of which worker ran which shard.
+        // regardless of which worker ran which shard. Every staged outbox
+        // is already (dst, key)-sorted, so each destination is one
+        // contiguous run that flushes with a single sized extend instead
+        // of a per-message dispatch. Append order into a mailbox is
+        // non-semantic — `pending` is key-sorted at the next staging and
+        // `out` below — so batching by destination cannot change the
+        // trace. (With several misaddressed destinations in one epoch the
+        // reported one is now the smallest rather than the first sent;
+        // the drop-and-keep-state contract is unchanged.)
+        let t_route = Instant::now();
         let mut bad_dst: Option<ShardError> = None;
         for cell in &mut self.slots {
             let slot = cell.0.get_mut();
-            for (dst, env) in slot.outbox.staged.drain(..) {
-                self.routed += 1;
+            let staged = &mut slot.outbox.staged;
+            if staged.is_empty() {
+                continue;
+            }
+            self.routed += staged.len() as u64;
+            self.route_runs.clear();
+            let mut start = 0;
+            while start < staged.len() {
+                let dst = staged[start].0;
+                let mut end = start + 1;
+                while end < staged.len() && staged[end].0 == dst {
+                    end += 1;
+                }
+                self.route_runs.push((dst, end - start));
+                start = end;
+            }
+            let mut drained = staged.drain(..);
+            for &(dst, len) in &self.route_runs {
+                let run = drained.by_ref().take(len).map(|(_, env)| env);
                 if dst == DRIVER {
-                    out.push(env);
+                    out.extend(run);
                 } else if dst < n {
-                    self.pending[dst].push(env);
+                    self.pending[dst].extend(run);
                 } else {
+                    run.for_each(drop);
                     bad_dst.get_or_insert(ShardError::UnknownDestination { dst, shards: n });
                 }
             }
         }
         out.sort_unstable_by_key(Envelope::key);
+        self.profile.route_ns += t_route.elapsed().as_nanos() as u64;
+        self.profile.epochs += 1;
 
         self.now = until;
         self.epoch += 1;
@@ -909,6 +1033,73 @@ mod tests {
         }
         // Nothing leaked into a mailbox.
         assert_eq!(sched.routed_messages(), 3);
+    }
+
+    /// One shard spraying a driver message, a valid self-send, and a
+    /// misaddressed message in the same epoch: the batched flush must
+    /// drop exactly the bad run and deliver the rest.
+    struct MixedDst {
+        received: u64,
+    }
+
+    impl Shard for MixedDst {
+        type Msg = u64;
+        fn step(&mut self, until: SimTime, inbox: &mut Vec<Envelope<u64>>, outbox: &mut Outbox<u64>) {
+            self.received += inbox.len() as u64;
+            inbox.clear();
+            outbox.send(9, until, 1); // misaddressed
+            outbox.send(DRIVER, until, 2);
+            outbox.send(0, until, 3); // valid self-send
+        }
+    }
+
+    #[test]
+    fn unknown_destination_run_drops_only_its_own_messages() {
+        let mut sched =
+            ShardScheduler::new(vec![MixedDst { received: 0 }], Duration::from_ticks(10), 1)
+                .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            sched.step_epoch_into(&mut out).err(),
+            Some(ShardError::UnknownDestination { dst: 9, shards: 1 })
+        );
+        assert_eq!(out.len(), 1, "driver message survives the bad sibling run");
+        assert_eq!(out[0].msg, 2);
+        assert_eq!(
+            sched.step_epoch_into(&mut out).err(),
+            Some(ShardError::UnknownDestination { dst: 9, shards: 1 })
+        );
+        assert_eq!(
+            sched.with_shard(0, |s| s.received),
+            1,
+            "the valid self-send was delivered next epoch"
+        );
+        assert_eq!(sched.routed_messages(), 6);
+    }
+
+    #[test]
+    fn profile_accumulates_per_phase_time() {
+        let shards: Vec<RingShard> = (0..5).map(|i| RingShard::new(i, 5, 99)).collect();
+        let mut sched = ShardScheduler::new(shards, Duration::from_ticks(10), 2).unwrap();
+        assert_eq!(sched.profile(), PhaseProfile::default());
+        sched.inject(0, SimTime::from_ticks(0), 100).unwrap();
+        sched.step_epoch().unwrap();
+        let after_one = sched.profile();
+        assert_eq!(after_one.epochs, 1);
+        sched.step_epoch().unwrap();
+        sched.step_epoch().unwrap();
+        let after_three = sched.profile();
+        assert_eq!(after_three.epochs, 3);
+        // Accumulators are monotonic, the diff helper attributes the gap.
+        let delta = after_three.since(&after_one);
+        assert_eq!(delta.epochs, 2);
+        assert!(after_three.stage_ns >= after_one.stage_ns);
+        assert!(after_three.parallel_ns >= after_one.parallel_ns);
+        assert!(after_three.busy_ns >= after_one.busy_ns);
+        assert!(after_three.route_ns >= after_one.route_ns);
+        assert!(after_three.total_ns() >= after_three.parallel_ns);
+        // Three epochs of real shard work register as busy time.
+        assert!(after_three.busy_ns > 0, "parallel participants report busy time");
     }
 
     #[test]
