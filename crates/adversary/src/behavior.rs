@@ -836,7 +836,11 @@ mod tests {
         assert!(level1(-1.0, p, Some((0.5, 0.8)), 0.0).restore().is_err());
         assert!(level1(1.6, p, Some((0.8, 0.5)), 0.0).restore().is_err());
         assert!(level1(1.6, p, Some((0.5, 0.8)), f64::INFINITY).restore().is_err());
-        let bad_params = TrustParams { lambda: -1.0, fault_rate: 0.1 };
+        let bad_params = TrustParams {
+            lambda: -1.0,
+            fault_rate: 0.1,
+            arith: tibfit_core::trust::TrustArith::Float64,
+        };
         assert!(level1(1.6, bad_params, Some((0.5, 0.8)), 0.0).restore().is_err());
     }
 

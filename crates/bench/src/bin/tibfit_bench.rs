@@ -437,6 +437,59 @@ fn run_all(quick: bool) -> (Vec<(&'static str, f64)>, Vec<Exp6Phases>) {
     out.push(("cti_cache_reads_per_decision", reads_per_decision));
     out.push(("cti_cache_speedup", cti_speedup));
 
+    // Q16.16 fixed-point trust path: the same CTI workload on the
+    // integer backend (LUT exponential, integer CTI fold). The
+    // decisions must match the cached-f64 reference exactly — the bench
+    // doubles as a coarse differential check — and the per-decision
+    // wall clock is published as a ratio against the f64 path so a
+    // regression in the LUT pipeline shows up as `cti_fixed_speedup`
+    // sinking, not as silent absolute drift.
+    let fixed_params = TrustParams::experiment2()
+        .with_fixed_point()
+        .expect("paper calibration survives Q16.16");
+    let mut fixed_engine = TibfitEngine::new(fixed_params, 100);
+    let fixed_start = Instant::now();
+    for _ in 0..cti_decisions {
+        black_box(fixed_engine.located_round(&topo, 20.0, 5.0, &reports));
+    }
+    let cti_fixed_ns = fixed_start.elapsed().as_nanos().max(1);
+    // Decision identity is checked with two *fresh* engines stepped in
+    // lockstep, so the comparison covers the transient phase (trust
+    // decaying from full) as well as steady state — the timed engine
+    // above is already warm and would mask early-round divergence.
+    let mut cmp_fixed = TibfitEngine::new(fixed_params, 100);
+    let mut cmp_ref = TibfitEngine::new(TrustParams::experiment2(), 100);
+    let mut cti_fixed_match = true;
+    for _ in 0..cti_decisions {
+        let got = cmp_fixed.located_round(&topo, 20.0, 5.0, &reports);
+        let want = cmp_ref.located_round(&topo, 20.0, 5.0, &reports);
+        // Compare what the CH acts on — declaration and location per
+        // cluster — not the raw vote weights, whose bits legitimately
+        // differ between the two arithmetic backends.
+        let same = got.decisions.len() == want.decisions.len()
+            && got
+                .decisions
+                .iter()
+                .zip(&want.decisions)
+                .all(|(g, w)| g.event_declared == w.event_declared && g.location == w.location);
+        if !same {
+            cti_fixed_match = false;
+        }
+    }
+    let fixed_exp = fixed_engine.table().exp_evals();
+    let cti_fixed_speedup = cti_ns as f64 / cti_fixed_ns as f64;
+    println!(
+        "cti_fixed: {cti_decisions} decisions in {}: {:.2}x vs cached-f64, \
+         {:.1} LUT-exp/decision, decisions {}",
+        format_ns(cti_fixed_ns),
+        cti_fixed_speedup,
+        fixed_exp as f64 / cti_decisions as f64,
+        if cti_fixed_match { "match" } else { "DIVERGED" },
+    );
+    out.push(("cti_fixed_decisions", cti_decisions as f64));
+    out.push(("cti_fixed_speedup", cti_fixed_speedup));
+    out.push(("cti_fixed_match", f64::from(u8::from(cti_fixed_match))));
+
     // Checkpoint container: save/restore a mobile multi-cluster
     // deployment mid-run (drifted positions, partially decayed trust).
     // Save must stay cheap enough to sprinkle through a sweep every few
@@ -666,6 +719,22 @@ fn floor_violations(metrics: &[(&'static str, f64)]) -> Vec<String> {
     if let Some(s) = get("cti_cache_speedup") {
         if s < 5.0 {
             bad.push(format!("cti_cache_speedup: {s:.2} below the required 5.0x"));
+        }
+    }
+    // The Q16.16 backend must agree with the cached-f64 reference on
+    // every decision — a mismatch is a correctness bug, not a perf
+    // regression, so this floor is unconditional and exact.
+    if let Some(m) = get("cti_fixed_match") {
+        if m != 1.0 {
+            bad.push("cti_fixed_match: fixed-point decisions diverged from f64".to_string());
+        }
+    }
+    // The LUT path trades precision for predictability, not for speed;
+    // still, it must stay within 2x of the cached-f64 wall clock or the
+    // integer pipeline has regressed into doing real work per read.
+    if let Some(s) = get("cti_fixed_speedup") {
+        if s < 0.5 {
+            bad.push(format!("cti_fixed_speedup: {s:.2} below the required 0.5x"));
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);

@@ -1,0 +1,248 @@
+//! Q16.16 fixed-point arithmetic for the trust index.
+//!
+//! The QRES-style consensus argument: floating-point `exp()` is not
+//! bit-identical across libm implementations, so an f64 trust pipeline
+//! is only portable across architectures that share a libm. This module
+//! provides an all-integer TI pipeline — counters, the exponential, and
+//! the cumulative-trust sum live in Q16.16 (`i64` scaled by 2^16) — so
+//! every value a fixed-point table produces is a deterministic function
+//! of the judgement history on any conforming machine.
+//!
+//! Every Q16.16 value with magnitude below 2^47 is exactly representable
+//! in f64 (16 fractional bits + 31 integer bits is well under the 53-bit
+//! mantissa), which is what lets the fixed-point backend mirror its
+//! state into the existing f64 arrays: snapshots, exports, and the vote
+//! pipeline read exact fixed-point values through the unchanged f64
+//! surface.
+//!
+//! The exponential uses the classic range-reduction
+//! `e^(−x) = 2^(−x/ln 2)`: split `x/ln 2` into integer part `k` and
+//! 16-bit fraction, look the fraction up in a 257-entry table of
+//! `2^(−i/256)` with linear interpolation, and shift by `k`. Worst-case
+//! error is under 2 Q16.16 ulps (~3·10⁻⁵ absolute), the function is
+//! monotone nonincreasing, and `exp_neg_q16(0)` is exactly one — the
+//! three properties the protocol invariants lean on.
+
+/// Number of fractional bits.
+pub const FRAC_BITS: u32 = 16;
+/// The value 1.0 in Q16.16.
+pub const ONE_Q16: i64 = 1 << FRAC_BITS;
+/// Saturation ceiling for fault counters: v = 32768.0. TI underflows to
+/// zero long before (around v·λ ≈ 11.8), so the cap never changes a
+/// trust decision; it only bounds the integer domain.
+pub const COUNTER_MAX_Q16: i64 = 32768 * ONE_Q16;
+/// `round(2^16 / ln 2)` — converts a Q16.16 exponent from base e to
+/// base 2.
+const INV_LN2_Q16: i64 = 94_548;
+
+/// `round(2^(−i/256) · 2^16)` for `i` in `0..=256`. Strictly decreasing
+/// from exactly 1.0 (65536) to exactly 0.5 (32768).
+#[rustfmt::skip]
+const EXP2_NEG_Q16: [i64; 257] = [
+    65536, 65359, 65182, 65006, 64830, 64655, 64480, 64306,
+    64132, 63958, 63785, 63613, 63441, 63269, 63098, 62928,
+    62757, 62588, 62419, 62250, 62081, 61914, 61746, 61579,
+    61413, 61247, 61081, 60916, 60751, 60587, 60423, 60260,
+    60097, 59934, 59772, 59611, 59449, 59289, 59128, 58968,
+    58809, 58650, 58491, 58333, 58176, 58018, 57861, 57705,
+    57549, 57393, 57238, 57083, 56929, 56775, 56622, 56468,
+    56316, 56163, 56012, 55860, 55709, 55558, 55408, 55258,
+    55109, 54960, 54811, 54663, 54515, 54368, 54221, 54074,
+    53928, 53782, 53637, 53492, 53347, 53203, 53059, 52916,
+    52773, 52630, 52488, 52346, 52204, 52063, 51922, 51782,
+    51642, 51502, 51363, 51224, 51085, 50947, 50810, 50672,
+    50535, 50399, 50262, 50126, 49991, 49856, 49721, 49586,
+    49452, 49319, 49185, 49052, 48920, 48787, 48655, 48524,
+    48393, 48262, 48131, 48001, 47871, 47742, 47613, 47484,
+    47356, 47228, 47100, 46973, 46846, 46719, 46593, 46467,
+    46341, 46216, 46091, 45966, 45842, 45718, 45594, 45471,
+    45348, 45225, 45103, 44981, 44859, 44738, 44617, 44497,
+    44376, 44256, 44137, 44017, 43898, 43780, 43661, 43543,
+    43425, 43308, 43191, 43074, 42958, 42841, 42726, 42610,
+    42495, 42380, 42265, 42151, 42037, 41923, 41810, 41697,
+    41584, 41472, 41360, 41248, 41136, 41025, 40914, 40804,
+    40693, 40583, 40473, 40364, 40255, 40146, 40037, 39929,
+    39821, 39714, 39606, 39499, 39392, 39286, 39180, 39074,
+    38968, 38863, 38757, 38653, 38548, 38444, 38340, 38236,
+    38133, 38030, 37927, 37824, 37722, 37620, 37518, 37417,
+    37316, 37215, 37114, 37014, 36914, 36814, 36715, 36615,
+    36516, 36417, 36319, 36221, 36123, 36025, 35928, 35831,
+    35734, 35637, 35541, 35445, 35349, 35253, 35158, 35063,
+    34968, 34874, 34779, 34685, 34591, 34498, 34405, 34312,
+    34219, 34126, 34034, 33942, 33850, 33759, 33667, 33576,
+    33486, 33395, 33305, 33215, 33125, 33035, 32946, 32857,
+    32768,
+];
+
+/// Converts a Q16.16 value to the f64 it exactly represents.
+#[must_use]
+pub fn q16_to_f64(q: i64) -> f64 {
+    q as f64 / ONE_Q16 as f64
+}
+
+/// Quantizes a non-negative finite f64 to Q16.16, rounding *up* — the
+/// conservative direction for fault counters, where rounding down would
+/// grant trust the node never earned. Exact Q16.16 multiples (every
+/// value a fixed-point table emits) round-trip unchanged.
+#[must_use]
+pub fn quantize_counter_ceil(v: f64) -> i64 {
+    debug_assert!(v.is_finite() && v >= 0.0);
+    let q = (v * ONE_Q16 as f64).ceil();
+    if q >= COUNTER_MAX_Q16 as f64 {
+        COUNTER_MAX_Q16
+    } else {
+        q as i64
+    }
+}
+
+/// Quantizes a positive finite f64 to Q16.16, rounding to nearest (used
+/// for calibration constants, where neither direction is conservative).
+#[must_use]
+pub fn quantize_round(v: f64) -> i64 {
+    debug_assert!(v.is_finite() && v >= 0.0);
+    let q = (v * ONE_Q16 as f64).round();
+    if q >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        q as i64
+    }
+}
+
+/// `e^(−x)` for `x ≥ 0` in Q16.16; the result is in `[0, 65536]`
+/// (i.e. `[0.0, 1.0]`).
+///
+/// All-integer: one multiply, two shifts, one table interpolation. The
+/// result is exactly `65536` at `x = 0`, monotone nonincreasing in `x`,
+/// and reaches `0` once the base-2 exponent exceeds 16 (TI underflow,
+/// mirroring the f64 path's subnormal→zero underflow at far larger
+/// exponents — either way the node's weight is gone).
+#[must_use]
+pub fn exp_neg_q16(x: i64) -> i64 {
+    debug_assert!(x >= 0);
+    // y = x / ln 2 in Q16.16. x is capped well below 2^47 by the
+    // counter ceiling, so the product fits i64 with room to spare;
+    // saturating_mul guards the debug-only unchecked domain.
+    let y = x.saturating_mul(INV_LN2_Q16) >> FRAC_BITS;
+    let k = y >> FRAC_BITS;
+    if k >= 17 {
+        return 0;
+    }
+    let frac = y & 0xFFFF;
+    let idx = (frac >> 8) as usize;
+    let t = frac & 0xFF;
+    let a = EXP2_NEG_Q16[idx];
+    let b = EXP2_NEG_Q16[idx + 1];
+    // Linear interpolation; (b − a) ≤ 0, and the arithmetic right shift
+    // rounds toward −∞, which keeps the function monotone across the
+    // interpolation segments.
+    let m = a + (((b - a) * t) >> 8);
+    m >> k
+}
+
+/// The trust index of a fault counter: `exp_neg_q16(λ·v)` with both
+/// inputs in Q16.16.
+#[must_use]
+pub fn ti_q16(lambda_q: i64, counter_q: i64) -> i64 {
+    exp_neg_q16((lambda_q.saturating_mul(counter_q)) >> FRAC_BITS)
+}
+
+/// The smallest counter whose trust index is at or below `ti_max_q`
+/// (binary search over the monotone `ti_q16`). This is how the
+/// fixed-point backend inverts the exponential — probation resets and
+/// handoff resyncs must never produce a TI *above* their target, and a
+/// float `ln()` round-trip cannot promise that.
+#[must_use]
+pub fn counter_for_ti_at_most(lambda_q: i64, ti_max_q: i64) -> i64 {
+    if ti_q16(lambda_q, 0) <= ti_max_q {
+        return 0;
+    }
+    let (mut lo, mut hi) = (0i64, COUNTER_MAX_Q16);
+    // Invariant: ti(lo) > ti_max_q ≥ ti(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if ti_q16(lambda_q, mid) <= ti_max_q {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_is_exact_at_zero_and_bounded() {
+        assert_eq!(exp_neg_q16(0), ONE_Q16);
+        for x in [1, 1000, ONE_Q16, 10 * ONE_Q16, COUNTER_MAX_Q16] {
+            let e = exp_neg_q16(x);
+            assert!((0..ONE_Q16).contains(&e), "exp({x}) = {e} out of range");
+        }
+    }
+
+    #[test]
+    fn exp_tracks_f64_reference_within_two_ulps() {
+        let mut worst = 0.0f64;
+        for step in 0..40_000i64 {
+            let x = step * 31; // covers [0, ~18.9] in uneven strides
+            let got = exp_neg_q16(x) as f64;
+            let want = (-q16_to_f64(x)).exp() * ONE_Q16 as f64;
+            worst = worst.max((got - want).abs());
+        }
+        assert!(worst < 2.0, "worst error {worst} Q16 ulps");
+    }
+
+    #[test]
+    fn exp_is_monotone_nonincreasing() {
+        let mut prev = exp_neg_q16(0);
+        for x in 1..200_000i64 {
+            let cur = exp_neg_q16(x * 7);
+            assert!(cur <= prev, "not monotone at x = {}", x * 7);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn exp_underflows_to_zero() {
+        // k ≥ 17 ⟺ x ≥ 17·ln 2 ≈ 11.78.
+        assert_eq!(exp_neg_q16(12 * ONE_Q16), 0);
+        assert!(exp_neg_q16(11 * ONE_Q16) > 0);
+    }
+
+    #[test]
+    fn quantizers_round_trip_exact_multiples() {
+        for q in [0i64, 1, 65536, 58982, 123_456_789] {
+            let v = q16_to_f64(q);
+            assert_eq!(quantize_counter_ceil(v), q);
+            assert_eq!(quantize_round(v), q);
+        }
+        // ceil is conservative for inexact values...
+        assert_eq!(quantize_counter_ceil(1.5 / 65536.0), 2);
+        // ...and saturates at the counter ceiling.
+        assert_eq!(quantize_counter_ceil(1e9), COUNTER_MAX_Q16);
+    }
+
+    #[test]
+    fn counter_inversion_never_overshoots_its_target() {
+        let lambda_q = quantize_round(0.25);
+        for target in [0i64, 1, 100, 32_768, 60_000, ONE_Q16] {
+            let v = counter_for_ti_at_most(lambda_q, target);
+            assert!(ti_q16(lambda_q, v) <= target, "target {target}");
+            if v > 0 {
+                // Smallest such counter: one step less overshoots.
+                assert!(ti_q16(lambda_q, v - 1) > target, "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_strictly_decreasing_with_exact_endpoints() {
+        assert_eq!(EXP2_NEG_Q16[0], ONE_Q16);
+        assert_eq!(EXP2_NEG_Q16[256], ONE_Q16 / 2);
+        for w in EXP2_NEG_Q16.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

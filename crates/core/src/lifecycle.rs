@@ -267,12 +267,9 @@ impl ClusterLifecycle {
         else {
             return false;
         };
-        let lambda = self.config.trust.lambda;
         let table = self.engine.table_mut();
         for (node, ti) in trust {
-            // Invert TI = e^(−λ·v); snapshots keep TI in (0, 1].
-            let v = if ti > 0.0 { -ti.ln() / lambda } else { 0.0 };
-            table.set_counter(node, v.max(0.0));
+            table.resync_to_ti(node, ti);
         }
         true
     }

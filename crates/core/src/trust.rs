@@ -18,6 +18,52 @@ use std::fmt;
 
 use tibfit_net::topology::NodeId;
 
+use crate::fixed;
+
+/// The weight-slot sentinel marking a quarantined node: `-0.0`, whose
+/// addition leaves a non-negative IEEE-754 accumulator bit-identical,
+/// so branch-free CTI folds skip quarantined members for free. The sign
+/// bit doubles as the participation flag — every real TI, even one
+/// underflowed to `+0.0`, is sign-positive.
+pub const QUARANTINE_WEIGHT: f64 = -0.0;
+
+/// Whether a dense weight slot holds the quarantine sentinel rather
+/// than a voting weight. This is the *only* sanctioned way to interpret
+/// a weight slot's sign bit; both the SoA fold
+/// ([`TrustTable::cumulative_trust`]) and the AoS per-node dispatch
+/// (`vote::group_weight`'s ±0.0 normalization) go through it, so the
+/// two paths cannot diverge on what "quarantined" looks like.
+#[must_use]
+pub fn is_quarantined_weight(w: f64) -> bool {
+    w.is_sign_negative()
+}
+
+/// Which arithmetic backend evaluates the TI update and the
+/// cumulative-trust sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrustArith {
+    /// IEEE-754 f64 with a write-through `exp()` cache — the reference
+    /// backend, bit-reproducible on one machine but dependent on the
+    /// platform libm's `exp` across architectures.
+    #[default]
+    Float64,
+    /// Q16.16 integer arithmetic ([`crate::fixed`]): lookup-table
+    /// exponential, saturating counters, integer CTI sums. Every value
+    /// it produces is an exact Q16.16 multiple mirrored into the f64
+    /// surface, so snapshots are bit-portable across architectures.
+    /// Selected via [`TrustParams::with_fixed_point`], which validates
+    /// that the calibration survives quantization.
+    FixedQ16,
+}
+
+/// Q16.16 calibration constants, precomputed once per table.
+#[derive(Debug, Clone, Copy)]
+struct FixedCal {
+    lambda_q: i64,
+    inc_q: i64,
+    dec_q: i64,
+}
+
 /// Why a [`TrustParams`] value was rejected.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrustParamsError {
@@ -52,6 +98,11 @@ pub struct TrustParams {
     /// equal to the correct nodes' NER in Experiment 1 and to 0.1 in
     /// Experiment 2 (to absorb wireless-channel losses).
     pub fault_rate: f64,
+    /// Arithmetic backend for the TI update and CTI sums. Defaults to
+    /// [`TrustArith::Float64`]; select Q16.16 through
+    /// [`TrustParams::with_fixed_point`] so the combination is
+    /// validated against quantization degeneracies.
+    pub arith: TrustArith,
 }
 
 impl TrustParams {
@@ -85,7 +136,71 @@ impl TrustParams {
         if !(0.0..1.0).contains(&fault_rate) {
             return Err(TrustParamsError::InvalidFaultRate(fault_rate));
         }
-        Ok(TrustParams { lambda, fault_rate })
+        Ok(TrustParams {
+            lambda,
+            fault_rate,
+            arith: TrustArith::Float64,
+        })
+    }
+
+    /// Fallible constructor for the Q16.16 fixed-point backend: on top
+    /// of the [`TrustParams::try_new`] range checks, rejects
+    /// calibrations the integer pipeline cannot faithfully represent —
+    /// combinations where the TI update would overflow or degenerate in
+    /// Q16.16 range.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustParamsError::InvalidLambda`] when `lambda` quantizes to
+    /// zero (< 2⁻¹⁷), exceeds the Q16.16 integer range (> 32768), or is
+    /// so small relative to `1 − f_r` that a faulty report would not
+    /// move the quantized exponent at all (the update would be a no-op
+    /// and a liar could never lose trust).
+    /// [`TrustParamsError::InvalidFaultRate`] when `1 − f_r` quantizes
+    /// to zero, or `f_r` is nonzero yet quantizes to zero (recovery
+    /// would silently never happen).
+    pub fn try_new_fixed(lambda: f64, fault_rate: f64) -> Result<Self, TrustParamsError> {
+        let mut p = TrustParams::try_new(lambda, fault_rate)?;
+        if lambda > 32768.0 {
+            return Err(TrustParamsError::InvalidLambda(lambda));
+        }
+        let lambda_q = fixed::quantize_round(lambda);
+        if lambda_q == 0 {
+            return Err(TrustParamsError::InvalidLambda(lambda));
+        }
+        let inc_q = fixed::quantize_round(1.0 - fault_rate);
+        if inc_q == 0 || (fault_rate > 0.0 && fixed::quantize_round(fault_rate) == 0) {
+            return Err(TrustParamsError::InvalidFaultRate(fault_rate));
+        }
+        // One faulty report must move λ·v by at least one Q16.16 ulp,
+        // or the trust index would be frozen at 1.0 forever.
+        if (lambda_q * inc_q) >> fixed::FRAC_BITS == 0 {
+            return Err(TrustParamsError::InvalidLambda(lambda));
+        }
+        p.arith = TrustArith::FixedQ16;
+        Ok(p)
+    }
+
+    /// Switches a validated parameter set onto the Q16.16 fixed-point
+    /// backend (see [`TrustParams::try_new_fixed`] for the extra
+    /// validation this implies).
+    ///
+    /// # Errors
+    ///
+    /// The same [`TrustParamsError`] values as
+    /// [`TrustParams::try_new_fixed`].
+    pub fn with_fixed_point(self) -> Result<Self, TrustParamsError> {
+        TrustParams::try_new_fixed(self.lambda, self.fault_rate)
+    }
+
+    /// The precomputed Q16.16 calibration, present iff the fixed-point
+    /// backend is selected.
+    fn fixed_cal(&self) -> Option<FixedCal> {
+        (self.arith == TrustArith::FixedQ16).then(|| FixedCal {
+            lambda_q: fixed::quantize_round(self.lambda),
+            inc_q: fixed::quantize_round(1.0 - self.fault_rate),
+            dec_q: fixed::quantize_round(self.fault_rate),
+        })
     }
 
     /// Experiment-1 calibration (λ = 0.1, `f_r` = the given NER).
@@ -249,6 +364,19 @@ pub struct TrustTable {
     /// TI is `>= +0.0`), which is how reads are counted without touching
     /// `status`.
     weights: Vec<f64>,
+    /// Q16.16 source of truth for the fault counters — populated only
+    /// on the fixed-point backend (empty otherwise). `counters` then
+    /// holds the exact f64 mirror of each entry, so every read path
+    /// (snapshots, exports, votes) works unchanged and bit-portably.
+    counters_q: Vec<i64>,
+    /// Q16.16 voting-weight slots for the fixed backend: the node's TI
+    /// in Q16.16 while it participates, `-1` while quarantined (the
+    /// sign bit is the participation flag, mirroring the f64 array's
+    /// `-0.0` sentinel). Empty on the f64 backend.
+    weights_q: Vec<i64>,
+    /// Precomputed Q16.16 calibration; `Some` iff `params.arith` is
+    /// [`TrustArith::FixedQ16`].
+    fixed: Option<FixedCal>,
     status: Vec<NodeStatus>,
     isolation_threshold: Option<f64>,
     reintegration: Option<ReintegrationPolicy>,
@@ -267,16 +395,29 @@ impl TrustTable {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0`, or if `params` selects the fixed-point
+    /// backend but was built by hand (public fields) with a calibration
+    /// [`TrustParams::try_new_fixed`] rejects.
     #[must_use]
     pub fn new(params: TrustParams, n: usize) -> Self {
         assert!(n > 0, "trust table needs at least one node");
+        if params.arith == TrustArith::FixedQ16 {
+            assert!(
+                TrustParams::try_new_fixed(params.lambda, params.fault_rate).is_ok(),
+                "fixed-point params must pass TrustParams::try_new_fixed"
+            );
+        }
+        let fixed = params.fixed_cal();
+        let n_q = if fixed.is_some() { n } else { 0 };
         TrustTable {
             params,
             counters: vec![0.0; n],
             // e^(−λ·0) is exactly 1.0, so fresh entries need no exp().
             cached_ti: vec![1.0; n],
             weights: vec![1.0; n],
+            counters_q: vec![0; n_q],
+            weights_q: vec![fixed::ONE_Q16; n_q],
+            fixed,
             status: vec![NodeStatus::Active; n],
             isolation_threshold: None,
             reintegration: None,
@@ -286,8 +427,14 @@ impl TrustTable {
     }
 
     /// Recomputes one node's cached trust index after its counter moved.
+    /// On the fixed backend the Q16.16 counter is authoritative and the
+    /// LUT exponential produces the (exactly mirrorable) cached value;
+    /// either way the refresh counts as one paid exponential.
     fn refresh_cache(&mut self, i: usize) {
-        self.cached_ti[i] = TrustIndex { v: self.counters[i] }.value(&self.params);
+        self.cached_ti[i] = match self.fixed {
+            Some(cal) => fixed::q16_to_f64(fixed::ti_q16(cal.lambda_q, self.counters_q[i])),
+            None => TrustIndex { v: self.counters[i] }.value(&self.params),
+        };
         self.exp_evals += 1;
         self.sync_weight(i);
     }
@@ -296,11 +443,21 @@ impl TrustTable {
     /// cached TI. Called on every cache refresh and status transition —
     /// the weight array is write-through, never recomputed at read time.
     fn sync_weight(&mut self, i: usize) {
-        self.weights[i] = if matches!(self.status[i], NodeStatus::Quarantined { .. }) {
-            -0.0
+        let quarantined = matches!(self.status[i], NodeStatus::Quarantined { .. });
+        self.weights[i] = if quarantined {
+            QUARANTINE_WEIGHT
         } else {
             self.cached_ti[i]
         };
+        if self.fixed.is_some() {
+            // cached_ti is an exact Q16.16 mirror here, so the cast
+            // recovers the integer TI losslessly.
+            self.weights_q[i] = if quarantined {
+                -1
+            } else {
+                (self.cached_ti[i] * fixed::ONE_Q16 as f64) as i64
+            };
+        }
     }
 
     /// Total `exp()` evaluations paid so far. Reads ([`TrustTable::trust_of`],
@@ -446,6 +603,9 @@ impl TrustTable {
     /// non-isolated members cost a read.
     #[must_use]
     pub fn cumulative_trust(&self, group: &[NodeId]) -> f64 {
+        if self.fixed.is_some() {
+            return self.cumulative_trust_q16(group);
+        }
         let weights = &self.weights;
         // Seed with -0.0, exactly like `Iterator::sum::<f64>` seeds its
         // fold — an empty (or fully-quarantined) group must keep
@@ -469,11 +629,52 @@ impl TrustTable {
         }
         for n in chunks.remainder() {
             let w = weights[n.index()];
-            reads += u64::from(w.is_sign_positive());
+            reads += u64::from(!is_quarantined_weight(w));
             sum += w;
         }
         self.ti_reads.set(self.ti_reads.get() + reads);
         sum
+    }
+
+    /// The fixed-point CTI fold: an all-integer, branch-free pass over
+    /// the Q16.16 weight slots. The quarantine sentinel is `-1`, so
+    /// `!(w >> 63)` is an all-ones mask exactly for participating
+    /// members — one AND folds the weight, one more counts the read.
+    /// The integer sum is exact (no float rounding, no ordering
+    /// sensitivity); the result converts losslessly to f64 and keeps
+    /// the ±0.0 contract of the float fold: `-0.0` iff no member
+    /// participated, `+0.0` for participating members that sum to zero.
+    fn cumulative_trust_q16(&self, group: &[NodeId]) -> f64 {
+        let weights = &self.weights_q;
+        let mut sum = 0i64;
+        let mut reads = 0u64;
+        let mut chunks = group.chunks_exact(4);
+        for c in chunks.by_ref() {
+            let w0 = weights[c[0].index()];
+            let w1 = weights[c[1].index()];
+            let w2 = weights[c[2].index()];
+            let w3 = weights[c[3].index()];
+            let (m0, m1, m2, m3) = (!(w0 >> 63), !(w1 >> 63), !(w2 >> 63), !(w3 >> 63));
+            sum += (w0 & m0) + (w1 & m1) + (w2 & m2) + (w3 & m3);
+            reads += ((m0 & 1) + (m1 & 1) + (m2 & 1) + (m3 & 1)) as u64;
+        }
+        for n in chunks.remainder() {
+            let w = weights[n.index()];
+            let m = !(w >> 63);
+            sum += w & m;
+            reads += (m & 1) as u64;
+        }
+        self.ti_reads.set(self.ti_reads.get() + reads);
+        if reads == 0 {
+            // Empty or fully-quarantined group: the float fold keeps
+            // its -0.0 seed; reproduce the exact bits.
+            -0.0
+        } else {
+            // Each weight is ≤ 2^16 and groups are far below 2^36
+            // members, so the integer sum is exact in f64 and the
+            // power-of-two division loses nothing.
+            sum as f64 / fixed::ONE_Q16 as f64
+        }
     }
 
     /// Records a faulty judgement and runs diagnosis.
@@ -483,7 +684,15 @@ impl TrustTable {
     /// Panics if the id is out of range.
     pub fn record_faulty(&mut self, node: NodeId) {
         let i = node.index();
-        self.counters[i] += self.params.faulty_increment();
+        match self.fixed {
+            Some(cal) => {
+                self.counters_q[i] = self.counters_q[i]
+                    .saturating_add(cal.inc_q)
+                    .min(fixed::COUNTER_MAX_Q16);
+                self.counters[i] = fixed::q16_to_f64(self.counters_q[i]);
+            }
+            None => self.counters[i] += self.params.faulty_increment(),
+        }
         self.refresh_cache(i);
         if let Some(th) = self.isolation_threshold {
             if self.cached_ti[i] < th {
@@ -515,11 +724,29 @@ impl TrustTable {
                 NodeStatus::Active => {}
                 NodeStatus::Quarantined { remaining } => {
                     if remaining <= 1 {
-                        // Probationary trust: TI = threshold exactly, i.e.
-                        // v = −ln(threshold)/λ.
+                        // Probationary trust: as close to the threshold
+                        // as the backend can represent without granting
+                        // more. Float: TI = threshold exactly, i.e.
+                        // v = −ln(threshold)/λ. Fixed: the smallest
+                        // counter whose TI lands strictly below the
+                        // threshold — exact equality is generally
+                        // unrepresentable in Q16.16, and strictly-below
+                        // guarantees that any probationary relapse
+                        // re-quarantines regardless of LUT plateaus.
                         if let Some(th) = self.isolation_threshold {
-                            let v = -th.ln() / self.params.lambda;
-                            self.counters[i] = v;
+                            match self.fixed {
+                                Some(cal) => {
+                                    // ti/2^16 < th ⟺ ti ≤ ceil(th·2^16) − 1.
+                                    let th_q =
+                                        ((th * fixed::ONE_Q16 as f64).ceil() as i64 - 1).max(0);
+                                    self.counters_q[i] =
+                                        fixed::counter_for_ti_at_most(cal.lambda_q, th_q);
+                                    self.counters[i] = fixed::q16_to_f64(self.counters_q[i]);
+                                }
+                                None => {
+                                    self.counters[i] = -th.ln() / self.params.lambda;
+                                }
+                            }
                             self.refresh_cache(i);
                         }
                         self.status[i] = NodeStatus::Probation {
@@ -557,15 +784,27 @@ impl TrustTable {
     /// Panics if the id is out of range.
     pub fn record_correct(&mut self, node: NodeId) {
         let i = node.index();
-        let before = self.counters[i];
-        self.counters[i] = (before - self.params.correct_decrement()).max(0.0);
         // A node already at the v = 0 floor stays there — no counter
         // change, no cache refresh, no exp(). In an honest-majority
         // cluster this is the common case, and it is what makes a vote
         // cost O(actually-moved counters) exponentials instead of
         // O(nodes).
-        if self.counters[i] != before {
-            self.refresh_cache(i);
+        match self.fixed {
+            Some(cal) => {
+                let before = self.counters_q[i];
+                self.counters_q[i] = (before - cal.dec_q).max(0);
+                if self.counters_q[i] != before {
+                    self.counters[i] = fixed::q16_to_f64(self.counters_q[i]);
+                    self.refresh_cache(i);
+                }
+            }
+            None => {
+                let before = self.counters[i];
+                self.counters[i] = (before - self.params.correct_decrement()).max(0.0);
+                if self.counters[i] != before {
+                    self.refresh_cache(i);
+                }
+            }
         }
     }
 
@@ -590,8 +829,70 @@ impl TrustTable {
             counter.is_finite() && counter >= 0.0,
             "counter must be non-negative and finite"
         );
-        self.counters[node.index()] = counter;
-        self.refresh_cache(node.index());
+        let i = node.index();
+        self.write_counter(i, counter);
+        self.refresh_cache(i);
+    }
+
+    /// Stores a counter through the backend: the f64 verbatim on the
+    /// float path, ceil-quantized to Q16.16 on the fixed path (rounding
+    /// *up* never grants trust; exact Q16.16 multiples — everything a
+    /// fixed table itself exports — round-trip unchanged).
+    fn write_counter(&mut self, i: usize, counter: f64) {
+        match self.fixed {
+            Some(_) => {
+                self.counters_q[i] = fixed::quantize_counter_ceil(counter);
+                self.counters[i] = fixed::q16_to_f64(self.counters_q[i]);
+            }
+            None => self.counters[i] = counter,
+        }
+    }
+
+    /// Resynchronizes one node's trust from an exported TI value — the
+    /// receiving side of a [`TrustTable::export`] handoff after the
+    /// working table was lost.
+    ///
+    /// Both backends guarantee the restored trust never exceeds the
+    /// snapshot: trust is earned back, not granted by recovery. The
+    /// float arm inverts `TI = e^(−λ·v)` through `ln()` (accurate to a
+    /// ~1e-12 round-trip); the fixed arm binary-searches the smallest
+    /// counter whose LUT trust index is at or below the (floor-
+    /// quantized) target, which makes the bound *exact* — a property
+    /// the model checker asserts on every reachable state. The fixed
+    /// arm also honors `ti == 0.0` (a reachable LUT underflow) by
+    /// restoring an underflowed counter; a *negative* TI is outside the
+    /// export domain on both arms and defensively restores full trust
+    /// (float treats `0.0` the same way, since its `exp()` cannot
+    /// underflow at any reachable counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `ti` is not finite.
+    pub fn resync_to_ti(&mut self, node: NodeId, ti: f64) {
+        assert!(ti.is_finite(), "handoff TI must be finite");
+        match self.fixed {
+            Some(cal) => {
+                let i = node.index();
+                self.counters_q[i] = if ti >= 0.0 {
+                    let ti_q = ((ti * fixed::ONE_Q16 as f64).floor() as i64)
+                        .clamp(0, fixed::ONE_Q16);
+                    fixed::counter_for_ti_at_most(cal.lambda_q, ti_q)
+                } else {
+                    0
+                };
+                self.counters[i] = fixed::q16_to_f64(self.counters_q[i]);
+                self.refresh_cache(i);
+            }
+            None => {
+                // Invert TI = e^(−λ·v); snapshots keep TI in (0, 1].
+                let v = if ti > 0.0 {
+                    -ti.ln() / self.params.lambda
+                } else {
+                    0.0
+                };
+                self.set_counter(node, v.max(0.0));
+            }
+        }
     }
 
     /// Exports `(node, TI)` pairs — the payload of the base-station
@@ -635,7 +936,7 @@ impl TrustTable {
             "hand-off counter must be non-negative and finite"
         );
         let i = node.index();
-        self.counters[i] = record.counter;
+        self.write_counter(i, record.counter);
         self.refresh_cache(i);
         self.status[i] = record.status;
         self.sync_weight(i);
@@ -696,6 +997,11 @@ pub struct TrustTableState {
     pub lambda: f64,
     /// Natural error rate `f_r`.
     pub fault_rate: f64,
+    /// Arithmetic backend the counters and cached TIs were produced by.
+    /// Fixed-point state is validated against the Q16.16 pipeline on
+    /// restore (exact-multiple counters, LUT-recomputed caches), so a
+    /// blob cannot silently restore under the wrong arithmetic.
+    pub arith: TrustArith,
     /// Raw fault counter `v` per node.
     pub counters: Vec<f64>,
     /// Cached `e^(−λ·v)` per node, captured verbatim.
@@ -719,6 +1025,7 @@ impl TrustTable {
         TrustTableState {
             lambda: self.params.lambda,
             fault_rate: self.params.fault_rate,
+            arith: self.params.arith,
             counters: self.counters.clone(),
             cached_ti: self.cached_ti.clone(),
             status: self.status.clone(),
@@ -749,8 +1056,11 @@ impl TrustTable {
         if n == 0 || state.cached_ti.len() != n || state.status.len() != n {
             return Err(TrustStateError::LengthMismatch);
         }
-        let params = TrustParams::try_new(state.lambda, state.fault_rate)
-            .map_err(|_| TrustStateError::BadParams)?;
+        let params = match state.arith {
+            TrustArith::Float64 => TrustParams::try_new(state.lambda, state.fault_rate),
+            TrustArith::FixedQ16 => TrustParams::try_new_fixed(state.lambda, state.fault_rate),
+        }
+        .map_err(|_| TrustStateError::BadParams)?;
         if let Some(th) = state.isolation_threshold {
             if !(th > 0.0 && th < 1.0) {
                 return Err(TrustStateError::BadThreshold);
@@ -761,34 +1071,73 @@ impl TrustTable {
                 return Err(TrustStateError::BadReintegration);
             }
         }
+        let fixed = params.fixed_cal();
+        let mut counters_q = Vec::with_capacity(if fixed.is_some() { n } else { 0 });
         for (&v, &cached) in state.counters.iter().zip(&state.cached_ti) {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(TrustStateError::BadCounter);
             }
-            if cached.to_bits() != (-params.lambda * v).exp().to_bits() {
-                return Err(TrustStateError::CacheMismatch);
+            match fixed {
+                Some(cal) => {
+                    // Fixed-point counters must be exact Q16.16
+                    // multiples (everything the backend itself writes
+                    // is), and the cached TI must equal the LUT
+                    // recomputation bit-for-bit.
+                    let v_q = fixed::quantize_counter_ceil(v);
+                    if fixed::q16_to_f64(v_q) != v {
+                        return Err(TrustStateError::BadCounter);
+                    }
+                    if cached.to_bits()
+                        != fixed::q16_to_f64(fixed::ti_q16(cal.lambda_q, v_q)).to_bits()
+                    {
+                        return Err(TrustStateError::CacheMismatch);
+                    }
+                    counters_q.push(v_q);
+                }
+                None => {
+                    if cached.to_bits() != (-params.lambda * v).exp().to_bits() {
+                        return Err(TrustStateError::CacheMismatch);
+                    }
+                }
             }
         }
         // The weight slots are derived state (cached TI gated by status),
         // not part of the snapshot format — rebuilding them here keeps the
         // container layout byte-compatible with pre-SoA checkpoints.
-        let weights = state
+        let weights: Vec<f64> = state
             .status
             .iter()
             .zip(&state.cached_ti)
             .map(|(s, &ti)| {
                 if matches!(s, NodeStatus::Quarantined { .. }) {
-                    -0.0
+                    QUARANTINE_WEIGHT
                 } else {
                     ti
                 }
             })
             .collect();
+        let weights_q = if fixed.is_some() {
+            weights
+                .iter()
+                .map(|&w| {
+                    if is_quarantined_weight(w) {
+                        -1
+                    } else {
+                        (w * fixed::ONE_Q16 as f64) as i64
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(TrustTable {
             params,
             counters: state.counters.clone(),
             cached_ti: state.cached_ti.clone(),
             weights,
+            counters_q,
+            weights_q,
+            fixed,
             status: state.status.clone(),
             isolation_threshold: state.isolation_threshold,
             reintegration: state.reintegration.map(|(quarantine_rounds, probation_rounds)| {
@@ -1417,5 +1766,234 @@ mod tests {
             let v = ti.value(&p);
             assert!(v > 0.0 && v <= 1.0, "TI out of range: {v}");
         }
+    }
+
+    fn fixed_params() -> TrustParams {
+        params().with_fixed_point().unwrap()
+    }
+
+    #[test]
+    fn fixed_params_reject_degenerate_quantizations() {
+        use TrustParamsError::{InvalidFaultRate, InvalidLambda};
+        assert_eq!(fixed_params().arith, TrustArith::FixedQ16);
+        // λ beyond the Q16.16 integer range.
+        assert_eq!(
+            TrustParams::try_new_fixed(1e6, 0.1).unwrap_err(),
+            InvalidLambda(1e6)
+        );
+        // λ that quantizes to zero — no faulty report could ever move TI.
+        assert!(matches!(
+            TrustParams::try_new_fixed(1e-9, 0.1).unwrap_err(),
+            InvalidLambda(_)
+        ));
+        // Nonzero f_r that quantizes to zero — recovery would silently
+        // never happen.
+        assert!(matches!(
+            TrustParams::try_new_fixed(0.25, 1e-9).unwrap_err(),
+            InvalidFaultRate(_)
+        ));
+        // f_r so close to 1 that the increment quantizes to zero.
+        assert!(matches!(
+            TrustParams::try_new_fixed(0.25, 1.0 - 1e-9).unwrap_err(),
+            InvalidFaultRate(_)
+        ));
+        // The base range checks still apply first.
+        assert!(matches!(
+            TrustParams::try_new_fixed(-1.0, 0.1).unwrap_err(),
+            InvalidLambda(_)
+        ));
+        // The paper calibrations all survive quantization.
+        assert!(TrustParams::experiment1(0.05).with_fixed_point().is_ok());
+        assert!(TrustParams::experiment2().with_fixed_point().is_ok());
+    }
+
+    #[test]
+    fn fixed_state_is_an_exact_q16_mirror() {
+        let mut t = TrustTable::new(fixed_params(), 4);
+        for step in 0..40u64 {
+            let node = NodeId((step % 4) as usize);
+            if step % 3 == 0 {
+                t.record_correct(node);
+            } else {
+                t.record_faulty(node);
+            }
+            for i in 0..4 {
+                let v = t.counter_of(NodeId(i));
+                let ti = t.trust_of(NodeId(i));
+                // Every f64 the fixed backend exposes is an exact
+                // Q16.16 multiple — the mirror loses nothing.
+                assert_eq!(v, fixed::q16_to_f64(fixed::quantize_counter_ceil(v)));
+                assert_eq!(
+                    ti,
+                    fixed::q16_to_f64((ti * fixed::ONE_Q16 as f64) as i64)
+                );
+                assert!((0.0..=1.0).contains(&ti));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_backend_is_decision_identical_to_float_here() {
+        // Same judgement history through both backends: TIs differ by
+        // quantization, but every status transition and every CTI
+        // comparison with a non-degenerate margin must agree.
+        let mut f = TrustTable::new(params(), 5)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 2);
+        let mut q = TrustTable::new(fixed_params(), 5)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 2);
+        let all: Vec<NodeId> = (0..5).map(NodeId).collect();
+        for round in 0..30u64 {
+            for i in 0..5usize {
+                if (round + i as u64).is_multiple_of(4) {
+                    f.record_faulty(NodeId(i));
+                    q.record_faulty(NodeId(i));
+                } else {
+                    f.record_correct(NodeId(i));
+                    q.record_correct(NodeId(i));
+                }
+            }
+            assert_eq!(f.tick_round(), q.tick_round(), "round {round}");
+            for i in 0..5 {
+                assert_eq!(f.status_of(NodeId(i)), q.status_of(NodeId(i)), "round {round}");
+                assert!((f.trust_of(NodeId(i)) - q.trust_of(NodeId(i))).abs() < 1e-3);
+            }
+            for split in 0..5usize {
+                let (r, nr) = all.split_at(split);
+                let df = f.cumulative_trust(r) > f.cumulative_trust(nr);
+                let dq = q.cumulative_trust(r) > q.cumulative_trust(nr);
+                let margin = (f.cumulative_trust(r) - f.cumulative_trust(nr)).abs();
+                if margin > 1e-2 {
+                    assert_eq!(df, dq, "round {round} split {split}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_cti_matches_filtered_reference_and_keeps_sentinel() {
+        let mut t = TrustTable::new(fixed_params(), 7)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 2);
+        let group: Vec<NodeId> = (0..7).map(NodeId).collect();
+        for round in 0..40u64 {
+            for i in 0..7usize {
+                if (round * 7 + i as u64).is_multiple_of(3) {
+                    t.record_faulty(NodeId(i));
+                } else {
+                    t.record_correct(NodeId(i));
+                }
+            }
+            t.tick_round();
+            for len in [0usize, 1, 3, 4, 5, 7] {
+                let g = &group[..len];
+                assert_eq!(
+                    t.cumulative_trust(g).to_bits(),
+                    reference_cti(&t, g).to_bits(),
+                    "round {round} len {len}"
+                );
+            }
+        }
+        // A fully-quarantined group keeps the -0.0 seed, exactly like
+        // the float fold.
+        let mut u = TrustTable::new(fixed_params(), 2).with_isolation_threshold(0.9);
+        u.record_faulty(NodeId(0));
+        assert!(u.is_isolated(NodeId(0)));
+        assert!(is_quarantined_weight(u.cumulative_trust(&[NodeId(0)])));
+        assert!(is_quarantined_weight(u.cumulative_trust(&[])));
+    }
+
+    #[test]
+    fn fixed_probation_relapse_always_requarantines() {
+        // The fixed probation reset lands *strictly below* the
+        // threshold (exact equality is generally unrepresentable in
+        // Q16.16), so one faulty report during probation must always
+        // re-quarantine — no LUT plateau can absorb it.
+        for th in [0.3, 0.5, 0.5000001, 0.75] {
+            let mut t = TrustTable::new(fixed_params(), 2)
+                .with_isolation_threshold(th)
+                .with_reintegration(1, 3);
+            while !t.is_isolated(NodeId(0)) {
+                t.record_faulty(NodeId(0));
+            }
+            t.tick_round();
+            assert!(matches!(t.status_of(NodeId(0)), NodeStatus::Probation { .. }));
+            assert!(t.trust_of(NodeId(0)) < th, "threshold {th}");
+            t.record_faulty(NodeId(0));
+            assert!(t.is_isolated(NodeId(0)), "threshold {th}");
+        }
+    }
+
+    #[test]
+    fn fixed_resync_never_exceeds_the_snapshot() {
+        let mut t = TrustTable::new(fixed_params(), 4);
+        for step in 0..9u64 {
+            t.record_faulty(NodeId((step % 4) as usize));
+        }
+        // Drive node 3 all the way to LUT underflow (TI = 0 exactly).
+        t.set_counter(NodeId(3), 100.0);
+        assert_eq!(t.trust_of(NodeId(3)), 0.0);
+        let snapshot = t.export();
+        let mut r = TrustTable::new(fixed_params(), 4);
+        for &(node, ti) in &snapshot {
+            r.resync_to_ti(node, ti);
+            assert!(
+                r.trust_of(node) <= ti,
+                "restored {} > snapshot {ti}",
+                r.trust_of(node)
+            );
+        }
+        // Full trust round-trips exactly; a wiped-then-resynced node
+        // whose snapshot had underflowed stays underflowed.
+        let mut fresh = TrustTable::new(fixed_params(), 1);
+        fresh.resync_to_ti(NodeId(0), 1.0);
+        assert_eq!(fresh.trust_of(NodeId(0)), 1.0);
+        assert_eq!(r.trust_of(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn fixed_export_state_round_trips_and_rejects_corruption() {
+        let mut t = TrustTable::new(fixed_params(), 3)
+            .with_isolation_threshold(0.5)
+            .with_reintegration(2, 2);
+        for _ in 0..4 {
+            t.record_faulty(NodeId(1));
+        }
+        t.tick_round();
+        let state = t.export_state();
+        assert_eq!(state.arith, TrustArith::FixedQ16);
+        let r = TrustTable::from_state(&state).unwrap();
+        assert_eq!(r.export_state(), state);
+        for i in 0..3 {
+            assert_eq!(
+                r.cumulative_trust(&[NodeId(i)]).to_bits(),
+                t.cumulative_trust(&[NodeId(i)]).to_bits()
+            );
+        }
+
+        // A counter that is not an exact Q16.16 multiple cannot have
+        // come from the fixed backend.
+        let mut s = state.clone();
+        s.counters[0] = 0.1;
+        s.cached_ti[0] = fixed::q16_to_f64(fixed::ti_q16(
+            fixed::quantize_round(s.lambda),
+            fixed::quantize_counter_ceil(0.1),
+        ));
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::BadCounter);
+
+        // A cached TI that doesn't match the LUT recomputation bitwise.
+        let mut s = state.clone();
+        s.cached_ti[1] = (-s.lambda * s.counters[1]).exp();
+        assert_eq!(
+            TrustTable::from_state(&s).unwrap_err(),
+            TrustStateError::CacheMismatch
+        );
+
+        // Params that fail fixed-point validation are rejected even
+        // though the float validator would accept them.
+        let mut s = state.clone();
+        s.lambda = 1e-9;
+        assert_eq!(TrustTable::from_state(&s).unwrap_err(), TrustStateError::BadParams);
     }
 }

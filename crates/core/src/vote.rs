@@ -6,7 +6,7 @@
 //! trust index (the paper's CTI comparison); the baseline system weighs
 //! every node at 1, which degenerates to majority voting.
 
-use crate::trust::TrustTable;
+use crate::trust::{is_quarantined_weight, TrustTable};
 use tibfit_net::topology::NodeId;
 
 /// How node votes are weighed.
@@ -53,8 +53,11 @@ impl Weighting<'_> {
                 // group sums to +0.0 at worst; only the empty fold keeps
                 // the -0.0 seed. cumulative_trust skips isolated members
                 // instead, which can leave the seed's sign — normalize so
-                // the bits match the old fold in both cases.
-                if s == 0.0 && !group.is_empty() {
+                // the bits match the old fold in both cases. The sentinel
+                // test goes through the same is_quarantined_weight helper
+                // the table itself uses, so the two paths can't diverge on
+                // what counts as the quarantine sign.
+                if is_quarantined_weight(s) && !group.is_empty() {
                     0.0
                 } else {
                     s

@@ -34,7 +34,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use tibfit_core::trust::{NodeStatus, TrustParams, TrustTableState};
+use tibfit_core::trust::{NodeStatus, TrustArith, TrustParams, TrustTableState};
 use tibfit_net::channel::ChannelSnapshot;
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::NodeId;
@@ -481,6 +481,7 @@ fn decode_cluster(
     let trust = TrustTableState {
         lambda: trust_params.lambda,
         fault_rate: trust_params.fault_rate,
+        arith: trust_params.arith,
         counters,
         cached_ti,
         status,
@@ -516,6 +517,10 @@ fn encode(cap: &SimCapture) -> Vec<u8> {
         s.put_f64(cap.config.r_error);
         s.put_f64(cap.config.trust.lambda);
         s.put_f64(cap.config.trust.fault_rate);
+        s.put_u8(match cap.config.trust.arith {
+            TrustArith::Float64 => 0,
+            TrustArith::FixedQ16 => 1,
+        });
         s.put_f64(cap.config.drift_sigma);
         s.put_u64(cap.config.reelect_every);
         s.put_f64(cap.field.0);
@@ -541,6 +546,11 @@ fn decode(bytes: &[u8]) -> Result<SimCapture, SnapshotError> {
     let r_error = s.take_f64()?;
     let lambda = s.take_f64()?;
     let fault_rate = s.take_f64()?;
+    let arith = match s.take_u8()? {
+        0 => TrustArith::Float64,
+        1 => TrustArith::FixedQ16,
+        _ => return Err(SnapshotError::Invalid("unknown trust arithmetic backend")),
+    };
     let drift_sigma = s.take_f64()?;
     let reelect_every = s.take_u64()?;
     let field_w = s.take_f64()?;
@@ -552,8 +562,11 @@ fn decode(bytes: &[u8]) -> Result<SimCapture, SnapshotError> {
     }
     s.end()?;
 
-    let trust = TrustParams::try_new(lambda, fault_rate)
-        .map_err(|_| SnapshotError::Invalid("trust params out of range"))?;
+    let trust = match arith {
+        TrustArith::Float64 => TrustParams::try_new(lambda, fault_rate),
+        TrustArith::FixedQ16 => TrustParams::try_new_fixed(lambda, fault_rate),
+    }
+    .map_err(|_| SnapshotError::Invalid("trust params out of range"))?;
     let config = MultiClusterConfig {
         sensing_radius,
         r_error,

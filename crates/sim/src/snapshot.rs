@@ -21,8 +21,9 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"TBSN";
 
 /// Current container version. Bump on any layout change; readers
-/// reject other versions rather than guessing.
-pub const VERSION: u16 = 1;
+/// reject other versions rather than guessing. Version 2 added the
+/// arithmetic-backend byte to the deployment section.
+pub const VERSION: u16 = 2;
 
 /// Why a snapshot blob could not be read (or state could not be
 /// captured).

@@ -1,0 +1,184 @@
+//! Differential pinning of the Q16.16 fixed-point trust backend against
+//! the f64 reference — the same contract the sharded engine carries
+//! against the sequential one: the backends may disagree on trust-index
+//! *bits* (that is the point of quantization), but never on *decisions*.
+//!
+//! Two layers of comparison, across 20 seeds:
+//!
+//! - **Cross-backend, decision-identical**: a sequential f64 deployment
+//!   and a sequential Q16.16 deployment fed the same events must produce
+//!   identical [`MultiRoundResult`]s every round — same event calls,
+//!   same declared locations (count-weighted centroids of the same
+//!   accepted reports), same declaring clusters.
+//! - **Within-backend, bit-identical**: the Q16.16 sequential engine and
+//!   the Q16.16 sharded engine must stay in exact lockstep — decisions,
+//!   trust trajectories, positions, and trace counters — exactly as the
+//!   f64 engines already must.
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
+use tibfit_experiments::sharded::ShardedMultiCluster;
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+/// A deployment recipe every engine/backend combination is built from.
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    clusters: usize,
+    field: f64,
+    faulty: usize,
+    noise_sigma: f64,
+    loss: f64,
+    drift_sigma: f64,
+    reelect_every: u64,
+    rounds: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    /// The same mobile deployment the shard differential suite uses:
+    /// multi-cluster declarations, drift, and re-election handoffs.
+    fn mobile(seed: u64) -> Self {
+        Scenario {
+            nodes: 64,
+            clusters: 4,
+            field: 80.0,
+            faulty: 16,
+            noise_sigma: 1.6,
+            loss: 0.005,
+            drift_sigma: 0.6,
+            reelect_every: 3,
+            rounds: 12,
+            seed,
+        }
+    }
+
+    fn config(&self, fixed: bool) -> MultiClusterConfig {
+        let mut c = MultiClusterConfig::paper().mobile(self.drift_sigma, self.reelect_every);
+        if fixed {
+            c.trust = c.trust.with_fixed_point().expect("paper calibration survives Q16.16");
+        }
+        c
+    }
+
+    fn behaviors(&self) -> Vec<Box<dyn NodeBehavior + Send>> {
+        let faulty = SimRng::seed_from(self.seed ^ 0xFA).choose_indices(self.nodes, self.faulty);
+        (0..self.nodes)
+            .map(|i| -> Box<dyn NodeBehavior + Send> {
+                if faulty.contains(&i) {
+                    Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+                } else {
+                    Box::new(CorrectNode::new(0.0, self.noise_sigma))
+                }
+            })
+            .collect()
+    }
+
+    fn sequential(&self, fixed: bool) -> MultiClusterSim {
+        MultiClusterSim::try_new(
+            self.config(fixed),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn sharded(&self, fixed: bool, threads: usize) -> ShardedMultiCluster {
+        ShardedMultiCluster::try_new(
+            self.config(fixed),
+            Topology::uniform_grid(self.nodes, self.field, self.field),
+            grid_sites(self.clusters, self.field),
+            self.behaviors(),
+            |_| Box::new(BernoulliLoss::new(self.loss)),
+            self.seed,
+            threads,
+        )
+        .expect("scenario configs are valid")
+    }
+
+    fn events(&self) -> Vec<Point> {
+        let mut rng = SimRng::seed_from(self.seed ^ 0xE7);
+        (0..self.rounds)
+            .map(|_| {
+                Point::new(
+                    rng.uniform_range(0.0, self.field),
+                    rng.uniform_range(0.0, self.field),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the scenario on the f64 sequential reference, the Q16.16
+/// sequential engine, and the Q16.16 sharded engine, asserting
+/// decision-identity across backends and bit-identity within the fixed
+/// backend, every round.
+fn assert_decision_identical(scenario: &Scenario, threads: usize) {
+    let mut reference = scenario.sequential(false);
+    let mut seq_fixed = scenario.sequential(true);
+    let mut par_fixed = scenario.sharded(true, threads);
+    let ctx = format!("scenario {scenario:?} threads={threads}");
+    for (round, &event) in scenario.events().iter().enumerate() {
+        let want = reference.run_event(event);
+        let got_seq = seq_fixed.run_event(event);
+        let got_par = par_fixed.run_event(event);
+        // Cross-backend: decision-identical. The full MultiRoundResult
+        // (detection, declared centroids, declaring clusters) is a pure
+        // function of the per-round decisions, so equality here is
+        // exactly "no decision ever flipped under quantization".
+        assert_eq!(want, got_seq, "fixed-point decision diverged at round {round}: {ctx}");
+        // Within the fixed backend: bit-identical, engines included.
+        assert_eq!(got_seq, got_par, "sharded fixed diverged at round {round}: {ctx}");
+        assert_eq!(
+            seq_fixed.trust_snapshot(),
+            par_fixed.trust_snapshot(),
+            "fixed trust trajectory diverged at round {round}: {ctx}"
+        );
+    }
+    assert_eq!(
+        seq_fixed.counters(),
+        par_fixed.counters(),
+        "fixed trace counters diverged: {ctx}"
+    );
+}
+
+#[test]
+fn twenty_seeds_sequential_and_sharded() {
+    for seed in 0..20u64 {
+        let scenario = Scenario::mobile(1000 + seed);
+        assert_decision_identical(&scenario, 1);
+        assert_decision_identical(&scenario, 4);
+    }
+}
+
+#[test]
+fn static_deployment_is_decision_identical() {
+    let mut scenario = Scenario::mobile(77);
+    scenario.drift_sigma = 0.0;
+    scenario.reelect_every = 0;
+    assert_decision_identical(&scenario, 4);
+}
+
+#[test]
+fn fixed_backend_counters_are_exactly_representable() {
+    // Every fault counter the fixed backend reports through the f64
+    // surface must be an exact Q16.16 multiple — the portability claim
+    // in one line: the f64 mirror carries no platform-dependent bits.
+    let scenario = Scenario::mobile(4242);
+    let mut sim = scenario.sequential(true);
+    for &event in &scenario.events() {
+        sim.run_event(event);
+        for bits in sim.trust_snapshot() {
+            let v = f64::from_bits(bits);
+            let q = (v * 65536.0).round();
+            assert_eq!(v, q / 65536.0, "non-representable counter {v}");
+        }
+    }
+}

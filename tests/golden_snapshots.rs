@@ -1,0 +1,157 @@
+//! Golden checkpoint blobs: little-endian snapshot containers checked
+//! into `tests/golden/`, one per arithmetic backend, captured from a
+//! fixed warmed-up deployment. Three pins per backend:
+//!
+//! 1. Re-capturing the same deployment reproduces the checked-in blob
+//!    byte-for-byte (the container layout and every encoder are frozen —
+//!    a layout change must come with a version bump and regenerated
+//!    goldens).
+//! 2. Restoring the blob and extending the run stays in bit-exact
+//!    lockstep with an uninterrupted simulation of the same scenario.
+//! 3. The f64 restore and the Q16.16 restore extend **decision-
+//!    identically**: same `MultiRoundResult` every round, even though
+//!    their trust bits differ.
+//!
+//! Regenerate after a deliberate format change with
+//! `cargo test -p tibfit-experiments --test golden_snapshots -- --ignored`.
+
+use std::path::PathBuf;
+
+use tibfit_adversary::behavior::NodeBehavior;
+use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
+use tibfit_experiments::checkpoint::{restore_sequential, save_sequential};
+use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
+use tibfit_net::channel::BernoulliLoss;
+use tibfit_net::geometry::Point;
+use tibfit_net::topology::Topology;
+use tibfit_sim::rng::SimRng;
+
+const NODES: usize = 16;
+const CLUSTERS: usize = 2;
+const FIELD: f64 = 40.0;
+const FAULTY: usize = 4;
+const SEED: u64 = 2026;
+const WARMUP_ROUNDS: usize = 6;
+const EXTENSION_ROUNDS: usize = 6;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden")).join(name)
+}
+
+fn blob_name(fixed: bool) -> &'static str {
+    if fixed {
+        "checkpoint_v2_q16.bin"
+    } else {
+        "checkpoint_v2_f64.bin"
+    }
+}
+
+fn build(fixed: bool) -> MultiClusterSim {
+    let mut config = MultiClusterConfig::paper().mobile(0.6, 3);
+    if fixed {
+        config.trust = config.trust.with_fixed_point().expect("paper calibration survives Q16.16");
+    }
+    let faulty = SimRng::seed_from(SEED ^ 0xFA).choose_indices(NODES, FAULTY);
+    let behaviors: Vec<Box<dyn NodeBehavior + Send>> = (0..NODES)
+        .map(|i| -> Box<dyn NodeBehavior + Send> {
+            if faulty.contains(&i) {
+                Box::new(Level0Node::new(Level0Config::experiment2(4.25)))
+            } else {
+                Box::new(CorrectNode::new(0.0, 1.6))
+            }
+        })
+        .collect();
+    MultiClusterSim::try_new(
+        config,
+        Topology::uniform_grid(NODES, FIELD, FIELD),
+        grid_sites(CLUSTERS, FIELD),
+        behaviors,
+        |_| Box::new(BernoulliLoss::new(0.005)),
+        SEED,
+    )
+    .expect("golden scenario is valid")
+}
+
+fn events(n: usize, salt: u64) -> Vec<Point> {
+    let mut rng = SimRng::seed_from(SEED ^ salt);
+    (0..n)
+        .map(|_| Point::new(rng.uniform_range(0.0, FIELD), rng.uniform_range(0.0, FIELD)))
+        .collect()
+}
+
+/// The warmed-up deployment every golden blob is captured from.
+fn warmed(fixed: bool) -> MultiClusterSim {
+    let mut sim = build(fixed);
+    for &event in &events(WARMUP_ROUNDS, 0xE7) {
+        sim.run_event(event);
+    }
+    sim
+}
+
+#[test]
+fn golden_blobs_match_fresh_capture_bytewise() {
+    for fixed in [false, true] {
+        let blob = save_sequential(&warmed(fixed)).expect("capture succeeds");
+        let path = golden_path(blob_name(fixed));
+        let golden = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden blob {}: {e}", path.display()));
+        assert_eq!(
+            blob,
+            golden,
+            "{} no longer matches a fresh capture; if the format change is \
+             intentional, bump snapshot::VERSION and regenerate with \
+             `cargo test --test golden_snapshots -- --ignored`",
+            blob_name(fixed)
+        );
+    }
+}
+
+#[test]
+fn golden_blobs_restore_and_extend_in_lockstep() {
+    for fixed in [false, true] {
+        let golden = std::fs::read(golden_path(blob_name(fixed))).expect("golden blob present");
+        let mut restored = restore_sequential(&golden).expect("golden blob restores");
+        let mut fresh = warmed(fixed);
+        for (round, &event) in events(EXTENSION_ROUNDS, 0x5E).iter().enumerate() {
+            assert_eq!(
+                fresh.run_event(event),
+                restored.run_event(event),
+                "backend fixed={fixed}: restored run diverged at extension round {round}"
+            );
+            assert_eq!(
+                fresh.trust_snapshot(),
+                restored.trust_snapshot(),
+                "backend fixed={fixed}: trust diverged at extension round {round}"
+            );
+        }
+        assert_eq!(fresh.counters(), restored.counters());
+    }
+}
+
+#[test]
+fn both_backends_extend_decision_identically() {
+    let f64_blob = std::fs::read(golden_path(blob_name(false))).expect("golden blob present");
+    let q16_blob = std::fs::read(golden_path(blob_name(true))).expect("golden blob present");
+    let mut f64_sim = restore_sequential(&f64_blob).expect("restores");
+    let mut q16_sim = restore_sequential(&q16_blob).expect("restores");
+    for (round, &event) in events(EXTENSION_ROUNDS, 0x5E).iter().enumerate() {
+        assert_eq!(
+            f64_sim.run_event(event),
+            q16_sim.run_event(event),
+            "backends disagreed on a decision at extension round {round}"
+        );
+    }
+}
+
+/// Regenerates the checked-in blobs. Run explicitly after a deliberate
+/// container change: `cargo test --test golden_snapshots -- --ignored`.
+#[test]
+#[ignore = "writes tests/golden/*.bin; run only to regenerate"]
+fn regenerate_golden_blobs() {
+    let dir = golden_path("");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for fixed in [false, true] {
+        let blob = save_sequential(&warmed(fixed)).expect("capture succeeds");
+        std::fs::write(golden_path(blob_name(fixed)), &blob).expect("write golden blob");
+    }
+}
