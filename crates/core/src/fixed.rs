@@ -80,6 +80,20 @@ pub fn q16_to_f64(q: i64) -> f64 {
     q as f64 / ONE_Q16 as f64
 }
 
+/// Converts a Q16.16 cumulative-trust sum to the f64 the vote layer
+/// consumes, preserving the fixed backend's group-participation contract:
+/// a fold that read no members (empty or fully quarantined group) yields
+/// `-0.0` — the same sentinel the f64 fold's seed produces — so the
+/// vote-side `±0.0` normalization treats both backends identically.
+#[must_use]
+pub fn cti_sum_to_f64(sum: i64, reads: u64) -> f64 {
+    if reads == 0 {
+        -0.0
+    } else {
+        sum as f64 / ONE_Q16 as f64
+    }
+}
+
 /// Quantizes a non-negative finite f64 to Q16.16, rounding *up* — the
 /// conservative direction for fault counters, where rounding down would
 /// grant trust the node never earned. Exact Q16.16 multiples (every

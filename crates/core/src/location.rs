@@ -15,8 +15,9 @@
 //! Reports more than `r_error` from the final `cg` are "thrown out" —
 //! their senders are judged faulty even if the event itself is confirmed.
 
+use crate::simd_kernel::GroupArena;
 use crate::trust::Judgement;
-use crate::vote::{run_vote, VoteOutcome, Weighting};
+use crate::vote::{VoteOutcome, Weighting};
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::{NodeId, Topology};
 
@@ -275,40 +276,100 @@ pub fn decide_located(
 ) -> Vec<LocatedDecision> {
     assert!(r_s > 0.0, "sensing radius must be positive");
     let clusters = cluster_reports(reports, r_error);
-    clusters
-        .into_iter()
-        .map(|cluster| decide_one_cluster(topo, r_s, r_error, &cluster, weighting))
-        .collect()
-}
 
-fn decide_one_cluster(
-    topo: &Topology,
-    r_s: f64,
-    r_error: f64,
-    cluster: &EventCluster,
-    weighting: &Weighting<'_>,
-) -> LocatedDecision {
-    let neighbors = topo.event_neighbors(cluster.cg, r_s);
-    let mut supporters = Vec::new();
-    let mut outliers = Vec::new();
-    let mut non_neighbor_reporters = Vec::new();
-    for m in &cluster.members {
-        if m.location.distance_to(cluster.cg) > r_error {
-            outliers.push(m.reporter);
-        } else if neighbors.contains(&m.reporter) {
-            supporters.push(m.reporter);
-        } else {
-            non_neighbor_reporters.push(m.reporter);
+    // One batched weighing per T_out window instead of two
+    // `group_weight` calls per cluster: phase 1 partitions every
+    // cluster's neighborhood and stacks the R/NR groups into a reused
+    // index arena, phase 2 weighs them all in one SIMD pass
+    // ([`Weighting::group_weights_batch`]), phase 3 assembles the
+    // decisions. Per group the weights are bit-identical to the
+    // per-cluster path (same members, same order, same normalization),
+    // so the decisions — and `ti_reads` — are unchanged; only the
+    // dispatch is amortized. The scratch is thread-local because the
+    // sharded scheduler's persistent workers call this on every epoch:
+    // after the first window each worker runs allocation-free.
+    struct ClusterParts {
+        cg: Point,
+        outliers: Vec<NodeId>,
+        non_neighbor_reporters: Vec<NodeId>,
+        r: Vec<NodeId>,
+        nr: Vec<NodeId>,
+    }
+    thread_local! {
+        static BATCH_SCRATCH: std::cell::RefCell<(GroupArena, Vec<f64>)> =
+            std::cell::RefCell::new((GroupArena::new(), Vec::new()));
+    }
+
+    let parts: Vec<ClusterParts> = clusters
+        .into_iter()
+        .map(|cluster| {
+            let neighbors = topo.event_neighbors(cluster.cg, r_s);
+            let mut supporters = Vec::new();
+            let mut outliers = Vec::new();
+            let mut non_neighbor_reporters = Vec::new();
+            for m in &cluster.members {
+                if m.location.distance_to(cluster.cg) > r_error {
+                    outliers.push(m.reporter);
+                } else if neighbors.contains(&m.reporter) {
+                    supporters.push(m.reporter);
+                } else {
+                    non_neighbor_reporters.push(m.reporter);
+                }
+            }
+            // The same neighbor-order-preserving partition `run_vote`
+            // performs (supporters ⊆ neighbors by construction).
+            let mut r = Vec::new();
+            let mut nr = Vec::new();
+            for &n in &neighbors {
+                if supporters.contains(&n) {
+                    r.push(n);
+                } else {
+                    nr.push(n);
+                }
+            }
+            ClusterParts {
+                cg: cluster.cg,
+                outliers,
+                non_neighbor_reporters,
+                r,
+                nr,
+            }
+        })
+        .collect();
+
+    let weights: Vec<f64> = BATCH_SCRATCH.with(|scratch| {
+        let (arena, out) = &mut *scratch.borrow_mut();
+        arena.clear();
+        for p in &parts {
+            arena.push_group(&p.r);
+            arena.push_group(&p.nr);
         }
-    }
-    let vote = run_vote(&neighbors, &supporters, weighting);
-    LocatedDecision {
-        location: cluster.cg,
-        event_declared: vote.event_declared,
-        vote,
-        outliers,
-        non_neighbor_reporters,
-    }
+        weighting.group_weights_batch(arena, out);
+        out.clone()
+    });
+
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let rw = weights[2 * i];
+            let nrw = weights[2 * i + 1];
+            let vote = VoteOutcome {
+                event_declared: rw > nrw,
+                reporting_weight: rw,
+                non_reporting_weight: nrw,
+                reporters: p.r,
+                non_reporters: p.nr,
+            };
+            LocatedDecision {
+                location: p.cg,
+                event_declared: vote.event_declared,
+                vote,
+                outliers: p.outliers,
+                non_neighbor_reporters: p.non_neighbor_reporters,
+            }
+        })
+        .collect()
 }
 
 /// Derives per-node judgements from one located decision.
@@ -582,5 +643,78 @@ mod tests {
             .collect();
         let decisions = decide_located(&topo, 20.0, 5.0, &reports, &Weighting::Uniform);
         assert!(decisions[0].event_declared, "baseline should be fooled");
+    }
+
+    #[test]
+    fn batched_decisions_match_per_cluster_vote_bitwise() {
+        // The batched weighing inside decide_located must reproduce the
+        // historical per-cluster run_vote path exactly — same partition,
+        // same weights bitwise, same ti_reads — across a multi-cluster
+        // window with quarantined nodes, outliers, and false alarms.
+        use crate::vote::run_vote;
+        let topo = grid_topo();
+        let params = TrustParams::experiment2();
+        let mut table = TrustTable::new(params, topo.len()).with_isolation_threshold(0.05);
+        let real = Point::new(30.0, 30.0);
+        let fake = Point::new(70.0, 70.0);
+        let real_neighbors = topo.event_neighbors(real, 20.0);
+        let fake_neighbors = topo.event_neighbors(fake, 20.0);
+        for (k, &n) in fake_neighbors.iter().enumerate() {
+            for _ in 0..(k % 14) {
+                table.record_faulty(n); // some decay to quarantine
+            }
+        }
+        let mut reports: Vec<LocatedReport> = real_neighbors
+            .iter()
+            .map(|&n| LocatedReport::new(n, real))
+            .collect();
+        reports.extend(fake_neighbors.iter().map(|&n| LocatedReport::new(n, fake)));
+        // An outlier and a non-neighbor false alarm in the real cluster.
+        reports[0] = LocatedReport::new(real_neighbors[0], real.offset(4.9, 0.0));
+        reports.push(LocatedReport::new(NodeId(0), real.offset(0.1, 0.0)));
+
+        for weighting in [Weighting::Trust(&table), Weighting::Uniform] {
+            let reads_before = table.ti_reads();
+            let decisions = decide_located(&topo, 20.0, 5.0, &reports, &weighting);
+            let batched_reads = table.ti_reads() - reads_before;
+            assert!(decisions.len() >= 2, "expected multiple clusters");
+
+            // Oracle: re-derive each decision with the single-cluster
+            // run_vote primitive over the same partition.
+            let clusters = cluster_reports(&reports, 5.0);
+            assert_eq!(clusters.len(), decisions.len());
+            let reads_before = table.ti_reads();
+            for (cluster, got) in clusters.iter().zip(&decisions) {
+                let neighbors = topo.event_neighbors(cluster.cg, 20.0);
+                let mut supporters = Vec::new();
+                let mut outliers = Vec::new();
+                let mut nnr = Vec::new();
+                for m in &cluster.members {
+                    if m.location.distance_to(cluster.cg) > 5.0 {
+                        outliers.push(m.reporter);
+                    } else if neighbors.contains(&m.reporter) {
+                        supporters.push(m.reporter);
+                    } else {
+                        nnr.push(m.reporter);
+                    }
+                }
+                let vote = run_vote(&neighbors, &supporters, &weighting);
+                assert_eq!(got.vote.reporters, vote.reporters);
+                assert_eq!(got.vote.non_reporters, vote.non_reporters);
+                assert_eq!(
+                    got.vote.reporting_weight.to_bits(),
+                    vote.reporting_weight.to_bits()
+                );
+                assert_eq!(
+                    got.vote.non_reporting_weight.to_bits(),
+                    vote.non_reporting_weight.to_bits()
+                );
+                assert_eq!(got.event_declared, vote.event_declared);
+                assert_eq!(got.outliers, outliers);
+                assert_eq!(got.non_neighbor_reporters, nnr);
+            }
+            let oracle_reads = table.ti_reads() - reads_before;
+            assert_eq!(batched_reads, oracle_reads, "ti_reads accounting diverged");
+        }
     }
 }

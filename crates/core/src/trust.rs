@@ -19,6 +19,21 @@ use std::fmt;
 use tibfit_net::topology::NodeId;
 
 use crate::fixed;
+use crate::simd_kernel::{self, AlignedSlab};
+
+/// One R/NR pair's outcome from [`TrustTable::decide_batch`]: the
+/// normalized group weights and the paper's decision rule applied to
+/// them (`reporting_weight > non_reporting_weight`; ties declare no
+/// event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchVerdict {
+    /// Normalized cumulative trust of the reporting group.
+    pub reporting_weight: f64,
+    /// Normalized cumulative trust of the non-reporting group.
+    pub non_reporting_weight: f64,
+    /// Whether the pair declares an event.
+    pub event_declared: bool,
+}
 
 /// The weight-slot sentinel marking a quarantined node: `-0.0`, whose
 /// addition leaves a non-negative IEEE-754 accumulator bit-identical,
@@ -362,8 +377,9 @@ pub struct TrustTable {
     /// the node, so the branch-free sum reproduces the filtered sum
     /// exactly; the sign bit doubles as the participation flag (every real
     /// TI is `>= +0.0`), which is how reads are counted without touching
-    /// `status`.
-    weights: Vec<f64>,
+    /// `status`. Cache-line aligned so the SIMD batch kernels' gathers
+    /// start on a line boundary and two tables never share a hot line.
+    weights: AlignedSlab<f64>,
     /// Q16.16 source of truth for the fault counters — populated only
     /// on the fixed-point backend (empty otherwise). `counters` then
     /// holds the exact f64 mirror of each entry, so every read path
@@ -372,8 +388,9 @@ pub struct TrustTable {
     /// Q16.16 voting-weight slots for the fixed backend: the node's TI
     /// in Q16.16 while it participates, `-1` while quarantined (the
     /// sign bit is the participation flag, mirroring the f64 array's
-    /// `-0.0` sentinel). Empty on the f64 backend.
-    weights_q: Vec<i64>,
+    /// `-0.0` sentinel). Empty on the f64 backend; cache-line aligned
+    /// like `weights`.
+    weights_q: AlignedSlab<i64>,
     /// Precomputed Q16.16 calibration; `Some` iff `params.arith` is
     /// [`TrustArith::FixedQ16`].
     fixed: Option<FixedCal>,
@@ -414,9 +431,13 @@ impl TrustTable {
             counters: vec![0.0; n],
             // e^(−λ·0) is exactly 1.0, so fresh entries need no exp().
             cached_ti: vec![1.0; n],
-            weights: vec![1.0; n],
+            weights: AlignedSlab::filled(n, 1.0),
             counters_q: vec![0; n_q],
-            weights_q: vec![fixed::ONE_Q16; n_q],
+            weights_q: if n_q == 0 {
+                AlignedSlab::empty()
+            } else {
+                AlignedSlab::filled(n_q, fixed::ONE_Q16)
+            },
             fixed,
             status: vec![NodeStatus::Active; n],
             isolation_threshold: None,
@@ -606,32 +627,11 @@ impl TrustTable {
         if self.fixed.is_some() {
             return self.cumulative_trust_q16(group);
         }
-        let weights = &self.weights;
-        // Seed with -0.0, exactly like `Iterator::sum::<f64>` seeds its
-        // fold — an empty (or fully-quarantined) group must keep
-        // returning the same bits the filtered sum produced.
-        let mut sum = -0.0f64;
-        let mut reads = 0u64;
-        let mut chunks = group.chunks_exact(4);
-        for c in chunks.by_ref() {
-            let w0 = weights[c[0].index()];
-            let w1 = weights[c[1].index()];
-            let w2 = weights[c[2].index()];
-            let w3 = weights[c[3].index()];
-            reads += u64::from(w0.is_sign_positive())
-                + u64::from(w1.is_sign_positive())
-                + u64::from(w2.is_sign_positive())
-                + u64::from(w3.is_sign_positive());
-            sum += w0;
-            sum += w1;
-            sum += w2;
-            sum += w3;
-        }
-        for n in chunks.remainder() {
-            let w = weights[n.index()];
-            reads += u64::from(!is_quarantined_weight(w));
-            sum += w;
-        }
+        // The f64 fold is pinned bitwise to the sequential group-order
+        // sum, so the single-group path always runs the shared scalar
+        // fold — SIMD pays off only across groups (see
+        // [`TrustTable::cumulative_trust_batch`]).
+        let (sum, reads) = simd_kernel::fold_group_f64(&self.weights, group);
         self.ti_reads.set(self.ti_reads.get() + reads);
         sum
     }
@@ -641,40 +641,76 @@ impl TrustTable {
     /// `!(w >> 63)` is an all-ones mask exactly for participating
     /// members — one AND folds the weight, one more counts the read.
     /// The integer sum is exact (no float rounding, no ordering
-    /// sensitivity); the result converts losslessly to f64 and keeps
-    /// the ±0.0 contract of the float fold: `-0.0` iff no member
-    /// participated, `+0.0` for participating members that sum to zero.
+    /// sensitivity) — which also means it may run through the vertical
+    /// SIMD kernel for large groups with exactly equal results; the
+    /// result converts losslessly to f64 and keeps the ±0.0 contract of
+    /// the float fold: `-0.0` iff no member participated, `+0.0` for
+    /// participating members that sum to zero.
     fn cumulative_trust_q16(&self, group: &[NodeId]) -> f64 {
-        let weights = &self.weights_q;
-        let mut sum = 0i64;
-        let mut reads = 0u64;
-        let mut chunks = group.chunks_exact(4);
-        for c in chunks.by_ref() {
-            let w0 = weights[c[0].index()];
-            let w1 = weights[c[1].index()];
-            let w2 = weights[c[2].index()];
-            let w3 = weights[c[3].index()];
-            let (m0, m1, m2, m3) = (!(w0 >> 63), !(w1 >> 63), !(w2 >> 63), !(w3 >> 63));
-            sum += (w0 & m0) + (w1 & m1) + (w2 & m2) + (w3 & m3);
-            reads += ((m0 & 1) + (m1 & 1) + (m2 & 1) + (m3 & 1)) as u64;
-        }
-        for n in chunks.remainder() {
-            let w = weights[n.index()];
-            let m = !(w >> 63);
-            sum += w & m;
-            reads += (m & 1) as u64;
-        }
+        let (sum, reads) = simd_kernel::cti_q16_single(&self.weights_q, group);
         self.ti_reads.set(self.ti_reads.get() + reads);
-        if reads == 0 {
-            // Empty or fully-quarantined group: the float fold keeps
-            // its -0.0 seed; reproduce the exact bits.
-            -0.0
+        fixed::cti_sum_to_f64(sum, reads)
+    }
+
+    /// Batched CTI: evaluates every group in `arena` in one pass over
+    /// the weight slots, writing each group's cumulative trust to
+    /// `out[g]` in group-push order. Each result carries the exact bits
+    /// the corresponding [`TrustTable::cumulative_trust`] call would
+    /// return (including the `-0.0` empty/all-quarantined sentinel), and
+    /// `ti_reads` advances by the same total — the batch is
+    /// observationally identical to the per-group loop, it only
+    /// amortizes dispatch and interleaves the folds' dependency chains
+    /// ([`simd_kernel::cti_batch_f64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arena index is out of range for this table.
+    pub fn cumulative_trust_batch(&self, arena: &mut simd_kernel::GroupArena, out: &mut Vec<f64>) {
+        let reads = if self.fixed.is_some() {
+            simd_kernel::cti_batch_q16(&self.weights_q, arena, out)
         } else {
-            // Each weight is ≤ 2^16 and groups are far below 2^36
-            // members, so the integer sum is exact in f64 and the
-            // power-of-two division loses nothing.
-            sum as f64 / fixed::ONE_Q16 as f64
+            simd_kernel::cti_batch_f64(&self.weights, arena, out)
+        };
+        self.ti_reads.set(self.ti_reads.get() + reads);
+    }
+
+    /// Evaluates many R/NR group pairs in one batched pass and applies
+    /// the paper's decision rule (`CTI_R > CTI_NR`; ties declare no
+    /// event) to each pair.
+    ///
+    /// `arena` must hold an even number of groups — pair `i` is groups
+    /// `2i` (reporting) and `2i+1` (non-reporting). The weights written
+    /// to each verdict carry the vote layer's `±0.0` normalization
+    /// ([`crate::vote::group_weight`] semantics): a nonempty group whose
+    /// sum is the `-0.0` sentinel reports `0.0`. `weights_scratch` is
+    /// caller-provided so steady-state batches allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena holds an odd number of groups or an index out
+    /// of range for this table.
+    pub fn decide_batch(
+        &self,
+        arena: &mut simd_kernel::GroupArena,
+        weights_scratch: &mut Vec<f64>,
+        out: &mut Vec<BatchVerdict>,
+    ) {
+        assert!(
+            arena.group_count().is_multiple_of(2),
+            "decide_batch needs an even number of groups (R/NR pairs)"
+        );
+        self.cumulative_trust_batch(arena, weights_scratch);
+        for (g, w) in weights_scratch.iter_mut().enumerate() {
+            if is_quarantined_weight(*w) && arena.group_len(g) > 0 {
+                *w = 0.0;
+            }
         }
+        out.clear();
+        out.extend(weights_scratch.chunks_exact(2).map(|pair| BatchVerdict {
+            reporting_weight: pair[0],
+            non_reporting_weight: pair[1],
+            event_declared: pair[0] > pair[1],
+        }));
     }
 
     /// Records a faulty judgement and runs diagnosis.
@@ -1116,7 +1152,7 @@ impl TrustTable {
                 }
             })
             .collect();
-        let weights_q = if fixed.is_some() {
+        let weights_q: Vec<i64> = if fixed.is_some() {
             weights
                 .iter()
                 .map(|&w| {
@@ -1130,11 +1166,12 @@ impl TrustTable {
         } else {
             Vec::new()
         };
+        let weights_q = AlignedSlab::from_slice(&weights_q);
         Ok(TrustTable {
             params,
             counters: state.counters.clone(),
             cached_ti: state.cached_ti.clone(),
-            weights,
+            weights: AlignedSlab::from_slice(&weights),
             counters_q,
             weights_q,
             fixed,

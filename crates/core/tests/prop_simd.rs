@@ -1,0 +1,219 @@
+//! Differential property coverage for the batched SIMD CTI kernels:
+//! every dispatch tier must be indistinguishable from the shared scalar
+//! fold — bitwise for f64 (the fold order is part of the contract),
+//! exactly for Q16.16 (integer sums are order-free but must not drop or
+//! double a member), and read-for-read on the `ti_reads` charge.
+//!
+//! The generator leans on the edge shapes the lane blocking has to get
+//! right: empty groups, singleton groups, lengths straddling every
+//! block width (1..=257), heavy `-0.0`/`-1` quarantine runs, and
+//! all-quarantined groups whose sum must stay exactly `-0.0`.
+
+use tibfit_core::fixed;
+use tibfit_core::simd_kernel::{
+    cti_batch_f64_with_tier, cti_batch_q16_with_tier, cti_q16_single_with_tier, fold_group_f64,
+    fold_group_q16, GroupArena, Tier,
+};
+use tibfit_net::topology::NodeId;
+use tibfit_sim::rng::SimRng;
+
+const TIERS: [Tier; 4] = [Tier::Scalar, Tier::Sse2, Tier::Avx2, Tier::Neon];
+
+/// Random f64 weight slots: TI values in `[0, 1]`, underflowed-but-read
+/// `+0.0` slots, and `-0.0` quarantine sentinels.
+fn random_weights_f64(rng: &mut SimRng, slots: usize) -> Vec<f64> {
+    (0..slots)
+        .map(|_| match rng.uniform_usize(8) {
+            0 | 1 => -0.0,
+            2 => 0.0,
+            _ => rng.uniform_range(0.0, 1.0),
+        })
+        .collect()
+}
+
+/// Random Q16.16 weight slots with `-1` quarantine sentinels.
+fn random_weights_q16(rng: &mut SimRng, slots: usize) -> Vec<i64> {
+    (0..slots)
+        .map(|_| match rng.uniform_usize(8) {
+            0 | 1 => -1,
+            _ => rng.uniform_usize(fixed::ONE_Q16 as usize + 1) as i64,
+        })
+        .collect()
+}
+
+/// Random groups over `slots` indices with lengths in `0..=257` —
+/// covering empties, singletons, and spans past every lane width.
+fn random_groups(rng: &mut SimRng, slots: usize) -> Vec<Vec<NodeId>> {
+    let count = 1 + rng.uniform_usize(40);
+    (0..count)
+        .map(|_| {
+            let len = match rng.uniform_usize(6) {
+                0 => 0,
+                1 => 1 + rng.uniform_usize(4),
+                2 => 255 + rng.uniform_usize(3),
+                _ => rng.uniform_usize(64),
+            };
+            (0..len).map(|_| NodeId(rng.uniform_usize(slots))).collect()
+        })
+        .collect()
+}
+
+fn fill(arena: &mut GroupArena, groups: &[Vec<NodeId>]) {
+    arena.clear();
+    for g in groups {
+        arena.push_group(g);
+    }
+}
+
+#[test]
+fn batched_f64_matches_scalar_fold_bitwise_on_every_tier() {
+    let mut arena = GroupArena::new();
+    let mut out = Vec::new();
+    for seed in 0..60u64 {
+        let mut rng = SimRng::seed_from(0xF64D ^ seed);
+        let slots = 1 + rng.uniform_usize(1500);
+        let weights = random_weights_f64(&mut rng, slots);
+        let groups = random_groups(&mut rng, slots);
+        fill(&mut arena, &groups);
+        let want: Vec<(f64, u64)> = groups.iter().map(|g| fold_group_f64(&weights, g)).collect();
+        let want_reads: u64 = want.iter().map(|&(_, r)| r).sum();
+        for tier in TIERS {
+            let reads = cti_batch_f64_with_tier(tier, &weights, &mut arena, &mut out);
+            assert_eq!(reads, want_reads, "seed {seed} tier {}: reads", tier.name());
+            assert_eq!(out.len(), groups.len());
+            for (g, (&got, &(sum, _))) in out.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    sum.to_bits(),
+                    "seed {seed} tier {} group {g} (len {}): {got} vs {sum}",
+                    tier.name(),
+                    groups[g].len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_q16_matches_scalar_fold_exactly_on_every_tier() {
+    let mut arena = GroupArena::new();
+    let mut out = Vec::new();
+    for seed in 0..60u64 {
+        let mut rng = SimRng::seed_from(0x0160 ^ seed);
+        let slots = 1 + rng.uniform_usize(1500);
+        let weights = random_weights_q16(&mut rng, slots);
+        let groups = random_groups(&mut rng, slots);
+        fill(&mut arena, &groups);
+        let want: Vec<(f64, u64)> = groups
+            .iter()
+            .map(|g| {
+                let (s, r) = fold_group_q16(&weights, g);
+                (fixed::cti_sum_to_f64(s, r), r)
+            })
+            .collect();
+        let want_reads: u64 = want.iter().map(|&(_, r)| r).sum();
+        for tier in TIERS {
+            let reads = cti_batch_q16_with_tier(tier, &weights, &mut arena, &mut out);
+            assert_eq!(reads, want_reads, "seed {seed} tier {}: reads", tier.name());
+            for (g, (&got, &(cti, _))) in out.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    cti.to_bits(),
+                    "seed {seed} tier {} group {g}: {got} vs {cti}",
+                    tier.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_group_q16_matches_scalar_fold_on_every_tier() {
+    for seed in 0..40u64 {
+        let mut rng = SimRng::seed_from(0x51D ^ seed);
+        let slots = 1 + rng.uniform_usize(1000);
+        let weights = random_weights_q16(&mut rng, slots);
+        for group in random_groups(&mut rng, slots) {
+            let want = fold_group_q16(&weights, &group);
+            for tier in TIERS {
+                assert_eq!(
+                    cti_q16_single_with_tier(tier, &weights, &group),
+                    want,
+                    "seed {seed} tier {} len {}",
+                    tier.name(),
+                    group.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_all_quarantined_groups_keep_the_minus_zero_sentinel() {
+    let weights = vec![-0.0f64; 32];
+    let weights_q = vec![-1i64; 32];
+    let mut arena = GroupArena::new();
+    arena.push_group(&[]);
+    arena.push_group(&[NodeId(3), NodeId(7), NodeId(31)]);
+    arena.push_group(&(0..32).map(NodeId).collect::<Vec<_>>());
+    let mut out = Vec::new();
+    for tier in TIERS {
+        assert_eq!(cti_batch_f64_with_tier(tier, &weights, &mut arena, &mut out), 0);
+        for (g, &v) in out.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                (-0.0f64).to_bits(),
+                "tier {} group {g} lost the -0.0 sentinel",
+                tier.name()
+            );
+        }
+        assert_eq!(cti_batch_q16_with_tier(tier, &weights_q, &mut arena, &mut out), 0);
+        for (g, &v) in out.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                (-0.0f64).to_bits(),
+                "tier {} q16 group {g} lost the -0.0 sentinel",
+                tier.name()
+            );
+        }
+    }
+}
+
+/// The arena caches its longest-first lane order between batches; this
+/// pins that the cache is invalidated by `clear` and `push_group`, so a
+/// reused arena never runs a stale order against new groups.
+#[test]
+fn arena_reuse_and_mutation_never_reorder_results() {
+    let mut rng = SimRng::seed_from(0xA3E7A);
+    let slots = 600;
+    let weights = random_weights_f64(&mut rng, slots);
+    let mut arena = GroupArena::new();
+    let mut out = Vec::new();
+    let mut fresh_out = Vec::new();
+    for round in 0..20 {
+        let groups = random_groups(&mut rng, slots);
+        // Reused arena: cleared, refilled, and batched twice (the second
+        // call runs on the cached sort).
+        fill(&mut arena, &groups);
+        cti_batch_f64_with_tier(Tier::Avx2, &weights, &mut arena, &mut out);
+        let first: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        cti_batch_f64_with_tier(Tier::Avx2, &weights, &mut arena, &mut out);
+        let second: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(first, second, "round {round}: cached sort changed the results");
+        // Growing the arena after a sorted batch must re-sort.
+        let extra: Vec<NodeId> = (0..300).map(|_| NodeId(rng.uniform_usize(slots))).collect();
+        arena.push_group(&extra);
+        cti_batch_f64_with_tier(Tier::Avx2, &weights, &mut arena, &mut out);
+        let mut fresh = GroupArena::new();
+        for g in &groups {
+            fresh.push_group(g);
+        }
+        fresh.push_group(&extra);
+        cti_batch_f64_with_tier(Tier::Avx2, &weights, &mut fresh, &mut fresh_out);
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fresh_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "round {round}: mutated arena diverged from a fresh one"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Lock-free fixed-bucket latency histogram for the query path.
+//!
+//! An HDR-style layout over nanoseconds: values below [`SUBS`] land in
+//! one bucket each (exact), and every power-of-two octave above that is
+//! split into [`SUBS`] linear sub-buckets, bounding the relative error
+//! of any reported quantile to `1 / SUBS` (≈6%). The bucket array is
+//! plain `AtomicU64`s, so workers record with one relaxed increment and
+//! readers take percentiles from a racing snapshot — good enough for a
+//! monitoring figure, with no lock on the hot path.
+//!
+//! ```rust
+//! use tibfit_daemon::latency::Histogram;
+//!
+//! let h = Histogram::new();
+//! for ns in [250, 900, 1_200, 40_000] {
+//!     h.record(ns);
+//! }
+//! assert_eq!(h.count(), 4);
+//! assert!(h.percentile(50.0) >= 900);
+//! assert!(h.percentile(100.0) >= 40_000);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave (and the exact-count range `0..SUBS`).
+const SUB_BITS: u32 = 4;
+/// Number of sub-buckets each power-of-two octave is split into.
+pub const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: `SUBS` exact buckets plus `SUBS` per octave for
+/// the `64 - SUB_BITS` octaves a `u64` value can fall in.
+const BUCKETS: usize = SUBS * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a nanosecond value. Total order is preserved:
+/// `a <= b` implies `index(a) <= index(b)`.
+fn index_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let major = 63 - v.leading_zeros(); // >= SUB_BITS
+    let minor = (v >> (major - SUB_BITS)) & (SUBS as u64 - 1);
+    (major - SUB_BITS + 1) as usize * SUBS + minor as usize
+}
+
+/// Largest value that maps into bucket `i` — what percentiles report,
+/// so a quantile is never under-stated by bucketing.
+fn upper_bound(i: usize) -> u64 {
+    if i < SUBS {
+        return i as u64;
+    }
+    let major = (i / SUBS) as u32 + SUB_BITS - 1;
+    let minor = (i % SUBS) as u128;
+    // The topmost bucket's bound is 2^64; widen so it saturates cleanly.
+    let bound = ((SUBS as u128 + minor + 1) << (major - SUB_BITS)) - 1;
+    u64::try_from(bound).unwrap_or(u64::MAX)
+}
+
+/// Concurrent fixed-bucket latency histogram over nanoseconds.
+///
+/// `record` is wait-free (one relaxed `fetch_add`); `percentile` and
+/// `merge_from` read a racing snapshot, which is fine for reporting.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. Allocates the full bucket array up front so
+    /// recording never allocates.
+    #[must_use]
+    pub fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            counts: counts.into_boxed_slice(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.counts[index_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` — how per-slot
+    /// histograms combine into a daemon-wide figure.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The value (ns) at or below which `p` percent of samples fall,
+    /// rounded up to its bucket's upper bound. Returns 0 when empty.
+    /// `p` is clamped to `0.0..=100.0`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((p / 100.0 * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return upper_bound(i);
+            }
+        }
+        // Racing recorders can make `total` run ahead of the bucket
+        // sums; the last nonempty bucket is then the honest answer.
+        upper_bound(
+            self.counts
+                .iter()
+                .rposition(|c| c.load(Ordering::Relaxed) != 0)
+                .unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut probes: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 3].map(|j| (1u64 << shift).saturating_add(j)))
+            .collect();
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let i = index_of(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+        assert_eq!(index_of(0), 0);
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bound_brackets_its_bucket() {
+        for v in (0..4096u64).chain([1 << 20, 1 << 33, u64::MAX / 2, u64::MAX]) {
+            let i = index_of(v);
+            let ub = upper_bound(i);
+            assert!(ub >= v, "upper bound {ub} below member {v}");
+            assert_eq!(index_of(ub), i, "upper bound left its bucket for {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_known_distribution() {
+        let h = Histogram::new();
+        // 99 samples at ~1µs, one at ~10ms.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(10_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0);
+        assert!((1_000..2_000).contains(&p50), "p50 was {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((1_000..2_000).contains(&p99), "p99 was {p99}");
+        let p100 = h.percentile(100.0);
+        assert!(p100 >= 10_000_000, "p100 was {p100}");
+        assert!(p100 < 11_000_000, "p100 bucket too wide: {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn merge_combines_slot_histograms() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..10 {
+            a.record(500);
+            b.record(2_000_000);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), 20);
+        assert!(merged.percentile(25.0) < 1_000);
+        assert!(merged.percentile(99.0) >= 2_000_000);
+    }
+}

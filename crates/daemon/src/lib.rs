@@ -34,6 +34,7 @@ use tibfit_experiments::sharded::ShardedError;
 use tibfit_sim::snapshot::SnapshotError;
 
 pub mod backoff;
+pub mod latency;
 pub mod net_io;
 pub mod queue;
 pub mod state;

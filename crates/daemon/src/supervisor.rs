@@ -34,13 +34,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tibfit_experiments::replay::{tenant_seed, FieldScenario};
 use tibfit_faults::ProcessCrashPlan;
 use tibfit_sim::shutdown;
 
 use crate::backoff::JitteredBackoff;
+use crate::latency;
 use crate::queue::{QueuePolicy, QueueStats, SharedQueue, WorkItem};
 use crate::state::{
     decision_log_path, encode_tenant_state, read_tenant_state, tenant_state_path,
@@ -278,6 +279,8 @@ struct SlotShared {
     applied: AtomicU64,
     shed_quarantine: AtomicU64,
     health: AtomicU8,
+    /// Wall-clock latency of each answered query, for the p99 figure.
+    query_latency: latency::Histogram,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -479,7 +482,10 @@ fn process_item(
             task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
         }
         WorkItem::Query(q) => {
+            let started = Instant::now();
             answer_query(&task.tenant, q);
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            task.shared.query_latency.record(nanos);
             task.shared.heartbeat.fetch_add(1, Ordering::SeqCst);
         }
         WorkItem::Shutdown => {
@@ -806,6 +812,7 @@ impl Daemon {
                 applied: AtomicU64::new(0),
                 shed_quarantine: AtomicU64::new(0),
                 health: AtomicU8::new(HEALTH_ACTIVE),
+                query_latency: latency::Histogram::new(),
             });
             let cancel = Arc::new(AtomicBool::new(false));
             let handle = spawn_incarnation(
@@ -863,6 +870,19 @@ impl Daemon {
             watchdog: Some(watchdog),
             ticks: 0,
         })
+    }
+
+    /// Merged p99 query-answer latency across every tenant slot, in
+    /// microseconds. Zero until the first query is answered.
+    #[must_use]
+    pub fn query_latency_p99_us(&self) -> f64 {
+        let merged = latency::Histogram::new();
+        for slot in &self.router {
+            merged.merge_from(&slot.shared.query_latency);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ns = merged.percentile(99.0) as f64;
+        ns / 1_000.0
     }
 
     fn close_tick(&mut self) {

@@ -64,8 +64,10 @@ impl EngineKind {
 }
 
 enum TenantEngine {
-    Sequential(MultiClusterSim),
-    Sharded(ShardedMultiCluster),
+    // Boxed: the engines carry cache-line-aligned hot state, so the
+    // variants are far larger than the enum's other residents.
+    Sequential(Box<MultiClusterSim>),
+    Sharded(Box<ShardedMultiCluster>),
 }
 
 /// The engine's node positions, shared with the router so admission
@@ -170,10 +172,10 @@ impl Tenant {
     ) -> Result<Self, DaemonError> {
         let engine = match kind {
             EngineKind::Sequential => {
-                TenantEngine::Sequential(scenario.sequential().map_err(DaemonError::Engine)?)
+                TenantEngine::Sequential(Box::new(scenario.sequential().map_err(DaemonError::Engine)?))
             }
             EngineKind::Sharded => {
-                TenantEngine::Sharded(scenario.sharded(threads).map_err(DaemonError::Engine)?)
+                TenantEngine::Sharded(Box::new(scenario.sharded(threads).map_err(DaemonError::Engine)?))
             }
         };
         Ok(Tenant::build(id, scenario, kind, engine))
@@ -193,12 +195,12 @@ impl Tenant {
         blob: &[u8],
     ) -> Result<Self, DaemonError> {
         let engine = match kind {
-            EngineKind::Sequential => TenantEngine::Sequential(
+            EngineKind::Sequential => TenantEngine::Sequential(Box::new(
                 checkpoint::restore_sequential(blob).map_err(DaemonError::Checkpoint)?,
-            ),
-            EngineKind::Sharded => TenantEngine::Sharded(
+            )),
+            EngineKind::Sharded => TenantEngine::Sharded(Box::new(
                 checkpoint::restore_sharded(blob, threads).map_err(DaemonError::Checkpoint)?,
-            ),
+            )),
         };
         Ok(Tenant::build(id, scenario, kind, engine))
     }

@@ -359,6 +359,10 @@ impl ClusterState {
         &self.members
     }
 
+    pub(crate) fn head_position(&self) -> Point {
+        self.head_position
+    }
+
     pub(crate) fn position(&self, local: usize) -> Point {
         self.positions[local]
     }

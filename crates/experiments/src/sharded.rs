@@ -216,6 +216,38 @@ impl Shard for ClusterShard {
     }
 }
 
+/// Interleaves the low 32 bits of `x` and `y` into a Morton (Z-order)
+/// key: points close on the 2D lattice get numerically close keys, so
+/// sorting by the key walks the lattice in a locality-preserving curve.
+fn morton_key(x: u32, y: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff_ffff;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(u64::from(x)) | (spread(u64::from(y)) << 1)
+}
+
+/// The heap-construction order for shard state: cluster indices sorted by
+/// the Z-order key of each cluster head's lattice cell (ties by index, so
+/// the order is a deterministic permutation). Without a recognized
+/// lattice there is no locality structure to exploit and the original
+/// order is kept.
+fn locality_order(clusters: &[ClusterState], lattice: Option<SiteLattice>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    if let Some(lat) = lattice {
+        order.sort_by_key(|&i| {
+            let (cx, cy) = lat.cell_of(clusters[i].head_position());
+            (morton_key(cx as u32, cy as u32), i)
+        });
+    }
+    order
+}
+
 /// The parallel engine: drop-in equivalent of [`MultiClusterSim`] with a
 /// `threads` knob. Same constructor inputs produce bit-identical
 /// decisions, trust trajectories, and trace counters at any thread
@@ -275,9 +307,22 @@ impl ShardedMultiCluster {
     ) -> Result<Self, ShardedError> {
         let lattice = SiteLattice::detect(&sites);
         let sites: Arc<[Point]> = sites.into();
-        let shards: Vec<ClusterShard> = clusters
-            .into_iter()
-            .map(|state| ClusterShard {
+        // Cache-aware placement: shard *indices* are frozen by the trace
+        // (messages address slot indices, (time,src,seq) keys embed them,
+        // counters are named per index), so locality cannot reorder the
+        // slot array. What it can order is the heap: build each shard's
+        // private state following a Z-order walk of the site lattice, so
+        // lattice-adjacent clusters — which exchange the most handoffs
+        // and are stepped together when workers claim contiguous slot
+        // chunks — get their timer wheels and scratch buffers allocated
+        // adjacently. Every shard is then installed at its original slot
+        // index, leaving the trace bit-identical.
+        let order = locality_order(&clusters, lattice);
+        let mut staging: Vec<Option<ClusterState>> = clusters.into_iter().map(Some).collect();
+        let mut shards: Vec<Option<ClusterShard>> = (0..staging.len()).map(|_| None).collect();
+        for i in order {
+            let state = staging[i].take().expect("locality order is a permutation");
+            shards[i] = Some(ClusterShard {
                 state,
                 sites: Arc::clone(&sites),
                 lattice,
@@ -287,7 +332,11 @@ impl ShardedMultiCluster {
                 rounds: Vec::new(),
                 reports: BufferPool::new(),
                 declared: Vec::new(),
-            })
+            });
+        }
+        let shards: Vec<ClusterShard> = shards
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
             .collect();
         let scheduler =
             ShardScheduler::new(shards, Duration::from_ticks(ROUND_TICKS), threads)?;

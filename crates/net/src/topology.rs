@@ -428,6 +428,16 @@ impl SiteLattice {
         }
     }
 
+    /// The lattice cell `(col, row)` containing `p`, clamped to the
+    /// grid — the locality key cache-aware shard placement sorts by.
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        (
+            Self::cell(p.x, self.x0, self.dx, self.cols),
+            Self::cell(p.y, self.y0, self.dy, self.rows),
+        )
+    }
+
     /// The nearest site to `p` via the 3×3 window — identical result to
     /// the linear scan, including the lower-index tie-break (the window
     /// is visited in ascending site index, and a site only replaces the

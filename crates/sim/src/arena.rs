@@ -72,9 +72,17 @@ impl<T> BufferPool<T> {
     }
 
     /// Returns a buffer to the pool for a later [`BufferPool::lease`].
-    /// Contents are cleared (elements drop now); capacity is kept.
+    /// Contents are cleared (elements drop now); capacity is kept, but
+    /// rounded up so the retired block spans whole cache lines — the
+    /// next lease's writes then never straddle a line shared with a
+    /// neighboring allocation. The rounding reallocates at most once per
+    /// capacity high-water mark, so the steady state is untouched.
     pub fn release(&mut self, mut buf: Vec<T>) {
         buf.clear();
+        let rounded = crate::cache::round_capacity_to_line::<T>(buf.capacity());
+        if rounded > buf.capacity() {
+            buf.reserve_exact(rounded);
+        }
         self.free.push(buf);
     }
 
@@ -120,9 +128,21 @@ mod tests {
         assert_eq!(pool.reused(), 1);
         assert_eq!(pool.allocated(), 2, "no fresh allocation once warmed");
         // LIFO reuse: the most recently released buffer (b, empty) comes
-        // back first; the grown one is still idle.
+        // back first; the grown one is still idle. Release rounds
+        // capacity up to whole cache lines, never down.
         let d = pool.lease();
-        assert!(c.capacity() == cap || d.capacity() == cap, "grown capacity survives recycling");
+        assert!(c.capacity() >= cap || d.capacity() >= cap, "grown capacity survives recycling");
+    }
+
+    #[test]
+    fn released_capacity_is_line_granular() {
+        let mut pool: BufferPool<u64> = BufferPool::new();
+        let mut buf = pool.lease();
+        buf.extend(0..5); // ragged capacity
+        pool.release(buf);
+        let buf = pool.lease();
+        assert_eq!(buf.capacity() % (crate::cache::CACHE_LINE / 8), 0);
+        assert!(buf.capacity() >= 8);
     }
 
     #[test]

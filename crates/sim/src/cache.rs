@@ -1,0 +1,98 @@
+//! Cache-geometry helpers for the sharded hot path.
+//!
+//! The worker pool's per-slot state is written by whichever worker owns
+//! the slot this epoch; when two slots share a cache line, the ownership
+//! handoff turns into false sharing — every write by one worker evicts
+//! the line from the other's cache even though they never touch the same
+//! bytes. [`CachePadded`] gives each such value its own line. The same
+//! constant feeds the capacity rounding in [`crate::arena::BufferPool`],
+//! so recycled blocks start and end on line boundaries.
+
+/// One cache line, in bytes. 64 is the line size of every x86_64 and
+/// mainstream aarch64 part this crate targets; on machines with larger
+/// lines the padding is merely less than one line, never unsound.
+pub const CACHE_LINE: usize = 64;
+
+/// Wraps a value in its own cache line(s): aligned to [`CACHE_LINE`] and
+/// therefore padded to a multiple of it, so two adjacent `CachePadded`
+/// values — e.g. consecutive shard slots in a `Vec` — never share a
+/// line. Access is transparent through `Deref`/`DerefMut`.
+#[derive(Debug, Default, Clone)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Rounds `cap` elements of `T` up so the block spans whole cache lines
+/// (no-op for zero capacity and for types at least one line wide).
+#[must_use]
+pub fn round_capacity_to_line<T>(cap: usize) -> usize {
+    let elem = std::mem::size_of::<T>();
+    if cap == 0 || elem == 0 || elem >= CACHE_LINE {
+        return cap;
+    }
+    let per_line = CACHE_LINE / elem;
+    cap.div_ceil(per_line) * per_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_get_their_own_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), CACHE_LINE);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= CACHE_LINE);
+        // Adjacent slots land on distinct lines.
+        let v = [CachePadded::new(0u64), CachePadded::new(1u64)];
+        let a = &*v[0] as *const u64 as usize;
+        let b = &*v[1] as *const u64 as usize;
+        assert!(b - a >= CACHE_LINE);
+        assert_eq!(a % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn deref_is_transparent() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn capacity_rounding_spans_whole_lines() {
+        assert_eq!(round_capacity_to_line::<u64>(0), 0);
+        assert_eq!(round_capacity_to_line::<u64>(1), 8);
+        assert_eq!(round_capacity_to_line::<u64>(8), 8);
+        assert_eq!(round_capacity_to_line::<u64>(9), 16);
+        assert_eq!(round_capacity_to_line::<u8>(65), 128);
+        // A type a line or wider is already line-granular per element.
+        assert_eq!(round_capacity_to_line::<[u8; 64]>(3), 3);
+        assert_eq!(round_capacity_to_line::<[u8; 128]>(5), 5);
+    }
+}

@@ -52,6 +52,7 @@ mod engine;
 mod queue;
 
 pub mod arena;
+pub mod cache;
 pub mod rng;
 pub mod shard;
 pub mod shutdown;

@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use crate::cache::CachePadded;
 use crate::clock::{Duration, SimTime};
 
 /// Derives the RNG stream seed for one shard (or any numbered stream)
@@ -234,6 +235,12 @@ struct Slot<S: Shard> {
 /// `&mut self` (exclusive) or hands out shared `&` references — and the
 /// scheduler itself is `!Sync` (see the `PhantomData<std::cell::Cell<()>>`
 /// marker), so those shared references never cross threads.
+///
+/// Cache-line aligned so adjacent slots in the scheduler's slot array
+/// never share a line: during the parallel phase each slot's inbox/outbox
+/// headers are written by the worker that claimed it, and an unaligned
+/// array would false-share those writes between neighboring workers.
+#[repr(align(64))]
 struct SlotCell<S: Shard>(UnsafeCell<Slot<S>>);
 
 // Safety: see the invariant on `SlotCell` — cross-thread access only ever
@@ -261,11 +268,13 @@ struct PoolState {
 }
 
 struct PoolShared {
-    state: Mutex<PoolState>,
+    /// Padded so the mutex word, which every worker hammers at epoch
+    /// boundaries, does not share a line with the condvars.
+    state: CachePadded<Mutex<PoolState>>,
     /// Main → workers: a new generation (or shutdown) is available.
-    work: Condvar,
+    work: CachePadded<Condvar>,
     /// Workers → main: the last active worker finished.
-    done: Condvar,
+    done: CachePadded<Condvar>,
 }
 
 struct WorkerPool {
@@ -276,15 +285,15 @@ struct WorkerPool {
 impl WorkerPool {
     fn new(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState {
+            state: CachePadded::new(Mutex::new(PoolState {
                 job: None,
                 generation: 0,
                 active: 0,
                 shutdown: false,
                 panic: None,
-            }),
-            work: Condvar::new(),
-            done: Condvar::new(),
+            })),
+            work: CachePadded::new(Condvar::new()),
+            done: CachePadded::new(Condvar::new()),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -443,13 +452,16 @@ pub struct ShardScheduler<S: Shard> {
     pending: Vec<Vec<Envelope<S::Msg>>>,
     pool: Option<WorkerPool>,
     /// Chunk-claim cursor for the parallel phase, reset each epoch.
-    cursor: AtomicUsize,
+    /// Padded: every worker increments it, and sharing its line with
+    /// `busy` (or the scheduler's cold fields) would false-share the
+    /// claim path.
+    cursor: CachePadded<AtomicUsize>,
     /// Per-phase wall-clock accumulators (busy time lives in `busy`,
     /// which workers update concurrently).
     profile: PhaseProfile,
     /// Summed worker busy time; an atomic because every parallel-phase
-    /// participant adds its own span.
-    busy: AtomicU64,
+    /// participant adds its own span. Padded away from `cursor`.
+    busy: CachePadded<AtomicU64>,
     /// Scratch for the routing phase: `(dst, run_len)` pairs of the
     /// current outbox, reused across epochs.
     route_runs: Vec<(usize, usize)>,
@@ -507,9 +519,9 @@ impl<S: Shard> ShardScheduler<S> {
             slots,
             pending: (0..n).map(|_| Vec::new()).collect(),
             pool,
-            cursor: AtomicUsize::new(0),
+            cursor: CachePadded::new(AtomicUsize::new(0)),
             profile: PhaseProfile::default(),
-            busy: AtomicU64::new(0),
+            busy: CachePadded::new(AtomicU64::new(0)),
             route_runs: Vec::new(),
             window,
             threads,

@@ -117,8 +117,8 @@ impl Scenario {
 
     fn build(&self, engine: EngineKind) -> Engine {
         match engine {
-            EngineKind::Sequential => Engine::Seq(self.sequential()),
-            EngineKind::Sharded(threads) => Engine::Par(self.sharded(threads)),
+            EngineKind::Sequential => Engine::Seq(Box::new(self.sequential())),
+            EngineKind::Sharded(threads) => Engine::Par(Box::new(self.sharded(threads))),
         }
     }
 }
@@ -131,8 +131,9 @@ enum EngineKind {
 
 /// Uniform driver over both engines so the crash harness is written once.
 enum Engine {
-    Seq(MultiClusterSim),
-    Par(ShardedMultiCluster),
+    // Boxed: cache-line-aligned engine state makes the variants large.
+    Seq(Box<MultiClusterSim>),
+    Par(Box<ShardedMultiCluster>),
 }
 
 impl Engine {
@@ -153,10 +154,10 @@ impl Engine {
     fn restore(kind: EngineKind, blob: &[u8]) -> Engine {
         match kind {
             EngineKind::Sequential => {
-                Engine::Seq(restore_sequential(blob).expect("own blob restores"))
+                Engine::Seq(Box::new(restore_sequential(blob).expect("own blob restores")))
             }
             EngineKind::Sharded(threads) => {
-                Engine::Par(restore_sharded(blob, threads).expect("own blob restores"))
+                Engine::Par(Box::new(restore_sharded(blob, threads).expect("own blob restores")))
             }
         }
     }
@@ -446,7 +447,7 @@ fn differential_with_mid_run_checkpoint() {
             drop(par);
             let mut par = restore_sharded(&blob, threads).expect("own blob restores");
             results.extend(events[half..].iter().map(|&e| par.run_event(e)));
-            let got = digest(&results, &Engine::Par(par));
+            let got = digest(&results, &Engine::Par(Box::new(par)));
             assert_eq!(
                 expected, got,
                 "mid-run checkpoint diverged: seed {seed} threads {threads}"

@@ -19,12 +19,13 @@ use std::path::PathBuf;
 
 use tibfit_adversary::behavior::NodeBehavior;
 use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
-use tibfit_experiments::checkpoint::{restore_sequential, save_sequential};
+use tibfit_experiments::checkpoint::{restore_sequential, save_sequential, CheckpointError};
 use tibfit_experiments::multicluster::{grid_sites, MultiClusterConfig, MultiClusterSim};
 use tibfit_net::channel::BernoulliLoss;
 use tibfit_net::geometry::Point;
 use tibfit_net::topology::Topology;
 use tibfit_sim::rng::SimRng;
+use tibfit_sim::snapshot::{SnapshotError, MAGIC, VERSION};
 
 const NODES: usize = 16;
 const CLUSTERS: usize = 2;
@@ -140,6 +141,70 @@ fn both_backends_extend_decision_identically() {
             q16_sim.run_event(event),
             "backends disagreed on a decision at extension round {round}"
         );
+    }
+}
+
+#[test]
+fn golden_blobs_are_little_endian_on_disk() {
+    // The container is pinned little-endian regardless of host byte
+    // order, so a blob captured on x86 restores on a big-endian box and
+    // vice versa. Assert the raw layout directly: magic, then the
+    // version's low byte first.
+    for fixed in [false, true] {
+        let blob = std::fs::read(golden_path(blob_name(fixed))).expect("golden blob present");
+        assert_eq!(&blob[..4], &MAGIC, "{}: magic", blob_name(fixed));
+        assert_eq!(
+            &blob[4..6],
+            &VERSION.to_le_bytes(),
+            "{}: version field is not little-endian",
+            blob_name(fixed)
+        );
+        assert_eq!(blob[4], 2, "low byte of version 2 comes first");
+        assert_eq!(blob[5], 0);
+    }
+}
+
+#[test]
+fn byte_swapped_version_is_rejected_with_a_typed_error() {
+    // A blob written by a (hypothetical) native-endian encoder on a
+    // big-endian host would carry the version bytes swapped. The reader
+    // must refuse it as an unsupported version — a typed, recoverable
+    // error, never a panic or a silent misparse.
+    let mut blob = std::fs::read(golden_path(blob_name(false))).expect("golden blob present");
+    blob.swap(4, 5);
+    match restore_sequential(&blob) {
+        Err(CheckpointError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+            assert_eq!(found, VERSION.swap_bytes(), "byte-swapped version value");
+            assert_eq!(supported, VERSION);
+        }
+        other => panic!("byte-swapped version must be UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn byte_swapped_payload_is_rejected_by_the_checksum() {
+    // Swapping bytes inside a section payload models endian-confused
+    // content under a correct header: the section CRC must catch it.
+    for fixed in [false, true] {
+        let blob = std::fs::read(golden_path(blob_name(fixed))).expect("golden blob present");
+        // First section: tag at 6, length at 7..11, payload after.
+        let section_len =
+            u32::from_le_bytes(blob[7..11].try_into().expect("4-byte slice")) as usize;
+        let payload = 11..11 + section_len;
+        let swap_at = blob[payload.clone()]
+            .windows(2)
+            .position(|w| w[0] != w[1])
+            .map(|i| payload.start + i)
+            .expect("first section has two adjacent differing bytes");
+        let mut corrupt = blob.clone();
+        corrupt.swap(swap_at, swap_at + 1);
+        match restore_sequential(&corrupt) {
+            Err(CheckpointError::Snapshot(SnapshotError::CrcMismatch { .. })) => {}
+            other => panic!(
+                "{}: swapped payload bytes at {swap_at} must be CrcMismatch, got {other:?}",
+                blob_name(fixed)
+            ),
+        }
     }
 }
 
