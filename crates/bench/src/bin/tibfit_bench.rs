@@ -38,16 +38,21 @@
 //! meaningful fraction of the work it avoids redoing, and
 //! `daemon_restore_wall_ms` must stay under 75% of daemon cold start +
 //! ingest, so restarting `tibfit-daemon` from snapshots always beats
-//! replaying the stream from scratch. Daemon ingest itself is capped at
-//! 200 µs per applied record (`daemon_ingest_ns_per_event`), roughly 3x
-//! the measured steady state.
+//! replaying the stream from scratch, and `fleet_migrate_restore` (the
+//! MIGRATE round trip moving every tenant to a second daemon) is held
+//! to the same 75% budget so handing a tenant over always beats
+//! rebuilding it. Daemon ingest itself is capped at 200 µs per applied
+//! record (`daemon_ingest_ns_per_event`), roughly 3x the measured
+//! steady state.
 
 use std::io::Cursor;
-use std::time::Instant;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
 
 use tibfit_adversary::behavior::NodeBehavior;
 use tibfit_adversary::{CorrectNode, Level0Config, Level0Node};
 use tibfit_bench::{black_box, format_ns, json_number};
+use tibfit_daemon::fleet::{owner_of, FleetConfig, FleetPolicy, PeerSpec};
 use tibfit_daemon::{Daemon, DaemonConfig};
 use tibfit_core::engine::{Aggregator, TibfitEngine};
 use tibfit_core::location::LocatedReport;
@@ -754,6 +759,152 @@ fn run_all(quick: bool) -> (Vec<(&'static str, f64)>, Vec<Exp6Phases>) {
     out.push(("daemon_query_p99_us", daemon_p99_us));
     let _ = std::fs::remove_dir_all(&daemon_root);
 
+    // Fleet mode. (a) Dead-peer rebalance: a survivor configured with
+    // an unreachable peer must detect it, quarantine it, and adopt its
+    // tenants through the catch-up replay — `fleet_rebalance_ms` is
+    // the wall time from daemon start until STATUS reports every
+    // tenant hosted locally, probe cadence included. (b) Live
+    // migration: every tenant is handed to a second daemon over the
+    // fleet port — `fleet_migrate_restore` is the total MIGRATE
+    // round-trip wall (drain, snapshot capture, framed push, install,
+    // catch-up replay) in ms, floor-gated below against daemon cold
+    // start + ingest.
+    let fleet_root =
+        std::env::temp_dir().join(format!("tibfit-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    std::fs::create_dir_all(&fleet_root).expect("fleet bench root");
+    let fleet_replay = render_replay(&replay_records(2, 0xDA, daemon_ticks, daemon_per_tick));
+    let catchup = fleet_root.join("catchup.replay");
+    std::fs::write(&catchup, &fleet_replay).expect("catchup replay");
+
+    // (a) Rebalance: peer 1 owns at least one tenant but never answers.
+    let reb_seed = (0..1000u64)
+        .find(|&s| (0..2).any(|t| owner_of(s, t, &[0, 1]) == Some(1)))
+        .expect("a placement seed maps a tenant to peer 1");
+    let mut reb_cfg = DaemonConfig::standard(2, 0xDA, fleet_root.join("reb"));
+    reb_cfg.fleet = Some(FleetConfig {
+        id: 0,
+        peers: vec![PeerSpec {
+            id: 1,
+            addr: "127.0.0.1:1".into(),
+        }],
+        seed: reb_seed,
+        listen: "127.0.0.1:0".into(),
+        linger_ms: 1200,
+        catchup_replay: Some(catchup.clone()),
+        policy: FleetPolicy {
+            check_interval_ms: 5,
+            grace_ms: 0,
+            probe_timeout_ms: 20,
+            ..FleetPolicy::default()
+        },
+    });
+    let mut reb_daemon = Daemon::new(reb_cfg).expect("rebalance bench daemon");
+    let reb_addr = reb_daemon.fleet_addr().expect("fleet port bound");
+    let start = Instant::now();
+    let reb_thread = std::thread::spawn(move || reb_daemon.run(Cursor::new(Vec::new())));
+    let mut fleet_rebalance_ns = 0u128;
+    while start.elapsed() < Duration::from_secs(10) {
+        if let Ok(lines) = fleet_request(reb_addr, "STATUS") {
+            if (0..2).all(|t| lines.iter().any(|l| l == &format!("S tenant {t} 0"))) {
+                fleet_rebalance_ns = start.elapsed().as_nanos().max(1);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(fleet_rebalance_ns > 0, "rebalance bench never converged");
+    reb_thread
+        .join()
+        .expect("rebalance daemon thread")
+        .expect("rebalance run succeeds");
+
+    // (b) Migration: daemon 0 owns both tenants and hands them to
+    // daemon 1. A slow probe cadence keeps the peer monitors out of
+    // the measurement window.
+    let mig_seed = (0..10_000u64)
+        .find(|&s| (0..2).all(|t| owner_of(s, t, &[0, 1]) == Some(0)))
+        .expect("a placement seed maps every tenant to daemon 0");
+    let grab_port = || {
+        TcpListener::bind("127.0.0.1:0")
+            .expect("bind :0")
+            .local_addr()
+            .expect("local addr")
+            .port()
+    };
+    let (port_a, port_b) = (grab_port(), grab_port());
+    let quiet = FleetPolicy {
+        check_interval_ms: 500,
+        grace_ms: 60_000,
+        probe_timeout_ms: 100,
+        ..FleetPolicy::default()
+    };
+    let mut cfg_a = DaemonConfig::standard(2, 0xDA, fleet_root.join("mig"));
+    cfg_a.fleet = Some(FleetConfig {
+        id: 0,
+        peers: vec![PeerSpec {
+            id: 1,
+            addr: format!("127.0.0.1:{port_b}"),
+        }],
+        seed: mig_seed,
+        listen: format!("127.0.0.1:{port_a}"),
+        linger_ms: 1500,
+        catchup_replay: None,
+        policy: quiet,
+    });
+    let mut cfg_b = DaemonConfig::standard(2, 0xDA, fleet_root.join("mig"));
+    cfg_b.fleet = Some(FleetConfig {
+        id: 1,
+        peers: vec![PeerSpec {
+            id: 0,
+            addr: format!("127.0.0.1:{port_a}"),
+        }],
+        seed: mig_seed,
+        listen: format!("127.0.0.1:{port_b}"),
+        linger_ms: 1500,
+        catchup_replay: Some(catchup),
+        policy: quiet,
+    });
+    let mut daemon_b = Daemon::new(cfg_b).expect("migration dest daemon");
+    let mut daemon_a = Daemon::new(cfg_a).expect("migration source daemon");
+    let addr_a: SocketAddr = daemon_a.fleet_addr().expect("source fleet port");
+    let thread_b = std::thread::spawn(move || daemon_b.run(Cursor::new(Vec::new())));
+    let thread_a = std::thread::spawn(move || daemon_a.run(Cursor::new(fleet_replay.into_bytes())));
+    // Quiet window: let the source finish routing its stream before the
+    // moves, so the measurement is restore cost, not ingest drain.
+    std::thread::sleep(Duration::from_millis(300));
+    let start = Instant::now();
+    for t in 0..2 {
+        let reply = fleet_request(addr_a, &format!("MIGRATE {t} 1")).expect("migrate round trip");
+        assert_eq!(
+            reply.last().map(String::as_str),
+            Some(format!("MOK {t}").as_str()),
+            "bench migration must succeed: {reply:?}"
+        );
+    }
+    let fleet_migrate_ns = start.elapsed().as_nanos().max(1);
+    let report_a = thread_a
+        .join()
+        .expect("source daemon thread")
+        .expect("source run succeeds");
+    thread_b
+        .join()
+        .expect("dest daemon thread")
+        .expect("dest run succeeds");
+    assert_eq!(
+        report_a.fleet.map(|f| f.migrations_out),
+        Some(2),
+        "both tenants must migrate out"
+    );
+    println!(
+        "fleet: rebalance (detect + adopt + catch up) {}, migrate 2 tenants {}",
+        format_ns(fleet_rebalance_ns),
+        format_ns(fleet_migrate_ns),
+    );
+    out.push(("fleet_rebalance_ms", fleet_rebalance_ns as f64 / 1e6));
+    out.push(("fleet_migrate_restore", fleet_migrate_ns as f64 / 1e6));
+    let _ = std::fs::remove_dir_all(&fleet_root);
+
     // Experiment-1 sweep (figures 2 and 3) — the end-to-end wall-time
     // number the perf gate watches. Best of two runs.
     let trials = if quick { 20 } else { 100 };
@@ -769,6 +920,36 @@ fn run_all(quick: bool) -> (Vec<(&'static str, f64)>, Vec<Exp6Phases>) {
     out.push(("exp1_wall_ms", exp1_best_ns as f64 / 1e6));
 
     (out, big_phases)
+}
+
+/// One command round trip against a daemon's fleet port: sends the
+/// line, reads until a terminal reply (`… end` for STATUS dumps,
+/// `MOK`/`MERR` for migrations) or EOF.
+fn fleet_request(addr: SocketAddr, command: &str) -> std::io::Result<Vec<String>> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut w = &stream;
+    writeln!(w, "{command}")?;
+    w.flush()?;
+    let mut reader = BufReader::new(&stream);
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end().to_string();
+        let terminal = trimmed.ends_with(" end")
+            || trimmed.starts_with("MOK ")
+            || trimmed.starts_with("MERR ");
+        lines.push(trimmed);
+        if terminal {
+            break;
+        }
+    }
+    Ok(lines)
 }
 
 /// Renders the flat JSON report.
@@ -971,6 +1152,22 @@ fn floor_violations(metrics: &[(&'static str, f64)]) -> Vec<String> {
         if restore > budget {
             bad.push(format!(
                 "daemon_restore_wall_ms: {restore:.3} ms exceeds 75% of start + ingest ({budget:.3} ms)"
+            ));
+        }
+    }
+    // Moving a tenant to another daemon (drain, snapshot capture,
+    // framed push, install, catch-up) must beat rebuilding it from
+    // scratch by the same margin, or live migration is pointless and
+    // fleet rebalancing should just re-ingest.
+    if let (Some(migrate), Some(start), Some(ingest)) = (
+        get("fleet_migrate_restore"),
+        get("daemon_start_wall_ms"),
+        get("daemon_ingest_wall_ms"),
+    ) {
+        let budget = 0.75 * (start + ingest);
+        if migrate > budget {
+            bad.push(format!(
+                "fleet_migrate_restore: {migrate:.3} ms exceeds 75% of daemon start + ingest ({budget:.3} ms)"
             ));
         }
     }

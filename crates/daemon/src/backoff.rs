@@ -6,9 +6,105 @@
 //! jitter provides: each delay is uniform in `[base/2, base]` of the
 //! doubling curve, capped.
 
+use std::fmt;
 use std::time::Duration;
 
 use tibfit_sim::rng::SimRng;
+
+/// The retry schedule's total-deadline budget ran out: the caller gets
+/// a typed, inspectable exhaustion instead of an unbounded retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryExhausted {
+    /// Delays produced before exhaustion.
+    pub attempts: u32,
+    /// The budget the schedule was given, in milliseconds.
+    pub budget_ms: u64,
+    /// Milliseconds of delay already handed out.
+    pub spent_ms: u64,
+}
+
+impl fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retry budget exhausted after {} attempts ({} of {} ms spent)",
+            self.attempts, self.spent_ms, self.budget_ms
+        )
+    }
+}
+
+impl std::error::Error for RetryExhausted {}
+
+/// A [`JitteredBackoff`] under a total-deadline budget: the sum of all
+/// delays it hands out never exceeds `budget_ms`, and once the budget
+/// is spent every further request is a typed [`RetryExhausted`].
+///
+/// The final delay is clamped so the schedule spends its budget
+/// exactly rather than overshooting or forfeiting the remainder.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    backoff: JitteredBackoff,
+    budget_ms: u64,
+    spent_ms: u64,
+}
+
+impl RetryBudget {
+    /// A budgeted schedule: jitter curve from (`seed`, `base_ms`,
+    /// `cap_ms`), total delay capped at `budget_ms`.
+    #[must_use]
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64, budget_ms: u64) -> Self {
+        RetryBudget {
+            backoff: JitteredBackoff::new(seed, base_ms, cap_ms),
+            budget_ms,
+            spent_ms: 0,
+        }
+    }
+
+    /// The next delay, debited from the budget (clamped to whatever
+    /// remains).
+    ///
+    /// # Errors
+    ///
+    /// [`RetryExhausted`] once the budget is fully spent.
+    pub fn try_next_delay(&mut self) -> Result<Duration, RetryExhausted> {
+        let remaining = self.budget_ms - self.spent_ms;
+        if remaining == 0 {
+            return Err(RetryExhausted {
+                attempts: self.backoff.attempts(),
+                budget_ms: self.budget_ms,
+                spent_ms: self.spent_ms,
+            });
+        }
+        let drawn = self.backoff.next_delay().as_millis() as u64;
+        let granted = drawn.min(remaining);
+        self.spent_ms += granted;
+        Ok(Duration::from_millis(granted))
+    }
+
+    /// Milliseconds of delay handed out so far.
+    #[must_use]
+    pub fn spent_ms(&self) -> u64 {
+        self.spent_ms
+    }
+
+    /// Milliseconds of delay still available.
+    #[must_use]
+    pub fn remaining_ms(&self) -> u64 {
+        self.budget_ms - self.spent_ms
+    }
+
+    /// Delays produced so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.backoff.attempts()
+    }
+
+    /// Restarts the doubling curve after a healthy period. The budget
+    /// is a *total* deadline, so spent milliseconds are not refunded.
+    pub fn reset_curve(&mut self) {
+        self.backoff.reset();
+    }
+}
 
 /// An iterator of jittered, exponentially growing delays.
 #[derive(Debug, Clone)]
@@ -94,5 +190,69 @@ mod tests {
         b.reset();
         assert!(b.next_delay().as_millis() <= 10);
         assert_eq!(b.attempts(), 1);
+    }
+
+    #[test]
+    fn zero_budget_exhausts_immediately() {
+        let mut b = RetryBudget::new(7, 10, 1000, 0);
+        assert_eq!(
+            b.try_next_delay().unwrap_err(),
+            RetryExhausted { attempts: 0, budget_ms: 0, spent_ms: 0 }
+        );
+    }
+
+    #[test]
+    fn budget_sums_delays_and_clamps_the_last_one() {
+        // base=cap=100 → every jittered delay is in [50, 100] ms. A
+        // 120 ms budget grants one full delay, clamps the second to the
+        // remainder, then exhausts.
+        let mut b = RetryBudget::new(11, 100, 100, 120);
+        let first = b.try_next_delay().unwrap().as_millis() as u64;
+        assert!((50..=100).contains(&first));
+        assert_eq!(b.spent_ms(), first);
+        let second = b.try_next_delay().unwrap().as_millis() as u64;
+        assert_eq!(second, 120 - first, "final delay must be clamped to the remainder");
+        assert_eq!(b.spent_ms(), 120);
+        assert_eq!(b.remaining_ms(), 0);
+        let err = b.try_next_delay().unwrap_err();
+        assert_eq!(err, RetryExhausted { attempts: 2, budget_ms: 120, spent_ms: 120 });
+        // Exhaustion is sticky.
+        assert!(b.try_next_delay().is_err());
+    }
+
+    #[test]
+    fn exact_budget_boundary_spends_then_exhausts() {
+        // Deterministic schedule: find the first delay for this seed,
+        // then hand a budget of exactly that many milliseconds to a
+        // fresh schedule — it must grant the delay in full and exhaust
+        // on the very next request.
+        let probe = RetryBudget::new(5, 40, 40, u64::MAX / 2)
+            .try_next_delay()
+            .unwrap()
+            .as_millis() as u64;
+        let mut b = RetryBudget::new(5, 40, 40, probe);
+        assert_eq!(b.try_next_delay().unwrap().as_millis() as u64, probe);
+        assert_eq!(b.remaining_ms(), 0);
+        assert!(b.try_next_delay().is_err());
+    }
+
+    #[test]
+    fn curve_reset_does_not_refund_budget() {
+        let mut b = RetryBudget::new(9, 10, 1000, 5000);
+        for _ in 0..4 {
+            b.try_next_delay().unwrap();
+        }
+        let spent = b.spent_ms();
+        assert!(spent > 0);
+        b.reset_curve();
+        assert_eq!(b.spent_ms(), spent, "reset must not refund spent milliseconds");
+        // After the reset the curve restarts at the base.
+        assert!(b.try_next_delay().unwrap().as_millis() as u64 <= 10);
+    }
+
+    #[test]
+    fn retry_exhausted_displays() {
+        let e = RetryExhausted { attempts: 3, budget_ms: 100, spent_ms: 100 };
+        assert!(e.to_string().contains("3 attempts"));
     }
 }

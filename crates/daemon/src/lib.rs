@@ -34,7 +34,9 @@ use tibfit_experiments::sharded::ShardedError;
 use tibfit_sim::snapshot::SnapshotError;
 
 pub mod backoff;
+pub mod fleet;
 pub mod latency;
+pub mod migrate;
 pub mod net_io;
 pub mod queue;
 pub mod state;
@@ -57,6 +59,11 @@ pub enum DaemonError {
     Snapshot(SnapshotError),
     /// A checkpoint file failed to read, write, or restore.
     Checkpoint(CheckpointError),
+    /// A retry schedule's total-deadline budget ran out.
+    RetryExhausted(backoff::RetryExhausted),
+    /// A live migration transfer failed (the source tenant is left
+    /// intact and serving).
+    Migrate(migrate::MigrateError),
     /// Invalid configuration.
     Config(String),
     /// A state file contradicts the configuration (e.g. seed
@@ -71,6 +78,8 @@ impl fmt::Display for DaemonError {
             DaemonError::Engine(e) => write!(f, "engine rejected: {e}"),
             DaemonError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
             DaemonError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            DaemonError::RetryExhausted(e) => write!(f, "gave up: {e}"),
+            DaemonError::Migrate(e) => write!(f, "migration failed: {e}"),
             DaemonError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             DaemonError::State(msg) => write!(f, "unusable state: {msg}"),
         }
@@ -84,6 +93,8 @@ impl std::error::Error for DaemonError {
             DaemonError::Engine(e) => Some(e),
             DaemonError::Snapshot(e) => Some(e),
             DaemonError::Checkpoint(e) => Some(e),
+            DaemonError::RetryExhausted(e) => Some(e),
+            DaemonError::Migrate(e) => Some(e),
             DaemonError::Config(_) | DaemonError::State(_) => None,
         }
     }

@@ -13,14 +13,18 @@
 //! exponential backoff ([`crate::backoff::JitteredBackoff`]) and
 //! resends the full file on every (re)connection.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tibfit_sim::shutdown;
 
-use crate::backoff::JitteredBackoff;
+use crate::backoff::RetryBudget;
+use crate::wire::{parse_line, Frame};
 use crate::DaemonError;
 
 /// How long the accept loop sleeps between polls (the listener runs
@@ -134,6 +138,277 @@ impl BufRead for ListenSource {
     }
 }
 
+/// Per-connection merge state for [`FanInSource`].
+struct FanConn {
+    /// Tick segments sealed by a `T` line, awaiting the merge barrier.
+    segments: VecDeque<Vec<String>>,
+    /// Report lines of the connection's current (open) tick.
+    current: Vec<String>,
+    /// The connection reached EOF.
+    done: bool,
+}
+
+struct FanState {
+    conns: Vec<FanConn>,
+}
+
+type FanShared = (Mutex<FanState>, Condvar);
+
+fn lock_fan(shared: &FanShared) -> std::sync::MutexGuard<'_, FanState> {
+    shared.0.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A `BufRead` over *concurrent* TCP connections carrying one logical
+/// report stream split across senders.
+///
+/// Every connection gets its own reader thread and its own
+/// `(time, src, seq)` highwater per `(tenant, src)` — a sender that
+/// resends (reconnect recovery, overlap at a split point) has its
+/// stale lines dropped before they ever reach the merge. Tick (`T`)
+/// lines act as the merge barrier: tick `k` is released downstream
+/// only once every participating connection has sealed its `k`-th
+/// segment, so the daemon admits exactly the same per-tick report sets
+/// as it would from the unsplit stream — and admission itself is
+/// arrival-order-independent, which makes the merged decisions
+/// deterministic.
+///
+/// The discipline senders must follow: each connection carries a
+/// subset of the `R` lines of every tick and **all** of the `T`
+/// lines. (A connection may close early; it simply stops participating
+/// in the barrier once its sealed segments are consumed.)
+pub struct FanInSource {
+    listener: Option<TcpListener>,
+    want_conns: u32,
+    shared: Arc<FanShared>,
+    threads: Vec<JoinHandle<()>>,
+    out: Vec<u8>,
+    pos: usize,
+}
+
+impl FanInSource {
+    /// Binds `addr` and prepares to merge exactly `conns` concurrent
+    /// connections. Accepting is lazy: the first read waits
+    /// (shutdown-aware) until all `conns` senders have connected.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] if binding fails.
+    pub fn bind(addr: &str, conns: u32) -> Result<Self, DaemonError> {
+        let listener = TcpListener::bind(addr).map_err(DaemonError::Io)?;
+        listener.set_nonblocking(true).map_err(DaemonError::Io)?;
+        Ok(FanInSource {
+            listener: Some(listener),
+            want_conns: conns.max(1),
+            shared: Arc::new((
+                Mutex::new(FanState { conns: Vec::new() }),
+                Condvar::new(),
+            )),
+            threads: Vec::new(),
+            out: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// The bound address (port 0 resolves here).
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] if the socket is unusable.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, DaemonError> {
+        self.listener
+            .as_ref()
+            .expect("local_addr before the first read")
+            .local_addr()
+            .map_err(DaemonError::Io)
+    }
+
+    fn accept_all(&mut self) -> io::Result<()> {
+        let Some(listener) = self.listener.take() else {
+            return Ok(());
+        };
+        let mut accepted = 0u32;
+        while accepted < self.want_conns {
+            if shutdown::requested() {
+                // Mark the missing slots done so the merge terminates.
+                let mut st = lock_fan(&self.shared);
+                while st.conns.len() < self.want_conns as usize {
+                    st.conns.push(FanConn {
+                        segments: VecDeque::new(),
+                        current: Vec::new(),
+                        done: true,
+                    });
+                }
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let idx = {
+                        let mut st = lock_fan(&self.shared);
+                        st.conns.push(FanConn {
+                            segments: VecDeque::new(),
+                            current: Vec::new(),
+                            done: false,
+                        });
+                        st.conns.len() - 1
+                    };
+                    let shared = Arc::clone(&self.shared);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("tibfit-fanin-{idx}"))
+                        .spawn(move || fan_conn_reader(idx, stream, &shared))
+                        .expect("spawning a fan-in reader thread");
+                    self.threads.push(handle);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the next released batch of lines: one full tick
+    /// segment (`R` lines of tick `k` from every connection, then one
+    /// `T`), or the trailing un-ticked lines once every connection has
+    /// finished. Empty means EOF.
+    fn next_batch(&mut self) -> io::Result<Vec<String>> {
+        self.accept_all()?;
+        let shared = Arc::clone(&self.shared);
+        let (_, cvar) = &*shared;
+        let mut st = lock_fan(&shared);
+        loop {
+            if shutdown::requested() {
+                return Ok(Vec::new());
+            }
+            // Barrier: every connection still participating (not
+            // drained-and-done) must have sealed a segment.
+            let mut any = false;
+            let mut have_all = true;
+            for c in &st.conns {
+                if c.done && c.segments.is_empty() {
+                    continue;
+                }
+                any = true;
+                if c.segments.is_empty() {
+                    have_all = false;
+                }
+            }
+            if any && have_all {
+                let mut batch = Vec::new();
+                for c in &mut st.conns {
+                    if let Some(seg) = c.segments.pop_front() {
+                        batch.extend(seg);
+                    }
+                }
+                batch.push("T".to_string());
+                return Ok(batch);
+            }
+            if st.conns.iter().all(|c| c.done && c.segments.is_empty()) {
+                // Trailing lines after the final tick, then EOF.
+                let mut batch = Vec::new();
+                for c in &mut st.conns {
+                    batch.append(&mut c.current);
+                }
+                return Ok(batch);
+            }
+            let (guard, _timeout) = cvar
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    fn join_threads(&mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn fan_conn_reader(idx: usize, stream: TcpStream, shared: &FanShared) {
+    let mut reader = io::BufReader::new(stream);
+    // Per-connection dedup window: the newest (time, seq) seen per
+    // (tenant, src) on *this* connection.
+    let mut highwater: HashMap<(usize, u64), (u64, u64)> = HashMap::new();
+    let (lock, cvar) = shared;
+    let mut raw = String::new();
+    loop {
+        raw.clear();
+        if reader.read_line(&mut raw).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = raw.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        let mut is_tick = false;
+        match parse_line(line) {
+            Ok(Some(Frame::Tick)) => is_tick = true,
+            Ok(Some(Frame::Report(r))) => {
+                let key = (r.tenant, r.src);
+                if let Some(&(time, seq)) = highwater.get(&key) {
+                    if (r.time, r.seq) <= (time, seq) {
+                        continue;
+                    }
+                }
+                highwater.insert(key, (r.time, r.seq));
+            }
+            // Queries and malformed lines pass through; the daemon's
+            // own parser counts and rejects them.
+            Ok(_) | Err(_) => {}
+        }
+        let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let conn = &mut st.conns[idx];
+        if is_tick {
+            let segment = std::mem::take(&mut conn.current);
+            conn.segments.push_back(segment);
+        } else {
+            conn.current.push(line.to_string());
+        }
+        drop(st);
+        cvar.notify_all();
+    }
+    let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    st.conns[idx].done = true;
+    drop(st);
+    cvar.notify_all();
+}
+
+impl Read for FanInSource {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for FanInSource {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.out.len() {
+            self.pos = 0;
+            self.out.clear();
+            let batch = self.next_batch()?;
+            if batch.is_empty() {
+                self.join_threads();
+                return Ok(&[]);
+            }
+            for line in batch {
+                self.out.extend_from_slice(line.as_bytes());
+                self.out.push(b'\n');
+            }
+        }
+        Ok(&self.out[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.out.len());
+    }
+}
+
 /// Outcome of [`stream_replay`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamOutcome {
@@ -143,25 +418,38 @@ pub struct StreamOutcome {
     pub lines_sent: u64,
 }
 
-/// Streams a replay file to `addr`, reconnecting with jittered backoff
-/// on connect failure or mid-stream disconnect, resending the whole
-/// file each time (the daemon's dedup makes resends idempotent).
-/// `drop_after_lines` force-closes the first connection after that
-/// many lines — the test hook proving reconnect-and-resend safety.
+/// How much total delay a replay stream may accumulate before giving
+/// up, when the caller does not pick its own bound.
+pub const DEFAULT_STREAM_DEADLINE_MS: u64 = 30_000;
+
+/// Streams a replay file to `addr`, reconnecting with budgeted
+/// jittered backoff on connect failure or mid-stream disconnect,
+/// resending the whole file each time (the daemon's dedup makes
+/// resends idempotent). `drop_after_lines` force-closes the first
+/// connection after that many lines — the test hook proving
+/// reconnect-and-resend safety.
+///
+/// Every retry — including the mid-stream disconnect path, which used
+/// to loop forever — debits one total-deadline budget of
+/// `deadline_ms`; when it runs dry the caller gets a typed
+/// [`DaemonError::RetryExhausted`] instead of a hang.
 ///
 /// # Errors
 ///
 /// [`DaemonError::Io`] after `max_attempts` consecutive failed
-/// connection attempts, or if the replay file cannot be read.
+/// connection attempts or an unreadable replay file;
+/// [`DaemonError::RetryExhausted`] once `deadline_ms` of retry delay
+/// has been spent.
 pub fn stream_replay(
     addr: &str,
     replay: &Path,
     retry_seed: u64,
     max_attempts: u32,
     drop_after_lines: Option<u64>,
+    deadline_ms: u64,
 ) -> Result<StreamOutcome, DaemonError> {
     let text = std::fs::read_to_string(replay).map_err(DaemonError::Io)?;
-    let mut backoff = JitteredBackoff::new(retry_seed, 5, 500);
+    let mut budget = RetryBudget::new(retry_seed, 5, 500, deadline_ms);
     let mut failures = 0u32;
     let mut outcome = StreamOutcome {
         connections: 0,
@@ -175,12 +463,15 @@ pub fn stream_replay(
                 if failures >= max_attempts {
                     return Err(DaemonError::Io(e));
                 }
-                std::thread::sleep(backoff.next_delay());
+                match budget.try_next_delay() {
+                    Ok(delay) => std::thread::sleep(delay),
+                    Err(spent) => return Err(DaemonError::RetryExhausted(spent)),
+                }
                 continue;
             }
         };
         failures = 0;
-        backoff.reset();
+        budget.reset_curve();
         outcome.connections += 1;
         let forced_drop = drop_after_lines.filter(|_| outcome.connections == 1);
         let mut writer = io::BufWriter::new(stream);
@@ -210,8 +501,11 @@ pub fn stream_replay(
         let flushed = writer.flush();
         if interrupted || flushed.is_err() {
             // Dropped mid-stream (or we forced it): reconnect and
-            // resend from the top.
-            std::thread::sleep(backoff.next_delay());
+            // resend from the top — on the same deadline budget.
+            match budget.try_next_delay() {
+                Ok(delay) => std::thread::sleep(delay),
+                Err(spent) => return Err(DaemonError::RetryExhausted(spent)),
+            }
             continue;
         }
         return Ok(outcome);
@@ -262,7 +556,8 @@ mod tests {
             source.read_to_string(&mut text).unwrap();
             text
         });
-        let outcome = stream_replay(&addr, &file, 7, 5, Some(1)).unwrap();
+        let outcome =
+            stream_replay(&addr, &file, 7, 5, Some(1), DEFAULT_STREAM_DEADLINE_MS).unwrap();
         assert_eq!(outcome.connections, 2);
         assert_eq!(outcome.lines_sent, 1 + 4);
         let text = reader.join().unwrap();
@@ -276,7 +571,106 @@ mod tests {
         let file = dir.join("noop.replay");
         std::fs::write(&file, "T\n").unwrap();
         // Port 1 on localhost: connection refused.
-        let err = stream_replay("127.0.0.1:1", &file, 3, 2, None);
+        let err = stream_replay("127.0.0.1:1", &file, 3, 2, None, DEFAULT_STREAM_DEADLINE_MS);
         assert!(err.is_err());
+    }
+
+    fn read_all_lines(source: &mut FanInSource) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if source.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            lines.push(line.trim_end().to_string());
+        }
+        lines
+    }
+
+    #[test]
+    fn fan_in_merges_split_streams_tick_by_tick() {
+        let mut source = FanInSource::bind("127.0.0.1:0", 3).unwrap();
+        let addr = source.local_addr().unwrap();
+        // The same 2-tick stream split across three connections: each
+        // carries a disjoint R subset of every tick plus all T lines.
+        const SPLITS: [&str; 3] = [
+            "R 0 0 0 1 1.0 1.0\nT\nR 0 3 0 2 1.0 1.0\nT\n",
+            "R 0 1 0 1 2.0 2.0\nT\nT\n",
+            "R 0 2 0 1 3.0 3.0\nT\nR 0 4 0 2 4.0 4.0\nT\n",
+        ];
+        let senders: Vec<_> = SPLITS
+            .iter()
+            .map(|chunk| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.write_all(chunk.as_bytes()).unwrap();
+                })
+            })
+            .collect();
+        let lines = read_all_lines(&mut source);
+        for sender in senders {
+            sender.join().unwrap();
+        }
+        let tick_positions: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.as_str() == "T")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(tick_positions.len(), 2, "both ticks released: {lines:?}");
+        // Tick 1's three reports all precede the first T; tick 2's two
+        // reports sit between the two Ts.
+        let first: Vec<&String> = lines[..tick_positions[0]].iter().collect();
+        assert_eq!(first.len(), 3);
+        assert!(first.iter().all(|l| l.contains(" 0 1 ")));
+        let second: Vec<&String> = lines[tick_positions[0] + 1..tick_positions[1]]
+            .iter()
+            .collect();
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|l| l.contains(" 0 2 ")));
+    }
+
+    #[test]
+    fn fan_in_connection_highwater_drops_stale_resends() {
+        let mut source = FanInSource::bind("127.0.0.1:0", 1).unwrap();
+        let addr = source.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // The second and third lines are a duplicate and a stale
+            // (time, seq) regression for the same (tenant, src=5); the
+            // fourth advances and must pass.
+            s.write_all(
+                b"R 0 0 5 3 1.0 1.0\nR 0 0 5 3 1.0 1.0\nR 0 0 5 2 1.0 1.0\nR 0 1 5 4 1.0 1.0\nT\n",
+            )
+            .unwrap();
+        });
+        let lines = read_all_lines(&mut source);
+        sender.join().unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                "R 0 0 5 3 1.0 1.0".to_string(),
+                "R 0 1 5 4 1.0 1.0".to_string(),
+                "T".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn deadline_budget_turns_endless_retry_into_typed_error() {
+        let dir = std::env::temp_dir().join(format!("tibfit-netio-budget-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("budget.replay");
+        std::fs::write(&file, "T\n").unwrap();
+        // Unreachable address, generous attempt count, zero budget:
+        // the first retry request exhausts the deadline.
+        match stream_replay("127.0.0.1:1", &file, 3, 100, None, 0) {
+            Err(DaemonError::RetryExhausted(e)) => {
+                assert_eq!(e.budget_ms, 0);
+                assert_eq!(e.spent_ms, 0);
+            }
+            other => panic!("expected RetryExhausted, got {other:?}"),
+        }
     }
 }

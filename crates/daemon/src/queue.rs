@@ -231,6 +231,27 @@ impl SharedQueue {
         self.lock().stats = stats;
     }
 
+    /// Migration-restore path: marks `issued` ticks as
+    /// issued-but-not-yet-complete, so the next [`SharedQueue::end_tick`]
+    /// waits for the installed recovery buffer's replay (which completes
+    /// ticks `1..=issued`) to settle the engine before admitting a new
+    /// batch against it.
+    pub fn seed_ticks(&self, issued: u64) {
+        self.lock().issued_ticks = issued;
+    }
+
+    /// Removes and returns the open tick's pending records (migration
+    /// capture). Their dedup highwaters are *not* advanced: a re-offer —
+    /// whether by the local fallback after a failed transfer or by the
+    /// receiving daemon installing the bundle — admits them normally, in
+    /// the same tick batch they would have competed in.
+    #[must_use]
+    pub fn drain_pending(&self) -> Vec<Report> {
+        let mut st = self.lock();
+        st.pending_keys.clear();
+        std::mem::take(&mut st.pending)
+    }
+
     /// Offers a record. Never blocks.
     pub fn offer(&self, report: Report) -> Offer {
         let mut st = self.lock();
@@ -683,6 +704,32 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let _ = q.recovery_view();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drained_pending_records_are_not_highwatered() {
+        let q = SharedQueue::new(policy(4, 4));
+        q.offer(report(1, 1, 0.0));
+        q.offer(report(1, 2, 0.0));
+        let captured = q.drain_pending();
+        assert_eq!(captured.len(), 2);
+        assert_eq!(q.pending_len(), 0);
+        // Re-offering the captured records admits them normally.
+        assert_eq!(q.offer(report(1, 1, 0.0)), Offer::Pending);
+        assert_eq!(q.offer(report(1, 2, 0.0)), Offer::Pending);
+    }
+
+    #[test]
+    fn seeded_ticks_make_end_tick_wait_for_replay_completion() {
+        let q = std::sync::Arc::new(SharedQueue::new(policy(4, 4)));
+        q.seed_ticks(3);
+        assert!(q.has_outstanding());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.end_tick(4, |_| 0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Replay completing tick 3 releases the parked end_tick.
+        q.complete_tick(0, 3);
+        assert_eq!(h.join().unwrap(), TickAdmission::default());
     }
 
     #[test]

@@ -29,26 +29,32 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tibfit_experiments::replay::{tenant_seed, FieldScenario};
 use tibfit_faults::ProcessCrashPlan;
 use tibfit_sim::shutdown;
+use tibfit_sim::snapshot::read_framed;
 
 use crate::backoff::JitteredBackoff;
+use crate::fleet::{owner_of, FleetConfig, PeerState, PeerView};
 use crate::latency;
+use crate::migrate::{
+    decode_bundle, encode_bundle, push_bundle, MigrateError, MigrationBundle, MAX_BUNDLE_BYTES,
+};
 use crate::queue::{QueuePolicy, QueueStats, SharedQueue, WorkItem};
 use crate::state::{
-    decision_log_path, encode_tenant_state, read_tenant_state, tenant_state_path,
-    truncate_decision_log, write_tenant_state,
+    decision_log_path, decode_tenant_state, encode_tenant_state, read_tenant_state,
+    tenant_state_path, truncate_decision_log, write_tenant_state,
 };
 use crate::tenant::{EngineKind, PositionView, Tenant};
-use crate::wire::{parse_line, Frame, IngestError, Query, Report};
+use crate::wire::{parse_fleet_line, parse_line, FleetMsg, Frame, IngestError, Query, Report};
 use crate::DaemonError;
 
 /// Impact-style watchdog tuning.
@@ -139,6 +145,10 @@ pub struct DaemonConfig {
     pub drain_after_ticks: Option<u64>,
     /// Per-tenant injected worker faults (tests).
     pub faults: Vec<(usize, WorkerFault)>,
+    /// Fleet membership: when set, this daemon hosts only the tenants
+    /// rendezvous placement assigns it, probes its peers, adopts a dead
+    /// peer's tenants, and serves live migration on its fleet port.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl DaemonConfig {
@@ -164,6 +174,7 @@ impl DaemonConfig {
             crash_plan: ProcessCrashPlan::disabled(),
             drain_after_ticks: None,
             faults: Vec::new(),
+            fleet: None,
         }
     }
 
@@ -180,6 +191,9 @@ impl DaemonConfig {
         self.queue
             .validated()
             .map_err(|e| DaemonError::Config(e.into()))?;
+        if let Some(fleet) = &self.fleet {
+            fleet.clone().validated()?;
+        }
         Ok(())
     }
 
@@ -354,6 +368,31 @@ pub struct DaemonReport {
     /// Minimum Σ(e^(-λ·v))/tenants the watchdog observed — 1.0 means
     /// no tenant ever missed a progress check.
     pub min_impact_trust: f64,
+    /// Fleet wrap-up (peer trust, rebalances, migrations) when the
+    /// daemon ran as a fleet member.
+    pub fleet: Option<FleetSummary>,
+}
+
+/// Fleet-mode wrap-up in the final report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// This daemon's fleet id.
+    pub id: usize,
+    /// Tenants adopted from dead peers by failure rebalancing.
+    pub adopted: Vec<usize>,
+    /// Failure rebalances performed (tenants adopted).
+    pub rebalances: u64,
+    /// Migration bundles installed from peers (`MPUSH` accepted).
+    pub migrations_in: u64,
+    /// Tenants shipped out via operator `MIGRATE`.
+    pub migrations_out: u64,
+    /// Failed outbound migrations (source kept serving).
+    pub migrate_failed: u64,
+    /// Records ignored because placement assigned their tenant to a
+    /// peer.
+    pub foreign: u64,
+    /// Final per-peer trust `(peer_id, e^(-λ·misses))`.
+    pub peer_trust: Vec<(usize, f64)>,
 }
 
 struct WorkerTask {
@@ -417,6 +456,9 @@ fn answer_query(tenant: &Tenant, query: Query) {
             None => println!("A trust {id} {node} -"),
         },
         Query::Round { tenant: id } => println!("A round {id} {}", tenant.round()),
+        // Status is answered at the router (it spans every tenant and
+        // the peer roster) and never enqueued to a worker.
+        Query::Status => {}
     }
 }
 
@@ -751,6 +793,125 @@ struct RouterSlot {
     queue: Arc<SharedQueue>,
     positions: Arc<PositionView>,
     shared: Arc<SlotShared>,
+    /// Per-tenant tick counter. Tenants join the daemon at different
+    /// global ticks (adoption, migration), so each slot numbers its own
+    /// ticks — the numbering every tenant's recovery replay and
+    /// decision log is keyed to.
+    ticks: Arc<AtomicU64>,
+}
+
+/// The live tenant routing table, shared with the fleet threads so
+/// adoption and migration can add or remove tenants while the router
+/// is streaming.
+type RouterMap = Arc<RwLock<BTreeMap<usize, RouterSlot>>>;
+
+fn read_router(router: &RouterMap) -> std::sync::RwLockReadGuard<'_, BTreeMap<usize, RouterSlot>> {
+    router.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_router(
+    router: &RouterMap,
+) -> std::sync::RwLockWriteGuard<'_, BTreeMap<usize, RouterSlot>> {
+    router.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Queue seeding for a slot built from a migration bundle: the live
+/// highwaters/stats (ahead of the snapshot's), the recovery buffer to
+/// replay, and how many renumbered ticks that buffer completes.
+struct BundleSeed {
+    live_highwater: Vec<(u64, u64)>,
+    live_stats: QueueStats,
+    recovery: Vec<WorkItem>,
+    replay_ticks: u64,
+}
+
+/// Builds one tenant slot from the state directory: resume from the
+/// tenant's snapshot if present (fresh otherwise), truncate its
+/// decision log to the snapshot round, and spawn its worker. The shared
+/// build path for startup, fleet adoption, and migration install.
+fn build_slot(
+    cfg: &DaemonConfig,
+    id: usize,
+    seed: Option<BundleSeed>,
+) -> Result<(SlotCore, RouterSlot), DaemonError> {
+    let scenario = (cfg.scenario)(tenant_seed(cfg.master_seed, id));
+    let path = tenant_state_path(&cfg.state_dir, id);
+    let queue = Arc::new(SharedQueue::new(cfg.queue));
+    let (tenant, round) = match read_tenant_state(&path)? {
+        Some(state) => {
+            if state.seed != scenario.seed {
+                return Err(DaemonError::State(format!(
+                    "tenant {id} state file has seed {} but the configuration expects {}",
+                    state.seed, scenario.seed
+                )));
+            }
+            let tenant = Tenant::from_blob(id, scenario, cfg.engine, cfg.threads, &state.blob)?;
+            queue.seed_highwater(state.highwater.iter().copied());
+            queue.seed_stats(state.stats);
+            (tenant, state.round)
+        }
+        None => (Tenant::new(id, scenario, cfg.engine, cfg.threads)?, 0),
+    };
+    let mut recovery = Vec::new();
+    let mut initial_ticks = 0u64;
+    if let Some(seed) = seed {
+        queue.seed_highwater(seed.live_highwater);
+        queue.seed_stats(seed.live_stats);
+        // The replay completes ticks 1..=replay_ticks; marking them
+        // issued makes the next end_tick wait for the replay to settle.
+        queue.seed_ticks(seed.replay_ticks);
+        recovery = seed.recovery;
+        initial_ticks = seed.replay_ticks;
+    }
+    let log_path = decision_log_path(&cfg.decisions_dir, id);
+    truncate_decision_log(&log_path, round)?;
+    let sink = Arc::new(Mutex::new(LogSink::new(log_path)));
+    let epoch = lock_sink(&sink).reopen()?;
+    let positions = tenant.positions();
+    let shared = Arc::new(SlotShared {
+        heartbeat: AtomicU64::new(0),
+        applied: AtomicU64::new(0),
+        shed_quarantine: AtomicU64::new(0),
+        health: AtomicU8::new(HEALTH_ACTIVE),
+        query_latency: latency::Histogram::new(),
+    });
+    let cancel = Arc::new(AtomicBool::new(false));
+    let handle = spawn_incarnation(
+        cfg,
+        id,
+        tenant,
+        Arc::clone(&queue),
+        Arc::clone(&shared),
+        Arc::clone(&sink),
+        epoch,
+        Arc::clone(&cancel),
+        0,
+        0,
+        recovery,
+    );
+    let route = RouterSlot {
+        queue: Arc::clone(&queue),
+        positions: Arc::clone(&positions),
+        shared: Arc::clone(&shared),
+        ticks: Arc::new(AtomicU64::new(initial_ticks)),
+    };
+    let core = SlotCore {
+        id,
+        queue,
+        shared,
+        sink,
+        positions,
+        cancel,
+        handle: Some(handle),
+        health: Health::Active,
+        misses: 0,
+        last_heartbeat: 0,
+        incarnation: 0,
+        restarts: 0,
+        restart_checks: VecDeque::new(),
+        last_error: None,
+    };
+    Ok((core, route))
 }
 
 /// The daemon: build with [`Daemon::new`] (which resumes from any
@@ -759,102 +920,50 @@ struct RouterSlot {
 pub struct Daemon {
     cfg: Arc<DaemonConfig>,
     sup: Arc<SupervisorShared>,
-    router: Vec<RouterSlot>,
+    router: RouterMap,
     watchdog: Option<JoinHandle<()>>,
+    fleet: Option<FleetRuntime>,
     ticks: u64,
 }
 
 impl Daemon {
-    /// Builds (or resumes) every tenant and starts workers + watchdog.
+    /// Builds (or resumes) every hosted tenant and starts workers + the
+    /// watchdog. In fleet mode only the tenants rendezvous placement
+    /// assigns this member are built, and the fleet port + peer monitor
+    /// are started.
     ///
     /// # Errors
     ///
     /// Configuration validation, state-file corruption or seed
     /// mismatch, engine construction failure, or I/O errors creating
-    /// the state directories.
+    /// the state directories or binding the fleet port.
     pub fn new(cfg: DaemonConfig) -> Result<Self, DaemonError> {
         cfg.validated()?;
         std::fs::create_dir_all(&cfg.state_dir).map_err(DaemonError::Io)?;
         std::fs::create_dir_all(&cfg.decisions_dir).map_err(DaemonError::Io)?;
         let cfg = Arc::new(cfg);
-        let mut slots = Vec::with_capacity(cfg.tenants);
-        let mut router = Vec::with_capacity(cfg.tenants);
-        for id in 0..cfg.tenants {
-            let scenario = (cfg.scenario)(tenant_seed(cfg.master_seed, id));
-            let path = tenant_state_path(&cfg.state_dir, id);
-            let queue = Arc::new(SharedQueue::new(cfg.queue));
-            let (tenant, round) = match read_tenant_state(&path)? {
-                Some(state) => {
-                    if state.seed != scenario.seed {
-                        return Err(DaemonError::State(format!(
-                            "tenant {id} state file has seed {} but the configuration expects {}",
-                            state.seed, scenario.seed
-                        )));
-                    }
-                    let tenant =
-                        Tenant::from_blob(id, scenario, cfg.engine, cfg.threads, &state.blob)?;
-                    queue.seed_highwater(state.highwater.iter().copied());
-                    queue.seed_stats(state.stats);
-                    (tenant, state.round)
-                }
-                None => (
-                    Tenant::new(id, scenario, cfg.engine, cfg.threads)?,
-                    0,
-                ),
-            };
-            let log_path = decision_log_path(&cfg.decisions_dir, id);
-            truncate_decision_log(&log_path, round)?;
-            let sink = Arc::new(Mutex::new(LogSink::new(log_path)));
-            let epoch = lock_sink(&sink).reopen()?;
-            let positions = tenant.positions();
-            let shared = Arc::new(SlotShared {
-                heartbeat: AtomicU64::new(0),
-                applied: AtomicU64::new(0),
-                shed_quarantine: AtomicU64::new(0),
-                health: AtomicU8::new(HEALTH_ACTIVE),
-                query_latency: latency::Histogram::new(),
-            });
-            let cancel = Arc::new(AtomicBool::new(false));
-            let handle = spawn_incarnation(
-                &cfg,
-                id,
-                tenant,
-                Arc::clone(&queue),
-                Arc::clone(&shared),
-                Arc::clone(&sink),
-                epoch,
-                Arc::clone(&cancel),
-                0,
-                0,
-                Vec::new(),
-            );
-            router.push(RouterSlot {
-                queue: Arc::clone(&queue),
-                positions: Arc::clone(&positions),
-                shared: Arc::clone(&shared),
-            });
-            slots.push(SlotCore {
-                id,
-                queue,
-                shared,
-                sink,
-                positions,
-                cancel,
-                handle: Some(handle),
-                health: Health::Active,
-                misses: 0,
-                last_heartbeat: 0,
-                incarnation: 0,
-                restarts: 0,
-                restart_checks: VecDeque::new(),
-                last_error: None,
-            });
+        let owned: Vec<usize> = match &cfg.fleet {
+            Some(fleet) => {
+                let roster = fleet.roster();
+                (0..cfg.tenants)
+                    .filter(|&t| owner_of(fleet.seed, t, &roster) == Some(fleet.id))
+                    .collect()
+            }
+            None => (0..cfg.tenants).collect(),
+        };
+        let mut slots = Vec::with_capacity(owned.len());
+        let mut router = BTreeMap::new();
+        for id in owned {
+            let (core, route) = build_slot(&cfg, id, None)?;
+            router.insert(id, route);
+            slots.push(core);
         }
         let sup = Arc::new(SupervisorShared {
             slots: Mutex::new(slots),
             stop: AtomicBool::new(false),
             min_impact_bits: AtomicU64::new(1.0f64.to_bits()),
         });
+        let router: RouterMap = Arc::new(RwLock::new(router));
         let watchdog = std::thread::Builder::new()
             .name("tibfit-watchdog".into())
             .spawn({
@@ -863,13 +972,29 @@ impl Daemon {
                 move || watchdog_loop(cfg, sup)
             })
             .expect("spawning the watchdog thread");
+        let fleet = match &cfg.fleet {
+            Some(_) => Some(start_fleet(
+                Arc::clone(&cfg),
+                Arc::clone(&sup),
+                Arc::clone(&router),
+            )?),
+            None => None,
+        };
         Ok(Daemon {
             cfg,
             sup,
             router,
             watchdog: Some(watchdog),
+            fleet,
             ticks: 0,
         })
+    }
+
+    /// The fleet port this daemon is serving on, if fleet mode is on
+    /// (port 0 in the configuration resolves here).
+    #[must_use]
+    pub fn fleet_addr(&self) -> Option<std::net::SocketAddr> {
+        self.fleet.as_ref().map(|f| f.local_addr)
     }
 
     /// Merged p99 query-answer latency across every tenant slot, in
@@ -877,7 +1002,7 @@ impl Daemon {
     #[must_use]
     pub fn query_latency_p99_us(&self) -> f64 {
         let merged = latency::Histogram::new();
-        for slot in &self.router {
+        for slot in read_router(&self.router).values() {
             merged.merge_from(&slot.shared.query_latency);
         }
         #[allow(clippy::cast_precision_loss)]
@@ -887,11 +1012,13 @@ impl Daemon {
 
     fn close_tick(&mut self) {
         self.ticks += 1;
-        let tick = self.ticks;
-        for slot in &self.router {
+        for slot in read_router(&self.router).values() {
             if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
                 continue;
             }
+            // Per-slot numbering: an adopted or migrated-in tenant
+            // joined mid-run and counts its own ticks.
+            let tick = slot.ticks.fetch_add(1, Ordering::SeqCst) + 1;
             let positions = Arc::clone(&slot.positions);
             slot.queue
                 .end_tick(tick, move |r| positions.impact_of(r.x, r.y));
@@ -951,7 +1078,25 @@ impl Daemon {
                 }
             }
         }
+        if !drained_early {
+            self.linger();
+        }
         self.finish(rejected, rejected_by_kind, drained_early)
+    }
+
+    /// Fleet mode keeps serving the fleet port after ingest EOF: peers
+    /// may still be rebalancing onto us or migrating tenants in/out.
+    /// The linger window restarts on every fleet event and ends early
+    /// on a shutdown signal.
+    fn linger(&self) {
+        let Some(fleet) = &self.fleet else {
+            return;
+        };
+        let linger_ms = fleet.shared.fcfg.linger_ms;
+        fleet.shared.touch();
+        while !shutdown::requested() && fleet.shared.idle_ms() < linger_ms {
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     fn route_report(
@@ -960,9 +1105,21 @@ impl Daemon {
         rejected: &mut u64,
         by_kind: &mut BTreeMap<&'static str, u64>,
     ) {
-        let Some(slot) = self.router.get(r.tenant) else {
-            *rejected += 1;
-            *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+        let router = read_router(&self.router);
+        let Some(slot) = router.get(&r.tenant) else {
+            drop(router);
+            if r.tenant < self.cfg.tenants {
+                // Fleet mode: a valid tenant placed on a peer. Ignored
+                // without touching any highwater — if this daemon ever
+                // adopts the tenant, catch-up re-admits the record in
+                // its original batch context.
+                if let Some(fleet) = &self.fleet {
+                    fleet.shared.foreign.fetch_add(1, Ordering::SeqCst);
+                }
+            } else {
+                *rejected += 1;
+                *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+            }
             return;
         };
         if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
@@ -979,11 +1136,23 @@ impl Daemon {
         by_kind: &mut BTreeMap<&'static str, u64>,
     ) {
         let id = match q {
+            Query::Status => {
+                // Spans every tenant and the peer roster: answered here,
+                // immediately, not at a tick boundary.
+                for line in self.status_lines() {
+                    println!("{line}");
+                }
+                return;
+            }
             Query::Trust { tenant, .. } | Query::Round { tenant } => tenant,
         };
-        let Some(slot) = self.router.get(id) else {
-            *rejected += 1;
-            *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+        let router = read_router(&self.router);
+        let Some(slot) = router.get(&id) else {
+            drop(router);
+            if id >= self.cfg.tenants {
+                *rejected += 1;
+                *by_kind.entry("unknown_tenant").or_insert(0) += 1;
+            }
             return;
         };
         if slot.shared.health.load(Ordering::SeqCst) == HEALTH_QUARANTINED {
@@ -992,12 +1161,32 @@ impl Daemon {
         slot.queue.offer_query(q);
     }
 
+    /// The `Q status` answer: self id, per-peer state + trust, and the
+    /// current tenant placement as this daemon computes it.
+    fn status_lines(&self) -> Vec<String> {
+        match &self.fleet {
+            Some(fleet) => status_dump("A status", &self.cfg, &fleet.shared, &self.router),
+            None => {
+                let mut out = vec!["A status self -".to_string()];
+                for id in read_router(&self.router).keys() {
+                    out.push(format!("A status tenant {id} self"));
+                }
+                out.push("A status end".to_string());
+                out
+            }
+        }
+    }
+
     fn finish(
         &mut self,
         rejected: u64,
         rejected_by_kind: BTreeMap<&'static str, u64>,
         drained_early: bool,
     ) -> Result<DaemonReport, DaemonError> {
+        // Stop the fleet threads first: the monitor may be mid-adoption
+        // and the listener mid-install; both finish their current
+        // operation before exiting, so the slot set is stable below.
+        let fleet_summary = self.fleet.take().map(FleetRuntime::stop);
         // A final tick flushes any open batch and pending queries, and
         // gives every worker a defined quiescent point before shutdown.
         self.close_tick();
@@ -1040,6 +1229,9 @@ impl Daemon {
             });
         }
         drop(slots);
+        // Adopted slots were appended as they arrived; report in id
+        // order regardless.
+        tenants.sort_by_key(|t| t.id);
         Ok(DaemonReport {
             ticks: self.ticks,
             rejected,
@@ -1050,6 +1242,7 @@ impl Daemon {
             tenants,
             drained_early,
             min_impact_trust: f64::from_bits(self.sup.min_impact_bits.load(Ordering::SeqCst)),
+            fleet: fleet_summary,
         })
     }
 
@@ -1057,11 +1250,648 @@ impl Daemon {
     /// [`QueuePolicy::record_shed`]).
     #[must_use]
     pub fn shed_log_of(&self, tenant: usize) -> Vec<(u64, u64, u64)> {
-        self.router
-            .get(tenant)
+        read_router(&self.router)
+            .get(&tenant)
             .map(|s| s.queue.shed_log())
             .unwrap_or_default()
     }
+}
+
+/// State shared between the router, the fleet listener, and the peer
+/// monitor.
+struct FleetShared {
+    fcfg: FleetConfig,
+    peers: Mutex<Vec<PeerView>>,
+    /// Serializes adopt/install/migrate so two administrative paths
+    /// cannot race on the same tenant.
+    admin: Mutex<()>,
+    rebalances: AtomicU64,
+    migrations_in: AtomicU64,
+    migrations_out: AtomicU64,
+    migrate_failed: AtomicU64,
+    foreign: AtomicU64,
+    adopted: Mutex<Vec<usize>>,
+    start: Instant,
+    last_activity_ms: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl FleetShared {
+    fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Restarts the linger window (any fleet event counts as activity).
+    fn touch(&self) {
+        self.last_activity_ms
+            .store(self.elapsed_ms(), Ordering::SeqCst);
+    }
+
+    fn idle_ms(&self) -> u64 {
+        self.elapsed_ms()
+            .saturating_sub(self.last_activity_ms.load(Ordering::SeqCst))
+    }
+
+    fn lock_peers(&self) -> MutexGuard<'_, Vec<PeerView>> {
+        self.peers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Alive member ids (self + peers counting as alive), sorted — the
+/// roster placement is computed over.
+fn alive_ids(fs: &FleetShared, peers: &[PeerView]) -> Vec<usize> {
+    let mut ids: Vec<usize> = peers
+        .iter()
+        .filter(|p| p.is_alive())
+        .map(|p| p.spec.id)
+        .collect();
+    ids.push(fs.fcfg.id);
+    ids.sort_unstable();
+    ids
+}
+
+/// Everything [`Daemon`] needs to shut fleet mode down and report.
+struct FleetRuntime {
+    shared: Arc<FleetShared>,
+    local_addr: std::net::SocketAddr,
+    monitor: Option<JoinHandle<()>>,
+    listener: Option<JoinHandle<()>>,
+}
+
+impl FleetRuntime {
+    fn stop(mut self) -> FleetSummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        let policy = self.shared.fcfg.policy;
+        let peer_trust = self
+            .shared
+            .lock_peers()
+            .iter()
+            .map(|p| (p.spec.id, p.trust(&policy)))
+            .collect();
+        let adopted = self
+            .shared
+            .adopted
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        FleetSummary {
+            id: self.shared.fcfg.id,
+            adopted,
+            rebalances: self.shared.rebalances.load(Ordering::SeqCst),
+            migrations_in: self.shared.migrations_in.load(Ordering::SeqCst),
+            migrations_out: self.shared.migrations_out.load(Ordering::SeqCst),
+            migrate_failed: self.shared.migrate_failed.load(Ordering::SeqCst),
+            foreign: self.shared.foreign.load(Ordering::SeqCst),
+            peer_trust,
+        }
+    }
+}
+
+/// Shared handles the fleet threads operate on.
+#[derive(Clone)]
+struct FleetCtx {
+    cfg: Arc<DaemonConfig>,
+    sup: Arc<SupervisorShared>,
+    router: RouterMap,
+    fs: Arc<FleetShared>,
+}
+
+fn start_fleet(
+    cfg: Arc<DaemonConfig>,
+    sup: Arc<SupervisorShared>,
+    router: RouterMap,
+) -> Result<FleetRuntime, DaemonError> {
+    let fcfg = cfg.fleet.clone().expect("start_fleet requires a fleet config");
+    let listener = TcpListener::bind(&fcfg.listen).map_err(DaemonError::Io)?;
+    listener.set_nonblocking(true).map_err(DaemonError::Io)?;
+    let local_addr = listener.local_addr().map_err(DaemonError::Io)?;
+    let peers: Vec<PeerView> = fcfg.peers.iter().cloned().map(PeerView::new).collect();
+    let fs = Arc::new(FleetShared {
+        fcfg,
+        peers: Mutex::new(peers),
+        admin: Mutex::new(()),
+        rebalances: AtomicU64::new(0),
+        migrations_in: AtomicU64::new(0),
+        migrations_out: AtomicU64::new(0),
+        migrate_failed: AtomicU64::new(0),
+        foreign: AtomicU64::new(0),
+        adopted: Mutex::new(Vec::new()),
+        start: Instant::now(),
+        last_activity_ms: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let ctx = FleetCtx {
+        cfg,
+        sup,
+        router,
+        fs: Arc::clone(&fs),
+    };
+    let listener_handle = std::thread::Builder::new()
+        .name("tibfit-fleet-listen".into())
+        .spawn({
+            let ctx = ctx.clone();
+            move || listener_loop(&ctx, &listener)
+        })
+        .expect("spawning the fleet listener thread");
+    let monitor_handle = std::thread::Builder::new()
+        .name("tibfit-fleet-monitor".into())
+        .spawn(move || monitor_loop(&ctx))
+        .expect("spawning the fleet monitor thread");
+    Ok(FleetRuntime {
+        shared: fs,
+        local_addr,
+        monitor: Some(monitor_handle),
+        listener: Some(listener_handle),
+    })
+}
+
+/// One probe round trip: `FPING <self>` → expect any `FPONG`.
+fn probe_peer(addr: &str, self_id: usize, timeout: Duration) -> bool {
+    let Ok(mut addrs) = addr.to_socket_addrs() else {
+        return false;
+    };
+    let Some(sock) = addrs.next() else {
+        return false;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&sock, timeout) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    let mut w = &stream;
+    if writeln!(w, "FPING {self_id}").is_err() || w.flush().is_err() {
+        return false;
+    }
+    let mut line = String::new();
+    if BufReader::new(&stream).read_line(&mut line).unwrap_or(0) == 0 {
+        return false;
+    }
+    matches!(parse_fleet_line(&line), Ok(Some(FleetMsg::Pong { .. })))
+}
+
+/// A peer contacted *us* — as good as a probe success for its health
+/// view (and it ends its boot grace).
+fn mark_peer_alive(ctx: &FleetCtx, id: usize) {
+    let policy = ctx.fs.fcfg.policy;
+    let mut peers = ctx.fs.lock_peers();
+    if let Some(view) = peers.iter_mut().find(|p| p.spec.id == id) {
+        let _ = view.on_success(&policy);
+    }
+}
+
+/// Probes every peer on the policy cadence; a peer whose trust crosses
+/// the floor (confirmed by one slower re-probe) triggers deterministic
+/// rebalancing of its tenants onto the survivors.
+fn monitor_loop(ctx: &FleetCtx) {
+    let policy = ctx.fs.fcfg.policy;
+    let interval = Duration::from_millis(policy.check_interval_ms.max(1));
+    let timeout = Duration::from_millis(policy.probe_timeout_ms.max(1));
+    let self_id = ctx.fs.fcfg.id;
+    while !ctx.fs.stop.load(Ordering::SeqCst) && !ctx.sup.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let in_grace = ctx.fs.elapsed_ms() < policy.grace_ms;
+        let specs: Vec<(usize, String)> = ctx
+            .fs
+            .lock_peers()
+            .iter()
+            .map(|p| (p.spec.id, p.spec.addr.clone()))
+            .collect();
+        let mut rebalance_needed = false;
+        for (id, addr) in specs {
+            if ctx.fs.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let ok = probe_peer(&addr, self_id, timeout);
+            let newly_dead = {
+                let mut peers = ctx.fs.lock_peers();
+                let Some(view) = peers.iter_mut().find(|p| p.spec.id == id) else {
+                    continue;
+                };
+                if ok {
+                    let _ = view.on_success(&policy);
+                    false
+                } else {
+                    view.on_miss(&policy, in_grace)
+                }
+            };
+            if newly_dead {
+                // Double-check with a slower probe before declaring a
+                // peer dead: a single stall must not split ownership.
+                if probe_peer(&addr, self_id, timeout * 2) {
+                    let mut peers = ctx.fs.lock_peers();
+                    if let Some(view) = peers.iter_mut().find(|p| p.spec.id == id) {
+                        let _ = view.on_success(&policy);
+                    }
+                } else {
+                    rebalance_needed = true;
+                }
+            }
+        }
+        if rebalance_needed {
+            rebalance(ctx);
+        }
+    }
+}
+
+/// Adopts every tenant the reduced alive roster now places on this
+/// daemon and that it does not already host.
+fn rebalance(ctx: &FleetCtx) {
+    let alive = {
+        let peers = ctx.fs.lock_peers();
+        alive_ids(&ctx.fs, &peers)
+    };
+    let seed = ctx.fs.fcfg.seed;
+    let self_id = ctx.fs.fcfg.id;
+    for tenant in 0..ctx.cfg.tenants {
+        if owner_of(seed, tenant, &alive) != Some(self_id) {
+            continue;
+        }
+        if read_router(&ctx.router).contains_key(&tenant) {
+            continue;
+        }
+        if let Err(e) = adopt_tenant(ctx, tenant) {
+            eprintln!("tibfit-daemon: fleet {self_id}: adopting tenant {tenant} failed: {e}");
+        }
+    }
+}
+
+/// Takes over a dead peer's tenant: resume from its shared state file
+/// exactly as crash-restart does, then catch up to the head of the
+/// stream by re-streaming the catch-up replay file through this slot
+/// (dedup regenerates the decision-log suffix byte-identically). The
+/// slot only becomes routable after catch-up, so the live router never
+/// interleaves ticks with it.
+fn adopt_tenant(ctx: &FleetCtx, tenant: usize) -> Result<(), DaemonError> {
+    let _admin = ctx.fs.admin.lock().unwrap_or_else(PoisonError::into_inner);
+    if read_router(&ctx.router).contains_key(&tenant) {
+        return Ok(());
+    }
+    let (core, route) = build_slot(&ctx.cfg, tenant, None)?;
+    let mut ticks = 0u64;
+    if let Some(path) = &ctx.fs.fcfg.catchup_replay {
+        let file = File::open(path).map_err(DaemonError::Io)?;
+        let mut reader = BufReader::new(file);
+        let mut raw = Vec::new();
+        loop {
+            raw.clear();
+            if reader.read_until(b'\n', &mut raw).map_err(DaemonError::Io)? == 0 {
+                break;
+            }
+            let Ok(text) = std::str::from_utf8(&raw) else {
+                continue;
+            };
+            match parse_line(text.trim_end_matches('\n')) {
+                Ok(Some(Frame::Report(r))) if r.tenant == tenant => {
+                    route.queue.offer(r);
+                }
+                Ok(Some(Frame::Tick)) => {
+                    ticks += 1;
+                    let positions = Arc::clone(&route.positions);
+                    route
+                        .queue
+                        .end_tick(ticks, move |r| positions.impact_of(r.x, r.y));
+                }
+                _ => {}
+            }
+        }
+    }
+    route.ticks.store(ticks, Ordering::SeqCst);
+    write_router(&ctx.router).insert(tenant, route);
+    lock_slots(&ctx.sup).push(core);
+    ctx.fs.rebalances.fetch_add(1, Ordering::SeqCst);
+    ctx.fs
+        .adopted
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(tenant);
+    ctx.fs.touch();
+    Ok(())
+}
+
+/// Installs a pushed migration bundle: validate, persist the embedded
+/// state file, rebuild the tenant from it, seed the live highwaters,
+/// replay the renumbered recovery buffer, re-offer the pending
+/// records, and only then make the tenant routable. Fail-closed: any
+/// error installs nothing.
+fn install_bundle(ctx: &FleetCtx, bundle: MigrationBundle) -> Result<(), MigrateError> {
+    let _admin = ctx.fs.admin.lock().unwrap_or_else(PoisonError::into_inner);
+    let cfg = &ctx.cfg;
+    let tenant = bundle.tenant;
+    if tenant >= cfg.tenants {
+        return Err(MigrateError::Mismatch(format!(
+            "tenant {tenant} is outside this fleet's 0..{} range",
+            cfg.tenants
+        )));
+    }
+    let scenario = (cfg.scenario)(tenant_seed(cfg.master_seed, tenant));
+    if bundle.seed != scenario.seed {
+        return Err(MigrateError::Mismatch(format!(
+            "bundle seed {} does not match the configured scenario seed {}",
+            bundle.seed, scenario.seed
+        )));
+    }
+    if read_router(&ctx.router).contains_key(&tenant) {
+        return Err(MigrateError::Mismatch(format!(
+            "tenant {tenant} is already hosted here"
+        )));
+    }
+    let path = tenant_state_path(&cfg.state_dir, tenant);
+    if bundle.state_bytes.is_empty() {
+        // The source never snapshotted: the replay buffer is the whole
+        // history and must rebuild from a fresh engine.
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(MigrateError::Io(e)),
+        }
+    } else {
+        let st = decode_tenant_state(&bundle.state_bytes)
+            .map_err(|e| MigrateError::Mismatch(format!("embedded state: {e}")))?;
+        if st.id != tenant || st.seed != scenario.seed || st.round != bundle.state_round {
+            return Err(MigrateError::Mismatch(
+                "embedded state disagrees with the bundle metadata".into(),
+            ));
+        }
+        write_tenant_state(&path, &bundle.state_bytes)
+            .map_err(|e| MigrateError::Mismatch(format!("state write: {e}")))?;
+    }
+    let replay_ticks = bundle
+        .replay
+        .iter()
+        .filter(|i| matches!(i, WorkItem::TickEnd(_)))
+        .count() as u64;
+    let (core, route) = build_slot(
+        cfg,
+        tenant,
+        Some(BundleSeed {
+            live_highwater: bundle.live_highwater,
+            live_stats: bundle.live_stats,
+            recovery: bundle.replay,
+            replay_ticks,
+        }),
+    )
+    .map_err(|e| MigrateError::Mismatch(format!("install: {e}")))?;
+    for r in bundle.pending {
+        route.queue.offer(r);
+    }
+    write_router(&ctx.router).insert(tenant, route);
+    lock_slots(&ctx.sup).push(core);
+    ctx.fs.migrations_in.fetch_add(1, Ordering::SeqCst);
+    ctx.fs.touch();
+    Ok(())
+}
+
+fn wait_drained(queue: &SharedQueue, deadline: Duration) -> bool {
+    let until = Instant::now() + deadline;
+    while queue.has_outstanding() {
+        if Instant::now() > until {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+/// Operator-driven live migration: quiesce the tenant, capture its
+/// snapshot + live queue views + recovery buffer + pending records,
+/// ship the bundle, and release the tenant only on the destination's
+/// acknowledgement. Any failure re-offers the pending records,
+/// respawns the worker, and keeps serving locally.
+fn migrate_out(ctx: &FleetCtx, tenant: usize, dest: usize) -> Result<(), MigrateError> {
+    let _admin = ctx.fs.admin.lock().unwrap_or_else(PoisonError::into_inner);
+    let dest_addr = ctx
+        .fs
+        .fcfg
+        .peers
+        .iter()
+        .find(|p| p.id == dest)
+        .map(|p| p.addr.clone())
+        .ok_or_else(|| MigrateError::Mismatch(format!("unknown destination daemon {dest}")))?;
+    // Unroute first: no new records or ticks reach the tenant while it
+    // is being captured.
+    let Some(route) = write_router(&ctx.router).remove(&tenant) else {
+        return Err(MigrateError::Mismatch(format!(
+            "tenant {tenant} is not hosted here"
+        )));
+    };
+    if !wait_drained(&route.queue, Duration::from_secs(10)) {
+        write_router(&ctx.router).insert(tenant, route);
+        return Err(MigrateError::Mismatch(format!(
+            "tenant {tenant} did not drain in time"
+        )));
+    }
+    // Detach the slot from the watchdog so the fenced worker below is
+    // not mistaken for a crash and respawned mid-transfer.
+    let core = {
+        let mut slots = lock_slots(&ctx.sup);
+        slots
+            .iter()
+            .position(|s| s.id == tenant)
+            .map(|i| slots.remove(i))
+    };
+    let Some(mut core) = core else {
+        write_router(&ctx.router).insert(tenant, route);
+        return Err(MigrateError::Mismatch(format!(
+            "tenant {tenant} has no supervisor slot"
+        )));
+    };
+    // Fence the worker (it exits through its flush path) and capture
+    // the stable views.
+    let (_generation, replay) = core.queue.recovery_view();
+    let pending = core.queue.drain_pending();
+    let (live_highwater, live_stats) = core.queue.snapshot_view();
+    if let Some(handle) = core.handle.take() {
+        // Joining guarantees the worker's final flush hit the log file
+        // before the destination truncates and regenerates it.
+        let _ = handle.join();
+    }
+    let scenario = (ctx.cfg.scenario)(tenant_seed(ctx.cfg.master_seed, tenant));
+    let state_path = tenant_state_path(&ctx.cfg.state_dir, tenant);
+    let outcome = (|| -> Result<(), MigrateError> {
+        let (state_bytes, state_round) = match std::fs::read(&state_path) {
+            Ok(bytes) => {
+                let st = decode_tenant_state(&bytes)
+                    .map_err(|e| MigrateError::Mismatch(format!("state file: {e}")))?;
+                let round = st.round;
+                (bytes, round)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), 0),
+            Err(e) => return Err(MigrateError::Io(e)),
+        };
+        let bundle = MigrationBundle {
+            tenant,
+            seed: scenario.seed,
+            state_round,
+            state_bytes,
+            live_highwater,
+            live_stats,
+            replay,
+            pending: pending.clone(),
+        };
+        push_bundle(&dest_addr, tenant, &encode_bundle(&bundle))
+    })();
+    match outcome {
+        Ok(()) => {
+            // Released: the destination owns the tenant (and its log
+            // file) now. Supersede the sink so nothing stale can write.
+            lock_sink(&core.sink).supersede();
+            ctx.fs.migrations_out.fetch_add(1, Ordering::SeqCst);
+            ctx.fs.touch();
+            Ok(())
+        }
+        Err(e) => {
+            // Keep serving locally: restore the pending records and
+            // respawn the worker from snapshot + recovery buffer.
+            for r in pending {
+                core.queue.offer(r);
+            }
+            respawn_slot(&ctx.cfg, &mut core, 0);
+            lock_slots(&ctx.sup).push(core);
+            write_router(&ctx.router).insert(tenant, route);
+            ctx.fs.migrate_failed.fetch_add(1, Ordering::SeqCst);
+            ctx.fs.touch();
+            Err(e)
+        }
+    }
+}
+
+/// Renders the status dump (fleet port `STATUS` and ingest `Q status`
+/// share it, under different line prefixes).
+fn status_dump(
+    prefix: &str,
+    cfg: &DaemonConfig,
+    fs: &FleetShared,
+    router: &RouterMap,
+) -> Vec<String> {
+    let policy = fs.fcfg.policy;
+    let mut out = vec![format!("{prefix} self {}", fs.fcfg.id)];
+    let alive = {
+        let peers = fs.lock_peers();
+        for p in peers.iter() {
+            let state = match p.state {
+                PeerState::Active => "active",
+                PeerState::Quarantined => "quarantined",
+                PeerState::Probation => "probation",
+            };
+            out.push(format!(
+                "{prefix} peer {} {state} {:.6}",
+                p.spec.id,
+                p.trust(&policy)
+            ));
+        }
+        alive_ids(fs, &peers)
+    };
+    let hosted = read_router(router);
+    for tenant in 0..cfg.tenants {
+        let owner = if hosted.contains_key(&tenant) {
+            fs.fcfg.id.to_string()
+        } else {
+            owner_of(fs.fcfg.seed, tenant, &alive)
+                .map_or_else(|| "-".to_string(), |o| o.to_string())
+        };
+        out.push(format!("{prefix} tenant {tenant} {owner}"));
+    }
+    out.push(format!("{prefix} end"));
+    out
+}
+
+fn listener_loop(ctx: &FleetCtx, listener: &TcpListener) {
+    // Accept latency lands on every fleet round trip (probe, STATUS,
+    // and twice per MIGRATE: the command and the bundle push), so the
+    // poll must stay well under the migrate-restore budget.
+    const POLL: Duration = Duration::from_millis(1);
+    while !ctx.fs.stop.load(Ordering::SeqCst) && !ctx.sup.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // Connections are short-lived (one command each); a
+                // thread per connection keeps probe replies prompt
+                // while an install or migration is in flight.
+                let ctx = ctx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("tibfit-fleet-conn".into())
+                    .spawn(move || handle_fleet_conn(&ctx, &stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// One fleet-port connection: a single command line, an optional framed
+/// payload (`MPUSH`), and a single reply line.
+fn handle_fleet_conn(ctx: &FleetCtx, stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    let mut w = stream;
+    match parse_fleet_line(&line) {
+        Ok(Some(FleetMsg::Ping { from })) => {
+            mark_peer_alive(ctx, from);
+            let _ = writeln!(w, "FPONG {}", ctx.fs.fcfg.id);
+        }
+        Ok(Some(FleetMsg::Status)) => {
+            for l in status_dump("S", &ctx.cfg, &ctx.fs, &ctx.router) {
+                let _ = writeln!(w, "{l}");
+            }
+        }
+        Ok(Some(FleetMsg::Migrate { tenant, dest })) => match migrate_out(ctx, tenant, dest) {
+            Ok(()) => {
+                let _ = writeln!(w, "MOK {tenant}");
+            }
+            Err(e) => {
+                let _ = writeln!(w, "MERR {e}");
+            }
+        },
+        Ok(Some(FleetMsg::Push { tenant })) => {
+            let installed = read_framed(&mut reader, MAX_BUNDLE_BYTES)
+                .map_err(MigrateError::from)
+                .and_then(|bytes| decode_bundle(&bytes))
+                .and_then(|bundle| {
+                    if bundle.tenant == tenant {
+                        install_bundle(ctx, bundle)
+                    } else {
+                        Err(MigrateError::Mismatch(format!(
+                            "MPUSH names tenant {tenant} but the bundle carries {}",
+                            bundle.tenant
+                        )))
+                    }
+                });
+            match installed {
+                Ok(()) => {
+                    let _ = writeln!(w, "MOK {tenant}");
+                }
+                Err(e) => {
+                    let _ = writeln!(w, "MERR {e}");
+                }
+            }
+        }
+        // Replies and noise are ignored; a reply line is never a
+        // request.
+        Ok(Some(FleetMsg::Pong { .. } | FleetMsg::PushOk { .. } | FleetMsg::PushErr(_)))
+        | Ok(None) => {}
+        Err(e) => {
+            let _ = writeln!(w, "MERR {e}");
+        }
+    }
+    let _ = w.flush();
 }
 
 impl DaemonReport {
@@ -1087,6 +1917,25 @@ impl DaemonReport {
             out.push((format!("{p}.backpressure.waits"), t.stats.backpressure_waits));
             out.push((format!("{p}.restarts"), t.restarts));
             out.push((format!("{p}.quarantined"), u64::from(t.quarantined)));
+        }
+        if let Some(f) = &self.fleet {
+            out.push(("fleet.rebalance.count".to_string(), f.rebalances));
+            out.push((
+                "fleet.migrations".to_string(),
+                f.migrations_in + f.migrations_out,
+            ));
+            out.push(("fleet.migrations.in".to_string(), f.migrations_in));
+            out.push(("fleet.migrations.out".to_string(), f.migrations_out));
+            out.push(("fleet.migrate.failed".to_string(), f.migrate_failed));
+            out.push(("fleet.foreign".to_string(), f.foreign));
+            out.push(("fleet.adopted".to_string(), f.adopted.len() as u64));
+            for (peer, trust) in &f.peer_trust {
+                // Trust is reported in milli-units so it fits the u64
+                // counter channel.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let millis = (trust * 1000.0).round().clamp(0.0, 1000.0) as u64;
+                out.push((format!("fleet.peer_trust.p{peer}"), millis));
+            }
         }
         out
     }

@@ -8,6 +8,22 @@
 //! T                                          tick boundary
 //! Q trust <tenant> <node>                    trust-index query
 //! Q round <tenant>                           round-cursor query
+//! Q status                                   fleet/placement status query
+//! ```
+//!
+//! Fleet peers speak a second newline-framed grammar on the fleet
+//! port, parsed by [`parse_fleet_line`] with the same typed-error
+//! discipline:
+//!
+//! ```text
+//! FPING <from_id>                peer heartbeat probe
+//! FPONG <from_id>                heartbeat reply
+//! STATUS                         roster + trust + placement dump
+//! MIGRATE <tenant> <dest_id>     operator: hand a tenant to a peer
+//! MPUSH <tenant>                 migration bundle follows (framed bytes)
+//! MOK <tenant>                   bundle installed
+//! MERR <reason...>               transfer refused / failed
+//! OK / ERR <reason...>           operator-command outcome
 //! ```
 //!
 //! [`parse_line`] never panics on any input: every malformed line maps
@@ -67,6 +83,9 @@ pub enum Query {
         /// Hosted field index.
         tenant: usize,
     },
+    /// Fleet status: peer roster, per-peer trust, tenant placement.
+    /// Answered by the daemon itself (not routed to a tenant).
+    Status,
 }
 
 /// Why a line was rejected. Every variant is counted, none aborts the
@@ -240,10 +259,102 @@ pub fn parse_line(line: &str) -> Result<Option<Frame>, IngestError> {
                     let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
                     Query::Round { tenant }
                 }
+                "status" => Query::Status,
                 other => return Err(IngestError::UnknownQuery(truncated(other))),
             };
             end_of(it)?;
             Ok(Some(Frame::Query(frame)))
+        }
+        other => Err(IngestError::UnknownTag(truncated(other))),
+    }
+}
+
+/// One parsed fleet-port frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetMsg {
+    /// Heartbeat probe from peer `from`.
+    Ping {
+        /// Sender's fleet id.
+        from: usize,
+    },
+    /// Heartbeat reply from peer `from`.
+    Pong {
+        /// Sender's fleet id.
+        from: usize,
+    },
+    /// Roster/trust/placement dump request.
+    Status,
+    /// Operator order: migrate `tenant` to peer `dest`.
+    Migrate {
+        /// Tenant to move.
+        tenant: usize,
+        /// Destination fleet id.
+        dest: usize,
+    },
+    /// A migration bundle for `tenant` follows as framed bytes.
+    Push {
+        /// Tenant the bundle carries.
+        tenant: usize,
+    },
+    /// Bundle for `tenant` installed successfully.
+    PushOk {
+        /// Tenant acknowledged.
+        tenant: usize,
+    },
+    /// Transfer refused or failed; the reason is free text.
+    PushErr(String),
+}
+
+/// Parses one fleet-port line with the same typed, panic-free
+/// discipline as [`parse_line`]. `Ok(None)` for blanks and comments.
+///
+/// # Errors
+///
+/// The same [`IngestError`] variants the ingest parser uses.
+pub fn parse_fleet_line(line: &str) -> Result<Option<FleetMsg>, IngestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(IngestError::Oversized { len: line.len() });
+    }
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut it = line.split_ascii_whitespace();
+    let Some(tag) = it.next() else {
+        return Ok(None);
+    };
+    match tag {
+        _ if tag.starts_with('#') => Ok(None),
+        "FPING" => {
+            let from = parse_usize(take(&mut it, "from")?, "from")?;
+            end_of(it)?;
+            Ok(Some(FleetMsg::Ping { from }))
+        }
+        "FPONG" => {
+            let from = parse_usize(take(&mut it, "from")?, "from")?;
+            end_of(it)?;
+            Ok(Some(FleetMsg::Pong { from }))
+        }
+        "STATUS" => {
+            end_of(it)?;
+            Ok(Some(FleetMsg::Status))
+        }
+        "MIGRATE" => {
+            let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+            let dest = parse_usize(take(&mut it, "dest")?, "dest")?;
+            end_of(it)?;
+            Ok(Some(FleetMsg::Migrate { tenant, dest }))
+        }
+        "MPUSH" => {
+            let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+            end_of(it)?;
+            Ok(Some(FleetMsg::Push { tenant }))
+        }
+        "MOK" => {
+            let tenant = parse_usize(take(&mut it, "tenant")?, "tenant")?;
+            end_of(it)?;
+            Ok(Some(FleetMsg::PushOk { tenant }))
+        }
+        "MERR" => {
+            let reason: Vec<&str> = it.collect();
+            Ok(Some(FleetMsg::PushErr(reason.join(" "))))
         }
         other => Err(IngestError::UnknownTag(truncated(other))),
     }
@@ -275,6 +386,39 @@ mod tests {
             parse_line("Q round 1").unwrap(),
             Some(Frame::Query(Query::Round { tenant: 1 }))
         );
+        assert_eq!(
+            parse_line("Q status").unwrap(),
+            Some(Frame::Query(Query::Status))
+        );
+    }
+
+    #[test]
+    fn fleet_lines_parse_and_reject_like_ingest_lines() {
+        assert_eq!(parse_fleet_line("FPING 2").unwrap(), Some(FleetMsg::Ping { from: 2 }));
+        assert_eq!(parse_fleet_line("FPONG 0").unwrap(), Some(FleetMsg::Pong { from: 0 }));
+        assert_eq!(parse_fleet_line("STATUS").unwrap(), Some(FleetMsg::Status));
+        assert_eq!(
+            parse_fleet_line("MIGRATE 3 1").unwrap(),
+            Some(FleetMsg::Migrate { tenant: 3, dest: 1 })
+        );
+        assert_eq!(parse_fleet_line("MPUSH 3").unwrap(), Some(FleetMsg::Push { tenant: 3 }));
+        assert_eq!(parse_fleet_line("MOK 3").unwrap(), Some(FleetMsg::PushOk { tenant: 3 }));
+        assert_eq!(
+            parse_fleet_line("MERR bundle failed its CRC check").unwrap(),
+            Some(FleetMsg::PushErr("bundle failed its CRC check".into()))
+        );
+        assert_eq!(parse_fleet_line("").unwrap(), None);
+        assert_eq!(parse_fleet_line("# hb").unwrap(), None);
+        assert_eq!(
+            parse_fleet_line("GOSSIP 1").unwrap_err(),
+            IngestError::UnknownTag("GOSSIP".into())
+        );
+        assert_eq!(parse_fleet_line("FPING").unwrap_err(), IngestError::MissingField("from"));
+        assert_eq!(parse_fleet_line("FPING 1 2").unwrap_err(), IngestError::TrailingGarbage);
+        assert!(matches!(
+            parse_fleet_line("MIGRATE x 1").unwrap_err(),
+            IngestError::BadNumber { field: "tenant", .. }
+        ));
     }
 
     #[test]

@@ -193,6 +193,8 @@ fn is_effect_free(line: &[u8]) -> bool {
             let t = match q {
                 tibfit_daemon::wire::Query::Trust { tenant, .. }
                 | tibfit_daemon::wire::Query::Round { tenant } => tenant,
+                // A status dump reads state without mutating it.
+                tibfit_daemon::wire::Query::Status => return true,
             };
             t >= TENANTS
         }

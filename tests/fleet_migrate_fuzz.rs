@@ -1,0 +1,255 @@
+//! Migration-stream fuzzing: truncations, bit flips, and mid-section
+//! disconnects of the framed snapshot transfer must fail typed (never
+//! panic) and leave the *source* daemon's tenant intact and serving.
+//!
+//! Mirrors the `snapshot_fuzz.rs` / `daemon_wire_fuzz.rs` style: a
+//! deterministic corpus driven by a splitmix generator, no external
+//! fuzzing dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tibfit_daemon::fleet::{owner_of, FleetConfig, FleetPolicy, PeerSpec};
+use tibfit_daemon::migrate::{decode_bundle, encode_bundle, MigrationBundle};
+use tibfit_daemon::net_io::ListenSource;
+use tibfit_daemon::queue::{QueueStats, WorkItem};
+use tibfit_daemon::wire::Report;
+use tibfit_daemon::{Daemon, DaemonConfig};
+use tibfit_experiments::replay::{render_replay, replay_records};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tibfit-mfuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn sample_bundle() -> MigrationBundle {
+    MigrationBundle {
+        tenant: 1,
+        seed: 77,
+        state_round: 9,
+        state_bytes: b"not a real container, just payload bytes".to_vec(),
+        live_highwater: vec![(3, 12), (7, 4)],
+        live_stats: QueueStats {
+            offered: 40,
+            admitted: 31,
+            shed_budget: 5,
+            shed_overflow: 1,
+            duplicates: 3,
+            backpressure_waits: 2,
+        },
+        replay: vec![
+            WorkItem::Record(Report {
+                tenant: 1,
+                time: 10,
+                src: 3,
+                seq: 12,
+                x: 0.25,
+                y: -1.5,
+            }),
+            WorkItem::TickEnd(1),
+            WorkItem::Record(Report {
+                tenant: 1,
+                time: 11,
+                src: 7,
+                seq: 4,
+                x: 2.0,
+                y: 0.5,
+            }),
+            WorkItem::TickEnd(2),
+        ],
+        pending: vec![Report {
+            tenant: 1,
+            time: 12,
+            src: 3,
+            seq: 13,
+            x: 1.0,
+            y: 1.0,
+        }],
+    }
+}
+
+#[test]
+fn every_truncation_fails_typed() {
+    let bytes = encode_bundle(&sample_bundle());
+    for len in 0..bytes.len() {
+        match decode_bundle(&bytes[..len]) {
+            Err(e) => {
+                // Typed, and the kind string is stable (counter key).
+                assert!(!e.kind().is_empty());
+            }
+            Ok(_) => panic!("truncation to {len}/{} bytes decoded", bytes.len()),
+        }
+    }
+    assert!(decode_bundle(&bytes).is_ok(), "untouched bundle decodes");
+}
+
+#[test]
+fn seeded_bit_flips_fail_closed_without_panicking() {
+    let bytes = encode_bundle(&sample_bundle());
+    let mut rng = 0xfeed_beef_u64;
+    for round in 0..400 {
+        let pos = (splitmix(&mut rng) as usize) % bytes.len();
+        let bit = splitmix(&mut rng) % 8;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        assert!(
+            decode_bundle(&corrupt).is_err(),
+            "round {round}: flip of bit {bit} at byte {pos} decoded"
+        );
+    }
+}
+
+fn decisions(state_dir: &Path, tenants: usize) -> Vec<String> {
+    (0..tenants)
+        .map(|t| {
+            std::fs::read_to_string(state_dir.join("decisions").join(format!("tenant{t}.log")))
+                .expect("decision log exists")
+        })
+        .collect()
+}
+
+/// Sends a fleet-port command line and reads one reply line.
+fn fleet_command(addr: SocketAddr, command: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("fleet port reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut w = &stream;
+    writeln!(w, "{command}").expect("send command");
+    w.flush().expect("flush");
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply line");
+    line.trim_end().to_string()
+}
+
+/// A destination that accepts the migration connection, reads a little,
+/// and drops it mid-section.
+fn start_drop_mid_section_peer() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let addr = listener.local_addr().expect("fake peer addr");
+    let handle = std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            let mut buf = [0u8; 64];
+            let _ = stream.read(&mut buf);
+            // Drop: mid-section disconnect from the source's view.
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn failed_migrations_leave_the_source_serving_byte_identically() {
+    const TENANTS: usize = 2;
+    let root = fresh_dir("source-serving");
+    let seed = 55u64;
+    let text = render_replay(&replay_records(TENANTS, seed, 12, 2));
+    let lines: Vec<&str> = text.lines().collect();
+    // Split at a tick boundary so the quiet window between phases is a
+    // whole number of rounds.
+    let mid = {
+        let mut seen = 0;
+        lines
+            .iter()
+            .position(|l| {
+                if *l == "T" {
+                    seen += 1;
+                }
+                seen == 6
+            })
+            .expect("tick boundary")
+            + 1
+    };
+
+    // Reference: uninterrupted single daemon.
+    let mut reference = Daemon::new(DaemonConfig::standard(TENANTS, seed, root.join("ref")))
+        .expect("reference daemon");
+    reference
+        .run(std::io::Cursor::new(text.clone()))
+        .expect("reference run");
+    let want = decisions(&root.join("ref"), TENANTS);
+
+    // Fleet seed under which daemon 0 owns every tenant of the full
+    // roster {0, 1, 2}, so the fleet run and the reference decide the
+    // same records.
+    let fleet_seed = (0..10_000u64)
+        .find(|&s| (0..TENANTS).all(|t| owner_of(s, t, &[0, 1, 2]) == Some(0)))
+        .expect("some seed places everything on daemon 0");
+    let (drop_addr, drop_peer) = start_drop_mid_section_peer();
+    let mut cfg = DaemonConfig::standard(TENANTS, seed, root.join("fleet"));
+    cfg.fleet = Some(FleetConfig {
+        id: 0,
+        peers: vec![
+            // Peer 1: connection refused (push cannot even connect).
+            PeerSpec {
+                id: 1,
+                addr: "127.0.0.1:1".into(),
+            },
+            // Peer 2: accepts, then drops mid-section.
+            PeerSpec {
+                id: 2,
+                addr: drop_addr.to_string(),
+            },
+        ],
+        seed: fleet_seed,
+        listen: "127.0.0.1:0".into(),
+        linger_ms: 500,
+        catchup_replay: None,
+        // A huge grace keeps the monitor from quarantining the fake
+        // peers and stealing the scenario.
+        policy: FleetPolicy {
+            grace_ms: 3_600_000,
+            ..FleetPolicy::default()
+        },
+    });
+    let source = ListenSource::bind("127.0.0.1:0", Some(1)).expect("ingest listener");
+    let ingest_addr = source.local_addr().expect("ingest addr");
+    let mut daemon = Daemon::new(cfg).expect("fleet daemon");
+    let fleet_addr = daemon.fleet_addr().expect("fleet port");
+    let server = std::thread::spawn(move || daemon.run(source).expect("fleet run"));
+
+    let mut ingest = TcpStream::connect(ingest_addr).expect("ingest connect");
+    for line in &lines[..mid] {
+        writeln!(ingest, "{line}").expect("phase 1 line");
+    }
+    ingest.flush().expect("flush phase 1");
+    // Quiet window: let the router drain phase 1 before migrating.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Both failure modes must come back typed as MERR, not hang or
+    // kill the daemon.
+    let refused = fleet_command(fleet_addr, "MIGRATE 0 1");
+    assert!(refused.starts_with("MERR"), "got {refused:?}");
+    let dropped = fleet_command(fleet_addr, "MIGRATE 0 2");
+    assert!(dropped.starts_with("MERR"), "got {dropped:?}");
+    drop_peer.join().expect("fake peer thread");
+
+    // The source keeps serving: phase 2 flows into the same tenant.
+    for line in &lines[mid..] {
+        writeln!(ingest, "{line}").expect("phase 2 line");
+    }
+    ingest.flush().expect("flush phase 2");
+    drop(ingest);
+
+    let report = server.join().expect("daemon thread");
+    let fleet = report.fleet.expect("fleet summary");
+    assert_eq!(fleet.migrate_failed, 2);
+    assert_eq!(fleet.migrations_out, 0);
+    assert_eq!(
+        want,
+        decisions(&root.join("fleet"), TENANTS),
+        "failed migrations must not perturb the source's decisions"
+    );
+}
